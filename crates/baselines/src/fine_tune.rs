@@ -1,0 +1,136 @@
+//! The FT baseline: whole-network SGD until the repair set is fixed.
+
+use prdnn_nn::{sgd_train, Dataset, Loss, Network, TrainConfig};
+use rand::Rng;
+use std::time::{Duration, Instant};
+
+/// Hyperparameters of the FT baseline.
+///
+/// The paper stresses that FT's behaviour is extremely sensitive to these
+/// choices (§7, RQ1/RQ4); the evaluation therefore runs two configurations
+/// (`FT[1]`, `FT[2]`) per task.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FineTuneConfig {
+    /// SGD learning rate.
+    pub learning_rate: f64,
+    /// SGD momentum.
+    pub momentum: f64,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Epoch budget; fine-tuning that has not fixed the repair set by then is
+    /// reported as timed out (`converged == false`).
+    pub max_epochs: usize,
+}
+
+impl Default for FineTuneConfig {
+    fn default() -> Self {
+        FineTuneConfig { learning_rate: 0.01, momentum: 0.9, batch_size: 16, max_epochs: 1000 }
+    }
+}
+
+/// Result of running the FT baseline.
+#[derive(Debug, Clone)]
+pub struct FineTuneResult {
+    /// The fine-tuned network.
+    pub network: Network,
+    /// Number of epochs actually run.
+    pub epochs_run: usize,
+    /// Whether the repair set reached 100% accuracy within the budget.
+    pub converged: bool,
+    /// Wall-clock time spent fine-tuning.
+    pub duration: Duration,
+}
+
+/// Fine-tunes every parameter of `net` on the repair set until all repair
+/// points are classified correctly (or `config.max_epochs` is reached).
+///
+/// # Panics
+///
+/// Panics if the repair set is empty.
+pub fn fine_tune(
+    net: &Network,
+    repair_set: &Dataset,
+    config: &FineTuneConfig,
+    rng: &mut impl Rng,
+) -> FineTuneResult {
+    assert!(!repair_set.is_empty(), "fine_tune: empty repair set");
+    let start = Instant::now();
+    let mut network = net.clone();
+    let epoch_config = TrainConfig {
+        learning_rate: config.learning_rate,
+        momentum: config.momentum,
+        batch_size: config.batch_size,
+        epochs: 1,
+        loss: Loss::SoftmaxCrossEntropy,
+        only_layer: None,
+    };
+    let mut epochs_run = 0;
+    let mut converged = repair_set.accuracy(&network) >= 1.0;
+    while !converged && epochs_run < config.max_epochs {
+        sgd_train(&mut network, &repair_set.inputs, &repair_set.labels, &epoch_config, rng);
+        epochs_run += 1;
+        converged = repair_set.accuracy(&network) >= 1.0;
+    }
+    FineTuneResult { network, epochs_run, converged, duration: start.elapsed() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prdnn_nn::Activation;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn blob_dataset(rng: &mut StdRng, n: usize) -> Dataset {
+        let mut inputs = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let label = i % 2;
+            let c = if label == 0 { -1.0 } else { 1.0 };
+            inputs.push(vec![c + rng.gen_range(-0.3..0.3), c + rng.gen_range(-0.3..0.3)]);
+            labels.push(label);
+        }
+        Dataset::new(inputs, labels)
+    }
+
+    #[test]
+    fn ft_reaches_full_efficacy_on_an_easy_repair_set() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let net = Network::mlp(&[2, 8, 2], Activation::Relu, &mut rng);
+        let repair = blob_dataset(&mut rng, 20);
+        let config = FineTuneConfig { learning_rate: 0.05, max_epochs: 300, ..Default::default() };
+        let result = fine_tune(&net, &repair, &config, &mut rng);
+        assert!(result.converged, "FT should fix an easy repair set");
+        assert_eq!(repair.accuracy(&result.network), 1.0);
+        assert!(result.epochs_run <= 300);
+    }
+
+    #[test]
+    fn ft_respects_the_epoch_budget() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let net = Network::mlp(&[2, 4, 2], Activation::Relu, &mut rng);
+        // Contradictory labels for the same input: cannot converge.
+        let repair =
+            Dataset::new(vec![vec![0.5, 0.5], vec![0.5, 0.5]], vec![0, 1]);
+        let config = FineTuneConfig { max_epochs: 5, ..Default::default() };
+        let result = fine_tune(&net, &repair, &config, &mut rng);
+        assert!(!result.converged);
+        assert_eq!(result.epochs_run, 5);
+    }
+
+    #[test]
+    fn already_correct_repair_set_needs_no_epochs() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let net = Network::mlp(&[2, 8, 2], Activation::Relu, &mut rng);
+        // Build a repair set from the network's own predictions.
+        let inputs: Vec<Vec<f64>> = (0..10)
+            .map(|_| vec![rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)])
+            .collect();
+        let labels: Vec<usize> = inputs.iter().map(|x| net.classify(x)).collect();
+        let repair = Dataset::new(inputs, labels);
+        let result = fine_tune(&net, &repair, &FineTuneConfig::default(), &mut rng);
+        assert!(result.converged);
+        assert_eq!(result.epochs_run, 0);
+        assert_eq!(result.network, net);
+    }
+}

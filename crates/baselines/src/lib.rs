@@ -1,0 +1,23 @@
+//! Gradient-descent repair baselines from the paper's evaluation (§7).
+//!
+//! Two baselines are compared against Provable Repair:
+//!
+//! * **FT** ([`fine_tune`]) — plain fine-tuning of *all* parameters with SGD
+//!   on the repair set, run until every repair point is classified correctly
+//!   or an epoch budget is exhausted (the approach of Sinitsin et al. when no
+//!   original training data is available).
+//! * **MFT** ([`modified_fine_tune`]) — fine-tuning of a *single* layer with
+//!   a penalty on the size of the parameter change, a 25% holdout split of
+//!   the repair set, and early stopping when holdout accuracy drops.  MFT is
+//!   not a repair algorithm (it does not reach 100% efficacy) but exhibits
+//!   low drawdown, exactly as reported in the paper.
+//!
+//! Unlike Provable Repair, neither baseline provides guarantees: FT may
+//! diverge or time out (Table 2's starred entry), and for polytope
+//! specifications both baselines only ever see finitely many sampled points.
+
+mod fine_tune;
+mod mft;
+
+pub use fine_tune::{fine_tune, FineTuneConfig, FineTuneResult};
+pub use mft::{modified_fine_tune, MftConfig, MftResult};

@@ -1,0 +1,228 @@
+//! The MFT baseline: single-layer fine-tuning with a change penalty, a
+//! holdout split, and early stopping.
+
+use prdnn_nn::{sgd_train, Dataset, Loss, Network, TrainConfig};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::time::{Duration, Instant};
+
+/// Hyperparameters of the MFT baseline (§7, "modified fine-tuning").
+#[derive(Debug, Clone, PartialEq)]
+pub struct MftConfig {
+    /// SGD learning rate.
+    pub learning_rate: f64,
+    /// SGD momentum.
+    pub momentum: f64,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Epoch budget.
+    pub max_epochs: usize,
+    /// Index of the single layer being fine-tuned.
+    pub layer: usize,
+    /// Weight of the penalty pulling the layer back towards its original
+    /// parameters.  The paper penalises the ℓ0/ℓ∞ norms of the change; we use
+    /// the differentiable ℓ2 relaxation of the same idea.
+    pub change_penalty: f64,
+    /// Fraction of the repair set reserved as a holdout set (the paper
+    /// uses 25%).
+    pub holdout_fraction: f64,
+}
+
+impl Default for MftConfig {
+    fn default() -> Self {
+        MftConfig {
+            learning_rate: 0.01,
+            momentum: 0.9,
+            batch_size: 16,
+            max_epochs: 200,
+            layer: 0,
+            change_penalty: 1e-3,
+            holdout_fraction: 0.25,
+        }
+    }
+}
+
+/// Result of running the MFT baseline.
+#[derive(Debug, Clone)]
+pub struct MftResult {
+    /// The fine-tuned network.
+    pub network: Network,
+    /// Number of epochs actually run before early stopping.
+    pub epochs_run: usize,
+    /// Accuracy on the full repair set at the stopping point (MFT does not
+    /// reach 100%, so this is the baseline's *efficacy*).
+    pub efficacy: f64,
+    /// Wall-clock time spent.
+    pub duration: Duration,
+}
+
+/// Runs modified fine-tuning of the single layer `config.layer`.
+///
+/// 25% of the repair set (configurable) is held out; after each epoch the
+/// holdout accuracy is evaluated and training stops as soon as it drops
+/// below its best value so far.  A quadratic penalty pulls the tuned layer
+/// back towards its original parameters, limiting drawdown at the cost of
+/// efficacy — reproducing the trade-off reported in Tables 1 and 3.
+///
+/// # Panics
+///
+/// Panics if the repair set is empty or `config.layer` is out of range.
+pub fn modified_fine_tune(
+    net: &Network,
+    repair_set: &Dataset,
+    config: &MftConfig,
+    rng: &mut impl Rng,
+) -> MftResult {
+    assert!(!repair_set.is_empty(), "modified_fine_tune: empty repair set");
+    assert!(config.layer < net.num_layers(), "modified_fine_tune: layer out of range");
+    let start = Instant::now();
+
+    // Shuffle and split off the holdout set.
+    let mut order: Vec<usize> = (0..repair_set.len()).collect();
+    order.shuffle(rng);
+    let holdout_size =
+        ((repair_set.len() as f64 * config.holdout_fraction).round() as usize).min(repair_set.len());
+    let (holdout_idx, train_idx) = order.split_at(holdout_size);
+    let subset = |idx: &[usize]| {
+        Dataset::new(
+            idx.iter().map(|&i| repair_set.inputs[i].clone()).collect(),
+            idx.iter().map(|&i| repair_set.labels[i]).collect(),
+        )
+    };
+    let holdout = subset(holdout_idx);
+    let train = subset(train_idx);
+
+    let original_params = net.layer(config.layer).params();
+    let mut network = net.clone();
+    let epoch_config = TrainConfig {
+        learning_rate: config.learning_rate,
+        momentum: config.momentum,
+        batch_size: config.batch_size,
+        epochs: 1,
+        loss: Loss::SoftmaxCrossEntropy,
+        only_layer: Some(config.layer),
+    };
+
+    let mut best_holdout = if holdout.is_empty() { 0.0 } else { holdout.accuracy(&network) };
+    let mut epochs_run = 0;
+    let mut best_network = network.clone();
+    while epochs_run < config.max_epochs {
+        if !train.is_empty() {
+            sgd_train(&mut network, &train.inputs, &train.labels, &epoch_config, rng);
+        }
+        // Penalty step: pull the tuned layer back towards its original
+        // parameters (the ℓ2 relaxation of the paper's change penalty).
+        let current = network.layer(config.layer).params();
+        let pull: Vec<f64> = current
+            .iter()
+            .zip(&original_params)
+            .map(|(c, o)| -config.learning_rate * 2.0 * config.change_penalty * (c - o))
+            .collect();
+        network.layer_mut(config.layer).add_to_params(&pull);
+
+        epochs_run += 1;
+        let holdout_acc = if holdout.is_empty() { 1.0 } else { holdout.accuracy(&network) };
+        if holdout_acc < best_holdout {
+            // Early stop: holdout accuracy started dropping.
+            break;
+        }
+        if holdout_acc >= best_holdout {
+            best_holdout = holdout_acc;
+            best_network = network.clone();
+        }
+        if repair_set.accuracy(&network) >= 1.0 {
+            best_network = network.clone();
+            break;
+        }
+    }
+
+    let efficacy = repair_set.accuracy(&best_network);
+    MftResult { network: best_network, epochs_run, efficacy, duration: start.elapsed() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prdnn_nn::Activation;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn blob_dataset(rng: &mut StdRng, n: usize) -> Dataset {
+        let mut inputs = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let label = i % 2;
+            let c = if label == 0 { -1.0 } else { 1.0 };
+            inputs.push(vec![c + rng.gen_range(-0.4..0.4), c + rng.gen_range(-0.4..0.4)]);
+            labels.push(label);
+        }
+        Dataset::new(inputs, labels)
+    }
+
+    #[test]
+    fn mft_only_changes_the_selected_layer() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let net = Network::mlp(&[2, 6, 4, 2], Activation::Relu, &mut rng);
+        let repair = blob_dataset(&mut rng, 24);
+        let config = MftConfig { layer: 2, max_epochs: 20, ..Default::default() };
+        let result = modified_fine_tune(&net, &repair, &config, &mut rng);
+        assert_eq!(result.network.layer(0).params(), net.layer(0).params());
+        assert_eq!(result.network.layer(1).params(), net.layer(1).params());
+        assert!(result.epochs_run <= 20);
+        assert!(result.efficacy >= 0.0 && result.efficacy <= 1.0);
+    }
+
+    #[test]
+    fn mft_improves_or_matches_initial_efficacy() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let net = Network::mlp(&[2, 8, 2], Activation::Relu, &mut rng);
+        let repair = blob_dataset(&mut rng, 40);
+        let initial = repair.accuracy(&net);
+        let config = MftConfig {
+            layer: 1,
+            learning_rate: 0.05,
+            max_epochs: 100,
+            ..Default::default()
+        };
+        let result = modified_fine_tune(&net, &repair, &config, &mut rng);
+        assert!(result.efficacy + 1e-9 >= initial.min(0.5), "MFT should not collapse");
+    }
+
+    #[test]
+    fn change_penalty_keeps_parameters_close() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let net = Network::mlp(&[2, 8, 2], Activation::Relu, &mut rng);
+        let repair = blob_dataset(&mut rng, 30);
+        let strong = MftConfig {
+            layer: 1,
+            change_penalty: 10.0,
+            learning_rate: 0.05,
+            max_epochs: 30,
+            ..Default::default()
+        };
+        let weak = MftConfig { change_penalty: 0.0, ..strong.clone() };
+        let mut rng1 = StdRng::seed_from_u64(11);
+        let mut rng2 = StdRng::seed_from_u64(11);
+        let strong_result = modified_fine_tune(&net, &repair, &strong, &mut rng1);
+        let weak_result = modified_fine_tune(&net, &repair, &weak, &mut rng2);
+        let dist = |n: &Network| -> f64 {
+            n.layer(1)
+                .params()
+                .iter()
+                .zip(net.layer(1).params())
+                .map(|(a, b)| (a - b).abs())
+                .sum()
+        };
+        assert!(dist(&strong_result.network) <= dist(&weak_result.network) + 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_layer_panics() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let net = Network::mlp(&[2, 4, 2], Activation::Relu, &mut rng);
+        let repair = blob_dataset(&mut rng, 4);
+        let config = MftConfig { layer: 9, ..Default::default() };
+        modified_fine_tune(&net, &repair, &config, &mut rng);
+    }
+}

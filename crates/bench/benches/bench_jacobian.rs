@@ -1,0 +1,33 @@
+//! Micro-benchmark: DDNN parameter-Jacobian computation (Algorithm 1 line 5),
+//! the dominant cost of Task 1 in the paper (Figure 7b).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prdnn_core::DecoupledNetwork;
+use prdnn_nn::{Activation, Network};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+fn bench_jacobian(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let net = Network::mlp(&[49, 24, 24, 10], Activation::Relu, &mut rng);
+    let ddnn = DecoupledNetwork::from_network(&net);
+    let x: Vec<f64> = (0..49).map(|_| rng.gen_range(0.0..1.0)).collect();
+
+    let mut group = c.benchmark_group("ddnn_param_jacobian");
+    for layer in 0..3usize {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("layer{layer}")),
+            &layer,
+            |b, &layer| b.iter(|| ddnn.value_param_jacobian(layer, &x, &x)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_secs(1));
+    targets = bench_jacobian
+}
+criterion_main!(benches);

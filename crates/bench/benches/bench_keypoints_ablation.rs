@@ -1,0 +1,60 @@
+//! Ablation: the Theorem 6.4 key-point reduction vs naive dense sampling.
+//!
+//! Polytope repair reduces an infinite specification to the vertices of the
+//! network's linear regions.  The naive alternative — point repair on a
+//! dense sample of the polytope — needs many more points to even approach
+//! the same coverage *and still provides no guarantee*.  This ablation
+//! measures the cost of both on the same specification.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prdnn_core::{
+    repair_points, repair_polytopes, InputPolytope, OutputPolytope, PointSpec, PolytopeSpec,
+    RepairConfig,
+};
+use prdnn_nn::{Activation, Network};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn bench_keypoints_ablation(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(29);
+    let net = Network::mlp(&[6, 16, 16, 3], Activation::Relu, &mut rng);
+    let start = vec![-0.8, 0.3, -0.2, 0.5, 0.1, -0.4];
+    let end = vec![0.7, -0.6, 0.4, -0.3, -0.2, 0.6];
+    let segment = InputPolytope::segment(start.clone(), end.clone());
+    let constraint = OutputPolytope::classification(1, 3, 1e-4);
+
+    let mut group = c.benchmark_group("keypoints_vs_sampling");
+    // Exact: vertices of the linear regions (provable).
+    let mut polytope_spec = PolytopeSpec::new();
+    polytope_spec.push(segment.clone(), constraint.clone());
+    group.bench_function("exact_key_points", |b| {
+        b.iter(|| repair_polytopes(&net, 2, &polytope_spec, &RepairConfig::default()).unwrap())
+    });
+    // Naive: dense uniform samples along the segment (no guarantee).
+    for &samples in &[16usize, 64] {
+        let points: Vec<Vec<f64>> = (0..samples)
+            .map(|i| {
+                let t = i as f64 / (samples - 1) as f64;
+                start.iter().zip(&end).map(|(s, e)| s + t * (e - s)).collect()
+            })
+            .collect();
+        let mut point_spec = PointSpec::new();
+        for p in points {
+            point_spec.push(p, constraint.clone());
+        }
+        group.bench_with_input(
+            BenchmarkId::new("dense_sampling", samples),
+            &point_spec,
+            |b, spec| b.iter(|| repair_points(&net, 2, spec, &RepairConfig::default()).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_secs(1));
+    targets = bench_keypoints_ablation
+}
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Micro-benchmark: LinRegions computation (ExactLine and 2-D planes),
+//! the SyReNN component of Algorithm 2.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prdnn_datasets::{corruptions, digits};
+use prdnn_nn::{Activation, Network};
+use prdnn_syrenn::{line_regions, plane_regions};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn bench_linregions(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(9);
+    let net = Network::mlp(&[digits::PIXELS, 24, 24, 10], Activation::Relu, &mut rng);
+    let clean = digits::prototype(3);
+    let foggy = corruptions::fog(&clean, digits::SIDE, digits::SIDE, 0.6);
+
+    c.bench_function("exact_line_digit_mlp", |b| {
+        b.iter(|| line_regions(&net, &clean, &foggy).unwrap())
+    });
+
+    let small = Network::mlp(&[5, 16, 16, 5], Activation::Relu, &mut rng);
+    let square = vec![
+        vec![-0.5, -0.5, 0.1, 0.2, 0.3],
+        vec![0.5, -0.5, 0.1, 0.2, 0.3],
+        vec![0.5, 0.5, 0.1, 0.2, 0.3],
+        vec![-0.5, 0.5, 0.1, 0.2, 0.3],
+    ];
+    c.bench_function("plane_regions_acas_style", |b| {
+        b.iter(|| plane_regions(&small, &square).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_secs(1));
+    targets = bench_linregions
+}
+criterion_main!(benches);

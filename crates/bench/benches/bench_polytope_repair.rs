@@ -1,0 +1,61 @@
+//! Micro-benchmark: Provable Polytope Repair (Algorithm 2) on 1-D lines
+//! (Task 2 shape) and a 2-D polygon (Task 3 shape).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prdnn_core::{
+    paper_example, repair_polytopes, InputPolytope, OutputPolytope, PolytopeSpec, RepairConfig,
+};
+use prdnn_datasets::{corruptions, digits};
+use prdnn_nn::{Activation, Network};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn bench_polytope_repair(c: &mut Criterion) {
+    let n1 = paper_example::n1();
+    let eq3 = paper_example::equation_3_spec();
+    c.bench_function("polytope_repair_running_example", |b| {
+        b.iter(|| repair_polytopes(&n1, 0, &eq3, &RepairConfig::default()).unwrap())
+    });
+
+    // Fog lines through a digit-MLP-shaped network (untrained weights: the
+    // algorithmic cost is identical and the benchmark stays deterministic).
+    let mut rng = StdRng::seed_from_u64(17);
+    let net = Network::mlp(&[digits::PIXELS, 16, 16, 10], Activation::Relu, &mut rng);
+    let mut group = c.benchmark_group("polytope_repair_fog_lines");
+    for &lines in &[1usize, 2] {
+        let mut spec = PolytopeSpec::new();
+        for class in 0..lines {
+            let clean = digits::prototype(class);
+            let foggy = corruptions::fog(&clean, digits::SIDE, digits::SIDE, 0.6);
+            spec.push(
+                InputPolytope::segment(clean, foggy),
+                OutputPolytope::classification(class, 10, 1e-4),
+            );
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(lines), &spec, |b, spec| {
+            b.iter(|| repair_polytopes(&net, 2, spec, &RepairConfig::default()).ok())
+        });
+    }
+    group.finish();
+
+    // A 2-D triangle through a small control-style network (Task 3 shape).
+    let control = Network::mlp(&[5, 12, 12, 5], Activation::Relu, &mut rng);
+    let triangle = InputPolytope::polygon(vec![
+        vec![-0.5, -0.5, 0.0, 0.2, 0.2],
+        vec![0.5, -0.5, 0.0, 0.2, 0.2],
+        vec![0.0, 0.5, 0.0, 0.2, 0.2],
+    ]);
+    let mut spec = PolytopeSpec::new();
+    spec.push(triangle, OutputPolytope::classification(0, 5, 1e-4));
+    c.bench_function("polytope_repair_2d_slice", |b| {
+        b.iter(|| repair_polytopes(&control, 2, &spec, &RepairConfig::default()).ok())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_secs(1));
+    targets = bench_polytope_repair
+}
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! End-to-end table benchmarks: one tiny-scale Provable Repair per task, so
+//! `cargo bench` exercises the full Table 1 / Table 2 / Task 3 pipelines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prdnn_bench::scale::{Scale, Task1Params, Task2Params, Task3Params};
+use prdnn_bench::{task1, task2, task3};
+use std::time::Duration;
+
+fn bench_tables(c: &mut Criterion) {
+    // Task 1 (Table 1 / Figure 7 pipeline): per-layer PR sweep on a tiny pool.
+    let t1_setup = task1::setup(&Task1Params::for_scale(Scale::Tiny));
+    c.bench_function("table1_pr_sweep_tiny", |b| {
+        b.iter(|| task1::run_pr_sweep(&t1_setup, 4))
+    });
+
+    // Task 2 (Table 2 pipeline): polytope repair of layer 3 on two fog lines.
+    let t2_params = Task2Params::for_scale(Scale::Tiny);
+    let t2_setup = task2::setup(&t2_params);
+    c.bench_function("table2_pr_two_lines_tiny", |b| {
+        b.iter(|| task2::run_pr(&t2_setup, 10, 2, 2))
+    });
+
+    // Task 3 (§7.3 pipeline): 2-D polytope repair of the last layer.
+    let t3_params = Task3Params::for_scale(Scale::Tiny);
+    let t3_setup = task3::setup(&t3_params);
+    c.bench_function("task3_pr_one_slice_tiny", |b| {
+        b.iter(|| task3::run_pr(&t3_setup, t3_params.grid))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(5)).warm_up_time(Duration::from_secs(1));
+    targets = bench_tables
+}
+criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! Regenerates the data behind Figures 3, 4, 5, and 6 (the running example).
+
+use prdnn_bench::figures;
+
+fn main() {
+    println!("{}", figures::format_figures());
+}

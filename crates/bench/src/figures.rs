@@ -1,0 +1,153 @@
+//! Data series for Figures 3–6: the running-example networks, their
+//! decoupled/repaired variants, and activation linearisations.
+
+use prdnn_core::{
+    paper_example, repair_points, repair_polytopes, DecoupledNetwork, RepairConfig,
+};
+use prdnn_nn::{Activation, Network};
+use prdnn_syrenn::exact_line;
+
+/// Samples the input–output curve of a scalar function on `[lo, hi]`.
+pub fn io_series(mut f: impl FnMut(f64) -> f64, lo: f64, hi: f64, samples: usize) -> Vec<(f64, f64)> {
+    (0..=samples)
+        .map(|i| {
+            let x = lo + (hi - lo) * i as f64 / samples as f64;
+            (x, f(x))
+        })
+        .collect()
+}
+
+/// The networks and repaired DDNNs behind Figures 3–5.
+pub struct RunningExample {
+    /// N1 of Figure 3(a).
+    pub n1: Network,
+    /// N2 of Figure 3(b).
+    pub n2: Network,
+    /// N5 of Figure 5(a): N1 point-repaired against Equation 2.
+    pub n5: DecoupledNetwork,
+    /// N6 of Figure 5(b): N1 polytope-repaired against Equation 3.
+    pub n6: DecoupledNetwork,
+}
+
+/// Builds the running example: N1, N2, and the two repaired DDNNs.
+///
+/// # Panics
+///
+/// Panics if the repairs fail (they cannot: the paper exhibits feasible
+/// repairs).
+pub fn running_example() -> RunningExample {
+    let n1 = paper_example::n1();
+    let n2 = paper_example::n2();
+    let n5 = repair_points(&n1, 0, &paper_example::equation_2_spec(), &RepairConfig::default())
+        .expect("Equation 2 repair is feasible")
+        .repaired;
+    let n6 = repair_polytopes(&n1, 0, &paper_example::equation_3_spec(), &RepairConfig::default())
+        .expect("Equation 3 repair is feasible")
+        .outcome
+        .repaired;
+    RunningExample { n1, n2, n5, n6 }
+}
+
+/// Formats one curve as `x,y` CSV lines under a header.
+fn format_series(name: &str, series: &[(f64, f64)]) -> String {
+    let mut out = format!("# {name}\nx,y\n");
+    for (x, y) in series {
+        out.push_str(&format!("{x:.4},{y:.4}\n"));
+    }
+    out.push('\n');
+    out
+}
+
+/// Regenerates the data behind Figures 3, 4, 5, and 6 as CSV blocks.
+pub fn format_figures() -> String {
+    let ex = running_example();
+    let mut out = String::new();
+    out.push_str("Figures 3-5 — running example input-output plots (x in [-1, 2])\n\n");
+
+    // Figure 3(c)/(d): N1 and N2 with their linear-region breakpoints.
+    let bp = |net: &Network| -> Vec<f64> {
+        exact_line(net, &[-1.0], &[2.0])
+            .unwrap()
+            .iter()
+            .map(|t| -1.0 + 3.0 * t)
+            .collect()
+    };
+    out.push_str(&format!("# Figure 3(c): linear region boundaries of N1: {:?}\n", bp(&ex.n1)));
+    out.push_str(&format_series("Figure 3(c): N1", &io_series(|x| ex.n1.forward(&[x])[0], -1.0, 2.0, 60)));
+    out.push_str(&format!("# Figure 3(d): linear region boundaries of N2: {:?}\n", bp(&ex.n2)));
+    out.push_str(&format_series("Figure 3(d): N2", &io_series(|x| ex.n2.forward(&[x])[0], -1.0, 2.0, 60)));
+
+    // Figure 4(c)/(d): the DDNN (N1,N1) equals N1; (N1,N2) keeps N1's regions.
+    let n3 = DecoupledNetwork::from_network(&ex.n1);
+    let n4 = DecoupledNetwork::new(ex.n1.clone(), ex.n2.clone());
+    out.push_str(&format_series("Figure 4(c): DDNN N3 = (N1, N1)", &io_series(|x| n3.forward(&[x])[0], -1.0, 2.0, 60)));
+    out.push_str(&format_series("Figure 4(d): DDNN N4 = (N1, N2)", &io_series(|x| n4.forward(&[x])[0], -1.0, 2.0, 60)));
+
+    // Figure 5(c)/(d): the repaired DDNNs.
+    out.push_str(&format_series("Figure 5(c): point-repaired N5", &io_series(|x| ex.n5.forward(&[x])[0], -1.0, 2.0, 60)));
+    out.push_str(&format_series("Figure 5(d): polytope-repaired N6", &io_series(|x| ex.n6.forward(&[x])[0], -1.0, 2.0, 60)));
+
+    // Figure 6: linearisations of ReLU around +1 and Tanh around -1.
+    let relu_lin = Activation::Relu.linearize(&[1.0])[0];
+    let tanh_lin = Activation::Tanh.linearize(&[-1.0])[0];
+    out.push_str(&format_series(
+        "Figure 6(a): ReLU and its linearisation around z=1 (y = slope*x + intercept)",
+        &io_series(|x| relu_lin.0 * x + relu_lin.1, -2.0, 2.0, 40),
+    ));
+    out.push_str(&format_series(
+        "Figure 6(b): Tanh linearisation around z=-1",
+        &io_series(|x| tanh_lin.0 * x + tanh_lin.1, -2.0, 2.0, 40),
+    ));
+    out.push_str(
+        "Checks reproduced from the paper: N5(0.5) = -0.8, N5(1.5) = -0.2 (Figure 5c) and\n\
+         N6 stays within [-0.8, -0.4] on [0.5, 1.5] (Figure 5d); N3 equals N1 everywhere\n\
+         (Theorem 4.4); N4 has the same linear regions as N1 (Theorem 4.6).\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repaired_networks_match_figure_5_values() {
+        let ex = running_example();
+        // Figure 5(c): N5(0.5) = -0.8 and N5(1.5) = -0.2.
+        assert!((ex.n5.forward(&[0.5])[0] + 0.8).abs() < 1e-6);
+        assert!((ex.n5.forward(&[1.5])[0] + 0.2).abs() < 1e-6);
+        // Figure 5(d): N6 maps [0.5, 1.5] into [-0.8, -0.4].
+        for i in 0..=20 {
+            let x = 0.5 + i as f64 / 20.0;
+            let y = ex.n6.forward(&[x])[0];
+            assert!((-0.8 - 1e-6..=-0.4 + 1e-6).contains(&y));
+        }
+    }
+
+    #[test]
+    fn figure_4_ddnns_behave_as_described() {
+        let ex = running_example();
+        let n3 = DecoupledNetwork::from_network(&ex.n1);
+        let n4 = DecoupledNetwork::new(ex.n1.clone(), ex.n2.clone());
+        // N3 = (N1, N1) equals N1 (Theorem 4.4).
+        for i in 0..=30 {
+            let x = -1.0 + 3.0 * i as f64 / 30.0;
+            assert!((n3.forward(&[x])[0] - ex.n1.forward(&[x])[0]).abs() < 1e-9);
+        }
+        // N4 = (N1, N2) has N1's activation pattern everywhere (Theorem 4.6).
+        for &x in &[-0.5, 0.25, 0.75, 1.5] {
+            assert_eq!(
+                n4.activation_network().activation_pattern(&[x]),
+                ex.n1.activation_pattern(&[x])
+            );
+        }
+    }
+
+    #[test]
+    fn formatted_figures_contain_all_blocks() {
+        let s = format_figures();
+        for needle in ["Figure 3(c)", "Figure 3(d)", "Figure 4(c)", "Figure 5(d)", "Figure 6(a)"] {
+            assert!(s.contains(needle), "missing {needle}");
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Experiment harness reproducing every table and figure of the PRDNN
+//! evaluation (§7) on the synthetic workloads of `prdnn-datasets`.
+//!
+//! Each experiment runs at a configurable [`Scale`]: the paper's exact
+//! workload sizes (SqueezeNet, 752 NAE images, 100 repair lines, 150k key
+//! points) assume Gurobi and a 32-core machine, so the default scale keeps
+//! the identical pipeline but shrinks the specification sizes; the *shape*
+//! of the results (who wins, where the time goes) is what is reproduced.
+//! `EXPERIMENTS.md` records the measured numbers next to the paper's.
+//!
+//! | Paper artefact | Regenerate with |
+//! |---|---|
+//! | Table 1 | `cargo run --release -p prdnn-bench --bin table1` |
+//! | Table 2 | `cargo run --release -p prdnn-bench --bin table2` |
+//! | Table 3 | `cargo run --release -p prdnn-bench --bin table3` |
+//! | Table 4 | `cargo run --release -p prdnn-bench --bin table4` |
+//! | Figure 7 | `cargo run --release -p prdnn-bench --bin figure7` |
+//! | Figures 3–6 | `cargo run --release -p prdnn-bench --bin figures_3_4_5` |
+//! | §7.3 (Task 3) | `cargo run --release -p prdnn-bench --bin task3` |
+
+pub mod figures;
+pub mod metrics;
+pub mod scale;
+pub mod task1;
+pub mod task2;
+pub mod task3;
+
+pub use metrics::Classifier;
+pub use scale::Scale;

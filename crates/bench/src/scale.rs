@@ -1,0 +1,185 @@
+//! Experiment scales: the paper's workload sizes scaled to what the
+//! from-scratch simplex solver handles on a laptop in minutes.
+
+/// How large to make each experiment.
+///
+/// Selected via the `PRDNN_SCALE` environment variable (`tiny`, `small`,
+/// `full`); the default is `small`.  `tiny` is what the integration tests and
+/// Criterion micro-benchmarks use; `full` approaches the paper's
+/// specification sizes and can take hours with the built-in LP solver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scale {
+    /// Smoke-test sizes (seconds).
+    Tiny,
+    /// Default sizes (minutes) — large enough for the paper's trends to show.
+    #[default]
+    Small,
+    /// Paper-magnitude sizes (hours with the built-in simplex).
+    Full,
+}
+
+impl Scale {
+    /// Reads the scale from the `PRDNN_SCALE` environment variable.
+    pub fn from_env() -> Scale {
+        match std::env::var("PRDNN_SCALE").unwrap_or_default().to_lowercase().as_str() {
+            "tiny" => Scale::Tiny,
+            "full" => Scale::Full,
+            _ => Scale::Small,
+        }
+    }
+}
+
+/// Workload sizes for Task 1 (pointwise repair of the image classifier).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Task1Params {
+    /// `(paper_label, points_used)` pairs: the paper's repair-set sizes
+    /// (100/200/400/752) and the scaled sizes used here.
+    pub point_counts: Vec<(usize, usize)>,
+    /// Training-set size for the reference CNN.
+    pub train_size: usize,
+    /// Validation-set size (the drawdown set).
+    pub validation_size: usize,
+    /// Epoch budget for the FT baselines.
+    pub ft_max_epochs: usize,
+    /// RNG seed (controls training and the repair pool).
+    pub seed: u64,
+}
+
+impl Task1Params {
+    /// The parameters used at each scale.
+    pub fn for_scale(scale: Scale) -> Self {
+        let (point_counts, train_size, validation_size, ft_max_epochs) = match scale {
+            Scale::Tiny => (vec![(100, 6), (200, 12)], 135, 90, 20),
+            Scale::Small => {
+                (vec![(100, 15), (200, 30), (400, 60), (752, 100)], 360, 180, 60)
+            }
+            Scale::Full => {
+                (vec![(100, 100), (200, 200), (400, 400), (752, 752)], 1800, 500, 200)
+            }
+        };
+        Task1Params { point_counts, train_size, validation_size, ft_max_epochs, seed: 20210413 }
+    }
+}
+
+/// Workload sizes for Task 2 (1-D polytope repair of the digit MLP).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Task2Params {
+    /// `(paper_label, lines_used)` pairs: the paper uses 10/25/50/100 lines.
+    pub line_counts: Vec<(usize, usize)>,
+    /// Training-set size for the digit MLP.
+    pub train_size: usize,
+    /// Test-set size (drawdown set; its fogged copy is the generalization set).
+    pub test_size: usize,
+    /// Fog strength at the corrupted endpoint of each line.
+    pub fog_alpha: f64,
+    /// Epoch budget for the FT baselines.
+    pub ft_max_epochs: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Task2Params {
+    /// The parameters used at each scale.
+    pub fn for_scale(scale: Scale) -> Self {
+        let (line_counts, train_size, test_size, ft_max_epochs) = match scale {
+            Scale::Tiny => (vec![(10, 2), (25, 4)], 150, 80, 20),
+            Scale::Small => (vec![(10, 3), (25, 6), (50, 10), (100, 16)], 400, 200, 60),
+            Scale::Full => (vec![(10, 10), (25, 25), (50, 50), (100, 100)], 2000, 1000, 200),
+        };
+        Task2Params {
+            line_counts,
+            train_size,
+            test_size,
+            fog_alpha: 0.55,
+            ft_max_epochs,
+            seed: 20210425,
+        }
+    }
+}
+
+/// Workload sizes for Task 3 (2-D polytope repair of the collision-avoidance
+/// network).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Task3Params {
+    /// Number of violating 2-D slices used as the repair specification
+    /// (the paper uses 10).
+    pub repair_slices: usize,
+    /// Number of additional slices searched for generalization
+    /// counterexamples (the paper uses 12).
+    pub generalization_slices: usize,
+    /// Candidate slices sampled when looking for violations.
+    pub candidate_slices: usize,
+    /// Grid resolution used to search slices for violations and to build the
+    /// generalization/drawdown point sets.
+    pub grid: usize,
+    /// Training-set size for the distilled network.
+    pub train_size: usize,
+    /// Size of the drawdown point set.
+    pub drawdown_points: usize,
+    /// Epoch budget for the FT baselines.
+    pub ft_max_epochs: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Task3Params {
+    /// The parameters used at each scale.
+    pub fn for_scale(scale: Scale) -> Self {
+        match scale {
+            Scale::Tiny => Task3Params {
+                repair_slices: 1,
+                generalization_slices: 2,
+                candidate_slices: 40,
+                grid: 5,
+                train_size: 800,
+                drawdown_points: 300,
+                ft_max_epochs: 20,
+                seed: 1121,
+            },
+            Scale::Small => Task3Params {
+                repair_slices: 3,
+                generalization_slices: 6,
+                candidate_slices: 60,
+                grid: 5,
+                train_size: 1500,
+                drawdown_points: 1000,
+                ft_max_epochs: 60,
+                seed: 1121,
+            },
+            Scale::Full => Task3Params {
+                repair_slices: 10,
+                generalization_slices: 12,
+                candidate_slices: 200,
+                grid: 8,
+                train_size: 4000,
+                drawdown_points: 5466,
+                ft_max_epochs: 200,
+                seed: 1121,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_are_ordered() {
+        let tiny = Task1Params::for_scale(Scale::Tiny);
+        let small = Task1Params::for_scale(Scale::Small);
+        let full = Task1Params::for_scale(Scale::Full);
+        assert!(tiny.point_counts.last().unwrap().1 < small.point_counts.last().unwrap().1);
+        assert!(small.point_counts.last().unwrap().1 < full.point_counts.last().unwrap().1);
+        assert_eq!(full.point_counts.last().unwrap(), &(752, 752));
+        assert!(Task2Params::for_scale(Scale::Full).line_counts.contains(&(100, 100)));
+        assert_eq!(Task3Params::for_scale(Scale::Full).repair_slices, 10);
+    }
+
+    #[test]
+    fn env_parsing_defaults_to_small() {
+        // Note: does not set the env var (tests may run in parallel); only
+        // checks the default path.
+        assert_eq!(Scale::default(), Scale::Small);
+    }
+}

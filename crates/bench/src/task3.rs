@@ -1,0 +1,458 @@
+//! Task 3 (§7.3): 2-D polytope repair of the collision-avoidance network
+//! against the φ8-like safety property.
+
+use crate::metrics;
+use crate::scale::Task3Params;
+use prdnn_baselines::{fine_tune, modified_fine_tune, FineTuneConfig, MftConfig};
+use prdnn_core::{
+    repair_polytopes, InputPolytope, OutputPolytope, PolytopeSpec, RepairConfig, RepairTiming,
+};
+use prdnn_datasets::acas::{self, Advisory, Slice2d};
+use prdnn_nn::{Dataset, Network};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+
+/// The Task 3 setup: the distilled network, violating repair slices,
+/// generalization counterexamples, and the drawdown point set.
+#[derive(Debug, Clone)]
+pub struct Task3Setup {
+    /// The buggy collision-avoidance network.
+    pub network: Network,
+    /// 2-D slices (inside the φ8 region) containing property violations,
+    /// used as the repair specification.
+    pub repair_slices: Vec<Slice2d>,
+    /// Grid points of *other* violating slices, labelled with a φ8-allowed
+    /// advisory (the generalization set).
+    pub generalization_set: Dataset,
+    /// Points the buggy network classifies like the teacher policy (the
+    /// drawdown set).
+    pub drawdown_set: Dataset,
+    /// Number of φ8 violations found while searching candidate slices.
+    pub violations_found: usize,
+}
+
+/// A φ8-allowed target advisory for a slice: whichever of
+/// {clear-of-conflict, weak-left} the buggy network already prefers on
+/// average over the slice (the paper's strengthening of the disjunctive φ8
+/// into an LP-encodable constraint).
+fn strengthened_target(network: &Network, slice: &Slice2d, grid: usize) -> usize {
+    let coc = Advisory::ClearOfConflict as usize;
+    let weak_left = Advisory::WeakLeft as usize;
+    let mut coc_score = 0.0;
+    let mut wl_score = 0.0;
+    for p in slice.grid(grid) {
+        let out = network.forward(&p);
+        coc_score += out[coc];
+        wl_score += out[weak_left];
+    }
+    if coc_score >= wl_score {
+        coc
+    } else {
+        weak_left
+    }
+}
+
+/// Whether the slice contains at least one grid point violating φ8.
+fn slice_has_violation(network: &Network, slice: &Slice2d, grid: usize) -> bool {
+    slice.grid(grid).iter().any(|p| !acas::phi8_allows(network.classify(p)))
+}
+
+/// Builds the Task 3 setup: distil the network, search candidate slices for
+/// violations, and split them into repair and generalization slices.
+pub fn setup(params: &Task3Params) -> Task3Setup {
+    let task = acas::acas_task(params.seed, params.train_size);
+    let mut rng = StdRng::seed_from_u64(params.seed ^ 0xacab);
+    let candidates = acas::random_phi8_slices(params.candidate_slices, &mut rng);
+    let violating: Vec<Slice2d> = candidates
+        .into_iter()
+        .filter(|s| slice_has_violation(&task.network, s, params.grid))
+        .collect();
+    let violations_found = violating.len();
+    let repair_slices: Vec<Slice2d> =
+        violating.iter().take(params.repair_slices).cloned().collect();
+    let gen_slices: Vec<Slice2d> = violating
+        .iter()
+        .skip(params.repair_slices)
+        .take(params.generalization_slices)
+        .cloned()
+        .collect();
+
+    // Generalization set: violating grid points of the generalization slices,
+    // labelled with that slice's strengthened target advisory.
+    let mut gen_inputs = Vec::new();
+    let mut gen_labels = Vec::new();
+    for slice in &gen_slices {
+        let target = strengthened_target(&task.network, slice, params.grid);
+        for p in slice.grid(params.grid) {
+            if !acas::phi8_allows(task.network.classify(&p)) {
+                gen_inputs.push(p);
+                gen_labels.push(target);
+            }
+        }
+    }
+
+    // Drawdown set: sampled states on which the buggy network matches the
+    // teacher policy (so any later disagreement is a regression).
+    let mut dd_inputs = Vec::new();
+    let mut dd_labels = Vec::new();
+    while dd_inputs.len() < params.drawdown_points {
+        let state = acas::sample_state(&mut rng);
+        let x = state.normalize();
+        let teacher = acas::teacher_policy(&state) as usize;
+        if task.network.classify(&x) == teacher {
+            dd_inputs.push(x);
+            dd_labels.push(teacher);
+        }
+    }
+
+    Task3Setup {
+        network: task.network,
+        repair_slices,
+        generalization_set: Dataset::new(gen_inputs, gen_labels),
+        drawdown_set: Dataset::new(dd_inputs, dd_labels),
+        violations_found,
+    }
+}
+
+/// Builds the polytope specification over the repair slices.
+pub fn repair_spec(setup: &Task3Setup, grid: usize) -> PolytopeSpec {
+    let mut spec = PolytopeSpec::new();
+    for slice in &setup.repair_slices {
+        let target = strengthened_target(&setup.network, slice, grid);
+        spec.push(
+            InputPolytope::polygon(slice.corners()),
+            OutputPolytope::classification(target, acas::NUM_ADVISORIES, 1e-4),
+        );
+    }
+    spec
+}
+
+/// The Task 3 Provable Repair result (the §7.3 RQ1–RQ4 numbers).
+#[derive(Debug, Clone)]
+pub struct Task3PrResult {
+    /// Layer that was repaired (the last layer, as in the paper).
+    pub layer: usize,
+    /// Whether a satisfying repair was found.
+    pub repaired: bool,
+    /// Fraction of φ8 violations in the repair slices that remain after
+    /// repair, measured on a dense grid (0.0 = provably repaired, RQ1).
+    pub remaining_violation_rate: f64,
+    /// Drawdown on the drawdown point set (RQ2; the paper reports 0).
+    pub drawdown: f64,
+    /// Generalization: fraction of generalization counterexamples now
+    /// satisfying φ8 (RQ3; the paper reports 94.7%).
+    pub generalization_fixed: f64,
+    /// Number of linear regions across the repair slices.
+    pub num_regions: usize,
+    /// Number of key points of the reduction.
+    pub key_points: usize,
+    /// Wall-clock time (RQ4).
+    pub time: Duration,
+    /// Timing breakdown (RQ4).
+    pub timing: RepairTiming,
+}
+
+/// Runs Provable Polytope Repair of the last layer over the repair slices.
+pub fn run_pr(setup: &Task3Setup, grid: usize) -> Task3PrResult {
+    let layer = setup.network.num_layers() - 1;
+    if setup.repair_slices.is_empty() {
+        // The distilled network happens to satisfy φ8 on every candidate
+        // slice; there is nothing to repair.
+        return Task3PrResult {
+            layer,
+            repaired: false,
+            remaining_violation_rate: 0.0,
+            drawdown: 0.0,
+            generalization_fixed: f64::NAN,
+            num_regions: 0,
+            key_points: 0,
+            time: Duration::ZERO,
+            timing: RepairTiming::default(),
+        };
+    }
+    let spec = repair_spec(setup, grid);
+    let start = Instant::now();
+    match repair_polytopes(&setup.network, layer, &spec, &RepairConfig::default()) {
+        Ok(result) => {
+            // RQ1: dense grid check that no violations remain on the slices.
+            let check_grid = grid * 3;
+            let mut total = 0usize;
+            let mut violations = 0usize;
+            for slice in &setup.repair_slices {
+                for p in slice.grid(check_grid) {
+                    total += 1;
+                    if !acas::phi8_allows(result.outcome.repaired.classify(&p)) {
+                        violations += 1;
+                    }
+                }
+            }
+            // RQ3: fraction of generalization counterexamples now fixed.
+            let gen = &setup.generalization_set;
+            let fixed = if gen.is_empty() {
+                1.0
+            } else {
+                gen.inputs
+                    .iter()
+                    .filter(|p| acas::phi8_allows(result.outcome.repaired.classify(p)))
+                    .count() as f64
+                    / gen.len() as f64
+            };
+            Task3PrResult {
+                layer,
+                repaired: true,
+                remaining_violation_rate: violations as f64 / total.max(1) as f64,
+                drawdown: metrics::drawdown(
+                    &setup.network,
+                    &result.outcome.repaired,
+                    &setup.drawdown_set,
+                ),
+                generalization_fixed: fixed,
+                num_regions: result.num_regions,
+                key_points: result.num_key_points,
+                time: start.elapsed(),
+                timing: result.outcome.stats.timing,
+            }
+        }
+        Err(_) => Task3PrResult {
+            layer,
+            repaired: false,
+            remaining_violation_rate: f64::NAN,
+            drawdown: f64::NAN,
+            generalization_fixed: f64::NAN,
+            num_regions: 0,
+            key_points: 0,
+            time: start.elapsed(),
+            timing: RepairTiming::default(),
+        },
+    }
+}
+
+/// A fine-tuning baseline result on Task 3.
+#[derive(Debug, Clone)]
+pub struct Task3BaselineResult {
+    /// Baseline name.
+    pub name: String,
+    /// Number of repair-sample points still misclassified after the baseline
+    /// (the paper reports FT *increases* this count: negative efficacy).
+    pub repair_points_misclassified: usize,
+    /// Total repair-sample points given to the baseline.
+    pub repair_points_total: usize,
+    /// Drawdown on the drawdown point set.
+    pub drawdown: f64,
+    /// Fraction of generalization counterexamples fixed.
+    pub generalization_fixed: f64,
+    /// Wall-clock time.
+    pub time: Duration,
+}
+
+/// Runs a fine-tuning baseline (FT if `mft_layer` is `None`, MFT otherwise)
+/// on grid samples of the repair slices.
+pub fn run_baseline(
+    setup: &Task3Setup,
+    grid: usize,
+    name: &str,
+    mft_layer: Option<usize>,
+    max_epochs: usize,
+    seed: u64,
+) -> Task3BaselineResult {
+    // Sampled repair set: grid points of each repair slice with the slice's
+    // strengthened target advisory.
+    let mut inputs = Vec::new();
+    let mut labels = Vec::new();
+    for slice in &setup.repair_slices {
+        let target = strengthened_target(&setup.network, slice, grid);
+        for p in slice.grid(grid) {
+            inputs.push(p);
+            labels.push(target);
+        }
+    }
+    let repair_set = Dataset::new(inputs, labels);
+    if repair_set.is_empty() {
+        return Task3BaselineResult {
+            name: name.to_string(),
+            repair_points_misclassified: 0,
+            repair_points_total: 0,
+            drawdown: 0.0,
+            generalization_fixed: f64::NAN,
+            time: Duration::ZERO,
+        };
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let start = Instant::now();
+    let tuned: Network = match mft_layer {
+        None => {
+            let config = FineTuneConfig {
+                learning_rate: 0.01,
+                momentum: 0.9,
+                batch_size: 16,
+                max_epochs,
+            };
+            fine_tune(&setup.network, &repair_set, &config, &mut rng).network
+        }
+        Some(layer) => {
+            let config = MftConfig {
+                learning_rate: 0.01,
+                momentum: 0.9,
+                batch_size: 16,
+                max_epochs,
+                layer,
+                change_penalty: 1e-3,
+                holdout_fraction: 0.25,
+            };
+            modified_fine_tune(&setup.network, &repair_set, &config, &mut rng).network
+        }
+    };
+    let time = start.elapsed();
+    let misclassified = repair_set
+        .inputs
+        .iter()
+        .zip(&repair_set.labels)
+        .filter(|(p, &l)| tuned.classify(p) != l)
+        .count();
+    let gen = &setup.generalization_set;
+    let fixed = if gen.is_empty() {
+        1.0
+    } else {
+        gen.inputs.iter().filter(|p| acas::phi8_allows(tuned.classify(p))).count() as f64
+            / gen.len() as f64
+    };
+    Task3BaselineResult {
+        name: name.to_string(),
+        repair_points_misclassified: misclassified,
+        repair_points_total: repair_set.len(),
+        drawdown: metrics::drawdown(&setup.network, &tuned, &setup.drawdown_set),
+        generalization_fixed: fixed,
+        time,
+    }
+}
+
+/// All Task 3 results.
+#[derive(Debug, Clone)]
+pub struct Task3Results {
+    /// Number of violating slices found when searching candidates.
+    pub violations_found: usize,
+    /// Number of slices in the repair specification.
+    pub repair_slices: usize,
+    /// Size of the generalization counterexample set.
+    pub generalization_points: usize,
+    /// The Provable Repair result.
+    pub pr: Task3PrResult,
+    /// FT and MFT baselines.
+    pub baselines: Vec<Task3BaselineResult>,
+}
+
+/// Runs the full Task 3 experiment.
+pub fn run(params: &Task3Params) -> Task3Results {
+    let setup = setup(params);
+    let pr = run_pr(&setup, params.grid);
+    let last_layer = setup.network.num_layers() - 1;
+    let baselines = vec![
+        run_baseline(&setup, params.grid, "FT", None, params.ft_max_epochs, params.seed + 31),
+        run_baseline(
+            &setup,
+            params.grid,
+            "MFT(last layer)",
+            Some(last_layer),
+            params.ft_max_epochs,
+            params.seed + 32,
+        ),
+    ];
+    Task3Results {
+        violations_found: setup.violations_found,
+        repair_slices: setup.repair_slices.len(),
+        generalization_points: setup.generalization_set.len(),
+        pr,
+        baselines,
+    }
+}
+
+fn pct(x: f64) -> String {
+    if x.is_nan() {
+        "n/a".to_string()
+    } else {
+        format!("{:.1}%", 100.0 * x)
+    }
+}
+
+/// Formats the §7.3 (Task 3) reproduction.
+pub fn format_task3(results: &Task3Results) -> String {
+    let mut out = String::new();
+    out.push_str("Task 3 — 2-D polytope repair of the collision-avoidance network (paper §7.3)\n");
+    out.push_str(&format!(
+        "violating slices found: {} (repair spec uses {}); generalization counterexamples: {}\n\n",
+        results.violations_found, results.repair_slices, results.generalization_points
+    ));
+    let pr = &results.pr;
+    out.push_str(&format!(
+        "RQ1 efficacy:        repaired = {} ({} linear regions, {} key points); remaining \
+         violations on repair slices: {}\n",
+        pr.repaired,
+        pr.num_regions,
+        pr.key_points,
+        pct(pr.remaining_violation_rate)
+    ));
+    out.push_str(&format!("RQ2 drawdown:        {}\n", pct(pr.drawdown)));
+    out.push_str(&format!(
+        "RQ3 generalization:  {} of counterexamples outside the repair slices now satisfy φ8\n",
+        pct(pr.generalization_fixed)
+    ));
+    out.push_str(&format!(
+        "RQ4 efficiency:      total {:.1}s (LinRegions {:.1}s, Jacobians {:.1}s, LP {:.1}s, other {:.1}s)\n\n",
+        pr.time.as_secs_f64(),
+        pr.timing.lin_regions.as_secs_f64(),
+        pr.timing.jacobians.as_secs_f64(),
+        pr.timing.lp.as_secs_f64(),
+        pr.timing.other.as_secs_f64(),
+    ));
+    for b in &results.baselines {
+        out.push_str(&format!(
+            "{:<16} misclassifies {}/{} repair samples, drawdown {}, fixes {} of counterexamples, {:.1}s\n",
+            b.name,
+            b.repair_points_misclassified,
+            b.repair_points_total,
+            pct(b.drawdown),
+            pct(b.generalization_fixed),
+            b.time.as_secs_f64(),
+        ));
+    }
+    out.push_str(
+        "\nPaper (§7.3): PR repairs all 10 slices with ZERO drawdown and 94.7% generalization in\n\
+         21.2s; FT never converges (times out after 1h18m), misclassifies 181 repair points and\n\
+         introduces 650 drawdown errors; MFT stays below 1% drawdown but does not repair.\n\
+         Expected shape: PR reaches zero remaining violations with (near-)zero drawdown and high\n\
+         generalization; the baselines do not.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::Scale;
+
+    #[test]
+    fn tiny_task3_pipeline_runs_end_to_end() {
+        let mut params = Task3Params::for_scale(Scale::Tiny);
+        params.ft_max_epochs = 3;
+        let results = run(&params);
+        if results.pr.repaired {
+            // Provable guarantee: no violations remain on the repair slices.
+            assert_eq!(results.pr.remaining_violation_rate, 0.0);
+        }
+        assert_eq!(results.baselines.len(), 2);
+        assert!(format_task3(&results).contains("RQ1"));
+    }
+
+    #[test]
+    fn small_scale_setup_finds_phi8_violations() {
+        // At the default scale the under-trained φ8 corner produces violating
+        // slices to repair (the Task 3 precondition).
+        let params = Task3Params::for_scale(Scale::Small);
+        let setup = setup(&params);
+        assert!(
+            setup.violations_found >= 1,
+            "the distilled network should violate φ8 on some candidate slice"
+        );
+    }
+}

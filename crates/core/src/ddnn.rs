@@ -1,0 +1,362 @@
+//! Decoupled Deep Neural Networks (DDNNs), the paper's §4.
+//!
+//! A DDNN carries two copies of the network's weights: the *activation
+//! channel* decides which linear piece of each activation function is used
+//! (it controls the positions of the linear regions), while the *value
+//! channel* decides the affine map inside each piece.  Repairing only the
+//! value channel therefore changes the network's outputs *linearly*
+//! (Theorem 4.5) without moving its linear regions (Theorem 4.6) — the two
+//! facts the repair algorithms rely on.
+
+use prdnn_linalg::{vector, Matrix};
+use prdnn_nn::{Layer, Network};
+use serde::{Deserialize, Serialize};
+
+/// A Decoupled DNN (Definition 4.1): an activation-channel network and a
+/// value-channel network with identical architectures.
+///
+/// # Example
+///
+/// Every DNN converts to an equivalent DDNN (Theorem 4.4):
+///
+/// ```
+/// use prdnn_core::DecoupledNetwork;
+/// use prdnn_linalg::Matrix;
+/// use prdnn_nn::{Activation, Layer, Network};
+///
+/// let net = Network::new(vec![
+///     Layer::dense(Matrix::from_rows(&[vec![1.0], vec![-1.0]]), vec![0.0, 0.0], Activation::Relu),
+///     Layer::dense(Matrix::from_rows(&[vec![1.0, 1.0]]), vec![0.0], Activation::Identity),
+/// ]);
+/// let ddnn = DecoupledNetwork::from_network(&net);
+/// assert_eq!(ddnn.forward(&[0.7]), net.forward(&[0.7]));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecoupledNetwork {
+    activation: Network,
+    value: Network,
+}
+
+impl DecoupledNetwork {
+    /// Builds the DDNN `(N, N)` equivalent to the DNN `N` (Theorem 4.4).
+    pub fn from_network(net: &Network) -> Self {
+        DecoupledNetwork { activation: net.clone(), value: net.clone() }
+    }
+
+    /// Builds a DDNN from separate activation- and value-channel networks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two networks do not have the same architecture (same
+    /// number of layers with matching input/output dimensions and parameter
+    /// counts).
+    pub fn new(activation: Network, value: Network) -> Self {
+        assert_eq!(
+            activation.num_layers(),
+            value.num_layers(),
+            "DDNN channels must have the same number of layers"
+        );
+        for i in 0..activation.num_layers() {
+            let (a, v) = (activation.layer(i), value.layer(i));
+            assert_eq!(a.input_dim(), v.input_dim(), "layer {i}: input dims differ");
+            assert_eq!(a.output_dim(), v.output_dim(), "layer {i}: output dims differ");
+            assert_eq!(a.num_params(), v.num_params(), "layer {i}: parameter counts differ");
+        }
+        DecoupledNetwork { activation, value }
+    }
+
+    /// The activation-channel network.
+    pub fn activation_network(&self) -> &Network {
+        &self.activation
+    }
+
+    /// The value-channel network.
+    pub fn value_network(&self) -> &Network {
+        &self.value
+    }
+
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        self.activation.num_layers()
+    }
+
+    /// Input dimension.
+    pub fn input_dim(&self) -> usize {
+        self.activation.input_dim()
+    }
+
+    /// Output dimension.
+    pub fn output_dim(&self) -> usize {
+        self.activation.output_dim()
+    }
+
+    /// Indices of layers with parameters (candidates for repair).
+    pub fn repairable_layers(&self) -> Vec<usize> {
+        self.value.repairable_layers()
+    }
+
+    /// Adds `delta` to the parameters of value-channel layer `layer`
+    /// (Algorithm 1, line 9).  The activation channel is left untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of bounds or `delta` has the wrong length.
+    pub fn apply_value_delta(&mut self, layer: usize, delta: &[f64]) {
+        self.value.layer_mut(layer).add_to_params(delta);
+    }
+
+    /// Evaluates the DDNN on `input` (Definition 4.3), feeding the same
+    /// vector to both channels.
+    pub fn forward(&self, input: &[f64]) -> Vec<f64> {
+        self.forward_decoupled(input, input)
+    }
+
+    /// Evaluates the DDNN feeding `act_input` to the activation channel and
+    /// `val_input` to the value channel.
+    ///
+    /// The standard semantics of Definition 4.3 use `act_input == val_input`;
+    /// the split form exists for the polytope-repair key points, which are
+    /// evaluated with the activation pattern of their region's *interior*
+    /// (Appendix B).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inputs do not match the network's input dimension.
+    pub fn forward_decoupled(&self, act_input: &[f64], val_input: &[f64]) -> Vec<f64> {
+        let mut v_act = act_input.to_vec();
+        let mut v_val = val_input.to_vec();
+        for i in 0..self.num_layers() {
+            let layer_a = self.activation.layer(i);
+            let layer_v = self.value.layer(i);
+            let z_act = layer_a.preactivation(&v_act);
+            let z_val = layer_v.preactivation(&v_val);
+            // The value channel applies the linearisation of σ around the
+            // activation channel's pre-activation (Definition 4.3).
+            let lin = layer_a.linearize_activation(&z_act);
+            v_val = lin.apply(&z_val);
+            v_act = layer_a.activate(&z_act);
+        }
+        v_val
+    }
+
+    /// Predicted class label of the DDNN output (argmax).
+    pub fn classify(&self, input: &[f64]) -> usize {
+        vector::argmax(&self.forward(input))
+    }
+
+    /// Classification accuracy of the DDNN on a labelled dataset.
+    ///
+    /// Returns 1.0 on an empty dataset.
+    pub fn accuracy(&self, inputs: &[Vec<f64>], labels: &[usize]) -> f64 {
+        if inputs.is_empty() {
+            return 1.0;
+        }
+        let correct =
+            inputs.iter().zip(labels).filter(|(x, &y)| self.classify(x) == y).count();
+        correct as f64 / inputs.len() as f64
+    }
+
+    /// The Jacobian of the DDNN output with respect to the parameters of
+    /// value-channel layer `layer` (the `J_x` of Algorithm 1, line 5),
+    /// evaluated at activation input `act_input` and value input `val_input`.
+    ///
+    /// By Theorem 4.5 the DDNN output is *exactly*
+    /// `forward_decoupled(act, val) + J · Δ` after adding `Δ` to that layer's
+    /// value parameters, so this Jacobian is not an approximation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of bounds or the inputs have wrong dimension.
+    pub fn value_param_jacobian(
+        &self,
+        layer: usize,
+        act_input: &[f64],
+        val_input: &[f64],
+    ) -> Matrix {
+        assert!(layer < self.num_layers(), "layer index {layer} out of bounds");
+        // Forward both channels, remembering the activation pre-activations
+        // (they fix every linearisation) and the value-channel layer inputs.
+        let mut v_act = act_input.to_vec();
+        let mut v_val = val_input.to_vec();
+        let mut act_preacts: Vec<Vec<f64>> = Vec::with_capacity(self.num_layers());
+        let mut val_inputs: Vec<Vec<f64>> = Vec::with_capacity(self.num_layers());
+        for i in 0..self.num_layers() {
+            let layer_a = self.activation.layer(i);
+            let layer_v = self.value.layer(i);
+            val_inputs.push(v_val.clone());
+            let z_act = layer_a.preactivation(&v_act);
+            let z_val = layer_v.preactivation(&v_val);
+            let lin = layer_a.linearize_activation(&z_act);
+            v_val = lin.apply(&z_val);
+            v_act = layer_a.activate(&z_act);
+            act_preacts.push(z_act);
+        }
+
+        // Backward accumulation of M = ∂ output / ∂ v_val^(j), starting from
+        // the output (identity) down to the repaired layer's output.
+        let out_dim = self.output_dim();
+        let mut m = Matrix::identity(out_dim);
+        for j in (layer + 1..self.num_layers()).rev() {
+            let layer_a = self.activation.layer(j);
+            let layer_v = self.value.layer(j);
+            let lin = layer_a.linearize_activation(&act_preacts[j]);
+            // v^(j) = lin(z^(j)), z^(j) = W_v^(j) v^(j-1) + b.
+            let dz = lin.vjp(&m);
+            m = layer_v.preact_input_vjp(&dz);
+        }
+        // Through the repaired layer itself: output depends on its
+        // pre-activation via the linearisation, and the pre-activation
+        // depends linearly on the parameters.
+        let layer_a = self.activation.layer(layer);
+        let layer_v = self.value.layer(layer);
+        let lin = layer_a.linearize_activation(&act_preacts[layer]);
+        let dz = lin.vjp(&m);
+        layer_v.preact_param_vjp(&dz, &val_inputs[layer])
+    }
+
+    /// Converts the DDNN back to a plain [`Network`] **when the two channels
+    /// are identical** (e.g. before any repair), which is the inverse of
+    /// [`Self::from_network`].
+    ///
+    /// Returns `None` when the channels differ (a repaired DDNN is generally
+    /// not representable as a standard DNN with the same architecture).
+    pub fn into_network(self) -> Option<Network> {
+        if self.activation == self.value {
+            Some(self.activation)
+        } else {
+            None
+        }
+    }
+
+    /// Access to a value-channel layer (e.g. to inspect a repair).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of bounds.
+    pub fn value_layer(&self, layer: usize) -> &Layer {
+        self.value.layer(layer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prdnn_linalg::approx_eq_slice;
+    use prdnn_nn::Activation;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_points(rng: &mut StdRng, dim: usize, count: usize) -> Vec<Vec<f64>> {
+        (0..count).map(|_| (0..dim).map(|_| rng.gen_range(-2.0..2.0)).collect()).collect()
+    }
+
+    #[test]
+    fn theorem_4_4_ddnn_equals_dnn() {
+        let mut rng = StdRng::seed_from_u64(17);
+        for activation in [Activation::Relu, Activation::Tanh, Activation::Sigmoid] {
+            let net = Network::mlp(&[3, 7, 6, 2], activation, &mut rng);
+            let ddnn = DecoupledNetwork::from_network(&net);
+            for p in random_points(&mut rng, 3, 25) {
+                assert!(
+                    approx_eq_slice(&ddnn.forward(&p), &net.forward(&p), 1e-9),
+                    "DDNN must equal the DNN it was built from ({activation})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn theorem_4_5_output_is_linear_in_value_layer_params() {
+        let mut rng = StdRng::seed_from_u64(23);
+        for activation in [Activation::Relu, Activation::Tanh] {
+            let net = Network::mlp(&[3, 6, 5, 2], activation, &mut rng);
+            let ddnn = DecoupledNetwork::from_network(&net);
+            for layer in 0..ddnn.num_layers() {
+                let x: Vec<f64> = (0..3).map(|_| rng.gen_range(-1.5..1.5)).collect();
+                let jac = ddnn.value_param_jacobian(layer, &x, &x);
+                let base = ddnn.forward(&x);
+                // Apply a *large* random delta: linearity must hold exactly,
+                // not just to first order.
+                let delta: Vec<f64> = (0..ddnn.value_network().layer(layer).num_params())
+                    .map(|_| rng.gen_range(-0.8..0.8))
+                    .collect();
+                let mut repaired = ddnn.clone();
+                repaired.apply_value_delta(layer, &delta);
+                let actual = repaired.forward(&x);
+                let predicted: Vec<f64> = (0..base.len())
+                    .map(|o| {
+                        base[o]
+                            + (0..delta.len()).map(|p| jac[(o, p)] * delta[p]).sum::<f64>()
+                    })
+                    .collect();
+                assert!(
+                    approx_eq_slice(&actual, &predicted, 1e-7),
+                    "layer {layer} ({activation}): exact linearity violated"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn theorem_4_6_value_edits_do_not_move_linear_regions() {
+        // Mirrors §3 Figure 4: changing a value-channel weight changes the
+        // affine map inside regions but not the regions themselves, i.e. the
+        // activation channel's pattern at any point is unchanged.
+        let mut rng = StdRng::seed_from_u64(31);
+        let net = Network::mlp(&[2, 8, 6, 2], Activation::Relu, &mut rng);
+        let mut ddnn = DecoupledNetwork::from_network(&net);
+        let layer = 1;
+        let delta: Vec<f64> = (0..ddnn.value_network().layer(layer).num_params())
+            .map(|_| rng.gen_range(-1.0..1.0))
+            .collect();
+        ddnn.apply_value_delta(layer, &delta);
+        for p in random_points(&mut rng, 2, 40) {
+            assert_eq!(
+                ddnn.activation_network().activation_pattern(&p),
+                net.activation_pattern(&p),
+                "activation patterns must be preserved"
+            );
+        }
+    }
+
+    #[test]
+    fn decoupled_inputs_use_the_activation_channel_pattern() {
+        // With a ReLU that is *inactive* for the activation input but would
+        // be active for the value input, the value must be masked to zero.
+        let net = Network::new(vec![
+            Layer::dense(Matrix::from_rows(&[vec![1.0]]), vec![0.0], Activation::Relu),
+            Layer::dense(Matrix::from_rows(&[vec![1.0]]), vec![0.0], Activation::Identity),
+        ]);
+        let ddnn = DecoupledNetwork::from_network(&net);
+        // Activation input -1 => ReLU inactive => output 0 regardless of the
+        // value input.
+        assert_eq!(ddnn.forward_decoupled(&[-1.0], &[5.0]), vec![0.0]);
+        // Activation input +1 => ReLU active (identity) => value passes through.
+        assert_eq!(ddnn.forward_decoupled(&[1.0], &[5.0]), vec![5.0]);
+    }
+
+    #[test]
+    fn into_network_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let net = Network::mlp(&[2, 4, 2], Activation::Relu, &mut rng);
+        let ddnn = DecoupledNetwork::from_network(&net);
+        assert_eq!(ddnn.clone().into_network(), Some(net));
+        let mut edited = ddnn;
+        let n = edited.value_network().layer(0).num_params();
+        edited.apply_value_delta(0, &vec![0.5; n]);
+        assert_eq!(edited.into_network(), None);
+    }
+
+    #[test]
+    fn jacobian_shape() {
+        let mut rng = StdRng::seed_from_u64(19);
+        let net = Network::mlp(&[4, 6, 3], Activation::Relu, &mut rng);
+        let ddnn = DecoupledNetwork::from_network(&net);
+        let x = vec![0.1, -0.2, 0.3, 0.4];
+        let j0 = ddnn.value_param_jacobian(0, &x, &x);
+        assert_eq!(j0.rows(), 3);
+        assert_eq!(j0.cols(), 4 * 6 + 6);
+        let j1 = ddnn.value_param_jacobian(1, &x, &x);
+        assert_eq!(j1.cols(), 6 * 3 + 3);
+    }
+}

@@ -1,0 +1,93 @@
+//! The paper's running example (§3, Figures 3–5): the tiny ReLU networks
+//! `N1`/`N2` and the specifications of Equations 2 and 3.
+//!
+//! These are exported so the examples, integration tests, and the
+//! figure-regeneration binaries all share one faithful construction.
+
+use crate::spec::{InputPolytope, OutputPolytope, PointSpec, PolytopeSpec};
+use prdnn_linalg::Matrix;
+use prdnn_nn::{Activation, Layer, Network};
+
+/// The DNN `N1` of Figure 3(a): one input `x`, three ReLU hidden nodes, one
+/// output `y`.
+///
+/// On the domain `[-1, 2]` it has the three linear regions of Equation (1)
+/// and satisfies `N1(0.5) = -0.5`, `N1(1.5) = -1`.
+pub fn n1() -> Network {
+    Network::new(vec![
+        Layer::dense(
+            Matrix::from_rows(&[vec![-1.0], vec![1.0], vec![1.0]]),
+            vec![0.0, 0.0, -1.0],
+            Activation::Relu,
+        ),
+        Layer::dense(
+            Matrix::from_rows(&[vec![-1.0, -1.0, 1.0]]),
+            vec![0.0],
+            Activation::Identity,
+        ),
+    ])
+}
+
+/// The DNN `N2` of Figure 3(b): `N1` with the weight on `x → h3` changed
+/// from 1 to 2, illustrating how a coupled weight change moves the linear
+/// regions themselves.
+pub fn n2() -> Network {
+    Network::new(vec![
+        Layer::dense(
+            Matrix::from_rows(&[vec![-1.0], vec![1.0], vec![2.0]]),
+            vec![0.0, 0.0, -1.0],
+            Activation::Relu,
+        ),
+        Layer::dense(
+            Matrix::from_rows(&[vec![-1.0, -1.0, 1.0]]),
+            vec![0.0],
+            Activation::Identity,
+        ),
+    ])
+}
+
+/// The pointwise specification of Equation 2:
+/// `(−1 ≤ N'(0.5) ≤ −0.8) ∧ (−0.2 ≤ N'(1.5) ≤ 0)`.
+pub fn equation_2_spec() -> PointSpec {
+    let mut spec = PointSpec::new();
+    spec.push(vec![0.5], OutputPolytope::scalar_interval(-1.0, -0.8));
+    spec.push(vec![1.5], OutputPolytope::scalar_interval(-0.2, 0.0));
+    spec
+}
+
+/// The polytope specification of Equation 3:
+/// `∀ x ∈ [0.5, 1.5]. −0.8 ≤ N'(x) ≤ −0.4`.
+pub fn equation_3_spec() -> PolytopeSpec {
+    let mut spec = PolytopeSpec::new();
+    spec.push(
+        InputPolytope::segment(vec![0.5], vec![1.5]),
+        OutputPolytope::scalar_interval(-0.8, -0.4),
+    );
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn n1_and_n2_match_the_paper() {
+        let n1 = n1();
+        assert!((n1.forward(&[0.5])[0] + 0.5).abs() < 1e-12);
+        assert!((n1.forward(&[1.5])[0] + 1.0).abs() < 1e-12);
+        // N2 moves the region boundary from x = 1 to x = 0.5 (§3.1 item 2):
+        // LinRegions(N2, [-1,2]) = {[-1,0], [0,0.5], [0.5,2]}.
+        let n2 = n2();
+        let ts = prdnn_syrenn::exact_line(&n2, &[-1.0], &[2.0]).unwrap();
+        let xs: Vec<f64> = ts.iter().map(|t| -1.0 + 3.0 * t).collect();
+        assert_eq!(xs.len(), 4);
+        assert!((xs[1] - 0.0).abs() < 1e-9);
+        assert!((xs[2] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn specs_reject_the_buggy_network() {
+        let n1 = n1();
+        assert!(!equation_2_spec().is_satisfied_by(|x| n1.forward(x), 1e-9));
+    }
+}

@@ -1,0 +1,321 @@
+//! Shared repair machinery: configuration, outcomes, errors, and the
+//! key-point LP encoding used by both repair algorithms.
+
+use crate::ddnn::DecoupledNetwork;
+use crate::spec::OutputPolytope;
+use prdnn_lp::{ConstraintOp, LpError, LpProblem, VarKind};
+use prdnn_linalg::vector;
+use std::time::{Duration, Instant};
+
+/// The norm minimised over the parameter delta `Δ` (Definition 5.3's
+/// user-defined measure of repair size).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RepairNorm {
+    /// `Σ |Δ_i|` — the paper's default choice.
+    #[default]
+    L1,
+    /// `max |Δ_i|`.
+    LInf,
+}
+
+/// Configuration of the repair LP.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepairConfig {
+    /// Which norm of `Δ` to minimise.
+    pub norm: RepairNorm,
+    /// Optional hard bound `|Δ_i| ≤ bound` on every parameter change.
+    pub param_bound: Option<f64>,
+    /// Iteration limit handed to the simplex solver.
+    pub max_lp_iterations: usize,
+}
+
+impl Default for RepairConfig {
+    fn default() -> Self {
+        RepairConfig { norm: RepairNorm::L1, param_bound: None, max_lp_iterations: 2_000_000 }
+    }
+}
+
+/// Wall-clock breakdown of a repair, mirroring the timing split reported in
+/// the paper's RQ4 (Figure 7(b) and §7.2/§7.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RepairTiming {
+    /// Time spent computing `LinRegions` (polytope repair only).
+    pub lin_regions: Duration,
+    /// Time spent computing parameter Jacobians.
+    pub jacobians: Duration,
+    /// Time spent inside the LP solver.
+    pub lp: Duration,
+    /// Everything else (constraint encoding, applying the delta, ...).
+    pub other: Duration,
+}
+
+impl RepairTiming {
+    /// Total repair time.
+    pub fn total(&self) -> Duration {
+        self.lin_regions + self.jacobians + self.lp + self.other
+    }
+}
+
+/// Size statistics of a successful repair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepairStats {
+    /// Index of the repaired (value-channel) layer.
+    pub layer: usize,
+    /// Number of key points encoded in the LP.
+    pub num_key_points: usize,
+    /// Number of LP constraint rows.
+    pub num_constraints: usize,
+    /// Number of LP variables (parameters of the repaired layer).
+    pub num_variables: usize,
+    /// ℓ1 norm of the applied delta.
+    pub delta_l1: f64,
+    /// ℓ∞ norm of the applied delta.
+    pub delta_linf: f64,
+    /// Wall-clock breakdown.
+    pub timing: RepairTiming,
+}
+
+/// A successful repair: the repaired DDNN plus the delta and statistics.
+#[derive(Debug, Clone)]
+pub struct RepairOutcome {
+    /// The repaired network (original activation channel, patched value
+    /// channel).
+    pub repaired: DecoupledNetwork,
+    /// The parameter delta applied to the repaired layer.
+    pub delta: Vec<f64>,
+    /// Statistics about the repair.
+    pub stats: RepairStats,
+}
+
+/// Errors returned by the repair algorithms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RepairError {
+    /// No single-layer repair of the requested layer satisfies the
+    /// specification (the `⊥` of Algorithms 1 and 2).
+    Infeasible,
+    /// The LP solver exhausted its iteration budget (treated as a timeout in
+    /// the evaluation, cf. the starred entries of Table 4).
+    LpIterationLimit,
+    /// The requested layer has no parameters (max/average pooling layers).
+    LayerHasNoParameters {
+        /// The offending layer index.
+        layer: usize,
+    },
+    /// The requested layer index is out of range.
+    LayerOutOfRange {
+        /// The offending layer index.
+        layer: usize,
+        /// The number of layers in the network.
+        num_layers: usize,
+    },
+    /// Polytope repair was requested on a network with non-piecewise-linear
+    /// activations (§6's assumption on the DNN).
+    NotPiecewiseLinear,
+    /// A specification constraint has the wrong output dimension.
+    SpecDimensionMismatch {
+        /// The network's output dimension.
+        expected: usize,
+        /// The constraint's output dimension.
+        found: usize,
+    },
+    /// The specification is empty.
+    EmptySpec,
+}
+
+impl std::fmt::Display for RepairError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RepairError::Infeasible => {
+                write!(f, "no single-layer repair of the requested layer exists")
+            }
+            RepairError::LpIterationLimit => write!(f, "LP solver iteration limit exceeded"),
+            RepairError::LayerHasNoParameters { layer } => {
+                write!(f, "layer {layer} has no parameters to repair")
+            }
+            RepairError::LayerOutOfRange { layer, num_layers } => {
+                write!(f, "layer index {layer} out of range (network has {num_layers} layers)")
+            }
+            RepairError::NotPiecewiseLinear => {
+                write!(f, "polytope repair requires piecewise-linear activation functions")
+            }
+            RepairError::SpecDimensionMismatch { expected, found } => {
+                write!(f, "specification constrains {found} outputs but the network has {expected}")
+            }
+            RepairError::EmptySpec => write!(f, "the repair specification is empty"),
+        }
+    }
+}
+
+impl std::error::Error for RepairError {}
+
+/// One key point of the LP encoding: a value-channel input point, the point
+/// whose activation pattern must be used (Appendix B), and the output
+/// polytope to satisfy.
+#[derive(Debug, Clone)]
+pub(crate) struct KeyPoint {
+    /// The point fed to the value channel (a repair point or region vertex).
+    pub point: Vec<f64>,
+    /// The point fed to the activation channel (equal to `point` for
+    /// pointwise repair; a region-interior point for polytope repair).
+    pub activation_point: Vec<f64>,
+    /// The output polytope this key point must be mapped into.
+    pub constraint: OutputPolytope,
+}
+
+/// Validates the layer index and spec dimensions shared by both algorithms.
+pub(crate) fn validate(
+    ddnn: &DecoupledNetwork,
+    layer: usize,
+    constraints: &[OutputPolytope],
+) -> Result<(), RepairError> {
+    if layer >= ddnn.num_layers() {
+        return Err(RepairError::LayerOutOfRange { layer, num_layers: ddnn.num_layers() });
+    }
+    if ddnn.value_network().layer(layer).num_params() == 0 {
+        return Err(RepairError::LayerHasNoParameters { layer });
+    }
+    if constraints.is_empty() {
+        return Err(RepairError::EmptySpec);
+    }
+    for c in constraints {
+        if c.output_dim() != ddnn.output_dim() {
+            return Err(RepairError::SpecDimensionMismatch {
+                expected: ddnn.output_dim(),
+                found: c.output_dim(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// The core of Algorithm 1: encode every key point's constraint
+/// `A (N(x) + J_x Δ) ≤ b` into an LP over `Δ`, solve for the norm-minimal
+/// `Δ`, and apply it to the value channel of `ddnn`.
+pub(crate) fn repair_key_points(
+    ddnn: &DecoupledNetwork,
+    layer: usize,
+    key_points: &[KeyPoint],
+    config: &RepairConfig,
+    lin_regions_time: Duration,
+) -> Result<RepairOutcome, RepairError> {
+    let start_total = Instant::now();
+    let num_params = ddnn.value_network().layer(layer).num_params();
+
+    let mut lp = LpProblem::new();
+    let delta_vars = lp.add_vars(num_params, VarKind::Free);
+    let mut jacobian_time = Duration::ZERO;
+    let mut num_constraints = 0usize;
+
+    for kp in key_points {
+        // Line 5 of Algorithm 1: the Jacobian of the DDNN output with respect
+        // to the repaired layer's value parameters.  Exact by Theorem 4.5.
+        let jac_start = Instant::now();
+        let jacobian = ddnn.value_param_jacobian(layer, &kp.activation_point, &kp.point);
+        let base = ddnn.forward_decoupled(&kp.activation_point, &kp.point);
+        jacobian_time += jac_start.elapsed();
+
+        // Line 6: encode A (base + J Δ) ≤ b as (A J) Δ ≤ b − A base.
+        let a_j = kp.constraint.a.matmul(&jacobian);
+        let a_base = kp.constraint.a.matvec(&base);
+        for row in 0..kp.constraint.num_faces() {
+            let coeffs: Vec<(prdnn_lp::VarId, f64)> = delta_vars
+                .iter()
+                .enumerate()
+                .filter_map(|(p, var)| {
+                    let c = a_j[(row, p)];
+                    if c == 0.0 {
+                        None
+                    } else {
+                        Some((*var, c))
+                    }
+                })
+                .collect();
+            let rhs = kp.constraint.b[row] - a_base[row];
+            lp.add_constraint(&coeffs, ConstraintOp::Le, rhs);
+            num_constraints += 1;
+        }
+    }
+
+    if let Some(bound) = config.param_bound {
+        for var in &delta_vars {
+            lp.add_constraint(&[(*var, 1.0)], ConstraintOp::Le, bound);
+            lp.add_constraint(&[(*var, 1.0)], ConstraintOp::Ge, -bound);
+            num_constraints += 2;
+        }
+    }
+
+    match config.norm {
+        RepairNorm::L1 => lp.minimize_l1_of(&delta_vars),
+        RepairNorm::LInf => lp.minimize_linf_of(&delta_vars),
+    }
+
+    // Line 7: solve for the minimal Δ.
+    let lp_start = Instant::now();
+    let solution = match prdnn_lp::solve_with_limit(&lp, config.max_lp_iterations) {
+        Ok(solution) => solution,
+        Err(LpError::Infeasible) => return Err(RepairError::Infeasible),
+        Err(LpError::IterationLimit) => return Err(RepairError::LpIterationLimit),
+        // Norm objectives are bounded below by zero, so unboundedness cannot
+        // occur; treat it as an iteration/robustness failure if it ever does.
+        Err(LpError::Unbounded) => return Err(RepairError::LpIterationLimit),
+    };
+    let lp_time = lp_start.elapsed();
+
+    // Line 9: apply Δ to value layer `layer`.
+    let delta = solution.values;
+    let mut repaired = ddnn.clone();
+    repaired.apply_value_delta(layer, &delta);
+
+    let total = start_total.elapsed() + lin_regions_time;
+    let other = total
+        .checked_sub(jacobian_time + lp_time + lin_regions_time)
+        .unwrap_or(Duration::ZERO);
+    Ok(RepairOutcome {
+        repaired,
+        stats: RepairStats {
+            layer,
+            num_key_points: key_points.len(),
+            num_constraints,
+            num_variables: num_params,
+            delta_l1: vector::norm_l1(&delta),
+            delta_linf: vector::norm_linf(&delta),
+            timing: RepairTiming {
+                lin_regions: lin_regions_time,
+                jacobians: jacobian_time,
+                lp: lp_time,
+                other,
+            },
+        },
+        delta,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_total_sums_components() {
+        let t = RepairTiming {
+            lin_regions: Duration::from_millis(1),
+            jacobians: Duration::from_millis(2),
+            lp: Duration::from_millis(3),
+            other: Duration::from_millis(4),
+        };
+        assert_eq!(t.total(), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = RepairError::LayerOutOfRange { layer: 7, num_layers: 3 };
+        assert!(e.to_string().contains("7"));
+        assert!(RepairError::Infeasible.to_string().contains("no single-layer repair"));
+    }
+
+    #[test]
+    fn default_config_uses_l1() {
+        let c = RepairConfig::default();
+        assert_eq!(c.norm, RepairNorm::L1);
+        assert!(c.param_bound.is_none());
+    }
+}

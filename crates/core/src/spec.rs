@@ -1,0 +1,343 @@
+//! Repair specifications: output polytopes, point specs, polytope specs.
+
+use prdnn_linalg::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// A polytope `{ y : A y ≤ b }` in the network's *output* space.
+///
+/// Every repair constraint in the paper has this form (Definition 5.1 /
+/// 6.1): each repair point (or input polytope) is required to be mapped into
+/// such an output polytope.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OutputPolytope {
+    /// Constraint matrix `A` with one row per face.
+    pub a: Matrix,
+    /// Right-hand side `b`, one entry per face.
+    pub b: Vec<f64>,
+}
+
+impl OutputPolytope {
+    /// Creates the polytope `{ y : A y ≤ b }`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.rows() != b.len()`.
+    pub fn new(a: Matrix, b: Vec<f64>) -> Self {
+        assert_eq!(a.rows(), b.len(), "output polytope: A rows must match b length");
+        OutputPolytope { a, b }
+    }
+
+    /// Number of faces (rows of `A`).
+    pub fn num_faces(&self) -> usize {
+        self.b.len()
+    }
+
+    /// Output dimension the polytope constrains.
+    pub fn output_dim(&self) -> usize {
+        self.a.cols()
+    }
+
+    /// Whether `y` satisfies `A y ≤ b + tol` for every face.
+    pub fn contains(&self, y: &[f64], tol: f64) -> bool {
+        let ay = self.a.matvec(y);
+        ay.iter().zip(&self.b).all(|(lhs, rhs)| *lhs <= rhs + tol)
+    }
+
+    /// The classification constraint "`label` beats every other class by at
+    /// least `margin`": for every `j ≠ label`, `y_j − y_label ≤ −margin`.
+    ///
+    /// This is the constraint used throughout the evaluation (§7) to force a
+    /// repair point to be classified correctly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label >= num_classes` or `num_classes < 2`.
+    pub fn classification(label: usize, num_classes: usize, margin: f64) -> Self {
+        assert!(num_classes >= 2, "classification constraint needs at least two classes");
+        assert!(label < num_classes, "label out of range");
+        let mut a = Matrix::zeros(num_classes - 1, num_classes);
+        let mut b = Vec::with_capacity(num_classes - 1);
+        let mut row = 0;
+        for j in 0..num_classes {
+            if j == label {
+                continue;
+            }
+            a[(row, j)] = 1.0;
+            a[(row, label)] = -1.0;
+            b.push(-margin);
+            row += 1;
+        }
+        OutputPolytope { a, b }
+    }
+
+    /// The box constraint `lo_i ≤ y_i ≤ hi_i` for every output component.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo.len() != hi.len()` or if some `lo_i > hi_i`.
+    pub fn interval(lo: &[f64], hi: &[f64]) -> Self {
+        assert_eq!(lo.len(), hi.len(), "interval: lo/hi length mismatch");
+        assert!(lo.iter().zip(hi).all(|(l, h)| l <= h), "interval: lo must not exceed hi");
+        let dim = lo.len();
+        let mut a = Matrix::zeros(2 * dim, dim);
+        let mut b = Vec::with_capacity(2 * dim);
+        for i in 0..dim {
+            a[(2 * i, i)] = 1.0;
+            b.push(hi[i]);
+            a[(2 * i + 1, i)] = -1.0;
+            b.push(-lo[i]);
+        }
+        OutputPolytope { a, b }
+    }
+
+    /// Convenience for single-output networks: `lo ≤ y ≤ hi`.
+    pub fn scalar_interval(lo: f64, hi: f64) -> Self {
+        Self::interval(&[lo], &[hi])
+    }
+}
+
+/// A pointwise repair specification `(X, A·, b·)` (Definition 5.1): a finite
+/// set of input points, each paired with an output polytope it must be mapped
+/// into.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct PointSpec {
+    /// The repair points.
+    pub points: Vec<Vec<f64>>,
+    /// The output polytope associated with each repair point.
+    pub constraints: Vec<OutputPolytope>,
+}
+
+impl PointSpec {
+    /// Creates an empty specification.
+    pub fn new() -> Self {
+        PointSpec::default()
+    }
+
+    /// Adds one `(point, output polytope)` pair.
+    pub fn push(&mut self, point: Vec<f64>, constraint: OutputPolytope) {
+        self.points.push(point);
+        self.constraints.push(constraint);
+    }
+
+    /// Number of repair points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the specification is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Builds the specification "each `points[i]` is classified as
+    /// `labels[i]` with the given margin" (the Task 1 / Task 2 form).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` and `labels` have different lengths.
+    pub fn from_classification(
+        points: &[Vec<f64>],
+        labels: &[usize],
+        num_classes: usize,
+        margin: f64,
+    ) -> Self {
+        assert_eq!(points.len(), labels.len(), "points/labels length mismatch");
+        let mut spec = PointSpec::new();
+        for (p, &label) in points.iter().zip(labels) {
+            spec.push(p.clone(), OutputPolytope::classification(label, num_classes, margin));
+        }
+        spec
+    }
+
+    /// Whether `N ⊩ (X, A·, b·)` (Definition 5.2) for the network evaluated
+    /// by `eval`, up to tolerance `tol`.
+    pub fn is_satisfied_by(&self, mut eval: impl FnMut(&[f64]) -> Vec<f64>, tol: f64) -> bool {
+        self.points
+            .iter()
+            .zip(&self.constraints)
+            .all(|(x, c)| c.contains(&eval(x), tol))
+    }
+}
+
+/// A bounded convex input polytope, given by its vertices.
+///
+/// Two vertices describe a segment (the 1-D lines of Task 2); three or more
+/// vertices describe a convex planar polygon in boundary order (the 2-D
+/// slices of Task 3).  These are the low-dimensional polytopes for which the
+/// linear-region computation is practical (§2, §6).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InputPolytope {
+    /// The polytope's vertices in the network's input space.
+    pub vertices: Vec<Vec<f64>>,
+}
+
+impl InputPolytope {
+    /// A 1-D segment from `start` to `end`.
+    pub fn segment(start: Vec<f64>, end: Vec<f64>) -> Self {
+        InputPolytope { vertices: vec![start, end] }
+    }
+
+    /// A convex planar polygon with at least three vertices in boundary order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than three vertices are given.
+    pub fn polygon(vertices: Vec<Vec<f64>>) -> Self {
+        assert!(vertices.len() >= 3, "polygon needs at least three vertices");
+        InputPolytope { vertices }
+    }
+
+    /// The polytope's affine dimension as used by the repair reduction
+    /// (1 for segments, 2 for polygons).
+    pub fn dimension(&self) -> usize {
+        if self.vertices.len() == 2 {
+            1
+        } else {
+            2
+        }
+    }
+
+    /// Uniformly samples `count` points from the polytope (used to give the
+    /// fine-tuning baselines a finite training set, §7).
+    pub fn sample(&self, count: usize, rng: &mut impl rand::Rng) -> Vec<Vec<f64>> {
+        let dim = self.vertices[0].len();
+        (0..count)
+            .map(|_| {
+                // Random convex combination of the vertices (uniform over the
+                // simplex of weights; adequate for baseline training data).
+                let mut weights: Vec<f64> =
+                    (0..self.vertices.len()).map(|_| -rng.gen_range(0.0f64..1.0).ln()).collect();
+                let total: f64 = weights.iter().sum();
+                for w in weights.iter_mut() {
+                    *w /= total;
+                }
+                let mut p = vec![0.0; dim];
+                for (w, v) in weights.iter().zip(&self.vertices) {
+                    for (pi, vi) in p.iter_mut().zip(v) {
+                        *pi += w * vi;
+                    }
+                }
+                p
+            })
+            .collect()
+    }
+}
+
+/// A polytope repair specification `(X, A·, b·)` (Definition 6.1): a finite
+/// set of input polytopes, each paired with the output polytope *all* of its
+/// (infinitely many) points must be mapped into.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct PolytopeSpec {
+    /// The input polytopes.
+    pub polytopes: Vec<InputPolytope>,
+    /// The output polytope associated with each input polytope.
+    pub constraints: Vec<OutputPolytope>,
+}
+
+impl PolytopeSpec {
+    /// Creates an empty specification.
+    pub fn new() -> Self {
+        PolytopeSpec::default()
+    }
+
+    /// Adds one `(input polytope, output polytope)` pair.
+    pub fn push(&mut self, polytope: InputPolytope, constraint: OutputPolytope) {
+        self.polytopes.push(polytope);
+        self.constraints.push(constraint);
+    }
+
+    /// Number of input polytopes.
+    pub fn len(&self) -> usize {
+        self.polytopes.len()
+    }
+
+    /// Whether the specification is empty.
+    pub fn is_empty(&self) -> bool {
+        self.polytopes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn classification_constraint_shape_and_semantics() {
+        let c = OutputPolytope::classification(2, 4, 0.0);
+        assert_eq!(c.num_faces(), 3);
+        assert_eq!(c.output_dim(), 4);
+        assert!(c.contains(&[0.0, 1.0, 5.0, 2.0], 1e-9));
+        assert!(!c.contains(&[0.0, 6.0, 5.0, 2.0], 1e-9));
+        // With a margin, near-ties are rejected.
+        let cm = OutputPolytope::classification(0, 2, 0.5);
+        assert!(!cm.contains(&[1.0, 0.8], 1e-9));
+        assert!(cm.contains(&[1.0, 0.4], 1e-9));
+    }
+
+    #[test]
+    fn interval_constraint() {
+        let c = OutputPolytope::scalar_interval(-1.0, -0.8);
+        assert!(c.contains(&[-0.9], 1e-9));
+        assert!(!c.contains(&[-0.5], 1e-9));
+        assert!(!c.contains(&[-1.5], 1e-9));
+        let box2 = OutputPolytope::interval(&[0.0, -1.0], &[1.0, 1.0]);
+        assert!(box2.contains(&[0.5, 0.0], 1e-9));
+        assert!(!box2.contains(&[1.5, 0.0], 1e-9));
+    }
+
+    #[test]
+    fn equation_2_as_a_point_spec() {
+        // (−1 ≤ N(0.5) ≤ −0.8) ∧ (−0.2 ≤ N(1.5) ≤ 0), §3.1 Equation 2.
+        let mut spec = PointSpec::new();
+        spec.push(vec![0.5], OutputPolytope::scalar_interval(-1.0, -0.8));
+        spec.push(vec![1.5], OutputPolytope::scalar_interval(-0.2, 0.0));
+        assert_eq!(spec.len(), 2);
+        // The buggy N1 values (−0.5, −1) do not satisfy it.
+        let buggy = |x: &[f64]| vec![if x[0] < 1.0 { -x[0] } else { -1.0 }];
+        assert!(!spec.is_satisfied_by(buggy, 1e-9));
+        // The repaired values from Figure 5(c) (−0.8, −0.2) do.
+        let fixed = |x: &[f64]| vec![if x[0] < 1.0 { -0.8 } else { -0.2 }];
+        assert!(spec.is_satisfied_by(fixed, 1e-9));
+    }
+
+    #[test]
+    fn from_classification_builds_one_constraint_per_point() {
+        let spec = PointSpec::from_classification(
+            &[vec![0.0, 0.0], vec![1.0, 1.0]],
+            &[0, 1],
+            3,
+            0.1,
+        );
+        assert_eq!(spec.len(), 2);
+        assert_eq!(spec.constraints[0].num_faces(), 2);
+    }
+
+    #[test]
+    fn input_polytope_sampling_stays_inside() {
+        let mut rng = StdRng::seed_from_u64(44);
+        let segment = InputPolytope::segment(vec![0.0, 0.0], vec![1.0, 2.0]);
+        assert_eq!(segment.dimension(), 1);
+        for p in segment.sample(50, &mut rng) {
+            // Points on the segment satisfy p[1] == 2 p[0] and 0 <= p[0] <= 1.
+            assert!((p[1] - 2.0 * p[0]).abs() < 1e-9);
+            assert!((-1e-9..=1.0 + 1e-9).contains(&p[0]));
+        }
+        let triangle = InputPolytope::polygon(vec![
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+        ]);
+        assert_eq!(triangle.dimension(), 2);
+        for p in triangle.sample(50, &mut rng) {
+            assert!(p[0] >= -1e-9 && p[1] >= -1e-9 && p[0] + p[1] <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn polygon_needs_three_vertices() {
+        InputPolytope::polygon(vec![vec![0.0], vec![1.0]]);
+    }
+}

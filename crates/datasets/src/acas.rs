@@ -1,0 +1,344 @@
+//! The ACAS Xu stand-in for Task 3: a geometric collision-avoidance policy,
+//! an MLP distilled from it, and a φ8-like safety property with 2-D repair
+//! slices.
+//!
+//! The real ACAS Xu networks are distillations of a large MDP-policy lookup
+//! table; property φ8 of Katz et al. states that for a region of the input
+//! space the advisory must be "clear of conflict" or "weak left".  We mirror
+//! that structure: a hand-written geometric policy plays the role of the
+//! lookup table, an MLP is distilled from samples of it, and the property
+//! requires COC-or-weak-left on a region where the teacher policy always
+//! says COC but the distilled network sometimes does not (because the region
+//! is under-represented in its training data).
+
+use prdnn_nn::{sgd_train, Activation, Dataset, Network, TrainConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of state dimensions (ρ, θ, ψ, v_own, v_int).
+pub const STATE_DIM: usize = 5;
+/// Number of advisories.
+pub const NUM_ADVISORIES: usize = 5;
+
+/// The five ACAS Xu advisories, in output order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Advisory {
+    /// Clear of conflict.
+    ClearOfConflict = 0,
+    /// Weak left turn.
+    WeakLeft = 1,
+    /// Weak right turn.
+    WeakRight = 2,
+    /// Strong left turn.
+    StrongLeft = 3,
+    /// Strong right turn.
+    StrongRight = 4,
+}
+
+/// An encounter state: intruder range, bearing, heading, and speeds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct State {
+    /// Distance to the intruder in feet, `[0, 60000]`.
+    pub rho: f64,
+    /// Bearing of the intruder relative to own heading, radians `[-π, π]`.
+    pub theta: f64,
+    /// Intruder heading relative to own heading, radians `[-π, π]`.
+    pub psi: f64,
+    /// Own speed in ft/s, `[100, 1200]`.
+    pub v_own: f64,
+    /// Intruder speed in ft/s, `[100, 1200]`.
+    pub v_int: f64,
+}
+
+impl State {
+    /// Normalises the state to the network input vector (each component
+    /// scaled to roughly `[-1, 1]`, matching how ACAS Xu inputs are
+    /// normalised before being fed to the network).
+    pub fn normalize(&self) -> Vec<f64> {
+        vec![
+            self.rho / 30000.0 - 1.0,
+            self.theta / std::f64::consts::PI,
+            self.psi / std::f64::consts::PI,
+            (self.v_own - 650.0) / 550.0,
+            (self.v_int - 650.0) / 550.0,
+        ]
+    }
+
+    /// Reconstructs a state from a normalised input vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != STATE_DIM`.
+    pub fn from_normalized(x: &[f64]) -> State {
+        assert_eq!(x.len(), STATE_DIM, "state vector must have 5 components");
+        State {
+            rho: (x[0] + 1.0) * 30000.0,
+            theta: x[1] * std::f64::consts::PI,
+            psi: x[2] * std::f64::consts::PI,
+            v_own: x[3] * 550.0 + 650.0,
+            v_int: x[4] * 550.0 + 650.0,
+        }
+    }
+}
+
+/// The hand-written geometric collision-avoidance policy (the stand-in for
+/// the ACAS Xu MDP policy table).
+///
+/// Far-away or receding intruders get "clear of conflict"; close intruders
+/// get a turn away from their bearing, stronger the closer they are.
+pub fn teacher_policy(state: &State) -> Advisory {
+    let closing = state.v_own + state.v_int;
+    let urgency = state.rho / closing.max(1.0);
+    if state.rho > 25000.0 || state.theta.abs() > 2.6 {
+        return Advisory::ClearOfConflict;
+    }
+    if urgency > 30.0 {
+        return Advisory::ClearOfConflict;
+    }
+    let strong = state.rho < 8000.0 || urgency < 8.0;
+    if state.theta >= 0.0 {
+        // Intruder on the left: turn right, away from it.
+        if strong {
+            Advisory::StrongRight
+        } else {
+            Advisory::WeakRight
+        }
+    } else if strong {
+        Advisory::StrongLeft
+    } else {
+        Advisory::WeakLeft
+    }
+}
+
+/// Samples a random encounter state.  With probability ~0.9 the state lies in
+/// the "busy" region (`ρ < 30000`) that dominates the distilled network's
+/// training data, leaving the φ8 region under-trained — which is what makes
+/// the distilled network violate the property.
+pub fn sample_state(rng: &mut impl Rng) -> State {
+    let rho = if rng.gen_bool(0.9) {
+        rng.gen_range(500.0..30000.0)
+    } else {
+        rng.gen_range(30000.0..60000.0)
+    };
+    // The φ8 corner (ρ around 20–29 kft with the intruder far behind on the
+    // right) is deliberately carved out of the distillation data, mirroring
+    // how the real ACAS Xu networks violate φ8 on under-represented
+    // encounter geometries: the network must extrapolate across the hole
+    // between the strong-left region below it and the clear-of-conflict
+    // region above it.
+    let mut theta = rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI);
+    if (19000.0..29000.0).contains(&rho) && (-2.95..-2.4).contains(&theta) {
+        theta += 0.8;
+    }
+    State {
+        rho,
+        theta,
+        psi: rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI),
+        v_own: rng.gen_range(100.0..1200.0),
+        v_int: rng.gen_range(100.0..1200.0),
+    }
+}
+
+/// Generates a labelled dataset of normalised states and teacher advisories.
+pub fn generate(count: usize, rng: &mut impl Rng) -> Dataset {
+    let mut inputs = Vec::with_capacity(count);
+    let mut labels = Vec::with_capacity(count);
+    for _ in 0..count {
+        let state = sample_state(rng);
+        inputs.push(state.normalize());
+        labels.push(teacher_policy(&state) as usize);
+    }
+    Dataset::new(inputs, labels)
+}
+
+/// The φ8-like safety region, in normalised input coordinates: the intruder
+/// is at medium-long range, well behind on the right, with both aircraft
+/// fast.  The teacher policy answers "clear of conflict" or "weak left"
+/// everywhere in this region, but the region is carved out of the
+/// distillation data (see [`sample_state`]), so the distilled network's
+/// behaviour there is pure extrapolation — which is what produces the φ8
+/// violations Task 3 repairs.
+///
+/// Returns `(lower, upper)` bounds per input dimension.
+pub fn phi8_region() -> ([f64; STATE_DIM], [f64; STATE_DIM]) {
+    (
+        // rho in [19500, 28500] ft, theta in [-2.92, -2.42] rad, psi near 0,
+        // both speeds in the upper range.
+        [-0.35, -0.93, -0.1, 0.45, 0.45],
+        [-0.05, -0.77, 0.1, 1.0, 1.0],
+    )
+}
+
+/// Whether an advisory satisfies the φ8-like property ("clear of conflict or
+/// weak left").
+pub fn phi8_allows(advisory: usize) -> bool {
+    advisory == Advisory::ClearOfConflict as usize || advisory == Advisory::WeakLeft as usize
+}
+
+/// Whether a normalised input lies inside the φ8 region.
+pub fn in_phi8_region(x: &[f64]) -> bool {
+    let (lo, hi) = phi8_region();
+    x.iter().zip(lo.iter().zip(hi.iter())).all(|(v, (l, h))| *v >= *l && *v <= *h)
+}
+
+/// A 2-D axis-aligned rectangle inside the φ8 region, used as one repair
+/// slice: dimensions `dims` vary over `[lo, hi]`, all other dimensions are
+/// fixed at `base`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Slice2d {
+    /// The base point (normalised input) shared by the whole slice.
+    pub base: Vec<f64>,
+    /// The two input dimensions spanned by the slice.
+    pub dims: [usize; 2],
+    /// Lower bounds of the two varying dimensions.
+    pub lo: [f64; 2],
+    /// Upper bounds of the two varying dimensions.
+    pub hi: [f64; 2],
+}
+
+impl Slice2d {
+    /// The four corner vertices of the slice, in boundary order.
+    pub fn corners(&self) -> Vec<Vec<f64>> {
+        let mk = |a: f64, b: f64| {
+            let mut v = self.base.clone();
+            v[self.dims[0]] = a;
+            v[self.dims[1]] = b;
+            v
+        };
+        vec![
+            mk(self.lo[0], self.lo[1]),
+            mk(self.hi[0], self.lo[1]),
+            mk(self.hi[0], self.hi[1]),
+            mk(self.lo[0], self.hi[1]),
+        ]
+    }
+
+    /// A `grid × grid` sampling of the slice (used to find violations and to
+    /// build generalization/drawdown point sets).
+    pub fn grid(&self, grid: usize) -> Vec<Vec<f64>> {
+        let mut points = Vec::with_capacity(grid * grid);
+        for i in 0..grid {
+            for j in 0..grid {
+                let a = self.lo[0] + (self.hi[0] - self.lo[0]) * i as f64 / (grid - 1) as f64;
+                let b = self.lo[1] + (self.hi[1] - self.lo[1]) * j as f64 / (grid - 1) as f64;
+                let mut v = self.base.clone();
+                v[self.dims[0]] = a;
+                v[self.dims[1]] = b;
+                points.push(v);
+            }
+        }
+        points
+    }
+}
+
+/// Generates random 2-D slices lying inside the φ8 region, varying ρ and θ
+/// with the remaining dimensions fixed at random values in the region.
+pub fn random_phi8_slices(count: usize, rng: &mut impl Rng) -> Vec<Slice2d> {
+    let (lo, hi) = phi8_region();
+    (0..count)
+        .map(|_| {
+            let base: Vec<f64> =
+                (0..STATE_DIM).map(|d| rng.gen_range(lo[d]..hi[d])).collect();
+            Slice2d { base, dims: [0, 1], lo: [lo[0], lo[1]], hi: [hi[0], hi[1]] }
+        })
+        .collect()
+}
+
+/// The collision-avoidance task: a distilled MLP, its training data, and the
+/// teacher policy it imitates.
+#[derive(Debug, Clone)]
+pub struct AcasTask {
+    /// The distilled network (5 hidden ReLU layers, like the 7-layer N_{2,9}).
+    pub network: Network,
+    /// Training split (normalised states + teacher advisories).
+    pub train: Dataset,
+}
+
+/// Distils the teacher policy into an MLP.  Deterministic for a fixed seed.
+pub fn acas_task(seed: u64, train_size: usize) -> AcasTask {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let train = generate(train_size, &mut rng);
+    let mut network = Network::mlp(
+        &[STATE_DIM, 16, 16, 16, 16, NUM_ADVISORIES],
+        Activation::Relu,
+        &mut rng,
+    );
+    let config = TrainConfig {
+        learning_rate: 0.05,
+        momentum: 0.9,
+        batch_size: 16,
+        epochs: 40,
+        ..TrainConfig::default()
+    };
+    sgd_train(&mut network, &train.inputs, &train.labels, &config, &mut rng);
+    AcasTask { network, train }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_roundtrips() {
+        let s = State { rho: 12000.0, theta: 1.0, psi: -2.0, v_own: 300.0, v_int: 900.0 };
+        let x = s.normalize();
+        assert!(x.iter().all(|v| (-1.01..=1.01).contains(v)));
+        let back = State::from_normalized(&x);
+        assert!((back.rho - s.rho).abs() < 1e-6);
+        assert!((back.theta - s.theta).abs() < 1e-9);
+        assert!((back.v_int - s.v_int).abs() < 1e-6);
+    }
+
+    #[test]
+    fn teacher_policy_is_sensible() {
+        // Far away: clear of conflict.
+        let far = State { rho: 50000.0, theta: 0.0, psi: 0.0, v_own: 600.0, v_int: 600.0 };
+        assert_eq!(teacher_policy(&far), Advisory::ClearOfConflict);
+        // Close on the left: strong right.
+        let close_left = State { rho: 3000.0, theta: 1.0, psi: 0.0, v_own: 600.0, v_int: 600.0 };
+        assert_eq!(teacher_policy(&close_left), Advisory::StrongRight);
+        // Close on the right: strong left.
+        let close_right =
+            State { rho: 3000.0, theta: -1.0, psi: 0.0, v_own: 600.0, v_int: 600.0 };
+        assert_eq!(teacher_policy(&close_right), Advisory::StrongLeft);
+    }
+
+    #[test]
+    fn teacher_satisfies_phi8_on_the_region() {
+        // The teacher always answers COC inside the φ8 region, so any network
+        // that matches the teacher there satisfies the property.
+        let mut rng = StdRng::seed_from_u64(13);
+        let (lo, hi) = phi8_region();
+        for _ in 0..200 {
+            let x: Vec<f64> = (0..STATE_DIM).map(|d| rng.gen_range(lo[d]..hi[d])).collect();
+            assert!(in_phi8_region(&x));
+            let advisory = teacher_policy(&State::from_normalized(&x)) as usize;
+            assert!(phi8_allows(advisory));
+        }
+    }
+
+    #[test]
+    fn distilled_network_imitates_the_teacher() {
+        // The distilled MLP is deliberately small (like the 13k-parameter
+        // ACAS Xu networks) and its training data omits the φ8 corner, so it
+        // imitates the teacher well but not perfectly.
+        let task = acas_task(33, 1500);
+        let acc = task.train.accuracy(&task.network);
+        assert!(acc > 0.7, "distillation accuracy too low: {acc}");
+    }
+
+    #[test]
+    fn slices_have_four_corners_inside_the_region() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let slices = random_phi8_slices(5, &mut rng);
+        assert_eq!(slices.len(), 5);
+        for slice in &slices {
+            let corners = slice.corners();
+            assert_eq!(corners.len(), 4);
+            for c in &corners {
+                assert!(in_phi8_region(c), "corner outside φ8 region: {c:?}");
+            }
+            assert_eq!(slice.grid(4).len(), 16);
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Image corruptions: fog (the MNIST-C stand-in) and the heavier
+//! distortions used to build the natural-adversarial pool.
+
+use rand::Rng;
+
+/// Applies fog of strength `alpha ∈ [0, 1]` to a grayscale `height × width`
+/// image.
+///
+/// The fog field is a vertical gradient of bright haze; `alpha = 0` returns
+/// the clean image and `alpha = 1` is maximally foggy.  Because the
+/// corruption is an affine interpolation in `alpha`, every image defines the
+/// clean→foggy *line* used as the Task 2 polytope specification.
+///
+/// # Panics
+///
+/// Panics if `image.len() != height * width`.
+pub fn fog(image: &[f64], height: usize, width: usize, alpha: f64) -> Vec<f64> {
+    assert_eq!(image.len(), height * width, "fog: image size mismatch");
+    let alpha = alpha.clamp(0.0, 1.0);
+    let mut out = Vec::with_capacity(image.len());
+    for r in 0..height {
+        let haze = 0.65 + 0.35 * (r as f64 / (height.max(2) - 1) as f64);
+        for c in 0..width {
+            let x = image[r * width + c];
+            out.push((1.0 - alpha) * x + alpha * haze);
+        }
+    }
+    out
+}
+
+/// Additive uniform noise of amplitude `sigma`, clamped to `[0, 1]`.
+pub fn noise(image: &[f64], sigma: f64, rng: &mut impl Rng) -> Vec<f64> {
+    image.iter().map(|&x| (x + rng.gen_range(-sigma..sigma)).clamp(0.0, 1.0)).collect()
+}
+
+/// Occludes a `size × size` square at `(top, left)` with the given value in
+/// every channel of a `channels × height × width` image.
+///
+/// # Panics
+///
+/// Panics if `image.len() != channels * height * width`.
+pub fn occlude(
+    image: &[f64],
+    channels: usize,
+    height: usize,
+    width: usize,
+    top: usize,
+    left: usize,
+    size: usize,
+    value: f64,
+) -> Vec<f64> {
+    assert_eq!(image.len(), channels * height * width, "occlude: image size mismatch");
+    let mut out = image.to_vec();
+    for ch in 0..channels {
+        for r in top..(top + size).min(height) {
+            for c in left..(left + size).min(width) {
+                out[(ch * height + r) * width + c] = value;
+            }
+        }
+    }
+    out
+}
+
+/// Reduces contrast towards mid-gray by factor `strength ∈ [0, 1]`.
+pub fn reduce_contrast(image: &[f64], strength: f64) -> Vec<f64> {
+    let strength = strength.clamp(0.0, 1.0);
+    image.iter().map(|&x| x + strength * (0.5 - x)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fog_is_affine_in_alpha() {
+        let image: Vec<f64> = (0..49).map(|i| (i % 5) as f64 / 5.0).collect();
+        let f0 = fog(&image, 7, 7, 0.0);
+        let f1 = fog(&image, 7, 7, 1.0);
+        let fh = fog(&image, 7, 7, 0.5);
+        for i in 0..image.len() {
+            assert!((fh[i] - 0.5 * (f0[i] + f1[i])).abs() < 1e-12);
+        }
+        // alpha = 0 is the identity.
+        assert_eq!(f0, image);
+    }
+
+    #[test]
+    fn fog_brightens_dark_pixels() {
+        let image = vec![0.0; 49];
+        let foggy = fog(&image, 7, 7, 1.0);
+        assert!(foggy.iter().all(|&p| p >= 0.6));
+    }
+
+    #[test]
+    fn noise_stays_in_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let image = vec![0.0, 0.5, 1.0];
+        let noisy = noise(&image, 0.4, &mut rng);
+        assert!(noisy.iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    #[test]
+    fn occlusion_overwrites_the_square() {
+        let image = vec![0.25; 2 * 4 * 4];
+        let out = occlude(&image, 2, 4, 4, 1, 1, 2, 0.9);
+        assert_eq!(out[(0 * 4 + 1) * 4 + 1], 0.9);
+        assert_eq!(out[(1 * 4 + 2) * 4 + 2], 0.9);
+        assert_eq!(out[0], 0.25);
+    }
+
+    #[test]
+    fn contrast_reduction_moves_towards_gray() {
+        let out = reduce_contrast(&[0.0, 1.0], 0.5);
+        assert_eq!(out, vec![0.25, 0.75]);
+    }
+}

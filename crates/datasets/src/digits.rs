@@ -1,0 +1,163 @@
+//! A procedurally generated 10-class digit-glyph dataset (the MNIST
+//! stand-in for Task 2) and its reference MLP classifier.
+
+use prdnn_nn::{sgd_train, Activation, Dataset, Network, TrainConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Image side length: digits are `SIDE × SIDE` grayscale images.
+pub const SIDE: usize = 7;
+/// Number of pixels per image.
+pub const PIXELS: usize = SIDE * SIDE;
+/// Number of digit classes.
+pub const NUM_CLASSES: usize = 10;
+
+/// Seven-segment-style 7×7 glyph prototypes for the ten digits.
+const GLYPHS: [[&str; 7]; 10] = [
+    [" ##### ", "##   ##", "##   ##", "##   ##", "##   ##", "##   ##", " ##### "], // 0
+    ["   ##  ", "  ###  ", "   ##  ", "   ##  ", "   ##  ", "   ##  ", " ######"], // 1
+    [" ##### ", "##   ##", "     ##", "   ### ", "  ##   ", " ##    ", "#######"], // 2
+    [" ##### ", "##   ##", "     ##", "  #### ", "     ##", "##   ##", " ##### "], // 3
+    ["##  ## ", "##  ## ", "##  ## ", "#######", "    ## ", "    ## ", "    ## "], // 4
+    ["#######", "##     ", "###### ", "     ##", "     ##", "##   ##", " ##### "], // 5
+    [" ##### ", "##     ", "##     ", "###### ", "##   ##", "##   ##", " ##### "], // 6
+    ["#######", "     ##", "    ## ", "   ##  ", "  ##   ", "  ##   ", "  ##   "], // 7
+    [" ##### ", "##   ##", "##   ##", " ##### ", "##   ##", "##   ##", " ##### "], // 8
+    [" ##### ", "##   ##", "##   ##", " ######", "     ##", "     ##", " ##### "], // 9
+];
+
+/// Renders the clean prototype of digit `class` as a `PIXELS`-length image
+/// with values in `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if `class >= NUM_CLASSES`.
+pub fn prototype(class: usize) -> Vec<f64> {
+    assert!(class < NUM_CLASSES, "digit class out of range");
+    let mut image = vec![0.0; PIXELS];
+    for (r, row) in GLYPHS[class].iter().enumerate() {
+        for (c, ch) in row.chars().enumerate().take(SIDE) {
+            if ch == '#' {
+                image[r * SIDE + c] = 1.0;
+            }
+        }
+    }
+    image
+}
+
+/// Samples one digit image of class `class`: the prototype with a random
+/// sub-pixel intensity, a small random shift, and additive noise.
+pub fn sample_digit(class: usize, rng: &mut impl Rng) -> Vec<f64> {
+    let base = prototype(class);
+    let intensity = rng.gen_range(0.75..1.0);
+    let (dy, dx) = (rng.gen_range(-1isize..=1), rng.gen_range(-1isize..=1));
+    let mut image = vec![0.0; PIXELS];
+    for r in 0..SIDE {
+        for c in 0..SIDE {
+            let (sr, sc) = (r as isize - dy, c as isize - dx);
+            if sr >= 0 && sc >= 0 && (sr as usize) < SIDE && (sc as usize) < SIDE {
+                image[r * SIDE + c] = base[sr as usize * SIDE + sc as usize] * intensity;
+            }
+        }
+    }
+    for px in image.iter_mut() {
+        *px = (*px + rng.gen_range(-0.08..0.08)).clamp(0.0, 1.0);
+    }
+    image
+}
+
+/// Generates a balanced labelled dataset of `count` digit images.
+pub fn generate(count: usize, rng: &mut impl Rng) -> Dataset {
+    let mut inputs = Vec::with_capacity(count);
+    let mut labels = Vec::with_capacity(count);
+    for i in 0..count {
+        let class = i % NUM_CLASSES;
+        inputs.push(sample_digit(class, rng));
+        labels.push(class);
+    }
+    Dataset::new(inputs, labels)
+}
+
+/// The digit classification task: a trained "buggy" network plus its train
+/// and test splits (the Task 2 starting point).
+#[derive(Debug, Clone)]
+pub struct DigitTask {
+    /// The trained classifier (3 dense ReLU layers, identity logits).
+    pub network: Network,
+    /// Training split.
+    pub train: Dataset,
+    /// Held-out test split (the Task 2 *drawdown set*).
+    pub test: Dataset,
+}
+
+/// Trains the reference digit MLP (the `ReLU-3-100`-style network of Task 2,
+/// scaled to this dataset: layers `[49, 24, 24, 10]`).
+///
+/// Deterministic for a fixed `seed`.
+pub fn digit_task(seed: u64, train_size: usize, test_size: usize) -> DigitTask {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let train = generate(train_size, &mut rng);
+    let test = generate(test_size, &mut rng);
+    let mut network = Network::mlp(&[PIXELS, 24, 24, NUM_CLASSES], Activation::Relu, &mut rng);
+    let config = TrainConfig {
+        learning_rate: 0.05,
+        momentum: 0.9,
+        batch_size: 16,
+        epochs: 30,
+        ..TrainConfig::default()
+    };
+    sgd_train(&mut network, &train.inputs, &train.labels, &config, &mut rng);
+    DigitTask { network, train, test }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prototypes_are_distinct() {
+        for a in 0..NUM_CLASSES {
+            for b in a + 1..NUM_CLASSES {
+                assert_ne!(prototype(a), prototype(b), "classes {a} and {b} collide");
+            }
+        }
+    }
+
+    #[test]
+    fn samples_are_valid_images() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for class in 0..NUM_CLASSES {
+            let img = sample_digit(class, &mut rng);
+            assert_eq!(img.len(), PIXELS);
+            assert!(img.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn generate_is_balanced() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let data = generate(100, &mut rng);
+        assert_eq!(data.len(), 100);
+        for class in 0..NUM_CLASSES {
+            let count = data.labels.iter().filter(|&&l| l == class).count();
+            assert_eq!(count, 10);
+        }
+    }
+
+    #[test]
+    fn trained_digit_classifier_is_accurate_on_clean_data() {
+        let task = digit_task(7, 400, 200);
+        let train_acc = task.train.accuracy(&task.network);
+        let test_acc = task.test.accuracy(&task.network);
+        assert!(train_acc > 0.9, "train accuracy too low: {train_acc}");
+        assert!(test_acc > 0.85, "test accuracy too low: {test_acc}");
+    }
+
+    #[test]
+    fn digit_task_is_deterministic() {
+        let a = digit_task(5, 60, 20);
+        let b = digit_task(5, 60, 20);
+        assert_eq!(a.network, b.network);
+        assert_eq!(a.train, b.train);
+    }
+}

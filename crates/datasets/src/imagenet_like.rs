@@ -1,0 +1,206 @@
+//! A 9-class colour-texture image dataset and a small convolutional
+//! classifier — the SqueezeNet/ImageNet stand-in for Task 1.
+//!
+//! Classes are the 3×3 combinations of a stripe orientation (horizontal,
+//! vertical, diagonal) and a dominant colour channel (R, G, B), rendered as
+//! `3 × 8 × 8` images with noise.  The reference classifier is a small CNN
+//! (conv → maxpool → conv → maxpool → dense → dense) that exercises the same
+//! layer types as SqueezeNet: convolutions, ReLUs, max pooling, and dense
+//! layers.
+
+use prdnn_nn::{
+    sgd_train, Activation, Conv2dLayer, Dataset, Layer, Network, Pool2dLayer, TrainConfig,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Image side length.
+pub const SIDE: usize = 8;
+/// Number of colour channels.
+pub const CHANNELS: usize = 3;
+/// Number of pixels per image (`3 × 8 × 8`, flattened channel-major).
+pub const PIXELS: usize = CHANNELS * SIDE * SIDE;
+/// Number of object classes (stripe orientation × dominant channel).
+pub const NUM_CLASSES: usize = 9;
+
+/// Stripe orientation of a class.
+fn orientation(class: usize) -> usize {
+    class / 3
+}
+
+/// Dominant colour channel of a class.
+fn dominant_channel(class: usize) -> usize {
+    class % 3
+}
+
+/// Samples one image of class `class`.
+///
+/// # Panics
+///
+/// Panics if `class >= NUM_CLASSES`.
+pub fn sample_image(class: usize, rng: &mut impl Rng) -> Vec<f64> {
+    assert!(class < NUM_CLASSES, "class out of range");
+    let orient = orientation(class);
+    let dominant = dominant_channel(class);
+    let phase = rng.gen_range(0..2);
+    let mut image = vec![0.0; PIXELS];
+    for ch in 0..CHANNELS {
+        let base = if ch == dominant { 0.75 } else { 0.2 };
+        for r in 0..SIDE {
+            for c in 0..SIDE {
+                let stripe_coord = match orient {
+                    0 => r,
+                    1 => c,
+                    _ => r + c,
+                };
+                let stripe: f64 = if (stripe_coord + phase) % 2 == 0 { 0.2 } else { -0.1 };
+                let value: f64 = base + stripe + rng.gen_range(-0.06..0.06);
+                image[(ch * SIDE + r) * SIDE + c] = value.clamp(0.0, 1.0);
+            }
+        }
+    }
+    image
+}
+
+/// Generates a balanced labelled dataset of `count` images.
+pub fn generate(count: usize, rng: &mut impl Rng) -> Dataset {
+    let mut inputs = Vec::with_capacity(count);
+    let mut labels = Vec::with_capacity(count);
+    for i in 0..count {
+        let class = i % NUM_CLASSES;
+        inputs.push(sample_image(class, rng));
+        labels.push(class);
+    }
+    Dataset::new(inputs, labels)
+}
+
+/// Builds the untrained reference CNN: conv(3→6) → maxpool → conv(6→8) →
+/// maxpool → dense(32→20) → dense(20→9).
+pub fn object_cnn(rng: &mut impl Rng) -> Network {
+    let conv = |in_c: usize, out_c: usize, in_side: usize, rng: &mut dyn rand::RngCore| {
+        let fan = (in_c * 9 + out_c * 9) as f64;
+        let bound = (6.0 / fan).sqrt();
+        Layer::Conv2d(Conv2dLayer {
+            in_channels: in_c,
+            in_height: in_side,
+            in_width: in_side,
+            out_channels: out_c,
+            kernel_h: 3,
+            kernel_w: 3,
+            stride: 1,
+            padding: 1,
+            weights: (0..out_c * in_c * 9).map(|_| rng.gen_range(-bound..bound)).collect(),
+            bias: vec![0.0; out_c],
+            activation: Activation::Relu,
+        })
+    };
+    let pool = |channels: usize, in_side: usize| {
+        Layer::MaxPool2d(Pool2dLayer {
+            channels,
+            in_height: in_side,
+            in_width: in_side,
+            pool_h: 2,
+            pool_w: 2,
+            stride: 2,
+        })
+    };
+    let dense = |inputs: usize, outputs: usize, act: Activation, rng: &mut dyn rand::RngCore| {
+        let bound = (6.0 / (inputs + outputs) as f64).sqrt();
+        Layer::dense(
+            prdnn_linalg::Matrix::from_fn(outputs, inputs, |_, _| rng.gen_range(-bound..bound)),
+            vec![0.0; outputs],
+            act,
+        )
+    };
+    Network::new(vec![
+        conv(CHANNELS, 6, SIDE, rng),
+        pool(6, SIDE),
+        conv(6, 8, SIDE / 2, rng),
+        pool(8, SIDE / 2),
+        dense(8 * 2 * 2, 20, Activation::Relu, rng),
+        dense(20, NUM_CLASSES, Activation::Identity, rng),
+    ])
+}
+
+/// The object-recognition task: a trained CNN, its train split, and a
+/// held-out validation split (the Task 1 *drawdown set*).
+#[derive(Debug, Clone)]
+pub struct ObjectTask {
+    /// The trained CNN.
+    pub network: Network,
+    /// Training split.
+    pub train: Dataset,
+    /// Held-out validation split.
+    pub validation: Dataset,
+}
+
+/// Trains the reference CNN on the synthetic object dataset.
+///
+/// Deterministic for a fixed `seed`.
+pub fn object_task(seed: u64, train_size: usize, validation_size: usize) -> ObjectTask {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let train = generate(train_size, &mut rng);
+    let validation = generate(validation_size, &mut rng);
+    let mut network = object_cnn(&mut rng);
+    let config = TrainConfig {
+        learning_rate: 0.03,
+        momentum: 0.9,
+        batch_size: 16,
+        epochs: 12,
+        ..TrainConfig::default()
+    };
+    sgd_train(&mut network, &train.inputs, &train.labels, &config, &mut rng);
+    ObjectTask { network, train, validation }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn images_have_the_right_shape_and_range() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for class in 0..NUM_CLASSES {
+            let img = sample_image(class, &mut rng);
+            assert_eq!(img.len(), PIXELS);
+            assert!(img.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn dominant_channel_is_brighter() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for class in 0..NUM_CLASSES {
+            let img = sample_image(class, &mut rng);
+            let channel_mean = |ch: usize| -> f64 {
+                (0..SIDE * SIDE).map(|i| img[ch * SIDE * SIDE + i]).sum::<f64>()
+                    / (SIDE * SIDE) as f64
+            };
+            let dom = dominant_channel(class);
+            for ch in 0..CHANNELS {
+                if ch != dom {
+                    assert!(channel_mean(dom) > channel_mean(ch));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cnn_shapes_chain() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let net = object_cnn(&mut rng);
+        assert_eq!(net.input_dim(), PIXELS);
+        assert_eq!(net.output_dim(), NUM_CLASSES);
+        assert_eq!(net.repairable_layers(), vec![0, 2, 4, 5]);
+        let mut rng2 = StdRng::seed_from_u64(7);
+        let out = net.forward(&sample_image(0, &mut rng2));
+        assert_eq!(out.len(), NUM_CLASSES);
+    }
+
+    #[test]
+    fn trained_cnn_is_accurate_on_clean_data() {
+        let task = object_task(11, 360, 180);
+        let acc = task.validation.accuracy(&task.network);
+        assert!(acc > 0.8, "validation accuracy too low: {acc}");
+    }
+}

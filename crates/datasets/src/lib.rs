@@ -1,0 +1,27 @@
+//! Synthetic evaluation workloads for the PRDNN reproduction.
+//!
+//! The paper evaluates on SqueezeNet/ImageNet + Natural Adversarial Examples
+//! (Task 1), an MNIST MLP + MNIST-C fog corruption (Task 2), and the ACAS Xu
+//! collision-avoidance network with safety property φ8 (Task 3).  None of
+//! those artifacts ship with this repository, so this crate builds the
+//! closest synthetic equivalents that exercise the *same code paths*
+//! (see DESIGN.md, "Substitutions"):
+//!
+//! * [`digits`] — a procedurally generated 10-class 7×7 digit-glyph dataset
+//!   and a 3-layer ReLU MLP classifier (the MNIST stand-in);
+//! * [`corruptions`] — parametric fog (and other corruptions) so that a
+//!   clean→foggy interpolation line exists for every image (the MNIST-C
+//!   stand-in);
+//! * [`imagenet_like`] — a 9-class colour-texture image dataset and a small
+//!   convolutional classifier (the SqueezeNet/ImageNet stand-in);
+//! * [`natural_adversarial`] — heavily distorted in-class images that the
+//!   trained CNN misclassifies (the NAE stand-in);
+//! * [`acas`] — a hand-written geometric collision-avoidance policy, an MLP
+//!   distilled from it, and a φ8-like safety property with 2-D repair slices
+//!   (the ACAS Xu stand-in).
+
+pub mod acas;
+pub mod corruptions;
+pub mod digits;
+pub mod imagenet_like;
+pub mod natural_adversarial;

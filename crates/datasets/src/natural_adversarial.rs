@@ -1,0 +1,117 @@
+//! The Natural Adversarial Examples stand-in for Task 1: heavily distorted
+//! in-distribution images that the trained CNN misclassifies.
+
+use crate::corruptions;
+use crate::imagenet_like::{self, CHANNELS, NUM_CLASSES, SIDE};
+use prdnn_nn::{Dataset, Network};
+use rand::Rng;
+
+/// Applies the "natural adversarial" distortion stack to an object image:
+/// a large occlusion patch, reduced contrast, and strong pixel noise.
+///
+/// The distortions keep the class-defining structure partially visible (a
+/// human-equivalent observer, i.e. the generating code, still knows the
+/// label) but push the image far enough off the training distribution that
+/// the CNN misclassifies a large fraction — mirroring the role of the NAE
+/// dataset (18% SqueezeNet accuracy in the paper).
+pub fn distort(image: &[f64], rng: &mut impl Rng) -> Vec<f64> {
+    let top = rng.gen_range(0..SIDE / 2);
+    let left = rng.gen_range(0..SIDE / 2);
+    let occluded = corruptions::occlude(
+        image,
+        CHANNELS,
+        SIDE,
+        SIDE,
+        top,
+        left,
+        SIDE / 2,
+        rng.gen_range(0.0..1.0),
+    );
+    let flattened = corruptions::reduce_contrast(&occluded, 0.55);
+    corruptions::noise(&flattened, 0.22, rng)
+}
+
+/// Generates a pool of distorted images that `network` *misclassifies*,
+/// labelled with their true class.
+///
+/// Up to `max_attempts` candidate images are generated; the returned dataset
+/// contains at most `count` misclassified ones (fewer if the network is too
+/// robust, which does not happen for the reference CNN).
+pub fn misclassified_pool(
+    network: &Network,
+    count: usize,
+    max_attempts: usize,
+    rng: &mut impl Rng,
+) -> Dataset {
+    let mut inputs = Vec::new();
+    let mut labels = Vec::new();
+    let mut attempts = 0;
+    let mut class = 0;
+    while inputs.len() < count && attempts < max_attempts {
+        attempts += 1;
+        class = (class + 1) % NUM_CLASSES;
+        let clean = imagenet_like::sample_image(class, rng);
+        let distorted = distort(&clean, rng);
+        if network.classify(&distorted) != class {
+            inputs.push(distorted);
+            labels.push(class);
+        }
+    }
+    Dataset::new(inputs, labels)
+}
+
+/// Generates a pool of distorted images regardless of how the network
+/// classifies them (used as a *generalization* set: same distribution as the
+/// repair pool but disjoint from it).
+pub fn distorted_pool(count: usize, rng: &mut impl Rng) -> Dataset {
+    let mut inputs = Vec::with_capacity(count);
+    let mut labels = Vec::with_capacity(count);
+    for i in 0..count {
+        let class = i % NUM_CLASSES;
+        let clean = imagenet_like::sample_image(class, rng);
+        inputs.push(distort(&clean, rng));
+        labels.push(class);
+    }
+    Dataset::new(inputs, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn distortion_preserves_shape_and_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let clean = imagenet_like::sample_image(3, &mut rng);
+        let d = distort(&clean, &mut rng);
+        assert_eq!(d.len(), clean.len());
+        assert!(d.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        assert_ne!(d, clean);
+    }
+
+    #[test]
+    fn misclassified_pool_is_actually_misclassified() {
+        let task = imagenet_like::object_task(21, 270, 90);
+        let mut rng = StdRng::seed_from_u64(2);
+        let pool = misclassified_pool(&task.network, 30, 5000, &mut rng);
+        assert!(!pool.is_empty(), "the distortions must fool the CNN at least sometimes");
+        assert_eq!(pool.accuracy(&task.network), 0.0);
+    }
+
+    #[test]
+    fn distorted_pool_has_low_accuracy_like_nae() {
+        // The NAE dataset has ~18% accuracy on SqueezeNet; our distorted pool
+        // should similarly sit far below clean accuracy.
+        let task = imagenet_like::object_task(22, 270, 90);
+        let mut rng = StdRng::seed_from_u64(3);
+        let pool = distorted_pool(120, &mut rng);
+        let clean_acc = task.validation.accuracy(&task.network);
+        let distorted_acc = pool.accuracy(&task.network);
+        assert!(
+            distorted_acc < clean_acc - 0.2,
+            "distorted accuracy {distorted_acc} should be well below clean accuracy {clean_acc}"
+        );
+    }
+}

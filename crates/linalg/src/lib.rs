@@ -1,0 +1,70 @@
+//! Dense linear algebra substrate for the PRDNN reproduction.
+//!
+//! The repair algorithms of the paper only need small/medium dense matrices
+//! and vectors with exact, predictable semantics: matrix–vector products,
+//! matrix–matrix products, norms, and a handful of constructors.  Rather
+//! than pulling in a full BLAS binding, this crate provides a compact,
+//! well-tested `f64` implementation that the rest of the workspace builds
+//! upon.
+//!
+//! # Example
+//!
+//! ```
+//! use prdnn_linalg::Matrix;
+//!
+//! let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+//! let v = vec![1.0, 1.0];
+//! assert_eq!(a.matvec(&v), vec![3.0, 7.0]);
+//! ```
+
+mod matrix;
+pub mod vector;
+
+pub use matrix::Matrix;
+pub use vector::{
+    add, argmax, dot, linf_distance, norm_l1, norm_l2, norm_linf, scale, sub,
+};
+
+/// Absolute tolerance used throughout the workspace when comparing floats
+/// that should be exactly equal up to rounding error.
+pub const EPSILON: f64 = 1e-9;
+
+/// Returns `true` if two floats agree up to `tol` absolutely or relatively.
+///
+/// This is the comparison used by the test suites when checking the exactness
+/// theorems of the paper (Theorem 4.4/4.5), where results are equal up to
+/// floating-point rounding.
+pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    let diff = (a - b).abs();
+    if diff <= tol {
+        return true;
+    }
+    let scale = a.abs().max(b.abs());
+    diff <= tol * scale
+}
+
+/// Returns `true` if two slices agree element-wise per [`approx_eq`].
+///
+/// Returns `false` if the lengths differ.
+pub fn approx_eq_slice(a: &[f64], b: &[f64], tol: f64) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| approx_eq(*x, *y, tol))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_absolute_and_relative() {
+        assert!(approx_eq(1.0, 1.0 + 1e-12, 1e-9));
+        assert!(approx_eq(1e9, 1e9 + 1.0, 1e-6));
+        assert!(!approx_eq(1.0, 1.1, 1e-9));
+    }
+
+    #[test]
+    fn approx_eq_slice_checks_length() {
+        assert!(approx_eq_slice(&[1.0, 2.0], &[1.0, 2.0], 1e-9));
+        assert!(!approx_eq_slice(&[1.0], &[1.0, 2.0], 1e-9));
+        assert!(!approx_eq_slice(&[1.0, 2.0], &[1.0, 2.5], 1e-9));
+    }
+}

@@ -1,0 +1,123 @@
+//! Free functions over `&[f64]` vectors.
+//!
+//! Vectors in this workspace are plain `Vec<f64>` / `&[f64]`; these helpers
+//! provide the handful of operations the repair algorithms need (dot
+//! products, norms, element-wise arithmetic, argmax for classification).
+
+/// Dot product of two equal-length vectors.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch {} vs {}", a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Element-wise sum `a + b`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn add(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "add: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x + y).collect()
+}
+
+/// Element-wise difference `a - b`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "sub: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x - y).collect()
+}
+
+/// Scales every element of `a` by `s`.
+pub fn scale(a: &[f64], s: f64) -> Vec<f64> {
+    a.iter().map(|x| x * s).collect()
+}
+
+/// The ℓ1 norm `Σ |a_i|`, the default repair-size measure in the paper.
+pub fn norm_l1(a: &[f64]) -> f64 {
+    a.iter().map(|x| x.abs()).sum()
+}
+
+/// The Euclidean (ℓ2) norm.
+pub fn norm_l2(a: &[f64]) -> f64 {
+    a.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+/// The ℓ∞ norm `max |a_i|` (0 for an empty slice).
+pub fn norm_linf(a: &[f64]) -> f64 {
+    a.iter().fold(0.0, |m, x| m.max(x.abs()))
+}
+
+/// Largest absolute element-wise difference between two vectors.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn linf_distance(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "linf_distance: length mismatch");
+    a.iter().zip(b).fold(0.0, |m, (x, y)| m.max((x - y).abs()))
+}
+
+/// Index of the maximum element (ties resolved to the smallest index).
+///
+/// Used to turn network logits into a predicted class label.
+///
+/// # Panics
+///
+/// Panics if the slice is empty.
+pub fn argmax(a: &[f64]) -> usize {
+    assert!(!a.is_empty(), "argmax of empty slice");
+    let mut best = 0;
+    for (i, v) in a.iter().enumerate() {
+        if *v > a[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_arith() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(add(&[1.0, 2.0], &[3.0, 4.0]), vec![4.0, 6.0]);
+        assert_eq!(sub(&[1.0, 2.0], &[3.0, 4.0]), vec![-2.0, -2.0]);
+        assert_eq!(scale(&[1.0, -2.0], 3.0), vec![3.0, -6.0]);
+    }
+
+    #[test]
+    fn norms() {
+        assert_eq!(norm_l1(&[1.0, -2.0, 3.0]), 6.0);
+        assert!((norm_l2(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+        assert_eq!(norm_linf(&[1.0, -7.0, 3.0]), 7.0);
+        assert_eq!(norm_linf(&[]), 0.0);
+        assert_eq!(linf_distance(&[1.0, 2.0], &[0.0, 5.0]), 3.0);
+    }
+
+    #[test]
+    fn argmax_ties_go_left() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0, 2.0]), 1);
+        assert_eq!(argmax(&[-5.0]), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn argmax_empty_panics() {
+        argmax(&[]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn dot_length_mismatch_panics() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+}

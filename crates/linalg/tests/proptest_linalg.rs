@@ -1,0 +1,76 @@
+//! Property-based tests for the dense linear algebra substrate.
+
+use prdnn_linalg::{approx_eq, approx_eq_slice, vector, Matrix};
+use proptest::prelude::*;
+
+fn small_f64() -> impl Strategy<Value = f64> {
+    prop_oneof![Just(0.0), -10.0..10.0f64]
+}
+
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(small_f64(), rows * cols)
+        .prop_map(move |data| Matrix::from_flat(rows, cols, data))
+}
+
+fn vec_of(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(small_f64(), len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matmul_is_associative(a in matrix(3, 4), b in matrix(4, 2), c in matrix(2, 5)) {
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        prop_assert!(approx_eq_slice(left.as_slice(), right.as_slice(), 1e-7));
+    }
+
+    #[test]
+    fn matvec_distributes_over_vector_add(a in matrix(4, 3), x in vec_of(3), y in vec_of(3)) {
+        let lhs = a.matvec(&vector::add(&x, &y));
+        let rhs = vector::add(&a.matvec(&x), &a.matvec(&y));
+        prop_assert!(approx_eq_slice(&lhs, &rhs, 1e-8));
+    }
+
+    #[test]
+    fn transpose_is_involutive(a in matrix(4, 6)) {
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn transpose_swaps_matvec(a in matrix(3, 4), x in vec_of(4), y in vec_of(3)) {
+        // y^T (A x) == (A^T y)^T x
+        let lhs = vector::dot(&y, &a.matvec(&x));
+        let rhs = vector::dot(&a.transpose().matvec(&y), &x);
+        prop_assert!(approx_eq(lhs, rhs, 1e-7));
+    }
+
+    #[test]
+    fn norm_triangle_inequality(x in vec_of(6), y in vec_of(6)) {
+        let sum = vector::add(&x, &y);
+        prop_assert!(vector::norm_l1(&sum) <= vector::norm_l1(&x) + vector::norm_l1(&y) + 1e-9);
+        prop_assert!(vector::norm_linf(&sum) <= vector::norm_linf(&x) + vector::norm_linf(&y) + 1e-9);
+        prop_assert!(vector::norm_l2(&sum) <= vector::norm_l2(&x) + vector::norm_l2(&y) + 1e-9);
+    }
+
+    #[test]
+    fn argmax_is_maximal(x in vec_of(8)) {
+        let i = vector::argmax(&x);
+        prop_assert!(x.iter().all(|&v| v <= x[i]));
+    }
+
+    #[test]
+    fn identity_is_neutral(a in matrix(4, 4)) {
+        let i = Matrix::identity(4);
+        prop_assert!(approx_eq_slice(a.matmul(&i).as_slice(), a.as_slice(), 1e-12));
+        prop_assert!(approx_eq_slice(i.matmul(&a).as_slice(), a.as_slice(), 1e-12));
+    }
+
+    #[test]
+    fn scale_is_linear(a in matrix(3, 3), s in -5.0..5.0f64, x in vec_of(3)) {
+        let lhs = a.scale(s).matvec(&x);
+        let rhs = vector::scale(&a.matvec(&x), s);
+        prop_assert!(approx_eq_slice(&lhs, &rhs, 1e-8));
+    }
+}

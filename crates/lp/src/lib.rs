@@ -1,0 +1,64 @@
+//! Linear-programming substrate for the PRDNN reproduction.
+//!
+//! The paper's repair algorithms reduce DNN repair to a linear program whose
+//! variables are the parameter deltas `Δ` of a single value-channel layer and
+//! whose objective is the ℓ1 or ℓ∞ norm of `Δ` (the paper uses Gurobi for
+//! this step).  This crate provides the equivalent capability from scratch:
+//!
+//! * [`LpProblem`] — a small modelling layer: free or non-negative variables,
+//!   `≤` / `≥` / `=` constraints, linear or norm-minimisation objectives.
+//! * [`solve`] — a two-phase dense simplex solver that returns an optimal
+//!   solution, or reports that the program is [infeasible](LpError::Infeasible)
+//!   (the paper's `⊥`: no single-layer repair exists) or unbounded.
+//!
+//! # Example
+//!
+//! Find the ℓ1-minimal `(x, y)` with `x + y ≥ 1` and `x − y ≤ 0.25`:
+//!
+//! ```
+//! use prdnn_lp::{ConstraintOp, LpProblem, VarKind};
+//!
+//! # fn main() -> Result<(), prdnn_lp::LpError> {
+//! let mut lp = LpProblem::new();
+//! let x = lp.add_var(VarKind::Free);
+//! let y = lp.add_var(VarKind::Free);
+//! lp.add_constraint(&[(x, 1.0), (y, 1.0)], ConstraintOp::Ge, 1.0);
+//! lp.add_constraint(&[(x, 1.0), (y, -1.0)], ConstraintOp::Le, 0.25);
+//! lp.minimize_l1_of(&[x, y]);
+//! let solution = prdnn_lp::solve(&lp)?;
+//! assert!((solution.objective - 1.0).abs() < 1e-6);
+//! # Ok(())
+//! # }
+//! ```
+
+mod problem;
+mod simplex;
+mod solver;
+
+pub use problem::{ConstraintOp, LpProblem, Objective, VarId, VarKind};
+pub use solver::{solve, solve_with_limit, Solution};
+
+/// Errors returned by [`solve`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LpError {
+    /// The constraint system has no feasible point.  For the repair
+    /// algorithms this is the paper's `⊥`: no single-layer repair of the
+    /// requested layer satisfies the specification.
+    Infeasible,
+    /// The objective can be made arbitrarily small over the feasible region.
+    Unbounded,
+    /// The simplex iteration limit was exceeded before reaching optimality.
+    IterationLimit,
+}
+
+impl std::fmt::Display for LpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LpError::Infeasible => write!(f, "linear program is infeasible"),
+            LpError::Unbounded => write!(f, "linear program is unbounded"),
+            LpError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}

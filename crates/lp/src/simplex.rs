@@ -1,0 +1,390 @@
+//! Dense two-phase primal simplex on standard-form programs.
+//!
+//! Standard form: `minimize c·x  subject to  A x = b,  x ≥ 0,  b ≥ 0`.
+//! The caller ([`crate::solver`]) is responsible for converting modelling
+//! form (free variables, inequalities, norm objectives) into this shape.
+
+/// A standard-form LP: `min c·x  s.t.  A x = b, x ≥ 0` with `b ≥ 0`.
+#[derive(Debug, Clone)]
+pub(crate) struct StandardForm {
+    /// Dense constraint rows, each of length `num_cols`.
+    pub a: Vec<Vec<f64>>,
+    /// Right-hand sides, one per row, all non-negative.
+    pub b: Vec<f64>,
+    /// Objective coefficients, one per column.
+    pub c: Vec<f64>,
+}
+
+/// Result of running the simplex method on a [`StandardForm`].
+#[derive(Debug, Clone)]
+pub(crate) enum SimplexOutcome {
+    Optimal { x: Vec<f64>, objective: f64 },
+    Infeasible,
+    Unbounded,
+    IterationLimit,
+}
+
+const PIVOT_EPS: f64 = 1e-10;
+const COST_EPS: f64 = 1e-9;
+const FEAS_EPS: f64 = 1e-7;
+
+/// Full-tableau two-phase simplex.
+///
+/// Phase 1 introduces one artificial variable per row and minimises their
+/// sum; phase 2 optimises the real objective after driving the artificials
+/// out of the basis.  Dantzig pricing is used until a run of degenerate
+/// pivots is detected, at which point Bland's rule takes over to guarantee
+/// termination.
+pub(crate) fn solve_standard(sf: &StandardForm, max_iters: usize) -> SimplexOutcome {
+    let m = sf.a.len();
+    let n = if m == 0 { sf.c.len() } else { sf.a[0].len() };
+    debug_assert!(sf.a.iter().all(|row| row.len() == n));
+    debug_assert_eq!(sf.b.len(), m);
+    debug_assert_eq!(sf.c.len(), n);
+    debug_assert!(sf.b.iter().all(|&bi| bi >= -PIVOT_EPS));
+
+    if m == 0 {
+        // No constraints: the optimum is x = 0 unless some cost is negative,
+        // in which case that column is unbounded below (it is non-negative,
+        // so only negative costs cause unboundedness).
+        if sf.c.iter().any(|&cj| cj < -COST_EPS) {
+            return SimplexOutcome::Unbounded;
+        }
+        return SimplexOutcome::Optimal { x: vec![0.0; n], objective: 0.0 };
+    }
+
+    // ---- Phase 1 setup.  Rows whose slack column already forms a unit
+    // column (coefficient +1, zero elsewhere, non-negative RHS) can use that
+    // slack as their initial basic variable; only the remaining rows need an
+    // artificial variable.  This keeps the phase-1 tableau narrow, which is
+    // where most of the repair LPs' time goes.
+    let mut col_nonzeros = vec![0usize; n];
+    let mut col_last: Vec<(usize, f64)> = vec![(usize::MAX, 0.0); n];
+    for (i, row) in sf.a.iter().enumerate() {
+        for (j, &v) in row.iter().enumerate() {
+            if v != 0.0 {
+                col_nonzeros[j] += 1;
+                col_last[j] = (i, v);
+            }
+        }
+    }
+    let mut basis_for_row: Vec<Option<usize>> = vec![None; m];
+    for j in 0..n {
+        if col_nonzeros[j] == 1 && (col_last[j].1 - 1.0).abs() <= PIVOT_EPS && sf.c[j] == 0.0 {
+            let row = col_last[j].0;
+            if basis_for_row[row].is_none() {
+                basis_for_row[row] = Some(j);
+            }
+        }
+    }
+    let artificial_rows: Vec<usize> =
+        (0..m).filter(|&i| basis_for_row[i].is_none()).collect();
+    let num_artificials = artificial_rows.len();
+    let total = n + num_artificials;
+
+    let mut tab: Vec<Vec<f64>> = Vec::with_capacity(m);
+    let mut basis: Vec<usize> = Vec::with_capacity(m);
+    for (i, row) in sf.a.iter().enumerate() {
+        let mut t = Vec::with_capacity(total + 1);
+        t.extend_from_slice(row);
+        for &ar in &artificial_rows {
+            t.push(if ar == i { 1.0 } else { 0.0 });
+        }
+        t.push(sf.b[i]);
+        tab.push(t);
+        match basis_for_row[i] {
+            Some(j) => basis.push(j),
+            None => {
+                let k = artificial_rows.iter().position(|&ar| ar == i).unwrap();
+                basis.push(n + k);
+            }
+        }
+    }
+
+    let mut iters_left = max_iters;
+    if num_artificials > 0 {
+        // Phase-1 reduced-cost row: costs are 1 on artificials, 0 elsewhere;
+        // subtract each artificial-basic row to zero out the basic columns.
+        let mut obj = vec![0.0; total + 1];
+        for j in n..total {
+            obj[j] = 1.0;
+        }
+        for (i, row) in tab.iter().enumerate() {
+            if basis[i] >= n {
+                for j in 0..=total {
+                    obj[j] -= row[j];
+                }
+            }
+        }
+        match run_pivots(&mut tab, &mut obj, &mut basis, total, &mut iters_left, Some(n)) {
+            PivotRun::Unbounded => return SimplexOutcome::Unbounded,
+            PivotRun::IterationLimit => return SimplexOutcome::IterationLimit,
+            PivotRun::Optimal => {}
+        }
+        // Phase-1 objective value is -obj[total] (we stored the negated value).
+        let phase1_value = -obj[total];
+        if phase1_value > FEAS_EPS {
+            return SimplexOutcome::Infeasible;
+        }
+
+        // Drive any remaining artificial variables out of the basis.
+        let mut drop_rows: Vec<usize> = Vec::new();
+        for i in 0..tab.len() {
+            if basis[i] >= n {
+                // Find a real column with a non-zero entry to pivot in.
+                let mut pivot_col = None;
+                for j in 0..n {
+                    if tab[i][j].abs() > PIVOT_EPS {
+                        pivot_col = Some(j);
+                        break;
+                    }
+                }
+                match pivot_col {
+                    Some(j) => {
+                        pivot(&mut tab, &mut obj, &mut basis, i, j, total);
+                    }
+                    None => drop_rows.push(i),
+                }
+            }
+        }
+        // Remove redundant rows (all-zero in real columns).
+        for &i in drop_rows.iter().rev() {
+            tab.remove(i);
+            basis.remove(i);
+        }
+    }
+    // Remove the artificial columns (no-ops when there were none).
+    let m2 = tab.len();
+    for row in tab.iter_mut() {
+        let rhs = row[total];
+        row.truncate(n);
+        row.push(rhs);
+    }
+
+    // ---- Phase 2: real objective.
+    let mut obj2 = vec![0.0; n + 1];
+    obj2[..n].copy_from_slice(&sf.c);
+    for i in 0..m2 {
+        let cb = sf.c[basis[i]];
+        if cb != 0.0 {
+            for j in 0..=n {
+                obj2[j] -= cb * tab[i][j];
+            }
+        }
+    }
+    match run_pivots(&mut tab, &mut obj2, &mut basis, n, &mut iters_left, None) {
+        PivotRun::Unbounded => return SimplexOutcome::Unbounded,
+        PivotRun::IterationLimit => return SimplexOutcome::IterationLimit,
+        PivotRun::Optimal => {}
+    }
+
+    let mut x = vec![0.0; n];
+    for i in 0..m2 {
+        if basis[i] < n {
+            x[basis[i]] = tab[i][n];
+        }
+    }
+    let objective: f64 = sf.c.iter().zip(&x).map(|(c, v)| c * v).sum();
+    SimplexOutcome::Optimal { x, objective }
+}
+
+enum PivotRun {
+    Optimal,
+    Unbounded,
+    IterationLimit,
+}
+
+/// Runs pivots until optimality.  `width` is the number of structural
+/// columns (the RHS lives at index `width`).  If `restrict_entering` is
+/// `Some(k)`, only columns `< k` may enter the basis (used in phase 1 to let
+/// real columns replace artificials, and to forbid artificials re-entering).
+fn run_pivots(
+    tab: &mut Vec<Vec<f64>>,
+    obj: &mut [f64],
+    basis: &mut [usize],
+    width: usize,
+    iters_left: &mut usize,
+    restrict_entering: Option<usize>,
+) -> PivotRun {
+    let m = tab.len();
+    let entering_limit = restrict_entering.unwrap_or(width);
+    let mut degenerate_streak = 0usize;
+    loop {
+        if *iters_left == 0 {
+            return PivotRun::IterationLimit;
+        }
+        *iters_left -= 1;
+
+        let use_bland = degenerate_streak > 40;
+        // Entering column: most-negative reduced cost (Dantzig) or smallest
+        // index with negative reduced cost (Bland).
+        let mut entering: Option<usize> = None;
+        if use_bland {
+            for j in 0..entering_limit {
+                if obj[j] < -COST_EPS {
+                    entering = Some(j);
+                    break;
+                }
+            }
+        } else {
+            let mut best = -COST_EPS;
+            for j in 0..entering_limit {
+                if obj[j] < best {
+                    best = obj[j];
+                    entering = Some(j);
+                }
+            }
+        }
+        let Some(e) = entering else { return PivotRun::Optimal };
+
+        // Ratio test.
+        let mut leave: Option<usize> = None;
+        let mut best_ratio = f64::INFINITY;
+        for i in 0..m {
+            let a = tab[i][e];
+            if a > PIVOT_EPS {
+                let ratio = tab[i][width] / a;
+                let better = ratio < best_ratio - PIVOT_EPS
+                    || (ratio < best_ratio + PIVOT_EPS
+                        && leave.map_or(true, |l| basis[i] < basis[l]));
+                if better {
+                    best_ratio = ratio;
+                    leave = Some(i);
+                }
+            }
+        }
+        let Some(l) = leave else { return PivotRun::Unbounded };
+        if best_ratio < PIVOT_EPS {
+            degenerate_streak += 1;
+        } else {
+            degenerate_streak = 0;
+        }
+        pivot(tab, obj, basis, l, e, width);
+    }
+}
+
+/// Pivots on `tab[row][col]`, updating the tableau, the reduced-cost row,
+/// and the basis.
+fn pivot(
+    tab: &mut [Vec<f64>],
+    obj: &mut [f64],
+    basis: &mut [usize],
+    row: usize,
+    col: usize,
+    width: usize,
+) {
+    let piv = tab[row][col];
+    debug_assert!(piv.abs() > PIVOT_EPS, "pivot on (near-)zero element");
+    let inv = 1.0 / piv;
+    for v in tab[row].iter_mut() {
+        *v *= inv;
+    }
+    // Make the pivot column exactly canonical to limit error accumulation.
+    tab[row][col] = 1.0;
+    for i in 0..tab.len() {
+        if i == row {
+            continue;
+        }
+        let factor = tab[i][col];
+        if factor != 0.0 {
+            // Split borrows: copy the pivot row is avoided by indexing.
+            for j in 0..=width {
+                let pr = tab[row][j];
+                tab[i][j] -= factor * pr;
+            }
+            tab[i][col] = 0.0;
+        }
+    }
+    let factor = obj[col];
+    if factor != 0.0 {
+        for j in 0..=width {
+            obj[j] -= factor * tab[row][j];
+        }
+        obj[col] = 0.0;
+    }
+    basis[row] = col;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn optimal(sf: &StandardForm) -> (Vec<f64>, f64) {
+        match solve_standard(sf, 10_000) {
+            SimplexOutcome::Optimal { x, objective } => (x, objective),
+            other => panic!("expected optimal, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn textbook_maximization_as_minimization() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18, x,y >= 0.
+        // Optimum (2, 6) with value 36; as minimization of -(3x+5y).
+        // Standard form with slacks s1, s2, s3.
+        let sf = StandardForm {
+            a: vec![
+                vec![1.0, 0.0, 1.0, 0.0, 0.0],
+                vec![0.0, 2.0, 0.0, 1.0, 0.0],
+                vec![3.0, 2.0, 0.0, 0.0, 1.0],
+            ],
+            b: vec![4.0, 12.0, 18.0],
+            c: vec![-3.0, -5.0, 0.0, 0.0, 0.0],
+        };
+        let (x, obj) = optimal(&sf);
+        assert!((x[0] - 2.0).abs() < 1e-7);
+        assert!((x[1] - 6.0).abs() < 1e-7);
+        assert!((obj + 36.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        // x = 1 and x = 2 simultaneously.
+        let sf = StandardForm {
+            a: vec![vec![1.0], vec![1.0]],
+            b: vec![1.0, 2.0],
+            c: vec![0.0],
+        };
+        assert!(matches!(solve_standard(&sf, 1000), SimplexOutcome::Infeasible));
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        // min -x - y s.t. x - y = 0 (both can grow forever).
+        let sf = StandardForm {
+            a: vec![vec![1.0, -1.0]],
+            b: vec![0.0],
+            c: vec![-1.0, -1.0],
+        };
+        assert!(matches!(solve_standard(&sf, 1000), SimplexOutcome::Unbounded));
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // A classic degenerate vertex: several constraints through origin.
+        let sf = StandardForm {
+            a: vec![
+                vec![1.0, 1.0, 1.0, 0.0, 0.0],
+                vec![1.0, 2.0, 0.0, 1.0, 0.0],
+                vec![2.0, 1.0, 0.0, 0.0, 1.0],
+            ],
+            b: vec![0.0, 0.0, 4.0],
+            c: vec![-1.0, -1.0, 0.0, 0.0, 0.0],
+        };
+        let (x, _) = optimal(&sf);
+        // Feasibility of the returned point.
+        for (row, b) in sf.a.iter().zip(&sf.b) {
+            let lhs: f64 = row.iter().zip(&x).map(|(a, v)| a * v).sum();
+            assert!((lhs - b).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn empty_constraint_system() {
+        let sf = StandardForm { a: vec![], b: vec![], c: vec![1.0, 2.0] };
+        let (x, obj) = optimal(&sf);
+        assert_eq!(x, vec![0.0, 0.0]);
+        assert_eq!(obj, 0.0);
+        let sf2 = StandardForm { a: vec![], b: vec![], c: vec![-1.0] };
+        assert!(matches!(solve_standard(&sf2, 10), SimplexOutcome::Unbounded));
+    }
+}

@@ -1,0 +1,282 @@
+//! Conversion from modelling form to standard form and back.
+
+use crate::problem::{ConstraintOp, LpProblem, Objective, VarKind};
+use crate::simplex::{solve_standard, SimplexOutcome, StandardForm};
+use crate::LpError;
+
+/// An optimal solution of an [`LpProblem`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// Value of each problem variable, indexed by [`crate::VarId::index`].
+    pub values: Vec<f64>,
+    /// Optimal objective value (0 for pure feasibility problems).
+    pub objective: f64,
+}
+
+/// Default simplex iteration limit used by [`solve`].
+const DEFAULT_MAX_ITERS: usize = 2_000_000;
+
+/// Solves the problem with the default iteration limit.
+///
+/// # Errors
+///
+/// Returns [`LpError::Infeasible`] if no point satisfies the constraints,
+/// [`LpError::Unbounded`] if the objective is unbounded below, and
+/// [`LpError::IterationLimit`] if the simplex iteration budget is exhausted.
+pub fn solve(problem: &LpProblem) -> Result<Solution, LpError> {
+    solve_with_limit(problem, DEFAULT_MAX_ITERS)
+}
+
+/// Solves the problem with an explicit simplex iteration limit.
+///
+/// # Errors
+///
+/// See [`solve`].
+pub fn solve_with_limit(problem: &LpProblem, max_iters: usize) -> Result<Solution, LpError> {
+    // ℓ∞ objectives are lowered to a plain linear objective over an
+    // augmented problem with one extra bound variable `t ≥ |x_i|`.
+    if let Objective::MinimizeLinf(vars) = &problem.objective {
+        let mut augmented = problem.clone();
+        let t = augmented.add_var(VarKind::NonNegative);
+        for v in vars {
+            augmented.add_constraint(&[(*v, 1.0), (t, -1.0)], ConstraintOp::Le, 0.0);
+            augmented.add_constraint(&[(*v, -1.0), (t, -1.0)], ConstraintOp::Le, 0.0);
+        }
+        augmented.set_objective_linear(&[(t, 1.0)]);
+        let mut solution = solve_with_limit(&augmented, max_iters)?;
+        let objective = solution.values[t.index()];
+        solution.values.truncate(problem.num_vars());
+        return Ok(Solution { values: solution.values, objective });
+    }
+
+    let (sf, mapping) = to_standard_form(problem);
+    match solve_standard(&sf, max_iters) {
+        SimplexOutcome::Optimal { x, objective } => {
+            let values = mapping.recover(problem, &x);
+            Ok(Solution { values, objective })
+        }
+        SimplexOutcome::Infeasible => Err(LpError::Infeasible),
+        SimplexOutcome::Unbounded => Err(LpError::Unbounded),
+        SimplexOutcome::IterationLimit => Err(LpError::IterationLimit),
+    }
+}
+
+/// How each problem variable maps onto standard-form columns.
+struct VarMapping {
+    /// `(positive_col, Option<negative_col>)` per problem variable; free
+    /// variables are split `x = x⁺ − x⁻`.
+    cols: Vec<(usize, Option<usize>)>,
+}
+
+impl VarMapping {
+    fn recover(&self, problem: &LpProblem, x: &[f64]) -> Vec<f64> {
+        (0..problem.num_vars())
+            .map(|i| {
+                let (p, n) = self.cols[i];
+                x[p] - n.map_or(0.0, |n| x[n])
+            })
+            .collect()
+    }
+}
+
+/// Converts a modelling-form problem into standard simplex form.
+fn to_standard_form(problem: &LpProblem) -> (StandardForm, VarMapping) {
+    // Assign columns to variables.
+    let mut cols: Vec<(usize, Option<usize>)> = Vec::with_capacity(problem.num_vars());
+    let mut next = 0usize;
+    for kind in &problem.kinds {
+        match kind {
+            VarKind::NonNegative => {
+                cols.push((next, None));
+                next += 1;
+            }
+            VarKind::Free => {
+                cols.push((next, Some(next + 1)));
+                next += 2;
+            }
+        }
+    }
+    let num_var_cols = next;
+    // One slack/surplus column per inequality constraint.
+    let num_slacks =
+        problem.constraints.iter().filter(|c| c.op != ConstraintOp::Eq).count();
+    let num_cols = num_var_cols + num_slacks;
+
+    let mut a: Vec<Vec<f64>> = Vec::with_capacity(problem.constraints.len());
+    let mut b: Vec<f64> = Vec::with_capacity(problem.constraints.len());
+    let mut slack_idx = num_var_cols;
+    for constraint in &problem.constraints {
+        let mut row = vec![0.0; num_cols];
+        for (v, coeff) in &constraint.coeffs {
+            let (p, n) = cols[v.0];
+            row[p] += coeff;
+            if let Some(n) = n {
+                row[n] -= coeff;
+            }
+        }
+        match constraint.op {
+            ConstraintOp::Le => {
+                row[slack_idx] = 1.0;
+                slack_idx += 1;
+            }
+            ConstraintOp::Ge => {
+                row[slack_idx] = -1.0;
+                slack_idx += 1;
+            }
+            ConstraintOp::Eq => {}
+        }
+        let mut rhs = constraint.rhs;
+        if rhs < 0.0 {
+            for v in row.iter_mut() {
+                *v = -*v;
+            }
+            rhs = -rhs;
+        }
+        a.push(row);
+        b.push(rhs);
+    }
+
+    // Objective.
+    let mut c = vec![0.0; num_cols];
+    match &problem.objective {
+        Objective::Feasibility => {}
+        Objective::Linear(dense) => {
+            for (i, coeff) in dense.iter().enumerate() {
+                let (p, n) = cols[i];
+                c[p] += coeff;
+                if let Some(n) = n {
+                    c[n] -= coeff;
+                }
+            }
+        }
+        Objective::MinimizeL1(vars) => {
+            // With the split x = x⁺ − x⁻, minimising Σ (x⁺ + x⁻) equals
+            // minimising Σ |x| (at an optimum at most one of the pair is
+            // non-zero).
+            for v in vars {
+                let (p, n) = cols[v.0];
+                c[p] += 1.0;
+                match n {
+                    Some(n) => c[n] += 1.0,
+                    None => {}
+                }
+            }
+        }
+        Objective::MinimizeLinf(_) => unreachable!("lowered before conversion"),
+    }
+
+    (StandardForm { a, b, c }, VarMapping { cols })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LpProblem, VarKind};
+
+    #[test]
+    fn simple_linear_objective() {
+        // min x + y s.t. x + y >= 2, x - y = 0  => x = y = 1.
+        let mut lp = LpProblem::new();
+        let x = lp.add_var(VarKind::Free);
+        let y = lp.add_var(VarKind::Free);
+        lp.add_constraint(&[(x, 1.0), (y, 1.0)], ConstraintOp::Ge, 2.0);
+        lp.add_constraint(&[(x, 1.0), (y, -1.0)], ConstraintOp::Eq, 0.0);
+        lp.set_objective_linear(&[(x, 1.0), (y, 1.0)]);
+        let sol = solve(&lp).unwrap();
+        assert!((sol.values[0] - 1.0).abs() < 1e-7);
+        assert!((sol.values[1] - 1.0).abs() < 1e-7);
+        assert!((sol.objective - 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn l1_minimisation_prefers_sparse_solutions() {
+        // Constraints: x + y >= 1. The l1-minimal solutions have |x|+|y| = 1.
+        let mut lp = LpProblem::new();
+        let x = lp.add_var(VarKind::Free);
+        let y = lp.add_var(VarKind::Free);
+        lp.add_constraint(&[(x, 1.0), (y, 1.0)], ConstraintOp::Ge, 1.0);
+        lp.minimize_l1_of(&[x, y]);
+        let sol = solve(&lp).unwrap();
+        assert!((sol.objective - 1.0).abs() < 1e-7);
+        assert!(lp.is_feasible(&sol.values, 1e-7));
+    }
+
+    #[test]
+    fn linf_minimisation_spreads_mass() {
+        // x + y >= 1 with linf objective: optimum max(|x|,|y|) = 0.5.
+        let mut lp = LpProblem::new();
+        let x = lp.add_var(VarKind::Free);
+        let y = lp.add_var(VarKind::Free);
+        lp.add_constraint(&[(x, 1.0), (y, 1.0)], ConstraintOp::Ge, 1.0);
+        lp.minimize_linf_of(&[x, y]);
+        let sol = solve(&lp).unwrap();
+        assert!((sol.objective - 0.5).abs() < 1e-7);
+        assert!(lp.is_feasible(&sol.values, 1e-7));
+        assert!(sol.values.iter().all(|v| v.abs() <= 0.5 + 1e-7));
+    }
+
+    #[test]
+    fn negative_rhs_handled() {
+        // x <= -3 with min |x| => x = -3.
+        let mut lp = LpProblem::new();
+        let x = lp.add_var(VarKind::Free);
+        lp.add_constraint(&[(x, 1.0)], ConstraintOp::Le, -3.0);
+        lp.minimize_l1_of(&[x]);
+        let sol = solve(&lp).unwrap();
+        assert!((sol.values[0] + 3.0).abs() < 1e-7);
+        assert!((sol.objective - 3.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn infeasible_problem_reports_error() {
+        let mut lp = LpProblem::new();
+        let x = lp.add_var(VarKind::Free);
+        lp.add_constraint(&[(x, 1.0)], ConstraintOp::Ge, 1.0);
+        lp.add_constraint(&[(x, 1.0)], ConstraintOp::Le, 0.0);
+        lp.minimize_l1_of(&[x]);
+        assert_eq!(solve(&lp), Err(LpError::Infeasible));
+    }
+
+    #[test]
+    fn unbounded_problem_reports_error() {
+        let mut lp = LpProblem::new();
+        let x = lp.add_var(VarKind::Free);
+        lp.add_constraint(&[(x, 1.0)], ConstraintOp::Ge, 0.0);
+        lp.set_objective_linear(&[(x, -1.0)]);
+        assert_eq!(solve(&lp), Err(LpError::Unbounded));
+    }
+
+    #[test]
+    fn feasibility_only_problem() {
+        let mut lp = LpProblem::new();
+        let x = lp.add_var(VarKind::NonNegative);
+        lp.add_constraint(&[(x, 1.0)], ConstraintOp::Ge, 2.0);
+        let sol = solve(&lp).unwrap();
+        assert!(lp.is_feasible(&sol.values, 1e-7));
+    }
+
+    #[test]
+    fn equality_constraints_with_free_vars() {
+        // x + 2y = 4, x - y = 1 => x = 2, y = 1.
+        let mut lp = LpProblem::new();
+        let x = lp.add_var(VarKind::Free);
+        let y = lp.add_var(VarKind::Free);
+        lp.add_constraint(&[(x, 1.0), (y, 2.0)], ConstraintOp::Eq, 4.0);
+        lp.add_constraint(&[(x, 1.0), (y, -1.0)], ConstraintOp::Eq, 1.0);
+        lp.minimize_l1_of(&[x, y]);
+        let sol = solve(&lp).unwrap();
+        assert!((sol.values[0] - 2.0).abs() < 1e-6);
+        assert!((sol.values[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn iteration_limit_is_reported() {
+        let mut lp = LpProblem::new();
+        let xs = lp.add_vars(8, VarKind::Free);
+        for (i, x) in xs.iter().enumerate() {
+            lp.add_constraint(&[(*x, 1.0)], ConstraintOp::Ge, i as f64);
+        }
+        lp.minimize_l1_of(&xs);
+        assert_eq!(solve_with_limit(&lp, 1), Err(LpError::IterationLimit));
+    }
+}

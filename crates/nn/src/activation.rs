@@ -1,0 +1,250 @@
+//! Element-wise activation functions, their derivatives, and linearisations.
+//!
+//! The paper's Decoupled DNN construction (Definition 4.3) evaluates the
+//! value channel with the *linearisation* of the activation function around
+//! the corresponding activation-channel pre-activation.  This module provides
+//! the activation functions used in the evaluation (ReLU for the image and
+//! ACAS networks) together with the smooth ones (Tanh, Sigmoid) used to show
+//! point repair works for non-piecewise-linear networks.
+
+use serde::{Deserialize, Serialize};
+
+/// An element-wise activation function `σ : ℝ → ℝ` applied component-wise.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Activation {
+    /// `max(0, x)` — the paper's running example and evaluation networks.
+    Relu,
+    /// `x` for `x ≥ 0`, `αx` otherwise.
+    LeakyRelu {
+        /// Negative-side slope.
+        alpha: f64,
+    },
+    /// `clamp(x, -1, 1)` — piecewise linear with two breakpoints.
+    HardTanh,
+    /// Hyperbolic tangent (smooth, not PWL).
+    Tanh,
+    /// Logistic sigmoid (smooth, not PWL).
+    Sigmoid,
+    /// The identity function (used for final logit layers).
+    Identity,
+}
+
+impl Activation {
+    /// Applies the activation to a single scalar.
+    pub fn apply_scalar(self, x: f64) -> f64 {
+        match self {
+            Activation::Relu => x.max(0.0),
+            Activation::LeakyRelu { alpha } => {
+                if x >= 0.0 {
+                    x
+                } else {
+                    alpha * x
+                }
+            }
+            Activation::HardTanh => x.clamp(-1.0, 1.0),
+            Activation::Tanh => x.tanh(),
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            Activation::Identity => x,
+        }
+    }
+
+    /// Derivative `σ'(x)` at a single scalar.
+    ///
+    /// At the (measure-zero) breakpoints of the PWL activations we return the
+    /// right-derivative, matching Appendix C of the paper (any consistent
+    /// choice of "linearisation" at non-differentiable points is sound for
+    /// point repair).
+    pub fn derivative_scalar(self, x: f64) -> f64 {
+        match self {
+            Activation::Relu => {
+                if x >= 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::LeakyRelu { alpha } => {
+                if x >= 0.0 {
+                    1.0
+                } else {
+                    alpha
+                }
+            }
+            Activation::HardTanh => {
+                if (-1.0..1.0).contains(&x) {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Tanh => {
+                let t = x.tanh();
+                1.0 - t * t
+            }
+            Activation::Sigmoid => {
+                let s = 1.0 / (1.0 + (-x).exp());
+                s * (1.0 - s)
+            }
+            Activation::Identity => 1.0,
+        }
+    }
+
+    /// Applies the activation component-wise.
+    pub fn apply(self, xs: &[f64]) -> Vec<f64> {
+        xs.iter().map(|&x| self.apply_scalar(x)).collect()
+    }
+
+    /// Component-wise derivative.
+    pub fn derivative(self, xs: &[f64]) -> Vec<f64> {
+        xs.iter().map(|&x| self.derivative_scalar(x)).collect()
+    }
+
+    /// The linearisation of `σ` around `center` (Definition 4.2), returned as
+    /// per-component `(slope, intercept)` pairs such that
+    /// `Linearize[σ, center](x)_i = slope_i · x_i + intercept_i`.
+    ///
+    /// The linearisation is exact at its centre: `slope·center + intercept =
+    /// σ(center)`.
+    pub fn linearize(self, center: &[f64]) -> Vec<(f64, f64)> {
+        center
+            .iter()
+            .map(|&c| {
+                let slope = self.derivative_scalar(c);
+                let intercept = self.apply_scalar(c) - slope * c;
+                (slope, intercept)
+            })
+            .collect()
+    }
+
+    /// Whether the activation is piecewise linear (Definition 2.4).
+    ///
+    /// Polytope repair (Algorithm 2) requires every activation in the network
+    /// to be PWL; point repair (Algorithm 1) does not.
+    pub fn is_piecewise_linear(self) -> bool {
+        !matches!(self, Activation::Tanh | Activation::Sigmoid)
+    }
+
+    /// Pre-activation thresholds at which the PWL activation changes slope,
+    /// or `None` for smooth activations.
+    ///
+    /// These are the values the linear-region computation subdivides on.
+    pub fn breakpoints(self) -> Option<Vec<f64>> {
+        match self {
+            Activation::Relu | Activation::LeakyRelu { .. } => Some(vec![0.0]),
+            Activation::HardTanh => Some(vec![-1.0, 1.0]),
+            Activation::Identity => Some(vec![]),
+            Activation::Tanh | Activation::Sigmoid => None,
+        }
+    }
+
+    /// A small integer identifying which linear piece `x` lies in, used to
+    /// build activation patterns (Definition 2.5) for PWL activations.
+    ///
+    /// Smooth activations return 0 for every input.
+    pub fn piece_index(self, x: f64) -> i8 {
+        match self.breakpoints() {
+            None => 0,
+            Some(bps) => {
+                let mut idx = 0i8;
+                for b in bps {
+                    if x >= b {
+                        idx += 1;
+                    }
+                }
+                idx
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Activation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Activation::Relu => write!(f, "relu"),
+            Activation::LeakyRelu { alpha } => write!(f, "leaky_relu({alpha})"),
+            Activation::HardTanh => write!(f, "hard_tanh"),
+            Activation::Tanh => write!(f, "tanh"),
+            Activation::Sigmoid => write!(f, "sigmoid"),
+            Activation::Identity => write!(f, "identity"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [Activation; 6] = [
+        Activation::Relu,
+        Activation::LeakyRelu { alpha: 0.1 },
+        Activation::HardTanh,
+        Activation::Tanh,
+        Activation::Sigmoid,
+        Activation::Identity,
+    ];
+
+    #[test]
+    fn relu_basics() {
+        let r = Activation::Relu;
+        assert_eq!(r.apply(&[-1.0, 0.0, 2.0]), vec![0.0, 0.0, 2.0]);
+        assert_eq!(r.derivative(&[-1.0, 2.0]), vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn leaky_and_hardtanh() {
+        let l = Activation::LeakyRelu { alpha: 0.5 };
+        assert_eq!(l.apply_scalar(-2.0), -1.0);
+        assert_eq!(l.derivative_scalar(-2.0), 0.5);
+        let h = Activation::HardTanh;
+        assert_eq!(h.apply(&[-3.0, 0.5, 3.0]), vec![-1.0, 0.5, 1.0]);
+        assert_eq!(h.derivative(&[-3.0, 0.5, 3.0]), vec![0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn linearization_exact_at_center() {
+        for act in ALL {
+            for &c in &[-2.0, -0.5, 0.0, 0.3, 1.7] {
+                let lin = act.linearize(&[c]);
+                let (slope, intercept) = lin[0];
+                let recon = slope * c + intercept;
+                assert!(
+                    (recon - act.apply_scalar(c)).abs() < 1e-12,
+                    "{act} at {c}: {recon} vs {}",
+                    act.apply_scalar(c)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn derivative_matches_finite_difference_for_smooth() {
+        let h = 1e-6;
+        for act in [Activation::Tanh, Activation::Sigmoid] {
+            for &x in &[-2.0, -0.3, 0.0, 0.7, 1.9] {
+                let fd = (act.apply_scalar(x + h) - act.apply_scalar(x - h)) / (2.0 * h);
+                assert!((fd - act.derivative_scalar(x)).abs() < 1e-5, "{act} at {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn pwl_classification() {
+        assert!(Activation::Relu.is_piecewise_linear());
+        assert!(Activation::HardTanh.is_piecewise_linear());
+        assert!(!Activation::Tanh.is_piecewise_linear());
+        assert!(!Activation::Sigmoid.is_piecewise_linear());
+        assert_eq!(Activation::Relu.breakpoints(), Some(vec![0.0]));
+        assert_eq!(Activation::Tanh.breakpoints(), None);
+    }
+
+    #[test]
+    fn piece_index_partitions_the_line() {
+        let h = Activation::HardTanh;
+        assert_eq!(h.piece_index(-2.0), 0);
+        assert_eq!(h.piece_index(0.0), 1);
+        assert_eq!(h.piece_index(2.0), 2);
+        let r = Activation::Relu;
+        assert_eq!(r.piece_index(-0.1), 0);
+        assert_eq!(r.piece_index(0.1), 1);
+    }
+}

@@ -1,0 +1,865 @@
+//! Network layers: fully-connected, convolutional, and pooling.
+//!
+//! Every layer is modelled as the paper's `(W, σ)` pair (Definition 2.1):
+//! an affine "pre-activation" map followed by a (possibly non-linear)
+//! activation.  Pooling layers have an identity affine part and use the pool
+//! as their activation, which is exactly how the paper treats MaxPool/AvgPool
+//! (they are activation functions, Definition 2.3 discussion).
+//!
+//! Besides forward evaluation, each layer exposes the three ingredients the
+//! repair algorithms need:
+//!
+//! * parameter access (`params` / `add_to_params`) so a repair `Δ` can be
+//!   applied to a single layer,
+//! * vector–Jacobian products against the pre-activation with respect to the
+//!   *input* and with respect to the *parameters*, which are used both to
+//!   build the repair LP (Algorithm 1, line 5) and for gradient-descent
+//!   training of the fine-tuning baselines, and
+//! * the layer's activation-linearisation around an activation-channel
+//!   pre-activation (Definition 4.2/4.3), which defines the value channel of
+//!   a Decoupled DNN.
+
+use crate::activation::Activation;
+use prdnn_linalg::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// How a layer's activation can cross between linear pieces.
+///
+/// This is the information the linear-region computation
+/// (`prdnn-syrenn`) needs from each layer: where, as a function of the
+/// pre-activation vector, the layer switches from one affine piece to
+/// another.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CrossingSpec {
+    /// The layer is affine: it never introduces new linear regions.
+    None,
+    /// Element-wise PWL activation: unit `i` crosses whenever its
+    /// pre-activation equals one of the listed thresholds.
+    ElementwiseThresholds(Vec<f64>),
+    /// Max-pooling: a crossing happens whenever two pre-activation entries
+    /// inside the same window become equal.  Each inner vector lists the
+    /// pre-activation indices belonging to one window.
+    WindowPairs(Vec<Vec<usize>>),
+    /// The layer's activation is not piecewise linear (Tanh/Sigmoid); linear
+    /// regions are not defined for it.
+    NotPiecewiseLinear,
+}
+
+/// The (affine) linearisation of a layer's activation around a fixed
+/// pre-activation, as used by the value channel of a DDNN.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ActivationLinearization {
+    /// Element-wise: `out_i = slope_i · z_i + intercept_i`.
+    Elementwise {
+        /// Per-component slope of the linearisation.
+        slopes: Vec<f64>,
+        /// Per-component intercept of the linearisation.
+        intercepts: Vec<f64>,
+    },
+    /// Selection (max-pooling): `out_w = z[selected[w]]`.
+    Selection {
+        /// For each output, the input index it copies.
+        selected: Vec<usize>,
+        /// Dimension of the pre-activation the selection reads from.
+        in_dim: usize,
+    },
+    /// Fixed averaging (average pooling): `out_w = mean(z[window_w])`.
+    Averaging {
+        /// For each output, the input indices it averages.
+        windows: Vec<Vec<usize>>,
+        /// Dimension of the pre-activation the averaging reads from.
+        in_dim: usize,
+    },
+}
+
+impl ActivationLinearization {
+    /// Applies the linearisation to a pre-activation vector.
+    pub fn apply(&self, z: &[f64]) -> Vec<f64> {
+        match self {
+            ActivationLinearization::Elementwise { slopes, intercepts } => z
+                .iter()
+                .zip(slopes.iter().zip(intercepts))
+                .map(|(zi, (s, b))| s * zi + b)
+                .collect(),
+            ActivationLinearization::Selection { selected, .. } => {
+                selected.iter().map(|&i| z[i]).collect()
+            }
+            ActivationLinearization::Averaging { windows, .. } => windows
+                .iter()
+                .map(|w| w.iter().map(|&i| z[i]).sum::<f64>() / w.len() as f64)
+                .collect(),
+        }
+    }
+
+    /// Computes `rows · D`, where `D` is the Jacobian of the linearisation
+    /// (i.e. the slopes/selection/averaging matrix) and `rows` has one column
+    /// per linearisation *output*.
+    pub fn vjp(&self, rows: &Matrix) -> Matrix {
+        match self {
+            ActivationLinearization::Elementwise { slopes, .. } => {
+                Matrix::from_fn(rows.rows(), slopes.len(), |r, c| rows[(r, c)] * slopes[c])
+            }
+            ActivationLinearization::Selection { selected, in_dim } => {
+                let mut out = Matrix::zeros(rows.rows(), *in_dim);
+                for r in 0..rows.rows() {
+                    for (w, &i) in selected.iter().enumerate() {
+                        out[(r, i)] += rows[(r, w)];
+                    }
+                }
+                out
+            }
+            ActivationLinearization::Averaging { windows, in_dim } => {
+                let mut out = Matrix::zeros(rows.rows(), *in_dim);
+                for r in 0..rows.rows() {
+                    for (w, idxs) in windows.iter().enumerate() {
+                        let coeff = rows[(r, w)] / idxs.len() as f64;
+                        for &i in idxs {
+                            out[(r, i)] += coeff;
+                        }
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Output dimension of the linearised activation.
+    pub fn output_dim(&self) -> usize {
+        match self {
+            ActivationLinearization::Elementwise { slopes, .. } => slopes.len(),
+            ActivationLinearization::Selection { selected, .. } => selected.len(),
+            ActivationLinearization::Averaging { windows, .. } => windows.len(),
+        }
+    }
+}
+
+/// A fully-connected layer `σ(W x + b)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DenseLayer {
+    /// Weight matrix of shape `output_dim × input_dim`.
+    pub weights: Matrix,
+    /// Bias vector of length `output_dim`.
+    pub bias: Vec<f64>,
+    /// Activation applied element-wise to the pre-activation.
+    pub activation: Activation,
+}
+
+impl DenseLayer {
+    /// Creates a dense layer from its weights, bias, and activation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias.len() != weights.rows()`.
+    pub fn new(weights: Matrix, bias: Vec<f64>, activation: Activation) -> Self {
+        assert_eq!(weights.rows(), bias.len(), "dense layer: bias/weight row mismatch");
+        DenseLayer { weights, bias, activation }
+    }
+}
+
+/// A 2-D convolutional layer `σ(conv(x, K) + b)` over `C×H×W` inputs
+/// flattened in row-major `[channel][row][col]` order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Conv2dLayer {
+    /// Input channel count.
+    pub in_channels: usize,
+    /// Input height.
+    pub in_height: usize,
+    /// Input width.
+    pub in_width: usize,
+    /// Output channel count (number of filters).
+    pub out_channels: usize,
+    /// Kernel height.
+    pub kernel_h: usize,
+    /// Kernel width.
+    pub kernel_w: usize,
+    /// Stride (same in both spatial dimensions).
+    pub stride: usize,
+    /// Zero padding (same on every side).
+    pub padding: usize,
+    /// Filter weights in `[out_c][in_c][kh][kw]` order.
+    pub weights: Vec<f64>,
+    /// Per-output-channel bias.
+    pub bias: Vec<f64>,
+    /// Activation applied element-wise to the pre-activation.
+    pub activation: Activation,
+}
+
+impl Conv2dLayer {
+    /// Output height after the convolution.
+    pub fn out_height(&self) -> usize {
+        (self.in_height + 2 * self.padding - self.kernel_h) / self.stride + 1
+    }
+
+    /// Output width after the convolution.
+    pub fn out_width(&self) -> usize {
+        (self.in_width + 2 * self.padding - self.kernel_w) / self.stride + 1
+    }
+
+    fn in_index(&self, c: usize, y: isize, x: isize) -> Option<usize> {
+        if y < 0 || x < 0 || y as usize >= self.in_height || x as usize >= self.in_width {
+            None
+        } else {
+            Some((c * self.in_height + y as usize) * self.in_width + x as usize)
+        }
+    }
+
+    fn weight_index(&self, oc: usize, ic: usize, ky: usize, kx: usize) -> usize {
+        ((oc * self.in_channels + ic) * self.kernel_h + ky) * self.kernel_w + kx
+    }
+
+    /// Iterates over `(out_index, weight_index, in_index)` triples describing
+    /// the sparse linear structure of the convolution, calling `f` for each.
+    fn for_each_connection(&self, mut f: impl FnMut(usize, usize, usize)) {
+        let (oh, ow) = (self.out_height(), self.out_width());
+        for oc in 0..self.out_channels {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let out_idx = (oc * oh + oy) * ow + ox;
+                    for ic in 0..self.in_channels {
+                        for ky in 0..self.kernel_h {
+                            for kx in 0..self.kernel_w {
+                                let iy = (oy * self.stride + ky) as isize - self.padding as isize;
+                                let ix = (ox * self.stride + kx) as isize - self.padding as isize;
+                                if let Some(in_idx) = self.in_index(ic, iy, ix) {
+                                    f(out_idx, self.weight_index(oc, ic, ky, kx), in_idx);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A 2-D pooling layer over `C×H×W` inputs (max or average).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Pool2dLayer {
+    /// Channel count (unchanged by pooling).
+    pub channels: usize,
+    /// Input height.
+    pub in_height: usize,
+    /// Input width.
+    pub in_width: usize,
+    /// Pooling window height.
+    pub pool_h: usize,
+    /// Pooling window width.
+    pub pool_w: usize,
+    /// Stride (same in both spatial dimensions).
+    pub stride: usize,
+}
+
+impl Pool2dLayer {
+    /// Output height after pooling.
+    pub fn out_height(&self) -> usize {
+        (self.in_height - self.pool_h) / self.stride + 1
+    }
+
+    /// Output width after pooling.
+    pub fn out_width(&self) -> usize {
+        (self.in_width - self.pool_w) / self.stride + 1
+    }
+
+    /// The input indices covered by each pooling window, in output order.
+    pub fn windows(&self) -> Vec<Vec<usize>> {
+        let (oh, ow) = (self.out_height(), self.out_width());
+        let mut windows = Vec::with_capacity(self.channels * oh * ow);
+        for c in 0..self.channels {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut w = Vec::with_capacity(self.pool_h * self.pool_w);
+                    for py in 0..self.pool_h {
+                        for px in 0..self.pool_w {
+                            let iy = oy * self.stride + py;
+                            let ix = ox * self.stride + px;
+                            w.push((c * self.in_height + iy) * self.in_width + ix);
+                        }
+                    }
+                    windows.push(w);
+                }
+            }
+        }
+        windows
+    }
+}
+
+/// A single network layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Layer {
+    /// Fully-connected layer.
+    Dense(DenseLayer),
+    /// 2-D convolution.
+    Conv2d(Conv2dLayer),
+    /// 2-D max pooling (a PWL activation with no parameters).
+    MaxPool2d(Pool2dLayer),
+    /// 2-D average pooling (an affine map with no parameters).
+    AvgPool2d(Pool2dLayer),
+}
+
+impl Layer {
+    /// Convenience constructor for a dense layer.
+    pub fn dense(weights: Matrix, bias: Vec<f64>, activation: Activation) -> Self {
+        Layer::Dense(DenseLayer::new(weights, bias, activation))
+    }
+
+    /// Input dimension expected by the layer.
+    pub fn input_dim(&self) -> usize {
+        match self {
+            Layer::Dense(d) => d.weights.cols(),
+            Layer::Conv2d(c) => c.in_channels * c.in_height * c.in_width,
+            Layer::MaxPool2d(p) | Layer::AvgPool2d(p) => {
+                p.channels * p.in_height * p.in_width
+            }
+        }
+    }
+
+    /// Output dimension produced by the layer.
+    pub fn output_dim(&self) -> usize {
+        match self {
+            Layer::Dense(d) => d.weights.rows(),
+            Layer::Conv2d(c) => c.out_channels * c.out_height() * c.out_width(),
+            Layer::MaxPool2d(p) | Layer::AvgPool2d(p) => {
+                p.channels * p.out_height() * p.out_width()
+            }
+        }
+    }
+
+    /// Dimension of the layer's pre-activation vector.
+    ///
+    /// For dense/conv layers this equals [`Self::output_dim`]; for pooling
+    /// layers the pre-activation *is* the input (identity affine part).
+    pub fn preactivation_dim(&self) -> usize {
+        match self {
+            Layer::Dense(_) | Layer::Conv2d(_) => self.output_dim(),
+            Layer::MaxPool2d(_) | Layer::AvgPool2d(_) => self.input_dim(),
+        }
+    }
+
+    /// Number of trainable/repairable parameters in the layer.
+    pub fn num_params(&self) -> usize {
+        match self {
+            Layer::Dense(d) => d.weights.rows() * d.weights.cols() + d.bias.len(),
+            Layer::Conv2d(c) => c.weights.len() + c.bias.len(),
+            Layer::MaxPool2d(_) | Layer::AvgPool2d(_) => 0,
+        }
+    }
+
+    /// Flattened copy of the layer's parameters (weights then biases).
+    pub fn params(&self) -> Vec<f64> {
+        match self {
+            Layer::Dense(d) => {
+                let mut p = d.weights.as_slice().to_vec();
+                p.extend_from_slice(&d.bias);
+                p
+            }
+            Layer::Conv2d(c) => {
+                let mut p = c.weights.clone();
+                p.extend_from_slice(&c.bias);
+                p
+            }
+            Layer::MaxPool2d(_) | Layer::AvgPool2d(_) => Vec::new(),
+        }
+    }
+
+    /// Adds `delta` to the layer's parameters (the repair application step,
+    /// Algorithm 1 line 9).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta.len() != self.num_params()`.
+    pub fn add_to_params(&mut self, delta: &[f64]) {
+        assert_eq!(delta.len(), self.num_params(), "add_to_params: wrong delta length");
+        match self {
+            Layer::Dense(d) => {
+                let nw = d.weights.rows() * d.weights.cols();
+                for (w, dv) in d.weights.as_mut_slice().iter_mut().zip(&delta[..nw]) {
+                    *w += dv;
+                }
+                for (b, dv) in d.bias.iter_mut().zip(&delta[nw..]) {
+                    *b += dv;
+                }
+            }
+            Layer::Conv2d(c) => {
+                let nw = c.weights.len();
+                for (w, dv) in c.weights.iter_mut().zip(&delta[..nw]) {
+                    *w += dv;
+                }
+                for (b, dv) in c.bias.iter_mut().zip(&delta[nw..]) {
+                    *b += dv;
+                }
+            }
+            Layer::MaxPool2d(_) | Layer::AvgPool2d(_) => {}
+        }
+    }
+
+    /// Overwrites the layer's parameters with `params`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.len() != self.num_params()`.
+    pub fn set_params(&mut self, params: &[f64]) {
+        let current = self.params();
+        assert_eq!(params.len(), current.len(), "set_params: wrong length");
+        let delta: Vec<f64> = params.iter().zip(&current).map(|(n, o)| n - o).collect();
+        self.add_to_params(&delta);
+    }
+
+    /// Computes the layer's pre-activation `z = W x + b` (or `z = x` for
+    /// pooling layers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != self.input_dim()`.
+    pub fn preactivation(&self, input: &[f64]) -> Vec<f64> {
+        assert_eq!(input.len(), self.input_dim(), "layer input dimension mismatch");
+        match self {
+            Layer::Dense(d) => {
+                let mut z = d.weights.matvec(input);
+                for (zi, b) in z.iter_mut().zip(&d.bias) {
+                    *zi += b;
+                }
+                z
+            }
+            Layer::Conv2d(c) => {
+                let out_dim = self.output_dim();
+                let (oh, ow) = (c.out_height(), c.out_width());
+                let mut z = vec![0.0; out_dim];
+                for oc in 0..c.out_channels {
+                    let b = c.bias[oc];
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            z[(oc * oh + oy) * ow + ox] = b;
+                        }
+                    }
+                }
+                c.for_each_connection(|out_idx, w_idx, in_idx| {
+                    z[out_idx] += c.weights[w_idx] * input[in_idx];
+                });
+                z
+            }
+            Layer::MaxPool2d(_) | Layer::AvgPool2d(_) => input.to_vec(),
+        }
+    }
+
+    /// Applies the layer's activation to a pre-activation vector.
+    pub fn activate(&self, z: &[f64]) -> Vec<f64> {
+        match self {
+            Layer::Dense(d) => d.activation.apply(z),
+            Layer::Conv2d(c) => c.activation.apply(z),
+            Layer::MaxPool2d(p) => p
+                .windows()
+                .iter()
+                .map(|w| w.iter().map(|&i| z[i]).fold(f64::NEG_INFINITY, f64::max))
+                .collect(),
+            Layer::AvgPool2d(p) => p
+                .windows()
+                .iter()
+                .map(|w| w.iter().map(|&i| z[i]).sum::<f64>() / w.len() as f64)
+                .collect(),
+        }
+    }
+
+    /// Full forward pass through the layer.
+    pub fn forward(&self, input: &[f64]) -> Vec<f64> {
+        self.activate(&self.preactivation(input))
+    }
+
+    /// The linearisation of the layer's activation around pre-activation
+    /// `z_center` (Definition 4.2), used by the DDNN value channel.
+    pub fn linearize_activation(&self, z_center: &[f64]) -> ActivationLinearization {
+        match self {
+            Layer::Dense(d) => {
+                let lin = d.activation.linearize(z_center);
+                ActivationLinearization::Elementwise {
+                    slopes: lin.iter().map(|(s, _)| *s).collect(),
+                    intercepts: lin.iter().map(|(_, b)| *b).collect(),
+                }
+            }
+            Layer::Conv2d(c) => {
+                let lin = c.activation.linearize(z_center);
+                ActivationLinearization::Elementwise {
+                    slopes: lin.iter().map(|(s, _)| *s).collect(),
+                    intercepts: lin.iter().map(|(_, b)| *b).collect(),
+                }
+            }
+            Layer::MaxPool2d(p) => {
+                let selected = p
+                    .windows()
+                    .iter()
+                    .map(|w| {
+                        let mut best = w[0];
+                        for &i in w {
+                            if z_center[i] > z_center[best] {
+                                best = i;
+                            }
+                        }
+                        best
+                    })
+                    .collect();
+                ActivationLinearization::Selection { selected, in_dim: self.input_dim() }
+            }
+            Layer::AvgPool2d(p) => ActivationLinearization::Averaging {
+                windows: p.windows(),
+                in_dim: self.input_dim(),
+            },
+        }
+    }
+
+    /// The element-wise activation of a dense/conv layer, if any.
+    pub fn activation(&self) -> Option<Activation> {
+        match self {
+            Layer::Dense(d) => Some(d.activation),
+            Layer::Conv2d(c) => Some(c.activation),
+            Layer::MaxPool2d(_) | Layer::AvgPool2d(_) => None,
+        }
+    }
+
+    /// Whether the layer computes a piecewise-linear function.
+    pub fn is_piecewise_linear(&self) -> bool {
+        match self {
+            Layer::Dense(d) => d.activation.is_piecewise_linear(),
+            Layer::Conv2d(c) => c.activation.is_piecewise_linear(),
+            Layer::MaxPool2d(_) | Layer::AvgPool2d(_) => true,
+        }
+    }
+
+    /// How this layer's activation crosses between linear pieces, as a
+    /// function of its pre-activation.
+    pub fn crossing_spec(&self) -> CrossingSpec {
+        match self {
+            Layer::Dense(d) => elementwise_crossing(d.activation),
+            Layer::Conv2d(c) => elementwise_crossing(c.activation),
+            Layer::MaxPool2d(p) => CrossingSpec::WindowPairs(p.windows()),
+            Layer::AvgPool2d(_) => CrossingSpec::None,
+        }
+    }
+
+    /// The activation pattern of the layer at pre-activation `z`
+    /// (Definition 2.5): one small integer per pre-activation unit (the
+    /// linear piece it falls in) or per window (the argmax position).
+    pub fn activation_pattern(&self, z: &[f64]) -> Vec<i8> {
+        match self {
+            Layer::Dense(d) => z.iter().map(|&x| d.activation.piece_index(x)).collect(),
+            Layer::Conv2d(c) => z.iter().map(|&x| c.activation.piece_index(x)).collect(),
+            Layer::MaxPool2d(p) => p
+                .windows()
+                .iter()
+                .map(|w| {
+                    let mut best = 0usize;
+                    for (k, &i) in w.iter().enumerate() {
+                        if z[i] > z[w[best]] {
+                            best = k;
+                        }
+                    }
+                    best as i8
+                })
+                .collect(),
+            Layer::AvgPool2d(_) => Vec::new(),
+        }
+    }
+
+    /// Computes `rows · (∂z/∂input)`, the vector–Jacobian product of the
+    /// pre-activation with respect to the layer *input*.
+    ///
+    /// `rows` must have one column per pre-activation component; the result
+    /// has one column per input component.
+    pub fn preact_input_vjp(&self, rows: &Matrix) -> Matrix {
+        assert_eq!(rows.cols(), self.preactivation_dim(), "preact_input_vjp: column mismatch");
+        match self {
+            Layer::Dense(d) => rows.matmul(&d.weights),
+            Layer::Conv2d(c) => {
+                let mut out = Matrix::zeros(rows.rows(), self.input_dim());
+                c.for_each_connection(|out_idx, w_idx, in_idx| {
+                    let w = c.weights[w_idx];
+                    for r in 0..rows.rows() {
+                        out[(r, in_idx)] += rows[(r, out_idx)] * w;
+                    }
+                });
+                out
+            }
+            Layer::MaxPool2d(_) | Layer::AvgPool2d(_) => rows.clone(),
+        }
+    }
+
+    /// Computes `rows · (∂z/∂params)`, the vector–Jacobian product of the
+    /// pre-activation with respect to the layer *parameters*, evaluated at
+    /// `input`.
+    ///
+    /// `rows` must have one column per pre-activation component; the result
+    /// has one column per parameter (in [`Self::params`] order).  This is the
+    /// core quantity behind Algorithm 1's Jacobian (line 5).
+    pub fn preact_param_vjp(&self, rows: &Matrix, input: &[f64]) -> Matrix {
+        assert_eq!(rows.cols(), self.preactivation_dim(), "preact_param_vjp: column mismatch");
+        assert_eq!(input.len(), self.input_dim(), "preact_param_vjp: input mismatch");
+        match self {
+            Layer::Dense(d) => {
+                let (out_dim, in_dim) = (d.weights.rows(), d.weights.cols());
+                let mut out = Matrix::zeros(rows.rows(), self.num_params());
+                for r in 0..rows.rows() {
+                    for j in 0..out_dim {
+                        let g = rows[(r, j)];
+                        if g == 0.0 {
+                            continue;
+                        }
+                        let base = j * in_dim;
+                        for (k, &xk) in input.iter().enumerate() {
+                            out[(r, base + k)] += g * xk;
+                        }
+                        // Bias entry for unit j.
+                        out[(r, out_dim * in_dim + j)] += g;
+                    }
+                }
+                out
+            }
+            Layer::Conv2d(c) => {
+                let mut out = Matrix::zeros(rows.rows(), self.num_params());
+                let nw = c.weights.len();
+                c.for_each_connection(|out_idx, w_idx, in_idx| {
+                    let x = input[in_idx];
+                    for r in 0..rows.rows() {
+                        out[(r, w_idx)] += rows[(r, out_idx)] * x;
+                    }
+                });
+                // Bias connections: pre-activation (oc, oy, ox) depends on bias[oc].
+                let (oh, ow) = (c.out_height(), c.out_width());
+                for oc in 0..c.out_channels {
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let out_idx = (oc * oh + oy) * ow + ox;
+                            for r in 0..rows.rows() {
+                                out[(r, nw + oc)] += rows[(r, out_idx)];
+                            }
+                        }
+                    }
+                }
+                out
+            }
+            Layer::MaxPool2d(_) | Layer::AvgPool2d(_) => Matrix::zeros(rows.rows(), 0),
+        }
+    }
+}
+
+fn elementwise_crossing(activation: Activation) -> CrossingSpec {
+    match activation.breakpoints() {
+        None => CrossingSpec::NotPiecewiseLinear,
+        Some(bps) if bps.is_empty() => CrossingSpec::None,
+        Some(bps) => CrossingSpec::ElementwiseThresholds(bps),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prdnn_linalg::approx_eq_slice;
+
+    fn dense_example() -> Layer {
+        Layer::dense(
+            Matrix::from_rows(&[vec![1.0, -1.0], vec![0.5, 2.0]]),
+            vec![0.0, -1.0],
+            Activation::Relu,
+        )
+    }
+
+    #[test]
+    fn dense_forward() {
+        let layer = dense_example();
+        assert_eq!(layer.input_dim(), 2);
+        assert_eq!(layer.output_dim(), 2);
+        let z = layer.preactivation(&[1.0, 2.0]);
+        assert_eq!(z, vec![-1.0, 3.5]);
+        assert_eq!(layer.forward(&[1.0, 2.0]), vec![0.0, 3.5]);
+    }
+
+    #[test]
+    fn dense_params_roundtrip() {
+        let mut layer = dense_example();
+        let p = layer.params();
+        assert_eq!(p.len(), layer.num_params());
+        assert_eq!(p, vec![1.0, -1.0, 0.5, 2.0, 0.0, -1.0]);
+        layer.add_to_params(&[0.0, 0.0, 0.0, 0.0, 1.0, 1.0]);
+        assert_eq!(layer.preactivation(&[0.0, 0.0]), vec![1.0, 0.0]);
+        let snapshot = layer.params();
+        layer.set_params(&snapshot);
+        assert_eq!(layer.params(), snapshot);
+    }
+
+    #[test]
+    fn dense_param_vjp_matches_finite_difference() {
+        let layer = dense_example();
+        let input = vec![0.7, -1.3];
+        // rows = identity: the vjp equals the full Jacobian of z wrt params.
+        let rows = Matrix::identity(2);
+        let jac = layer.preact_param_vjp(&rows, &input);
+        let h = 1e-6;
+        let base = layer.preactivation(&input);
+        for p in 0..layer.num_params() {
+            let mut bumped = layer.clone();
+            let mut delta = vec![0.0; layer.num_params()];
+            delta[p] = h;
+            bumped.add_to_params(&delta);
+            let z = bumped.preactivation(&input);
+            for o in 0..2 {
+                let fd = (z[o] - base[o]) / h;
+                assert!(
+                    (fd - jac[(o, p)]).abs() < 1e-5,
+                    "param {p} output {o}: fd {fd} vs {}",
+                    jac[(o, p)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dense_input_vjp_matches_weights() {
+        let layer = dense_example();
+        let rows = Matrix::identity(2);
+        let jac = layer.preact_input_vjp(&rows);
+        assert_eq!(jac, Matrix::from_rows(&[vec![1.0, -1.0], vec![0.5, 2.0]]));
+    }
+
+    fn conv_example() -> Layer {
+        Layer::Conv2d(Conv2dLayer {
+            in_channels: 1,
+            in_height: 3,
+            in_width: 3,
+            out_channels: 2,
+            kernel_h: 2,
+            kernel_w: 2,
+            stride: 1,
+            padding: 0,
+            weights: vec![
+                // filter 0
+                1.0, 0.0, 0.0, 1.0, // identity-ish
+                // filter 1
+                0.0, 1.0, 1.0, 0.0,
+            ],
+            bias: vec![0.5, -0.5],
+            activation: Activation::Identity,
+        })
+    }
+
+    #[test]
+    fn conv_forward_shapes_and_values() {
+        let layer = conv_example();
+        assert_eq!(layer.input_dim(), 9);
+        assert_eq!(layer.output_dim(), 2 * 2 * 2);
+        let input: Vec<f64> = (1..=9).map(|i| i as f64).collect();
+        let z = layer.preactivation(&input);
+        // Filter 0 at (0,0): x[0,0] + x[1,1] + bias = 1 + 5 + 0.5 = 6.5
+        assert_eq!(z[0], 6.5);
+        // Filter 1 at (0,0): x[0,1] + x[1,0] - 0.5 = 2 + 4 - 0.5 = 5.5
+        assert_eq!(z[4], 5.5);
+    }
+
+    #[test]
+    fn conv_param_vjp_matches_finite_difference() {
+        let layer = conv_example();
+        let input: Vec<f64> = (0..9).map(|i| (i as f64) * 0.3 - 1.0).collect();
+        let out_dim = layer.output_dim();
+        let rows = Matrix::identity(out_dim);
+        let jac = layer.preact_param_vjp(&rows, &input);
+        let base = layer.preactivation(&input);
+        let h = 1e-6;
+        for p in 0..layer.num_params() {
+            let mut bumped = layer.clone();
+            let mut delta = vec![0.0; layer.num_params()];
+            delta[p] = h;
+            bumped.add_to_params(&delta);
+            let z = bumped.preactivation(&input);
+            for o in 0..out_dim {
+                let fd = (z[o] - base[o]) / h;
+                assert!((fd - jac[(o, p)]).abs() < 1e-5, "param {p} out {o}");
+            }
+        }
+    }
+
+    #[test]
+    fn conv_input_vjp_matches_finite_difference() {
+        let layer = conv_example();
+        let input: Vec<f64> = (0..9).map(|i| (i as f64) * 0.1).collect();
+        let out_dim = layer.output_dim();
+        let rows = Matrix::identity(out_dim);
+        let jac = layer.preact_input_vjp(&rows);
+        let base = layer.preactivation(&input);
+        let h = 1e-6;
+        for k in 0..9 {
+            let mut bumped = input.clone();
+            bumped[k] += h;
+            let z = layer.preactivation(&bumped);
+            for o in 0..out_dim {
+                let fd = (z[o] - base[o]) / h;
+                assert!((fd - jac[(o, k)]).abs() < 1e-5, "input {k} out {o}");
+            }
+        }
+    }
+
+    #[test]
+    fn maxpool_forward_and_pattern() {
+        let layer = Layer::MaxPool2d(Pool2dLayer {
+            channels: 1,
+            in_height: 2,
+            in_width: 4,
+            pool_h: 2,
+            pool_w: 2,
+            stride: 2,
+        });
+        assert_eq!(layer.input_dim(), 8);
+        assert_eq!(layer.output_dim(), 2);
+        let input = vec![1.0, 5.0, 2.0, 0.0, 3.0, -1.0, 9.0, 4.0];
+        assert_eq!(layer.forward(&input), vec![5.0, 9.0]);
+        // Window 0 covers indices [0,1,4,5]; argmax is position 1 (value 5).
+        assert_eq!(layer.activation_pattern(&input), vec![1, 2]);
+        // The linearisation selects the argmax entries.
+        let lin = layer.linearize_activation(&input);
+        assert_eq!(lin.apply(&input), vec![5.0, 9.0]);
+        // On a *different* value-channel vector it still selects positions 1 and 6.
+        let other: Vec<f64> = (0..8).map(|i| i as f64 * 10.0).collect();
+        assert_eq!(lin.apply(&other), vec![10.0, 60.0]);
+    }
+
+    #[test]
+    fn avgpool_is_affine() {
+        let layer = Layer::AvgPool2d(Pool2dLayer {
+            channels: 1,
+            in_height: 2,
+            in_width: 2,
+            pool_h: 2,
+            pool_w: 2,
+            stride: 2,
+        });
+        let input = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(layer.forward(&input), vec![2.5]);
+        assert_eq!(layer.crossing_spec(), CrossingSpec::None);
+        assert_eq!(layer.num_params(), 0);
+    }
+
+    #[test]
+    fn linearization_matches_activation_at_center() {
+        let layer = dense_example();
+        let z = vec![-0.5, 1.5];
+        let lin = layer.linearize_activation(&z);
+        assert!(approx_eq_slice(&lin.apply(&z), &layer.activate(&z), 1e-12));
+    }
+
+    #[test]
+    fn crossing_specs() {
+        assert_eq!(
+            dense_example().crossing_spec(),
+            CrossingSpec::ElementwiseThresholds(vec![0.0])
+        );
+        let tanh_layer =
+            Layer::dense(Matrix::identity(2), vec![0.0, 0.0], Activation::Tanh);
+        assert_eq!(tanh_layer.crossing_spec(), CrossingSpec::NotPiecewiseLinear);
+        assert!(!tanh_layer.is_piecewise_linear());
+    }
+
+    #[test]
+    fn activation_linearization_vjp_elementwise() {
+        let lin = ActivationLinearization::Elementwise {
+            slopes: vec![0.0, 1.0, 2.0],
+            intercepts: vec![0.0; 3],
+        };
+        let rows = Matrix::from_rows(&[vec![1.0, 1.0, 1.0]]);
+        assert_eq!(lin.vjp(&rows), Matrix::from_rows(&[vec![0.0, 1.0, 2.0]]));
+    }
+}

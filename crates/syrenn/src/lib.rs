@@ -1,0 +1,88 @@
+//! Exact linear-region computation for piecewise-linear networks.
+//!
+//! This crate reimplements the part of SyReNN / ExactLine
+//! (Sotoudeh & Thakur, NeurIPS 2019 / TACAS 2021) that the paper's polytope
+//! repair algorithm depends on: computing `LinRegions(N, P)`, the partition
+//! of a low-dimensional input polytope `P` into regions on which the PWL
+//! network `N` is affine (§2 of the paper).
+//!
+//! Two cases are supported, matching the paper's evaluation:
+//!
+//! * [`line_regions`] — `P` is a 1-D segment (Task 2: clean→foggy image
+//!   lines), computed by the ExactLine endpoint-subdivision algorithm;
+//! * [`plane_regions`] — `P` is a 2-D convex polygon (Task 3: ACAS Xu input
+//!   slices), computed by successive polygon splitting.
+//!
+//! Each returned [`LinearRegion`] carries its vertices (the key points that
+//! Algorithm 2 feeds to point repair) and an interior point, which fixes the
+//! activation pattern the repair must use for those vertices (Appendix B).
+//!
+//! # Example
+//!
+//! ```
+//! use prdnn_linalg::Matrix;
+//! use prdnn_nn::{Activation, Layer, Network};
+//!
+//! // A 1-D ReLU "hat" network: one kink at x = 0.
+//! let net = Network::new(vec![
+//!     Layer::dense(Matrix::from_rows(&[vec![1.0]]), vec![0.0], Activation::Relu),
+//!     Layer::dense(Matrix::from_rows(&[vec![1.0]]), vec![0.0], Activation::Identity),
+//! ]);
+//! let regions = prdnn_syrenn::line_regions(&net, &[-1.0], &[1.0]).unwrap();
+//! assert_eq!(regions.len(), 2);
+//! ```
+
+mod line;
+mod plane;
+
+pub use line::{exact_line, line_regions};
+pub use plane::plane_regions;
+
+/// Tolerance used when deduplicating subdivision points and deciding which
+/// side of a crossing a value lies on.
+pub(crate) const TOL: f64 = 1e-9;
+
+/// One linear region of `LinRegions(N, P)`.
+///
+/// Within the region the network is affine; its vertices are the key points
+/// used by the paper's polytope-to-point reduction (Algorithm 2, line 4),
+/// and `interior` is a point in the region's relative interior whose
+/// activation pattern identifies the affine piece (Appendix B).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearRegion {
+    /// The region's vertices, as points in the network's input space.
+    pub vertices: Vec<Vec<f64>>,
+    /// A point in the relative interior of the region.
+    pub interior: Vec<f64>,
+}
+
+impl LinearRegion {
+    /// Number of vertices of the region.
+    pub fn num_vertices(&self) -> usize {
+        self.vertices.len()
+    }
+}
+
+/// Errors returned by the linear-region computations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SyrennError {
+    /// The network uses a non-piecewise-linear activation (Tanh/Sigmoid);
+    /// linear regions are not defined (§6's assumption on the DNN).
+    NotPiecewiseLinear,
+    /// The input polytope is degenerate (fewer than the required number of
+    /// affinely independent vertices).
+    DegenerateInput,
+}
+
+impl std::fmt::Display for SyrennError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SyrennError::NotPiecewiseLinear => {
+                write!(f, "network uses non-piecewise-linear activations")
+            }
+            SyrennError::DegenerateInput => write!(f, "input polytope is degenerate"),
+        }
+    }
+}
+
+impl std::error::Error for SyrennError {}

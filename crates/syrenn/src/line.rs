@@ -1,0 +1,263 @@
+//! ExactLine: the restriction of a PWL network to a 1-D segment.
+
+use crate::{LinearRegion, SyrennError, TOL};
+use prdnn_nn::{CrossingSpec, Network};
+
+/// Evaluates the prefix network (layers `0..layer`) at the point
+/// `start + t · (end − start)` and returns the *pre-activation* of `layer`.
+fn prefix_preactivation(net: &Network, start: &[f64], end: &[f64], t: f64, layer: usize) -> Vec<f64> {
+    let mut v: Vec<f64> =
+        start.iter().zip(end).map(|(s, e)| s + t * (e - s)).collect();
+    for l in 0..layer {
+        v = net.layer(l).forward(&v);
+    }
+    net.layer(layer).preactivation(&v)
+}
+
+/// Computes the endpoints (as parameters `t ∈ [0, 1]`) of the linear pieces
+/// of `N` restricted to the segment from `start` to `end`.
+///
+/// The returned vector is sorted, starts with `0.0`, ends with `1.0`, and the
+/// network is affine on every consecutive pair (this is the ExactLine
+/// algorithm of Sotoudeh & Thakur 2019, which the paper uses to compute
+/// `LinRegions(N, P)` for one-dimensional `P`).
+///
+/// # Errors
+///
+/// Returns [`SyrennError::NotPiecewiseLinear`] if any layer uses a smooth
+/// activation, and [`SyrennError::DegenerateInput`] if `start == end`.
+///
+/// # Panics
+///
+/// Panics if `start.len()` or `end.len()` differ from the network's input
+/// dimension.
+pub fn exact_line(net: &Network, start: &[f64], end: &[f64]) -> Result<Vec<f64>, SyrennError> {
+    assert_eq!(start.len(), net.input_dim(), "exact_line: start dimension mismatch");
+    assert_eq!(end.len(), net.input_dim(), "exact_line: end dimension mismatch");
+    if !net.is_piecewise_linear() {
+        return Err(SyrennError::NotPiecewiseLinear);
+    }
+    if start.iter().zip(end).all(|(s, e)| (s - e).abs() <= TOL) {
+        return Err(SyrennError::DegenerateInput);
+    }
+
+    let mut ts: Vec<f64> = vec![0.0, 1.0];
+    for layer_idx in 0..net.num_layers() {
+        let spec = net.layer(layer_idx).crossing_spec();
+        if matches!(spec, CrossingSpec::None) {
+            continue;
+        }
+        // Pre-activations of this layer at every current subdivision point.
+        // Within each current interval the prefix network is affine, so the
+        // pre-activation is affine in t there and crossings can be found by
+        // linear interpolation of the endpoint values.
+        let zs: Vec<Vec<f64>> = ts
+            .iter()
+            .map(|&t| prefix_preactivation(net, start, end, t, layer_idx))
+            .collect();
+        let mut new_ts: Vec<f64> = Vec::new();
+        for i in 0..ts.len() - 1 {
+            let (ta, tb) = (ts[i], ts[i + 1]);
+            let (za, zb) = (&zs[i], &zs[i + 1]);
+            let mut push_crossing = |ga: f64, gb: f64| {
+                if (ga > TOL && gb < -TOL) || (ga < -TOL && gb > TOL) {
+                    let alpha = ga / (ga - gb);
+                    let t = ta + alpha * (tb - ta);
+                    if t > ta + TOL && t < tb - TOL {
+                        new_ts.push(t);
+                    }
+                }
+            };
+            match &spec {
+                CrossingSpec::None => {}
+                CrossingSpec::ElementwiseThresholds(thresholds) => {
+                    for unit in 0..za.len() {
+                        for &thr in thresholds {
+                            push_crossing(za[unit] - thr, zb[unit] - thr);
+                        }
+                    }
+                }
+                CrossingSpec::WindowPairs(windows) => {
+                    for w in windows {
+                        for (pos, &i) in w.iter().enumerate() {
+                            for &j in &w[pos + 1..] {
+                                push_crossing(za[i] - za[j], zb[i] - zb[j]);
+                            }
+                        }
+                    }
+                }
+                CrossingSpec::NotPiecewiseLinear => {
+                    return Err(SyrennError::NotPiecewiseLinear);
+                }
+            }
+        }
+        ts.extend(new_ts);
+        ts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        ts.dedup_by(|a, b| (*a - *b).abs() <= TOL);
+    }
+    Ok(ts)
+}
+
+/// Computes `LinRegions(N, P)` for a 1-D segment `P` from `start` to `end`.
+///
+/// Each region is a sub-segment on which the network is affine; its vertices
+/// are the two endpoints of the sub-segment and its interior point is the
+/// midpoint.
+///
+/// # Errors
+///
+/// See [`exact_line`].
+pub fn line_regions(
+    net: &Network,
+    start: &[f64],
+    end: &[f64],
+) -> Result<Vec<LinearRegion>, SyrennError> {
+    let ts = exact_line(net, start, end)?;
+    let point = |t: f64| -> Vec<f64> {
+        start.iter().zip(end).map(|(s, e)| s + t * (e - s)).collect()
+    };
+    Ok(ts
+        .windows(2)
+        .map(|w| LinearRegion {
+            vertices: vec![point(w[0]), point(w[1])],
+            interior: point(0.5 * (w[0] + w[1])),
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prdnn_linalg::Matrix;
+    use prdnn_nn::{Activation, Layer, Pool2dLayer};
+
+    /// The paper's running example N1 (Figure 3a).
+    fn paper_n1() -> Network {
+        Network::new(vec![
+            Layer::dense(
+                Matrix::from_rows(&[vec![-1.0], vec![1.0], vec![1.0]]),
+                vec![0.0, 0.0, -1.0],
+                Activation::Relu,
+            ),
+            Layer::dense(
+                Matrix::from_rows(&[vec![-1.0, -1.0, 1.0]]),
+                vec![0.0],
+                Activation::Identity,
+            ),
+        ])
+    }
+
+    #[test]
+    fn n1_linear_regions_match_equation_1() {
+        // Equation (1): LinRegions(N1, [-1, 2]) = {[-1, 0], [0, 1], [1, 2]}.
+        let net = paper_n1();
+        let ts = exact_line(&net, &[-1.0], &[2.0]).unwrap();
+        // t parameterises [-1, 2], so breakpoints at x = 0 and x = 1 are at
+        // t = 1/3 and t = 2/3.
+        assert_eq!(ts.len(), 4);
+        assert!((ts[1] - 1.0 / 3.0).abs() < 1e-9);
+        assert!((ts[2] - 2.0 / 3.0).abs() < 1e-9);
+
+        let regions = line_regions(&net, &[-1.0], &[2.0]).unwrap();
+        assert_eq!(regions.len(), 3);
+        assert!((regions[0].vertices[0][0] + 1.0).abs() < 1e-9);
+        assert!((regions[0].vertices[1][0] - 0.0).abs() < 1e-9);
+        assert!((regions[1].vertices[1][0] - 1.0).abs() < 1e-9);
+        assert!((regions[2].vertices[1][0] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn subsegment_of_one_region_is_not_subdivided() {
+        let net = paper_n1();
+        let ts = exact_line(&net, &[0.1], &[0.9]).unwrap();
+        assert_eq!(ts, vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn network_is_affine_within_each_region() {
+        let net = paper_n1();
+        let regions = line_regions(&net, &[-1.0], &[2.0]).unwrap();
+        for region in regions {
+            let a = &region.vertices[0];
+            let b = &region.vertices[1];
+            let fa = net.forward(a)[0];
+            let fb = net.forward(b)[0];
+            // Check the midpoint and quarter points are on the chord.
+            for &alpha in &[0.25, 0.5, 0.75] {
+                let p: Vec<f64> = a.iter().zip(b).map(|(x, y)| x + alpha * (y - x)).collect();
+                let expected = fa + alpha * (fb - fa);
+                assert!((net.forward(&p)[0] - expected).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn multi_dimensional_line_through_random_relu_net() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(21);
+        let net = Network::mlp(&[4, 12, 12, 3], Activation::Relu, &mut rng);
+        let start = vec![-1.0, 0.5, 2.0, -0.3];
+        let end = vec![1.0, -0.5, -2.0, 0.3];
+        let regions = line_regions(&net, &start, &end).unwrap();
+        assert!(!regions.is_empty());
+        // Exactness: in every region the function is affine along the segment.
+        for region in &regions {
+            let a = &region.vertices[0];
+            let b = &region.vertices[1];
+            let fa = net.forward(a);
+            let fb = net.forward(b);
+            let mid: Vec<f64> = a.iter().zip(b).map(|(x, y)| 0.5 * (x + y)).collect();
+            let fmid = net.forward(&mid);
+            for k in 0..fa.len() {
+                assert!(
+                    (fmid[k] - 0.5 * (fa[k] + fb[k])).abs() < 1e-7,
+                    "region not affine"
+                );
+            }
+        }
+        // Regions tile the segment: consecutive regions share an endpoint.
+        for w in regions.windows(2) {
+            assert!(prdnn_linalg::approx_eq_slice(&w[0].vertices[1], &w[1].vertices[0], 1e-9));
+        }
+    }
+
+    #[test]
+    fn maxpool_crossings_are_found() {
+        // 1 channel, 1x2 input, maxpool over the whole row: crossing when the
+        // two inputs are equal.
+        let net = Network::new(vec![Layer::MaxPool2d(Pool2dLayer {
+            channels: 1,
+            in_height: 1,
+            in_width: 2,
+            pool_h: 1,
+            pool_w: 2,
+            stride: 1,
+        })]);
+        // Along the segment (0, 1) -> (1, 0) the max switches at t = 0.5.
+        let ts = exact_line(&net, &[0.0, 1.0], &[1.0, 0.0]).unwrap();
+        assert_eq!(ts.len(), 3);
+        assert!((ts[1] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn smooth_network_is_rejected() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(3);
+        let net = Network::mlp(&[2, 4, 2], Activation::Tanh, &mut rng);
+        assert_eq!(
+            exact_line(&net, &[0.0, 0.0], &[1.0, 1.0]).unwrap_err(),
+            SyrennError::NotPiecewiseLinear
+        );
+    }
+
+    #[test]
+    fn degenerate_segment_is_rejected() {
+        let net = paper_n1();
+        assert_eq!(
+            exact_line(&net, &[0.5], &[0.5]).unwrap_err(),
+            SyrennError::DegenerateInput
+        );
+    }
+}

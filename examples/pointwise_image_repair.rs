@@ -1,0 +1,61 @@
+//! Pointwise image-classifier repair (a small version of Task 1, §7.1).
+//!
+//! Trains a small CNN on synthetic object images, collects distorted
+//! "natural adversarial" images it misclassifies, and repairs each layer in
+//! turn to make every one of them correctly classified — then reports the
+//! drawdown of each choice of repair layer, reproducing the shape of
+//! Figure 7(a).
+//!
+//! Run with: `cargo run --release --example pointwise_image_repair`
+
+use prdnn::core::{repair_points, PointSpec, RepairConfig, RepairError};
+use prdnn::datasets::{imagenet_like, natural_adversarial};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let task = imagenet_like::object_task(11, 270, 135);
+    let network = task.network;
+    println!(
+        "buggy CNN: {:.1}% accuracy on clean validation images",
+        100.0 * task.validation.accuracy(&network)
+    );
+
+    // Collect misclassified distorted images (the repair set).
+    let mut rng = StdRng::seed_from_u64(5);
+    let repair_set = natural_adversarial::misclassified_pool(&network, 8, 4000, &mut rng);
+    println!("repair set: {} misclassified distorted images", repair_set.len());
+    let spec = PointSpec::from_classification(
+        &repair_set.inputs,
+        &repair_set.labels,
+        imagenet_like::NUM_CLASSES,
+        1e-4,
+    );
+
+    // Repair each layer in turn and report drawdown, as in Figure 7(a).
+    println!("\nlayer | result      | drawdown on clean validation set");
+    for layer in network.repairable_layers() {
+        match repair_points(&network, layer, &spec, &RepairConfig::default()) {
+            Ok(outcome) => {
+                let repaired_acc = task
+                    .validation
+                    .inputs
+                    .iter()
+                    .zip(&task.validation.labels)
+                    .filter(|(x, &y)| outcome.repaired.classify(x) == y)
+                    .count() as f64
+                    / task.validation.len() as f64;
+                let drawdown = task.validation.accuracy(&network) - repaired_acc;
+                println!("{layer:>5} | repaired    | {:+.1}%", 100.0 * drawdown);
+                // Efficacy is guaranteed: every repair point is now correct.
+                for (x, &y) in repair_set.inputs.iter().zip(&repair_set.labels) {
+                    assert_eq!(outcome.repaired.classify(x), y);
+                }
+            }
+            Err(RepairError::Infeasible) => println!("{layer:>5} | infeasible  | -"),
+            Err(e) => println!("{layer:>5} | error: {e} | -"),
+        }
+    }
+    println!("\n(the paper's Figure 7a shows the same trend: later layers repair with far less drawdown)");
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! Quickstart: the paper's running example (§3, Figures 3–5) end to end.
+//!
+//! Builds the tiny ReLU network `N1`, shows that it violates the point
+//! specification of Equation 2 and the polytope specification of Equation 3,
+//! repairs it with both algorithms, and prints the resulting input–output
+//! behaviour.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use prdnn::core::{paper_example, repair_points, repair_polytopes, RepairConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ---- The buggy network N1 (Figure 3a). -------------------------------
+    let n1 = paper_example::n1();
+    println!("N1(0.5) = {:+.3}   N1(1.5) = {:+.3}", n1.forward(&[0.5])[0], n1.forward(&[1.5])[0]);
+
+    // ---- Provable Point Repair against Equation 2. ------------------------
+    // (-1 <= N'(0.5) <= -0.8)  and  (-0.2 <= N'(1.5) <= 0)
+    let spec = paper_example::equation_2_spec();
+    println!("\nEquation 2 satisfied by N1? {}", spec.is_satisfied_by(|x| n1.forward(x), 1e-9));
+    let point_repair = repair_points(&n1, 0, &spec, &RepairConfig::default())?;
+    println!(
+        "point repair of layer 1: delta_l1 = {:.3}, delta_linf = {:.3}",
+        point_repair.stats.delta_l1, point_repair.stats.delta_linf
+    );
+    let n5 = &point_repair.repaired;
+    println!("N5(0.5) = {:+.3}   N5(1.5) = {:+.3}", n5.forward(&[0.5])[0], n5.forward(&[1.5])[0]);
+    assert!(spec.is_satisfied_by(|x| n5.forward(x), 1e-6));
+
+    // ---- Provable Polytope Repair against Equation 3. ----------------------
+    // For every x in [0.5, 1.5]:  -0.8 <= N'(x) <= -0.4
+    let polytope_spec = paper_example::equation_3_spec();
+    let polytope_repair = repair_polytopes(&n1, 0, &polytope_spec, &RepairConfig::default())?;
+    println!(
+        "\npolytope repair: {} linear regions, {} key points, delta_l1 = {:.3}",
+        polytope_repair.num_regions,
+        polytope_repair.num_key_points,
+        polytope_repair.outcome.stats.delta_l1
+    );
+    let n6 = &polytope_repair.outcome.repaired;
+    print!("N6 on [0.5, 1.5]: ");
+    for i in 0..=5 {
+        let x = 0.5 + i as f64 / 5.0;
+        print!("{:+.2} ", n6.forward(&[x])[0]);
+    }
+    println!("\n(every value is guaranteed to lie in [-0.8, -0.4])");
+    Ok(())
+}

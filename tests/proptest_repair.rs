@@ -1,0 +1,105 @@
+//! Property-based tests of the repair algorithms on randomly generated
+//! networks and specifications.
+
+use prdnn::core::{
+    repair_points, repair_polytopes, InputPolytope, OutputPolytope, PointSpec, PolytopeSpec,
+    RepairConfig,
+};
+use prdnn::nn::{Activation, Network};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng as _, SeedableRng};
+
+fn random_relu_net(seed: u64, sizes: &[usize]) -> Network {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Network::mlp(sizes, Activation::Relu, &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Specifications built from achievable outputs (boxes around the
+    /// network's own outputs, shifted within reach of a last-layer bias
+    /// change) are always repairable, the repaired network satisfies them,
+    /// and the delta is no larger than the obvious feasible fix.
+    #[test]
+    fn achievable_point_specs_are_repaired_minimally(
+        seed in 0u64..500,
+        shift in -0.5f64..0.5,
+        num_points in 1usize..5,
+    ) {
+        let net = random_relu_net(seed, &[4, 10, 8, 3]);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xabc);
+        let mut spec = PointSpec::new();
+        for _ in 0..num_points {
+            let x: Vec<f64> = (0..4).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let y = net.forward(&x);
+            // Require output component 0 to move into [y0 + shift - 0.05, y0 + shift + 0.05]
+            // while the others stay within +/- 1 of their current values.
+            let lo: Vec<f64> = y.iter().enumerate()
+                .map(|(i, v)| if i == 0 { v + shift - 0.05 } else { v - 1.0 }).collect();
+            let hi: Vec<f64> = y.iter().enumerate()
+                .map(|(i, v)| if i == 0 { v + shift + 0.05 } else { v + 1.0 }).collect();
+            spec.push(x, OutputPolytope::interval(&lo, &hi));
+        }
+        // Shifting output 0 by `shift` is achievable by changing only the
+        // last-layer bias of unit 0 by `shift`, so the repair is feasible and
+        // its l1-minimal delta is at most |shift| per point... in fact at most
+        // |shift| in total, because one bias change fixes every point.
+        let outcome = repair_points(&net, 2, &spec, &RepairConfig::default())
+            .expect("achievable spec must be repairable");
+        prop_assert!(spec.is_satisfied_by(|x| outcome.repaired.forward(x), 1e-6));
+        prop_assert!(outcome.stats.delta_l1 <= shift.abs() + 1e-6);
+    }
+
+    /// Polytope repair implies point repair: every sampled point of the
+    /// repaired polytope satisfies the constraint.
+    #[test]
+    fn polytope_repair_holds_on_random_samples(seed in 0u64..300, label in 0usize..3) {
+        let net = random_relu_net(seed.wrapping_add(1000), &[3, 8, 6, 3]);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x77);
+        let start: Vec<f64> = (0..3).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let end: Vec<f64> = (0..3).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        prop_assume!(start.iter().zip(&end).any(|(a, b)| (a - b).abs() > 1e-6));
+        let mut spec = PolytopeSpec::new();
+        spec.push(
+            InputPolytope::segment(start.clone(), end.clone()),
+            OutputPolytope::classification(label, 3, 1e-4),
+        );
+        // Last-layer repair of a segment spec is almost always feasible; when
+        // it is not, the algorithm must say so rather than return a bogus fix.
+        match repair_polytopes(&net, 2, &spec, &RepairConfig::default()) {
+            Ok(result) => {
+                for i in 0..=50 {
+                    let t = i as f64 / 50.0;
+                    let p: Vec<f64> =
+                        start.iter().zip(&end).map(|(s, e)| s + t * (e - s)).collect();
+                    prop_assert_eq!(result.outcome.repaired.classify(&p), label);
+                }
+            }
+            Err(e) => {
+                prop_assert_eq!(e, prdnn::core::RepairError::Infeasible);
+            }
+        }
+    }
+
+    /// The repaired delta really is applied to a single layer: all other
+    /// value-channel layers (and the whole activation channel) are unchanged.
+    #[test]
+    fn repair_only_touches_the_requested_layer(seed in 0u64..300) {
+        let net = random_relu_net(seed.wrapping_add(5000), &[3, 6, 6, 2]);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x11);
+        let x: Vec<f64> = (0..3).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let spec = PointSpec::from_classification(&[x], &[1], 2, 1e-4);
+        if let Ok(outcome) = repair_points(&net, 1, &spec, &RepairConfig::default()) {
+            let repaired = &outcome.repaired;
+            prop_assert_eq!(repaired.activation_network(), &net);
+            for layer in [0usize, 2usize] {
+                prop_assert_eq!(
+                    repaired.value_network().layer(layer).params(),
+                    net.layer(layer).params()
+                );
+            }
+        }
+    }
+}

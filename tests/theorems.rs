@@ -1,0 +1,99 @@
+//! Cross-crate checks of the paper's theorems on realistic (trained)
+//! networks, not just the toy running example.
+
+use prdnn::core::DecoupledNetwork;
+use prdnn::datasets::{acas, digits};
+use prdnn::linalg::approx_eq_slice;
+use prdnn::syrenn;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn theorem_4_4_on_a_trained_classifier() {
+    // The DDNN (N, N) computes exactly the same function as N.
+    let task = digits::digit_task(9, 150, 50);
+    let ddnn = DecoupledNetwork::from_network(&task.network);
+    for x in task.test.inputs.iter().take(40) {
+        assert!(approx_eq_slice(&ddnn.forward(x), &task.network.forward(x), 1e-9));
+    }
+}
+
+#[test]
+fn theorem_4_5_exact_linearity_on_a_trained_classifier() {
+    // On a *trained* network, the output after a large single-layer value
+    // edit equals the base output plus Jacobian-times-delta exactly.
+    let task = digits::digit_task(10, 150, 50);
+    let ddnn = DecoupledNetwork::from_network(&task.network);
+    let mut rng = StdRng::seed_from_u64(77);
+    for layer in [1usize, 2usize] {
+        let n = ddnn.value_network().layer(layer).num_params();
+        let delta: Vec<f64> = (0..n).map(|_| rng.gen_range(-0.5..0.5)).collect();
+        let x = task.test.inputs[0].clone();
+        let base = ddnn.forward(&x);
+        let jac = ddnn.value_param_jacobian(layer, &x, &x);
+        let mut edited = ddnn.clone();
+        edited.apply_value_delta(layer, &delta);
+        let actual = edited.forward(&x);
+        for o in 0..base.len() {
+            let predicted: f64 =
+                base[o] + (0..n).map(|p| jac[(o, p)] * delta[p]).sum::<f64>();
+            assert!((actual[o] - predicted).abs() < 1e-6, "layer {layer} output {o}");
+        }
+    }
+}
+
+#[test]
+fn theorem_4_6_linear_regions_survive_value_edits_on_acas() {
+    // The linear regions of a 2-D slice (computed by SyReNN) are identical
+    // before and after a value-channel edit: same region count, same
+    // activation patterns at the interiors.
+    let task = acas::acas_task(55, 600);
+    let mut rng = StdRng::seed_from_u64(3);
+    let slice = acas::random_phi8_slices(1, &mut rng).remove(0);
+    let before = syrenn::plane_regions(&task.network, &slice.corners()).unwrap();
+
+    let mut ddnn = DecoupledNetwork::from_network(&task.network);
+    let last = task.network.num_layers() - 1;
+    let n = ddnn.value_network().layer(last).num_params();
+    let delta: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    ddnn.apply_value_delta(last, &delta);
+
+    // The activation channel is untouched, so its regions are unchanged.
+    let after = syrenn::plane_regions(ddnn.activation_network(), &slice.corners()).unwrap();
+    assert_eq!(before.len(), after.len());
+    for (b, a) in before.iter().zip(&after) {
+        assert!(approx_eq_slice(&b.interior, &a.interior, 1e-9));
+        assert_eq!(
+            task.network.activation_pattern(&b.interior),
+            ddnn.activation_network().activation_pattern(&a.interior)
+        );
+    }
+}
+
+#[test]
+fn exact_line_matches_brute_force_sampling() {
+    // Between consecutive breakpoints the trained network must be affine;
+    // brute-force sampling cannot find any extra kink ExactLine missed.
+    let task = digits::digit_task(12, 120, 40);
+    let clean = task.train.inputs[0].clone();
+    let foggy = prdnn::datasets::corruptions::fog(&clean, digits::SIDE, digits::SIDE, 0.7);
+    let ts = syrenn::exact_line(&task.network, &clean, &foggy).unwrap();
+    let point = |t: f64| -> Vec<f64> {
+        clean.iter().zip(&foggy).map(|(c, f)| c + t * (f - c)).collect()
+    };
+    for w in ts.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        let fa = task.network.forward(&point(a));
+        let fb = task.network.forward(&point(b));
+        for k in 1..8 {
+            let alpha = k as f64 / 8.0;
+            let t = a + alpha * (b - a);
+            let expected: Vec<f64> =
+                fa.iter().zip(&fb).map(|(x, y)| x + alpha * (y - x)).collect();
+            assert!(
+                approx_eq_slice(&task.network.forward(&point(t)), &expected, 1e-6),
+                "network is not affine inside a reported linear region"
+            );
+        }
+    }
+}
