@@ -24,7 +24,12 @@ pub struct FineTuneConfig {
 
 impl Default for FineTuneConfig {
     fn default() -> Self {
-        FineTuneConfig { learning_rate: 0.01, momentum: 0.9, batch_size: 16, max_epochs: 1000 }
+        FineTuneConfig {
+            learning_rate: 0.01,
+            momentum: 0.9,
+            batch_size: 16,
+            max_epochs: 1000,
+        }
     }
 }
 
@@ -67,11 +72,22 @@ pub fn fine_tune(
     let mut epochs_run = 0;
     let mut converged = repair_set.accuracy(&network) >= 1.0;
     while !converged && epochs_run < config.max_epochs {
-        sgd_train(&mut network, &repair_set.inputs, &repair_set.labels, &epoch_config, rng);
+        sgd_train(
+            &mut network,
+            &repair_set.inputs,
+            &repair_set.labels,
+            &epoch_config,
+            rng,
+        );
         epochs_run += 1;
         converged = repair_set.accuracy(&network) >= 1.0;
     }
-    FineTuneResult { network, epochs_run, converged, duration: start.elapsed() }
+    FineTuneResult {
+        network,
+        epochs_run,
+        converged,
+        duration: start.elapsed(),
+    }
 }
 
 #[cfg(test)]
@@ -87,7 +103,10 @@ mod tests {
         for i in 0..n {
             let label = i % 2;
             let c = if label == 0 { -1.0 } else { 1.0 };
-            inputs.push(vec![c + rng.gen_range(-0.3..0.3), c + rng.gen_range(-0.3..0.3)]);
+            inputs.push(vec![
+                c + rng.gen_range(-0.3..0.3),
+                c + rng.gen_range(-0.3..0.3),
+            ]);
             labels.push(label);
         }
         Dataset::new(inputs, labels)
@@ -98,7 +117,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let net = Network::mlp(&[2, 8, 2], Activation::Relu, &mut rng);
         let repair = blob_dataset(&mut rng, 20);
-        let config = FineTuneConfig { learning_rate: 0.05, max_epochs: 300, ..Default::default() };
+        let config = FineTuneConfig {
+            learning_rate: 0.05,
+            max_epochs: 300,
+            ..Default::default()
+        };
         let result = fine_tune(&net, &repair, &config, &mut rng);
         assert!(result.converged, "FT should fix an easy repair set");
         assert_eq!(repair.accuracy(&result.network), 1.0);
@@ -110,9 +133,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let net = Network::mlp(&[2, 4, 2], Activation::Relu, &mut rng);
         // Contradictory labels for the same input: cannot converge.
-        let repair =
-            Dataset::new(vec![vec![0.5, 0.5], vec![0.5, 0.5]], vec![0, 1]);
-        let config = FineTuneConfig { max_epochs: 5, ..Default::default() };
+        let repair = Dataset::new(vec![vec![0.5, 0.5], vec![0.5, 0.5]], vec![0, 1]);
+        let config = FineTuneConfig {
+            max_epochs: 5,
+            ..Default::default()
+        };
         let result = fine_tune(&net, &repair, &config, &mut rng);
         assert!(!result.converged);
         assert_eq!(result.epochs_run, 5);

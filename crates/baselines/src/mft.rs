@@ -73,15 +73,21 @@ pub fn modified_fine_tune(
     config: &MftConfig,
     rng: &mut impl Rng,
 ) -> MftResult {
-    assert!(!repair_set.is_empty(), "modified_fine_tune: empty repair set");
-    assert!(config.layer < net.num_layers(), "modified_fine_tune: layer out of range");
+    assert!(
+        !repair_set.is_empty(),
+        "modified_fine_tune: empty repair set"
+    );
+    assert!(
+        config.layer < net.num_layers(),
+        "modified_fine_tune: layer out of range"
+    );
     let start = Instant::now();
 
     // Shuffle and split off the holdout set.
     let mut order: Vec<usize> = (0..repair_set.len()).collect();
     order.shuffle(rng);
-    let holdout_size =
-        ((repair_set.len() as f64 * config.holdout_fraction).round() as usize).min(repair_set.len());
+    let holdout_size = ((repair_set.len() as f64 * config.holdout_fraction).round() as usize)
+        .min(repair_set.len());
     let (holdout_idx, train_idx) = order.split_at(holdout_size);
     let subset = |idx: &[usize]| {
         Dataset::new(
@@ -103,12 +109,22 @@ pub fn modified_fine_tune(
         only_layer: Some(config.layer),
     };
 
-    let mut best_holdout = if holdout.is_empty() { 0.0 } else { holdout.accuracy(&network) };
+    let mut best_holdout = if holdout.is_empty() {
+        0.0
+    } else {
+        holdout.accuracy(&network)
+    };
     let mut epochs_run = 0;
     let mut best_network = network.clone();
     while epochs_run < config.max_epochs {
         if !train.is_empty() {
-            sgd_train(&mut network, &train.inputs, &train.labels, &epoch_config, rng);
+            sgd_train(
+                &mut network,
+                &train.inputs,
+                &train.labels,
+                &epoch_config,
+                rng,
+            );
         }
         // Penalty step: pull the tuned layer back towards its original
         // parameters (the ℓ2 relaxation of the paper's change penalty).
@@ -121,7 +137,11 @@ pub fn modified_fine_tune(
         network.layer_mut(config.layer).add_to_params(&pull);
 
         epochs_run += 1;
-        let holdout_acc = if holdout.is_empty() { 1.0 } else { holdout.accuracy(&network) };
+        let holdout_acc = if holdout.is_empty() {
+            1.0
+        } else {
+            holdout.accuracy(&network)
+        };
         if holdout_acc < best_holdout {
             // Early stop: holdout accuracy started dropping.
             break;
@@ -137,7 +157,12 @@ pub fn modified_fine_tune(
     }
 
     let efficacy = repair_set.accuracy(&best_network);
-    MftResult { network: best_network, epochs_run, efficacy, duration: start.elapsed() }
+    MftResult {
+        network: best_network,
+        epochs_run,
+        efficacy,
+        duration: start.elapsed(),
+    }
 }
 
 #[cfg(test)]
@@ -153,7 +178,10 @@ mod tests {
         for i in 0..n {
             let label = i % 2;
             let c = if label == 0 { -1.0 } else { 1.0 };
-            inputs.push(vec![c + rng.gen_range(-0.4..0.4), c + rng.gen_range(-0.4..0.4)]);
+            inputs.push(vec![
+                c + rng.gen_range(-0.4..0.4),
+                c + rng.gen_range(-0.4..0.4),
+            ]);
             labels.push(label);
         }
         Dataset::new(inputs, labels)
@@ -164,7 +192,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(8);
         let net = Network::mlp(&[2, 6, 4, 2], Activation::Relu, &mut rng);
         let repair = blob_dataset(&mut rng, 24);
-        let config = MftConfig { layer: 2, max_epochs: 20, ..Default::default() };
+        let config = MftConfig {
+            layer: 2,
+            max_epochs: 20,
+            ..Default::default()
+        };
         let result = modified_fine_tune(&net, &repair, &config, &mut rng);
         assert_eq!(result.network.layer(0).params(), net.layer(0).params());
         assert_eq!(result.network.layer(1).params(), net.layer(1).params());
@@ -185,7 +217,10 @@ mod tests {
             ..Default::default()
         };
         let result = modified_fine_tune(&net, &repair, &config, &mut rng);
-        assert!(result.efficacy + 1e-9 >= initial.min(0.5), "MFT should not collapse");
+        assert!(
+            result.efficacy + 1e-9 >= initial.min(0.5),
+            "MFT should not collapse"
+        );
     }
 
     #[test]
@@ -200,7 +235,10 @@ mod tests {
             max_epochs: 30,
             ..Default::default()
         };
-        let weak = MftConfig { change_penalty: 0.0, ..strong.clone() };
+        let weak = MftConfig {
+            change_penalty: 0.0,
+            ..strong.clone()
+        };
         let mut rng1 = StdRng::seed_from_u64(11);
         let mut rng2 = StdRng::seed_from_u64(11);
         let strong_result = modified_fine_tune(&net, &repair, &strong, &mut rng1);
@@ -222,7 +260,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(12);
         let net = Network::mlp(&[2, 4, 2], Activation::Relu, &mut rng);
         let repair = blob_dataset(&mut rng, 4);
-        let config = MftConfig { layer: 9, ..Default::default() };
+        let config = MftConfig {
+            layer: 9,
+            ..Default::default()
+        };
         modified_fine_tune(&net, &repair, &config, &mut rng);
     }
 }

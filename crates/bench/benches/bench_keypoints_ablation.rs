@@ -36,7 +36,11 @@ fn bench_keypoints_ablation(c: &mut Criterion) {
         let points: Vec<Vec<f64>> = (0..samples)
             .map(|i| {
                 let t = i as f64 / (samples - 1) as f64;
-                start.iter().zip(&end).map(|(s, e)| s + t * (e - s)).collect()
+                start
+                    .iter()
+                    .zip(&end)
+                    .map(|(s, e)| s + t * (e - s))
+                    .collect()
             })
             .collect();
         let mut point_spec = PointSpec::new();

@@ -19,6 +19,17 @@ fn bench_linregions(c: &mut Criterion) {
         b.iter(|| line_regions(&net, &clean, &foggy).unwrap())
     });
 
+    // Deep case: region computation cost should stay linear in depth now that
+    // vertex values are propagated forward instead of recomputing the prefix.
+    let deep = Network::mlp(
+        &[digits::PIXELS, 16, 16, 16, 16, 16, 16, 16, 16, 10],
+        Activation::Relu,
+        &mut rng,
+    );
+    c.bench_function("exact_line_deep_mlp", |b| {
+        b.iter(|| line_regions(&deep, &clean, &foggy).unwrap())
+    });
+
     let small = Network::mlp(&[5, 16, 16, 5], Activation::Relu, &mut rng);
     let square = vec![
         vec![-0.5, -0.5, 0.1, 0.2, 0.3],
@@ -28,6 +39,11 @@ fn bench_linregions(c: &mut Criterion) {
     ];
     c.bench_function("plane_regions_acas_style", |b| {
         b.iter(|| plane_regions(&small, &square).unwrap())
+    });
+
+    let deep_plane = Network::mlp(&[5, 12, 12, 12, 12, 12, 5], Activation::Relu, &mut rng);
+    c.bench_function("plane_regions_deep", |b| {
+        b.iter(|| plane_regions(&deep_plane, &square).unwrap())
     });
 }
 

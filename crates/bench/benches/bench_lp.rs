@@ -15,8 +15,8 @@ fn repair_shaped_lp(num_vars: usize, num_rows: usize, seed: u64) -> LpProblem {
     let witness: Vec<f64> = (0..num_vars).map(|_| rng.gen_range(-0.5..0.5)).collect();
     for _ in 0..num_rows {
         let coeffs: Vec<f64> = (0..num_vars).map(|_| rng.gen_range(-1.0..1.0)).collect();
-        let rhs: f64 = coeffs.iter().zip(&witness).map(|(c, w)| c * w).sum::<f64>()
-            + rng.gen_range(0.01..0.5);
+        let rhs: f64 =
+            coeffs.iter().zip(&witness).map(|(c, w)| c * w).sum::<f64>() + rng.gen_range(0.01..0.5);
         let terms: Vec<_> = vars.iter().copied().zip(coeffs).collect();
         lp.add_constraint(&terms, ConstraintOp::Le, rhs);
     }

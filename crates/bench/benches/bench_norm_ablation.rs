@@ -12,14 +12,18 @@ use std::time::Duration;
 fn bench_norm_ablation(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(23);
     let net = Network::mlp(&[8, 16, 12, 4], Activation::Relu, &mut rng);
-    let points: Vec<Vec<f64>> =
-        (0..8).map(|_| (0..8).map(|_| rng.gen_range(-1.0..1.0)).collect()).collect();
+    let points: Vec<Vec<f64>> = (0..8)
+        .map(|_| (0..8).map(|_| rng.gen_range(-1.0..1.0)).collect())
+        .collect();
     let labels: Vec<usize> = (0..8).map(|i| i % 4).collect();
     let spec = PointSpec::from_classification(&points, &labels, 4, 1e-4);
 
     let mut group = c.benchmark_group("repair_norm_ablation");
     for (name, norm) in [("l1", RepairNorm::L1), ("linf", RepairNorm::LInf)] {
-        let config = RepairConfig { norm, ..RepairConfig::default() };
+        let config = RepairConfig {
+            norm,
+            ..RepairConfig::default()
+        };
         group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, config| {
             b.iter(|| repair_points(&net, 2, &spec, config).unwrap())
         });

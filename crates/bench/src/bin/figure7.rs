@@ -8,7 +8,13 @@ fn main() {
     eprintln!("running Task 1 at scale {scale:?} (set PRDNN_SCALE=tiny|small|full to change)");
     let mut params = Task1Params::for_scale(scale);
     // Figure 7 uses a single repair-set size (the paper's 400-point run).
-    if let Some(&pair) = params.point_counts.iter().rev().nth(1).or(params.point_counts.last()) {
+    if let Some(&pair) = params
+        .point_counts
+        .iter()
+        .rev()
+        .nth(1)
+        .or(params.point_counts.last())
+    {
         params.point_counts = vec![pair];
     }
     let results = task1::run(&params);

@@ -1,14 +1,17 @@
 //! Data series for Figures 3–6: the running-example networks, their
 //! decoupled/repaired variants, and activation linearisations.
 
-use prdnn_core::{
-    paper_example, repair_points, repair_polytopes, DecoupledNetwork, RepairConfig,
-};
+use prdnn_core::{paper_example, repair_points, repair_polytopes, DecoupledNetwork, RepairConfig};
 use prdnn_nn::{Activation, Network};
 use prdnn_syrenn::exact_line;
 
 /// Samples the input–output curve of a scalar function on `[lo, hi]`.
-pub fn io_series(mut f: impl FnMut(f64) -> f64, lo: f64, hi: f64, samples: usize) -> Vec<(f64, f64)> {
+pub fn io_series(
+    mut f: impl FnMut(f64) -> f64,
+    lo: f64,
+    hi: f64,
+    samples: usize,
+) -> Vec<(f64, f64)> {
     (0..=samples)
         .map(|i| {
             let x = lo + (hi - lo) * i as f64 / samples as f64;
@@ -38,13 +41,23 @@ pub struct RunningExample {
 pub fn running_example() -> RunningExample {
     let n1 = paper_example::n1();
     let n2 = paper_example::n2();
-    let n5 = repair_points(&n1, 0, &paper_example::equation_2_spec(), &RepairConfig::default())
-        .expect("Equation 2 repair is feasible")
-        .repaired;
-    let n6 = repair_polytopes(&n1, 0, &paper_example::equation_3_spec(), &RepairConfig::default())
-        .expect("Equation 3 repair is feasible")
-        .outcome
-        .repaired;
+    let n5 = repair_points(
+        &n1,
+        0,
+        &paper_example::equation_2_spec(),
+        &RepairConfig::default(),
+    )
+    .expect("Equation 2 repair is feasible")
+    .repaired;
+    let n6 = repair_polytopes(
+        &n1,
+        0,
+        &paper_example::equation_3_spec(),
+        &RepairConfig::default(),
+    )
+    .expect("Equation 3 repair is feasible")
+    .outcome
+    .repaired;
     RunningExample { n1, n2, n5, n6 }
 }
 
@@ -72,20 +85,44 @@ pub fn format_figures() -> String {
             .map(|t| -1.0 + 3.0 * t)
             .collect()
     };
-    out.push_str(&format!("# Figure 3(c): linear region boundaries of N1: {:?}\n", bp(&ex.n1)));
-    out.push_str(&format_series("Figure 3(c): N1", &io_series(|x| ex.n1.forward(&[x])[0], -1.0, 2.0, 60)));
-    out.push_str(&format!("# Figure 3(d): linear region boundaries of N2: {:?}\n", bp(&ex.n2)));
-    out.push_str(&format_series("Figure 3(d): N2", &io_series(|x| ex.n2.forward(&[x])[0], -1.0, 2.0, 60)));
+    out.push_str(&format!(
+        "# Figure 3(c): linear region boundaries of N1: {:?}\n",
+        bp(&ex.n1)
+    ));
+    out.push_str(&format_series(
+        "Figure 3(c): N1",
+        &io_series(|x| ex.n1.forward(&[x])[0], -1.0, 2.0, 60),
+    ));
+    out.push_str(&format!(
+        "# Figure 3(d): linear region boundaries of N2: {:?}\n",
+        bp(&ex.n2)
+    ));
+    out.push_str(&format_series(
+        "Figure 3(d): N2",
+        &io_series(|x| ex.n2.forward(&[x])[0], -1.0, 2.0, 60),
+    ));
 
     // Figure 4(c)/(d): the DDNN (N1,N1) equals N1; (N1,N2) keeps N1's regions.
     let n3 = DecoupledNetwork::from_network(&ex.n1);
     let n4 = DecoupledNetwork::new(ex.n1.clone(), ex.n2.clone());
-    out.push_str(&format_series("Figure 4(c): DDNN N3 = (N1, N1)", &io_series(|x| n3.forward(&[x])[0], -1.0, 2.0, 60)));
-    out.push_str(&format_series("Figure 4(d): DDNN N4 = (N1, N2)", &io_series(|x| n4.forward(&[x])[0], -1.0, 2.0, 60)));
+    out.push_str(&format_series(
+        "Figure 4(c): DDNN N3 = (N1, N1)",
+        &io_series(|x| n3.forward(&[x])[0], -1.0, 2.0, 60),
+    ));
+    out.push_str(&format_series(
+        "Figure 4(d): DDNN N4 = (N1, N2)",
+        &io_series(|x| n4.forward(&[x])[0], -1.0, 2.0, 60),
+    ));
 
     // Figure 5(c)/(d): the repaired DDNNs.
-    out.push_str(&format_series("Figure 5(c): point-repaired N5", &io_series(|x| ex.n5.forward(&[x])[0], -1.0, 2.0, 60)));
-    out.push_str(&format_series("Figure 5(d): polytope-repaired N6", &io_series(|x| ex.n6.forward(&[x])[0], -1.0, 2.0, 60)));
+    out.push_str(&format_series(
+        "Figure 5(c): point-repaired N5",
+        &io_series(|x| ex.n5.forward(&[x])[0], -1.0, 2.0, 60),
+    ));
+    out.push_str(&format_series(
+        "Figure 5(d): polytope-repaired N6",
+        &io_series(|x| ex.n6.forward(&[x])[0], -1.0, 2.0, 60),
+    ));
 
     // Figure 6: linearisations of ReLU around +1 and Tanh around -1.
     let relu_lin = Activation::Relu.linearize(&[1.0])[0];
@@ -146,7 +183,13 @@ mod tests {
     #[test]
     fn formatted_figures_contain_all_blocks() {
         let s = format_figures();
-        for needle in ["Figure 3(c)", "Figure 3(d)", "Figure 4(c)", "Figure 5(d)", "Figure 6(a)"] {
+        for needle in [
+            "Figure 3(c)",
+            "Figure 3(d)",
+            "Figure 4(c)",
+            "Figure 5(d)",
+            "Figure 6(a)",
+        ] {
             assert!(s.contains(needle), "missing {needle}");
         }
     }

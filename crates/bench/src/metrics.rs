@@ -9,11 +9,26 @@ use prdnn_nn::{Dataset, Network};
 pub trait Classifier {
     /// Predicted class label for `input`.
     fn classify_point(&self, input: &[f64]) -> usize;
+
+    /// Predicted class labels for a batch of inputs.
+    ///
+    /// The default maps [`Self::classify_point`]; implementations with a
+    /// batched forward pass should override it.
+    fn classify_batch(&self, inputs: &[Vec<f64>]) -> Vec<usize> {
+        inputs.iter().map(|x| self.classify_point(x)).collect()
+    }
 }
 
 impl Classifier for Network {
     fn classify_point(&self, input: &[f64]) -> usize {
         self.classify(input)
+    }
+
+    fn classify_batch(&self, inputs: &[Vec<f64>]) -> Vec<usize> {
+        self.forward_batch(inputs)
+            .iter()
+            .map(|out| prdnn_linalg::argmax(out))
+            .collect()
     }
 }
 
@@ -28,11 +43,11 @@ pub fn accuracy(model: &impl Classifier, data: &Dataset) -> f64 {
     if data.is_empty() {
         return 1.0;
     }
-    let correct = data
-        .inputs
+    let correct = model
+        .classify_batch(&data.inputs)
         .iter()
         .zip(&data.labels)
-        .filter(|(x, &y)| model.classify_point(x) == y)
+        .filter(|(predicted, expected)| predicted == expected)
         .count();
     correct as f64 / data.len() as f64
 }
@@ -67,7 +82,12 @@ pub fn generalization(
 pub fn format_duration(d: std::time::Duration) -> String {
     let secs = d.as_secs_f64();
     if secs >= 3600.0 {
-        format!("{}h{}m{:.1}s", secs as u64 / 3600, (secs as u64 % 3600) / 60, secs % 60.0)
+        format!(
+            "{}h{}m{:.1}s",
+            secs as u64 / 3600,
+            (secs as u64 % 3600) / 60,
+            secs % 60.0
+        )
     } else if secs >= 60.0 {
         format!("{}m{:.1}s", secs as u64 / 60, secs % 60.0)
     } else {
@@ -95,7 +115,10 @@ mod tests {
     fn metrics_have_the_papers_signs() {
         let always0 = constant_classifier(0, 2);
         let always1 = constant_classifier(1, 2);
-        let data = Dataset::new(vec![vec![0.0], vec![0.0], vec![0.0], vec![0.0]], vec![0, 0, 0, 1]);
+        let data = Dataset::new(
+            vec![vec![0.0], vec![0.0], vec![0.0], vec![0.0]],
+            vec![0, 0, 0, 1],
+        );
         assert_eq!(accuracy(&always0, &data), 0.75);
         assert_eq!(accuracy(&always1, &data), 0.25);
         // "Repairing" from always0 to always1 on this set loses accuracy:
@@ -109,6 +132,9 @@ mod tests {
     fn duration_formatting_matches_paper_style() {
         assert_eq!(format_duration(Duration::from_secs_f64(21.23)), "21.2s");
         assert_eq!(format_duration(Duration::from_secs_f64(99.0)), "1m39.0s");
-        assert_eq!(format_duration(Duration::from_secs_f64(3700.0)), "1h1m40.0s");
+        assert_eq!(
+            format_duration(Duration::from_secs_f64(3700.0)),
+            "1h1m40.0s"
+        );
     }
 }

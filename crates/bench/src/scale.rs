@@ -21,7 +21,11 @@ pub enum Scale {
 impl Scale {
     /// Reads the scale from the `PRDNN_SCALE` environment variable.
     pub fn from_env() -> Scale {
-        match std::env::var("PRDNN_SCALE").unwrap_or_default().to_lowercase().as_str() {
+        match std::env::var("PRDNN_SCALE")
+            .unwrap_or_default()
+            .to_lowercase()
+            .as_str()
+        {
             "tiny" => Scale::Tiny,
             "full" => Scale::Full,
             _ => Scale::Small,
@@ -50,14 +54,26 @@ impl Task1Params {
     pub fn for_scale(scale: Scale) -> Self {
         let (point_counts, train_size, validation_size, ft_max_epochs) = match scale {
             Scale::Tiny => (vec![(100, 6), (200, 12)], 135, 90, 20),
-            Scale::Small => {
-                (vec![(100, 15), (200, 30), (400, 60), (752, 100)], 360, 180, 60)
-            }
-            Scale::Full => {
-                (vec![(100, 100), (200, 200), (400, 400), (752, 752)], 1800, 500, 200)
-            }
+            Scale::Small => (
+                vec![(100, 15), (200, 30), (400, 60), (752, 100)],
+                360,
+                180,
+                60,
+            ),
+            Scale::Full => (
+                vec![(100, 100), (200, 200), (400, 400), (752, 752)],
+                1800,
+                500,
+                200,
+            ),
         };
-        Task1Params { point_counts, train_size, validation_size, ft_max_epochs, seed: 20210413 }
+        Task1Params {
+            point_counts,
+            train_size,
+            validation_size,
+            ft_max_epochs,
+            seed: 20210413,
+        }
     }
 }
 
@@ -84,7 +100,12 @@ impl Task2Params {
         let (line_counts, train_size, test_size, ft_max_epochs) = match scale {
             Scale::Tiny => (vec![(10, 2), (25, 4)], 150, 80, 20),
             Scale::Small => (vec![(10, 3), (25, 6), (50, 10), (100, 16)], 400, 200, 60),
-            Scale::Full => (vec![(10, 10), (25, 25), (50, 50), (100, 100)], 2000, 1000, 200),
+            Scale::Full => (
+                vec![(10, 10), (25, 25), (50, 50), (100, 100)],
+                2000,
+                1000,
+                200,
+            ),
         };
         Task2Params {
             line_counts,
@@ -172,7 +193,9 @@ mod tests {
         assert!(tiny.point_counts.last().unwrap().1 < small.point_counts.last().unwrap().1);
         assert!(small.point_counts.last().unwrap().1 < full.point_counts.last().unwrap().1);
         assert_eq!(full.point_counts.last().unwrap(), &(752, 752));
-        assert!(Task2Params::for_scale(Scale::Full).line_counts.contains(&(100, 100)));
+        assert!(Task2Params::for_scale(Scale::Full)
+            .line_counts
+            .contains(&(100, 100)));
         assert_eq!(Task3Params::for_scale(Scale::Full).repair_slices, 10);
     }
 

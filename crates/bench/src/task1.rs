@@ -29,17 +29,25 @@ pub struct Task1Setup {
 
 /// Trains the buggy CNN and builds the repair pool / drawdown set.
 pub fn setup(params: &Task1Params) -> Task1Setup {
-    let task =
-        imagenet_like::object_task(params.seed, params.train_size, params.validation_size);
+    let task = imagenet_like::object_task(params.seed, params.train_size, params.validation_size);
     let mut rng = StdRng::seed_from_u64(params.seed ^ 0x5eed);
-    let max_points = params.point_counts.iter().map(|&(_, n)| n).max().unwrap_or(0);
+    let max_points = params
+        .point_counts
+        .iter()
+        .map(|&(_, n)| n)
+        .max()
+        .unwrap_or(0);
     let repair_pool = natural_adversarial::misclassified_pool(
         &task.network,
         max_points,
         max_points * 400 + 1000,
         &mut rng,
     );
-    Task1Setup { network: task.network, repair_pool, drawdown_set: task.validation }
+    Task1Setup {
+        network: task.network,
+        repair_pool,
+        drawdown_set: task.validation,
+    }
 }
 
 /// Outcome status of one single-layer Provable Repair attempt.
@@ -150,7 +158,12 @@ pub fn run_ft(
 ) -> BaselineRun {
     let repair_set = setup.repair_pool.take(n_points);
     let mut rng = StdRng::seed_from_u64(seed);
-    let config = FineTuneConfig { learning_rate, momentum: 0.9, batch_size, max_epochs };
+    let config = FineTuneConfig {
+        learning_rate,
+        momentum: 0.9,
+        batch_size,
+        max_epochs,
+    };
     let result = fine_tune(&setup.network, &repair_set, &config, &mut rng);
     BaselineRun {
         name: name.to_string(),
@@ -191,7 +204,7 @@ pub fn run_mft_best_layer(
             efficacy: result.efficacy,
             time: result.duration,
         };
-        let better = best.as_ref().map_or(true, |b| run.drawdown < b.drawdown);
+        let better = best.as_ref().is_none_or(|b| run.drawdown < b.drawdown);
         if better {
             best = Some(run);
         }
@@ -233,8 +246,24 @@ pub fn run(params: &Task1Params) -> Task1Results {
         let points_used = points_used.min(setup.repair_pool.len());
         let pr_sweep = run_pr_sweep(&setup, points_used);
         let ft = vec![
-            run_ft(&setup, points_used, "FT[1]", 0.02, 4, params.ft_max_epochs, params.seed + 1),
-            run_ft(&setup, points_used, "FT[2]", 0.01, 16, params.ft_max_epochs, params.seed + 2),
+            run_ft(
+                &setup,
+                points_used,
+                "FT[1]",
+                0.02,
+                4,
+                params.ft_max_epochs,
+                params.seed + 1,
+            ),
+            run_ft(
+                &setup,
+                points_used,
+                "FT[2]",
+                0.01,
+                16,
+                params.ft_max_epochs,
+                params.seed + 2,
+            ),
         ];
         let mft = vec![
             run_mft_best_layer(
@@ -256,7 +285,13 @@ pub fn run(params: &Task1Params) -> Task1Results {
                 params.seed + 4,
             ),
         ];
-        rows.push(Task1PointResult { paper_points, points_used, pr_sweep, ft, mft });
+        rows.push(Task1PointResult {
+            paper_points,
+            points_used,
+            pr_sweep,
+            ft,
+            mft,
+        });
     }
     Task1Results {
         buggy_pool_accuracy: metrics::accuracy(&setup.network, &setup.repair_pool),
@@ -322,8 +357,11 @@ pub fn format_table4(results: &Task1Results) -> String {
     out.push_str("Table 4 — Task 1 extended: per-layer repair statistics\n");
     out.push_str("Points(paper/used) | repaired/total | D% best | D% worst | fastest | slowest\n");
     for row in &results.rows {
-        let repaired: Vec<&PrLayerResult> =
-            row.pr_sweep.iter().filter(|r| r.status == PrStatus::Repaired).collect();
+        let repaired: Vec<&PrLayerResult> = row
+            .pr_sweep
+            .iter()
+            .filter(|r| r.status == PrStatus::Repaired)
+            .collect();
         let best = repaired
             .iter()
             .map(|r| r.drawdown)

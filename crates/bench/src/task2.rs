@@ -49,14 +49,17 @@ pub struct Task2Setup {
 /// generalization set.
 pub fn setup(params: &Task2Params) -> Task2Setup {
     let task = digits::digit_task(params.seed, params.train_size, params.test_size);
-    let fog_image =
-        |x: &[f64]| corruptions::fog(x, digits::SIDE, digits::SIDE, params.fog_alpha);
+    let fog_image = |x: &[f64]| corruptions::fog(x, digits::SIDE, digits::SIDE, params.fog_alpha);
 
     let mut misclassified = Vec::new();
     let mut rest = Vec::new();
     for (x, &y) in task.train.inputs.iter().zip(&task.train.labels) {
         let foggy = fog_image(x);
-        let line = RepairLine { clean: x.clone(), foggy: foggy.clone(), label: y };
+        let line = RepairLine {
+            clean: x.clone(),
+            foggy: foggy.clone(),
+            label: y,
+        };
         if task.network.classify(&foggy) != y && task.network.classify(x) == y {
             misclassified.push(line);
         } else {
@@ -208,7 +211,12 @@ pub fn run_ft(
 ) -> Task2BaselineResult {
     let repair_set = sampled_repair_set(setup, n_lines, samples_per_line, seed);
     let mut rng = StdRng::seed_from_u64(seed ^ 0xf7);
-    let config = FineTuneConfig { learning_rate, momentum: 0.9, batch_size, max_epochs };
+    let config = FineTuneConfig {
+        learning_rate,
+        momentum: 0.9,
+        batch_size,
+        max_epochs,
+    };
     let result = fine_tune(&setup.network, &repair_set, &config, &mut rng);
     Task2BaselineResult {
         name: name.to_string(),
@@ -304,8 +312,26 @@ pub fn run(params: &Task2Params) -> Task2Results {
             .map(|&layer| run_pr(&setup, paper_lines, lines_used, layer))
             .collect();
         let ft = vec![
-            run_ft(&setup, lines_used, samples_per_line, "FT[1]", 0.05, 16, params.ft_max_epochs, params.seed + 11),
-            run_ft(&setup, lines_used, samples_per_line, "FT[2]", 0.01, 16, params.ft_max_epochs, params.seed + 12),
+            run_ft(
+                &setup,
+                lines_used,
+                samples_per_line,
+                "FT[1]",
+                0.05,
+                16,
+                params.ft_max_epochs,
+                params.seed + 11,
+            ),
+            run_ft(
+                &setup,
+                lines_used,
+                samples_per_line,
+                "FT[2]",
+                0.01,
+                16,
+                params.ft_max_epochs,
+                params.seed + 12,
+            ),
         ];
         let mut mft = Vec::new();
         for (name, lr) in [("MFT[1]", 0.05), ("MFT[2]", 0.01)] {
@@ -323,14 +349,17 @@ pub fn run(params: &Task2Params) -> Task2Results {
                 ));
             }
         }
-        rows.push(Task2LineResult { paper_lines, lines_used, pr, ft, mft });
+        rows.push(Task2LineResult {
+            paper_lines,
+            lines_used,
+            pr,
+            ft,
+            mft,
+        });
     }
     Task2Results {
         buggy_drawdown_accuracy: metrics::accuracy(&setup.network, &setup.drawdown_set),
-        buggy_generalization_accuracy: metrics::accuracy(
-            &setup.network,
-            &setup.generalization_set,
-        ),
+        buggy_generalization_accuracy: metrics::accuracy(&setup.network, &setup.generalization_set),
         rows,
     }
 }
@@ -435,7 +464,10 @@ mod tests {
         assert_eq!(results.rows.len(), 1);
         let row = &results.rows[0];
         assert_eq!(row.pr.len(), 2);
-        assert!(row.pr.iter().all(|r| r.repaired), "both layers should be repairable");
+        assert!(
+            row.pr.iter().all(|r| r.repaired),
+            "both layers should be repairable"
+        );
         assert!(row.pr[0].key_points >= 2 * row.lines_used);
         assert_eq!(row.mft.len(), 4);
         assert!(format_table2(&results).contains("Table 2"));

@@ -55,7 +55,10 @@ fn strengthened_target(network: &Network, slice: &Slice2d, grid: usize) -> usize
 
 /// Whether the slice contains at least one grid point violating φ8.
 fn slice_has_violation(network: &Network, slice: &Slice2d, grid: usize) -> bool {
-    slice.grid(grid).iter().any(|p| !acas::phi8_allows(network.classify(p)))
+    slice
+        .grid(grid)
+        .iter()
+        .any(|p| !acas::phi8_allows(network.classify(p)))
 }
 
 /// Builds the Task 3 setup: distil the network, search candidate slices for
@@ -69,8 +72,11 @@ pub fn setup(params: &Task3Params) -> Task3Setup {
         .filter(|s| slice_has_violation(&task.network, s, params.grid))
         .collect();
     let violations_found = violating.len();
-    let repair_slices: Vec<Slice2d> =
-        violating.iter().take(params.repair_slices).cloned().collect();
+    let repair_slices: Vec<Slice2d> = violating
+        .iter()
+        .take(params.repair_slices)
+        .cloned()
+        .collect();
     let gen_slices: Vec<Slice2d> = violating
         .iter()
         .skip(params.repair_slices)
@@ -314,7 +320,10 @@ pub fn run_baseline(
     let fixed = if gen.is_empty() {
         1.0
     } else {
-        gen.inputs.iter().filter(|p| acas::phi8_allows(tuned.classify(p))).count() as f64
+        gen.inputs
+            .iter()
+            .filter(|p| acas::phi8_allows(tuned.classify(p)))
+            .count() as f64
             / gen.len() as f64
     };
     Task3BaselineResult {
@@ -348,7 +357,14 @@ pub fn run(params: &Task3Params) -> Task3Results {
     let pr = run_pr(&setup, params.grid);
     let last_layer = setup.network.num_layers() - 1;
     let baselines = vec![
-        run_baseline(&setup, params.grid, "FT", None, params.ft_max_epochs, params.seed + 31),
+        run_baseline(
+            &setup,
+            params.grid,
+            "FT",
+            None,
+            params.ft_max_epochs,
+            params.seed + 31,
+        ),
         run_baseline(
             &setup,
             params.grid,

@@ -40,7 +40,10 @@ pub struct DecoupledNetwork {
 impl DecoupledNetwork {
     /// Builds the DDNN `(N, N)` equivalent to the DNN `N` (Theorem 4.4).
     pub fn from_network(net: &Network) -> Self {
-        DecoupledNetwork { activation: net.clone(), value: net.clone() }
+        DecoupledNetwork {
+            activation: net.clone(),
+            value: net.clone(),
+        }
     }
 
     /// Builds a DDNN from separate activation- and value-channel networks.
@@ -59,8 +62,16 @@ impl DecoupledNetwork {
         for i in 0..activation.num_layers() {
             let (a, v) = (activation.layer(i), value.layer(i));
             assert_eq!(a.input_dim(), v.input_dim(), "layer {i}: input dims differ");
-            assert_eq!(a.output_dim(), v.output_dim(), "layer {i}: output dims differ");
-            assert_eq!(a.num_params(), v.num_params(), "layer {i}: parameter counts differ");
+            assert_eq!(
+                a.output_dim(),
+                v.output_dim(),
+                "layer {i}: output dims differ"
+            );
+            assert_eq!(
+                a.num_params(),
+                v.num_params(),
+                "layer {i}: parameter counts differ"
+            );
         }
         DecoupledNetwork { activation, value }
     }
@@ -151,8 +162,11 @@ impl DecoupledNetwork {
         if inputs.is_empty() {
             return 1.0;
         }
-        let correct =
-            inputs.iter().zip(labels).filter(|(x, &y)| self.classify(x) == y).count();
+        let correct = inputs
+            .iter()
+            .zip(labels)
+            .filter(|(x, &y)| self.classify(x) == y)
+            .count();
         correct as f64 / inputs.len() as f64
     }
 
@@ -173,7 +187,10 @@ impl DecoupledNetwork {
         act_input: &[f64],
         val_input: &[f64],
     ) -> Matrix {
-        assert!(layer < self.num_layers(), "layer index {layer} out of bounds");
+        assert!(
+            layer < self.num_layers(),
+            "layer index {layer} out of bounds"
+        );
         // Forward both channels, remembering the activation pre-activations
         // (they fix every linearisation) and the value-channel layer inputs.
         let mut v_act = act_input.to_vec();
@@ -247,7 +264,9 @@ mod tests {
     use rand::{Rng, SeedableRng};
 
     fn random_points(rng: &mut StdRng, dim: usize, count: usize) -> Vec<Vec<f64>> {
-        (0..count).map(|_| (0..dim).map(|_| rng.gen_range(-2.0..2.0)).collect()).collect()
+        (0..count)
+            .map(|_| (0..dim).map(|_| rng.gen_range(-2.0..2.0)).collect())
+            .collect()
     }
 
     #[test]
@@ -286,7 +305,9 @@ mod tests {
                 let predicted: Vec<f64> = (0..base.len())
                     .map(|o| {
                         base[o]
-                            + (0..delta.len()).map(|p| jac[(o, p)] * delta[p]).sum::<f64>()
+                            + (0..delta.len())
+                                .map(|p| jac[(o, p)] * delta[p])
+                                .sum::<f64>()
                     })
                     .collect();
                 assert!(
@@ -325,7 +346,11 @@ mod tests {
         // be active for the value input, the value must be masked to zero.
         let net = Network::new(vec![
             Layer::dense(Matrix::from_rows(&[vec![1.0]]), vec![0.0], Activation::Relu),
-            Layer::dense(Matrix::from_rows(&[vec![1.0]]), vec![0.0], Activation::Identity),
+            Layer::dense(
+                Matrix::from_rows(&[vec![1.0]]),
+                vec![0.0],
+                Activation::Identity,
+            ),
         ]);
         let ddnn = DecoupledNetwork::from_network(&net);
         // Activation input -1 => ReLU inactive => output 0 regardless of the

@@ -1,7 +1,9 @@
 //! Provable Point Repair (Algorithm 1, §5).
 
 use crate::ddnn::DecoupledNetwork;
-use crate::repair::{repair_key_points, validate, KeyPoint, RepairConfig, RepairError, RepairOutcome};
+use crate::repair::{
+    repair_key_points, validate, KeyPoint, RepairConfig, RepairError, RepairOutcome,
+};
 use crate::spec::PointSpec;
 use prdnn_nn::Network;
 use std::time::Duration;
@@ -78,11 +80,7 @@ pub fn repair_points_ddnn(
         .points
         .iter()
         .zip(&spec.constraints)
-        .map(|(point, constraint)| KeyPoint {
-            point: point.clone(),
-            activation_point: point.clone(),
-            constraint: constraint.clone(),
-        })
+        .map(|(point, constraint)| KeyPoint::pointwise(point.clone(), constraint.clone()))
         .collect();
     repair_key_points(ddnn, layer, &key_points, config, Duration::ZERO)
 }
@@ -113,7 +111,10 @@ mod tests {
         // (Theorem 4.6): activation patterns are unchanged.
         for &x in &[-0.5, 0.25, 0.75, 1.25, 1.75] {
             assert_eq!(
-                outcome.repaired.activation_network().activation_pattern(&[x]),
+                outcome
+                    .repaired
+                    .activation_network()
+                    .activation_pattern(&[x]),
                 n1.activation_pattern(&[x])
             );
         }
@@ -137,7 +138,10 @@ mod tests {
             &n1,
             0,
             &spec,
-            &RepairConfig { norm: RepairNorm::LInf, ..RepairConfig::default() },
+            &RepairConfig {
+                norm: RepairNorm::LInf,
+                ..RepairConfig::default()
+            },
         )
         .unwrap();
         assert!(spec.is_satisfied_by(|x| linf.repaired.forward(x), 1e-6));
@@ -181,7 +185,10 @@ mod tests {
         spec.push(vec![0.5], OutputPolytope::classification(0, 3, 0.0));
         assert!(matches!(
             repair_points(&n1, 0, &spec, &RepairConfig::default()).unwrap_err(),
-            RepairError::SpecDimensionMismatch { expected: 1, found: 3 }
+            RepairError::SpecDimensionMismatch {
+                expected: 1,
+                found: 3
+            }
         ));
     }
 
@@ -190,13 +197,14 @@ mod tests {
         // Random ReLU classifier; force five random points to specific labels.
         let mut rng = StdRng::seed_from_u64(99);
         let net = prdnn_nn::Network::mlp(&[4, 16, 12, 3], Activation::Relu, &mut rng);
-        let points: Vec<Vec<f64>> =
-            (0..5).map(|_| (0..4).map(|_| rng.gen_range(-1.0..1.0)).collect()).collect();
+        let points: Vec<Vec<f64>> = (0..5)
+            .map(|_| (0..4).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .collect();
         let labels: Vec<usize> = (0..5).map(|i| i % 3).collect();
         let spec = PointSpec::from_classification(&points, &labels, 3, 1e-4);
         // Repair the last layer (the paper's most reliable choice).
-        let outcome = repair_points(&net, 2, &spec, &RepairConfig::default())
-            .expect("repair must succeed");
+        let outcome =
+            repair_points(&net, 2, &spec, &RepairConfig::default()).expect("repair must succeed");
         for (p, &label) in points.iter().zip(&labels) {
             assert_eq!(outcome.repaired.classify(p), label, "efficacy must be 100%");
         }
@@ -221,11 +229,17 @@ mod tests {
     fn param_bound_is_respected() {
         let n1 = paper_example::n1();
         let spec = paper_example::equation_2_spec();
-        let config = RepairConfig { param_bound: Some(10.0), ..RepairConfig::default() };
+        let config = RepairConfig {
+            param_bound: Some(10.0),
+            ..RepairConfig::default()
+        };
         let outcome = repair_points(&n1, 0, &spec, &config).unwrap();
         assert!(outcome.stats.delta_linf <= 10.0 + 1e-7);
         // An impossibly tight bound makes the repair infeasible.
-        let tight = RepairConfig { param_bound: Some(1e-4), ..RepairConfig::default() };
+        let tight = RepairConfig {
+            param_bound: Some(1e-4),
+            ..RepairConfig::default()
+        };
         assert_eq!(
             repair_points(&n1, 0, &spec, &tight).unwrap_err(),
             RepairError::Infeasible

@@ -1,10 +1,12 @@
 //! Provable Polytope Repair (Algorithm 2, §6).
 
 use crate::ddnn::DecoupledNetwork;
-use crate::repair::{repair_key_points, validate, KeyPoint, RepairConfig, RepairError, RepairOutcome};
+use crate::repair::{
+    repair_key_points, validate, KeyPoint, RepairConfig, RepairError, RepairOutcome,
+};
 use crate::spec::PolytopeSpec;
 use prdnn_nn::Network;
-use prdnn_syrenn::{line_regions, plane_regions, LinearRegion, SyrennError};
+use prdnn_syrenn::{lin_regions, LinearRegion, SyrennError};
 use std::time::{Duration, Instant};
 
 /// A successful polytope repair: the point-repair outcome plus the
@@ -95,31 +97,26 @@ pub fn repair_polytopes_ddnn(
     }
 
     // Lines 2–6 of Algorithm 2: reduce each polytope to the vertices of its
-    // linear regions.
+    // linear regions, computed by the incremental transformer pipeline.
     let lin_start = Instant::now();
     let mut key_points: Vec<KeyPoint> = Vec::new();
     let mut num_regions = 0usize;
     for (polytope, constraint) in spec.polytopes.iter().zip(&spec.constraints) {
-        let regions: Vec<LinearRegion> = match polytope.vertices.len() {
-            0 | 1 => return Err(RepairError::EmptySpec),
-            2 => line_regions(activation_net, &polytope.vertices[0], &polytope.vertices[1]),
-            _ => plane_regions(activation_net, &polytope.vertices),
-        }
-        .map_err(|e| match e {
-            SyrennError::NotPiecewiseLinear => RepairError::NotPiecewiseLinear,
-            SyrennError::DegenerateInput => RepairError::EmptySpec,
-        })?;
+        let regions: Vec<LinearRegion> =
+            lin_regions(activation_net, &polytope.vertices).map_err(|e| match e {
+                SyrennError::NotPiecewiseLinear => RepairError::NotPiecewiseLinear,
+                SyrennError::DegenerateInput => RepairError::EmptySpec,
+            })?;
         num_regions += regions.len();
         for region in regions {
-            for vertex in &region.vertices {
-                key_points.push(KeyPoint {
-                    point: vertex.clone(),
-                    // Appendix B: the vertex must be repaired with the
-                    // activation pattern of *this* region, fixed by the
-                    // region's interior point.
-                    activation_point: region.interior.clone(),
-                    constraint: constraint.clone(),
-                });
+            for vertex in region.vertices {
+                // Appendix B: the vertex must be repaired with the activation
+                // pattern of *this* region, fixed by its interior point.
+                key_points.push(KeyPoint::region_vertex(
+                    vertex,
+                    &region.interior,
+                    constraint,
+                ));
             }
         }
     }
@@ -128,7 +125,11 @@ pub fn repair_polytopes_ddnn(
 
     // Line 7: hand the constructed point specification to Algorithm 1.
     let outcome = repair_key_points(ddnn, layer, &key_points, config, lin_regions_time)?;
-    Ok(PolytopeRepairOutcome { outcome, num_regions, num_key_points })
+    Ok(PolytopeRepairOutcome {
+        outcome,
+        num_regions,
+        num_key_points,
+    })
 }
 
 #[cfg(test)]
@@ -160,7 +161,10 @@ mod tests {
         for i in 0..=100 {
             let x = 0.5 + (i as f64) / 100.0;
             let y = result.outcome.repaired.forward(&[x])[0];
-            assert!((-0.8 - 1e-6..=-0.4 + 1e-6).contains(&y), "violated at x = {x}: y = {y}");
+            assert!(
+                (-0.8 - 1e-6..=-0.4 + 1e-6).contains(&y),
+                "violated at x = {x}: y = {y}"
+            );
         }
     }
 
@@ -192,13 +196,21 @@ mod tests {
             InputPolytope::segment(start.clone(), end.clone()),
             OutputPolytope::classification(1, 2, 1e-4),
         );
-        let result = repair_polytopes(&net, 2, &spec, &RepairConfig::default())
-            .expect("repair succeeds");
+        let result =
+            repair_polytopes(&net, 2, &spec, &RepairConfig::default()).expect("repair succeeds");
         // Dense sampling along the segment: every point must be label 1.
         for i in 0..=200 {
             let t = i as f64 / 200.0;
-            let p: Vec<f64> = start.iter().zip(&end).map(|(s, e)| s + t * (e - s)).collect();
-            assert_eq!(result.outcome.repaired.classify(&p), 1, "violated at t = {t}");
+            let p: Vec<f64> = start
+                .iter()
+                .zip(&end)
+                .map(|(s, e)| s + t * (e - s))
+                .collect();
+            assert_eq!(
+                result.outcome.repaired.classify(&p),
+                1,
+                "violated at t = {t}"
+            );
         }
     }
 
@@ -212,14 +224,18 @@ mod tests {
             InputPolytope::polygon(triangle.clone()),
             OutputPolytope::classification(2, 3, 1e-4),
         );
-        let result = repair_polytopes(&net, 2, &spec, &RepairConfig::default())
-            .expect("repair succeeds");
+        let result =
+            repair_polytopes(&net, 2, &spec, &RepairConfig::default()).expect("repair succeeds");
         assert!(result.num_regions >= 1);
         assert!(result.num_key_points >= 3);
         // Random points inside the triangle must all be classified 2.
         let mut rng = StdRng::seed_from_u64(41);
         for _ in 0..200 {
-            let mut w = [rng.gen_range(0.0f64..1.0), rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)];
+            let mut w = [
+                rng.gen_range(0.0f64..1.0),
+                rng.gen_range(0.0..1.0),
+                rng.gen_range(0.0..1.0),
+            ];
             let s: f64 = w.iter().sum();
             w.iter_mut().for_each(|x| *x /= s);
             let p = vec![

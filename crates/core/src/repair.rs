@@ -3,8 +3,8 @@
 
 use crate::ddnn::DecoupledNetwork;
 use crate::spec::OutputPolytope;
-use prdnn_lp::{ConstraintOp, LpError, LpProblem, VarKind};
 use prdnn_linalg::vector;
+use prdnn_lp::{ConstraintOp, LpError, LpProblem, VarKind};
 use std::time::{Duration, Instant};
 
 /// The norm minimised over the parameter delta `Δ` (Definition 5.3's
@@ -31,7 +31,11 @@ pub struct RepairConfig {
 
 impl Default for RepairConfig {
     fn default() -> Self {
-        RepairConfig { norm: RepairNorm::L1, param_bound: None, max_lp_iterations: 2_000_000 }
+        RepairConfig {
+            norm: RepairNorm::L1,
+            param_bound: None,
+            max_lp_iterations: 2_000_000,
+        }
     }
 }
 
@@ -133,13 +137,22 @@ impl std::fmt::Display for RepairError {
                 write!(f, "layer {layer} has no parameters to repair")
             }
             RepairError::LayerOutOfRange { layer, num_layers } => {
-                write!(f, "layer index {layer} out of range (network has {num_layers} layers)")
+                write!(
+                    f,
+                    "layer index {layer} out of range (network has {num_layers} layers)"
+                )
             }
             RepairError::NotPiecewiseLinear => {
-                write!(f, "polytope repair requires piecewise-linear activation functions")
+                write!(
+                    f,
+                    "polytope repair requires piecewise-linear activation functions"
+                )
             }
             RepairError::SpecDimensionMismatch { expected, found } => {
-                write!(f, "specification constrains {found} outputs but the network has {expected}")
+                write!(
+                    f,
+                    "specification constrains {found} outputs but the network has {expected}"
+                )
             }
             RepairError::EmptySpec => write!(f, "the repair specification is empty"),
         }
@@ -162,6 +175,33 @@ pub(crate) struct KeyPoint {
     pub constraint: OutputPolytope,
 }
 
+impl KeyPoint {
+    /// A pointwise key point (Algorithm 1): the activation pattern is taken
+    /// at the repair point itself.
+    pub(crate) fn pointwise(point: Vec<f64>, constraint: OutputPolytope) -> Self {
+        KeyPoint {
+            activation_point: point.clone(),
+            point,
+            constraint,
+        }
+    }
+
+    /// A region-vertex key point (Algorithm 2 / Appendix B): the vertex must
+    /// be repaired with the activation pattern of *its region*, which is
+    /// fixed by a point in the region's relative interior.
+    pub(crate) fn region_vertex(
+        vertex: Vec<f64>,
+        interior: &[f64],
+        constraint: &OutputPolytope,
+    ) -> Self {
+        KeyPoint {
+            point: vertex,
+            activation_point: interior.to_vec(),
+            constraint: constraint.clone(),
+        }
+    }
+}
+
 /// Validates the layer index and spec dimensions shared by both algorithms.
 pub(crate) fn validate(
     ddnn: &DecoupledNetwork,
@@ -169,7 +209,10 @@ pub(crate) fn validate(
     constraints: &[OutputPolytope],
 ) -> Result<(), RepairError> {
     if layer >= ddnn.num_layers() {
-        return Err(RepairError::LayerOutOfRange { layer, num_layers: ddnn.num_layers() });
+        return Err(RepairError::LayerOutOfRange {
+            layer,
+            num_layers: ddnn.num_layers(),
+        });
     }
     if ddnn.value_network().layer(layer).num_params() == 0 {
         return Err(RepairError::LayerHasNoParameters { layer });
@@ -307,9 +350,14 @@ mod tests {
 
     #[test]
     fn error_display_is_informative() {
-        let e = RepairError::LayerOutOfRange { layer: 7, num_layers: 3 };
+        let e = RepairError::LayerOutOfRange {
+            layer: 7,
+            num_layers: 3,
+        };
         assert!(e.to_string().contains("7"));
-        assert!(RepairError::Infeasible.to_string().contains("no single-layer repair"));
+        assert!(RepairError::Infeasible
+            .to_string()
+            .contains("no single-layer repair"));
     }
 
     #[test]

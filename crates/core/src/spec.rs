@@ -23,7 +23,11 @@ impl OutputPolytope {
     ///
     /// Panics if `a.rows() != b.len()`.
     pub fn new(a: Matrix, b: Vec<f64>) -> Self {
-        assert_eq!(a.rows(), b.len(), "output polytope: A rows must match b length");
+        assert_eq!(
+            a.rows(),
+            b.len(),
+            "output polytope: A rows must match b length"
+        );
         OutputPolytope { a, b }
     }
 
@@ -53,7 +57,10 @@ impl OutputPolytope {
     ///
     /// Panics if `label >= num_classes` or `num_classes < 2`.
     pub fn classification(label: usize, num_classes: usize, margin: f64) -> Self {
-        assert!(num_classes >= 2, "classification constraint needs at least two classes");
+        assert!(
+            num_classes >= 2,
+            "classification constraint needs at least two classes"
+        );
         assert!(label < num_classes, "label out of range");
         let mut a = Matrix::zeros(num_classes - 1, num_classes);
         let mut b = Vec::with_capacity(num_classes - 1);
@@ -77,7 +84,10 @@ impl OutputPolytope {
     /// Panics if `lo.len() != hi.len()` or if some `lo_i > hi_i`.
     pub fn interval(lo: &[f64], hi: &[f64]) -> Self {
         assert_eq!(lo.len(), hi.len(), "interval: lo/hi length mismatch");
-        assert!(lo.iter().zip(hi).all(|(l, h)| l <= h), "interval: lo must not exceed hi");
+        assert!(
+            lo.iter().zip(hi).all(|(l, h)| l <= h),
+            "interval: lo must not exceed hi"
+        );
         let dim = lo.len();
         let mut a = Matrix::zeros(2 * dim, dim);
         let mut b = Vec::with_capacity(2 * dim);
@@ -144,7 +154,10 @@ impl PointSpec {
         assert_eq!(points.len(), labels.len(), "points/labels length mismatch");
         let mut spec = PointSpec::new();
         for (p, &label) in points.iter().zip(labels) {
-            spec.push(p.clone(), OutputPolytope::classification(label, num_classes, margin));
+            spec.push(
+                p.clone(),
+                OutputPolytope::classification(label, num_classes, margin),
+            );
         }
         spec
     }
@@ -174,7 +187,9 @@ pub struct InputPolytope {
 impl InputPolytope {
     /// A 1-D segment from `start` to `end`.
     pub fn segment(start: Vec<f64>, end: Vec<f64>) -> Self {
-        InputPolytope { vertices: vec![start, end] }
+        InputPolytope {
+            vertices: vec![start, end],
+        }
     }
 
     /// A convex planar polygon with at least three vertices in boundary order.
@@ -205,8 +220,9 @@ impl InputPolytope {
             .map(|_| {
                 // Random convex combination of the vertices (uniform over the
                 // simplex of weights; adequate for baseline training data).
-                let mut weights: Vec<f64> =
-                    (0..self.vertices.len()).map(|_| -rng.gen_range(0.0f64..1.0).ln()).collect();
+                let mut weights: Vec<f64> = (0..self.vertices.len())
+                    .map(|_| -rng.gen_range(0.0f64..1.0).ln())
+                    .collect();
                 let total: f64 = weights.iter().sum();
                 for w in weights.iter_mut() {
                     *w /= total;
@@ -304,12 +320,8 @@ mod tests {
 
     #[test]
     fn from_classification_builds_one_constraint_per_point() {
-        let spec = PointSpec::from_classification(
-            &[vec![0.0, 0.0], vec![1.0, 1.0]],
-            &[0, 1],
-            3,
-            0.1,
-        );
+        let spec =
+            PointSpec::from_classification(&[vec![0.0, 0.0], vec![1.0, 1.0]], &[0, 1], 3, 0.1);
         assert_eq!(spec.len(), 2);
         assert_eq!(spec.constraints[0].num_faces(), 2);
     }
@@ -324,11 +336,7 @@ mod tests {
             assert!((p[1] - 2.0 * p[0]).abs() < 1e-9);
             assert!((-1e-9..=1.0 + 1e-9).contains(&p[0]));
         }
-        let triangle = InputPolytope::polygon(vec![
-            vec![0.0, 0.0],
-            vec![1.0, 0.0],
-            vec![0.0, 1.0],
-        ]);
+        let triangle = InputPolytope::polygon(vec![vec![0.0, 0.0], vec![1.0, 0.0], vec![0.0, 1.0]]);
         assert_eq!(triangle.dimension(), 2);
         for p in triangle.sample(50, &mut rng) {
             assert!(p[0] >= -1e-9 && p[1] >= -1e-9 && p[0] + p[1] <= 1.0 + 1e-9);

@@ -30,7 +30,10 @@ pub fn fog(image: &[f64], height: usize, width: usize, alpha: f64) -> Vec<f64> {
 
 /// Additive uniform noise of amplitude `sigma`, clamped to `[0, 1]`.
 pub fn noise(image: &[f64], sigma: f64, rng: &mut impl Rng) -> Vec<f64> {
-    image.iter().map(|&x| (x + rng.gen_range(-sigma..sigma)).clamp(0.0, 1.0)).collect()
+    image
+        .iter()
+        .map(|&x| (x + rng.gen_range(-sigma..sigma)).clamp(0.0, 1.0))
+        .collect()
 }
 
 /// Occludes a `size × size` square at `(top, left)` with the given value in
@@ -39,6 +42,7 @@ pub fn noise(image: &[f64], sigma: f64, rng: &mut impl Rng) -> Vec<f64> {
 /// # Panics
 ///
 /// Panics if `image.len() != channels * height * width`.
+#[allow(clippy::too_many_arguments)] // mirrors the (image, shape, rect, value) call shape
 pub fn occlude(
     image: &[f64],
     channels: usize,
@@ -49,7 +53,11 @@ pub fn occlude(
     size: usize,
     value: f64,
 ) -> Vec<f64> {
-    assert_eq!(image.len(), channels * height * width, "occlude: image size mismatch");
+    assert_eq!(
+        image.len(),
+        channels * height * width,
+        "occlude: image size mismatch"
+    );
     let mut out = image.to_vec();
     for ch in 0..channels {
         for r in top..(top + size).min(height) {
@@ -105,8 +113,9 @@ mod tests {
     fn occlusion_overwrites_the_square() {
         let image = vec![0.25; 2 * 4 * 4];
         let out = occlude(&image, 2, 4, 4, 1, 1, 2, 0.9);
-        assert_eq!(out[(0 * 4 + 1) * 4 + 1], 0.9);
-        assert_eq!(out[(1 * 4 + 2) * 4 + 2], 0.9);
+        let index = |c: usize, y: usize, x: usize| (c * 4 + y) * 4 + x;
+        assert_eq!(out[index(0, 1, 1)], 0.9);
+        assert_eq!(out[index(1, 2, 2)], 0.9);
         assert_eq!(out[0], 0.25);
     }
 

@@ -14,16 +14,36 @@ pub const NUM_CLASSES: usize = 10;
 
 /// Seven-segment-style 7×7 glyph prototypes for the ten digits.
 const GLYPHS: [[&str; 7]; 10] = [
-    [" ##### ", "##   ##", "##   ##", "##   ##", "##   ##", "##   ##", " ##### "], // 0
-    ["   ##  ", "  ###  ", "   ##  ", "   ##  ", "   ##  ", "   ##  ", " ######"], // 1
-    [" ##### ", "##   ##", "     ##", "   ### ", "  ##   ", " ##    ", "#######"], // 2
-    [" ##### ", "##   ##", "     ##", "  #### ", "     ##", "##   ##", " ##### "], // 3
-    ["##  ## ", "##  ## ", "##  ## ", "#######", "    ## ", "    ## ", "    ## "], // 4
-    ["#######", "##     ", "###### ", "     ##", "     ##", "##   ##", " ##### "], // 5
-    [" ##### ", "##     ", "##     ", "###### ", "##   ##", "##   ##", " ##### "], // 6
-    ["#######", "     ##", "    ## ", "   ##  ", "  ##   ", "  ##   ", "  ##   "], // 7
-    [" ##### ", "##   ##", "##   ##", " ##### ", "##   ##", "##   ##", " ##### "], // 8
-    [" ##### ", "##   ##", "##   ##", " ######", "     ##", "     ##", " ##### "], // 9
+    [
+        " ##### ", "##   ##", "##   ##", "##   ##", "##   ##", "##   ##", " ##### ",
+    ], // 0
+    [
+        "   ##  ", "  ###  ", "   ##  ", "   ##  ", "   ##  ", "   ##  ", " ######",
+    ], // 1
+    [
+        " ##### ", "##   ##", "     ##", "   ### ", "  ##   ", " ##    ", "#######",
+    ], // 2
+    [
+        " ##### ", "##   ##", "     ##", "  #### ", "     ##", "##   ##", " ##### ",
+    ], // 3
+    [
+        "##  ## ", "##  ## ", "##  ## ", "#######", "    ## ", "    ## ", "    ## ",
+    ], // 4
+    [
+        "#######", "##     ", "###### ", "     ##", "     ##", "##   ##", " ##### ",
+    ], // 5
+    [
+        " ##### ", "##     ", "##     ", "###### ", "##   ##", "##   ##", " ##### ",
+    ], // 6
+    [
+        "#######", "     ##", "    ## ", "   ##  ", "  ##   ", "  ##   ", "  ##   ",
+    ], // 7
+    [
+        " ##### ", "##   ##", "##   ##", " ##### ", "##   ##", "##   ##", " ##### ",
+    ], // 8
+    [
+        " ##### ", "##   ##", "##   ##", " ######", "     ##", "     ##", " ##### ",
+    ], // 9
 ];
 
 /// Renders the clean prototype of digit `class` as a `PIXELS`-length image
@@ -106,8 +126,18 @@ pub fn digit_task(seed: u64, train_size: usize, test_size: usize) -> DigitTask {
         epochs: 30,
         ..TrainConfig::default()
     };
-    sgd_train(&mut network, &train.inputs, &train.labels, &config, &mut rng);
-    DigitTask { network, train, test }
+    sgd_train(
+        &mut network,
+        &train.inputs,
+        &train.labels,
+        &config,
+        &mut rng,
+    );
+    DigitTask {
+        network,
+        train,
+        test,
+    }
 }
 
 #[cfg(test)]

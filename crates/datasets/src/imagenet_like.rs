@@ -53,7 +53,11 @@ pub fn sample_image(class: usize, rng: &mut impl Rng) -> Vec<f64> {
                     1 => c,
                     _ => r + c,
                 };
-                let stripe: f64 = if (stripe_coord + phase) % 2 == 0 { 0.2 } else { -0.1 };
+                let stripe: f64 = if (stripe_coord + phase) % 2 == 0 {
+                    0.2
+                } else {
+                    -0.1
+                };
                 let value: f64 = base + stripe + rng.gen_range(-0.06..0.06);
                 image[(ch * SIDE + r) * SIDE + c] = value.clamp(0.0, 1.0);
             }
@@ -89,7 +93,9 @@ pub fn object_cnn(rng: &mut impl Rng) -> Network {
             kernel_w: 3,
             stride: 1,
             padding: 1,
-            weights: (0..out_c * in_c * 9).map(|_| rng.gen_range(-bound..bound)).collect(),
+            weights: (0..out_c * in_c * 9)
+                .map(|_| rng.gen_range(-bound..bound))
+                .collect(),
             bias: vec![0.0; out_c],
             activation: Activation::Relu,
         })
@@ -149,8 +155,18 @@ pub fn object_task(seed: u64, train_size: usize, validation_size: usize) -> Obje
         epochs: 12,
         ..TrainConfig::default()
     };
-    sgd_train(&mut network, &train.inputs, &train.labels, &config, &mut rng);
-    ObjectTask { network, train, validation }
+    sgd_train(
+        &mut network,
+        &train.inputs,
+        &train.labels,
+        &config,
+        &mut rng,
+    );
+    ObjectTask {
+        network,
+        train,
+        validation,
+    }
 }
 
 #[cfg(test)]
@@ -173,7 +189,9 @@ mod tests {
         for class in 0..NUM_CLASSES {
             let img = sample_image(class, &mut rng);
             let channel_mean = |ch: usize| -> f64 {
-                (0..SIDE * SIDE).map(|i| img[ch * SIDE * SIDE + i]).sum::<f64>()
+                (0..SIDE * SIDE)
+                    .map(|i| img[ch * SIDE * SIDE + i])
+                    .sum::<f64>()
                     / (SIDE * SIDE) as f64
             };
             let dom = dominant_channel(class);

@@ -96,7 +96,10 @@ mod tests {
         let task = imagenet_like::object_task(21, 270, 90);
         let mut rng = StdRng::seed_from_u64(2);
         let pool = misclassified_pool(&task.network, 30, 5000, &mut rng);
-        assert!(!pool.is_empty(), "the distortions must fool the CNN at least sometimes");
+        assert!(
+            !pool.is_empty(),
+            "the distortions must fool the CNN at least sometimes"
+        );
         assert_eq!(pool.accuracy(&task.network), 0.0);
     }
 

@@ -21,9 +21,7 @@ mod matrix;
 pub mod vector;
 
 pub use matrix::Matrix;
-pub use vector::{
-    add, argmax, dot, linf_distance, norm_l1, norm_l2, norm_linf, scale, sub,
-};
+pub use vector::{add, argmax, dot, linf_distance, norm_l1, norm_l2, norm_linf, scale, sub};
 
 /// Absolute tolerance used throughout the workspace when comparing floats
 /// that should be exactly equal up to rounding error.

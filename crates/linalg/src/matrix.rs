@@ -27,7 +27,11 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a `rows × cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates the `n × n` identity matrix.
@@ -58,12 +62,19 @@ impl Matrix {
     pub fn from_rows(rows: &[Vec<f64>]) -> Self {
         assert!(!rows.is_empty(), "from_rows: no rows given");
         let cols = rows[0].len();
-        assert!(rows.iter().all(|r| r.len() == cols), "from_rows: ragged rows");
+        assert!(
+            rows.iter().all(|r| r.len() == cols),
+            "from_rows: ragged rows"
+        );
         let mut data = Vec::with_capacity(rows.len() * cols);
         for r in rows {
             data.extend_from_slice(r);
         }
-        Matrix { rows: rows.len(), cols, data }
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        }
     }
 
     /// Creates a matrix from a flat row-major buffer.
@@ -107,7 +118,12 @@ impl Matrix {
     ///
     /// Panics if `r` is out of bounds.
     pub fn row(&self, r: usize) -> &[f64] {
-        assert!(r < self.rows, "row index {} out of bounds ({} rows)", r, self.rows);
+        assert!(
+            r < self.rows,
+            "row index {} out of bounds ({} rows)",
+            r,
+            self.rows
+        );
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
@@ -117,7 +133,12 @@ impl Matrix {
     ///
     /// Panics if `c` is out of bounds.
     pub fn col(&self, c: usize) -> Vec<f64> {
-        assert!(c < self.cols, "col index {} out of bounds ({} cols)", c, self.cols);
+        assert!(
+            c < self.cols,
+            "col index {} out of bounds ({} cols)",
+            c,
+            self.cols
+        );
         (0..self.rows).map(|r| self[(r, c)]).collect()
     }
 
@@ -127,15 +148,21 @@ impl Matrix {
     ///
     /// Panics if `v.len() != self.cols()`.
     pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
-        assert_eq!(v.len(), self.cols, "matvec: got {} entries, expected {}", v.len(), self.cols);
+        assert_eq!(
+            v.len(),
+            self.cols,
+            "matvec: got {} entries, expected {}",
+            v.len(),
+            self.cols
+        );
         let mut out = vec![0.0; self.rows];
-        for r in 0..self.rows {
+        for (r, out_r) in out.iter_mut().enumerate() {
             let row = self.row(r);
             let mut acc = 0.0;
             for (a, b) in row.iter().zip(v) {
                 acc += a * b;
             }
-            out[r] = acc;
+            *out_r = acc;
         }
         out
     }
@@ -177,9 +204,22 @@ impl Matrix {
     ///
     /// Panics if the shapes differ.
     pub fn add(&self, other: &Matrix) -> Matrix {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "add: shape mismatch");
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a + b).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "add: shape mismatch"
+        );
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Element-wise difference.
@@ -188,15 +228,32 @@ impl Matrix {
     ///
     /// Panics if the shapes differ.
     pub fn sub(&self, other: &Matrix) -> Matrix {
-        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "sub: shape mismatch");
-        let data = self.data.iter().zip(&other.data).map(|(a, b)| a - b).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "sub: shape mismatch"
+        );
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a - b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Scalar multiple of the matrix.
     pub fn scale(&self, s: f64) -> Matrix {
         let data = self.data.iter().map(|a| a * s).collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Sum of absolute values of all entries (entry-wise ℓ1 norm).
@@ -218,7 +275,11 @@ impl Matrix {
         assert_eq!(self.cols, other.cols, "vstack: column mismatch");
         let mut data = self.data.clone();
         data.extend_from_slice(&other.data);
-        Matrix { rows: self.rows + other.rows, cols: self.cols, data }
+        Matrix {
+            rows: self.rows + other.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Appends `other`'s columns to the right of `self`'s columns.
@@ -242,14 +303,24 @@ impl std::ops::Index<(usize, usize)> for Matrix {
     type Output = f64;
 
     fn index(&self, (r, c): (usize, usize)) -> &f64 {
-        debug_assert!(r < self.rows && c < self.cols, "index ({}, {}) out of bounds", r, c);
+        debug_assert!(
+            r < self.rows && c < self.cols,
+            "index ({}, {}) out of bounds",
+            r,
+            c
+        );
         &self.data[r * self.cols + c]
     }
 }
 
 impl std::ops::IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
-        debug_assert!(r < self.rows && c < self.cols, "index ({}, {}) out of bounds", r, c);
+        debug_assert!(
+            r < self.rows && c < self.cols,
+            "index ({}, {}) out of bounds",
+            r,
+            c
+        );
         &mut self.data[r * self.cols + c]
     }
 }
@@ -305,7 +376,10 @@ mod tests {
         let b = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
         let ab = a.matmul(&b);
         assert_eq!(ab, Matrix::from_rows(&[vec![2.0, 1.0], vec![4.0, 3.0]]));
-        assert_eq!(a.transpose(), Matrix::from_rows(&[vec![1.0, 3.0], vec![2.0, 4.0]]));
+        assert_eq!(
+            a.transpose(),
+            Matrix::from_rows(&[vec![1.0, 3.0], vec![2.0, 4.0]])
+        );
         // identity is neutral
         let i = Matrix::identity(2);
         assert_eq!(a.matmul(&i), a);

@@ -10,7 +10,13 @@
 ///
 /// Panics if the slices have different lengths.
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
-    assert_eq!(a.len(), b.len(), "dot: length mismatch {} vs {}", a.len(), b.len());
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "dot: length mismatch {} vs {}",
+        a.len(),
+        b.len()
+    );
     a.iter().zip(b).map(|(x, y)| x * y).sum()
 }
 

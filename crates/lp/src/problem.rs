@@ -90,7 +90,11 @@ impl Default for LpProblem {
 impl LpProblem {
     /// Creates an empty problem with a pure-feasibility objective.
     pub fn new() -> Self {
-        LpProblem { kinds: Vec::new(), constraints: Vec::new(), objective: Objective::Feasibility }
+        LpProblem {
+            kinds: Vec::new(),
+            constraints: Vec::new(),
+            objective: Objective::Feasibility,
+        }
     }
 
     /// Adds a variable of the given kind and returns its id.
@@ -124,9 +128,17 @@ impl LpProblem {
     /// Panics if any referenced variable does not belong to this problem.
     pub fn add_constraint(&mut self, coeffs: &[(VarId, f64)], op: ConstraintOp, rhs: f64) {
         for (v, _) in coeffs {
-            assert!(v.0 < self.kinds.len(), "constraint references unknown variable {:?}", v);
+            assert!(
+                v.0 < self.kinds.len(),
+                "constraint references unknown variable {:?}",
+                v
+            );
         }
-        self.constraints.push(Constraint { coeffs: coeffs.to_vec(), op, rhs });
+        self.constraints.push(Constraint {
+            coeffs: coeffs.to_vec(),
+            op,
+            rhs,
+        });
     }
 
     /// Sets a plain linear objective `minimize Σ coeffs_i · x_i`.
@@ -137,7 +149,11 @@ impl LpProblem {
     pub fn set_objective_linear(&mut self, coeffs: &[(VarId, f64)]) {
         let mut dense = vec![0.0; self.kinds.len()];
         for (v, c) in coeffs {
-            assert!(v.0 < self.kinds.len(), "objective references unknown variable {:?}", v);
+            assert!(
+                v.0 < self.kinds.len(),
+                "objective references unknown variable {:?}",
+                v
+            );
             dense[v.0] += c;
         }
         self.objective = Objective::Linear(dense);
@@ -150,7 +166,11 @@ impl LpProblem {
     /// Panics if any referenced variable does not belong to this problem.
     pub fn minimize_l1_of(&mut self, vars: &[VarId]) {
         for v in vars {
-            assert!(v.0 < self.kinds.len(), "objective references unknown variable {:?}", v);
+            assert!(
+                v.0 < self.kinds.len(),
+                "objective references unknown variable {:?}",
+                v
+            );
         }
         self.objective = Objective::MinimizeL1(vars.to_vec());
     }
@@ -162,7 +182,11 @@ impl LpProblem {
     /// Panics if any referenced variable does not belong to this problem.
     pub fn minimize_linf_of(&mut self, vars: &[VarId]) {
         for v in vars {
-            assert!(v.0 < self.kinds.len(), "objective references unknown variable {:?}", v);
+            assert!(
+                v.0 < self.kinds.len(),
+                "objective references unknown variable {:?}",
+                v
+            );
         }
         self.objective = Objective::MinimizeLinf(vars.to_vec());
     }
@@ -181,7 +205,11 @@ impl LpProblem {
     ///
     /// Panics if `x.len()` differs from [`Self::num_vars`].
     pub fn is_feasible(&self, x: &[f64], tol: f64) -> bool {
-        assert_eq!(x.len(), self.kinds.len(), "is_feasible: wrong number of values");
+        assert_eq!(
+            x.len(),
+            self.kinds.len(),
+            "is_feasible: wrong number of values"
+        );
         for (i, kind) in self.kinds.iter().enumerate() {
             if *kind == VarKind::NonNegative && x[i] < -tol {
                 return false;

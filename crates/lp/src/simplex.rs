@@ -3,6 +3,13 @@
 //! Standard form: `minimize c·x  subject to  A x = b,  x ≥ 0,  b ≥ 0`.
 //! The caller ([`crate::solver`]) is responsible for converting modelling
 //! form (free variables, inequalities, norm objectives) into this shape.
+//!
+//! The tableau — every constraint row, the right-hand sides, *and* the
+//! reduced-cost row — lives in one contiguous row-major `Vec<f64>`
+//! ([`Tableau`]).  Pivots are stride-indexed row operations over that single
+//! allocation, so the hot loop is cache-friendly and allocation-free; the
+//! phase-1 → phase-2 transition compacts the artificial columns away in
+//! place instead of rebuilding per-row vectors.
 
 /// A standard-form LP: `min c·x  s.t.  A x = b, x ≥ 0` with `b ≥ 0`.
 #[derive(Debug, Clone)]
@@ -28,6 +35,103 @@ const PIVOT_EPS: f64 = 1e-10;
 const COST_EPS: f64 = 1e-9;
 const FEAS_EPS: f64 = 1e-7;
 
+/// The simplex working set: `m` constraint rows plus the reduced-cost row,
+/// stored row-major in a single flat buffer.
+///
+/// Row `i < m` is constraint `i`; row `m` is the reduced-cost (objective)
+/// row.  Each row has `stride = width + 1` entries: `width` structural
+/// columns followed by the right-hand side (for the objective row, the
+/// negated objective value).
+struct Tableau {
+    data: Vec<f64>,
+    /// Entries per row (structural columns + 1 for the RHS).
+    stride: usize,
+    /// Number of constraint rows (the objective row is row `m`).
+    m: usize,
+}
+
+impl Tableau {
+    /// Number of structural columns.
+    fn width(&self) -> usize {
+        self.stride - 1
+    }
+
+    fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.stride..(i + 1) * self.stride]
+    }
+
+    fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.stride..(i + 1) * self.stride]
+    }
+
+    fn obj(&self) -> &[f64] {
+        self.row(self.m)
+    }
+
+    /// Entry `(row, col)` without slicing (hot-path reads).
+    #[inline]
+    fn at(&self, row: usize, col: usize) -> f64 {
+        self.data[row * self.stride + col]
+    }
+
+    /// Pivots on `(row, col)`: normalises the pivot row and eliminates the
+    /// pivot column from every other row, including the reduced-cost row.
+    ///
+    /// One pass of stride-indexed row operations over the flat buffer; no
+    /// allocation.
+    fn pivot(&mut self, row: usize, col: usize) {
+        let stride = self.stride;
+        let piv = self.at(row, col);
+        debug_assert!(piv.abs() > PIVOT_EPS, "pivot on (near-)zero element");
+        let inv = 1.0 / piv;
+        for v in self.row_mut(row) {
+            *v *= inv;
+        }
+        // Make the pivot column exactly canonical to limit error
+        // accumulation.
+        self.data[row * stride + col] = 1.0;
+
+        let (before, rest) = self.data.split_at_mut(row * stride);
+        let (pivot_row, after) = rest.split_at_mut(stride);
+        for other in before
+            .chunks_exact_mut(stride)
+            .chain(after.chunks_exact_mut(stride))
+        {
+            let factor = other[col];
+            if factor != 0.0 {
+                for (o, p) in other.iter_mut().zip(pivot_row.iter()) {
+                    *o -= factor * p;
+                }
+                other[col] = 0.0;
+            }
+        }
+    }
+
+    /// Removes constraint row `i`, shifting later rows (and the objective
+    /// row) up in place.
+    fn remove_row(&mut self, i: usize) {
+        let stride = self.stride;
+        self.data
+            .copy_within((i + 1) * stride..(self.m + 1) * stride, i * stride);
+        self.m -= 1;
+        self.data.truncate((self.m + 1) * stride);
+    }
+
+    /// Shrinks the tableau to its first `new_width` structural columns,
+    /// compacting every row (and the RHS) in place.
+    fn truncate_columns(&mut self, new_width: usize) {
+        let (old_stride, new_stride) = (self.stride, new_width + 1);
+        debug_assert!(new_stride <= old_stride);
+        for i in 0..=self.m {
+            let (src, dst) = (i * old_stride, i * new_stride);
+            self.data.copy_within(src..src + new_width, dst);
+            self.data[dst + new_width] = self.data[src + old_stride - 1];
+        }
+        self.stride = new_stride;
+        self.data.truncate((self.m + 1) * new_stride);
+    }
+}
+
 /// Full-tableau two-phase simplex.
 ///
 /// Phase 1 introduces one artificial variable per row and minimises their
@@ -50,7 +154,10 @@ pub(crate) fn solve_standard(sf: &StandardForm, max_iters: usize) -> SimplexOutc
         if sf.c.iter().any(|&cj| cj < -COST_EPS) {
             return SimplexOutcome::Unbounded;
         }
-        return SimplexOutcome::Optimal { x: vec![0.0; n], objective: 0.0 };
+        return SimplexOutcome::Optimal {
+            x: vec![0.0; n],
+            objective: 0.0,
+        };
     }
 
     // ---- Phase 1 setup.  Rows whose slack column already forms a unit
@@ -77,25 +184,28 @@ pub(crate) fn solve_standard(sf: &StandardForm, max_iters: usize) -> SimplexOutc
             }
         }
     }
-    let artificial_rows: Vec<usize> =
-        (0..m).filter(|&i| basis_for_row[i].is_none()).collect();
+    let artificial_rows: Vec<usize> = (0..m).filter(|&i| basis_for_row[i].is_none()).collect();
     let num_artificials = artificial_rows.len();
     let total = n + num_artificials;
 
-    let mut tab: Vec<Vec<f64>> = Vec::with_capacity(m);
+    // One allocation for the whole working set: m constraint rows plus the
+    // reduced-cost row, each `total + 1` wide.
+    let stride = total + 1;
+    let mut tab = Tableau {
+        data: vec![0.0; (m + 1) * stride],
+        stride,
+        m,
+    };
     let mut basis: Vec<usize> = Vec::with_capacity(m);
     for (i, row) in sf.a.iter().enumerate() {
-        let mut t = Vec::with_capacity(total + 1);
-        t.extend_from_slice(row);
-        for &ar in &artificial_rows {
-            t.push(if ar == i { 1.0 } else { 0.0 });
-        }
-        t.push(sf.b[i]);
-        tab.push(t);
+        let dst = tab.row_mut(i);
+        dst[..n].copy_from_slice(row);
+        dst[total] = sf.b[i];
         match basis_for_row[i] {
             Some(j) => basis.push(j),
             None => {
                 let k = artificial_rows.iter().position(|&ar| ar == i).unwrap();
+                tab.row_mut(i)[n + k] = 1.0;
                 basis.push(n + k);
             }
         }
@@ -105,43 +215,37 @@ pub(crate) fn solve_standard(sf: &StandardForm, max_iters: usize) -> SimplexOutc
     if num_artificials > 0 {
         // Phase-1 reduced-cost row: costs are 1 on artificials, 0 elsewhere;
         // subtract each artificial-basic row to zero out the basic columns.
-        let mut obj = vec![0.0; total + 1];
+        let obj_start = m * stride;
         for j in n..total {
-            obj[j] = 1.0;
+            tab.data[obj_start + j] = 1.0;
         }
-        for (i, row) in tab.iter().enumerate() {
-            if basis[i] >= n {
-                for j in 0..=total {
-                    obj[j] -= row[j];
+        for (i, &b) in basis.iter().enumerate() {
+            if b >= n {
+                for j in 0..stride {
+                    tab.data[obj_start + j] -= tab.data[i * stride + j];
                 }
             }
         }
-        match run_pivots(&mut tab, &mut obj, &mut basis, total, &mut iters_left, Some(n)) {
+        match run_pivots(&mut tab, &mut basis, &mut iters_left, Some(n)) {
             PivotRun::Unbounded => return SimplexOutcome::Unbounded,
             PivotRun::IterationLimit => return SimplexOutcome::IterationLimit,
             PivotRun::Optimal => {}
         }
-        // Phase-1 objective value is -obj[total] (we stored the negated value).
-        let phase1_value = -obj[total];
+        // The objective row's RHS holds the negated phase-1 value.
+        let phase1_value = -tab.obj()[total];
         if phase1_value > FEAS_EPS {
             return SimplexOutcome::Infeasible;
         }
 
         // Drive any remaining artificial variables out of the basis.
         let mut drop_rows: Vec<usize> = Vec::new();
-        for i in 0..tab.len() {
-            if basis[i] >= n {
+        for (i, b) in basis.iter_mut().enumerate() {
+            if *b >= n {
                 // Find a real column with a non-zero entry to pivot in.
-                let mut pivot_col = None;
-                for j in 0..n {
-                    if tab[i][j].abs() > PIVOT_EPS {
-                        pivot_col = Some(j);
-                        break;
-                    }
-                }
-                match pivot_col {
+                match (0..n).find(|&j| tab.at(i, j).abs() > PIVOT_EPS) {
                     Some(j) => {
-                        pivot(&mut tab, &mut obj, &mut basis, i, j, total);
+                        tab.pivot(i, j);
+                        *b = j;
                     }
                     None => drop_rows.push(i),
                 }
@@ -149,39 +253,37 @@ pub(crate) fn solve_standard(sf: &StandardForm, max_iters: usize) -> SimplexOutc
         }
         // Remove redundant rows (all-zero in real columns).
         for &i in drop_rows.iter().rev() {
-            tab.remove(i);
+            tab.remove_row(i);
             basis.remove(i);
         }
     }
-    // Remove the artificial columns (no-ops when there were none).
-    let m2 = tab.len();
-    for row in tab.iter_mut() {
-        let rhs = row[total];
-        row.truncate(n);
-        row.push(rhs);
-    }
+    // Remove the artificial columns (no-op when there were none).
+    tab.truncate_columns(n);
 
     // ---- Phase 2: real objective.
-    let mut obj2 = vec![0.0; n + 1];
-    obj2[..n].copy_from_slice(&sf.c);
-    for i in 0..m2 {
-        let cb = sf.c[basis[i]];
+    let obj_start = tab.m * tab.stride;
+    for v in &mut tab.data[obj_start..] {
+        *v = 0.0;
+    }
+    tab.data[obj_start..obj_start + n].copy_from_slice(&sf.c);
+    for (i, &b) in basis.iter().enumerate() {
+        let cb = sf.c[b];
         if cb != 0.0 {
-            for j in 0..=n {
-                obj2[j] -= cb * tab[i][j];
+            for j in 0..tab.stride {
+                tab.data[obj_start + j] -= cb * tab.data[i * tab.stride + j];
             }
         }
     }
-    match run_pivots(&mut tab, &mut obj2, &mut basis, n, &mut iters_left, None) {
+    match run_pivots(&mut tab, &mut basis, &mut iters_left, None) {
         PivotRun::Unbounded => return SimplexOutcome::Unbounded,
         PivotRun::IterationLimit => return SimplexOutcome::IterationLimit,
         PivotRun::Optimal => {}
     }
 
     let mut x = vec![0.0; n];
-    for i in 0..m2 {
+    for i in 0..tab.m {
         if basis[i] < n {
-            x[basis[i]] = tab[i][n];
+            x[basis[i]] = tab.at(i, n);
         }
     }
     let objective: f64 = sf.c.iter().zip(&x).map(|(c, v)| c * v).sum();
@@ -194,20 +296,17 @@ enum PivotRun {
     IterationLimit,
 }
 
-/// Runs pivots until optimality.  `width` is the number of structural
-/// columns (the RHS lives at index `width`).  If `restrict_entering` is
-/// `Some(k)`, only columns `< k` may enter the basis (used in phase 1 to let
-/// real columns replace artificials, and to forbid artificials re-entering).
+/// Runs pivots until optimality.  If `restrict_entering` is `Some(k)`, only
+/// columns `< k` may enter the basis (used in phase 1 to let real columns
+/// replace artificials, and to forbid artificials re-entering).
 fn run_pivots(
-    tab: &mut Vec<Vec<f64>>,
-    obj: &mut [f64],
+    tab: &mut Tableau,
     basis: &mut [usize],
-    width: usize,
     iters_left: &mut usize,
     restrict_entering: Option<usize>,
 ) -> PivotRun {
-    let m = tab.len();
-    let entering_limit = restrict_entering.unwrap_or(width);
+    let rhs = tab.width();
+    let entering_limit = restrict_entering.unwrap_or(rhs);
     let mut degenerate_streak = 0usize;
     loop {
         if *iters_left == 0 {
@@ -218,91 +317,50 @@ fn run_pivots(
         let use_bland = degenerate_streak > 40;
         // Entering column: most-negative reduced cost (Dantzig) or smallest
         // index with negative reduced cost (Bland).
+        let obj = &tab.obj()[..entering_limit];
         let mut entering: Option<usize> = None;
         if use_bland {
-            for j in 0..entering_limit {
-                if obj[j] < -COST_EPS {
-                    entering = Some(j);
-                    break;
-                }
-            }
+            entering = obj.iter().position(|&cj| cj < -COST_EPS);
         } else {
             let mut best = -COST_EPS;
-            for j in 0..entering_limit {
-                if obj[j] < best {
-                    best = obj[j];
+            for (j, &cj) in obj.iter().enumerate() {
+                if cj < best {
+                    best = cj;
                     entering = Some(j);
                 }
             }
         }
-        let Some(e) = entering else { return PivotRun::Optimal };
+        let Some(e) = entering else {
+            return PivotRun::Optimal;
+        };
 
         // Ratio test.
         let mut leave: Option<usize> = None;
         let mut best_ratio = f64::INFINITY;
-        for i in 0..m {
-            let a = tab[i][e];
+        for i in 0..tab.m {
+            let a = tab.at(i, e);
             if a > PIVOT_EPS {
-                let ratio = tab[i][width] / a;
+                let ratio = tab.at(i, rhs) / a;
                 let better = ratio < best_ratio - PIVOT_EPS
                     || (ratio < best_ratio + PIVOT_EPS
-                        && leave.map_or(true, |l| basis[i] < basis[l]));
+                        && leave.is_none_or(|l| basis[i] < basis[l]));
                 if better {
                     best_ratio = ratio;
                     leave = Some(i);
                 }
             }
         }
-        let Some(l) = leave else { return PivotRun::Unbounded };
+        let Some(l) = leave else {
+            return PivotRun::Unbounded;
+        };
         if best_ratio < PIVOT_EPS {
             degenerate_streak += 1;
         } else {
             degenerate_streak = 0;
         }
-        pivot(tab, obj, basis, l, e, width);
+        tab.pivot(l, e);
+        basis[l] = e;
     }
-}
-
-/// Pivots on `tab[row][col]`, updating the tableau, the reduced-cost row,
-/// and the basis.
-fn pivot(
-    tab: &mut [Vec<f64>],
-    obj: &mut [f64],
-    basis: &mut [usize],
-    row: usize,
-    col: usize,
-    width: usize,
-) {
-    let piv = tab[row][col];
-    debug_assert!(piv.abs() > PIVOT_EPS, "pivot on (near-)zero element");
-    let inv = 1.0 / piv;
-    for v in tab[row].iter_mut() {
-        *v *= inv;
-    }
-    // Make the pivot column exactly canonical to limit error accumulation.
-    tab[row][col] = 1.0;
-    for i in 0..tab.len() {
-        if i == row {
-            continue;
-        }
-        let factor = tab[i][col];
-        if factor != 0.0 {
-            // Split borrows: copy the pivot row is avoided by indexing.
-            for j in 0..=width {
-                let pr = tab[row][j];
-                tab[i][j] -= factor * pr;
-            }
-            tab[i][col] = 0.0;
-        }
-    }
-    let factor = obj[col];
-    if factor != 0.0 {
-        for j in 0..=width {
-            obj[j] -= factor * tab[row][j];
-        }
-        obj[col] = 0.0;
-    }
-    basis[row] = col;
 }
 
 #[cfg(test)]
@@ -344,7 +402,10 @@ mod tests {
             b: vec![1.0, 2.0],
             c: vec![0.0],
         };
-        assert!(matches!(solve_standard(&sf, 1000), SimplexOutcome::Infeasible));
+        assert!(matches!(
+            solve_standard(&sf, 1000),
+            SimplexOutcome::Infeasible
+        ));
     }
 
     #[test]
@@ -355,7 +416,10 @@ mod tests {
             b: vec![0.0],
             c: vec![-1.0, -1.0],
         };
-        assert!(matches!(solve_standard(&sf, 1000), SimplexOutcome::Unbounded));
+        assert!(matches!(
+            solve_standard(&sf, 1000),
+            SimplexOutcome::Unbounded
+        ));
     }
 
     #[test]
@@ -380,11 +444,80 @@ mod tests {
 
     #[test]
     fn empty_constraint_system() {
-        let sf = StandardForm { a: vec![], b: vec![], c: vec![1.0, 2.0] };
+        let sf = StandardForm {
+            a: vec![],
+            b: vec![],
+            c: vec![1.0, 2.0],
+        };
         let (x, obj) = optimal(&sf);
         assert_eq!(x, vec![0.0, 0.0]);
         assert_eq!(obj, 0.0);
-        let sf2 = StandardForm { a: vec![], b: vec![], c: vec![-1.0] };
-        assert!(matches!(solve_standard(&sf2, 10), SimplexOutcome::Unbounded));
+        let sf2 = StandardForm {
+            a: vec![],
+            b: vec![],
+            c: vec![-1.0],
+        };
+        assert!(matches!(
+            solve_standard(&sf2, 10),
+            SimplexOutcome::Unbounded
+        ));
+    }
+
+    #[test]
+    fn redundant_rows_are_dropped() {
+        // The second row is twice the first: phase 1 must detect the
+        // redundancy (an artificial stuck in the basis on a zero row) and
+        // remove the row rather than fail.
+        let sf = StandardForm {
+            a: vec![vec![1.0, 1.0], vec![2.0, 2.0]],
+            b: vec![1.0, 2.0],
+            c: vec![1.0, 0.0],
+        };
+        let (x, obj) = optimal(&sf);
+        assert!((x[0] + x[1] - 1.0).abs() < 1e-7);
+        assert!(obj.abs() < 1e-7);
+    }
+
+    #[test]
+    fn tableau_pivot_and_compaction() {
+        // 2x2 system with one artificial column appended; pivot then compact.
+        let mut tab = Tableau {
+            data: vec![
+                2.0, 1.0, 1.0, 0.0, 4.0, // row 0 (artificial col 2)
+                1.0, 3.0, 0.0, 1.0, 6.0, // row 1 (artificial col 3)
+                0.0, 0.0, 1.0, 1.0, 0.0, // objective row
+            ],
+            stride: 5,
+            m: 2,
+        };
+        tab.pivot(0, 0);
+        assert_eq!(tab.at(0, 0), 1.0);
+        assert_eq!(tab.at(1, 0), 0.0);
+        // Row 1 became (0, 2.5, -0.5, 1, 4).
+        assert!((tab.at(1, 1) - 2.5).abs() < 1e-12);
+        assert!((tab.at(1, 4) - 4.0).abs() < 1e-12);
+        tab.truncate_columns(2);
+        assert_eq!(tab.stride, 3);
+        assert_eq!(tab.data.len(), 9);
+        // RHS entries survived the compaction.
+        assert!((tab.at(0, 2) - 2.0).abs() < 1e-12);
+        assert!((tab.at(1, 2) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tableau_remove_row_shifts_objective() {
+        let mut tab = Tableau {
+            data: vec![
+                1.0, 0.0, 3.0, //
+                0.0, 1.0, 4.0, //
+                5.0, 6.0, 7.0, // objective row
+            ],
+            stride: 3,
+            m: 2,
+        };
+        tab.remove_row(0);
+        assert_eq!(tab.m, 1);
+        assert_eq!(tab.row(0), &[0.0, 1.0, 4.0]);
+        assert_eq!(tab.obj(), &[5.0, 6.0, 7.0]);
     }
 }

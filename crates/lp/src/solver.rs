@@ -46,7 +46,10 @@ pub fn solve_with_limit(problem: &LpProblem, max_iters: usize) -> Result<Solutio
         let mut solution = solve_with_limit(&augmented, max_iters)?;
         let objective = solution.values[t.index()];
         solution.values.truncate(problem.num_vars());
-        return Ok(Solution { values: solution.values, objective });
+        return Ok(Solution {
+            values: solution.values,
+            objective,
+        });
     }
 
     let (sf, mapping) = to_standard_form(problem);
@@ -98,8 +101,11 @@ fn to_standard_form(problem: &LpProblem) -> (StandardForm, VarMapping) {
     }
     let num_var_cols = next;
     // One slack/surplus column per inequality constraint.
-    let num_slacks =
-        problem.constraints.iter().filter(|c| c.op != ConstraintOp::Eq).count();
+    let num_slacks = problem
+        .constraints
+        .iter()
+        .filter(|c| c.op != ConstraintOp::Eq)
+        .count();
     let num_cols = num_var_cols + num_slacks;
 
     let mut a: Vec<Vec<f64>> = Vec::with_capacity(problem.constraints.len());
@@ -156,9 +162,8 @@ fn to_standard_form(problem: &LpProblem) -> (StandardForm, VarMapping) {
             for v in vars {
                 let (p, n) = cols[v.0];
                 c[p] += 1.0;
-                match n {
-                    Some(n) => c[n] += 1.0,
-                    None => {}
+                if let Some(n) = n {
+                    c[n] += 1.0;
                 }
             }
         }

@@ -20,10 +20,7 @@ fn random_lp(num_vars: usize, num_rows: usize) -> impl Strategy<Value = RandomLp
         (prop::collection::vec(-2.0..2.0f64, num_vars), 0.0..2.0f64),
         num_rows,
     );
-    (witness, rows).prop_map(|(witness, rows)| RandomLp {
-        witness,
-        rows: rows.into_iter().map(|(coeffs, slack)| (coeffs, slack)).collect(),
-    })
+    (witness, rows).prop_map(|(witness, rows)| RandomLp { witness, rows })
 }
 
 fn build_problem(spec: &RandomLp) -> (LpProblem, Vec<prdnn_lp::VarId>) {
@@ -31,8 +28,12 @@ fn build_problem(spec: &RandomLp) -> (LpProblem, Vec<prdnn_lp::VarId>) {
     let vars = lp.add_vars(spec.witness.len(), VarKind::Free);
     for (coeffs, slack) in &spec.rows {
         // a · witness <= a · witness + slack, so the witness satisfies it.
-        let rhs: f64 =
-            coeffs.iter().zip(&spec.witness).map(|(a, w)| a * w).sum::<f64>() + slack;
+        let rhs: f64 = coeffs
+            .iter()
+            .zip(&spec.witness)
+            .map(|(a, w)| a * w)
+            .sum::<f64>()
+            + slack;
         let terms: Vec<_> = vars.iter().copied().zip(coeffs.iter().copied()).collect();
         lp.add_constraint(&terms, ConstraintOp::Le, rhs);
     }

@@ -1,0 +1,102 @@
+//! Property-based tests of the flat-tableau simplex core on random
+//! standard-form programs, driven through the public
+//! [`prdnn_lp::solve_with_limit`] API.
+//!
+//! A standard-form program `min c·x s.t. A x = b, x ≥ 0` is generated
+//! feasible *by construction*: a non-negative witness `x₀` is drawn first
+//! and `b := A x₀`.  The solver must then (i) return a feasible point,
+//! (ii) report an objective equal to `c · x` for the returned `x`
+//! (the objective value is complementary to the point), and (iii) never
+//! return an objective worse than the witness's.
+
+use prdnn_lp::{solve_with_limit, ConstraintOp, LpProblem, VarKind};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct StandardProgram {
+    witness: Vec<f64>,
+    rows: Vec<Vec<f64>>,
+    cost: Vec<f64>,
+}
+
+fn standard_program(num_vars: usize, num_rows: usize) -> impl Strategy<Value = StandardProgram> {
+    (
+        prop::collection::vec(0.0..3.0f64, num_vars),
+        prop::collection::vec(prop::collection::vec(-2.0..2.0f64, num_vars), num_rows),
+        prop::collection::vec(-1.0..1.0f64, num_vars),
+    )
+        .prop_map(|(witness, rows, cost)| StandardProgram {
+            witness,
+            rows,
+            cost,
+        })
+}
+
+/// Builds `min cost·x  s.t.  A x = A·witness, x ≥ 0` as an [`LpProblem`].
+fn build(program: &StandardProgram) -> (LpProblem, Vec<prdnn_lp::VarId>) {
+    let mut lp = LpProblem::new();
+    let vars = lp.add_vars(program.witness.len(), VarKind::NonNegative);
+    for row in &program.rows {
+        let rhs: f64 = row.iter().zip(&program.witness).map(|(a, w)| a * w).sum();
+        let terms: Vec<_> = vars.iter().copied().zip(row.iter().copied()).collect();
+        lp.add_constraint(&terms, ConstraintOp::Eq, rhs);
+    }
+    (lp, vars)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn standard_form_feasibility_and_objective_invariants(
+        program in standard_program(5, 3),
+        bound in 4.0..8.0f64,
+    ) {
+        let (mut lp, vars) = build(&program);
+        // Box the variables (x_i <= bound + witness bound) so a negative
+        // cost cannot make the program unbounded.
+        for (v, w) in vars.iter().zip(&program.witness) {
+            lp.add_constraint(&[(*v, 1.0)], ConstraintOp::Le, w + bound);
+        }
+        let terms: Vec<_> = vars.iter().copied().zip(program.cost.iter().copied()).collect();
+        lp.set_objective_linear(&terms);
+
+        let sol = solve_with_limit(&lp, 100_000).expect("constructed program is feasible");
+        // (i) The returned point satisfies A x = b, x >= 0, and the boxes.
+        prop_assert!(lp.is_feasible(&sol.values, 1e-6));
+        // (ii) The reported objective is complementary to the point.
+        let recomputed: f64 =
+            program.cost.iter().zip(&sol.values).map(|(c, x)| c * x).sum();
+        prop_assert!(
+            (sol.objective - recomputed).abs() < 1e-6,
+            "objective {} disagrees with c.x = {}",
+            sol.objective,
+            recomputed
+        );
+        // (iii) The optimum is no worse than the witness.
+        let witness_obj: f64 =
+            program.cost.iter().zip(&program.witness).map(|(c, w)| c * w).sum();
+        prop_assert!(sol.objective <= witness_obj + 1e-6);
+    }
+
+    #[test]
+    fn pure_feasibility_standard_form(program in standard_program(4, 4)) {
+        let (lp, _) = build(&program);
+        let sol = solve_with_limit(&lp, 100_000).expect("feasible by construction");
+        prop_assert!(lp.is_feasible(&sol.values, 1e-6));
+        prop_assert_eq!(sol.objective, 0.0);
+    }
+
+    #[test]
+    fn l1_objective_on_standard_form(program in standard_program(4, 2)) {
+        let (mut lp, vars) = build(&program);
+        lp.minimize_l1_of(&vars);
+        let sol = solve_with_limit(&lp, 100_000).expect("feasible by construction");
+        prop_assert!(lp.is_feasible(&sol.values, 1e-6));
+        // For non-negative variables the l1 norm is the plain sum.
+        let witness_norm: f64 = program.witness.iter().sum();
+        prop_assert!(sol.objective <= witness_norm + 1e-6);
+        let sol_norm: f64 = sol.values.iter().map(|x| x.abs()).sum();
+        prop_assert!((sol.objective - sol_norm).abs() < 1e-6);
+    }
+}

@@ -151,8 +151,16 @@ impl DenseLayer {
     ///
     /// Panics if `bias.len() != weights.rows()`.
     pub fn new(weights: Matrix, bias: Vec<f64>, activation: Activation) -> Self {
-        assert_eq!(weights.rows(), bias.len(), "dense layer: bias/weight row mismatch");
-        DenseLayer { weights, bias, activation }
+        assert_eq!(
+            weights.rows(),
+            bias.len(),
+            "dense layer: bias/weight row mismatch"
+        );
+        DenseLayer {
+            weights,
+            bias,
+            activation,
+        }
     }
 }
 
@@ -307,9 +315,7 @@ impl Layer {
         match self {
             Layer::Dense(d) => d.weights.cols(),
             Layer::Conv2d(c) => c.in_channels * c.in_height * c.in_width,
-            Layer::MaxPool2d(p) | Layer::AvgPool2d(p) => {
-                p.channels * p.in_height * p.in_width
-            }
+            Layer::MaxPool2d(p) | Layer::AvgPool2d(p) => p.channels * p.in_height * p.in_width,
         }
     }
 
@@ -368,7 +374,11 @@ impl Layer {
     ///
     /// Panics if `delta.len() != self.num_params()`.
     pub fn add_to_params(&mut self, delta: &[f64]) {
-        assert_eq!(delta.len(), self.num_params(), "add_to_params: wrong delta length");
+        assert_eq!(
+            delta.len(),
+            self.num_params(),
+            "add_to_params: wrong delta length"
+        );
         match self {
             Layer::Dense(d) => {
                 let nw = d.weights.rows() * d.weights.cols();
@@ -411,7 +421,11 @@ impl Layer {
     ///
     /// Panics if `input.len() != self.input_dim()`.
     pub fn preactivation(&self, input: &[f64]) -> Vec<f64> {
-        assert_eq!(input.len(), self.input_dim(), "layer input dimension mismatch");
+        assert_eq!(
+            input.len(),
+            self.input_dim(),
+            "layer input dimension mismatch"
+        );
         match self {
             Layer::Dense(d) => {
                 let mut z = d.weights.matvec(input);
@@ -464,6 +478,85 @@ impl Layer {
         self.activate(&self.preactivation(input))
     }
 
+    /// Computes the pre-activation of every vector in `inputs` (the affine
+    /// map applied per vector; pooling layers share one identity fast path).
+    ///
+    /// This is the entry point the incremental SyReNN transformer pipeline
+    /// uses to push all carried vertex values through a layer together —
+    /// once per layer, instead of re-running the network prefix per vertex.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input has the wrong dimension.
+    pub fn preactivation_batch(&self, inputs: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        match self {
+            // Pooling pre-activations are the identity; avoid re-dispatching,
+            // but keep the same dimension check as `preactivation`.
+            Layer::MaxPool2d(_) | Layer::AvgPool2d(_) => inputs
+                .iter()
+                .map(|v| {
+                    assert_eq!(v.len(), self.input_dim(), "layer input dimension mismatch");
+                    v.to_vec()
+                })
+                .collect(),
+            _ => inputs.iter().map(|v| self.preactivation(v)).collect(),
+        }
+    }
+
+    /// Whether the layer's pre-activation is the identity map (pooling
+    /// layers): carried values already equal the pre-activation, so batch
+    /// pipelines can skip the copy entirely.
+    pub fn preactivation_is_identity(&self) -> bool {
+        matches!(self, Layer::MaxPool2d(_) | Layer::AvgPool2d(_))
+    }
+
+    /// Applies the layer's activation to every pre-activation in `zs`.
+    ///
+    /// For pooling layers the window index set is computed once and shared
+    /// across the whole batch (computing it per vector is what makes
+    /// [`Self::activate`] expensive in vertex-heavy loops).
+    pub fn activate_batch(&self, zs: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        match self {
+            Layer::Dense(d) => zs.iter().map(|z| d.activation.apply(z)).collect(),
+            Layer::Conv2d(c) => zs.iter().map(|z| c.activation.apply(z)).collect(),
+            Layer::MaxPool2d(p) => {
+                let windows = p.windows();
+                zs.iter()
+                    .map(|z| {
+                        windows
+                            .iter()
+                            .map(|w| w.iter().map(|&i| z[i]).fold(f64::NEG_INFINITY, f64::max))
+                            .collect()
+                    })
+                    .collect()
+            }
+            Layer::AvgPool2d(p) => {
+                let windows = p.windows();
+                zs.iter()
+                    .map(|z| {
+                        windows
+                            .iter()
+                            .map(|w| w.iter().map(|&i| z[i]).sum::<f64>() / w.len() as f64)
+                            .collect()
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Full forward pass for a batch of inputs.
+    pub fn forward_batch(&self, inputs: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        if self.preactivation_is_identity() {
+            // Pooling: the pre-activation is the identity, so activate
+            // straight off the inputs instead of copying them first.
+            for v in inputs {
+                assert_eq!(v.len(), self.input_dim(), "layer input dimension mismatch");
+            }
+            return self.activate_batch(inputs);
+        }
+        self.activate_batch(&self.preactivation_batch(inputs))
+    }
+
     /// The linearisation of the layer's activation around pre-activation
     /// `z_center` (Definition 4.2), used by the DDNN value channel.
     pub fn linearize_activation(&self, z_center: &[f64]) -> ActivationLinearization {
@@ -496,7 +589,10 @@ impl Layer {
                         best
                     })
                     .collect();
-                ActivationLinearization::Selection { selected, in_dim: self.input_dim() }
+                ActivationLinearization::Selection {
+                    selected,
+                    in_dim: self.input_dim(),
+                }
             }
             Layer::AvgPool2d(p) => ActivationLinearization::Averaging {
                 windows: p.windows(),
@@ -564,7 +660,11 @@ impl Layer {
     /// `rows` must have one column per pre-activation component; the result
     /// has one column per input component.
     pub fn preact_input_vjp(&self, rows: &Matrix) -> Matrix {
-        assert_eq!(rows.cols(), self.preactivation_dim(), "preact_input_vjp: column mismatch");
+        assert_eq!(
+            rows.cols(),
+            self.preactivation_dim(),
+            "preact_input_vjp: column mismatch"
+        );
         match self {
             Layer::Dense(d) => rows.matmul(&d.weights),
             Layer::Conv2d(c) => {
@@ -589,8 +689,16 @@ impl Layer {
     /// has one column per parameter (in [`Self::params`] order).  This is the
     /// core quantity behind Algorithm 1's Jacobian (line 5).
     pub fn preact_param_vjp(&self, rows: &Matrix, input: &[f64]) -> Matrix {
-        assert_eq!(rows.cols(), self.preactivation_dim(), "preact_param_vjp: column mismatch");
-        assert_eq!(input.len(), self.input_dim(), "preact_param_vjp: input mismatch");
+        assert_eq!(
+            rows.cols(),
+            self.preactivation_dim(),
+            "preact_param_vjp: column mismatch"
+        );
+        assert_eq!(
+            input.len(),
+            self.input_dim(),
+            "preact_param_vjp: input mismatch"
+        );
         match self {
             Layer::Dense(d) => {
                 let (out_dim, in_dim) = (d.weights.rows(), d.weights.cols());
@@ -818,6 +926,43 @@ mod tests {
     }
 
     #[test]
+    fn batch_entry_points_match_per_vector_calls() {
+        let layers = vec![
+            dense_example(),
+            conv_example(),
+            Layer::MaxPool2d(Pool2dLayer {
+                channels: 1,
+                in_height: 2,
+                in_width: 4,
+                pool_h: 2,
+                pool_w: 2,
+                stride: 2,
+            }),
+            Layer::AvgPool2d(Pool2dLayer {
+                channels: 1,
+                in_height: 2,
+                in_width: 4,
+                pool_h: 2,
+                pool_w: 2,
+                stride: 2,
+            }),
+        ];
+        for layer in layers {
+            let dim = layer.input_dim();
+            let batch: Vec<Vec<f64>> = (0..5)
+                .map(|k| (0..dim).map(|i| (k * dim + i) as f64 * 0.3 - 2.0).collect())
+                .collect();
+            let zs = layer.preactivation_batch(&batch);
+            let outs = layer.forward_batch(&batch);
+            for (i, input) in batch.iter().enumerate() {
+                assert_eq!(zs[i], layer.preactivation(input));
+                assert_eq!(outs[i], layer.forward(input));
+            }
+            assert_eq!(layer.activate_batch(&zs), outs);
+        }
+    }
+
+    #[test]
     fn avgpool_is_affine() {
         let layer = Layer::AvgPool2d(Pool2dLayer {
             channels: 1,
@@ -847,8 +992,7 @@ mod tests {
             dense_example().crossing_spec(),
             CrossingSpec::ElementwiseThresholds(vec![0.0])
         );
-        let tanh_layer =
-            Layer::dense(Matrix::identity(2), vec![0.0, 0.0], Activation::Tanh);
+        let tanh_layer = Layer::dense(Matrix::identity(2), vec![0.0, 0.0], Activation::Tanh);
         assert_eq!(tanh_layer.crossing_spec(), CrossingSpec::NotPiecewiseLinear);
         assert!(!tanh_layer.is_piecewise_linear());
     }

@@ -32,6 +32,8 @@ mod network;
 pub mod train;
 
 pub use activation::Activation;
-pub use layer::{ActivationLinearization, Conv2dLayer, CrossingSpec, DenseLayer, Layer, Pool2dLayer};
+pub use layer::{
+    ActivationLinearization, Conv2dLayer, CrossingSpec, DenseLayer, Layer, Pool2dLayer,
+};
 pub use network::{ActivationPattern, ForwardTrace, Network};
 pub use train::{backprop, cross_entropy, sgd_train, softmax, Dataset, Loss, TrainConfig};

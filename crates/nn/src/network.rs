@@ -51,7 +51,10 @@ pub struct ForwardTrace {
 impl ForwardTrace {
     /// The final network output.
     pub fn output(&self) -> &[f64] {
-        self.outputs.last().map(|v| v.as_slice()).unwrap_or(&self.input)
+        self.outputs
+            .last()
+            .map(|v| v.as_slice())
+            .unwrap_or(&self.input)
     }
 }
 
@@ -90,16 +93,21 @@ impl Network {
     ///
     /// Panics if fewer than two sizes are given.
     pub fn mlp(sizes: &[usize], hidden: Activation, rng: &mut impl Rng) -> Self {
-        assert!(sizes.len() >= 2, "mlp needs at least input and output sizes");
+        assert!(
+            sizes.len() >= 2,
+            "mlp needs at least input and output sizes"
+        );
         let mut layers = Vec::with_capacity(sizes.len() - 1);
         for i in 0..sizes.len() - 1 {
             let (fan_in, fan_out) = (sizes[i], sizes[i + 1]);
             let bound = (6.0 / (fan_in + fan_out) as f64).sqrt();
-            let weights =
-                Matrix::from_fn(fan_out, fan_in, |_, _| rng.gen_range(-bound..bound));
+            let weights = Matrix::from_fn(fan_out, fan_in, |_, _| rng.gen_range(-bound..bound));
             let bias = vec![0.0; fan_out];
-            let activation =
-                if i + 1 == sizes.len() - 1 { Activation::Identity } else { hidden };
+            let activation = if i + 1 == sizes.len() - 1 {
+                Activation::Identity
+            } else {
+                hidden
+            };
             layers.push(Layer::dense(weights, bias, activation));
         }
         Network::new(layers)
@@ -151,7 +159,9 @@ impl Network {
     /// Indices of layers that have parameters and can therefore be repaired
     /// or fine-tuned (dense and convolutional layers).
     pub fn repairable_layers(&self) -> Vec<usize> {
-        (0..self.layers.len()).filter(|&i| self.layers[i].num_params() > 0).collect()
+        (0..self.layers.len())
+            .filter(|&i| self.layers[i].num_params() > 0)
+            .collect()
     }
 
     /// Evaluates the network on `input` (Definition 2.2).
@@ -167,6 +177,24 @@ impl Network {
         v
     }
 
+    /// Evaluates the network on a batch of inputs, layer by layer.
+    ///
+    /// Equivalent to mapping [`Self::forward`] over `inputs`, but pushes the
+    /// whole batch through one layer at a time so per-layer setup (e.g.
+    /// pooling window enumeration) is paid once per layer, not once per
+    /// input.
+    pub fn forward_batch(&self, inputs: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        let (first, rest) = self
+            .layers
+            .split_first()
+            .expect("network has at least one layer");
+        let mut batch = first.forward_batch(inputs);
+        for layer in rest {
+            batch = layer.forward_batch(&batch);
+        }
+        batch
+    }
+
     /// Evaluates the network, returning every intermediate value.
     pub fn forward_trace(&self, input: &[f64]) -> ForwardTrace {
         let mut preactivations = Vec::with_capacity(self.layers.len());
@@ -178,7 +206,11 @@ impl Network {
             preactivations.push(z);
             outputs.push(v.clone());
         }
-        ForwardTrace { input: input.to_vec(), preactivations, outputs }
+        ForwardTrace {
+            input: input.to_vec(),
+            preactivations,
+            outputs,
+        }
     }
 
     /// Predicted class label: `argmax` of the output logits.
@@ -190,7 +222,11 @@ impl Network {
     ///
     /// Returns 1.0 for an empty dataset.
     pub fn accuracy(&self, inputs: &[Vec<f64>], labels: &[usize]) -> f64 {
-        assert_eq!(inputs.len(), labels.len(), "accuracy: inputs/labels length mismatch");
+        assert_eq!(
+            inputs.len(),
+            labels.len(),
+            "accuracy: inputs/labels length mismatch"
+        );
         if inputs.is_empty() {
             return 1.0;
         }
@@ -318,6 +354,21 @@ mod tests {
         assert_eq!(net.layer(1).activation(), Some(Activation::Identity));
         assert_eq!(net.num_params(), 4 * 8 + 8 + 8 * 3 + 3);
         assert!(net.is_piecewise_linear());
+    }
+
+    #[test]
+    fn forward_batch_matches_forward() {
+        let mut rng = rand::rngs::mock::StepRng::new(7, 11);
+        let net = Network::mlp(&[3, 6, 4], Activation::Relu, &mut rng);
+        let batch: Vec<Vec<f64>> = (0..6)
+            .map(|k| (0..3).map(|i| (k + i) as f64 * 0.4 - 1.0).collect())
+            .collect();
+        let outs = net.forward_batch(&batch);
+        assert_eq!(outs.len(), batch.len());
+        for (input, out) in batch.iter().zip(&outs) {
+            assert_eq!(*out, net.forward(input));
+        }
+        assert!(net.forward_batch(&[]).is_empty());
     }
 
     #[test]

@@ -71,8 +71,11 @@ pub fn backprop(net: &Network, input: &[f64], label: usize, loss: Loss) -> (f64,
     let mut upstream = out_grad;
     for i in (0..net.num_layers()).rev() {
         let layer = net.layer(i);
-        let layer_input =
-            if i == 0 { trace.input.as_slice() } else { trace.outputs[i - 1].as_slice() };
+        let layer_input = if i == 0 {
+            trace.input.as_slice()
+        } else {
+            trace.outputs[i - 1].as_slice()
+        };
         let z = &trace.preactivations[i];
         // dL/dz = upstream · D where D is the activation Jacobian at z.
         let lin = layer.linearize_activation(z);
@@ -131,10 +134,15 @@ pub fn sgd_train(
     config: &TrainConfig,
     rng: &mut impl Rng,
 ) -> f64 {
-    assert_eq!(inputs.len(), labels.len(), "sgd_train: inputs/labels mismatch");
+    assert_eq!(
+        inputs.len(),
+        labels.len(),
+        "sgd_train: inputs/labels mismatch"
+    );
     assert!(!inputs.is_empty(), "sgd_train: empty dataset");
-    let mut velocity: Vec<Vec<f64>> =
-        (0..net.num_layers()).map(|i| vec![0.0; net.layer(i).num_params()]).collect();
+    let mut velocity: Vec<Vec<f64>> = (0..net.num_layers())
+        .map(|i| vec![0.0; net.layer(i).num_params()])
+        .collect();
     let mut order: Vec<usize> = (0..inputs.len()).collect();
     let mut last_epoch_loss = 0.0;
 
@@ -142,8 +150,9 @@ pub fn sgd_train(
         order.shuffle(rng);
         let mut epoch_loss = 0.0;
         for batch in order.chunks(config.batch_size.max(1)) {
-            let mut batch_grads: Vec<Vec<f64>> =
-                (0..net.num_layers()).map(|i| vec![0.0; net.layer(i).num_params()]).collect();
+            let mut batch_grads: Vec<Vec<f64>> = (0..net.num_layers())
+                .map(|i| vec![0.0; net.layer(i).num_params()])
+                .collect();
             for &idx in batch {
                 let (loss, grads) = backprop(net, &inputs[idx], labels[idx], config.loss);
                 epoch_loss += loss;
@@ -196,7 +205,11 @@ impl Dataset {
     ///
     /// Panics if the lengths differ.
     pub fn new(inputs: Vec<Vec<f64>>, labels: Vec<usize>) -> Self {
-        assert_eq!(inputs.len(), labels.len(), "dataset: inputs/labels mismatch");
+        assert_eq!(
+            inputs.len(),
+            labels.len(),
+            "dataset: inputs/labels mismatch"
+        );
         Dataset { inputs, labels }
     }
 
@@ -275,7 +288,7 @@ mod tests {
         let label = 1;
         let (_, grads) = backprop(&net, &input, label, Loss::SoftmaxCrossEntropy);
         let h = 1e-6;
-        for layer_idx in 0..net.num_layers() {
+        for (layer_idx, layer_grads) in grads.iter().enumerate() {
             let n = net.layer(layer_idx).num_params();
             // Spot-check a few parameters per layer to keep the test fast.
             for p in (0..n).step_by(n.max(1) / 5 + 1) {
@@ -290,9 +303,9 @@ mod tests {
                 let minus = cross_entropy(&bumped2.forward(&input), label);
                 let fd = (plus - minus) / (2.0 * h);
                 assert!(
-                    (fd - grads[layer_idx][p]).abs() < 1e-4,
+                    (fd - layer_grads[p]).abs() < 1e-4,
                     "layer {layer_idx} param {p}: fd {fd} vs {}",
-                    grads[layer_idx][p]
+                    layer_grads[p]
                 );
             }
         }
@@ -314,7 +327,11 @@ mod tests {
             labels.push(label);
         }
         let mut net = Network::mlp(&[2, 8, 2], Activation::Relu, &mut rng);
-        let config = TrainConfig { epochs: 40, learning_rate: 0.05, ..TrainConfig::default() };
+        let config = TrainConfig {
+            epochs: 40,
+            learning_rate: 0.05,
+            ..TrainConfig::default()
+        };
         sgd_train(&mut net, &inputs, &labels, &config, &mut rng);
         assert!(net.accuracy(&inputs, &labels) > 0.95);
     }

@@ -34,9 +34,33 @@
 
 mod line;
 mod plane;
+mod transformer;
 
 pub use line::{exact_line, line_regions};
 pub use plane::plane_regions;
+
+/// Computes `LinRegions(N, P)` for a polytope given by its vertices,
+/// dispatching on the polytope's dimension: two vertices form a segment
+/// (ExactLine), three or more a convex planar polygon.
+///
+/// This is the single entry point Algorithm 2 needs; both cases run on the
+/// shared incremental transformer pipeline (see [`line_regions`] /
+/// [`plane_regions`] for the per-case documentation).
+///
+/// # Errors
+///
+/// Returns [`SyrennError::DegenerateInput`] for fewer than two vertices and
+/// the errors of [`line_regions`] / [`plane_regions`] otherwise.
+pub fn lin_regions(
+    net: &prdnn_nn::Network,
+    vertices: &[Vec<f64>],
+) -> Result<Vec<LinearRegion>, SyrennError> {
+    match vertices {
+        [] | [_] => Err(SyrennError::DegenerateInput),
+        [start, end] => line_regions(net, start, end),
+        _ => plane_regions(net, vertices),
+    }
+}
 
 /// Tolerance used when deduplicating subdivision points and deciding which
 /// side of a crossing a value lies on.

@@ -1,17 +1,81 @@
 //! ExactLine: the restriction of a PWL network to a 1-D segment.
 
+use crate::transformer::{crosses, for_each_crossing, lerp, propagate, TransformerState};
 use crate::{LinearRegion, SyrennError, TOL};
-use prdnn_nn::{CrossingSpec, Network};
+use prdnn_nn::{CrossingSpec, Layer, Network};
 
-/// Evaluates the prefix network (layers `0..layer`) at the point
-/// `start + t · (end − start)` and returns the *pre-activation* of `layer`.
-fn prefix_preactivation(net: &Network, start: &[f64], end: &[f64], t: f64, layer: usize) -> Vec<f64> {
-    let mut v: Vec<f64> =
-        start.iter().zip(end).map(|(s, e)| s + t * (e - s)).collect();
-    for l in 0..layer {
-        v = net.layer(l).forward(&v);
+/// Pipeline state for a segment: an ordered subdivision of `[0, 1]` whose
+/// points carry their running network value.
+///
+/// The geometry of a subdivision point is just its parameter `t`; consecutive
+/// points delimit the pieces.  Between layers `vals[i]` is the output of the
+/// prefix network at `ts[i]`; during a layer it is that layer's
+/// pre-activation.
+struct ChainState {
+    ts: Vec<f64>,
+    vals: Vec<Vec<f64>>,
+}
+
+impl TransformerState for ChainState {
+    fn apply_preactivation(&mut self, layer: &Layer) {
+        self.vals = layer.preactivation_batch(&self.vals);
     }
-    net.layer(layer).preactivation(&v)
+
+    fn split_layer(&mut self, spec: &CrossingSpec, width: usize) {
+        // All crossing functions are affine in the pre-activation, which is
+        // itself affine in t on every current interval, so the crossings of
+        // *every* unit can be located from the same interval endpoints in
+        // one pass over the subdivision.
+        let mut new_points: Vec<(usize, f64, Vec<f64>)> = Vec::new(); // (interval, t, z)
+        let mut local: Vec<(f64, f64)> = Vec::new(); // (t, alpha) within one interval
+        for i in 1..self.ts.len() {
+            let (za, zb) = (&self.vals[i - 1], &self.vals[i]);
+            let (ta, tb) = (self.ts[i - 1], self.ts[i]);
+            local.clear();
+            for_each_crossing(spec, width, |g| {
+                let (ga, gb) = (g.eval(za), g.eval(zb));
+                if crosses(ga, gb) {
+                    let alpha = ga / (ga - gb);
+                    let t = ta + alpha * (tb - ta);
+                    // Only crossings strictly inside the interval; ones
+                    // within TOL of an endpoint are already represented.
+                    if t > ta + TOL && t < tb - TOL {
+                        local.push((t, alpha));
+                    }
+                }
+            });
+            local.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            let mut last_t = f64::NEG_INFINITY;
+            for &(t, alpha) in local.iter() {
+                // Drop crossings of different units that coincide within TOL.
+                if t - last_t > TOL {
+                    last_t = t;
+                    new_points.push((i, t, lerp(za, zb, alpha)));
+                }
+            }
+        }
+        if new_points.is_empty() {
+            return;
+        }
+        let mut ts: Vec<f64> = Vec::with_capacity(self.ts.len() + new_points.len());
+        let mut vals: Vec<Vec<f64>> = Vec::with_capacity(self.vals.len() + new_points.len());
+        let mut next = new_points.into_iter().peekable();
+        for i in 0..self.ts.len() {
+            while next.peek().is_some_and(|&(interval, _, _)| interval == i) {
+                let (_, t, z) = next.next().unwrap();
+                ts.push(t);
+                vals.push(z);
+            }
+            ts.push(self.ts[i]);
+            vals.push(std::mem::take(&mut self.vals[i]));
+        }
+        self.ts = ts;
+        self.vals = vals;
+    }
+
+    fn apply_activation(&mut self, layer: &Layer) {
+        self.vals = layer.activate_batch(&self.vals);
+    }
 }
 
 /// Computes the endpoints (as parameters `t ∈ [0, 1]`) of the linear pieces
@@ -21,6 +85,12 @@ fn prefix_preactivation(net: &Network, start: &[f64], end: &[f64], t: f64, layer
 /// network is affine on every consecutive pair (this is the ExactLine
 /// algorithm of Sotoudeh & Thakur 2019, which the paper uses to compute
 /// `LinRegions(N, P)` for one-dimensional `P`).
+///
+/// The subdivision is carried through the network incrementally: each
+/// layer's affine map is applied once per current subdivision point, and new
+/// crossing points interpolate the carried values (see
+/// [`crate::transformer`]), so the cost is linear — not quadratic — in
+/// network depth.
 ///
 /// # Errors
 ///
@@ -32,8 +102,16 @@ fn prefix_preactivation(net: &Network, start: &[f64], end: &[f64], t: f64, layer
 /// Panics if `start.len()` or `end.len()` differ from the network's input
 /// dimension.
 pub fn exact_line(net: &Network, start: &[f64], end: &[f64]) -> Result<Vec<f64>, SyrennError> {
-    assert_eq!(start.len(), net.input_dim(), "exact_line: start dimension mismatch");
-    assert_eq!(end.len(), net.input_dim(), "exact_line: end dimension mismatch");
+    assert_eq!(
+        start.len(),
+        net.input_dim(),
+        "exact_line: start dimension mismatch"
+    );
+    assert_eq!(
+        end.len(),
+        net.input_dim(),
+        "exact_line: end dimension mismatch"
+    );
     if !net.is_piecewise_linear() {
         return Err(SyrennError::NotPiecewiseLinear);
     }
@@ -41,61 +119,12 @@ pub fn exact_line(net: &Network, start: &[f64], end: &[f64]) -> Result<Vec<f64>,
         return Err(SyrennError::DegenerateInput);
     }
 
-    let mut ts: Vec<f64> = vec![0.0, 1.0];
-    for layer_idx in 0..net.num_layers() {
-        let spec = net.layer(layer_idx).crossing_spec();
-        if matches!(spec, CrossingSpec::None) {
-            continue;
-        }
-        // Pre-activations of this layer at every current subdivision point.
-        // Within each current interval the prefix network is affine, so the
-        // pre-activation is affine in t there and crossings can be found by
-        // linear interpolation of the endpoint values.
-        let zs: Vec<Vec<f64>> = ts
-            .iter()
-            .map(|&t| prefix_preactivation(net, start, end, t, layer_idx))
-            .collect();
-        let mut new_ts: Vec<f64> = Vec::new();
-        for i in 0..ts.len() - 1 {
-            let (ta, tb) = (ts[i], ts[i + 1]);
-            let (za, zb) = (&zs[i], &zs[i + 1]);
-            let mut push_crossing = |ga: f64, gb: f64| {
-                if (ga > TOL && gb < -TOL) || (ga < -TOL && gb > TOL) {
-                    let alpha = ga / (ga - gb);
-                    let t = ta + alpha * (tb - ta);
-                    if t > ta + TOL && t < tb - TOL {
-                        new_ts.push(t);
-                    }
-                }
-            };
-            match &spec {
-                CrossingSpec::None => {}
-                CrossingSpec::ElementwiseThresholds(thresholds) => {
-                    for unit in 0..za.len() {
-                        for &thr in thresholds {
-                            push_crossing(za[unit] - thr, zb[unit] - thr);
-                        }
-                    }
-                }
-                CrossingSpec::WindowPairs(windows) => {
-                    for w in windows {
-                        for (pos, &i) in w.iter().enumerate() {
-                            for &j in &w[pos + 1..] {
-                                push_crossing(za[i] - za[j], zb[i] - zb[j]);
-                            }
-                        }
-                    }
-                }
-                CrossingSpec::NotPiecewiseLinear => {
-                    return Err(SyrennError::NotPiecewiseLinear);
-                }
-            }
-        }
-        ts.extend(new_ts);
-        ts.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        ts.dedup_by(|a, b| (*a - *b).abs() <= TOL);
-    }
-    Ok(ts)
+    let mut state = ChainState {
+        ts: vec![0.0, 1.0],
+        vals: vec![start.to_vec(), end.to_vec()],
+    };
+    propagate(net, &mut state)?;
+    Ok(state.ts)
 }
 
 /// Computes `LinRegions(N, P)` for a 1-D segment `P` from `start` to `end`.
@@ -114,7 +143,11 @@ pub fn line_regions(
 ) -> Result<Vec<LinearRegion>, SyrennError> {
     let ts = exact_line(net, start, end)?;
     let point = |t: f64| -> Vec<f64> {
-        start.iter().zip(end).map(|(s, e)| s + t * (e - s)).collect()
+        start
+            .iter()
+            .zip(end)
+            .map(|(s, e)| s + t * (e - s))
+            .collect()
     };
     Ok(ts
         .windows(2)
@@ -218,7 +251,11 @@ mod tests {
         }
         // Regions tile the segment: consecutive regions share an endpoint.
         for w in regions.windows(2) {
-            assert!(prdnn_linalg::approx_eq_slice(&w[0].vertices[1], &w[1].vertices[0], 1e-9));
+            assert!(prdnn_linalg::approx_eq_slice(
+                &w[0].vertices[1],
+                &w[1].vertices[0],
+                1e-9
+            ));
         }
     }
 
@@ -238,6 +275,49 @@ mod tests {
         let ts = exact_line(&net, &[0.0, 1.0], &[1.0, 0.0]).unwrap();
         assert_eq!(ts.len(), 3);
         assert!((ts[1] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn carried_values_produce_exact_subdivision_on_a_deep_net() {
+        // The incremental pipeline locates crossings from *interpolated*
+        // carried values; if any interpolation were off, some subdivision
+        // point would drift and the function would no longer be affine on
+        // the interval between adjacent points.
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(77);
+        let net = Network::mlp(&[3, 10, 10, 10, 2], Activation::Relu, &mut rng);
+        let start = vec![-1.2, 0.7, 0.4];
+        let end = vec![1.1, -0.9, -0.6];
+        let ts = exact_line(&net, &start, &end).unwrap();
+        assert!(
+            ts.len() > 2,
+            "a deep random net should subdivide the segment"
+        );
+        assert!(ts.windows(2).all(|w| w[0] < w[1]));
+        let point = |t: f64| -> Vec<f64> {
+            start
+                .iter()
+                .zip(&end)
+                .map(|(s, e)| s + t * (e - s))
+                .collect()
+        };
+        for w in ts.windows(2) {
+            let fa = net.forward(&point(w[0]));
+            let fb = net.forward(&point(w[1]));
+            for &alpha in &[0.25, 0.5, 0.75] {
+                let fmid = net.forward(&point(w[0] + alpha * (w[1] - w[0])));
+                for k in 0..fa.len() {
+                    let expected = fa[k] + alpha * (fb[k] - fa[k]);
+                    assert!(
+                        (fmid[k] - expected).abs() < 1e-7,
+                        "not affine between t = {} and t = {}",
+                        w[0],
+                        w[1]
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,68 +1,131 @@
 //! 2-D plane restriction: `LinRegions(N, P)` for convex planar polygons.
 
+use crate::transformer::{crosses, for_each_crossing, lerp, propagate, Crossing, TransformerState};
 use crate::{LinearRegion, SyrennError, TOL};
-use prdnn_nn::{CrossingSpec, Network};
+use prdnn_nn::{CrossingSpec, Layer, Network};
 
 /// A convex polygon whose vertices live in the network's input space but lie
 /// in a common 2-D affine subspace, listed in boundary order.
 type Polygon = Vec<Vec<f64>>;
 
-fn prefix_preactivation(net: &Network, point: &[f64], layer: usize) -> Vec<f64> {
-    let mut v = point.to_vec();
-    for l in 0..layer {
-        v = net.layer(l).forward(&v);
-    }
-    net.layer(layer).preactivation(&v)
+/// One polygon piece of the subdivision, with per-vertex carried values
+/// (the running network value / current-layer pre-activation).
+struct Piece {
+    verts: Polygon,
+    vals: Vec<Vec<f64>>,
 }
 
-/// Splits a convex polygon by the zero set of an affine function whose value
-/// at vertex `i` is `values[i]`.  Returns `(non_negative_part, non_positive_part)`;
-/// either may be `None` if the polygon lies entirely on one side.
-fn split_polygon(polygon: &Polygon, values: &[f64]) -> (Option<Polygon>, Option<Polygon>) {
-    let all_nonneg = values.iter().all(|&v| v >= -TOL);
-    let all_nonpos = values.iter().all(|&v| v <= TOL);
-    if all_nonneg {
-        return (Some(polygon.clone()), None);
+/// Pipeline state for a plane restriction: the current set of polygon
+/// pieces.
+struct PolygonState {
+    pieces: Vec<Piece>,
+}
+
+impl TransformerState for PolygonState {
+    fn apply_preactivation(&mut self, layer: &Layer) {
+        for piece in &mut self.pieces {
+            piece.vals = layer.preactivation_batch(&piece.vals);
+        }
     }
-    if all_nonpos {
-        return (None, Some(polygon.clone()));
+
+    fn split_layer(&mut self, spec: &CrossingSpec, width: usize) {
+        // Unlike the 1-D case, polygon pieces must be split one crossing
+        // function at a time: a later crossing's zero set can cut the
+        // sub-polygons created by an earlier one, so the splits compose
+        // sequentially (values at created vertices are already carried).
+        for_each_crossing(spec, width, |g| {
+            let mut out = Vec::with_capacity(self.pieces.len());
+            for piece in self.pieces.drain(..) {
+                split_piece(piece, g, &mut out);
+            }
+            self.pieces = out;
+        });
     }
-    let n = polygon.len();
-    let mut positive: Polygon = Vec::new();
-    let mut negative: Polygon = Vec::new();
+
+    fn apply_activation(&mut self, layer: &Layer) {
+        for piece in &mut self.pieces {
+            piece.vals = layer.activate_batch(&piece.vals);
+        }
+    }
+}
+
+/// Splits one polygon piece by the zero set of `g` over its carried
+/// pre-activations, pushing the non-degenerate sides onto `out`.
+///
+/// Crossing vertices interpolate both the polygon vertex and the carried
+/// pre-activation — exact, because the network prefix is affine on the
+/// closed piece.  Pieces that lie entirely on one side are moved, not
+/// cloned.
+fn split_piece(piece: Piece, g: Crossing, out: &mut Vec<Piece>) {
+    let values: Vec<f64> = piece.vals.iter().map(|z| g.eval(z)).collect();
+    if values.iter().all(|&v| v >= -TOL) || values.iter().all(|&v| v <= TOL) {
+        out.push(piece);
+        return;
+    }
+    let n = piece.verts.len();
+    let mut positive = Piece {
+        verts: Vec::new(),
+        vals: Vec::new(),
+    };
+    let mut negative = Piece {
+        verts: Vec::new(),
+        vals: Vec::new(),
+    };
     for i in 0..n {
         let j = (i + 1) % n;
-        let (vi, vj) = (&polygon[i], &polygon[j]);
         let (gi, gj) = (values[i], values[j]);
         if gi >= -TOL {
-            positive.push(vi.clone());
+            positive.verts.push(piece.verts[i].clone());
+            positive.vals.push(piece.vals[i].clone());
         }
         if gi <= TOL {
-            negative.push(vi.clone());
+            negative.verts.push(piece.verts[i].clone());
+            negative.vals.push(piece.vals[i].clone());
         }
         // Edge crossing strictly between the two vertices.
-        if (gi > TOL && gj < -TOL) || (gi < -TOL && gj > TOL) {
+        if crosses(gi, gj) {
             let alpha = gi / (gi - gj);
-            let crossing: Vec<f64> =
-                vi.iter().zip(vj).map(|(a, b)| a + alpha * (b - a)).collect();
-            positive.push(crossing.clone());
-            negative.push(crossing);
+            let vert = lerp(&piece.verts[i], &piece.verts[j], alpha);
+            let val = lerp(&piece.vals[i], &piece.vals[j], alpha);
+            positive.verts.push(vert.clone());
+            positive.vals.push(val.clone());
+            negative.verts.push(vert);
+            negative.vals.push(val);
         }
     }
-    (non_degenerate(positive), non_degenerate(negative))
+    for side in [positive, negative] {
+        if let Some(side) = non_degenerate(side) {
+            out.push(side);
+        }
+    }
 }
 
-/// Removes consecutive duplicate vertices and rejects polygons that have
-/// collapsed to fewer than three distinct vertices.
-fn non_degenerate(mut polygon: Polygon) -> Option<Polygon> {
-    polygon.dedup_by(|a, b| prdnn_linalg::linf_distance(a, b) <= TOL);
-    if polygon.len() > 1
-        && prdnn_linalg::linf_distance(&polygon[0], polygon.last().unwrap()) <= TOL
-    {
-        polygon.pop();
+/// Removes consecutive duplicate vertices (keeping the carried values in
+/// sync) and rejects polygons that have collapsed to fewer than three
+/// distinct vertices.
+fn non_degenerate(piece: Piece) -> Option<Piece> {
+    let Piece { verts, vals } = piece;
+    let mut kept = Piece {
+        verts: Vec::with_capacity(verts.len()),
+        vals: Vec::new(),
+    };
+    for (vert, val) in verts.into_iter().zip(vals) {
+        if let Some(last) = kept.verts.last() {
+            if prdnn_linalg::linf_distance(last, &vert) <= TOL {
+                continue;
+            }
+        }
+        kept.verts.push(vert);
+        kept.vals.push(val);
     }
-    if polygon.len() >= 3 {
-        Some(polygon)
+    if kept.verts.len() > 1
+        && prdnn_linalg::linf_distance(&kept.verts[0], kept.verts.last().unwrap()) <= TOL
+    {
+        kept.verts.pop();
+        kept.vals.pop();
+    }
+    if kept.verts.len() >= 3 {
+        Some(kept)
     } else {
         None
     }
@@ -90,6 +153,11 @@ fn centroid(polygon: &Polygon) -> Vec<f64> {
 /// layer; within every returned region the network is affine, so its
 /// vertices are exactly the key points Algorithm 2 needs (Theorem 6.4).
 ///
+/// The pieces are carried through the network incrementally — each layer's
+/// affine map is applied once per surviving vertex and crossing vertices
+/// interpolate the carried values (see [`crate::transformer`]) — so the cost
+/// is linear, not quadratic, in network depth.
+///
 /// # Errors
 ///
 /// Returns [`SyrennError::NotPiecewiseLinear`] for smooth networks and
@@ -106,74 +174,31 @@ pub fn plane_regions(
         return Err(SyrennError::DegenerateInput);
     }
     for v in vertices {
-        assert_eq!(v.len(), net.input_dim(), "plane_regions: vertex dimension mismatch");
+        assert_eq!(
+            v.len(),
+            net.input_dim(),
+            "plane_regions: vertex dimension mismatch"
+        );
     }
     if !net.is_piecewise_linear() {
         return Err(SyrennError::NotPiecewiseLinear);
     }
 
-    let mut polygons: Vec<Polygon> = vec![vertices.to_vec()];
-    for layer_idx in 0..net.num_layers() {
-        let spec = net.layer(layer_idx).crossing_spec();
-        match &spec {
-            CrossingSpec::None => continue,
-            CrossingSpec::NotPiecewiseLinear => return Err(SyrennError::NotPiecewiseLinear),
-            _ => {}
-        }
-        // Collect the crossing functions as index pairs/thresholds once; each
-        // is applied to every polygon.
-        let mut next: Vec<Polygon> = Vec::with_capacity(polygons.len());
-        for polygon in polygons {
-            let mut pieces: Vec<(Polygon, Vec<Vec<f64>>)> = vec![(
-                polygon.clone(),
-                polygon.iter().map(|v| prefix_preactivation(net, v, layer_idx)).collect(),
-            )];
-            let apply_crossing = |pieces: &mut Vec<(Polygon, Vec<Vec<f64>>)>,
-                                  g: &dyn Fn(&[f64]) -> f64| {
-                let mut out = Vec::with_capacity(pieces.len());
-                for (poly, zs) in pieces.drain(..) {
-                    let values: Vec<f64> = zs.iter().map(|z| g(z)).collect();
-                    let (pos, neg) = split_polygon(&poly, &values);
-                    for piece in [pos, neg].into_iter().flatten() {
-                        // Recompute pre-activations at (possibly new) vertices;
-                        // exact because the prefix is affine on the closed piece.
-                        let zs: Vec<Vec<f64>> = piece
-                            .iter()
-                            .map(|v| prefix_preactivation(net, v, layer_idx))
-                            .collect();
-                        out.push((piece, zs));
-                    }
-                }
-                *pieces = out;
-            };
-            match &spec {
-                CrossingSpec::ElementwiseThresholds(thresholds) => {
-                    let width = pieces[0].1[0].len();
-                    for unit in 0..width {
-                        for &thr in thresholds {
-                            apply_crossing(&mut pieces, &|z: &[f64]| z[unit] - thr);
-                        }
-                    }
-                }
-                CrossingSpec::WindowPairs(windows) => {
-                    for w in windows {
-                        for (pos, &i) in w.iter().enumerate() {
-                            for &j in &w[pos + 1..] {
-                                apply_crossing(&mut pieces, &|z: &[f64]| z[i] - z[j]);
-                            }
-                        }
-                    }
-                }
-                CrossingSpec::None | CrossingSpec::NotPiecewiseLinear => unreachable!(),
-            }
-            next.extend(pieces.into_iter().map(|(poly, _)| poly));
-        }
-        polygons = next;
-    }
+    let mut state = PolygonState {
+        pieces: vec![Piece {
+            verts: vertices.to_vec(),
+            vals: vertices.to_vec(),
+        }],
+    };
+    propagate(net, &mut state)?;
 
-    Ok(polygons
+    Ok(state
+        .pieces
         .into_iter()
-        .map(|polygon| LinearRegion { interior: centroid(&polygon), vertices: polygon })
+        .map(|piece| LinearRegion {
+            interior: centroid(&piece.verts),
+            vertices: piece.verts,
+        })
         .collect())
 }
 
@@ -210,8 +235,16 @@ mod tests {
     fn single_relu_splits_square_in_two() {
         // z = x, ReLU: crossing at x = 0 splits the square into two halves.
         let net = Network::new(vec![
-            Layer::dense(Matrix::from_rows(&[vec![1.0, 0.0]]), vec![0.0], Activation::Relu),
-            Layer::dense(Matrix::from_rows(&[vec![1.0]]), vec![0.0], Activation::Identity),
+            Layer::dense(
+                Matrix::from_rows(&[vec![1.0, 0.0]]),
+                vec![0.0],
+                Activation::Relu,
+            ),
+            Layer::dense(
+                Matrix::from_rows(&[vec![1.0]]),
+                vec![0.0],
+                Activation::Identity,
+            ),
         ]);
         let regions = plane_regions(&net, &square()).unwrap();
         assert_eq!(regions.len(), 2);
@@ -307,20 +340,36 @@ mod tests {
     }
 
     #[test]
-    fn split_polygon_basic() {
-        let square = square();
-        let values = vec![-1.0, 1.0, 1.0, -1.0]; // crossing x = 0 (values = x)
-        let (pos, neg) = split_polygon(&square, &values);
-        let pos = pos.unwrap();
-        let neg = neg.unwrap();
-        assert_eq!(pos.len(), 4);
-        assert_eq!(neg.len(), 4);
-        // All positive-part vertices have x >= 0 (values interpolate x).
-        for v in &pos {
-            assert!(v[0] >= -1e-9);
+    fn split_piece_basic() {
+        let verts = square();
+        // Carried "pre-activations" are the vertices themselves; split by x.
+        let piece = Piece {
+            vals: verts.clone(),
+            verts,
+        };
+        let mut out = Vec::new();
+        split_piece(
+            piece,
+            Crossing::Unit {
+                unit: 0,
+                threshold: 0.0,
+            },
+            &mut out,
+        );
+        assert_eq!(out.len(), 2);
+        for side in &out {
+            assert_eq!(side.verts.len(), 4);
+            assert_eq!(side.verts.len(), side.vals.len());
         }
-        for v in &neg {
-            assert!(v[0] <= 1e-9);
+        // All positive-part vertices have x >= 0, negative-part x <= 0.
+        assert!(out[0].verts.iter().all(|v| v[0] >= -1e-9));
+        assert!(out[1].verts.iter().all(|v| v[0] <= 1e-9));
+        // Carried values at crossing vertices are interpolated consistently
+        // with the geometry (they are equal here by construction).
+        for side in &out {
+            for (vert, val) in side.verts.iter().zip(&side.vals) {
+                assert_eq!(vert, val);
+            }
         }
     }
 }

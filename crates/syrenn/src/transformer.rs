@@ -1,0 +1,157 @@
+//! The incremental SyReNN transformer pipeline.
+//!
+//! Both restriction algorithms ([`crate::line_regions`] and
+//! [`crate::plane_regions`]) share the same structure: push the restricted
+//! input set through the network **one layer at a time**, subdividing it at
+//! every activation crossing so that each surviving piece lies inside a
+//! single linear region of the prefix network.
+//!
+//! The key invariant maintained here is that every vertex *carries its
+//! running network value* (the input to the next layer) alongside its
+//! geometry.  Each layer's affine map is then applied **exactly once per
+//! surviving vertex** ([`TransformerState::apply_preactivation`]), crossings
+//! are located by interpolating the carried pre-activations along edges —
+//! exact, because the prefix network is affine on every piece — and new
+//! crossing vertices get *interpolated* values instead of a recomputation of
+//! the whole network prefix.  This makes `LinRegions` linear in network
+//! depth, where the previous implementation re-evaluated the full prefix for
+//! every vertex at every layer (quadratic in depth).
+
+use crate::SyrennError;
+use prdnn_nn::{CrossingSpec, Layer, Network};
+
+/// A set of pieces being pushed through the network, with per-vertex carried
+/// values.
+///
+/// Between layers the carried value of a vertex is the post-activation
+/// output of the prefix network at that vertex (i.e. the next layer's
+/// input); while a layer is being processed it is that layer's
+/// pre-activation.
+pub(crate) trait TransformerState {
+    /// Replaces every vertex's carried value `v` with the layer's
+    /// pre-activation `W v + b` (one affine application per vertex).
+    fn apply_preactivation(&mut self, layer: &Layer);
+
+    /// Splits every piece at the crossings described by `spec`, evaluated on
+    /// the carried pre-activations (`width` is the pre-activation
+    /// dimension).  New crossing vertices must interpolate *both* the
+    /// geometry and the carried pre-activation.
+    fn split_layer(&mut self, spec: &CrossingSpec, width: usize);
+
+    /// Replaces every vertex's carried pre-activation `z` with the
+    /// activation output `sigma(z)`.
+    ///
+    /// Exact even at crossing vertices: the activations are continuous, so
+    /// their value at a piece boundary does not depend on which adjacent
+    /// piece the vertex is viewed from.
+    fn apply_activation(&mut self, layer: &Layer);
+}
+
+/// Drives a [`TransformerState`] through every layer of `net`.
+///
+/// The caller initialises the state with the input pieces (carried values
+/// equal to the vertex positions) and reads the final subdivision out of the
+/// state afterwards.  Propagation stops after the last crossing-capable
+/// layer — trailing affine layers cannot subdivide further, so the carried
+/// values are only advanced as far as the subdivision needs them.
+pub(crate) fn propagate<S: TransformerState>(
+    net: &Network,
+    state: &mut S,
+) -> Result<(), SyrennError> {
+    let specs: Vec<CrossingSpec> = net.layers().iter().map(Layer::crossing_spec).collect();
+    if specs
+        .iter()
+        .any(|s| matches!(s, CrossingSpec::NotPiecewiseLinear))
+    {
+        return Err(SyrennError::NotPiecewiseLinear);
+    }
+    // A trailing run of affine layers cannot introduce crossings, so the
+    // subdivision is final once the last crossing-capable layer is done;
+    // pushing values further would be wasted work.
+    let Some(last_splitting) = specs.iter().rposition(|s| !matches!(s, CrossingSpec::None)) else {
+        return Ok(());
+    };
+    for (layer, spec) in net.layers().iter().zip(&specs).take(last_splitting + 1) {
+        // Pooling pre-activations are the identity: the carried values
+        // already are the pre-activation, so skip the copy.
+        if !layer.preactivation_is_identity() {
+            state.apply_preactivation(layer);
+        }
+        if !matches!(spec, CrossingSpec::None) {
+            state.split_layer(spec, layer.preactivation_dim());
+        }
+        state.apply_activation(layer);
+    }
+    Ok(())
+}
+
+/// One crossing function of a layer: an affine function of the
+/// pre-activation whose zero set separates two linear pieces.
+///
+/// Because it is affine in `z` — and `z` is affine in the input on every
+/// piece where the prefix network is affine — its zero set restricted to a
+/// piece is a hyperplane, and its values interpolate linearly along edges.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Crossing {
+    /// Element-wise activation: `z[unit] - threshold`.
+    Unit {
+        /// The pre-activation component.
+        unit: usize,
+        /// The activation breakpoint.
+        threshold: f64,
+    },
+    /// Max-pooling: `z[i] - z[j]` for two entries of one window.
+    Pair {
+        /// First pre-activation index of the window pair.
+        i: usize,
+        /// Second pre-activation index of the window pair.
+        j: usize,
+    },
+}
+
+impl Crossing {
+    /// Evaluates the crossing function on a pre-activation vector.
+    #[inline]
+    pub(crate) fn eval(&self, z: &[f64]) -> f64 {
+        match *self {
+            Crossing::Unit { unit, threshold } => z[unit] - threshold,
+            Crossing::Pair { i, j } => z[i] - z[j],
+        }
+    }
+}
+
+/// Enumerates the crossing functions of a layer, calling `f` with each one.
+pub(crate) fn for_each_crossing(spec: &CrossingSpec, width: usize, mut f: impl FnMut(Crossing)) {
+    match spec {
+        CrossingSpec::None | CrossingSpec::NotPiecewiseLinear => {}
+        CrossingSpec::ElementwiseThresholds(thresholds) => {
+            for unit in 0..width {
+                for &threshold in thresholds {
+                    f(Crossing::Unit { unit, threshold });
+                }
+            }
+        }
+        CrossingSpec::WindowPairs(windows) => {
+            for w in windows {
+                for (pos, &i) in w.iter().enumerate() {
+                    for &j in &w[pos + 1..] {
+                        f(Crossing::Pair { i, j });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Linear interpolation between two carried-value vectors.
+pub(crate) fn lerp(a: &[f64], b: &[f64], alpha: f64) -> Vec<f64> {
+    a.iter().zip(b).map(|(x, y)| x + alpha * (y - x)).collect()
+}
+
+/// Whether an affine function with endpoint values `ga`, `gb` crosses zero
+/// strictly between the endpoints (shared by the chain and polygon
+/// splitters so the two stay tolerance-consistent).
+#[inline]
+pub(crate) fn crosses(ga: f64, gb: f64) -> bool {
+    (ga > crate::TOL && gb < -crate::TOL) || (ga < -crate::TOL && gb > crate::TOL)
+}

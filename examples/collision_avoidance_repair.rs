@@ -27,9 +27,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let grid = 5;
     let violating: Vec<_> = candidates
         .into_iter()
-        .filter(|s| s.grid(grid).iter().any(|p| !acas::phi8_allows(network.classify(p))))
+        .filter(|s| {
+            s.grid(grid)
+                .iter()
+                .any(|p| !acas::phi8_allows(network.classify(p)))
+        })
         .collect();
-    println!("found {} violating slices; repairing the first 2", violating.len());
+    println!(
+        "found {} violating slices; repairing the first 2",
+        violating.len()
+    );
     if violating.len() < 2 {
         println!("the distilled network happens to satisfy the property here; nothing to repair");
         return Ok(());

@@ -51,7 +51,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             OutputPolytope::classification(*label, digits::NUM_CLASSES, 1e-4),
         );
     }
-    println!("repairing {} clean→foggy lines (infinitely many points each)", lines.len());
+    println!(
+        "repairing {} clean→foggy lines (infinitely many points each)",
+        lines.len()
+    );
 
     // Provable Polytope Repair of the last layer.
     let result = repair_polytopes(&network, 2, &spec, &RepairConfig::default())?;
@@ -62,10 +65,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         result.outcome.stats.delta_l1,
         result.outcome.stats.timing.total()
     );
-    let repaired_clean = task.test.inputs.iter().zip(&task.test.labels)
-        .filter(|(x, &y)| repaired.classify(x) == y).count() as f64 / task.test.len() as f64;
-    let repaired_foggy = foggy_test.inputs.iter().zip(&foggy_test.labels)
-        .filter(|(x, &y)| repaired.classify(x) == y).count() as f64 / foggy_test.len() as f64;
+    let repaired_clean = task
+        .test
+        .inputs
+        .iter()
+        .zip(&task.test.labels)
+        .filter(|(x, &y)| repaired.classify(x) == y)
+        .count() as f64
+        / task.test.len() as f64;
+    let repaired_foggy = foggy_test
+        .inputs
+        .iter()
+        .zip(&foggy_test.labels)
+        .filter(|(x, &y)| repaired.classify(x) == y)
+        .count() as f64
+        / foggy_test.len() as f64;
     println!(
         "after repair: {:.1}% on clean test images (drawdown {:+.1}%), {:.1}% on foggy test \
          images (generalization {:+.1}%)",
@@ -90,7 +104,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ft = fine_tune(
         &network,
         &ft_set,
-        &FineTuneConfig { learning_rate: 0.05, max_epochs: 50, ..Default::default() },
+        &FineTuneConfig {
+            learning_rate: 0.05,
+            max_epochs: 50,
+            ..Default::default()
+        },
         &mut rng,
     );
     println!(

@@ -24,7 +24,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Collect misclassified distorted images (the repair set).
     let mut rng = StdRng::seed_from_u64(5);
     let repair_set = natural_adversarial::misclassified_pool(&network, 8, 4000, &mut rng);
-    println!("repair set: {} misclassified distorted images", repair_set.len());
+    println!(
+        "repair set: {} misclassified distorted images",
+        repair_set.len()
+    );
     let spec = PointSpec::from_classification(
         &repair_set.inputs,
         &repair_set.labels,

@@ -12,19 +12,30 @@ use prdnn::core::{paper_example, repair_points, repair_polytopes, RepairConfig};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ---- The buggy network N1 (Figure 3a). -------------------------------
     let n1 = paper_example::n1();
-    println!("N1(0.5) = {:+.3}   N1(1.5) = {:+.3}", n1.forward(&[0.5])[0], n1.forward(&[1.5])[0]);
+    println!(
+        "N1(0.5) = {:+.3}   N1(1.5) = {:+.3}",
+        n1.forward(&[0.5])[0],
+        n1.forward(&[1.5])[0]
+    );
 
     // ---- Provable Point Repair against Equation 2. ------------------------
     // (-1 <= N'(0.5) <= -0.8)  and  (-0.2 <= N'(1.5) <= 0)
     let spec = paper_example::equation_2_spec();
-    println!("\nEquation 2 satisfied by N1? {}", spec.is_satisfied_by(|x| n1.forward(x), 1e-9));
+    println!(
+        "\nEquation 2 satisfied by N1? {}",
+        spec.is_satisfied_by(|x| n1.forward(x), 1e-9)
+    );
     let point_repair = repair_points(&n1, 0, &spec, &RepairConfig::default())?;
     println!(
         "point repair of layer 1: delta_l1 = {:.3}, delta_linf = {:.3}",
         point_repair.stats.delta_l1, point_repair.stats.delta_linf
     );
     let n5 = &point_repair.repaired;
-    println!("N5(0.5) = {:+.3}   N5(1.5) = {:+.3}", n5.forward(&[0.5])[0], n5.forward(&[1.5])[0]);
+    println!(
+        "N5(0.5) = {:+.3}   N5(1.5) = {:+.3}",
+        n5.forward(&[0.5])[0],
+        n5.forward(&[1.5])[0]
+    );
     assert!(spec.is_satisfied_by(|x| n5.forward(x), 1e-6));
 
     // ---- Provable Polytope Repair against Equation 3. ----------------------

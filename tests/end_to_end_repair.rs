@@ -17,7 +17,10 @@ fn pointwise_repair_of_a_trained_digit_classifier() {
     // Train, find misclassified test digits, repair the last layer.
     let task = digits::digit_task(3, 250, 120);
     let misclassified = task.test.misclassified(&task.network).take(6);
-    assert!(!misclassified.is_empty(), "the small classifier should make some mistakes");
+    assert!(
+        !misclassified.is_empty(),
+        "the small classifier should make some mistakes"
+    );
     let spec = PointSpec::from_classification(
         &misclassified.inputs,
         &misclassified.labels,
@@ -41,7 +44,10 @@ fn pointwise_repair_of_a_trained_digit_classifier() {
         .filter(|(x, &y)| outcome.repaired.classify(x) == y)
         .count() as f64
         / task.test.len() as f64;
-    assert!(before - after < 0.3, "drawdown too large: {before} -> {after}");
+    assert!(
+        before - after < 0.3,
+        "drawdown too large: {before} -> {after}"
+    );
 }
 
 #[test]
@@ -70,8 +76,16 @@ fn polytope_repair_guarantees_every_point_of_a_fog_line() {
     // Provable guarantee: *every* interpolation point is classified correctly.
     for i in 0..=300 {
         let t = i as f64 / 300.0;
-        let p: Vec<f64> = clean.iter().zip(&foggy).map(|(c, f)| c + t * (f - c)).collect();
-        assert_eq!(result.outcome.repaired.classify(&p), label, "violated at t = {t}");
+        let p: Vec<f64> = clean
+            .iter()
+            .zip(&foggy)
+            .map(|(c, f)| c + t * (f - c))
+            .collect();
+        assert_eq!(
+            result.outcome.repaired.classify(&p),
+            label,
+            "violated at t = {t}"
+        );
     }
 }
 
@@ -105,7 +119,10 @@ fn repair_is_minimal_with_respect_to_the_chosen_norm() {
         &n1,
         0,
         &tight,
-        &RepairConfig { norm: RepairNorm::LInf, ..RepairConfig::default() },
+        &RepairConfig {
+            norm: RepairNorm::LInf,
+            ..RepairConfig::default()
+        },
     )
     .unwrap();
     assert!(linf_outcome.stats.delta_linf <= tight_outcome.stats.delta_linf + 1e-9);
@@ -129,7 +146,11 @@ fn cnn_layers_can_be_repaired_including_convolutions() {
         match repair_points(&task.network, layer, &spec, &RepairConfig::default()) {
             Ok(outcome) => {
                 for (x, &y) in pool.inputs.iter().zip(&pool.labels) {
-                    assert_eq!(outcome.repaired.classify(x), y, "layer {layer} repair not exact");
+                    assert_eq!(
+                        outcome.repaired.classify(x),
+                        y,
+                        "layer {layer} repair not exact"
+                    );
                 }
             }
             Err(RepairError::Infeasible) => {
@@ -171,7 +192,11 @@ fn acas_style_plane_repair_respects_linear_regions() {
     if let Ok(result) = repair_polytopes(&task.network, last, &spec, &RepairConfig::default()) {
         for region in &regions {
             assert_eq!(
-                result.outcome.repaired.activation_network().activation_pattern(&region.interior),
+                result
+                    .outcome
+                    .repaired
+                    .activation_network()
+                    .activation_pattern(&region.interior),
                 task.network.activation_pattern(&region.interior)
             );
         }

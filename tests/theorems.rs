@@ -14,7 +14,11 @@ fn theorem_4_4_on_a_trained_classifier() {
     let task = digits::digit_task(9, 150, 50);
     let ddnn = DecoupledNetwork::from_network(&task.network);
     for x in task.test.inputs.iter().take(40) {
-        assert!(approx_eq_slice(&ddnn.forward(x), &task.network.forward(x), 1e-9));
+        assert!(approx_eq_slice(
+            &ddnn.forward(x),
+            &task.network.forward(x),
+            1e-9
+        ));
     }
 }
 
@@ -35,9 +39,11 @@ fn theorem_4_5_exact_linearity_on_a_trained_classifier() {
         edited.apply_value_delta(layer, &delta);
         let actual = edited.forward(&x);
         for o in 0..base.len() {
-            let predicted: f64 =
-                base[o] + (0..n).map(|p| jac[(o, p)] * delta[p]).sum::<f64>();
-            assert!((actual[o] - predicted).abs() < 1e-6, "layer {layer} output {o}");
+            let predicted: f64 = base[o] + (0..n).map(|p| jac[(o, p)] * delta[p]).sum::<f64>();
+            assert!(
+                (actual[o] - predicted).abs() < 1e-6,
+                "layer {layer} output {o}"
+            );
         }
     }
 }
@@ -79,7 +85,11 @@ fn exact_line_matches_brute_force_sampling() {
     let foggy = prdnn::datasets::corruptions::fog(&clean, digits::SIDE, digits::SIDE, 0.7);
     let ts = syrenn::exact_line(&task.network, &clean, &foggy).unwrap();
     let point = |t: f64| -> Vec<f64> {
-        clean.iter().zip(&foggy).map(|(c, f)| c + t * (f - c)).collect()
+        clean
+            .iter()
+            .zip(&foggy)
+            .map(|(c, f)| c + t * (f - c))
+            .collect()
     };
     for w in ts.windows(2) {
         let (a, b) = (w[0], w[1]);
@@ -88,8 +98,11 @@ fn exact_line_matches_brute_force_sampling() {
         for k in 1..8 {
             let alpha = k as f64 / 8.0;
             let t = a + alpha * (b - a);
-            let expected: Vec<f64> =
-                fa.iter().zip(&fb).map(|(x, y)| x + alpha * (y - x)).collect();
+            let expected: Vec<f64> = fa
+                .iter()
+                .zip(&fb)
+                .map(|(x, y)| x + alpha * (y - x))
+                .collect();
             assert!(
                 approx_eq_slice(&task.network.forward(&point(t)), &expected, 1e-6),
                 "network is not affine inside a reported linear region"

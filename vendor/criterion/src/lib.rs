@@ -1,0 +1,303 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! implements the subset of criterion's API the workspace's benches use:
+//! [`Criterion`] with `bench_function` / `benchmark_group`, builder-style
+//! `sample_size` / `measurement_time` / `warm_up_time`, [`BenchmarkId`], the
+//! [`criterion_group!`] / [`criterion_main!`] macros, and [`black_box`].
+//!
+//! Measurement model: each benchmark warms up for `warm_up_time`, then runs
+//! `sample_size` samples for roughly `measurement_time` total and reports the
+//! per-iteration mean, median, and min wall-clock times on stdout.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimiser from deleting benched code.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifier of a parameterised benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id made of a parameter value only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Passed to benchmark closures; runs the measured routine.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Duration>,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Bencher<'_> {
+    /// Measures `routine`, called repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until the warm-up budget is spent, estimating the
+        // per-iteration cost as we go.
+        let warm_start = Instant::now();
+        let mut iters_done: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time || iters_done == 0 {
+            black_box(routine());
+            iters_done += 1;
+        }
+        let per_iter = warm_start.elapsed() / iters_done.max(1) as u32;
+
+        // Choose iterations per sample so all samples fit the time budget.
+        let per_sample_budget = self.measurement_time / self.sample_size.max(1) as u32;
+        let iters_per_sample = if per_iter.is_zero() {
+            1
+        } else {
+            (per_sample_budget.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u32
+        };
+
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / iters_per_sample);
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Settings {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(500),
+        }
+    }
+}
+
+fn run_bench(settings: Settings, name: &str, f: &mut dyn FnMut(&mut Bencher<'_>)) {
+    let mut samples: Vec<Duration> = Vec::new();
+    let mut bencher = Bencher {
+        samples: &mut samples,
+        sample_size: settings.sample_size,
+        measurement_time: settings.measurement_time,
+        warm_up_time: settings.warm_up_time,
+    };
+    f(&mut bencher);
+    samples.sort_unstable();
+    if samples.is_empty() {
+        println!("{name:<48} (no samples)");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let median = samples[samples.len() / 2];
+    let min = samples[0];
+    println!(
+        "{name:<48} time: [min {} median {} mean {}]",
+        fmt_duration(min),
+        fmt_duration(median),
+        fmt_duration(mean)
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.settings.sample_size = n;
+        self
+    }
+
+    /// Sets the total measurement budget per benchmark.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.settings.measurement_time = t;
+        self
+    }
+
+    /// Sets the warm-up budget per benchmark.
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.settings.warm_up_time = t;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        name: &str,
+        mut f: F,
+    ) -> &mut Self {
+        run_bench(self.settings, name, &mut f);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            settings: self.settings,
+            _parent: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    settings: Settings,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n;
+        self
+    }
+
+    /// Sets the measurement budget for benchmarks in this group.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.settings.measurement_time = t;
+        self
+    }
+
+    /// Runs one named benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        name: &str,
+        mut f: F,
+    ) -> &mut Self {
+        run_bench(self.settings, &format!("{}/{}", self.name, name), &mut f);
+        self
+    }
+
+    /// Runs one parameterised benchmark inside the group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher<'_>, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_bench(
+            self.settings,
+            &format!("{}/{}", self.name, id.id),
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// Finishes the group (output is already flushed; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions, optionally with a configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_criterion() -> Criterion {
+        Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(2))
+    }
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut calls = 0u64;
+        fast_criterion().bench_function("counting", |b| b.iter(|| calls += 1));
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn groups_and_ids() {
+        let mut c = fast_criterion();
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(10));
+        let input = 21u64;
+        group.bench_with_input(BenchmarkId::from_parameter(input), &input, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        group.bench_with_input(BenchmarkId::new("doubling", input), &input, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(5)), "5 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(2)), "2.00 µs");
+        assert_eq!(fmt_duration(Duration::from_millis(3)), "3.00 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(1)), "1.000 s");
+    }
+}

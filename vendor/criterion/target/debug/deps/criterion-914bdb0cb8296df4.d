@@ -1,0 +1,7 @@
+/root/repo/vendor/criterion/target/debug/deps/criterion-914bdb0cb8296df4.d: src/lib.rs
+
+/root/repo/vendor/criterion/target/debug/deps/libcriterion-914bdb0cb8296df4.rlib: src/lib.rs
+
+/root/repo/vendor/criterion/target/debug/deps/libcriterion-914bdb0cb8296df4.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/vendor/proptest/target/debug/deps/proptest-d5fd9fdab507fd44.d: src/lib.rs
+
+/root/repo/vendor/proptest/target/debug/deps/proptest-d5fd9fdab507fd44: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/vendor/rand/target/debug/deps/rand-fc85628d45279de7.d: src/lib.rs
+
+/root/repo/vendor/rand/target/debug/deps/rand-fc85628d45279de7: src/lib.rs
+
+src/lib.rs:

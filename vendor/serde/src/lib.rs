@@ -1,0 +1,16 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The workspace derives `Serialize` / `Deserialize` on its model types so a
+//! real serialisation backend can be slotted in later, but no code path
+//! actually serialises anything yet.  Since crates.io is unreachable in this
+//! build environment, this vendored crate supplies the two trait names as
+//! markers together with derive macros that emit empty impls, keeping the
+//! annotations compiling until a full serde can be used.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker form of `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker form of `serde::Deserialize`.
+pub trait Deserialize<'de> {}

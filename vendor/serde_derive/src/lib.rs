@@ -1,0 +1,49 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The vendored `serde` crate's `Serialize` / `Deserialize` are marker
+//! traits, so the derives only need to emit empty impls for the annotated
+//! type.  Implemented directly on `proc_macro` (no `syn`/`quote`, which are
+//! unavailable offline).  Generic types are not supported — nothing in this
+//! workspace derives serde traits on a generic type.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the name of the `struct`/`enum` a derive was applied to and
+/// asserts it has no generic parameters.
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(ident) = &tt {
+            let word = ident.to_string();
+            if word == "struct" || word == "enum" {
+                let name = match tokens.next() {
+                    Some(TokenTree::Ident(name)) => name.to_string(),
+                    other => panic!("serde derive: expected a type name, found {other:?}"),
+                };
+                if matches!(tokens.next(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+                    panic!("vendored serde derive does not support generic type `{name}`");
+                }
+                return name;
+            }
+        }
+    }
+    panic!("serde derive: no struct or enum found in input");
+}
+
+/// Derives the vendored marker trait `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl serde::Serialize for {name} {{}}")
+        .parse()
+        .unwrap()
+}
+
+/// Derives the vendored marker trait `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .unwrap()
+}
