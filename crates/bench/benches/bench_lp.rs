@@ -1,8 +1,10 @@
 //! Micro-benchmark: the LP solver on repair-shaped programs
-//! (free variables, ≤ constraints, ℓ1 objective).
+//! (free variables, ≤ constraints, ℓ1 objective), plus a head-to-head of
+//! the dense flat-tableau and sparse revised simplex backends on the wide
+//! block-sparse shape the repair LPs actually have.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use prdnn_lp::{ConstraintOp, LpProblem, VarKind};
+use prdnn_lp::{ConstraintOp, LpBackend, LpProblem, SolveOptions, VarKind};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::Duration;
@@ -24,6 +26,44 @@ fn repair_shaped_lp(num_vars: usize, num_rows: usize, seed: u64) -> LpProblem {
     lp
 }
 
+/// The shape of the paper's repair LPs: one block of rows per key point,
+/// each row touching only that block's parameter slice (`block_vars` of
+/// `num_blocks * block_vars` total variables), ℓ1 objective.
+fn block_sparse_lp(
+    num_blocks: usize,
+    block_vars: usize,
+    rows_per_block: usize,
+    seed: u64,
+) -> LpProblem {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut lp = LpProblem::new();
+    let vars = lp.add_vars(num_blocks * block_vars, VarKind::Free);
+    for block in 0..num_blocks {
+        let slice = &vars[block * block_vars..(block + 1) * block_vars];
+        for _ in 0..rows_per_block {
+            let coeffs: Vec<f64> = (0..block_vars).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            // Feasible by construction around the origin, with a margin that
+            // occasionally forces a non-zero repair.
+            let rhs = rng.gen_range(-0.05..0.5f64);
+            let terms: Vec<_> = slice.iter().copied().zip(coeffs).collect();
+            lp.add_constraint(&terms, ConstraintOp::Le, rhs);
+        }
+    }
+    lp.minimize_l1_of(&vars);
+    lp
+}
+
+fn solve_with(lp: &LpProblem, backend: LpBackend) {
+    prdnn_lp::solve_with_options(
+        lp,
+        &SolveOptions {
+            backend,
+            max_iters: 2_000_000,
+        },
+    )
+    .unwrap();
+}
+
 fn bench_lp(c: &mut Criterion) {
     let mut group = c.benchmark_group("lp_solve_l1");
     for &(vars, rows) in &[(20usize, 40usize), (60, 120), (120, 240)] {
@@ -33,6 +73,35 @@ fn bench_lp(c: &mut Criterion) {
             &lp,
             |b, lp| b.iter(|| prdnn_lp::solve(lp).unwrap()),
         );
+    }
+    group.finish();
+
+    // Dense-vs-revised on the block-sparse repair shape (wide: n ≫ m).
+    let mut group = c.benchmark_group("lp_backends_block_sparse");
+    for &(blocks, bvars, brows) in &[(16usize, 8usize, 4usize), (32, 16, 4), (64, 16, 4)] {
+        let lp = block_sparse_lp(blocks, bvars, brows, 11);
+        let label = format!("{}v_{}c", blocks * bvars, blocks * brows);
+        group.bench_with_input(BenchmarkId::new("dense", &label), &lp, |b, lp| {
+            b.iter(|| solve_with(lp, LpBackend::DenseTableau))
+        });
+        group.bench_with_input(BenchmarkId::new("revised", &label), &lp, |b, lp| {
+            b.iter(|| solve_with(lp, LpBackend::RevisedSparse))
+        });
+    }
+    group.finish();
+
+    // Same head-to-head on the fully dense repair-shaped programs, to keep
+    // the Auto policy's crossover honest.
+    let mut group = c.benchmark_group("lp_backends_dense_rows");
+    for &(vars, rows) in &[(60usize, 120usize), (120, 240)] {
+        let lp = repair_shaped_lp(vars, rows, 7);
+        let label = format!("{vars}v_{rows}c");
+        group.bench_with_input(BenchmarkId::new("dense", &label), &lp, |b, lp| {
+            b.iter(|| solve_with(lp, LpBackend::DenseTableau))
+        });
+        group.bench_with_input(BenchmarkId::new("revised", &label), &lp, |b, lp| {
+            b.iter(|| solve_with(lp, LpBackend::RevisedSparse))
+        });
     }
     group.finish();
 }

@@ -2,7 +2,7 @@
 //! repair points grows — the scaling dimension of Table 1.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use prdnn_core::{paper_example, repair_points, PointSpec, RepairConfig};
+use prdnn_core::{paper_example, repair_points, LpBackend, PointSpec, RepairConfig};
 use prdnn_nn::{Activation, Network};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -28,6 +28,31 @@ fn bench_point_repair(c: &mut Criterion) {
         let spec = PointSpec::from_classification(&points, &labels, 5, 1e-4);
         group.bench_with_input(BenchmarkId::from_parameter(n_points), &spec, |b, spec| {
             b.iter(|| repair_points(&net, 2, spec, &RepairConfig::default()).ok())
+        });
+    }
+    group.finish();
+
+    // Dense-tableau vs revised-simplex backends on a *wide* repair LP: a
+    // wider classifier repaired at its last layer gives the block-sparse
+    // shape the revised backend exists for (650 parameters -> ~1500 LP
+    // columns, one block of 9-face rows per key point).
+    let wide = Network::mlp(&[10, 48, 64, 10], Activation::Relu, &mut rng);
+    let points: Vec<Vec<f64>> = (0..24)
+        .map(|_| (0..10).map(|_| rng.gen_range(-1.0..1.0)).collect())
+        .collect();
+    let labels: Vec<usize> = (0..24).map(|i| i % 10).collect();
+    let spec = PointSpec::from_classification(&points, &labels, 10, 1e-4);
+    let mut group = c.benchmark_group("point_repair_wide_lp_backend");
+    for (name, backend) in [
+        ("dense", LpBackend::DenseTableau),
+        ("revised", LpBackend::RevisedSparse),
+    ] {
+        let config = RepairConfig {
+            lp_backend: backend,
+            ..RepairConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(name), &spec, |b, spec| {
+            b.iter(|| repair_points(&wide, 2, spec, &config).ok())
         });
     }
     group.finish();

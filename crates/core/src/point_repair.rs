@@ -226,6 +226,41 @@ mod tests {
     }
 
     #[test]
+    fn lp_backends_agree_on_classifier_repair() {
+        // The same wide, block-sparse repair LP solved by the dense tableau
+        // oracle and the sparse revised simplex must yield repairs of the
+        // same (minimal) norm, and both must satisfy the spec exactly.
+        let mut rng = StdRng::seed_from_u64(21);
+        let net = prdnn_nn::Network::mlp(&[6, 18, 14, 4], Activation::Relu, &mut rng);
+        let points: Vec<Vec<f64>> = (0..8)
+            .map(|_| (0..6).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .collect();
+        let labels: Vec<usize> = (0..8).map(|i| i % 4).collect();
+        let spec = PointSpec::from_classification(&points, &labels, 4, 1e-4);
+        let mut outcomes = Vec::new();
+        for backend in [
+            prdnn_lp::LpBackend::DenseTableau,
+            prdnn_lp::LpBackend::RevisedSparse,
+        ] {
+            let config = RepairConfig {
+                lp_backend: backend,
+                ..RepairConfig::default()
+            };
+            let outcome = repair_points(&net, 2, &spec, &config).expect("repair must succeed");
+            for (p, &label) in points.iter().zip(&labels) {
+                assert_eq!(outcome.repaired.classify(p), label, "backend {backend:?}");
+            }
+            outcomes.push(outcome.stats.delta_l1);
+        }
+        assert!(
+            (outcomes[0] - outcomes[1]).abs() < 1e-6,
+            "minimal-repair norms disagree: dense {} vs revised {}",
+            outcomes[0],
+            outcomes[1]
+        );
+    }
+
+    #[test]
     fn param_bound_is_respected() {
         let n1 = paper_example::n1();
         let spec = paper_example::equation_2_spec();

@@ -247,6 +247,53 @@ mod tests {
     }
 
     #[test]
+    fn lp_backends_agree_on_polytope_repair() {
+        // Algorithm 2 feeds the vertex key points into the same repair LP;
+        // both simplex backends must find minimal repairs of equal norm and
+        // both repaired networks must satisfy the whole segment.
+        let mut rng = StdRng::seed_from_u64(17);
+        let net = prdnn_nn::Network::mlp(&[3, 10, 8, 2], Activation::Relu, &mut rng);
+        let start = vec![-0.4, 0.3, 0.6];
+        let end = vec![0.8, -0.5, -0.1];
+        let mut spec = PolytopeSpec::new();
+        spec.push(
+            InputPolytope::segment(start.clone(), end.clone()),
+            OutputPolytope::classification(0, 2, 1e-4),
+        );
+        let mut norms = Vec::new();
+        for backend in [
+            prdnn_lp::LpBackend::DenseTableau,
+            prdnn_lp::LpBackend::RevisedSparse,
+        ] {
+            let config = RepairConfig {
+                lp_backend: backend,
+                ..RepairConfig::default()
+            };
+            let result = repair_polytopes(&net, 2, &spec, &config).expect("repair must succeed");
+            for i in 0..=100 {
+                let t = i as f64 / 100.0;
+                let p: Vec<f64> = start
+                    .iter()
+                    .zip(&end)
+                    .map(|(s, e)| s + t * (e - s))
+                    .collect();
+                assert_eq!(
+                    result.outcome.repaired.classify(&p),
+                    0,
+                    "backend {backend:?}"
+                );
+            }
+            norms.push(result.outcome.stats.delta_l1);
+        }
+        assert!(
+            (norms[0] - norms[1]).abs() < 1e-6,
+            "minimal-repair norms disagree: dense {} vs revised {}",
+            norms[0],
+            norms[1]
+        );
+    }
+
+    #[test]
     fn unsatisfiable_layer_returns_bottom() {
         // §7.3 observes that for some layers Algorithm 2 returns ⊥.  Force
         // that situation with contradictory constraints on one polytope.

@@ -4,7 +4,7 @@
 use crate::ddnn::DecoupledNetwork;
 use crate::spec::OutputPolytope;
 use prdnn_linalg::vector;
-use prdnn_lp::{ConstraintOp, LpError, LpProblem, VarKind};
+use prdnn_lp::{ConstraintOp, LpBackend, LpError, LpProblem, SolveOptions, VarKind};
 use std::time::{Duration, Instant};
 
 /// The norm minimised over the parameter delta `Δ` (Definition 5.3's
@@ -27,6 +27,10 @@ pub struct RepairConfig {
     pub param_bound: Option<f64>,
     /// Iteration limit handed to the simplex solver.
     pub max_lp_iterations: usize,
+    /// Which simplex backend solves the repair LP.  The default (`Auto`)
+    /// routes the wide, block-sparse LPs this encoding produces to the
+    /// sparse revised simplex and small ones to the dense tableau.
+    pub lp_backend: LpBackend,
 }
 
 impl Default for RepairConfig {
@@ -35,6 +39,7 @@ impl Default for RepairConfig {
             norm: RepairNorm::L1,
             param_bound: None,
             max_lp_iterations: 2_000_000,
+            lp_backend: LpBackend::Auto,
         }
     }
 }
@@ -294,7 +299,11 @@ pub(crate) fn repair_key_points(
 
     // Line 7: solve for the minimal Δ.
     let lp_start = Instant::now();
-    let solution = match prdnn_lp::solve_with_limit(&lp, config.max_lp_iterations) {
+    let options = SolveOptions {
+        backend: config.lp_backend,
+        max_iters: config.max_lp_iterations,
+    };
+    let solution = match prdnn_lp::solve_with_options(&lp, &options) {
         Ok(solution) => solution,
         Err(LpError::Infeasible) => return Err(RepairError::Infeasible),
         Err(LpError::IterationLimit) => return Err(RepairError::LpIterationLimit),
@@ -361,9 +370,10 @@ mod tests {
     }
 
     #[test]
-    fn default_config_uses_l1() {
+    fn default_config_uses_l1_and_auto_backend() {
         let c = RepairConfig::default();
         assert_eq!(c.norm, RepairNorm::L1);
         assert!(c.param_bound.is_none());
+        assert_eq!(c.lp_backend, LpBackend::Auto);
     }
 }

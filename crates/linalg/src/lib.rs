@@ -5,7 +5,8 @@
 //! matrix–matrix products, norms, and a handful of constructors.  Rather
 //! than pulling in a full BLAS binding, this crate provides a compact,
 //! well-tested `f64` implementation that the rest of the workspace builds
-//! upon.
+//! upon.  The one factorisation the workspace needs — an LU with partial
+//! pivoting for the revised simplex basis ([`LuFactors`]) — lives here too.
 //!
 //! # Example
 //!
@@ -17,9 +18,11 @@
 //! assert_eq!(a.matvec(&v), vec![3.0, 7.0]);
 //! ```
 
+mod lu;
 mod matrix;
 pub mod vector;
 
+pub use lu::{LuFactors, SingularMatrixError};
 pub use matrix::Matrix;
 pub use vector::{add, argmax, dot, linf_distance, norm_l1, norm_l2, norm_linf, scale, sub};
 

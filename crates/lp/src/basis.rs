@@ -1,0 +1,265 @@
+//! The revised simplex basis: an LU-factorised `B` plus a product-form eta
+//! file, with periodic refactorisation.
+//!
+//! After a pivot replaces the basic variable of row `r` by a column `a_e`,
+//! the new basis satisfies `B' = B F`, where `F` is the identity with column
+//! `r` replaced by `w = B⁻¹ a_e` (the FTRAN of the entering column, which
+//! the ratio test has already computed).  Instead of refactorising, we store
+//! `(r, w)` as an *eta* and apply `F⁻¹` on the fly:
+//!
+//! * FTRAN `B'⁻¹ v`: solve with the LU factors, then apply each eta in
+//!   order — `x_r ← x_r / w_r`, `x_i ← x_i − w_i x_r`.
+//! * BTRAN `B'⁻ᵀ v`: apply each eta transposed in *reverse* order —
+//!   `y_r ← (y_r − Σ_{i≠r} w_i y_i) / w_r` — then solve with `LUᵀ`.
+//!
+//! Each eta application is `O(m)`, so the eta file is collapsed back into a
+//! fresh LU factorisation (a Bartels–Golub-style periodic refactorisation)
+//! once it grows past [`Basis::MAX_ETAS`] or an update pivot is too small to
+//! be trusted.
+
+use prdnn_linalg::LuFactors;
+
+/// Update pivots `|w_r|` below this are refused; the caller refactorises.
+const ETA_PIVOT_TOL: f64 = 1e-8;
+
+/// One product-form update: column `w = B⁻¹ a_e` pivoted in at `row`,
+/// stored sparsely (FTRANed repair columns keep most of their zeros), with
+/// the pivot entry `w_r` split out.
+#[derive(Debug, Clone)]
+struct Eta {
+    row: usize,
+    pivot: f64,
+    /// Non-zero entries of `w` excluding the pivot position.
+    w: Vec<(usize, f64)>,
+}
+
+/// Outcome of [`Basis::update`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum UpdateOutcome {
+    /// The eta was appended; FTRAN/BTRAN now reflect the new basis.
+    Applied,
+    /// The pivot was numerically unsafe; the basis is unchanged and the
+    /// caller must refactorise from the new basic column set.
+    RefusedNeedsRefactor,
+}
+
+/// An LU-factorised simplex basis with a product-form eta file.
+#[derive(Debug, Clone)]
+pub(crate) struct Basis {
+    lu: LuFactors,
+    etas: Vec<Eta>,
+}
+
+impl Basis {
+    /// Eta-file length that triggers refactorisation: beyond this the
+    /// accumulated `O(nnz(w))` eta applications cost more than a fresh
+    /// factorisation amortised over the interval (and error grows).  The
+    /// factorisation itself skips zero multipliers, so on the mostly-unit
+    /// bases of the repair LPs it is cheap enough to run often.
+    pub(crate) const MAX_ETAS: usize = 40;
+
+    /// Factorises the dense row-major `m × m` basis matrix.
+    ///
+    /// Returns `None` when the matrix is singular, which for a simplex basis
+    /// signals numerical breakdown (a mathematically valid basis is always
+    /// invertible).
+    pub(crate) fn factorize(m: usize, basis_matrix: &[f64]) -> Option<Self> {
+        LuFactors::factorize(m, basis_matrix).ok().map(|lu| Basis {
+            lu,
+            etas: Vec::new(),
+        })
+    }
+
+    #[cfg(test)]
+    pub(crate) fn dim(&self) -> usize {
+        self.lu.dim()
+    }
+
+    /// `true` once the eta file has grown enough that the caller should
+    /// refactorise at the next convenient point.
+    pub(crate) fn should_refactorize(&self) -> bool {
+        self.etas.len() >= Self::MAX_ETAS
+    }
+
+    /// Number of product-form updates applied since the last factorisation.
+    #[cfg(test)]
+    pub(crate) fn updates_since_refactor(&self) -> usize {
+        self.etas.len()
+    }
+
+    /// FTRAN: `x ← B⁻¹ x`.
+    pub(crate) fn ftran(&self, x: &mut [f64]) {
+        self.lu.solve_in_place(x);
+        for eta in &self.etas {
+            let xr = x[eta.row] / eta.pivot;
+            if xr != 0.0 {
+                x[eta.row] = xr;
+                for &(i, wi) in &eta.w {
+                    x[i] -= wi * xr;
+                }
+            }
+        }
+    }
+
+    /// BTRAN: `y ← B⁻ᵀ y`.
+    pub(crate) fn btran(&self, y: &mut [f64]) {
+        for eta in self.etas.iter().rev() {
+            // Transposed eta: y_r ← (y_r − Σ_{i≠r} w_i y_i) / w_r.
+            let dot: f64 = eta.w.iter().map(|&(i, wi)| wi * y[i]).sum();
+            y[eta.row] = (y[eta.row] - dot) / eta.pivot;
+        }
+        self.lu.solve_transpose_in_place(y);
+    }
+
+    /// Records the pivot that replaced row `r`'s basic column, given the
+    /// already-FTRANed entering column `w = B⁻¹ a_e` (borrowed; its
+    /// non-zeros are compressed into the eta file).
+    pub(crate) fn update(&mut self, row: usize, w: &[f64]) -> UpdateOutcome {
+        if w[row].abs() <= ETA_PIVOT_TOL {
+            return UpdateOutcome::RefusedNeedsRefactor;
+        }
+        let sparse: Vec<(usize, f64)> = w
+            .iter()
+            .enumerate()
+            .filter(|&(i, &wi)| i != row && wi != 0.0)
+            .map(|(i, &wi)| (i, wi))
+            .collect();
+        self.etas.push(Eta {
+            row,
+            pivot: w[row],
+            w: sparse,
+        });
+        UpdateOutcome::Applied
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Multiplies the dense column-set matrix `cols` (column-major) by `x`.
+    fn matvec_cols(m: usize, cols: &[Vec<f64>], x: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; m];
+        for (j, col) in cols.iter().enumerate() {
+            for i in 0..m {
+                out[i] += col[i] * x[j];
+            }
+        }
+        out
+    }
+
+    fn row_major(m: usize, cols: &[Vec<f64>]) -> Vec<f64> {
+        let mut a = vec![0.0; m * m];
+        for (j, col) in cols.iter().enumerate() {
+            for i in 0..m {
+                a[i * m + j] = col[i];
+            }
+        }
+        a
+    }
+
+    #[test]
+    fn eta_update_matches_refactorisation() {
+        // Start from B = I, replace column 1 by a = (1, 2, 3), and check
+        // FTRAN/BTRAN against a fresh factorisation of the updated matrix.
+        let m = 3;
+        let mut cols = vec![
+            vec![1.0, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 1.0],
+        ];
+        let mut basis = Basis::factorize(m, &row_major(m, &cols)).unwrap();
+
+        let a_e = vec![1.0, 2.0, 3.0];
+        let mut w = a_e.clone();
+        basis.ftran(&mut w); // B = I, so w = a_e.
+        assert_eq!(basis.update(1, &w), UpdateOutcome::Applied);
+        cols[1] = a_e;
+        let fresh = Basis::factorize(m, &row_major(m, &cols)).unwrap();
+
+        let rhs = vec![4.0, -1.0, 0.5];
+        let (mut via_eta, mut via_fresh) = (rhs.clone(), rhs.clone());
+        basis.ftran(&mut via_eta);
+        fresh.ftran(&mut via_fresh);
+        for (a, b) in via_eta.iter().zip(&via_fresh) {
+            assert!((a - b).abs() < 1e-12, "FTRAN mismatch: {a} vs {b}");
+        }
+        // Check FTRAN really solved B x = rhs.
+        let back = matvec_cols(m, &cols, &via_eta);
+        for (a, b) in back.iter().zip(&rhs) {
+            assert!((a - b).abs() < 1e-12);
+        }
+
+        let (mut ye, mut yf) = (rhs.clone(), rhs.clone());
+        basis.btran(&mut ye);
+        fresh.btran(&mut yf);
+        for (a, b) in ye.iter().zip(&yf) {
+            assert!((a - b).abs() < 1e-12, "BTRAN mismatch: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn chained_eta_updates_stay_consistent() {
+        // Apply several updates and compare against refactorising each time.
+        let m = 4;
+        let mut cols: Vec<Vec<f64>> = (0..m)
+            .map(|j| (0..m).map(|i| if i == j { 1.0 } else { 0.0 }).collect())
+            .collect();
+        let mut basis = Basis::factorize(m, &row_major(m, &cols)).unwrap();
+        let entering = [
+            (0usize, vec![2.0, 1.0, 0.0, -1.0]),
+            (2, vec![0.5, 0.0, 3.0, 1.0]),
+            (1, vec![-1.0, 4.0, 1.0, 0.0]),
+        ];
+        for (row, a_e) in entering {
+            let mut w = a_e.clone();
+            basis.ftran(&mut w);
+            assert_eq!(basis.update(row, &w), UpdateOutcome::Applied);
+            cols[row] = a_e;
+        }
+        assert_eq!(basis.updates_since_refactor(), 3);
+        let fresh = Basis::factorize(m, &row_major(m, &cols)).unwrap();
+        let rhs = vec![1.0, 2.0, 3.0, 4.0];
+        let (mut xe, mut xf) = (rhs.clone(), rhs.clone());
+        basis.ftran(&mut xe);
+        fresh.ftran(&mut xf);
+        for (a, b) in xe.iter().zip(&xf) {
+            assert!((a - b).abs() < 1e-10);
+        }
+        let (mut ye, mut yf) = (rhs.clone(), rhs);
+        basis.btran(&mut ye);
+        fresh.btran(&mut yf);
+        for (a, b) in ye.iter().zip(&yf) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn tiny_pivot_is_refused() {
+        let m = 2;
+        let mut basis = Basis::factorize(m, &[1.0, 0.0, 0.0, 1.0]).unwrap();
+        let w = vec![1e-12, 1.0];
+        assert_eq!(basis.update(0, &w), UpdateOutcome::RefusedNeedsRefactor);
+        assert_eq!(basis.updates_since_refactor(), 0);
+    }
+
+    #[test]
+    fn eta_file_growth_triggers_refactorisation_flag() {
+        let m = 2;
+        let mut basis = Basis::factorize(m, &[1.0, 0.0, 0.0, 1.0]).unwrap();
+        assert!(!basis.should_refactorize());
+        for _ in 0..Basis::MAX_ETAS {
+            // Pivoting the same unit-ish column keeps the basis invertible.
+            let mut w = vec![1.0, 0.25];
+            basis.ftran(&mut w);
+            assert_eq!(basis.update(0, &w), UpdateOutcome::Applied);
+        }
+        assert!(basis.should_refactorize());
+        assert_eq!(basis.dim(), 2);
+    }
+
+    #[test]
+    fn singular_basis_matrix_is_reported() {
+        assert!(Basis::factorize(2, &[1.0, 2.0, 2.0, 4.0]).is_none());
+    }
+}

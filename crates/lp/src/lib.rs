@@ -7,9 +7,16 @@
 //!
 //! * [`LpProblem`] — a small modelling layer: free or non-negative variables,
 //!   `≤` / `≥` / `=` constraints, linear or norm-minimisation objectives.
-//! * [`solve`] — a two-phase dense simplex solver that returns an optimal
+//! * [`solve`] — a two-phase simplex solve that returns an optimal
 //!   solution, or reports that the program is [infeasible](LpError::Infeasible)
 //!   (the paper's `⊥`: no single-layer repair exists) or unbounded.
+//!
+//! Two backends implement the simplex method: a sparse *revised* simplex
+//! with an LU-factorised, eta-updated basis (the default for the wide,
+//! block-sparse repair LPs) and the dense flat-tableau solver it superseded
+//! (kept as the small-problem fallback and differential-testing oracle).
+//! [`SolveOptions`]/[`LpBackend`] select explicitly; [`solve`] picks
+//! automatically per problem.
 //!
 //! # Example
 //!
@@ -31,12 +38,15 @@
 //! # }
 //! ```
 
+mod basis;
 mod problem;
+mod revised;
 mod simplex;
 mod solver;
+mod sparse;
 
 pub use problem::{ConstraintOp, LpProblem, Objective, VarId, VarKind};
-pub use solver::{solve, solve_with_limit, Solution};
+pub use solver::{solve, solve_with_limit, solve_with_options, LpBackend, Solution, SolveOptions};
 
 /// Errors returned by [`solve`].
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -1,0 +1,532 @@
+//! Two-phase *revised* simplex over sparse standard-form programs.
+//!
+//! Where the flat-tableau solver ([`crate::simplex`]) updates every cell of
+//! an `(m+1) × (n+1)` tableau per pivot — `O(m·n)` no matter how sparse the
+//! constraints are — the revised method keeps only the basis factorisation
+//! ([`crate::basis::Basis`]: LU + eta file) and reconstructs what it needs
+//! each iteration:
+//!
+//! 1. **BTRAN** `y = B⁻ᵀ c_B`, then price every nonbasic column with a
+//!    sparse dot product `d_j = c_j − y · A_j` — `O(nnz)` total over the
+//!    CSC columns.
+//! 2. **FTRAN** `w = B⁻¹ A_e` for the chosen entering column only.
+//! 3. Ratio test on `w` and an `O(m)` incremental update of the basic
+//!    values; the pivot itself becomes one product-form eta.
+//!
+//! Per-iteration cost is `O(nnz + m²)` instead of `O(m·n)`, which is the
+//! win on the paper's wide repair LPs (`n ≫ m`, block-sparse rows — one
+//! block per key point).  Pivoting rules (Dantzig with a Bland fallback
+//! after a degenerate streak), tolerances, and phase structure mirror the
+//! dense oracle so the two backends classify problems identically.
+
+use crate::basis::{Basis, UpdateOutcome};
+use crate::simplex::{
+    seed_basis_from_unit_columns, solve_unconstrained, SimplexOutcome, COST_EPS, FEAS_EPS,
+    PIVOT_EPS,
+};
+use crate::sparse::{CscMatrix, SparseStandardForm};
+
+/// Consecutive degenerate pivots before switching to Bland's rule.
+const BLAND_THRESHOLD: usize = 40;
+
+/// Columns of the phase-1 working matrix `[A | I_artificials]` without ever
+/// materialising the artificial block.
+struct ColumnSource<'a> {
+    csc: &'a CscMatrix,
+    /// Row of the unit entry of each artificial column, in column order.
+    artificial_rows: &'a [usize],
+    /// Number of structural columns; `j >= n` addresses artificials.
+    n: usize,
+}
+
+impl ColumnSource<'_> {
+    fn dot(&self, j: usize, y: &[f64]) -> f64 {
+        if j < self.n {
+            self.csc.col_dot(j, y)
+        } else {
+            y[self.artificial_rows[j - self.n]]
+        }
+    }
+
+    fn scatter(&self, j: usize, out: &mut [f64]) {
+        if j < self.n {
+            self.csc.scatter_col(j, out);
+        } else {
+            out.fill(0.0);
+            out[self.artificial_rows[j - self.n]] = 1.0;
+        }
+    }
+}
+
+/// Rebuilds the dense basis matrix from the current basic column set and
+/// factorises it.  `None` signals numerical breakdown (singular basis).
+fn refactorize(cols: &ColumnSource<'_>, basis_cols: &[usize]) -> Option<Basis> {
+    let m = basis_cols.len();
+    let mut mat = vec![0.0; m * m];
+    let mut col_buf = vec![0.0; m];
+    for (r, &j) in basis_cols.iter().enumerate() {
+        cols.scatter(j, &mut col_buf);
+        for (i, &v) in col_buf.iter().enumerate() {
+            mat[i * m + r] = v;
+        }
+    }
+    Basis::factorize(m, &mat)
+}
+
+enum PivotRun {
+    Optimal,
+    Unbounded,
+    IterationLimit,
+    /// Singular refactorisation or similar breakdown: the caller should fall
+    /// back to the dense oracle.
+    NumericalFailure,
+}
+
+/// State threaded through both phases.
+struct Solver<'a> {
+    cols: ColumnSource<'a>,
+    /// Mirror-pair map of the structural columns (split free variables).
+    mirror: &'a [Option<usize>],
+    rhs: &'a [f64],
+    /// Basic column per row.
+    basis_cols: Vec<usize>,
+    /// Membership flag per column (structural + artificial).
+    in_basis: Vec<bool>,
+    /// Current basic values `x_B = B⁻¹ b`.
+    x_b: Vec<f64>,
+    basis: Basis,
+}
+
+impl Solver<'_> {
+    /// Refactorises from the current basic set and recomputes `x_B` from
+    /// scratch (the periodic error reset of the eta scheme).
+    fn refactorize_and_recompute(&mut self) -> bool {
+        match refactorize(&self.cols, &self.basis_cols) {
+            Some(basis) => {
+                self.basis = basis;
+                self.x_b.copy_from_slice(self.rhs);
+                self.basis.ftran(&mut self.x_b);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Runs pivots to optimality for the given costs (length: structural +
+    /// artificial columns).  Only structural columns may enter; artificials
+    /// start basic and never come back.
+    fn run(&mut self, cost: &[f64], iters_left: &mut usize) -> PivotRun {
+        let m = self.basis_cols.len();
+        let n = self.cols.n;
+        let mut y = vec![0.0; m];
+        let mut w = vec![0.0; m];
+        let mut degenerate_streak = 0usize;
+        loop {
+            if *iters_left == 0 {
+                return PivotRun::IterationLimit;
+            }
+            *iters_left -= 1;
+
+            if self.basis.should_refactorize() && !self.refactorize_and_recompute() {
+                return PivotRun::NumericalFailure;
+            }
+
+            // BTRAN: simplex multipliers y = B⁻ᵀ c_B.
+            for (r, &j) in self.basis_cols.iter().enumerate() {
+                y[r] = cost[j];
+            }
+            self.basis.btran(&mut y);
+
+            // Pricing over the sparse structural columns.  Dantzig rule
+            // (most negative reduced cost, earliest index on ties) until a
+            // degenerate streak switches to Bland (first negative).  Split
+            // pairs `x = x⁺ − x⁻` are exact column negations, so one dot
+            // product prices both.
+            let use_bland = degenerate_streak > BLAND_THRESHOLD;
+            let mut entering: Option<usize> = None;
+            let mut best = -COST_EPS;
+            let mut consider = |j: usize, d: f64| -> bool {
+                if d < best {
+                    best = d;
+                    entering = Some(j);
+                    use_bland // Bland: stop at the first improving column.
+                } else {
+                    false
+                }
+            };
+            let mut j = 0;
+            while j < n {
+                if self.mirror[j] == Some(j + 1) {
+                    let (jb, kb) = (self.in_basis[j], self.in_basis[j + 1]);
+                    if !(jb && kb) {
+                        let t = self.cols.dot(j, &y);
+                        if (!jb && consider(j, cost[j] - t))
+                            || (!kb && consider(j + 1, cost[j + 1] + t))
+                        {
+                            break;
+                        }
+                    }
+                    j += 2;
+                } else {
+                    if !self.in_basis[j] && consider(j, cost[j] - self.cols.dot(j, &y)) {
+                        break;
+                    }
+                    j += 1;
+                }
+            }
+            let Some(e) = entering else {
+                return PivotRun::Optimal;
+            };
+
+            // FTRAN the entering column.
+            self.cols.scatter(e, &mut w);
+            self.basis.ftran(&mut w);
+
+            // Ratio test (same tie-break as the dense oracle: smallest
+            // basic column index among near-ties).
+            let mut leave: Option<usize> = None;
+            let mut best_ratio = f64::INFINITY;
+            for (i, &wi) in w.iter().enumerate() {
+                if wi > PIVOT_EPS {
+                    let ratio = self.x_b[i] / wi;
+                    let better = ratio < best_ratio - PIVOT_EPS
+                        || (ratio < best_ratio + PIVOT_EPS
+                            && leave.is_none_or(|l| self.basis_cols[i] < self.basis_cols[l]));
+                    if better {
+                        best_ratio = ratio;
+                        leave = Some(i);
+                    }
+                }
+            }
+            let Some(r) = leave else {
+                return PivotRun::Unbounded;
+            };
+            if best_ratio < PIVOT_EPS {
+                degenerate_streak += 1;
+            } else {
+                degenerate_streak = 0;
+            }
+
+            // Incremental basic-value update: x_B ← x_B − θ w, x_B[r] ← θ.
+            let theta = best_ratio;
+            for (xi, &wi) in self.x_b.iter_mut().zip(w.iter()) {
+                *xi -= theta * wi;
+            }
+            self.x_b[r] = theta;
+
+            let leaving = self.basis_cols[r];
+            self.basis_cols[r] = e;
+            self.in_basis[e] = true;
+            self.in_basis[leaving] = false;
+            if self.basis.update(r, &w) == UpdateOutcome::RefusedNeedsRefactor
+                && !self.refactorize_and_recompute()
+            {
+                return PivotRun::NumericalFailure;
+            }
+        }
+    }
+}
+
+/// Revised simplex on a sparse standard-form program.
+///
+/// Returns `None` on numerical breakdown (singular basis refactorisation),
+/// in which case the caller falls back to the dense tableau oracle.
+pub(crate) fn solve_standard_sparse(
+    sf: &SparseStandardForm,
+    max_iters: usize,
+) -> Option<SimplexOutcome> {
+    let m = sf.num_rows();
+    let n = sf.num_cols();
+    debug_assert!(sf.b.iter().all(|&bi| bi >= -PIVOT_EPS));
+
+    if m == 0 {
+        return Some(solve_unconstrained(n, &sf.c));
+    }
+
+    let csc = sf.a.to_csc();
+    debug_assert_eq!(csc.nrows(), m);
+    debug_assert_eq!(csc.ncols(), n);
+
+    // Seed the basis from singleton ~unit columns with ~zero cost (the
+    // slacks the standard-form conversion arranges), exactly as the dense
+    // oracle does; the remaining rows get artificial variables.
+    let basis_for_row = seed_basis_from_unit_columns(
+        m,
+        n,
+        &sf.c,
+        (0..m).flat_map(|i| {
+            let (cols, vals) = sf.a.row(i);
+            cols.iter().zip(vals).map(move |(&j, &v)| (i, j, v))
+        }),
+    );
+    let artificial_rows: Vec<usize> = (0..m).filter(|&i| basis_for_row[i].is_none()).collect();
+    let num_artificials = artificial_rows.len();
+    let total = n + num_artificials;
+
+    let mut basis_cols: Vec<usize> = Vec::with_capacity(m);
+    let mut in_basis = vec![false; total];
+    let mut next_artificial = n;
+    for seed in basis_for_row.iter() {
+        let j = match seed {
+            Some(j) => *j,
+            None => {
+                let j = next_artificial;
+                next_artificial += 1;
+                j
+            }
+        };
+        basis_cols.push(j);
+        in_basis[j] = true;
+    }
+
+    let cols = ColumnSource {
+        csc: &csc,
+        artificial_rows: &artificial_rows,
+        n,
+    };
+    let mut solver = Solver {
+        cols,
+        mirror: &sf.mirror,
+        rhs: &sf.b,
+        basis_cols,
+        in_basis,
+        x_b: vec![0.0; m],
+        basis: Basis::factorize(1, &[1.0]).expect("identity factorisation"),
+    };
+    if !solver.refactorize_and_recompute() {
+        return None;
+    }
+
+    let mut iters_left = max_iters;
+    if num_artificials > 0 {
+        // ---- Phase 1: minimise the sum of the artificial variables.
+        let mut cost1 = vec![0.0; total];
+        for c in cost1.iter_mut().skip(n) {
+            *c = 1.0;
+        }
+        match solver.run(&cost1, &mut iters_left) {
+            PivotRun::Optimal => {}
+            // A feasibility objective bounded below by zero cannot be
+            // unbounded; treat it as breakdown if it ever happens.
+            PivotRun::Unbounded | PivotRun::NumericalFailure => return None,
+            PivotRun::IterationLimit => return Some(SimplexOutcome::IterationLimit),
+        }
+        let phase1_value: f64 = solver
+            .basis_cols
+            .iter()
+            .zip(&solver.x_b)
+            .filter(|(&j, _)| j >= n)
+            .map(|(_, &v)| v)
+            .sum();
+        if phase1_value > FEAS_EPS {
+            return Some(SimplexOutcome::Infeasible);
+        }
+
+        // Drive remaining artificials out of the basis with degenerate
+        // pivots where a structural column is available.  Rows where none
+        // is (redundant rows) keep their artificial basic at level zero:
+        // its row of `B⁻¹A` is all-zero, so no later pivot can move it.
+        for r in 0..m {
+            if solver.basis_cols[r] < n {
+                continue;
+            }
+            let mut rho = vec![0.0; m];
+            rho[r] = 1.0;
+            solver.basis.btran(&mut rho);
+            let replacement =
+                (0..n).find(|&j| !solver.in_basis[j] && solver.cols.dot(j, &rho).abs() > PIVOT_EPS);
+            if let Some(j) = replacement {
+                let mut w = vec![0.0; m];
+                solver.cols.scatter(j, &mut w);
+                solver.basis.ftran(&mut w);
+                let leaving = solver.basis_cols[r];
+                solver.basis_cols[r] = j;
+                solver.in_basis[j] = true;
+                solver.in_basis[leaving] = false;
+                // Phase 1 declared the artificial's sub-tolerance residual
+                // feasible, so the pivot is exactly degenerate: zero the
+                // value *before* the eta is recorded, which makes the eta's
+                // transform of the basic values a no-op (x_r/w_r = 0) and
+                // keeps x_b consistent with the updated basis even when
+                // w_r is tiny.
+                solver.x_b[r] = 0.0;
+                if solver.basis.update(r, &w) == UpdateOutcome::RefusedNeedsRefactor
+                    && !solver.refactorize_and_recompute()
+                {
+                    return None;
+                }
+            }
+        }
+    }
+
+    // ---- Phase 2: the real objective (artificial costs are zero; they can
+    // only remain basic at level zero on redundant rows).
+    let mut cost2 = sf.c.clone();
+    cost2.resize(total, 0.0);
+    match solver.run(&cost2, &mut iters_left) {
+        PivotRun::Optimal => {}
+        PivotRun::Unbounded => return Some(SimplexOutcome::Unbounded),
+        PivotRun::IterationLimit => return Some(SimplexOutcome::IterationLimit),
+        PivotRun::NumericalFailure => return None,
+    }
+
+    let mut x = vec![0.0; n];
+    for (r, &j) in solver.basis_cols.iter().enumerate() {
+        if j < n {
+            x[j] = solver.x_b[r];
+        }
+    }
+    let objective: f64 = sf.c.iter().zip(&x).map(|(c, v)| c * v).sum();
+    Some(SimplexOutcome::Optimal { x, objective })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparse::CsrMatrix;
+
+    fn sparse_sf(
+        rows: Vec<Vec<(usize, f64)>>,
+        ncols: usize,
+        b: Vec<f64>,
+        c: Vec<f64>,
+    ) -> SparseStandardForm {
+        SparseStandardForm::new(CsrMatrix::from_rows(ncols, &rows), b, c)
+    }
+
+    fn optimal(sf: &SparseStandardForm) -> (Vec<f64>, f64) {
+        match solve_standard_sparse(sf, 10_000).expect("no numerical failure") {
+            SimplexOutcome::Optimal { x, objective } => (x, objective),
+            other => panic!("expected optimal, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn textbook_maximization_as_minimization() {
+        // Same program as the dense oracle's test: optimum (2, 6), value -36.
+        let sf = sparse_sf(
+            vec![
+                vec![(0, 1.0), (2, 1.0)],
+                vec![(1, 2.0), (3, 1.0)],
+                vec![(0, 3.0), (1, 2.0), (4, 1.0)],
+            ],
+            5,
+            vec![4.0, 12.0, 18.0],
+            vec![-3.0, -5.0, 0.0, 0.0, 0.0],
+        );
+        let (x, obj) = optimal(&sf);
+        assert!((x[0] - 2.0).abs() < 1e-7);
+        assert!((x[1] - 6.0).abs() < 1e-7);
+        assert!((obj + 36.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let sf = sparse_sf(
+            vec![vec![(0, 1.0)], vec![(0, 1.0)]],
+            1,
+            vec![1.0, 2.0],
+            vec![0.0],
+        );
+        assert!(matches!(
+            solve_standard_sparse(&sf, 1000).unwrap(),
+            SimplexOutcome::Infeasible
+        ));
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let sf = sparse_sf(
+            vec![vec![(0, 1.0), (1, -1.0)]],
+            2,
+            vec![0.0],
+            vec![-1.0, -1.0],
+        );
+        assert!(matches!(
+            solve_standard_sparse(&sf, 1000).unwrap(),
+            SimplexOutcome::Unbounded
+        ));
+    }
+
+    #[test]
+    fn redundant_rows_leave_inert_artificials() {
+        // Second row is twice the first; its artificial stays basic at zero
+        // and the optimum is still found.
+        let sf = sparse_sf(
+            vec![vec![(0, 1.0), (1, 1.0)], vec![(0, 2.0), (1, 2.0)]],
+            2,
+            vec![1.0, 2.0],
+            vec![1.0, 0.0],
+        );
+        let (x, obj) = optimal(&sf);
+        assert!((x[0] + x[1] - 1.0).abs() < 1e-7);
+        assert!(obj.abs() < 1e-7);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        let sf = sparse_sf(
+            vec![
+                vec![(0, 1.0), (1, 1.0), (2, 1.0)],
+                vec![(0, 1.0), (1, 2.0), (3, 1.0)],
+                vec![(0, 2.0), (1, 1.0), (4, 1.0)],
+            ],
+            5,
+            vec![0.0, 0.0, 4.0],
+            vec![-1.0, -1.0, 0.0, 0.0, 0.0],
+        );
+        let (x, _) = optimal(&sf);
+        let dense = sf.to_dense();
+        for (row, b) in dense.a.iter().zip(&dense.b) {
+            let lhs: f64 = row.iter().zip(&x).map(|(a, v)| a * v).sum();
+            assert!((lhs - b).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn empty_constraint_system() {
+        let sf = sparse_sf(vec![], 2, vec![], vec![1.0, 2.0]);
+        let (x, obj) = optimal(&sf);
+        assert_eq!(x, vec![0.0, 0.0]);
+        assert_eq!(obj, 0.0);
+        let sf2 = sparse_sf(vec![], 1, vec![], vec![-1.0]);
+        assert!(matches!(
+            solve_standard_sparse(&sf2, 10).unwrap(),
+            SimplexOutcome::Unbounded
+        ));
+    }
+
+    #[test]
+    fn iteration_limit_is_reported() {
+        let sf = sparse_sf(vec![vec![(0, 1.0), (1, 1.0)]], 2, vec![1.0], vec![1.0, 1.0]);
+        assert!(matches!(
+            solve_standard_sparse(&sf, 0).unwrap(),
+            SimplexOutcome::IterationLimit
+        ));
+    }
+
+    #[test]
+    fn refactorisation_cycle_is_exercised() {
+        // A chain long enough to exceed Basis::MAX_ETAS pivots: minimise a
+        // cost that forces many entering choices on a banded system.
+        let m = 120;
+        let mut rows = Vec::new();
+        for i in 0..m {
+            // x_i + x_{i+1} + s_i = 2
+            rows.push(vec![(i, 1.0), ((i + 1) % m, 1.0), (m + i, 1.0)]);
+        }
+        let mut c = vec![0.0; 2 * m];
+        for (i, ci) in c.iter_mut().enumerate().take(m) {
+            *ci = -((i % 7) as f64) - 1.0;
+        }
+        let sf = sparse_sf(rows, 2 * m, vec![2.0; m], c);
+        let (x, obj) = optimal(&sf);
+        // Sanity: feasibility of the returned point.
+        let dense = sf.to_dense();
+        for (row, b) in dense.a.iter().zip(&dense.b) {
+            let lhs: f64 = row.iter().zip(&x).map(|(a, v)| a * v).sum();
+            assert!((lhs - b).abs() < 1e-6);
+        }
+        assert!(obj < 0.0);
+    }
+}

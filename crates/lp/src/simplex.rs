@@ -31,9 +31,61 @@ pub(crate) enum SimplexOutcome {
     IterationLimit,
 }
 
-const PIVOT_EPS: f64 = 1e-10;
-const COST_EPS: f64 = 1e-9;
-const FEAS_EPS: f64 = 1e-7;
+pub(crate) const PIVOT_EPS: f64 = 1e-10;
+pub(crate) const COST_EPS: f64 = 1e-9;
+pub(crate) const FEAS_EPS: f64 = 1e-7;
+
+/// Solves the trivial constraint-free program `min c·x, x ≥ 0`: the optimum
+/// is `x = 0` unless some cost is negative (the variables are non-negative,
+/// so only negative costs cause unboundedness).  Shared by both backends.
+pub(crate) fn solve_unconstrained(n: usize, c: &[f64]) -> SimplexOutcome {
+    if c.iter().any(|&cj| cj < -COST_EPS) {
+        return SimplexOutcome::Unbounded;
+    }
+    SimplexOutcome::Optimal {
+        x: vec![0.0; n],
+        objective: 0.0,
+    }
+}
+
+/// The ready-basis scan shared by both backends: a column usable as an
+/// initial basic variable for its row must be a singleton with coefficient
+/// (approximately) `+1` and (tolerance-consistent) zero cost — the slack
+/// columns the standard-form conversion arranges.  Rows left `None` need an
+/// artificial variable.  `entries` yields every stored `(row, col, value)`
+/// of the constraint matrix, in any order.
+///
+/// Both backends *must* seed identically for the differential tests'
+/// "identical classification" guarantee to hold, which is why this lives in
+/// one place.
+pub(crate) fn seed_basis_from_unit_columns(
+    m: usize,
+    n: usize,
+    c: &[f64],
+    entries: impl IntoIterator<Item = (usize, usize, f64)>,
+) -> Vec<Option<usize>> {
+    let mut col_nonzeros = vec![0usize; n];
+    let mut col_last: Vec<(usize, f64)> = vec![(usize::MAX, 0.0); n];
+    for (i, j, v) in entries {
+        if v != 0.0 {
+            col_nonzeros[j] += 1;
+            col_last[j] = (i, v);
+        }
+    }
+    let mut basis_for_row: Vec<Option<usize>> = vec![None; m];
+    for j in 0..n {
+        if col_nonzeros[j] == 1
+            && (col_last[j].1 - 1.0).abs() <= PIVOT_EPS
+            && c[j].abs() <= COST_EPS
+        {
+            let row = col_last[j].0;
+            if basis_for_row[row].is_none() {
+                basis_for_row[row] = Some(j);
+            }
+        }
+    }
+    basis_for_row
+}
 
 /// The simplex working set: `m` constraint rows plus the reduced-cost row,
 /// stored row-major in a single flat buffer.
@@ -148,16 +200,7 @@ pub(crate) fn solve_standard(sf: &StandardForm, max_iters: usize) -> SimplexOutc
     debug_assert!(sf.b.iter().all(|&bi| bi >= -PIVOT_EPS));
 
     if m == 0 {
-        // No constraints: the optimum is x = 0 unless some cost is negative,
-        // in which case that column is unbounded below (it is non-negative,
-        // so only negative costs cause unboundedness).
-        if sf.c.iter().any(|&cj| cj < -COST_EPS) {
-            return SimplexOutcome::Unbounded;
-        }
-        return SimplexOutcome::Optimal {
-            x: vec![0.0; n],
-            objective: 0.0,
-        };
+        return solve_unconstrained(n, &sf.c);
     }
 
     // ---- Phase 1 setup.  Rows whose slack column already forms a unit
@@ -165,25 +208,14 @@ pub(crate) fn solve_standard(sf: &StandardForm, max_iters: usize) -> SimplexOutc
     // slack as their initial basic variable; only the remaining rows need an
     // artificial variable.  This keeps the phase-1 tableau narrow, which is
     // where most of the repair LPs' time goes.
-    let mut col_nonzeros = vec![0usize; n];
-    let mut col_last: Vec<(usize, f64)> = vec![(usize::MAX, 0.0); n];
-    for (i, row) in sf.a.iter().enumerate() {
-        for (j, &v) in row.iter().enumerate() {
-            if v != 0.0 {
-                col_nonzeros[j] += 1;
-                col_last[j] = (i, v);
-            }
-        }
-    }
-    let mut basis_for_row: Vec<Option<usize>> = vec![None; m];
-    for j in 0..n {
-        if col_nonzeros[j] == 1 && (col_last[j].1 - 1.0).abs() <= PIVOT_EPS && sf.c[j] == 0.0 {
-            let row = col_last[j].0;
-            if basis_for_row[row].is_none() {
-                basis_for_row[row] = Some(j);
-            }
-        }
-    }
+    let basis_for_row = seed_basis_from_unit_columns(
+        m,
+        n,
+        &sf.c,
+        sf.a.iter()
+            .enumerate()
+            .flat_map(|(i, row)| row.iter().enumerate().map(move |(j, &v)| (i, j, v))),
+    );
     let artificial_rows: Vec<usize> = (0..m).filter(|&i| basis_for_row[i].is_none()).collect();
     let num_artificials = artificial_rows.len();
     let total = n + num_artificials;

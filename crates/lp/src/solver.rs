@@ -1,7 +1,29 @@
-//! Conversion from modelling form to standard form and back.
+//! Conversion from modelling form to standard form and backend selection.
+//!
+//! The conversion produces a *sparse* standard form straight from the
+//! (already sparse) modelling constraints; the solver then routes it to one
+//! of two simplex backends:
+//!
+//! * [`LpBackend::RevisedSparse`] — the revised simplex over CSR/CSC
+//!   columns with an LU-factorised, eta-updated basis
+//!   ([`crate::revised`]).  `O(nnz + m²)` per pivot; the default for the
+//!   wide, block-sparse repair LPs.
+//! * [`LpBackend::DenseTableau`] — the flat-tableau two-phase simplex
+//!   ([`crate::simplex`]).  `O(m·n)` per pivot but with a small constant;
+//!   kept as the small-problem fallback and as the differential-testing
+//!   oracle for the revised backend.
+//!
+//! [`LpBackend::Auto`] (the default used by [`solve`] / [`solve_with_limit`])
+//! compares the estimated per-pivot work of the two backends — `m·n` cells
+//! for the tableau against `nnz + 2m²` for pricing plus the BTRAN/FTRAN
+//! triangular solves — and picks the cheaper one.  If the revised backend
+//! ever hits a numerical breakdown (singular basis refactorisation), the
+//! solve transparently re-runs on the dense oracle.
 
 use crate::problem::{ConstraintOp, LpProblem, Objective, VarKind};
-use crate::simplex::{solve_standard, SimplexOutcome, StandardForm};
+use crate::revised::solve_standard_sparse;
+use crate::simplex::{solve_standard, SimplexOutcome};
+use crate::sparse::{CsrMatrix, SparseStandardForm};
 use crate::LpError;
 
 /// An optimal solution of an [`LpProblem`].
@@ -13,10 +35,42 @@ pub struct Solution {
     pub objective: f64,
 }
 
+/// Which simplex implementation executes the solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LpBackend {
+    /// Choose per problem from the standard form's shape and sparsity.
+    #[default]
+    Auto,
+    /// Always use the dense flat-tableau simplex.
+    DenseTableau,
+    /// Always use the sparse revised simplex (falls back to the dense
+    /// tableau on numerical breakdown).
+    RevisedSparse,
+}
+
+/// Options accepted by [`solve_with_options`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolveOptions {
+    /// Backend selection policy.
+    pub backend: LpBackend,
+    /// Simplex iteration budget (shared across both phases).
+    pub max_iters: usize,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        SolveOptions {
+            backend: LpBackend::Auto,
+            max_iters: DEFAULT_MAX_ITERS,
+        }
+    }
+}
+
 /// Default simplex iteration limit used by [`solve`].
 const DEFAULT_MAX_ITERS: usize = 2_000_000;
 
-/// Solves the problem with the default iteration limit.
+/// Solves the problem with the default iteration limit and automatic
+/// backend selection.
 ///
 /// # Errors
 ///
@@ -24,7 +78,7 @@ const DEFAULT_MAX_ITERS: usize = 2_000_000;
 /// [`LpError::Unbounded`] if the objective is unbounded below, and
 /// [`LpError::IterationLimit`] if the simplex iteration budget is exhausted.
 pub fn solve(problem: &LpProblem) -> Result<Solution, LpError> {
-    solve_with_limit(problem, DEFAULT_MAX_ITERS)
+    solve_with_options(problem, &SolveOptions::default())
 }
 
 /// Solves the problem with an explicit simplex iteration limit.
@@ -33,6 +87,24 @@ pub fn solve(problem: &LpProblem) -> Result<Solution, LpError> {
 ///
 /// See [`solve`].
 pub fn solve_with_limit(problem: &LpProblem, max_iters: usize) -> Result<Solution, LpError> {
+    solve_with_options(
+        problem,
+        &SolveOptions {
+            max_iters,
+            ..SolveOptions::default()
+        },
+    )
+}
+
+/// Solves the problem with explicit backend and iteration options.
+///
+/// # Errors
+///
+/// See [`solve`].
+pub fn solve_with_options(
+    problem: &LpProblem,
+    options: &SolveOptions,
+) -> Result<Solution, LpError> {
     // ℓ∞ objectives are lowered to a plain linear objective over an
     // augmented problem with one extra bound variable `t ≥ |x_i|`.
     if let Objective::MinimizeLinf(vars) = &problem.objective {
@@ -43,7 +115,7 @@ pub fn solve_with_limit(problem: &LpProblem, max_iters: usize) -> Result<Solutio
             augmented.add_constraint(&[(*v, -1.0), (t, -1.0)], ConstraintOp::Le, 0.0);
         }
         augmented.set_objective_linear(&[(t, 1.0)]);
-        let mut solution = solve_with_limit(&augmented, max_iters)?;
+        let mut solution = solve_with_options(&augmented, options)?;
         let objective = solution.values[t.index()];
         solution.values.truncate(problem.num_vars());
         return Ok(Solution {
@@ -53,7 +125,20 @@ pub fn solve_with_limit(problem: &LpProblem, max_iters: usize) -> Result<Solutio
     }
 
     let (sf, mapping) = to_standard_form(problem);
-    match solve_standard(&sf, max_iters) {
+    let use_revised = match options.backend {
+        LpBackend::DenseTableau => false,
+        LpBackend::RevisedSparse => true,
+        LpBackend::Auto => auto_prefers_revised(&sf),
+    };
+    let outcome = if use_revised {
+        // `None` is a numerical breakdown in the revised backend; the dense
+        // tableau is the robust fallback.
+        solve_standard_sparse(&sf, options.max_iters)
+            .unwrap_or_else(|| solve_standard(&sf.to_dense(), options.max_iters))
+    } else {
+        solve_standard(&sf.to_dense(), options.max_iters)
+    };
+    match outcome {
         SimplexOutcome::Optimal { x, objective } => {
             let values = mapping.recover(problem, &x);
             Ok(Solution { values, objective })
@@ -62,6 +147,21 @@ pub fn solve_with_limit(problem: &LpProblem, max_iters: usize) -> Result<Solutio
         SimplexOutcome::Unbounded => Err(LpError::Unbounded),
         SimplexOutcome::IterationLimit => Err(LpError::IterationLimit),
     }
+}
+
+/// `Auto` policy: estimated per-pivot work of the revised backend
+/// (column pricing over the stored non-zeros plus two triangular solves)
+/// against the flat tableau's full `m·n` cell update, with a bias towards
+/// the tableau's smaller constant factor on little problems.
+fn auto_prefers_revised(sf: &SparseStandardForm) -> bool {
+    let m = sf.num_rows();
+    let n = sf.num_cols();
+    if m < 8 || n < 32 {
+        return false;
+    }
+    let revised_estimate = sf.a.nnz() as f64 + 2.0 * (m * m) as f64;
+    let tableau_estimate = (m * n) as f64;
+    revised_estimate < 0.75 * tableau_estimate
 }
 
 /// How each problem variable maps onto standard-form columns.
@@ -82,8 +182,8 @@ impl VarMapping {
     }
 }
 
-/// Converts a modelling-form problem into standard simplex form.
-fn to_standard_form(problem: &LpProblem) -> (StandardForm, VarMapping) {
+/// Converts a modelling-form problem into sparse standard simplex form.
+fn to_standard_form(problem: &LpProblem) -> (SparseStandardForm, VarMapping) {
     // Assign columns to variables.
     let mut cols: Vec<(usize, Option<usize>)> = Vec::with_capacity(problem.num_vars());
     let mut next = 0usize;
@@ -108,37 +208,49 @@ fn to_standard_form(problem: &LpProblem) -> (StandardForm, VarMapping) {
         .count();
     let num_cols = num_var_cols + num_slacks;
 
-    let mut a: Vec<Vec<f64>> = Vec::with_capacity(problem.constraints.len());
+    let mut rows: Vec<Vec<(usize, f64)>> = Vec::with_capacity(problem.constraints.len());
     let mut b: Vec<f64> = Vec::with_capacity(problem.constraints.len());
     let mut slack_idx = num_var_cols;
     for constraint in &problem.constraints {
-        let mut row = vec![0.0; num_cols];
+        let mut row: Vec<(usize, f64)> = Vec::with_capacity(constraint.coeffs.len() * 2 + 1);
         for (v, coeff) in &constraint.coeffs {
             let (p, n) = cols[v.0];
-            row[p] += coeff;
+            row.push((p, *coeff));
             if let Some(n) = n {
-                row[n] -= coeff;
+                row.push((n, -*coeff));
             }
         }
-        match constraint.op {
+        // Standard form needs `b ≥ 0`: negate the row *before* the slack is
+        // assigned, flipping the operator to match, so the slack sign
+        // follows directly from the (flipped) operator.  The previous code
+        // wrote the slack first and then negated it together with the row —
+        // same emitted matrix, but the sign was right only by cancellation;
+        // the `negative_rhs_*` tests below pin the emitted form either way.
+        let mut rhs = constraint.rhs;
+        let mut op = constraint.op;
+        if rhs < 0.0 {
+            for (_, v) in row.iter_mut() {
+                *v = -*v;
+            }
+            rhs = -rhs;
+            op = match op {
+                ConstraintOp::Le => ConstraintOp::Ge,
+                ConstraintOp::Ge => ConstraintOp::Le,
+                ConstraintOp::Eq => ConstraintOp::Eq,
+            };
+        }
+        match op {
             ConstraintOp::Le => {
-                row[slack_idx] = 1.0;
+                row.push((slack_idx, 1.0));
                 slack_idx += 1;
             }
             ConstraintOp::Ge => {
-                row[slack_idx] = -1.0;
+                row.push((slack_idx, -1.0));
                 slack_idx += 1;
             }
             ConstraintOp::Eq => {}
         }
-        let mut rhs = constraint.rhs;
-        if rhs < 0.0 {
-            for v in row.iter_mut() {
-                *v = -*v;
-            }
-            rhs = -rhs;
-        }
-        a.push(row);
+        rows.push(row);
         b.push(rhs);
     }
 
@@ -170,13 +282,50 @@ fn to_standard_form(problem: &LpProblem) -> (StandardForm, VarMapping) {
         Objective::MinimizeLinf(_) => unreachable!("lowered before conversion"),
     }
 
-    (StandardForm { a, b, c }, VarMapping { cols })
+    let a = CsrMatrix::from_rows(num_cols, &rows);
+    // Record the split pairs: column `n` is the exact negation of `p`, which
+    // lets the revised backend price both with one dot product.
+    let mut mirror = vec![None; num_cols];
+    for &(p, n) in &cols {
+        if let Some(n) = n {
+            mirror[p] = Some(n);
+        }
+    }
+    (SparseStandardForm { a, b, c, mirror }, VarMapping { cols })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::{LpProblem, VarKind};
+
+    /// Runs every test problem through both backends, checking they agree.
+    fn solve_both(lp: &LpProblem) -> Result<Solution, LpError> {
+        let dense = solve_with_options(
+            lp,
+            &SolveOptions {
+                backend: LpBackend::DenseTableau,
+                ..SolveOptions::default()
+            },
+        );
+        let revised = solve_with_options(
+            lp,
+            &SolveOptions {
+                backend: LpBackend::RevisedSparse,
+                ..SolveOptions::default()
+            },
+        );
+        match (&dense, &revised) {
+            (Ok(d), Ok(r)) => assert!(
+                (d.objective - r.objective).abs() < 1e-6,
+                "backends disagree: dense {} vs revised {}",
+                d.objective,
+                r.objective
+            ),
+            (a, b) => assert_eq!(a, b, "backends disagree on classification"),
+        }
+        revised
+    }
 
     #[test]
     fn simple_linear_objective() {
@@ -187,7 +336,7 @@ mod tests {
         lp.add_constraint(&[(x, 1.0), (y, 1.0)], ConstraintOp::Ge, 2.0);
         lp.add_constraint(&[(x, 1.0), (y, -1.0)], ConstraintOp::Eq, 0.0);
         lp.set_objective_linear(&[(x, 1.0), (y, 1.0)]);
-        let sol = solve(&lp).unwrap();
+        let sol = solve_both(&lp).unwrap();
         assert!((sol.values[0] - 1.0).abs() < 1e-7);
         assert!((sol.values[1] - 1.0).abs() < 1e-7);
         assert!((sol.objective - 2.0).abs() < 1e-7);
@@ -201,7 +350,7 @@ mod tests {
         let y = lp.add_var(VarKind::Free);
         lp.add_constraint(&[(x, 1.0), (y, 1.0)], ConstraintOp::Ge, 1.0);
         lp.minimize_l1_of(&[x, y]);
-        let sol = solve(&lp).unwrap();
+        let sol = solve_both(&lp).unwrap();
         assert!((sol.objective - 1.0).abs() < 1e-7);
         assert!(lp.is_feasible(&sol.values, 1e-7));
     }
@@ -214,7 +363,7 @@ mod tests {
         let y = lp.add_var(VarKind::Free);
         lp.add_constraint(&[(x, 1.0), (y, 1.0)], ConstraintOp::Ge, 1.0);
         lp.minimize_linf_of(&[x, y]);
-        let sol = solve(&lp).unwrap();
+        let sol = solve_both(&lp).unwrap();
         assert!((sol.objective - 0.5).abs() < 1e-7);
         assert!(lp.is_feasible(&sol.values, 1e-7));
         assert!(sol.values.iter().all(|v| v.abs() <= 0.5 + 1e-7));
@@ -227,9 +376,50 @@ mod tests {
         let x = lp.add_var(VarKind::Free);
         lp.add_constraint(&[(x, 1.0)], ConstraintOp::Le, -3.0);
         lp.minimize_l1_of(&[x]);
-        let sol = solve(&lp).unwrap();
+        let sol = solve_both(&lp).unwrap();
         assert!((sol.values[0] + 3.0).abs() < 1e-7);
         assert!((sol.objective - 3.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn negative_rhs_ge_rows_get_usable_slack() {
+        // Pins the standard-form slack invariant: a `≥` row with negative
+        // RHS is flipped to a `≤` row with positive RHS and must carry a
+        // clean `+1` slack — a basis the phase-1 seeding can use directly,
+        // so no artificial variable (and no phase-1 pivots) are needed for
+        // it.  Guards the flip-before-slack rewrite of `to_standard_form`.
+        let mut lp = LpProblem::new();
+        let x = lp.add_var(VarKind::NonNegative);
+        lp.add_constraint(&[(x, -1.0)], ConstraintOp::Ge, -5.0); // -x >= -5 ⟺ x <= 5
+        let (sf, _) = to_standard_form(&lp);
+        assert_eq!(sf.b, vec![5.0]);
+        let (cols, vals) = sf.a.row(0);
+        // Row stores x's coefficient +1 (negated) and the slack +1.
+        assert_eq!(cols, &[0, 1]);
+        assert_eq!(vals, &[1.0, 1.0]);
+
+        // And the flipped row solves correctly under both backends.
+        lp.set_objective_linear(&[(x, -1.0)]); // max x => x = 5
+        let sol = solve_both(&lp).unwrap();
+        assert!((sol.values[0] - 5.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn negative_rhs_le_rows_become_surplus_rows() {
+        // The mirror case: `x ≤ -3` flips to `-x ≥ 3`, whose surplus is -1.
+        // The origin violates this row, so an artificial (not the surplus)
+        // must seed the basis — the artificial here is mathematically
+        // required, and the conversion must *not* pretend the surplus
+        // column is usable.
+        let mut lp = LpProblem::new();
+        let x = lp.add_var(VarKind::Free);
+        lp.add_constraint(&[(x, 1.0)], ConstraintOp::Le, -3.0);
+        let (sf, _) = to_standard_form(&lp);
+        assert_eq!(sf.b, vec![3.0]);
+        let (cols, vals) = sf.a.row(0);
+        // x = p - n: flipped row is -p + n - s = 3 with surplus s.
+        assert_eq!(cols, &[0, 1, 2]);
+        assert_eq!(vals, &[-1.0, 1.0, -1.0]);
     }
 
     #[test]
@@ -239,7 +429,7 @@ mod tests {
         lp.add_constraint(&[(x, 1.0)], ConstraintOp::Ge, 1.0);
         lp.add_constraint(&[(x, 1.0)], ConstraintOp::Le, 0.0);
         lp.minimize_l1_of(&[x]);
-        assert_eq!(solve(&lp), Err(LpError::Infeasible));
+        assert_eq!(solve_both(&lp), Err(LpError::Infeasible));
     }
 
     #[test]
@@ -248,7 +438,7 @@ mod tests {
         let x = lp.add_var(VarKind::Free);
         lp.add_constraint(&[(x, 1.0)], ConstraintOp::Ge, 0.0);
         lp.set_objective_linear(&[(x, -1.0)]);
-        assert_eq!(solve(&lp), Err(LpError::Unbounded));
+        assert_eq!(solve_both(&lp), Err(LpError::Unbounded));
     }
 
     #[test]
@@ -256,7 +446,7 @@ mod tests {
         let mut lp = LpProblem::new();
         let x = lp.add_var(VarKind::NonNegative);
         lp.add_constraint(&[(x, 1.0)], ConstraintOp::Ge, 2.0);
-        let sol = solve(&lp).unwrap();
+        let sol = solve_both(&lp).unwrap();
         assert!(lp.is_feasible(&sol.values, 1e-7));
     }
 
@@ -269,7 +459,7 @@ mod tests {
         lp.add_constraint(&[(x, 1.0), (y, 2.0)], ConstraintOp::Eq, 4.0);
         lp.add_constraint(&[(x, 1.0), (y, -1.0)], ConstraintOp::Eq, 1.0);
         lp.minimize_l1_of(&[x, y]);
-        let sol = solve(&lp).unwrap();
+        let sol = solve_both(&lp).unwrap();
         assert!((sol.values[0] - 2.0).abs() < 1e-6);
         assert!((sol.values[1] - 1.0).abs() < 1e-6);
     }
@@ -283,5 +473,27 @@ mod tests {
         }
         lp.minimize_l1_of(&xs);
         assert_eq!(solve_with_limit(&lp, 1), Err(LpError::IterationLimit));
+    }
+
+    #[test]
+    fn auto_policy_picks_dense_for_small_and_revised_for_wide_sparse() {
+        // Small problem: dense.
+        let mut small = LpProblem::new();
+        let x = small.add_var(VarKind::Free);
+        small.add_constraint(&[(x, 1.0)], ConstraintOp::Le, 1.0);
+        let (sf_small, _) = to_standard_form(&small);
+        assert!(!auto_prefers_revised(&sf_small));
+
+        // Wide block-sparse problem (one block per "key point"): revised.
+        let mut wide = LpProblem::new();
+        let vars = wide.add_vars(128, VarKind::Free);
+        for block in 0..16 {
+            let terms: Vec<_> = (0..8).map(|k| (vars[block * 8 + k], 1.0)).collect();
+            wide.add_constraint(&terms, ConstraintOp::Le, 1.0);
+            wide.add_constraint(&terms, ConstraintOp::Ge, -1.0);
+        }
+        wide.minimize_l1_of(&vars);
+        let (sf_wide, _) = to_standard_form(&wide);
+        assert!(auto_prefers_revised(&sf_wide));
     }
 }

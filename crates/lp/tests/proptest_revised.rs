@@ -1,0 +1,207 @@
+//! Differential property tests: the sparse revised simplex against the
+//! dense flat-tableau oracle.
+//!
+//! Both backends are run on the same randomly generated programs through
+//! [`prdnn_lp::solve_with_options`]; they must classify every program
+//! identically (optimal / infeasible / unbounded) and, when both report an
+//! optimum, agree on the objective to within `1e-6` (the optimal *point*
+//! may legitimately differ when optima are non-unique, so each backend's
+//! point is instead checked feasible against the modelling form).
+//!
+//! Three program families keep all outcome classes covered:
+//! * feasible-by-construction (a witness point is drawn first, and boxed so
+//!   the objective is bounded),
+//! * deliberately contradictory rows (infeasible),
+//! * a cost ray left unboxed (unbounded, for some draws),
+//!
+//! plus unconstrained-direction draws where the class itself is random.
+
+use prdnn_lp::{
+    solve_with_options, ConstraintOp, LpBackend, LpError, LpProblem, SolveOptions, VarKind,
+};
+use proptest::prelude::*;
+
+const ITERS: usize = 200_000;
+
+fn run(lp: &LpProblem, backend: LpBackend) -> Result<(Vec<f64>, f64), LpError> {
+    solve_with_options(
+        lp,
+        &SolveOptions {
+            backend,
+            max_iters: ITERS,
+        },
+    )
+    .map(|s| (s.values, s.objective))
+}
+
+/// Runs both backends and checks the differential invariants; returns the
+/// shared classification for family-specific assertions.
+fn assert_backends_agree(lp: &LpProblem) -> Result<f64, LpError> {
+    let dense = run(lp, LpBackend::DenseTableau);
+    let revised = run(lp, LpBackend::RevisedSparse);
+    match (dense, revised) {
+        (Ok((xd, od)), Ok((xr, or))) => {
+            assert!(
+                (od - or).abs() <= 1e-6 * (1.0 + od.abs().max(or.abs())),
+                "objectives disagree: dense {od} vs revised {or}"
+            );
+            assert!(lp.is_feasible(&xd, 1e-6), "dense point infeasible");
+            assert!(lp.is_feasible(&xr, 1e-6), "revised point infeasible");
+            Ok(od)
+        }
+        (Err(ed), Err(er)) => {
+            assert_eq!(ed, er, "backends classify the program differently");
+            Err(ed)
+        }
+        (d, r) => panic!("backends disagree: dense {d:?} vs revised {r:?}"),
+    }
+}
+
+#[derive(Debug, Clone)]
+struct ProgramDraw {
+    witness: Vec<f64>,
+    rows: Vec<(Vec<f64>, f64)>,
+    cost: Vec<f64>,
+    /// 0 = feasible boxed, 1 = contradictory, 2 = unbounded-prone, 3 = raw.
+    family: u8,
+}
+
+fn program(num_vars: usize, num_rows: usize) -> impl Strategy<Value = ProgramDraw> {
+    (
+        prop::collection::vec(-3.0..3.0f64, num_vars),
+        prop::collection::vec(
+            (prop::collection::vec(-2.0..2.0f64, num_vars), 0.0..2.0f64),
+            num_rows,
+        ),
+        prop::collection::vec(-1.0..1.0f64, num_vars),
+        0u8..4,
+    )
+        .prop_map(|(witness, rows, cost, family)| ProgramDraw {
+            witness,
+            rows,
+            cost,
+            family,
+        })
+}
+
+fn build(draw: &ProgramDraw) -> LpProblem {
+    let mut lp = LpProblem::new();
+    let vars = lp.add_vars(draw.witness.len(), VarKind::Free);
+    for (coeffs, slack) in &draw.rows {
+        let terms: Vec<_> = vars.iter().copied().zip(coeffs.iter().copied()).collect();
+        let witness_lhs: f64 = coeffs.iter().zip(&draw.witness).map(|(a, w)| a * w).sum();
+        match draw.family {
+            // Feasible by construction: the witness satisfies every row.
+            0 => lp.add_constraint(&terms, ConstraintOp::Le, witness_lhs + slack),
+            // Contradictory: the same left-hand side must be both small and
+            // large, so the program is infeasible whenever a row exists.
+            1 => {
+                lp.add_constraint(&terms, ConstraintOp::Le, witness_lhs);
+                lp.add_constraint(&terms, ConstraintOp::Ge, witness_lhs + slack + 0.1);
+            }
+            // Unbounded-prone: feasible rows, no boxes (see below).
+            2 => lp.add_constraint(&terms, ConstraintOp::Ge, witness_lhs - slack),
+            // Raw: arbitrary rows; any classification may result.
+            _ => lp.add_constraint(&terms, ConstraintOp::Le, *slack - 1.0),
+        }
+    }
+    match draw.family {
+        0 => {
+            // Box every variable so a linear objective stays bounded.
+            for (v, w) in vars.iter().zip(&draw.witness) {
+                lp.add_constraint(&[(*v, 1.0)], ConstraintOp::Le, w.abs() + 4.0);
+                lp.add_constraint(&[(*v, 1.0)], ConstraintOp::Ge, -(w.abs() + 4.0));
+            }
+            let terms: Vec<_> = vars
+                .iter()
+                .copied()
+                .zip(draw.cost.iter().copied())
+                .collect();
+            lp.set_objective_linear(&terms);
+        }
+        2 => {
+            let terms: Vec<_> = vars
+                .iter()
+                .copied()
+                .zip(draw.cost.iter().copied())
+                .collect();
+            lp.set_objective_linear(&terms);
+        }
+        _ => lp.minimize_l1_of(&vars),
+    }
+    lp
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn backends_agree_on_classification_and_objective(draw in program(5, 6)) {
+        let lp = build(&draw);
+        let outcome = assert_backends_agree(&lp);
+        match draw.family {
+            0 => {
+                // Feasible by construction, boxed: must be optimal, no worse
+                // than the witness.
+                let witness_obj: f64 = draw
+                    .cost
+                    .iter()
+                    .zip(&draw.witness)
+                    .map(|(c, w)| c * w)
+                    .sum();
+                let obj = outcome.expect("family 0 is feasible and bounded");
+                prop_assert!(obj <= witness_obj + 1e-6);
+            }
+            1 if !draw.rows.is_empty() => {
+                prop_assert_eq!(outcome.unwrap_err(), LpError::Infeasible);
+            }
+            _ => {} // classification checked by agreement alone
+        }
+    }
+
+    #[test]
+    fn backends_agree_on_l1_norm_objectives(draw in program(4, 5)) {
+        // The repair LPs' shape: free variables, l1 objective.
+        let mut lp = LpProblem::new();
+        let vars = lp.add_vars(draw.witness.len(), VarKind::Free);
+        for (coeffs, slack) in &draw.rows {
+            let rhs: f64 = coeffs
+                .iter()
+                .zip(&draw.witness)
+                .map(|(a, w)| a * w)
+                .sum::<f64>()
+                + slack;
+            let terms: Vec<_> = vars.iter().copied().zip(coeffs.iter().copied()).collect();
+            lp.add_constraint(&terms, ConstraintOp::Le, rhs);
+        }
+        lp.minimize_l1_of(&vars);
+        let obj = assert_backends_agree(&lp).expect("feasible by construction");
+        let witness_norm: f64 = draw.witness.iter().map(|w| w.abs()).sum();
+        prop_assert!(obj <= witness_norm + 1e-6);
+    }
+
+    #[test]
+    fn backends_agree_on_wide_block_sparse_programs(
+        blocks in prop::collection::vec(
+            (prop::collection::vec(-1.0..1.0f64, 6), 0.05..1.0f64),
+            8,
+        ),
+    ) {
+        // One constraint block per "key point", touching only its own
+        // 6-variable slice — the block structure of the repair LPs, wide
+        // enough that the Auto policy routes it to the revised backend.
+        let mut lp = LpProblem::new();
+        let vars = lp.add_vars(6 * blocks.len(), VarKind::Free);
+        for (bi, (coeffs, margin)) in blocks.iter().enumerate() {
+            let slice = &vars[bi * 6..(bi + 1) * 6];
+            let terms: Vec<_> = slice.iter().copied().zip(coeffs.iter().copied()).collect();
+            lp.add_constraint(&terms, ConstraintOp::Le, *margin);
+            let neg: Vec<_> = terms.iter().map(|&(v, c)| (v, -c)).collect();
+            lp.add_constraint(&neg, ConstraintOp::Le, *margin);
+        }
+        lp.minimize_l1_of(&vars);
+        let obj = assert_backends_agree(&lp).expect("x = 0 is feasible");
+        // x = 0 satisfies every block, so the minimal l1 norm is 0.
+        prop_assert!(obj.abs() <= 1e-6);
+    }
+}
