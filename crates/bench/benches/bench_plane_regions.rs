@@ -1,0 +1,70 @@
+//! Headline benchmark for the parallel SyReNN pipeline: `plane_regions`
+//! and `lin_regions_batch` at 1/2/4 pool threads on the largest plane
+//! workload (a deep ACAS-style slice that subdivides into thousands of
+//! pieces).
+//!
+//! The 1-thread pool is the guaranteed serial path (it spawns no workers),
+//! so `threads=1` vs `threads=N` is exactly the serial-vs-parallel
+//! comparison recorded in the README; outputs are bit-identical across the
+//! sweep by construction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prdnn_nn::{Activation, Network};
+use prdnn_par::ThreadPool;
+use prdnn_syrenn::{lin_regions_batch_in, plane_regions_in};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+const THREAD_SWEEP: [usize; 3] = [1, 2, 4];
+
+fn bench_plane_regions(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(9);
+
+    // The largest plane workload: a deep, wide slice network in the style
+    // of the ACAS Xu Task 3 inputs; the square subdivides into thousands of
+    // polygon pieces by the last layer.
+    let net = Network::mlp(&[5, 24, 24, 24, 24, 24, 5], Activation::Relu, &mut rng);
+    let square = vec![
+        vec![-0.5, -0.5, 0.1, 0.2, 0.3],
+        vec![0.5, -0.5, 0.1, 0.2, 0.3],
+        vec![0.5, 0.5, 0.1, 0.2, 0.3],
+        vec![-0.5, 0.5, 0.1, 0.2, 0.3],
+    ];
+    {
+        let pool = ThreadPool::new(1);
+        let pieces = plane_regions_in(&pool, &net, &square).unwrap().len();
+        eprintln!("plane_regions_large workload: {pieces} pieces");
+    }
+    for threads in THREAD_SWEEP {
+        let pool = ThreadPool::new(threads);
+        c.bench_function(&format!("plane_regions_large/threads={threads}"), |b| {
+            b.iter(|| plane_regions_in(&pool, &net, &square).unwrap())
+        });
+    }
+
+    // A slab of Task-2-style repair lines, fanned across the pool as one
+    // batch (hundreds of independent segments).
+    let line_net = Network::mlp(&[8, 24, 24, 24, 10], Activation::Relu, &mut rng);
+    let lines: Vec<Vec<Vec<f64>>> = (0..256)
+        .map(|_| {
+            (0..2)
+                .map(|_| (0..8).map(|_| rng.gen_range(-1.0..1.0)).collect())
+                .collect()
+        })
+        .collect();
+    for threads in THREAD_SWEEP {
+        let pool = ThreadPool::new(threads);
+        c.bench_function(
+            &format!("lin_regions_batch_256_lines/threads={threads}"),
+            |b| b.iter(|| lin_regions_batch_in(&pool, &line_net, &lines).unwrap()),
+        );
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(Duration::from_secs(3)).warm_up_time(Duration::from_secs(1));
+    targets = bench_plane_regions
+}
+criterion_main!(benches);

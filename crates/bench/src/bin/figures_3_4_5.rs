@@ -3,5 +3,6 @@
 use prdnn_bench::figures;
 
 fn main() {
+    prdnn_bench::apply_threads_arg();
     println!("{}", figures::format_figures());
 }

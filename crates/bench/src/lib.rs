@@ -27,3 +27,30 @@ pub mod task3;
 
 pub use metrics::Classifier;
 pub use scale::Scale;
+
+/// Applies the bench binaries' `--threads N` (or `--threads=N`) knob by
+/// exporting it as `PRDNN_THREADS` before any thread pool exists.
+///
+/// Precedence, highest first: an explicit `RepairConfig::threads`, then
+/// this flag / `PRDNN_THREADS`, then the machine's available parallelism.
+/// Call this at the top of `main`, before any repair runs.
+pub fn apply_threads_arg() {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let value = if arg == "--threads" {
+            args.next()
+        } else {
+            arg.strip_prefix("--threads=").map(str::to_owned)
+        };
+        if let Some(n) = value
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+        {
+            std::env::set_var("PRDNN_THREADS", n.to_string());
+        }
+    }
+    eprintln!(
+        "thread pool: {} threads (override with --threads N or PRDNN_THREADS)",
+        prdnn_par::default_threads()
+    );
+}

@@ -150,6 +150,56 @@ impl DecoupledNetwork {
         v_val
     }
 
+    /// The batch form of [`Self::forward_decoupled`]: evaluates the DDNN on
+    /// every `(act_input, val_input)` pair in `pairs`.
+    ///
+    /// The whole batch is pushed through one layer at a time — mirroring
+    /// [`prdnn_nn::Network::forward_batch`] — so per-layer setup (pooling
+    /// window enumeration in the batched linearisation) is paid once per
+    /// layer instead of once per point.  Per-point results are identical to
+    /// [`Self::forward_decoupled`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input has the wrong dimension.
+    pub fn forward_decoupled_batch(&self, pairs: &[(&[f64], &[f64])]) -> Vec<Vec<f64>> {
+        let mut v_act: Vec<Vec<f64>> = pairs.iter().map(|(a, _)| a.to_vec()).collect();
+        let mut v_val: Vec<Vec<f64>> = pairs.iter().map(|(_, v)| v.to_vec()).collect();
+        for i in 0..self.num_layers() {
+            let layer_a = self.activation.layer(i);
+            let layer_v = self.value.layer(i);
+            let z_act = layer_a.preactivation_batch(&v_act);
+            let z_val = layer_v.preactivation_batch(&v_val);
+            let lins = layer_a.linearize_activation_batch(&z_act);
+            v_val = lins
+                .iter()
+                .zip(&z_val)
+                .map(|(lin, z)| lin.apply(z))
+                .collect();
+            v_act = layer_a.activate_batch(&z_act);
+        }
+        v_val
+    }
+
+    /// [`Self::forward_decoupled_batch`] fanned across a thread pool.
+    ///
+    /// The pairs are cut into contiguous chunks, each evaluated with the
+    /// serial batch entry point on a pool worker and spliced back in input
+    /// order, so the output is bit-identical for every thread count.
+    pub fn forward_decoupled_batch_in(
+        &self,
+        pool: &prdnn_par::ThreadPool,
+        pairs: &[(&[f64], &[f64])],
+    ) -> Vec<Vec<f64>> {
+        let chunk_size = pool.even_chunk_size(pairs.len());
+        pool.par_chunks(pairs, chunk_size, |chunk| {
+            self.forward_decoupled_batch(chunk)
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+
     /// Predicted class label of the DDNN output (argmax).
     pub fn classify(&self, input: &[f64]) -> usize {
         vector::argmax(&self.forward(input))
@@ -229,6 +279,95 @@ impl DecoupledNetwork {
         let lin = layer_a.linearize_activation(&act_preacts[layer]);
         let dz = lin.vjp(&m);
         layer_v.preact_param_vjp(&dz, &val_inputs[layer])
+    }
+
+    /// The batch form of [`Self::value_param_jacobian`]: one Jacobian per
+    /// `(act_input, val_input)` pair, all for the same repaired `layer`.
+    ///
+    /// The forward phase runs batched (per-layer setup shared across the
+    /// whole batch, like [`Self::forward_decoupled_batch`]); the backward
+    /// accumulation is inherently per point and reuses the linearisations
+    /// recorded on the way forward.  Per-point results are identical to
+    /// [`Self::value_param_jacobian`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` is out of bounds or any input has the wrong
+    /// dimension.
+    pub fn value_param_jacobian_batch(
+        &self,
+        layer: usize,
+        pairs: &[(&[f64], &[f64])],
+    ) -> Vec<Matrix> {
+        assert!(
+            layer < self.num_layers(),
+            "layer index {layer} out of bounds"
+        );
+        // Batched forward pass: record every layer's activation-channel
+        // linearisations (they fix the backward pass) and the value-channel
+        // inputs of the repaired layer.  The value channel only needs to be
+        // propagated *up to* the repaired layer — beyond it the Jacobian
+        // depends on the activation channel alone.
+        let mut v_act: Vec<Vec<f64>> = pairs.iter().map(|(a, _)| a.to_vec()).collect();
+        let mut v_val: Vec<Vec<f64>> = pairs.iter().map(|(_, v)| v.to_vec()).collect();
+        let mut lins_per_layer: Vec<Vec<prdnn_nn::ActivationLinearization>> =
+            Vec::with_capacity(self.num_layers());
+        let mut repaired_layer_inputs: Vec<Vec<f64>> = Vec::new();
+        for i in 0..self.num_layers() {
+            let layer_a = self.activation.layer(i);
+            let z_act = layer_a.preactivation_batch(&v_act);
+            let lins = layer_a.linearize_activation_batch(&z_act);
+            if i == layer {
+                repaired_layer_inputs = std::mem::take(&mut v_val);
+            } else if i < layer {
+                let layer_v = self.value.layer(i);
+                let z_val = layer_v.preactivation_batch(&v_val);
+                v_val = lins
+                    .iter()
+                    .zip(&z_val)
+                    .map(|(lin, z)| lin.apply(z))
+                    .collect();
+            }
+            v_act = layer_a.activate_batch(&z_act);
+            lins_per_layer.push(lins);
+        }
+
+        // Backward accumulation per point (see `value_param_jacobian`).
+        let out_dim = self.output_dim();
+        (0..pairs.len())
+            .map(|p| {
+                let mut m = Matrix::identity(out_dim);
+                for j in (layer + 1..self.num_layers()).rev() {
+                    let dz = lins_per_layer[j][p].vjp(&m);
+                    m = self.value.layer(j).preact_input_vjp(&dz);
+                }
+                let dz = lins_per_layer[layer][p].vjp(&m);
+                self.value
+                    .layer(layer)
+                    .preact_param_vjp(&dz, &repaired_layer_inputs[p])
+            })
+            .collect()
+    }
+
+    /// [`Self::value_param_jacobian_batch`] fanned across a thread pool,
+    /// chunk results spliced back in input order (bit-identical for every
+    /// thread count).
+    ///
+    /// This is the entry point the repair loop uses: Algorithm 1 computes
+    /// one Jacobian per key point, and the key points are independent.
+    pub fn value_param_jacobian_batch_in(
+        &self,
+        pool: &prdnn_par::ThreadPool,
+        layer: usize,
+        pairs: &[(&[f64], &[f64])],
+    ) -> Vec<Matrix> {
+        let chunk_size = pool.even_chunk_size(pairs.len());
+        pool.par_chunks(pairs, chunk_size, |chunk| {
+            self.value_param_jacobian_batch(layer, chunk)
+        })
+        .into_iter()
+        .flatten()
+        .collect()
     }
 
     /// Converts the DDNN back to a plain [`Network`] **when the two channels
@@ -370,6 +509,89 @@ mod tests {
         let n = edited.value_network().layer(0).num_params();
         edited.apply_value_delta(0, &vec![0.5; n]);
         assert_eq!(edited.into_network(), None);
+    }
+
+    #[test]
+    fn batched_channels_match_per_point_calls_for_every_thread_count() {
+        // The batch entry points must be bit-identical to the per-point
+        // channels — serially and on a real pool (the repair loop relies on
+        // this to keep the LP, and so the repair, deterministic).
+        let mut rng = StdRng::seed_from_u64(41);
+        let net = Network::mlp(&[3, 8, 6, 2], Activation::Relu, &mut rng);
+        let ddnn = DecoupledNetwork::from_network(&net);
+        let acts = random_points(&mut rng, 3, 13);
+        let vals = random_points(&mut rng, 3, 13);
+        let pairs: Vec<(&[f64], &[f64])> = acts
+            .iter()
+            .zip(&vals)
+            .map(|(a, v)| (a.as_slice(), v.as_slice()))
+            .collect();
+
+        let expected_fwd: Vec<Vec<f64>> = pairs
+            .iter()
+            .map(|(a, v)| ddnn.forward_decoupled(a, v))
+            .collect();
+        assert_eq!(ddnn.forward_decoupled_batch(&pairs), expected_fwd);
+
+        for layer in 0..ddnn.num_layers() {
+            let expected_jac: Vec<Matrix> = pairs
+                .iter()
+                .map(|(a, v)| ddnn.value_param_jacobian(layer, a, v))
+                .collect();
+            assert_eq!(ddnn.value_param_jacobian_batch(layer, &pairs), expected_jac);
+            for threads in [1, 2, 4] {
+                let pool = prdnn_par::ThreadPool::new(threads);
+                assert_eq!(
+                    ddnn.forward_decoupled_batch_in(&pool, &pairs),
+                    expected_fwd,
+                    "forward, threads = {threads}"
+                );
+                assert_eq!(
+                    ddnn.value_param_jacobian_batch_in(&pool, layer, &pairs),
+                    expected_jac,
+                    "jacobian, layer {layer}, threads = {threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_channels_work_with_pooling_layers() {
+        // Max pooling exercises the shared-window batched linearisation.
+        let net = Network::new(vec![
+            Layer::MaxPool2d(prdnn_nn::Pool2dLayer {
+                channels: 1,
+                in_height: 2,
+                in_width: 4,
+                pool_h: 2,
+                pool_w: 2,
+                stride: 2,
+            }),
+            Layer::dense(
+                Matrix::from_rows(&[vec![1.0, -1.0], vec![0.5, 2.0]]),
+                vec![0.1, -0.2],
+                Activation::Relu,
+            ),
+        ]);
+        let ddnn = DecoupledNetwork::from_network(&net);
+        let mut rng = StdRng::seed_from_u64(7);
+        let acts = random_points(&mut rng, 8, 9);
+        let vals = random_points(&mut rng, 8, 9);
+        let pairs: Vec<(&[f64], &[f64])> = acts
+            .iter()
+            .zip(&vals)
+            .map(|(a, v)| (a.as_slice(), v.as_slice()))
+            .collect();
+        let expected: Vec<Vec<f64>> = pairs
+            .iter()
+            .map(|(a, v)| ddnn.forward_decoupled(a, v))
+            .collect();
+        assert_eq!(ddnn.forward_decoupled_batch(&pairs), expected);
+        let expected_jac: Vec<Matrix> = pairs
+            .iter()
+            .map(|(a, v)| ddnn.value_param_jacobian(1, a, v))
+            .collect();
+        assert_eq!(ddnn.value_param_jacobian_batch(1, &pairs), expected_jac);
     }
 
     #[test]

@@ -82,7 +82,8 @@ pub fn repair_points_ddnn(
         .zip(&spec.constraints)
         .map(|(point, constraint)| KeyPoint::pointwise(point.clone(), constraint.clone()))
         .collect();
-    repair_key_points(ddnn, layer, &key_points, config, Duration::ZERO)
+    let pool = prdnn_par::pool_for(config.threads);
+    repair_key_points(ddnn, layer, &key_points, config, &pool, Duration::ZERO)
 }
 
 #[cfg(test)]
@@ -258,6 +259,39 @@ mod tests {
             outcomes[0],
             outcomes[1]
         );
+    }
+
+    #[test]
+    fn repair_is_bit_identical_for_every_thread_count() {
+        // The `threads` knob may only change wall-clock time: the batched
+        // Jacobians come back in key-point order, so the LP — and the
+        // minimal delta — are identical bit for bit.
+        let mut rng = StdRng::seed_from_u64(57);
+        let net = prdnn_nn::Network::mlp(&[4, 12, 10, 3], Activation::Relu, &mut rng);
+        let points: Vec<Vec<f64>> = (0..6)
+            .map(|_| (0..4).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .collect();
+        let labels: Vec<usize> = (0..6).map(|i| i % 3).collect();
+        let spec = PointSpec::from_classification(&points, &labels, 3, 1e-4);
+        let serial = repair_points(
+            &net,
+            2,
+            &spec,
+            &RepairConfig {
+                threads: Some(1),
+                ..RepairConfig::default()
+            },
+        )
+        .expect("serial repair succeeds");
+        for threads in [2, 4] {
+            let config = RepairConfig {
+                threads: Some(threads),
+                ..RepairConfig::default()
+            };
+            let outcome = repair_points(&net, 2, &spec, &config).expect("repair succeeds");
+            assert_eq!(outcome.delta, serial.delta, "threads = {threads}");
+            assert_eq!(outcome.repaired, serial.repaired, "threads = {threads}");
+        }
     }
 
     #[test]

@@ -6,7 +6,7 @@ use crate::repair::{
 };
 use crate::spec::PolytopeSpec;
 use prdnn_nn::Network;
-use prdnn_syrenn::{lin_regions, LinearRegion, SyrennError};
+use prdnn_syrenn::{lin_regions_batch_in, SyrennError};
 use std::time::{Duration, Instant};
 
 /// A successful polytope repair: the point-repair outcome plus the
@@ -98,15 +98,28 @@ pub fn repair_polytopes_ddnn(
 
     // Lines 2–6 of Algorithm 2: reduce each polytope to the vertices of its
     // linear regions, computed by the incremental transformer pipeline.
+    // The polytopes are independent, so the whole slab fans across the
+    // thread pool (Task 1/2 specifications restrict the network to hundreds
+    // of clean→corrupted lines); per-polytope results and their order are
+    // identical to one-at-a-time calls for every thread count.
     let lin_start = Instant::now();
+    let pool = prdnn_par::pool_for(config.threads);
+    // Zip against the constraints so an excess polytope without a paired
+    // constraint is ignored, exactly as the old per-pair loop did.
+    let polytopes: Vec<&[Vec<f64>]> = spec
+        .polytopes
+        .iter()
+        .zip(&spec.constraints)
+        .map(|(p, _)| p.vertices.as_slice())
+        .collect();
+    let all_regions =
+        lin_regions_batch_in(&pool, activation_net, &polytopes).map_err(|e| match e {
+            SyrennError::NotPiecewiseLinear => RepairError::NotPiecewiseLinear,
+            SyrennError::DegenerateInput => RepairError::EmptySpec,
+        })?;
     let mut key_points: Vec<KeyPoint> = Vec::new();
     let mut num_regions = 0usize;
-    for (polytope, constraint) in spec.polytopes.iter().zip(&spec.constraints) {
-        let regions: Vec<LinearRegion> =
-            lin_regions(activation_net, &polytope.vertices).map_err(|e| match e {
-                SyrennError::NotPiecewiseLinear => RepairError::NotPiecewiseLinear,
-                SyrennError::DegenerateInput => RepairError::EmptySpec,
-            })?;
+    for (regions, constraint) in all_regions.into_iter().zip(&spec.constraints) {
         num_regions += regions.len();
         for region in regions {
             for vertex in region.vertices {
@@ -124,7 +137,7 @@ pub fn repair_polytopes_ddnn(
     let num_key_points = key_points.len();
 
     // Line 7: hand the constructed point specification to Algorithm 1.
-    let outcome = repair_key_points(ddnn, layer, &key_points, config, lin_regions_time)?;
+    let outcome = repair_key_points(ddnn, layer, &key_points, config, &pool, lin_regions_time)?;
     Ok(PolytopeRepairOutcome {
         outcome,
         num_regions,

@@ -31,6 +31,15 @@ pub struct RepairConfig {
     /// routes the wide, block-sparse LPs this encoding produces to the
     /// sparse revised simplex and small ones to the dense tableau.
     pub lp_backend: LpBackend,
+    /// Thread count for the parallel hot paths (`LinRegions` and the
+    /// per-key-point Jacobians).
+    ///
+    /// Precedence: `Some(n)` wins over the `PRDNN_THREADS` environment
+    /// variable (`Some(1)` forces the guaranteed serial path); `None`
+    /// defers to `PRDNN_THREADS`, then to the machine's available
+    /// parallelism.  The repair result is bit-identical for every setting —
+    /// the knob only affects wall-clock time.
+    pub threads: Option<usize>,
 }
 
 impl Default for RepairConfig {
@@ -40,6 +49,7 @@ impl Default for RepairConfig {
             param_bound: None,
             max_lp_iterations: 2_000_000,
             lp_backend: LpBackend::Auto,
+            threads: None,
         }
     }
 }
@@ -239,11 +249,15 @@ pub(crate) fn validate(
 /// The core of Algorithm 1: encode every key point's constraint
 /// `A (N(x) + J_x Δ) ≤ b` into an LP over `Δ`, solve for the norm-minimal
 /// `Δ`, and apply it to the value channel of `ddnn`.
+///
+/// `pool` is the thread pool already resolved from `config.threads` (the
+/// caller may have used it for `LinRegions` first).
 pub(crate) fn repair_key_points(
     ddnn: &DecoupledNetwork,
     layer: usize,
     key_points: &[KeyPoint],
     config: &RepairConfig,
+    pool: &prdnn_par::ThreadPool,
     lin_regions_time: Duration,
 ) -> Result<RepairOutcome, RepairError> {
     let start_total = Instant::now();
@@ -251,20 +265,27 @@ pub(crate) fn repair_key_points(
 
     let mut lp = LpProblem::new();
     let delta_vars = lp.add_vars(num_params, VarKind::Free);
-    let mut jacobian_time = Duration::ZERO;
     let mut num_constraints = 0usize;
 
-    for kp in key_points {
-        // Line 5 of Algorithm 1: the Jacobian of the DDNN output with respect
-        // to the repaired layer's value parameters.  Exact by Theorem 4.5.
-        let jac_start = Instant::now();
-        let jacobian = ddnn.value_param_jacobian(layer, &kp.activation_point, &kp.point);
-        let base = ddnn.forward_decoupled(&kp.activation_point, &kp.point);
-        jacobian_time += jac_start.elapsed();
+    // Line 5 of Algorithm 1, batched: the Jacobian of the DDNN output with
+    // respect to the repaired layer's value parameters, one per key point
+    // (exact by Theorem 4.5).  Key points are independent, so both channels
+    // fan across the thread pool; results come back in key-point order, so
+    // the LP rows — and hence the repair — are identical for every thread
+    // count.
+    let pairs: Vec<(&[f64], &[f64])> = key_points
+        .iter()
+        .map(|kp| (kp.activation_point.as_slice(), kp.point.as_slice()))
+        .collect();
+    let jac_start = Instant::now();
+    let jacobians = ddnn.value_param_jacobian_batch_in(pool, layer, &pairs);
+    let bases = ddnn.forward_decoupled_batch_in(pool, &pairs);
+    let jacobian_time = jac_start.elapsed();
 
+    for (kp, (jacobian, base)) in key_points.iter().zip(jacobians.iter().zip(&bases)) {
         // Line 6: encode A (base + J Δ) ≤ b as (A J) Δ ≤ b − A base.
-        let a_j = kp.constraint.a.matmul(&jacobian);
-        let a_base = kp.constraint.a.matvec(&base);
+        let a_j = kp.constraint.a.matmul(jacobian);
+        let a_base = kp.constraint.a.matvec(base);
         for row in 0..kp.constraint.num_faces() {
             let coeffs: Vec<(prdnn_lp::VarId, f64)> = delta_vars
                 .iter()
@@ -375,5 +396,7 @@ mod tests {
         assert_eq!(c.norm, RepairNorm::L1);
         assert!(c.param_bound.is_none());
         assert_eq!(c.lp_backend, LpBackend::Auto);
+        // Default thread count defers to PRDNN_THREADS / the machine.
+        assert_eq!(c.threads, None);
     }
 }

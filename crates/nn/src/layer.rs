@@ -601,6 +601,59 @@ impl Layer {
         }
     }
 
+    /// Linearises the layer's activation around every centre in `z_centers`
+    /// (the batch form of [`Self::linearize_activation`]).
+    ///
+    /// For pooling layers the window index set is computed once and shared
+    /// across the whole batch — the per-centre selection/averaging is built
+    /// from the shared windows, where the per-vector call re-enumerates
+    /// them every time.  This is what makes the batched DDNN channels cheap
+    /// in vertex-heavy repair loops.
+    pub fn linearize_activation_batch(
+        &self,
+        z_centers: &[Vec<f64>],
+    ) -> Vec<ActivationLinearization> {
+        match self {
+            Layer::Dense(_) | Layer::Conv2d(_) => z_centers
+                .iter()
+                .map(|z| self.linearize_activation(z))
+                .collect(),
+            Layer::MaxPool2d(p) => {
+                let windows = p.windows();
+                let in_dim = self.input_dim();
+                z_centers
+                    .iter()
+                    .map(|z| {
+                        let selected = windows
+                            .iter()
+                            .map(|w| {
+                                let mut best = w[0];
+                                for &i in w {
+                                    if z[i] > z[best] {
+                                        best = i;
+                                    }
+                                }
+                                best
+                            })
+                            .collect();
+                        ActivationLinearization::Selection { selected, in_dim }
+                    })
+                    .collect()
+            }
+            Layer::AvgPool2d(p) => {
+                let windows = p.windows();
+                let in_dim = self.input_dim();
+                z_centers
+                    .iter()
+                    .map(|_| ActivationLinearization::Averaging {
+                        windows: windows.clone(),
+                        in_dim,
+                    })
+                    .collect()
+            }
+        }
+    }
+
     /// The element-wise activation of a dense/conv layer, if any.
     pub fn activation(&self) -> Option<Activation> {
         match self {
@@ -959,6 +1012,45 @@ mod tests {
                 assert_eq!(outs[i], layer.forward(input));
             }
             assert_eq!(layer.activate_batch(&zs), outs);
+        }
+    }
+
+    #[test]
+    fn linearize_activation_batch_matches_per_vector_calls() {
+        let layers = vec![
+            dense_example(),
+            conv_example(),
+            Layer::MaxPool2d(Pool2dLayer {
+                channels: 1,
+                in_height: 2,
+                in_width: 4,
+                pool_h: 2,
+                pool_w: 2,
+                stride: 2,
+            }),
+            Layer::AvgPool2d(Pool2dLayer {
+                channels: 1,
+                in_height: 2,
+                in_width: 4,
+                pool_h: 2,
+                pool_w: 2,
+                stride: 2,
+            }),
+        ];
+        for layer in layers {
+            let dim = layer.preactivation_dim();
+            let zs: Vec<Vec<f64>> = (0..4)
+                .map(|k| {
+                    (0..dim)
+                        .map(|i| ((k * dim + i) as f64 * 0.7).cos())
+                        .collect()
+                })
+                .collect();
+            let batch = layer.linearize_activation_batch(&zs);
+            assert_eq!(batch.len(), zs.len());
+            for (z, lin) in zs.iter().zip(&batch) {
+                assert_eq!(*lin, layer.linearize_activation(z));
+            }
         }
     }
 

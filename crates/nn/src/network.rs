@@ -195,6 +195,25 @@ impl Network {
         batch
     }
 
+    /// [`Self::forward_batch`] fanned across a thread pool.
+    ///
+    /// The batch is cut into contiguous chunks, each pushed through the
+    /// whole network on a pool worker; chunk results are spliced back in
+    /// input order, so the output is identical to [`Self::forward_batch`]
+    /// for every thread count (no per-input arithmetic crosses a chunk
+    /// boundary).
+    pub fn forward_batch_in(
+        &self,
+        pool: &prdnn_par::ThreadPool,
+        inputs: &[Vec<f64>],
+    ) -> Vec<Vec<f64>> {
+        let chunk_size = pool.even_chunk_size(inputs.len());
+        pool.par_chunks(inputs, chunk_size, |chunk| self.forward_batch(chunk))
+            .into_iter()
+            .flatten()
+            .collect()
+    }
+
     /// Evaluates the network, returning every intermediate value.
     pub fn forward_trace(&self, input: &[f64]) -> ForwardTrace {
         let mut preactivations = Vec::with_capacity(self.layers.len());
@@ -369,6 +388,21 @@ mod tests {
             assert_eq!(*out, net.forward(input));
         }
         assert!(net.forward_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn forward_batch_in_is_bit_identical_for_every_thread_count() {
+        let mut rng = rand::rngs::mock::StepRng::new(3, 17);
+        let net = Network::mlp(&[4, 9, 7, 3], Activation::Relu, &mut rng);
+        let batch: Vec<Vec<f64>> = (0..37)
+            .map(|k| (0..4).map(|i| ((k * 4 + i) as f64).sin()).collect())
+            .collect();
+        let serial = net.forward_batch(&batch);
+        for threads in [1, 2, 4] {
+            let pool = prdnn_par::ThreadPool::new(threads);
+            assert_eq!(net.forward_batch_in(&pool, &batch), serial);
+            assert!(net.forward_batch_in(&pool, &[]).is_empty());
+        }
     }
 
     #[test]

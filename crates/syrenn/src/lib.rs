@@ -37,7 +37,8 @@ mod plane;
 mod transformer;
 
 pub use line::{exact_line, line_regions};
-pub use plane::plane_regions;
+pub use plane::{plane_regions, plane_regions_in};
+use prdnn_par::ThreadPool;
 
 /// Computes `LinRegions(N, P)` for a polytope given by its vertices,
 /// dispatching on the polytope's dimension: two vertices form a segment
@@ -55,11 +56,75 @@ pub fn lin_regions(
     net: &prdnn_nn::Network,
     vertices: &[Vec<f64>],
 ) -> Result<Vec<LinearRegion>, SyrennError> {
+    lin_regions_in(prdnn_par::global(), net, vertices)
+}
+
+/// [`lin_regions`] on an explicit thread pool.
+///
+/// Plane polytopes split their pieces across `pool`
+/// ([`plane_regions_in`]); segments are a single sequential chain and use
+/// no worker threads — batches of segments parallelise across polytopes via
+/// [`lin_regions_batch_in`] instead.
+///
+/// # Errors
+///
+/// See [`lin_regions`].
+pub fn lin_regions_in(
+    pool: &ThreadPool,
+    net: &prdnn_nn::Network,
+    vertices: &[Vec<f64>],
+) -> Result<Vec<LinearRegion>, SyrennError> {
     match vertices {
         [] | [_] => Err(SyrennError::DegenerateInput),
         [start, end] => line_regions(net, start, end),
-        _ => plane_regions(net, vertices),
+        _ => plane_regions_in(pool, net, vertices),
     }
+}
+
+/// Computes `LinRegions(N, P)` for a whole slab of polytopes at once on the
+/// [`prdnn_par::global`] pool.
+///
+/// See [`lin_regions_batch_in`].
+///
+/// # Errors
+///
+/// See [`lin_regions_batch_in`].
+pub fn lin_regions_batch<P: AsRef<[Vec<f64>]> + Sync>(
+    net: &prdnn_nn::Network,
+    polytopes: &[P],
+) -> Result<Vec<Vec<LinearRegion>>, SyrennError> {
+    lin_regions_batch_in(prdnn_par::global(), net, polytopes)
+}
+
+/// Computes `LinRegions(N, P)` for every polytope in `polytopes`, fanning
+/// the polytopes across `pool`.
+///
+/// This is the batched entry point for repair specifications that restrict
+/// the network to many segments at once (the paper's Task 1/2 evaluate
+/// hundreds of clean→corrupted lines): each polytope runs the sequential
+/// pipeline independently on a pool worker.  Results are returned in input
+/// order and each is identical to a standalone [`lin_regions`] call, for
+/// every thread count.
+///
+/// # Errors
+///
+/// If any polytope fails, returns the error of the *first* failing polytope
+/// (in input order), so the error too is deterministic under parallelism.
+pub fn lin_regions_batch_in<P: AsRef<[Vec<f64>]> + Sync>(
+    pool: &ThreadPool,
+    net: &prdnn_nn::Network,
+    polytopes: &[P],
+) -> Result<Vec<Vec<LinearRegion>>, SyrennError> {
+    let chunk_size = pool.even_chunk_size(polytopes.len());
+    pool.par_chunks(polytopes, chunk_size, |chunk| {
+        chunk
+            .iter()
+            .map(|vertices| lin_regions_in(pool, net, vertices.as_ref()))
+            .collect::<Vec<_>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// Tolerance used when deduplicating subdivision points and deciding which

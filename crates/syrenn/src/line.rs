@@ -17,11 +17,22 @@ struct ChainState {
 }
 
 impl TransformerState for ChainState {
-    fn apply_preactivation(&mut self, layer: &Layer) {
-        self.vals = layer.preactivation_batch(&self.vals);
+    fn process_layer(&mut self, layer: &Layer, spec: &CrossingSpec) {
+        // Pooling pre-activations are the identity: the carried values
+        // already are the pre-activation, so skip the copy.
+        if !layer.preactivation_is_identity() {
+            self.vals = layer.preactivation_batch(&self.vals);
+        }
+        if !matches!(spec, CrossingSpec::None) {
+            self.split(spec, layer.preactivation_dim());
+        }
+        self.vals = layer.activate_batch(&self.vals);
     }
+}
 
-    fn split_layer(&mut self, spec: &CrossingSpec, width: usize) {
+impl ChainState {
+    /// Splits every interval of the chain at the crossings of one layer.
+    fn split(&mut self, spec: &CrossingSpec, width: usize) {
         // All crossing functions are affine in the pre-activation, which is
         // itself affine in t on every current interval, so the crossings of
         // *every* unit can be located from the same interval endpoints in
@@ -71,10 +82,6 @@ impl TransformerState for ChainState {
         }
         self.ts = ts;
         self.vals = vals;
-    }
-
-    fn apply_activation(&mut self, layer: &Layer) {
-        self.vals = layer.activate_batch(&self.vals);
     }
 }
 

@@ -3,6 +3,7 @@
 use crate::transformer::{crosses, for_each_crossing, lerp, propagate, Crossing, TransformerState};
 use crate::{LinearRegion, SyrennError, TOL};
 use prdnn_nn::{CrossingSpec, Layer, Network};
+use prdnn_par::ThreadPool;
 
 /// A convex polygon whose vertices live in the network's input space but lie
 /// in a common 2-D affine subspace, listed in boundary order.
@@ -16,37 +17,64 @@ struct Piece {
 }
 
 /// Pipeline state for a plane restriction: the current set of polygon
-/// pieces.
-struct PolygonState {
+/// pieces, fanned across `pool` at every layer.
+struct PolygonState<'p> {
     pieces: Vec<Piece>,
+    pool: &'p ThreadPool,
 }
 
-impl TransformerState for PolygonState {
-    fn apply_preactivation(&mut self, layer: &Layer) {
-        for piece in &mut self.pieces {
-            piece.vals = layer.preactivation_batch(&piece.vals);
-        }
-    }
-
-    fn split_layer(&mut self, spec: &CrossingSpec, width: usize) {
+impl TransformerState for PolygonState<'_> {
+    fn process_layer(&mut self, layer: &Layer, spec: &CrossingSpec) {
         // Unlike the 1-D case, polygon pieces must be split one crossing
         // function at a time: a later crossing's zero set can cut the
         // sub-polygons created by an earlier one, so the splits compose
         // sequentially (values at created vertices are already carried).
-        for_each_crossing(spec, width, |g| {
-            let mut out = Vec::with_capacity(self.pieces.len());
-            for piece in self.pieces.drain(..) {
-                split_piece(piece, g, &mut out);
-            }
-            self.pieces = out;
-        });
+        //
+        // Splitting one piece never looks at another, so the composition is
+        // applied *piece-major*: each input piece is pushed through the
+        // whole layer — pre-activation, the layer's full crossing sequence,
+        // activation — as one pool task, and the resulting sub-lists are
+        // spliced back in input order.  The split order is exactly the
+        // crossing-major order (splitting distributes over concatenation
+        // and preserves it), so the output is bit-identical whether the
+        // pieces are processed serially or in parallel — and the per-piece
+        // double-buffered worklist touches two small local vectors instead
+        // of reallocating the global piece list once per crossing function.
+        let width = layer.preactivation_dim();
+        let pieces = std::mem::take(&mut self.pieces);
+        self.pieces = self
+            .pool
+            .par_map(pieces, |mut piece| {
+                // Pooling pre-activations are the identity: the carried
+                // values already are the pre-activation, so skip the copy.
+                if !layer.preactivation_is_identity() {
+                    piece.vals = layer.preactivation_batch(&piece.vals);
+                }
+                let mut sub = split_piece_by_layer(piece, spec, width);
+                for piece in &mut sub {
+                    piece.vals = layer.activate_batch(&piece.vals);
+                }
+                sub
+            })
+            .into_iter()
+            .flatten()
+            .collect();
     }
+}
 
-    fn apply_activation(&mut self, layer: &Layer) {
-        for piece in &mut self.pieces {
-            piece.vals = layer.activate_batch(&piece.vals);
+/// Splits one piece by every crossing function of a layer in sequence,
+/// returning its final sub-pieces in split order.
+fn split_piece_by_layer(piece: Piece, spec: &CrossingSpec, width: usize) -> Vec<Piece> {
+    let mut cur = vec![piece];
+    let mut next: Vec<Piece> = Vec::new();
+    for_each_crossing(spec, width, |g| {
+        next.reserve(cur.len());
+        for p in cur.drain(..) {
+            split_piece(p, g, &mut next);
         }
-    }
+        std::mem::swap(&mut cur, &mut next);
+    });
+    cur
 }
 
 /// Splits one polygon piece by the zero set of `g` over its carried
@@ -57,11 +85,24 @@ impl TransformerState for PolygonState {
 /// closed piece.  Pieces that lie entirely on one side are moved, not
 /// cloned.
 fn split_piece(piece: Piece, g: Crossing, out: &mut Vec<Piece>) {
-    let values: Vec<f64> = piece.vals.iter().map(|z| g.eval(z)).collect();
-    if values.iter().all(|&v| v >= -TOL) || values.iter().all(|&v| v <= TOL) {
+    // Allocation-free pre-pass: almost every (piece, crossing) pair lies
+    // entirely on one side of the zero set, so decide that before
+    // materialising the per-vertex crossing values.
+    let mut strictly_positive = false;
+    let mut strictly_negative = false;
+    for z in &piece.vals {
+        let v = g.eval(z);
+        strictly_positive |= v > TOL;
+        strictly_negative |= v < -TOL;
+        if strictly_positive && strictly_negative {
+            break;
+        }
+    }
+    if !(strictly_positive && strictly_negative) {
         out.push(piece);
         return;
     }
+    let values: Vec<f64> = piece.vals.iter().map(|z| g.eval(z)).collect();
     let n = piece.verts.len();
     let mut positive = Piece {
         verts: Vec::new(),
@@ -170,6 +211,29 @@ pub fn plane_regions(
     net: &Network,
     vertices: &[Vec<f64>],
 ) -> Result<Vec<LinearRegion>, SyrennError> {
+    plane_regions_in(prdnn_par::global(), net, vertices)
+}
+
+/// [`plane_regions`] on an explicit thread pool.
+///
+/// The polygon pieces are fanned across `pool` at every layer (the affine
+/// maps and the crossing splits are applied per piece in parallel, results
+/// spliced back in input order), so the returned subdivision is
+/// **bit-identical** for every thread count; a pool of 1 thread runs the
+/// guaranteed serial path.
+///
+/// # Errors
+///
+/// See [`plane_regions`].
+///
+/// # Panics
+///
+/// Panics if any vertex has the wrong dimension.
+pub fn plane_regions_in(
+    pool: &ThreadPool,
+    net: &Network,
+    vertices: &[Vec<f64>],
+) -> Result<Vec<LinearRegion>, SyrennError> {
     if vertices.len() < 3 {
         return Err(SyrennError::DegenerateInput);
     }
@@ -189,6 +253,7 @@ pub fn plane_regions(
             verts: vertices.to_vec(),
             vals: vertices.to_vec(),
         }],
+        pool,
     };
     propagate(net, &mut state)?;
 
@@ -337,6 +402,21 @@ mod tests {
             plane_regions(&net, &[vec![0.0, 0.0], vec![1.0, 1.0]]).unwrap_err(),
             SyrennError::DegenerateInput
         );
+    }
+
+    #[test]
+    fn pool_output_is_bit_identical_to_serial() {
+        let mut rng = StdRng::seed_from_u64(123);
+        let net = Network::mlp(&[2, 12, 10, 8, 3], Activation::Relu, &mut rng);
+        let serial_pool = ThreadPool::new(1);
+        let serial = plane_regions_in(&serial_pool, &net, &square()).unwrap();
+        assert!(serial.len() > 4, "workload should actually subdivide");
+        for threads in [2, 3, 4] {
+            let pool = ThreadPool::new(threads);
+            let parallel = plane_regions_in(&pool, &net, &square()).unwrap();
+            // Exact equality: same pieces, same order, same f64 bits.
+            assert_eq!(parallel, serial, "threads = {threads}");
+        }
     }
 
     #[test]

@@ -28,23 +28,24 @@ use prdnn_nn::{CrossingSpec, Layer, Network};
 /// input); while a layer is being processed it is that layer's
 /// pre-activation.
 pub(crate) trait TransformerState {
-    /// Replaces every vertex's carried value `v` with the layer's
-    /// pre-activation `W v + b` (one affine application per vertex).
-    fn apply_preactivation(&mut self, layer: &Layer);
-
-    /// Splits every piece at the crossings described by `spec`, evaluated on
-    /// the carried pre-activations (`width` is the pre-activation
-    /// dimension).  New crossing vertices must interpolate *both* the
-    /// geometry and the carried pre-activation.
-    fn split_layer(&mut self, spec: &CrossingSpec, width: usize);
-
-    /// Replaces every vertex's carried pre-activation `z` with the
-    /// activation output `sigma(z)`.
+    /// Pushes the state through one layer, in three sub-steps:
     ///
-    /// Exact even at crossing vertices: the activations are continuous, so
-    /// their value at a piece boundary does not depend on which adjacent
-    /// piece the vertex is viewed from.
-    fn apply_activation(&mut self, layer: &Layer);
+    /// 1. replace every vertex's carried value `v` with the layer's
+    ///    pre-activation `W v + b` (one affine application per vertex;
+    ///    skipped when the pre-activation is the identity, i.e. pooling),
+    /// 2. split every piece at the crossings described by `spec`, evaluated
+    ///    on the carried pre-activations — new crossing vertices must
+    ///    interpolate *both* the geometry and the carried pre-activation,
+    /// 3. replace every carried pre-activation `z` with the activation
+    ///    output `sigma(z)` (exact even at crossing vertices: the
+    ///    activations are continuous, so their value at a piece boundary
+    ///    does not depend on which adjacent piece the vertex is viewed
+    ///    from).
+    ///
+    /// The three sub-steps are one method so that a state which fans its
+    /// pieces across a thread pool can push each piece through the whole
+    /// layer as a single task.
+    fn process_layer(&mut self, layer: &Layer, spec: &CrossingSpec);
 }
 
 /// Drives a [`TransformerState`] through every layer of `net`.
@@ -72,15 +73,7 @@ pub(crate) fn propagate<S: TransformerState>(
         return Ok(());
     };
     for (layer, spec) in net.layers().iter().zip(&specs).take(last_splitting + 1) {
-        // Pooling pre-activations are the identity: the carried values
-        // already are the pre-activation, so skip the copy.
-        if !layer.preactivation_is_identity() {
-            state.apply_preactivation(layer);
-        }
-        if !matches!(spec, CrossingSpec::None) {
-            state.split_layer(spec, layer.preactivation_dim());
-        }
-        state.apply_activation(layer);
+        state.process_layer(layer, spec);
     }
     Ok(())
 }

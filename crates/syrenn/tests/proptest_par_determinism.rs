@@ -1,0 +1,95 @@
+//! Determinism of the parallel SyReNN paths: for random networks and every
+//! thread count, `plane_regions_in` / `lin_regions_batch_in` must return
+//! output that is piece-for-piece, vertex-for-vertex **bit-identical** to
+//! the serial path (a 1-thread pool, which spawns no workers).
+//!
+//! This is the property the repair algorithms rely on when they fan work
+//! across the pool: parallelism may only change wall-clock time, never a
+//! single f64 bit of the subdivision.
+
+use prdnn_nn::{Activation, Network};
+use prdnn_par::ThreadPool;
+use prdnn_syrenn::{lin_regions, lin_regions_batch_in, plane_regions_in};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Thread counts exercised against the serial baseline: the boundary case
+/// (2), an odd count, and more threads than this container has cores.
+const THREAD_COUNTS: [usize; 3] = [2, 3, 4];
+
+fn random_net(seed: u64, depth: usize, width: usize, in_dim: usize) -> Network {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sizes = vec![in_dim];
+    sizes.extend(std::iter::repeat_n(width, depth));
+    sizes.push(3);
+    Network::mlp(&sizes, Activation::Relu, &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn plane_regions_is_bit_identical_across_thread_counts(
+        seed in 0u64..10_000,
+        depth in 1usize..4,
+        width in 4usize..14,
+        scale in 0.3..1.5f64,
+    ) {
+        let net = random_net(seed, depth, width, 2);
+        let square = vec![
+            vec![-scale, -scale],
+            vec![scale, -scale],
+            vec![scale, scale],
+            vec![-scale, scale],
+        ];
+        let serial_pool = ThreadPool::new(1);
+        let serial = plane_regions_in(&serial_pool, &net, &square).unwrap();
+        for threads in THREAD_COUNTS {
+            let pool = ThreadPool::new(threads);
+            let parallel = plane_regions_in(&pool, &net, &square).unwrap();
+            // `LinearRegion` is PartialEq over raw f64s: this is exact
+            // bit-equality of every vertex of every piece, in order.
+            prop_assert_eq!(&parallel, &serial, "threads = {}", threads);
+        }
+    }
+
+    #[test]
+    fn lin_regions_batch_is_bit_identical_to_one_at_a_time_calls(
+        seed in 0u64..10_000,
+        depth in 1usize..4,
+        width in 4usize..14,
+        num_lines in 1usize..12,
+    ) {
+        let net = random_net(seed, depth, width, 3);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+        // A slab of segments plus one polygon, as a repair spec would build.
+        let mut polytopes: Vec<Vec<Vec<f64>>> = (0..num_lines)
+            .map(|_| {
+                (0..2)
+                    .map(|_| (0..3).map(|_| rng.gen_range(-1.0..1.0)).collect())
+                    .collect()
+            })
+            .collect();
+        polytopes.push(vec![
+            vec![-0.8, -0.8, 0.1],
+            vec![0.8, -0.8, 0.1],
+            vec![0.0, 0.9, 0.1],
+        ]);
+
+        let expected: Vec<_> = polytopes
+            .iter()
+            .map(|p| lin_regions(&net, p).unwrap())
+            .collect();
+        let serial_pool = ThreadPool::new(1);
+        prop_assert_eq!(
+            &lin_regions_batch_in(&serial_pool, &net, &polytopes).unwrap(),
+            &expected
+        );
+        for threads in THREAD_COUNTS {
+            let pool = ThreadPool::new(threads);
+            let batched = lin_regions_batch_in(&pool, &net, &polytopes).unwrap();
+            prop_assert_eq!(&batched, &expected, "threads = {}", threads);
+        }
+    }
+}

@@ -7,6 +7,7 @@
 //! * [`linalg`] — dense matrices and vectors,
 //! * [`lp`] — an LP solver (two-phase simplex, ℓ1/ℓ∞ objectives),
 //! * [`nn`] — the DNN substrate (layers, activations, training),
+//! * [`par`] — the work-stealing thread pool behind the parallel hot paths,
 //! * [`syrenn`] — exact linear-region computation for PWL networks,
 //! * [`core`] — Decoupled DNNs and the provable point/polytope repair
 //!   algorithms (the paper's contribution),
@@ -25,4 +26,5 @@ pub use prdnn_datasets as datasets;
 pub use prdnn_linalg as linalg;
 pub use prdnn_lp as lp;
 pub use prdnn_nn as nn;
+pub use prdnn_par as par;
 pub use prdnn_syrenn as syrenn;
