@@ -4,7 +4,7 @@
 //! block-sparse shape the repair LPs actually have.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use prdnn_lp::{ConstraintOp, LpBackend, LpProblem, SolveOptions, VarKind};
+use prdnn_lp::{ConstraintOp, LpBackend, LpProblem, PricingRule, SolveOptions, VarKind};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::Duration;
@@ -53,16 +53,33 @@ fn block_sparse_lp(
     lp
 }
 
-fn solve_with(lp: &LpProblem, backend: LpBackend) {
+fn solve_with(lp: &LpProblem, backend: LpBackend, pricing: PricingRule) {
     prdnn_lp::solve_with_options(
         lp,
         &SolveOptions {
             backend,
             max_iters: 2_000_000,
+            pricing,
         },
     )
     .unwrap();
 }
+
+/// The three configurations every head-to-head group compares: the dense
+/// oracle and the revised backend under both pricing rules.
+const CONTENDERS: [(&str, LpBackend, PricingRule); 3] = [
+    ("dense", LpBackend::DenseTableau, PricingRule::Auto),
+    (
+        "revised_dantzig",
+        LpBackend::RevisedSparse,
+        PricingRule::Dantzig,
+    ),
+    (
+        "revised_devex",
+        LpBackend::RevisedSparse,
+        PricingRule::Devex,
+    ),
+];
 
 fn bench_lp(c: &mut Criterion) {
     let mut group = c.benchmark_group("lp_solve_l1");
@@ -76,17 +93,17 @@ fn bench_lp(c: &mut Criterion) {
     }
     group.finish();
 
-    // Dense-vs-revised on the block-sparse repair shape (wide: n ≫ m).
+    // Backend/pricing head-to-head on the block-sparse repair shape
+    // (wide: n ≫ m) — the programs the Devex partial pricing exists for.
     let mut group = c.benchmark_group("lp_backends_block_sparse");
     for &(blocks, bvars, brows) in &[(16usize, 8usize, 4usize), (32, 16, 4), (64, 16, 4)] {
         let lp = block_sparse_lp(blocks, bvars, brows, 11);
         let label = format!("{}v_{}c", blocks * bvars, blocks * brows);
-        group.bench_with_input(BenchmarkId::new("dense", &label), &lp, |b, lp| {
-            b.iter(|| solve_with(lp, LpBackend::DenseTableau))
-        });
-        group.bench_with_input(BenchmarkId::new("revised", &label), &lp, |b, lp| {
-            b.iter(|| solve_with(lp, LpBackend::RevisedSparse))
-        });
+        for (name, backend, pricing) in CONTENDERS {
+            group.bench_with_input(BenchmarkId::new(name, &label), &lp, |b, lp| {
+                b.iter(|| solve_with(lp, backend, pricing))
+            });
+        }
     }
     group.finish();
 
@@ -96,12 +113,11 @@ fn bench_lp(c: &mut Criterion) {
     for &(vars, rows) in &[(60usize, 120usize), (120, 240)] {
         let lp = repair_shaped_lp(vars, rows, 7);
         let label = format!("{vars}v_{rows}c");
-        group.bench_with_input(BenchmarkId::new("dense", &label), &lp, |b, lp| {
-            b.iter(|| solve_with(lp, LpBackend::DenseTableau))
-        });
-        group.bench_with_input(BenchmarkId::new("revised", &label), &lp, |b, lp| {
-            b.iter(|| solve_with(lp, LpBackend::RevisedSparse))
-        });
+        for (name, backend, pricing) in CONTENDERS {
+            group.bench_with_input(BenchmarkId::new(name, &label), &lp, |b, lp| {
+                b.iter(|| solve_with(lp, backend, pricing))
+            });
+        }
     }
     group.finish();
 }

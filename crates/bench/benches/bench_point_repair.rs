@@ -2,7 +2,7 @@
 //! repair points grows — the scaling dimension of Table 1.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use prdnn_core::{paper_example, repair_points, LpBackend, PointSpec, RepairConfig};
+use prdnn_core::{paper_example, repair_points, LpBackend, PointSpec, PricingRule, RepairConfig};
 use prdnn_nn::{Activation, Network};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -43,12 +43,22 @@ fn bench_point_repair(c: &mut Criterion) {
     let labels: Vec<usize> = (0..24).map(|i| i % 10).collect();
     let spec = PointSpec::from_classification(&points, &labels, 10, 1e-4);
     let mut group = c.benchmark_group("point_repair_wide_lp_backend");
-    for (name, backend) in [
-        ("dense", LpBackend::DenseTableau),
-        ("revised", LpBackend::RevisedSparse),
+    for (name, backend, pricing) in [
+        ("dense", LpBackend::DenseTableau, PricingRule::Auto),
+        (
+            "revised_dantzig",
+            LpBackend::RevisedSparse,
+            PricingRule::Dantzig,
+        ),
+        (
+            "revised_devex",
+            LpBackend::RevisedSparse,
+            PricingRule::Devex,
+        ),
     ] {
         let config = RepairConfig {
             lp_backend: backend,
+            lp_pricing: pricing,
             ..RepairConfig::default()
         };
         group.bench_with_input(BenchmarkId::from_parameter(name), &spec, |b, spec| {

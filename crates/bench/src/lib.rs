@@ -35,22 +35,54 @@ pub use scale::Scale;
 /// this flag / `PRDNN_THREADS`, then the machine's available parallelism.
 /// Call this at the top of `main`, before any repair runs.
 pub fn apply_threads_arg() {
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        let value = if arg == "--threads" {
-            args.next()
-        } else {
-            arg.strip_prefix("--threads=").map(str::to_owned)
-        };
-        if let Some(n) = value
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&n| n > 0)
-        {
-            std::env::set_var("PRDNN_THREADS", n.to_string());
-        }
+    if let Some(n) = flag_value("--threads")
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        std::env::set_var("PRDNN_THREADS", n.to_string());
     }
     eprintln!(
         "thread pool: {} threads (override with --threads N or PRDNN_THREADS)",
         prdnn_par::default_threads()
     );
+}
+
+/// Scans the process arguments for `<flag> value` or `<flag>=value`,
+/// returning the last occurrence (matching the knobs' last-wins
+/// behaviour).  Shared by [`apply_threads_arg`] and [`apply_pricing_arg`].
+fn flag_value(flag: &str) -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    let mut found = None;
+    while let Some(arg) = args.next() {
+        let value = if arg == flag {
+            args.next()
+        } else {
+            arg.strip_prefix(flag)
+                .and_then(|rest| rest.strip_prefix('='))
+                .map(str::to_owned)
+        };
+        if value.is_some() {
+            found = value;
+        }
+    }
+    found
+}
+
+/// Applies the bench binaries' `--pricing dantzig|devex` (or
+/// `--pricing=...`) knob by exporting it as `PRDNN_LP_PRICING`, mirroring
+/// [`apply_threads_arg`].
+///
+/// Precedence, highest first: an explicit `RepairConfig::lp_pricing` /
+/// `SolveOptions::pricing`, then this flag / `PRDNN_LP_PRICING`, then the
+/// built-in default (Devex).  Call this at the top of `main`, before any
+/// LP is solved.
+pub fn apply_pricing_arg() {
+    if let Some(rule) = flag_value("--pricing")
+        .filter(|v| v.eq_ignore_ascii_case("dantzig") || v.eq_ignore_ascii_case("devex"))
+    {
+        std::env::set_var("PRDNN_LP_PRICING", rule.to_ascii_lowercase());
+    }
+    if let Ok(rule) = std::env::var("PRDNN_LP_PRICING") {
+        eprintln!("lp pricing: {rule} (override with --pricing dantzig|devex or PRDNN_LP_PRICING)");
+    }
 }

@@ -42,6 +42,6 @@ mod spec;
 pub use ddnn::DecoupledNetwork;
 pub use point_repair::{repair_points, repair_points_ddnn};
 pub use polytope_repair::{repair_polytopes, repair_polytopes_ddnn, PolytopeRepairOutcome};
-pub use prdnn_lp::LpBackend;
+pub use prdnn_lp::{LpBackend, PricingRule};
 pub use repair::{RepairConfig, RepairError, RepairNorm, RepairOutcome, RepairStats, RepairTiming};
 pub use spec::{InputPolytope, OutputPolytope, PointSpec, PolytopeSpec};

@@ -4,7 +4,7 @@
 use crate::ddnn::DecoupledNetwork;
 use crate::spec::OutputPolytope;
 use prdnn_linalg::vector;
-use prdnn_lp::{ConstraintOp, LpBackend, LpError, LpProblem, SolveOptions, VarKind};
+use prdnn_lp::{ConstraintOp, LpBackend, LpError, LpProblem, PricingRule, SolveOptions, VarKind};
 use std::time::{Duration, Instant};
 
 /// The norm minimised over the parameter delta `Δ` (Definition 5.3's
@@ -31,6 +31,15 @@ pub struct RepairConfig {
     /// routes the wide, block-sparse LPs this encoding produces to the
     /// sparse revised simplex and small ones to the dense tableau.
     pub lp_backend: LpBackend,
+    /// Entering-column pricing rule for the revised simplex backend.
+    ///
+    /// Precedence mirrors `threads`: an explicit `Dantzig`/`Devex` wins
+    /// over the `PRDNN_LP_PRICING` environment variable (the bench
+    /// binaries' `--pricing` flag sets it); `Auto` defers to the variable
+    /// and then to Devex.  The pricing rule only affects which optimal
+    /// vertex the LP walk visits and how fast — repair feasibility, the
+    /// minimal norm, and the guarantees are identical for every setting.
+    pub lp_pricing: PricingRule,
     /// Thread count for the parallel hot paths (`LinRegions` and the
     /// per-key-point Jacobians).
     ///
@@ -49,6 +58,7 @@ impl Default for RepairConfig {
             param_bound: None,
             max_lp_iterations: 2_000_000,
             lp_backend: LpBackend::Auto,
+            lp_pricing: PricingRule::Auto,
             threads: None,
         }
     }
@@ -323,6 +333,7 @@ pub(crate) fn repair_key_points(
     let options = SolveOptions {
         backend: config.lp_backend,
         max_iters: config.max_lp_iterations,
+        pricing: config.lp_pricing,
     };
     let solution = match prdnn_lp::solve_with_options(&lp, &options) {
         Ok(solution) => solution,
@@ -396,6 +407,8 @@ mod tests {
         assert_eq!(c.norm, RepairNorm::L1);
         assert!(c.param_bound.is_none());
         assert_eq!(c.lp_backend, LpBackend::Auto);
+        // Default pricing defers to PRDNN_LP_PRICING, then Devex.
+        assert_eq!(c.lp_pricing, PricingRule::Auto);
         // Default thread count defers to PRDNN_THREADS / the machine.
         assert_eq!(c.threads, None);
     }

@@ -58,16 +58,22 @@ impl Basis {
     /// bases of the repair LPs it is cheap enough to run often.
     pub(crate) const MAX_ETAS: usize = 40;
 
-    /// Factorises the dense row-major `m × m` basis matrix.
+    /// Factorises the dense row-major `m × m` basis matrix with the
+    /// Markowitz-ordered LU: simplex bases are mostly unit slack columns
+    /// (Markowitz count 0, eliminated with zero fill), so the factors track
+    /// the structural block instead of the whole basis, and every
+    /// FTRAN/BTRAN afterwards touches fewer entries.
     ///
     /// Returns `None` when the matrix is singular, which for a simplex basis
     /// signals numerical breakdown (a mathematically valid basis is always
     /// invertible).
     pub(crate) fn factorize(m: usize, basis_matrix: &[f64]) -> Option<Self> {
-        LuFactors::factorize(m, basis_matrix).ok().map(|lu| Basis {
-            lu,
-            etas: Vec::new(),
-        })
+        LuFactors::factorize_markowitz(m, basis_matrix)
+            .ok()
+            .map(|lu| Basis {
+                lu,
+                etas: Vec::new(),
+            })
     }
 
     #[cfg(test)]

@@ -12,9 +12,13 @@
 //!   (the paper's `⊥`: no single-layer repair exists) or unbounded.
 //!
 //! Two backends implement the simplex method: a sparse *revised* simplex
-//! with an LU-factorised, eta-updated basis (the default for the wide,
-//! block-sparse repair LPs) and the dense flat-tableau solver it superseded
-//! (kept as the small-problem fallback and differential-testing oracle).
+//! with a Markowitz-ordered LU-factorised, eta-updated basis (the default
+//! for the wide, block-sparse repair LPs) and the dense flat-tableau solver
+//! it superseded (kept as the small-problem fallback and
+//! differential-testing oracle).  The revised backend prices entering
+//! columns with Devex reference weights over a partial-pricing candidate
+//! list by default; [`PricingRule`] pins Dantzig or Devex explicitly (or
+//! via the `PRDNN_LP_PRICING` environment variable).
 //! [`SolveOptions`]/[`LpBackend`] select explicitly; [`solve`] picks
 //! automatically per problem.
 //!
@@ -46,7 +50,9 @@ mod solver;
 mod sparse;
 
 pub use problem::{ConstraintOp, LpProblem, Objective, VarId, VarKind};
-pub use solver::{solve, solve_with_limit, solve_with_options, LpBackend, Solution, SolveOptions};
+pub use solver::{
+    solve, solve_with_limit, solve_with_options, LpBackend, PricingRule, Solution, SolveOptions,
+};
 
 /// Errors returned by [`solve`].
 #[derive(Debug, Clone, PartialEq, Eq)]

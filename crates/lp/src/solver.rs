@@ -5,9 +5,10 @@
 //! of two simplex backends:
 //!
 //! * [`LpBackend::RevisedSparse`] — the revised simplex over CSR/CSC
-//!   columns with an LU-factorised, eta-updated basis
+//!   columns with a Markowitz-ordered LU-factorised, eta-updated basis
 //!   ([`crate::revised`]).  `O(nnz + m²)` per pivot; the default for the
-//!   wide, block-sparse repair LPs.
+//!   wide, block-sparse repair LPs.  [`PricingRule`] picks its
+//!   entering-column rule (Devex partial pricing by default).
 //! * [`LpBackend::DenseTableau`] — the flat-tableau two-phase simplex
 //!   ([`crate::simplex`]).  `O(m·n)` per pivot but with a small constant;
 //!   kept as the small-problem fallback and as the differential-testing
@@ -21,7 +22,7 @@
 //! solve transparently re-runs on the dense oracle.
 
 use crate::problem::{ConstraintOp, LpProblem, Objective, VarKind};
-use crate::revised::solve_standard_sparse;
+use crate::revised::{solve_standard_sparse, Pricing};
 use crate::simplex::{solve_standard, SimplexOutcome};
 use crate::sparse::{CsrMatrix, SparseStandardForm};
 use crate::LpError;
@@ -48,6 +49,44 @@ pub enum LpBackend {
     RevisedSparse,
 }
 
+/// Entering-column pricing rule for the revised simplex backend (the dense
+/// tableau always full-prices its reduced-cost row; both rules fall back to
+/// Bland's anti-cycling rule on degenerate stalls).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PricingRule {
+    /// Resolve from the `PRDNN_LP_PRICING` environment variable (`dantzig`
+    /// or `devex`, mirroring `PRDNN_THREADS`); defaults to Devex, the rule
+    /// built for the wide sparse repair programs.
+    #[default]
+    Auto,
+    /// Full pricing: most negative reduced cost, one sparse dot per
+    /// nonbasic column per pivot.
+    Dantzig,
+    /// Devex reference weights with candidate-list partial pricing: most
+    /// pivots price a few dozen columns instead of all of them, and the
+    /// weights steer towards steepest-edge-like entering choices.
+    Devex,
+}
+
+impl PricingRule {
+    /// Resolves the policy to a concrete rule for the revised backend.
+    ///
+    /// Precedence mirrors the thread knob: an explicit rule wins over the
+    /// `PRDNN_LP_PRICING` environment variable, which wins over the
+    /// built-in default (Devex).  Unrecognised variable values fall through
+    /// to the default, like an unparsable `PRDNN_THREADS`.
+    fn resolve(self) -> Pricing {
+        match self {
+            PricingRule::Dantzig => Pricing::Dantzig,
+            PricingRule::Devex => Pricing::Devex,
+            PricingRule::Auto => match std::env::var("PRDNN_LP_PRICING") {
+                Ok(v) if v.eq_ignore_ascii_case("dantzig") => Pricing::Dantzig,
+                _ => Pricing::Devex,
+            },
+        }
+    }
+}
+
 /// Options accepted by [`solve_with_options`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SolveOptions {
@@ -55,6 +94,8 @@ pub struct SolveOptions {
     pub backend: LpBackend,
     /// Simplex iteration budget (shared across both phases).
     pub max_iters: usize,
+    /// Entering-column pricing rule for the revised backend.
+    pub pricing: PricingRule,
 }
 
 impl Default for SolveOptions {
@@ -62,6 +103,7 @@ impl Default for SolveOptions {
         SolveOptions {
             backend: LpBackend::Auto,
             max_iters: DEFAULT_MAX_ITERS,
+            pricing: PricingRule::Auto,
         }
     }
 }
@@ -133,7 +175,7 @@ pub fn solve_with_options(
     let outcome = if use_revised {
         // `None` is a numerical breakdown in the revised backend; the dense
         // tableau is the robust fallback.
-        solve_standard_sparse(&sf, options.max_iters)
+        solve_standard_sparse(&sf, options.max_iters, options.pricing.resolve())
             .unwrap_or_else(|| solve_standard(&sf.to_dense(), options.max_iters))
     } else {
         solve_standard(&sf.to_dense(), options.max_iters)
@@ -299,7 +341,8 @@ mod tests {
     use super::*;
     use crate::{LpProblem, VarKind};
 
-    /// Runs every test problem through both backends, checking they agree.
+    /// Runs every test problem through the dense oracle and the revised
+    /// backend under both pricing rules, checking all three agree.
     fn solve_both(lp: &LpProblem) -> Result<Solution, LpError> {
         let dense = solve_with_options(
             lp,
@@ -308,23 +351,28 @@ mod tests {
                 ..SolveOptions::default()
             },
         );
-        let revised = solve_with_options(
-            lp,
-            &SolveOptions {
-                backend: LpBackend::RevisedSparse,
-                ..SolveOptions::default()
-            },
-        );
-        match (&dense, &revised) {
-            (Ok(d), Ok(r)) => assert!(
-                (d.objective - r.objective).abs() < 1e-6,
-                "backends disagree: dense {} vs revised {}",
-                d.objective,
-                r.objective
-            ),
-            (a, b) => assert_eq!(a, b, "backends disagree on classification"),
+        let mut last = dense.clone();
+        for pricing in [PricingRule::Dantzig, PricingRule::Devex] {
+            let revised = solve_with_options(
+                lp,
+                &SolveOptions {
+                    backend: LpBackend::RevisedSparse,
+                    pricing,
+                    ..SolveOptions::default()
+                },
+            );
+            match (&dense, &revised) {
+                (Ok(d), Ok(r)) => assert!(
+                    (d.objective - r.objective).abs() < 1e-6,
+                    "backends disagree ({pricing:?}): dense {} vs revised {}",
+                    d.objective,
+                    r.objective
+                ),
+                (a, b) => assert_eq!(a, b, "backends disagree on classification ({pricing:?})"),
+            }
+            last = revised;
         }
-        revised
+        last
     }
 
     #[test]

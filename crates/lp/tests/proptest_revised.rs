@@ -29,6 +29,7 @@ fn run(lp: &LpProblem, backend: LpBackend) -> Result<(Vec<f64>, f64), LpError> {
         &SolveOptions {
             backend,
             max_iters: ITERS,
+            ..SolveOptions::default()
         },
     )
     .map(|s| (s.values, s.objective))
