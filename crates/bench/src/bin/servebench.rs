@@ -1,0 +1,346 @@
+//! `servebench` — an open-loop load generator for `prdnn-serve`.
+//!
+//! Starts an in-process server on an ephemeral port (or targets an
+//! external one with `--addr`), then drives it with open-loop arrivals:
+//! each client thread follows a fixed schedule of send times and measures
+//! latency from the *scheduled* arrival, so server-side queueing shows up
+//! in the tail instead of silently throttling the offered load (the
+//! coordinated-omission-free methodology).
+//!
+//! Two workload mixes run by default, mirroring the serving layer's two
+//! request planes:
+//!
+//! * `eval_heavy` — 90% batched `eval`, 10% `lin_regions`, against one
+//!   model version (the batcher's coalescing sweet spot);
+//! * `repair_heavy` — 60% `repair` submissions (each publishing a new
+//!   version of a small model through the job queue) interleaved with 40%
+//!   `eval` on `@latest`, exercising version churn under read traffic.
+//!
+//! Output is a JSON report (stdout, and `--out FILE`) with achieved
+//! throughput and latency percentiles per mix, following the repo's
+//! `BENCH_*.json` conventions.
+//!
+//! ```text
+//! servebench [--secs N] [--rate RPS] [--clients N] [--threads N]
+//!            [--mix eval|repair|both] [--addr HOST:PORT] [--out FILE]
+//! ```
+
+use prdnn_core::{OutputPolytope, PointSpec, RepairConfig};
+use prdnn_serve::client::Client;
+use prdnn_serve::protocol::{ErrorKind, ModelRef};
+use prdnn_serve::server::{serve, ServerConfig, ServerHandle};
+use serde::json::Value;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Args {
+    secs: u64,
+    rate: u64,
+    clients: usize,
+    mix: String,
+    addr: Option<String>,
+    out: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        secs: 4,
+        rate: 200,
+        clients: 8,
+        mix: "both".to_owned(),
+        addr: None,
+        out: None,
+    };
+    prdnn_bench::apply_threads_arg();
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |what: &str| it.next().unwrap_or_else(|| panic!("{what} needs a value"));
+        match arg.as_str() {
+            "--secs" => args.secs = value("--secs").parse().expect("--secs"),
+            "--rate" => args.rate = value("--rate").parse().expect("--rate"),
+            "--clients" => args.clients = value("--clients").parse().expect("--clients"),
+            "--mix" => args.mix = value("--mix"),
+            "--addr" => args.addr = Some(value("--addr")),
+            "--out" => args.out = Some(value("--out")),
+            "--threads" => {
+                let _ = value("--threads"); // consumed by apply_threads_arg
+            }
+            other => panic!("unknown flag {other:?}"),
+        }
+    }
+    args.clients = args.clients.max(1);
+    args.rate = args.rate.max(1);
+    args
+}
+
+#[derive(Default)]
+struct Tally {
+    sent: AtomicU64,
+    ok: AtomicU64,
+    overloaded: AtomicU64,
+    deadline: AtomicU64,
+    other_errors: AtomicU64,
+}
+
+struct MixReport {
+    name: &'static str,
+    elapsed: Duration,
+    sent: u64,
+    ok: u64,
+    overloaded: u64,
+    deadline: u64,
+    other_errors: u64,
+    latencies_ms: Vec<f64>,
+    versions_published: u64,
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
+fn equation_2_like_spec(tweak: u64) -> PointSpec {
+    // Shift the target interval slightly per request so successive repairs
+    // are distinct specs (distinct hashes, non-trivial deltas).
+    let shift = (tweak % 8) as f64 * 0.005;
+    let mut spec = PointSpec::new();
+    spec.push(
+        vec![0.5],
+        OutputPolytope::scalar_interval(-1.0 + shift, -0.8 + shift),
+    );
+    spec.push(
+        vec![1.5],
+        OutputPolytope::scalar_interval(-0.2 - shift, 0.0 - shift),
+    );
+    spec
+}
+
+/// Runs one mix against a fresh server (or the external `addr`) and
+/// gathers the report.
+fn run_mix(name: &'static str, args: &Args, repair_share_pct: u64) -> MixReport {
+    let own_server: Option<ServerHandle> = if args.addr.is_none() {
+        Some(
+            serve(ServerConfig {
+                addr: "127.0.0.1:0".to_owned(),
+                max_connections: args.clients + 8,
+                ..ServerConfig::default()
+            })
+            .expect("ephemeral bind"),
+        )
+    } else {
+        None
+    };
+    let addr: SocketAddr = match (&own_server, &args.addr) {
+        (Some(handle), _) => handle.addr(),
+        (None, Some(addr)) => addr.parse().expect("--addr must be HOST:PORT"),
+        (None, None) => unreachable!(),
+    };
+
+    // Model setup: an MLP for evals, the paper's N1 for repairs.  Loading
+    // twice (both mixes share names) is fine on a fresh server; on an
+    // external server the duplicate-load error is ignored.
+    {
+        let mut setup = Client::connect(addr).expect("connect for setup");
+        let _ = setup.load_generator("bench-eval", "mlp:31:8x24x24x5");
+        let _ = setup.load_generator("bench-repair", "n1");
+    }
+
+    let tally = Arc::new(Tally::default());
+    let duration = Duration::from_secs(args.secs.max(1));
+    let start = Instant::now();
+    let per_client_rate = (args.rate as f64 / args.clients as f64).max(0.1);
+    let clients = args.clients;
+    let workers: Vec<_> = (0..args.clients)
+        .map(|c| {
+            let tally = Arc::clone(&tally);
+            std::thread::spawn(move || {
+                let mut client = match Client::connect(addr) {
+                    Ok(c) => c,
+                    Err(_) => return Vec::new(),
+                };
+                let mut latencies = Vec::new();
+                let interval = Duration::from_secs_f64(1.0 / per_client_rate);
+                // Stagger the clients' schedules so arrivals interleave
+                // instead of lock-stepping.
+                let phase = interval.mul_f64(c as f64 / clients as f64);
+                let mut k = 0u64;
+                loop {
+                    let scheduled = start + phase + interval * (k as u32);
+                    if scheduled.duration_since(start) >= duration {
+                        break;
+                    }
+                    if let Some(wait) = scheduled.checked_duration_since(Instant::now()) {
+                        std::thread::sleep(wait);
+                    }
+                    tally.sent.fetch_add(1, Ordering::Relaxed);
+                    let roll = (k * 37 + c as u64 * 13) % 100;
+                    let result = if roll < repair_share_pct {
+                        client
+                            .repair(
+                                &ModelRef::latest("bench-repair"),
+                                0,
+                                equation_2_like_spec(k),
+                                RepairConfig::default(),
+                            )
+                            .map(|_| ())
+                    } else if roll >= 90 {
+                        client
+                            .lin_regions(
+                                &ModelRef::latest("bench-eval"),
+                                vec![vec![
+                                    vec![-1.0, 0.0, 0.1, 0.2, -0.1, 0.3, 0.0, 0.4],
+                                    vec![1.0, 0.5, -0.1, 0.0, 0.2, -0.3, 0.1, -0.4],
+                                ]],
+                                Some(5_000),
+                            )
+                            .map(|_| ())
+                    } else {
+                        let inputs: Vec<Vec<f64>> = (0..4)
+                            .map(|p| {
+                                (0..8)
+                                    .map(|i| ((k + p) * 8 + i) as f64 * 0.03 % 1.0 - 0.5)
+                                    .collect()
+                            })
+                            .collect();
+                        client
+                            .eval(&ModelRef::latest("bench-eval"), inputs, Some(5_000))
+                            .map(|_| ())
+                    };
+                    // Latency from the *scheduled* arrival (open loop).
+                    let latency = scheduled.elapsed();
+                    match result {
+                        Ok(()) => {
+                            tally.ok.fetch_add(1, Ordering::Relaxed);
+                            latencies.push(latency.as_secs_f64() * 1e3);
+                        }
+                        Err(e) => match e.kind() {
+                            Some(ErrorKind::Overloaded) => {
+                                tally.overloaded.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Some(ErrorKind::DeadlineExceeded) => {
+                                tally.deadline.fetch_add(1, Ordering::Relaxed);
+                            }
+                            _ => {
+                                tally.other_errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                        },
+                    }
+                    k += 1;
+                }
+                latencies
+            })
+        })
+        .collect();
+
+    let mut latencies_ms: Vec<f64> = Vec::new();
+    for w in workers {
+        latencies_ms.extend(w.join().expect("client thread panicked"));
+    }
+    let elapsed = start.elapsed();
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+
+    let versions_published = {
+        let mut client = Client::connect(addr).expect("connect for teardown");
+        let published = client
+            .list_versions("bench-repair")
+            .map(|v| v.len() as u64 - 1)
+            .unwrap_or(0);
+        if let Some(handle) = own_server {
+            client.shutdown_server().expect("shutdown");
+            drop(client);
+            handle.join().expect("server drain");
+        }
+        published
+    };
+
+    MixReport {
+        name,
+        elapsed,
+        sent: tally.sent.load(Ordering::Relaxed),
+        ok: tally.ok.load(Ordering::Relaxed),
+        overloaded: tally.overloaded.load(Ordering::Relaxed),
+        deadline: tally.deadline.load(Ordering::Relaxed),
+        other_errors: tally.other_errors.load(Ordering::Relaxed),
+        latencies_ms,
+        versions_published,
+    }
+}
+
+fn report_to_json(report: &MixReport, args: &Args) -> Value {
+    Value::obj([
+        ("mix", Value::Str(report.name.to_owned())),
+        ("offered_rps", Value::Num(args.rate as f64)),
+        ("clients", Value::Num(args.clients as f64)),
+        ("duration_s", Value::Num(report.elapsed.as_secs_f64())),
+        ("sent", Value::Num(report.sent as f64)),
+        ("completed", Value::Num(report.ok as f64)),
+        (
+            "throughput_rps",
+            Value::Num(report.ok as f64 / report.elapsed.as_secs_f64()),
+        ),
+        ("overloaded", Value::Num(report.overloaded as f64)),
+        ("deadline_exceeded", Value::Num(report.deadline as f64)),
+        ("other_errors", Value::Num(report.other_errors as f64)),
+        (
+            "versions_published",
+            Value::Num(report.versions_published as f64),
+        ),
+        (
+            "latency_ms",
+            Value::obj([
+                ("p50", Value::Num(percentile(&report.latencies_ms, 0.50))),
+                ("p90", Value::Num(percentile(&report.latencies_ms, 0.90))),
+                ("p99", Value::Num(percentile(&report.latencies_ms, 0.99))),
+                (
+                    "max",
+                    Value::Num(report.latencies_ms.last().copied().unwrap_or(0.0)),
+                ),
+            ]),
+        ),
+    ])
+}
+
+fn main() {
+    let args = parse_args();
+    let mut reports = Vec::new();
+    if args.mix == "both" || args.mix == "eval" {
+        reports.push(run_mix("eval_heavy", &args, 0));
+    }
+    if args.mix == "both" || args.mix == "repair" {
+        reports.push(run_mix("repair_heavy", &args, 60));
+    }
+    assert!(
+        !reports.is_empty(),
+        "--mix must be eval, repair, or both (got {:?})",
+        args.mix
+    );
+    for report in &reports {
+        assert!(
+            report.other_errors == 0,
+            "{}: {} unexpected errors",
+            report.name,
+            report.other_errors
+        );
+        assert!(report.ok > 0, "{}: no request completed", report.name);
+    }
+
+    let doc = Value::obj([
+        ("bench", Value::Str("servebench".to_owned())),
+        ("threads", Value::Num(prdnn_par::default_threads() as f64)),
+        (
+            "mixes",
+            Value::Arr(reports.iter().map(|r| report_to_json(r, &args)).collect()),
+        ),
+    ]);
+    let json = doc.to_json();
+    println!("{json}");
+    if let Some(path) = &args.out {
+        std::fs::write(path, &json).expect("writing --out file");
+        eprintln!("servebench: wrote {path}");
+    }
+}

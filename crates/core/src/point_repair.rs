@@ -75,6 +75,27 @@ pub fn repair_points_ddnn(
     spec: &PointSpec,
     config: &RepairConfig,
 ) -> Result<RepairOutcome, RepairError> {
+    let pool = prdnn_par::pool_for(config.threads);
+    repair_points_ddnn_in(&pool, ddnn, layer, spec, config)
+}
+
+/// [`repair_points_ddnn`] on an explicit thread pool.
+///
+/// Long-lived callers that run many repairs (the serving layer's job
+/// workers) resolve their pool once and pass it here, instead of paying a
+/// `pool_for` resolution — and possibly a transient pool spawn — per
+/// repair.  `config.threads` is ignored in favour of `pool`.
+///
+/// # Errors
+///
+/// See [`repair_points`].
+pub fn repair_points_ddnn_in(
+    pool: &prdnn_par::ThreadPool,
+    ddnn: &DecoupledNetwork,
+    layer: usize,
+    spec: &PointSpec,
+    config: &RepairConfig,
+) -> Result<RepairOutcome, RepairError> {
     validate(ddnn, layer, &spec.constraints)?;
     let key_points: Vec<KeyPoint> = spec
         .points
@@ -82,8 +103,7 @@ pub fn repair_points_ddnn(
         .zip(&spec.constraints)
         .map(|(point, constraint)| KeyPoint::pointwise(point.clone(), constraint.clone()))
         .collect();
-    let pool = prdnn_par::pool_for(config.threads);
-    repair_key_points(ddnn, layer, &key_points, config, &pool, Duration::ZERO)
+    repair_key_points(ddnn, layer, &key_points, config, pool, Duration::ZERO)
 }
 
 #[cfg(test)]

@@ -116,6 +116,46 @@ pub struct RepairOutcome {
     pub stats: RepairStats,
 }
 
+impl RepairOutcome {
+    /// The provenance record for publishing this repair as a new model
+    /// version: what was repaired, against which spec, under which
+    /// configuration, and how large the change was.
+    pub fn provenance(&self, spec_hash: u64, config: &RepairConfig) -> RepairProvenance {
+        RepairProvenance {
+            spec_hash,
+            config: config.clone(),
+            layer: self.stats.layer,
+            num_key_points: self.stats.num_key_points,
+            delta_l1: self.stats.delta_l1,
+            delta_linf: self.stats.delta_linf,
+        }
+    }
+}
+
+/// Provenance of a published repair: enough metadata to audit where a
+/// model version came from without re-running the repair.
+///
+/// The serving layer attaches one of these to every model version a
+/// successful repair publishes; `spec_hash` is the
+/// [`PointSpec::content_hash`](crate::PointSpec::content_hash) /
+/// [`PolytopeSpec::content_hash`](crate::PolytopeSpec::content_hash) of the
+/// specification the version provably satisfies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepairProvenance {
+    /// Content hash of the repair specification.
+    pub spec_hash: u64,
+    /// The configuration the repair ran under.
+    pub config: RepairConfig,
+    /// The repaired (value-channel) layer.
+    pub layer: usize,
+    /// Number of key points encoded in the repair LP.
+    pub num_key_points: usize,
+    /// ℓ1 norm of the applied delta.
+    pub delta_l1: f64,
+    /// ℓ∞ norm of the applied delta.
+    pub delta_linf: f64,
+}
+
 /// Errors returned by the repair algorithms.
 #[derive(Debug, Clone, PartialEq)]
 pub enum RepairError {

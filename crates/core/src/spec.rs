@@ -106,6 +106,52 @@ impl OutputPolytope {
     }
 }
 
+/// An FNV-1a content hash accumulator for repair specifications.
+///
+/// The serving layer records which specification produced each published
+/// model version; hashing the exact `f64` bit patterns (not a textual
+/// rendering) makes the hash stable across processes and identical for
+/// bit-identical specs.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SpecHasher(u64);
+
+impl SpecHasher {
+    pub(crate) fn new() -> Self {
+        SpecHasher(0xcbf2_9ce4_8422_2325)
+    }
+
+    pub(crate) fn write_u64(&mut self, x: u64) {
+        for byte in x.to_le_bytes() {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    pub(crate) fn write_f64(&mut self, x: f64) {
+        self.write_u64(x.to_bits());
+    }
+
+    pub(crate) fn write_f64s(&mut self, xs: &[f64]) {
+        self.write_u64(xs.len() as u64);
+        for &x in xs {
+            self.write_f64(x);
+        }
+    }
+
+    pub(crate) fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+impl OutputPolytope {
+    pub(crate) fn hash_into(&self, h: &mut SpecHasher) {
+        h.write_u64(self.a.rows() as u64);
+        h.write_u64(self.a.cols() as u64);
+        h.write_f64s(self.a.as_slice());
+        h.write_f64s(&self.b);
+    }
+}
+
 /// A pointwise repair specification `(X, A·, b·)` (Definition 5.1): a finite
 /// set of input points, each paired with an output polytope it must be mapped
 /// into.
@@ -169,6 +215,21 @@ impl PointSpec {
             .iter()
             .zip(&self.constraints)
             .all(|(x, c)| c.contains(&eval(x), tol))
+    }
+
+    /// A content hash of the specification: equal for bit-identical specs,
+    /// stable across processes (FNV-1a over the exact `f64` bit patterns).
+    ///
+    /// Used as the `spec_hash` of a repair's
+    /// [`RepairProvenance`](crate::RepairProvenance).
+    pub fn content_hash(&self) -> u64 {
+        let mut h = SpecHasher::new();
+        h.write_u64(self.points.len() as u64);
+        for (point, constraint) in self.points.iter().zip(&self.constraints) {
+            h.write_f64s(point);
+            constraint.hash_into(&mut h);
+        }
+        h.finish()
     }
 }
 
@@ -271,6 +332,20 @@ impl PolytopeSpec {
     pub fn is_empty(&self) -> bool {
         self.polytopes.is_empty()
     }
+
+    /// A content hash of the specification (see [`PointSpec::content_hash`]).
+    pub fn content_hash(&self) -> u64 {
+        let mut h = SpecHasher::new();
+        h.write_u64(self.polytopes.len() as u64);
+        for (polytope, constraint) in self.polytopes.iter().zip(&self.constraints) {
+            h.write_u64(polytope.vertices.len() as u64);
+            for v in &polytope.vertices {
+                h.write_f64s(v);
+            }
+            constraint.hash_into(&mut h);
+        }
+        h.finish()
+    }
 }
 
 #[cfg(test)]
@@ -347,5 +422,28 @@ mod tests {
     #[should_panic]
     fn polygon_needs_three_vertices() {
         InputPolytope::polygon(vec![vec![0.0], vec![1.0]]);
+    }
+
+    #[test]
+    fn content_hash_distinguishes_specs_and_is_stable() {
+        let mut spec = PointSpec::new();
+        spec.push(vec![0.5], OutputPolytope::scalar_interval(-1.0, -0.8));
+        spec.push(vec![1.5], OutputPolytope::scalar_interval(-0.2, 0.0));
+        assert_eq!(spec.content_hash(), spec.clone().content_hash());
+        // Any bit-level change to a point or a constraint changes the hash.
+        let mut moved = spec.clone();
+        moved.points[0][0] = 0.5 + f64::EPSILON;
+        assert_ne!(spec.content_hash(), moved.content_hash());
+        let mut relaxed = spec.clone();
+        relaxed.constraints[1] = OutputPolytope::scalar_interval(-0.2, 0.1);
+        assert_ne!(spec.content_hash(), relaxed.content_hash());
+
+        let mut poly = PolytopeSpec::new();
+        poly.push(
+            InputPolytope::segment(vec![0.0], vec![1.0]),
+            OutputPolytope::scalar_interval(-1.0, 1.0),
+        );
+        assert_eq!(poly.content_hash(), poly.clone().content_hash());
+        assert_ne!(poly.content_hash(), spec.content_hash());
     }
 }

@@ -20,8 +20,14 @@
 //!   distilled from it, and a φ8-like safety property with 2-D repair slices
 //!   (the ACAS Xu stand-in).
 
+//!
+//! [`registry`] maps compact generator-spec strings (`"mlp:42:4x16x3"`,
+//! `"digits:7:160:40"`) onto these builders so the serving layer's model
+//! store can name its models' origins.
+
 pub mod acas;
 pub mod corruptions;
 pub mod digits;
 pub mod imagenet_like;
 pub mod natural_adversarial;
+pub mod registry;

@@ -66,6 +66,62 @@ const MARKOWITZ_THRESHOLD: f64 = 0.1;
 /// column scan).
 const MARKOWITZ_SEARCH_COLS: usize = 8;
 
+/// Count-bucketed lists of the active columns for the Markowitz pivot
+/// search: `buckets[c]` holds the active column indices whose active
+/// non-zero count is exactly `c`, and `pos[j]` is column `j`'s slot in its
+/// bucket.  Membership moves are O(1) swap-removes, so the per-step tier
+/// walk touches only the columns that actually live in a tier — an empty
+/// tier costs one `is_empty` check instead of a full O(n) column rescan.
+struct ColumnBuckets {
+    buckets: Vec<Vec<usize>>,
+    pos: Vec<usize>,
+}
+
+impl ColumnBuckets {
+    /// Builds the buckets from the initial column counts (counts never
+    /// exceed `n`, the number of rows).
+    fn new(col_count: &[usize]) -> Self {
+        let n = col_count.len();
+        let mut buckets = vec![Vec::new(); n + 1];
+        let mut pos = vec![usize::MAX; n];
+        for (j, &c) in col_count.iter().enumerate() {
+            pos[j] = buckets[c].len();
+            buckets[c].push(j);
+        }
+        ColumnBuckets { buckets, pos }
+    }
+
+    /// The columns currently in tier `count`.
+    fn tier(&self, count: usize) -> &[usize] {
+        &self.buckets[count]
+    }
+
+    /// Removes column `j` from tier `count` (its current count).
+    fn remove(&mut self, j: usize, count: usize) {
+        let bucket = &mut self.buckets[count];
+        let p = self.pos[j];
+        debug_assert_eq!(bucket[p], j, "bucket bookkeeping out of sync");
+        let last = bucket.pop().expect("removing from an empty bucket");
+        if last != j {
+            bucket[p] = last;
+            self.pos[last] = p;
+        }
+        self.pos[j] = usize::MAX;
+    }
+
+    /// Inserts column `j` into tier `count`.
+    fn insert(&mut self, j: usize, count: usize) {
+        self.pos[j] = self.buckets[count].len();
+        self.buckets[count].push(j);
+    }
+
+    /// Moves column `j` from tier `from` to tier `to`.
+    fn update(&mut self, j: usize, from: usize, to: usize) {
+        self.remove(j, from);
+        self.insert(j, to);
+    }
+}
+
 /// A triangular factor compressed by both columns and rows (strict part
 /// only; diagonals are stored separately or implied), in flat CSR/CSC-style
 /// arrays so a refactorisation costs a handful of allocations, not `O(n)`.
@@ -362,8 +418,11 @@ impl LuFactors {
                 }
             }
         }
+        let mut buckets = ColumnBuckets::new(&col_count);
         for k in 0..n {
-            // ---- Pivot search: columns in increasing-count tiers.
+            // ---- Pivot search: columns in increasing-count tiers, read
+            // straight off the count buckets (an empty tier costs O(1)
+            // instead of the former O(n) rescan of every column).
             // best = (markowitz_cost, |value|, row, col)
             let mut best: Option<(usize, f64, usize, usize)> = None;
             let mut examined_cols = 0usize;
@@ -377,10 +436,8 @@ impl LuFactors {
                         break;
                     }
                 }
-                for j in k..n {
-                    if col_count[j] != c {
-                        continue;
-                    }
+                for idx in 0..buckets.tier(c).len() {
+                    let j = buckets.tier(c)[idx];
                     // One pass for the column max, one for the candidates.
                     let mut col_max = 0.0f64;
                     for i in k..n {
@@ -424,7 +481,10 @@ impl LuFactors {
                 return Err(SingularMatrixError { column: k });
             };
             // ---- Swap the pivot into place (rows p↔k, columns q↔k), with
-            // the counts following their rows/columns.
+            // the counts following their rows/columns.  The pivot column
+            // leaves the buckets (it is eliminated); if a column swap
+            // happens, the column displaced from position k re-registers
+            // under its (unchanged) count at its new index q.
             ipiv[k] = p;
             if p != k {
                 for j in 0..n {
@@ -433,15 +493,19 @@ impl LuFactors {
                 row_count.swap(k, p);
             }
             jpiv[k] = q;
+            buckets.remove(q, col_count[q]);
             if q != k {
+                buckets.remove(k, col_count[k]);
                 for i in 0..n {
                     lu.swap(i * n + k, i * n + q);
                 }
                 col_count.swap(k, q);
+                buckets.insert(q, col_count[q]);
             }
             // ---- Retire the pivot row and column from the active counts.
             for j in k + 1..n {
                 if lu[k * n + j] != 0.0 {
+                    buckets.update(j, col_count[j], col_count[j] - 1);
                     col_count[j] -= 1;
                 }
             }
@@ -465,9 +529,11 @@ impl LuFactors {
                         let new = old - l * ukj;
                         if old == 0.0 && new != 0.0 {
                             row_count[i] += 1;
+                            buckets.update(j, col_count[j], col_count[j] + 1);
                             col_count[j] += 1;
                         } else if old != 0.0 && new == 0.0 {
                             row_count[i] -= 1;
+                            buckets.update(j, col_count[j], col_count[j] - 1);
                             col_count[j] -= 1;
                         }
                         lu[i * n + j] = new;

@@ -187,3 +187,28 @@ proptest! {
         prop_assert!(LuFactors::factorize_markowitz(6, dup.as_slice()).is_err());
     }
 }
+
+/// Fill-in regression pinning the count-bucketed Markowitz tier search on
+/// the canonical simplex-basis fixture: the 36 unit columns are count-0/1
+/// pivots that must be eliminated with zero fill, so the factor nnz is
+/// exactly the fixture's own nnz — any regression in the bucket
+/// bookkeeping (a stale tier, a missed count move) shows up as extra fill
+/// or a changed pivot order here.
+#[test]
+fn markowitz_fill_regression_on_fixed_block_sparse_fixture() {
+    let vals: Vec<f64> = (0..24).map(|k| 0.5 + 0.07 * k as f64).collect();
+    let a = block_sparse_basis(48, 6, &vals);
+    let fixture_nnz = a.as_slice().iter().filter(|&&x| x != 0.0).count();
+    let mk = LuFactors::factorize_markowitz(48, a.as_slice()).expect("fixture is invertible");
+    assert_eq!(
+        (mk.nnz(), fixture_nnz),
+        (84, 84),
+        "markowitz fill on the pinned fixture changed"
+    );
+    // The ordering must never do worse than plain partial pivoting here.
+    let pp = LuFactors::factorize_matrix(&a).unwrap();
+    assert!(mk.nnz() <= pp.nnz(), "mk {} vs pp {}", mk.nnz(), pp.nnz());
+    let b: Vec<f64> = (0..48).map(|i| (i as f64) * 0.25 - 6.0).collect();
+    assert!(max_residual(&a, &mk.solve(&b), &b) < 1e-8);
+    assert!(max_residual(&a.transpose(), &mk.solve_transpose(&b), &b) < 1e-8);
+}

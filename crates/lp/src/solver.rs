@@ -74,16 +74,44 @@ impl PricingRule {
     /// Precedence mirrors the thread knob: an explicit rule wins over the
     /// `PRDNN_LP_PRICING` environment variable, which wins over the
     /// built-in default (Devex).  Unrecognised variable values fall through
-    /// to the default, like an unparsable `PRDNN_THREADS`.
+    /// to the default, like an unparsable `PRDNN_THREADS` — but not
+    /// silently: the first one seen prints a warning naming the variable
+    /// and the value to stderr.
     fn resolve(self) -> Pricing {
         match self {
             PricingRule::Dantzig => Pricing::Dantzig,
             PricingRule::Devex => Pricing::Devex,
             PricingRule::Auto => match std::env::var("PRDNN_LP_PRICING") {
-                Ok(v) if v.eq_ignore_ascii_case("dantzig") => Pricing::Dantzig,
-                _ => Pricing::Devex,
+                Ok(raw) => match parse_pricing_value(&raw) {
+                    Ok(pricing) => pricing,
+                    Err(warning) => {
+                        static WARNED: std::sync::Once = std::sync::Once::new();
+                        WARNED.call_once(|| eprintln!("{warning}"));
+                        Pricing::Devex
+                    }
+                },
+                Err(_) => Pricing::Devex,
             },
         }
+    }
+}
+
+/// Parses a `PRDNN_LP_PRICING` value (`dantzig` or `devex`, case
+/// insensitive), or returns the warning message (naming the variable and
+/// the offending value) emitted when it is unrecognised.
+///
+/// Split out of [`PricingRule::resolve`] so the warning path is
+/// unit-testable without capturing stderr.
+fn parse_pricing_value(raw: &str) -> Result<Pricing, String> {
+    if raw.eq_ignore_ascii_case("dantzig") {
+        Ok(Pricing::Dantzig)
+    } else if raw.eq_ignore_ascii_case("devex") {
+        Ok(Pricing::Devex)
+    } else {
+        Err(format!(
+            "warning: ignoring PRDNN_LP_PRICING={raw:?}: \
+             expected \"dantzig\" or \"devex\"; falling back to devex"
+        ))
     }
 }
 
@@ -521,6 +549,18 @@ mod tests {
         }
         lp.minimize_l1_of(&xs);
         assert_eq!(solve_with_limit(&lp, 1), Err(LpError::IterationLimit));
+    }
+
+    #[test]
+    fn unrecognised_pricing_values_warn_and_fall_back() {
+        assert_eq!(parse_pricing_value("dantzig"), Ok(Pricing::Dantzig));
+        assert_eq!(parse_pricing_value("DEVEX"), Ok(Pricing::Devex));
+        for bad in ["", "steepest", "devex ", "bland"] {
+            let warning = parse_pricing_value(bad).expect_err(bad);
+            assert!(warning.contains("PRDNN_LP_PRICING"), "{warning}");
+            assert!(warning.contains(bad), "{warning}");
+            assert!(warning.contains("devex"), "{warning}");
+        }
     }
 
     #[test]

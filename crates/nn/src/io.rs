@@ -1,0 +1,416 @@
+//! JSON (de)serialisation of networks.
+//!
+//! The serving layer's versioned model store and its wire protocol need a
+//! durable representation of a [`Network`]; this module maps the layer
+//! types onto the [`serde::json`] document model.  Weights are written with
+//! the shortest-round-trip `f64` formatting, so a serialise→parse cycle
+//! reproduces the network **bit for bit** (asserted by the round-trip
+//! tests) — a repaired model shipped through the store evaluates exactly
+//! like the in-process original.
+//!
+//! Schema (one object per layer, in layer order):
+//!
+//! ```json
+//! {"layers": [
+//!   {"kind": "dense", "weights": {"rows": 2, "cols": 3, "data": [...]},
+//!    "bias": [...], "activation": "relu"},
+//!   {"kind": "conv2d", "in_channels": 1, ..., "weights": [...], "bias": [...],
+//!    "activation": {"leaky_relu": 0.01}},
+//!   {"kind": "max_pool2d", "channels": 4, "in_height": 8, "in_width": 8,
+//!    "pool_h": 2, "pool_w": 2, "stride": 2}
+//! ]}
+//! ```
+
+use crate::activation::Activation;
+use crate::layer::{Conv2dLayer, DenseLayer, Layer, Pool2dLayer};
+use crate::network::Network;
+use prdnn_linalg::Matrix;
+use serde::json::Value;
+
+/// Serialises a network to the JSON document model.
+pub fn network_to_json(net: &Network) -> Value {
+    Value::obj([(
+        "layers",
+        Value::Arr(net.layers().iter().map(layer_to_json).collect()),
+    )])
+}
+
+/// Parses a network from the JSON document model.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed field.  Layer dimension
+/// chaining is validated by [`Network::new`]'s own checks, reported as an
+/// error rather than a panic.
+pub fn network_from_json(value: &Value) -> Result<Network, String> {
+    let layers = value
+        .get("layers")
+        .and_then(Value::as_arr)
+        .ok_or("network: missing \"layers\" array")?;
+    if layers.is_empty() {
+        return Err("network: needs at least one layer".to_owned());
+    }
+    let layers: Vec<Layer> = layers
+        .iter()
+        .enumerate()
+        .map(|(i, l)| layer_from_json(l).map_err(|e| format!("layer {i}: {e}")))
+        .collect::<Result<_, _>>()?;
+    // Re-validate the dimension chaining that `Network::new` asserts, so a
+    // malformed document is an `Err`, not a panic.
+    for i in 0..layers.len() - 1 {
+        if layers[i].output_dim() != layers[i + 1].input_dim() {
+            return Err(format!(
+                "network: layer {} output dim {} does not match layer {} input dim {}",
+                i,
+                layers[i].output_dim(),
+                i + 1,
+                layers[i + 1].input_dim()
+            ));
+        }
+    }
+    Ok(Network::new(layers))
+}
+
+fn layer_to_json(layer: &Layer) -> Value {
+    match layer {
+        Layer::Dense(d) => Value::obj([
+            ("kind", Value::Str("dense".to_owned())),
+            ("weights", matrix_to_json(&d.weights)),
+            ("bias", Value::num_array(&d.bias)),
+            ("activation", activation_to_json(d.activation)),
+        ]),
+        Layer::Conv2d(c) => Value::obj([
+            ("kind", Value::Str("conv2d".to_owned())),
+            ("in_channels", Value::Num(c.in_channels as f64)),
+            ("in_height", Value::Num(c.in_height as f64)),
+            ("in_width", Value::Num(c.in_width as f64)),
+            ("out_channels", Value::Num(c.out_channels as f64)),
+            ("kernel_h", Value::Num(c.kernel_h as f64)),
+            ("kernel_w", Value::Num(c.kernel_w as f64)),
+            ("stride", Value::Num(c.stride as f64)),
+            ("padding", Value::Num(c.padding as f64)),
+            ("weights", Value::num_array(&c.weights)),
+            ("bias", Value::num_array(&c.bias)),
+            ("activation", activation_to_json(c.activation)),
+        ]),
+        Layer::MaxPool2d(p) => pool_to_json("max_pool2d", p),
+        Layer::AvgPool2d(p) => pool_to_json("avg_pool2d", p),
+    }
+}
+
+fn pool_to_json(kind: &'static str, p: &Pool2dLayer) -> Value {
+    Value::obj([
+        ("kind", Value::Str(kind.to_owned())),
+        ("channels", Value::Num(p.channels as f64)),
+        ("in_height", Value::Num(p.in_height as f64)),
+        ("in_width", Value::Num(p.in_width as f64)),
+        ("pool_h", Value::Num(p.pool_h as f64)),
+        ("pool_w", Value::Num(p.pool_w as f64)),
+        ("stride", Value::Num(p.stride as f64)),
+    ])
+}
+
+fn layer_from_json(value: &Value) -> Result<Layer, String> {
+    let kind = value
+        .get("kind")
+        .and_then(Value::as_str)
+        .ok_or("missing \"kind\"")?;
+    match kind {
+        "dense" => {
+            let weights = matrix_from_json(value.get("weights").ok_or("missing \"weights\"")?)?;
+            let bias = f64_vec(value, "bias")?;
+            if bias.len() != weights.rows() {
+                return Err(format!(
+                    "bias length {} does not match weight rows {}",
+                    bias.len(),
+                    weights.rows()
+                ));
+            }
+            let activation =
+                activation_from_json(value.get("activation").ok_or("missing \"activation\"")?)?;
+            Ok(Layer::Dense(DenseLayer::new(weights, bias, activation)))
+        }
+        "conv2d" => {
+            let c = Conv2dLayer {
+                in_channels: usize_field(value, "in_channels")?,
+                in_height: usize_field(value, "in_height")?,
+                in_width: usize_field(value, "in_width")?,
+                out_channels: usize_field(value, "out_channels")?,
+                kernel_h: usize_field(value, "kernel_h")?,
+                kernel_w: usize_field(value, "kernel_w")?,
+                stride: usize_field(value, "stride")?,
+                padding: usize_field(value, "padding")?,
+                weights: f64_vec(value, "weights")?,
+                bias: f64_vec(value, "bias")?,
+                activation: activation_from_json(
+                    value.get("activation").ok_or("missing \"activation\"")?,
+                )?,
+            };
+            if c.stride == 0 {
+                return Err("conv2d: stride must be positive".to_owned());
+            }
+            if c.kernel_h == 0 || c.kernel_w == 0 || c.in_channels == 0 || c.out_channels == 0 {
+                return Err("conv2d: channels and kernel dims must be positive".to_owned());
+            }
+            let expected = checked_product(
+                "conv2d: out_channels×in_channels×kernel",
+                &[c.out_channels, c.in_channels, c.kernel_h, c.kernel_w],
+            )?;
+            if c.weights.len() != expected {
+                return Err(format!(
+                    "conv2d: {} weights but out_channels×in_channels×kernel = {expected}",
+                    c.weights.len()
+                ));
+            }
+            if c.bias.len() != c.out_channels {
+                return Err(format!(
+                    "conv2d: {} biases but out_channels = {}",
+                    c.bias.len(),
+                    c.out_channels
+                ));
+            }
+            let padded_h = c
+                .in_height
+                .checked_add(2 * c.padding)
+                .ok_or("conv2d: padded height overflows")?;
+            let padded_w = c
+                .in_width
+                .checked_add(2 * c.padding)
+                .ok_or("conv2d: padded width overflows")?;
+            if padded_h < c.kernel_h || padded_w < c.kernel_w {
+                return Err("conv2d: kernel larger than padded input".to_owned());
+            }
+            checked_product(
+                "conv2d: input volume",
+                &[c.in_channels, c.in_height, c.in_width],
+            )?;
+            Ok(Layer::Conv2d(c))
+        }
+        "max_pool2d" | "avg_pool2d" => {
+            let p = Pool2dLayer {
+                channels: usize_field(value, "channels")?,
+                in_height: usize_field(value, "in_height")?,
+                in_width: usize_field(value, "in_width")?,
+                pool_h: usize_field(value, "pool_h")?,
+                pool_w: usize_field(value, "pool_w")?,
+                stride: usize_field(value, "stride")?,
+            };
+            if p.stride == 0 {
+                return Err("pool2d: stride must be positive".to_owned());
+            }
+            if p.pool_h == 0 || p.pool_w == 0 || p.channels == 0 {
+                return Err("pool2d: channels and window dims must be positive".to_owned());
+            }
+            if p.in_height < p.pool_h || p.in_width < p.pool_w {
+                return Err("pool2d: window larger than input".to_owned());
+            }
+            // Pooling layers have no weight arrays anchoring their size, so
+            // the input volume must be bounded explicitly: window
+            // enumeration allocates proportionally to it.
+            let volume = checked_product(
+                "pool2d: input volume",
+                &[p.channels, p.in_height, p.in_width],
+            )?;
+            if volume > MAX_POOL_VOLUME {
+                return Err(format!(
+                    "pool2d: input volume {volume} exceeds the {MAX_POOL_VOLUME} cap"
+                ));
+            }
+            Ok(if kind == "max_pool2d" {
+                Layer::MaxPool2d(p)
+            } else {
+                Layer::AvgPool2d(p)
+            })
+        }
+        other => Err(format!("unknown layer kind {other:?}")),
+    }
+}
+
+fn matrix_to_json(m: &Matrix) -> Value {
+    Value::obj([
+        ("rows", Value::Num(m.rows() as f64)),
+        ("cols", Value::Num(m.cols() as f64)),
+        ("data", Value::num_array(m.as_slice())),
+    ])
+}
+
+/// Maximum pooling-layer input volume accepted from untrusted documents
+/// (dense/conv sizes are anchored by their weight arrays; pooling has no
+/// such anchor).  Far above any model in this workspace.
+const MAX_POOL_VOLUME: usize = 1 << 24;
+
+/// Multiplies dimensions with overflow checking: crafted documents with
+/// huge dims must be rejected, not wrapped past the size checks in
+/// release builds.
+fn checked_product(what: &str, dims: &[usize]) -> Result<usize, String> {
+    dims.iter().try_fold(1usize, |acc, &d| {
+        acc.checked_mul(d)
+            .ok_or_else(|| format!("{what} overflows"))
+    })
+}
+
+fn matrix_from_json(value: &Value) -> Result<Matrix, String> {
+    let rows = usize_field(value, "rows")?;
+    let cols = usize_field(value, "cols")?;
+    let data = f64_vec(value, "data")?;
+    if Some(data.len()) != rows.checked_mul(cols) {
+        return Err(format!(
+            "matrix: {} entries do not match rows {rows} × cols {cols}",
+            data.len()
+        ));
+    }
+    Ok(Matrix::from_flat(rows, cols, data))
+}
+
+fn activation_to_json(a: Activation) -> Value {
+    match a {
+        Activation::Relu => Value::Str("relu".to_owned()),
+        Activation::HardTanh => Value::Str("hard_tanh".to_owned()),
+        Activation::Tanh => Value::Str("tanh".to_owned()),
+        Activation::Sigmoid => Value::Str("sigmoid".to_owned()),
+        Activation::Identity => Value::Str("identity".to_owned()),
+        Activation::LeakyRelu { alpha } => Value::obj([("leaky_relu", Value::Num(alpha))]),
+    }
+}
+
+fn activation_from_json(value: &Value) -> Result<Activation, String> {
+    if let Some(name) = value.as_str() {
+        return match name {
+            "relu" => Ok(Activation::Relu),
+            "hard_tanh" => Ok(Activation::HardTanh),
+            "tanh" => Ok(Activation::Tanh),
+            "sigmoid" => Ok(Activation::Sigmoid),
+            "identity" => Ok(Activation::Identity),
+            other => Err(format!("unknown activation {other:?}")),
+        };
+    }
+    if let Some(alpha) = value.get("leaky_relu").and_then(Value::as_f64) {
+        return Ok(Activation::LeakyRelu { alpha });
+    }
+    Err("activation: expected a name or {\"leaky_relu\": alpha}".to_owned())
+}
+
+fn usize_field(value: &Value, key: &str) -> Result<usize, String> {
+    value
+        .get(key)
+        .and_then(Value::as_usize)
+        .ok_or_else(|| format!("missing or non-integer \"{key}\""))
+}
+
+fn f64_vec(value: &Value, key: &str) -> Result<Vec<f64>, String> {
+    value
+        .get(key)
+        .and_then(Value::as_f64_vec)
+        .ok_or_else(|| format!("missing or non-numeric \"{key}\""))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mlp_round_trips_bit_for_bit() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let net = Network::mlp(&[5, 9, 4], Activation::Relu, &mut rng);
+        let doc = network_to_json(&net).to_json();
+        let back = network_from_json(&Value::parse(&doc).unwrap()).unwrap();
+        assert_eq!(back, net);
+        // Bit-for-bit parameters, not just approximate equality.
+        for (a, b) in net.params().iter().zip(back.params()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn every_layer_kind_round_trips() {
+        let net = Network::new(vec![
+            Layer::Conv2d(Conv2dLayer {
+                in_channels: 1,
+                in_height: 6,
+                in_width: 6,
+                out_channels: 2,
+                kernel_h: 3,
+                kernel_w: 3,
+                stride: 1,
+                padding: 1,
+                weights: (0..18).map(|k| k as f64 * 0.1 - 0.9).collect(),
+                bias: vec![0.1, -0.2],
+                activation: Activation::LeakyRelu { alpha: 0.02 },
+            }),
+            Layer::MaxPool2d(Pool2dLayer {
+                channels: 2,
+                in_height: 6,
+                in_width: 6,
+                pool_h: 2,
+                pool_w: 2,
+                stride: 2,
+            }),
+            Layer::AvgPool2d(Pool2dLayer {
+                channels: 2,
+                in_height: 3,
+                in_width: 3,
+                pool_h: 3,
+                pool_w: 3,
+                stride: 3,
+            }),
+            Layer::dense(
+                Matrix::from_rows(&[vec![1.0, -1.0]]),
+                vec![0.5],
+                Activation::HardTanh,
+            ),
+        ]);
+        let doc = network_to_json(&net).to_json();
+        let back = network_from_json(&Value::parse(&doc).unwrap()).unwrap();
+        assert_eq!(back, net);
+        let x: Vec<f64> = (0..36).map(|k| (k as f64 * 0.37).sin()).collect();
+        assert_eq!(net.forward(&x), back.forward(&x));
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected_with_context() {
+        let cases = [
+            (r#"{}"#, "layers"),
+            (r#"{"layers": []}"#, "at least one"),
+            (r#"{"layers": [{"kind": "warp"}]}"#, "unknown layer kind"),
+            (
+                r#"{"layers": [{"kind": "dense", "weights": {"rows": 1, "cols": 2, "data": [1.0]}, "bias": [0.0], "activation": "relu"}]}"#,
+                "do not match rows",
+            ),
+            // Huge dims must be rejected by checked arithmetic, not
+            // wrapped past the size checks.
+            (
+                r#"{"layers": [{"kind": "dense", "weights": {"rows": 4611686018427387904, "cols": 4, "data": [1.0]}, "bias": [0.0], "activation": "relu"}]}"#,
+                "do not match rows",
+            ),
+            (
+                r#"{"layers": [{"kind": "conv2d", "in_channels": 4611686018427387904, "in_height": 2, "in_width": 2, "out_channels": 1, "kernel_h": 2, "kernel_w": 2, "stride": 1, "padding": 0, "weights": [], "bias": [0.0], "activation": "relu"}]}"#,
+                "overflows",
+            ),
+            (
+                r#"{"layers": [{"kind": "max_pool2d", "channels": 100000000, "in_height": 1000, "in_width": 1000, "pool_h": 1, "pool_w": 1, "stride": 1}]}"#,
+                "cap",
+            ),
+            (
+                r#"{"layers": [{"kind": "dense", "weights": {"rows": 1, "cols": 1, "data": [1.0]}, "bias": [0.0, 0.0], "activation": "relu"}]}"#,
+                "bias length",
+            ),
+            (
+                r#"{"layers": [{"kind": "dense", "weights": {"rows": 1, "cols": 1, "data": [1.0]}, "bias": [0.0], "activation": "softplus"}]}"#,
+                "unknown activation",
+            ),
+            (
+                r#"{"layers": [
+                    {"kind": "dense", "weights": {"rows": 2, "cols": 1, "data": [1.0, 2.0]}, "bias": [0.0, 0.0], "activation": "relu"},
+                    {"kind": "dense", "weights": {"rows": 1, "cols": 3, "data": [1.0, 2.0, 3.0]}, "bias": [0.0], "activation": "identity"}
+                ]}"#,
+                "does not match",
+            ),
+        ];
+        for (doc, needle) in cases {
+            let err = network_from_json(&Value::parse(doc).unwrap()).unwrap_err();
+            assert!(err.contains(needle), "{err:?} should mention {needle:?}");
+        }
+    }
+}

@@ -27,11 +27,13 @@
 //! ```
 
 mod activation;
+pub mod io;
 mod layer;
 mod network;
 pub mod train;
 
 pub use activation::Activation;
+pub use io::{network_from_json, network_to_json};
 pub use layer::{
     ActivationLinearization, Conv2dLayer, CrossingSpec, DenseLayer, Layer, Pool2dLayer,
 };

@@ -20,6 +20,11 @@
 //!   chunks still run, and the first payload is re-raised on the calling
 //!   thread ([`std::panic::resume_unwind`]), matching the serial behaviour
 //!   as closely as possible.
+//! * The submitting thread is not idle while its job runs: it pops and runs
+//!   its own job's pending chunks and only sleeps on the completion condvar
+//!   when every remaining chunk is already executing on a worker.  (It
+//!   never runs *other* jobs' chunks — that could strand it in a long
+//!   foreign chunk after its own job finished.)
 //! * A pool of [`ThreadPool::new`]`(1)` spawns **no worker threads**: every
 //!   call runs inline on the caller, giving a guaranteed serial fallback.
 //! * Nested calls from inside a worker run inline (serially) on that
@@ -127,6 +132,24 @@ impl Shared {
             let victim = (who + offset) % n;
             if let Some(task) = self.deques[victim].lock().unwrap().pop_back() {
                 return Some(task);
+            }
+        }
+        None
+    }
+
+    /// Pops a pending chunk of `job` for its *submitting* thread, wherever
+    /// the chunk sits.
+    ///
+    /// Only the submitter's own job is eligible: running another job's
+    /// chunk here could leave this thread stuck in a long foreign chunk
+    /// after its own job finished, delaying the `par_map` return
+    /// unboundedly (latency-sensitive callers — e.g. a serving batch
+    /// worker sharing the pool with repair workers — care).
+    fn own_job_task(&self, job: &Arc<JobCore>) -> Option<Task> {
+        for deque in &self.deques {
+            let mut queue = deque.lock().unwrap();
+            if let Some(idx) = queue.iter().position(|t| Arc::ptr_eq(&t.job, job)) {
+                return queue.remove(idx);
             }
         }
         None
@@ -357,11 +380,36 @@ impl ThreadPool {
 
         // Block until every chunk has run.  This wait is unconditional —
         // the soundness of the lifetime erasure above depends on it.
-        let mut done = job.done.lock().unwrap();
-        while !*done {
-            done = job.done_cv.wait(done).unwrap();
+        //
+        // The submitting thread *participates* while it waits: it pops and
+        // runs its own job's pending chunks and only sleeps on the condvar
+        // when none are left in the deques — i.e. when the remaining
+        // chunks are already executing on workers.  This removes the
+        // condvar round-trip from the common many-small-jobs pattern
+        // (`plane_regions` submits one job per layer) and lets an n-thread
+        // pool apply n threads of compute, not n worker threads plus an
+        // idle caller.
+        loop {
+            if *job.done.lock().unwrap() {
+                break;
+            }
+            if let Some(task) = self.shared.own_job_task(&job) {
+                task.execute();
+                continue;
+            }
+            let done = job.done.lock().unwrap();
+            if *done {
+                break;
+            }
+            // No runnable chunk and the job is unfinished: its remaining
+            // chunks are in flight on workers, whose completion notifies
+            // `done_cv` (the flag is set under this mutex, so the wakeup
+            // cannot be missed).
+            let done = job.done_cv.wait(done).unwrap();
+            if *done {
+                break;
+            }
         }
-        drop(done);
 
         let payload = job.panic.lock().unwrap().take();
         if let Some(payload) = payload {
@@ -384,13 +432,37 @@ impl Drop for ThreadPool {
     }
 }
 
+/// Parses a `PRDNN_THREADS` value: a positive integer, or a warning
+/// message (naming the variable and the offending value) when it is not.
+///
+/// Split out of [`env_threads`] so the warning path is unit-testable
+/// without capturing stderr.
+fn parse_threads_value(raw: &str) -> Result<usize, String> {
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n > 0 => Ok(n),
+        _ => Err(format!(
+            "warning: ignoring PRDNN_THREADS={raw:?}: \
+             expected a positive integer; falling back to available parallelism"
+        )),
+    }
+}
+
 /// The thread count requested via the `PRDNN_THREADS` environment variable,
 /// if set to a positive integer.
+///
+/// An unparsable value is ignored, but no longer silently: the first time
+/// one is seen, a warning naming the variable and the value is printed to
+/// stderr.
 pub fn env_threads() -> Option<usize> {
-    std::env::var("PRDNN_THREADS")
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .filter(|&n| n > 0)
+    let raw = std::env::var("PRDNN_THREADS").ok()?;
+    match parse_threads_value(&raw) {
+        Ok(n) => Some(n),
+        Err(warning) => {
+            static WARNED: std::sync::Once = std::sync::Once::new();
+            WARNED.call_once(|| eprintln!("{warning}"));
+            None
+        }
+    }
 }
 
 /// The parallelism the global pool uses: `PRDNN_THREADS` if set, otherwise
@@ -572,6 +644,47 @@ mod tests {
     }
 
     #[test]
+    fn caller_participates_while_waiting() {
+        // Block every pool worker *and* a separate submitting thread inside
+        // one job, then submit a second job from this thread: with all
+        // workers pinned, the second job can only make progress if the
+        // submitting thread runs its own chunks instead of sleeping on the
+        // condvar (under the old sleep-only wait this test deadlocks).
+        let pool = Arc::new(ThreadPool::new(2));
+        let barrier = Arc::new(std::sync::Barrier::new(4));
+        let started = Arc::new(AtomicUsize::new(0));
+        let blocker = {
+            let pool = Arc::clone(&pool);
+            let barrier = Arc::clone(&barrier);
+            let started = Arc::clone(&started);
+            thread::spawn(move || {
+                // Three chunks: two workers plus the submitting thread
+                // itself (helping) each take one and block on the barrier.
+                pool.par_map(vec![0, 1, 2], |x| {
+                    started.fetch_add(1, Ordering::SeqCst);
+                    barrier.wait();
+                    x
+                })
+            })
+        };
+        // Wait until all three blocking chunks are running, i.e. both
+        // workers and the blocker thread are pinned inside the barrier.
+        while started.load(Ordering::SeqCst) < 3 {
+            thread::yield_now();
+        }
+        let caller = thread::current().id();
+        let ids = pool.par_map((0..16).collect::<Vec<_>>(), |_| thread::current().id());
+        assert!(
+            ids.iter().all(|&id| id == caller),
+            "with all workers blocked, every chunk must run on the caller"
+        );
+        // Release the blocked job and make sure the pool is healthy.
+        barrier.wait();
+        assert_eq!(blocker.join().unwrap(), vec![0, 1, 2]);
+        assert_eq!(pool.par_map(vec![1, 2], |x| x * 2), vec![2, 4]);
+    }
+
+    #[test]
     fn concurrent_jobs_from_multiple_threads() {
         let pool = Arc::new(ThreadPool::new(4));
         let handles: Vec<_> = (0..4)
@@ -587,6 +700,17 @@ mod tests {
             .collect();
         for h in handles {
             h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn unparsable_thread_counts_warn_and_fall_back() {
+        assert_eq!(parse_threads_value("4"), Ok(4));
+        assert_eq!(parse_threads_value(" 2 "), Ok(2));
+        for bad in ["", "zero", "-1", "0", "4.5", "1e3"] {
+            let warning = parse_threads_value(bad).expect_err(bad);
+            assert!(warning.contains("PRDNN_THREADS"), "{warning}");
+            assert!(warning.contains(bad), "{warning}");
         }
     }
 

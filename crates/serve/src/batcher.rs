@@ -1,0 +1,477 @@
+//! The request planner/batcher.
+//!
+//! Connection threads never run network math.  They submit work items
+//! (an `eval` or `lin_regions` payload, the resolved model version, a
+//! deadline, and a reply channel) into a bounded queue and block on the
+//! reply.  A dedicated batch worker drains the *whole* queue at once,
+//! groups the items by model version, and executes **one** batched library
+//! call per group on the shared `prdnn-par` pool — ten concurrent clients
+//! asking about the same version cost one layer-at-a-time sweep.
+//!
+//! Coalescing changes nothing numerically: the batched entry points are
+//! bit-identical to their serial counterparts (pinned by the PR 3
+//! determinism suite), and results are split back per request in
+//! submission order.
+//!
+//! Admission control lives here too: a full queue rejects instead of
+//! buffering without bound, items whose deadline expired before their
+//! batch ran are answered with `deadline_exceeded` without paying for the
+//! forward pass, and shutdown drains the queue before the worker exits.
+
+use crate::protocol::ErrorKind;
+use crate::store::ModelVersion;
+use prdnn_par::PoolRef;
+use prdnn_syrenn::LinearRegion;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// One batched call's payload.
+#[derive(Debug)]
+pub enum Call {
+    /// Forward-evaluate a batch of points.
+    Eval(Vec<Vec<f64>>),
+    /// Linear regions of a batch of input polytopes.
+    LinRegions(Vec<Vec<Vec<f64>>>),
+}
+
+/// A successful reply's payload.
+#[derive(Debug)]
+pub enum ReplyData {
+    /// Outputs, one per submitted input.
+    Outputs(Vec<Vec<f64>>),
+    /// Regions, one list per submitted polytope.
+    Regions(Vec<Vec<LinearRegion>>),
+}
+
+/// What a submitter receives back.
+pub type Reply = Result<ReplyData, (ErrorKind, String)>;
+
+struct Pending {
+    version: Arc<ModelVersion>,
+    call: Call,
+    deadline: Instant,
+    reply: Sender<Reply>,
+}
+
+struct BatchState {
+    queue: Vec<Pending>,
+    shutdown: bool,
+}
+
+/// Counters exposed through the `stats` request.
+#[derive(Debug, Default)]
+pub struct BatchCounters {
+    /// `eval` items accepted.
+    pub eval_requests: AtomicU64,
+    /// Batched forward calls executed.
+    pub eval_batches: AtomicU64,
+    /// Points pushed through those calls.
+    pub eval_points: AtomicU64,
+    /// `lin_regions` items accepted.
+    pub lin_requests: AtomicU64,
+    /// Batched `lin_regions` calls executed.
+    pub lin_batches: AtomicU64,
+    /// Polytopes pushed through those calls.
+    pub lin_polytopes: AtomicU64,
+}
+
+/// The coalescing batcher; see the module docs.
+pub struct Batcher {
+    state: Mutex<BatchState>,
+    cv: Condvar,
+    cap: usize,
+    pool: Arc<PoolRef>,
+    /// Request/batch counters.
+    pub counters: BatchCounters,
+}
+
+impl Batcher {
+    /// Creates a batcher whose queue holds at most `cap` pending items.
+    pub fn new(pool: Arc<PoolRef>, cap: usize) -> Self {
+        Batcher {
+            state: Mutex::new(BatchState {
+                queue: Vec::new(),
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+            cap: cap.max(1),
+            pool,
+            counters: BatchCounters::default(),
+        }
+    }
+
+    /// Submits one work item, returning the channel the reply will arrive
+    /// on.
+    ///
+    /// # Errors
+    ///
+    /// `(Overloaded, ..)` when the queue is full, `(ShuttingDown, ..)`
+    /// once shutdown has begun.
+    pub fn submit(
+        &self,
+        version: Arc<ModelVersion>,
+        call: Call,
+        deadline: Instant,
+    ) -> Result<Receiver<Reply>, (ErrorKind, String)> {
+        let (tx, rx) = std::sync::mpsc::channel();
+        {
+            let mut state = self.state.lock().unwrap();
+            if state.shutdown {
+                return Err((
+                    ErrorKind::ShuttingDown,
+                    "server is draining; no new work accepted".to_owned(),
+                ));
+            }
+            if state.queue.len() >= self.cap {
+                return Err((
+                    ErrorKind::Overloaded,
+                    format!("batch queue full ({} pending items)", self.cap),
+                ));
+            }
+            match &call {
+                Call::Eval(_) => self.counters.eval_requests.fetch_add(1, Ordering::Relaxed),
+                Call::LinRegions(_) => self.counters.lin_requests.fetch_add(1, Ordering::Relaxed),
+            };
+            state.queue.push(Pending {
+                version,
+                call,
+                deadline,
+                reply: tx,
+            });
+        }
+        self.cv.notify_one();
+        Ok(rx)
+    }
+
+    /// The worker loop: drain, execute, repeat; on shutdown, drain whatever
+    /// is left, then exit.  Run this on a dedicated thread.
+    pub fn worker_loop(self: &Arc<Self>) {
+        loop {
+            let (batch, shutdown) = {
+                let mut state = self.state.lock().unwrap();
+                while state.queue.is_empty() && !state.shutdown {
+                    state = self.cv.wait(state).unwrap();
+                }
+                (std::mem::take(&mut state.queue), state.shutdown)
+            };
+            let drained_empty = batch.is_empty();
+            // The worker must survive a panicking forward pass (e.g. a
+            // malformed model that slipped past validation): the batch's
+            // reply senders are dropped by the unwind, so affected
+            // submitters see a disconnect — and the next batch is served
+            // normally instead of the whole eval plane going dark.
+            let _ =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.run_batch(batch)));
+            if shutdown && drained_empty {
+                return;
+            }
+        }
+    }
+
+    /// Drains and executes the current queue once without blocking
+    /// (used by tests to pin coalescing deterministically).  Returns the
+    /// number of items processed.
+    pub fn drain_once(&self) -> usize {
+        let batch = std::mem::take(&mut self.state.lock().unwrap().queue);
+        let n = batch.len();
+        self.run_batch(batch);
+        n
+    }
+
+    /// Begins shutdown: rejects new submissions and wakes the worker to
+    /// drain the remainder.
+    pub fn shutdown(&self) {
+        self.state.lock().unwrap().shutdown = true;
+        self.cv.notify_all();
+    }
+
+    /// Groups the drained items by `(version, kind)` in first-seen order
+    /// and executes one batched call per group.
+    fn run_batch(&self, batch: Vec<Pending>) {
+        let now = Instant::now();
+        let mut live = Vec::with_capacity(batch.len());
+        for item in batch {
+            if item.deadline <= now {
+                let _ = item.reply.send(Err((
+                    ErrorKind::DeadlineExceeded,
+                    "deadline expired before the batch ran".to_owned(),
+                )));
+            } else {
+                live.push(item);
+            }
+        }
+        let mut groups: Vec<(bool, Arc<ModelVersion>, Vec<Pending>)> = Vec::new();
+        for item in live {
+            let is_eval = matches!(item.call, Call::Eval(_));
+            match groups
+                .iter_mut()
+                .find(|(e, v, _)| *e == is_eval && Arc::ptr_eq(v, &item.version))
+            {
+                Some((_, _, members)) => members.push(item),
+                None => groups.push((is_eval, Arc::clone(&item.version), vec![item])),
+            }
+        }
+        for (is_eval, version, members) in groups {
+            if is_eval {
+                self.run_eval_group(&version, members);
+            } else {
+                self.run_lin_group(&version, members);
+            }
+        }
+    }
+
+    fn run_eval_group(&self, version: &ModelVersion, members: Vec<Pending>) {
+        let inputs: Vec<&Vec<f64>> = members
+            .iter()
+            .flat_map(|m| match &m.call {
+                Call::Eval(inputs) => inputs.iter(),
+                Call::LinRegions(_) => unreachable!("eval group holds eval calls"),
+            })
+            .collect();
+        // The decoupled forward with both channels at the same point is the
+        // served model's semantics (identical to `ddnn.forward` point by
+        // point, batched layer-at-a-time here).
+        let pairs: Vec<(&[f64], &[f64])> = inputs
+            .iter()
+            .map(|x| (x.as_slice(), x.as_slice()))
+            .collect();
+        let outputs = version.ddnn.forward_decoupled_batch_in(&self.pool, &pairs);
+        self.counters.eval_batches.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .eval_points
+            .fetch_add(pairs.len() as u64, Ordering::Relaxed);
+        let mut outputs = outputs.into_iter();
+        for member in members {
+            let Call::Eval(inputs) = &member.call else {
+                unreachable!("eval group holds eval calls")
+            };
+            let slice: Vec<Vec<f64>> = outputs.by_ref().take(inputs.len()).collect();
+            let _ = member.reply.send(Ok(ReplyData::Outputs(slice)));
+        }
+    }
+
+    fn run_lin_group(&self, version: &ModelVersion, members: Vec<Pending>) {
+        let polytopes: Vec<&Vec<Vec<f64>>> = members
+            .iter()
+            .flat_map(|m| match &m.call {
+                Call::LinRegions(polys) => polys.iter(),
+                Call::Eval(_) => unreachable!("lin group holds lin_regions calls"),
+            })
+            .collect();
+        // Value edits never move the linear regions (Theorem 4.6), so every
+        // version's regions are its activation network's regions.
+        let result = prdnn_syrenn::lin_regions_batch_in(
+            &self.pool,
+            version.ddnn.activation_network(),
+            &polytopes,
+        );
+        self.counters.lin_batches.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .lin_polytopes
+            .fetch_add(polytopes.len() as u64, Ordering::Relaxed);
+        match result {
+            Ok(all_regions) => {
+                let mut regions = all_regions.into_iter();
+                for member in members {
+                    let Call::LinRegions(polys) = &member.call else {
+                        unreachable!("lin group holds lin_regions calls")
+                    };
+                    let slice: Vec<Vec<LinearRegion>> =
+                        regions.by_ref().take(polys.len()).collect();
+                    let _ = member.reply.send(Ok(ReplyData::Regions(slice)));
+                }
+            }
+            Err(_) => {
+                // `lin_regions_batch_in` reports the first failing
+                // polytope as a batch-level error (e.g. one member sent a
+                // degenerate segment the cheap pre-validation cannot
+                // catch).  One bad request must not fail the others it
+                // happened to be coalesced with, so isolate: re-run each
+                // member on its own and deliver per-member verdicts.
+                for member in members {
+                    let Call::LinRegions(polys) = &member.call else {
+                        unreachable!("lin group holds lin_regions calls")
+                    };
+                    let reply = match prdnn_syrenn::lin_regions_batch_in(
+                        &self.pool,
+                        version.ddnn.activation_network(),
+                        polys,
+                    ) {
+                        Ok(regions) => Ok(ReplyData::Regions(regions)),
+                        Err(e) => Err((ErrorKind::BadRequest, e.to_string())),
+                    };
+                    let _ = member.reply.send(reply);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::ModelStore;
+    use prdnn_core::DecoupledNetwork;
+    use prdnn_datasets::registry;
+    use std::time::Duration;
+
+    fn version_of(spec: &str) -> Arc<ModelVersion> {
+        let store = ModelStore::new();
+        store
+            .load(
+                "m",
+                DecoupledNetwork::from_network(&registry::build_model(spec).unwrap()),
+                spec.to_owned(),
+            )
+            .unwrap()
+    }
+
+    fn far_deadline() -> Instant {
+        Instant::now() + Duration::from_secs(60)
+    }
+
+    #[test]
+    fn concurrent_evals_coalesce_into_one_batch_with_exact_results() {
+        let pool = Arc::new(prdnn_par::pool_for(Some(2)));
+        let batcher = Batcher::new(pool, 16);
+        let version = version_of("mlp:5:3x8x2");
+        let net = registry::build_model("mlp:5:3x8x2").unwrap();
+
+        // Three requests queued before any drain: must coalesce into ONE
+        // batched call covering all five points.
+        let requests: Vec<Vec<Vec<f64>>> = vec![
+            vec![vec![0.1, 0.2, 0.3], vec![-0.5, 0.0, 0.5]],
+            vec![vec![1.0, -1.0, 0.25]],
+            vec![vec![0.0, 0.0, 0.0], vec![0.9, 0.8, 0.7]],
+        ];
+        let receivers: Vec<_> = requests
+            .iter()
+            .map(|inputs| {
+                batcher
+                    .submit(
+                        Arc::clone(&version),
+                        Call::Eval(inputs.clone()),
+                        far_deadline(),
+                    )
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(batcher.drain_once(), 3);
+        assert_eq!(batcher.counters.eval_batches.load(Ordering::Relaxed), 1);
+        assert_eq!(batcher.counters.eval_points.load(Ordering::Relaxed), 5);
+        for (inputs, rx) in requests.iter().zip(receivers) {
+            let ReplyData::Outputs(outputs) = rx.recv().unwrap().unwrap() else {
+                panic!("expected outputs")
+            };
+            assert_eq!(outputs.len(), inputs.len());
+            for (x, y) in inputs.iter().zip(&outputs) {
+                // Bit-identical to the direct library call.
+                assert_eq!(y, &net.forward(x));
+            }
+        }
+    }
+
+    #[test]
+    fn overload_deadline_and_shutdown_are_enforced() {
+        let pool = Arc::new(prdnn_par::pool_for(Some(1)));
+        let batcher = Batcher::new(pool, 1);
+        let version = version_of("n1");
+
+        let _held = batcher
+            .submit(
+                Arc::clone(&version),
+                Call::Eval(vec![vec![0.5]]),
+                far_deadline(),
+            )
+            .unwrap();
+        let err = batcher
+            .submit(
+                Arc::clone(&version),
+                Call::Eval(vec![vec![0.5]]),
+                far_deadline(),
+            )
+            .unwrap_err();
+        assert_eq!(err.0, ErrorKind::Overloaded);
+
+        // Expired deadline: answered without evaluating.
+        batcher.drain_once();
+        let rx = batcher
+            .submit(
+                Arc::clone(&version),
+                Call::Eval(vec![vec![0.5]]),
+                Instant::now() - Duration::from_millis(1),
+            )
+            .unwrap();
+        batcher.drain_once();
+        assert_eq!(
+            rx.recv().unwrap().unwrap_err().0,
+            ErrorKind::DeadlineExceeded
+        );
+        assert_eq!(batcher.counters.eval_batches.load(Ordering::Relaxed), 1);
+
+        batcher.shutdown();
+        let err = batcher
+            .submit(version, Call::Eval(vec![vec![0.5]]), far_deadline())
+            .unwrap_err();
+        assert_eq!(err.0, ErrorKind::ShuttingDown);
+    }
+
+    #[test]
+    fn degenerate_polytope_does_not_fail_its_batchmates() {
+        let pool = Arc::new(prdnn_par::pool_for(Some(1)));
+        let batcher = Batcher::new(pool, 16);
+        let version = version_of("n1");
+
+        // A degenerate segment (identical endpoints) coalesced with a
+        // valid one: only the degenerate request may fail.
+        let bad = batcher
+            .submit(
+                Arc::clone(&version),
+                Call::LinRegions(vec![vec![vec![0.5], vec![0.5]]]),
+                far_deadline(),
+            )
+            .unwrap();
+        let good = batcher
+            .submit(
+                Arc::clone(&version),
+                Call::LinRegions(vec![vec![vec![-1.0], vec![2.0]]]),
+                far_deadline(),
+            )
+            .unwrap();
+        assert_eq!(batcher.drain_once(), 2);
+        let (kind, message) = bad.recv().unwrap().unwrap_err();
+        assert_eq!(kind, ErrorKind::BadRequest);
+        assert!(message.contains("degenerate"), "{message}");
+        let ReplyData::Regions(regions) = good.recv().unwrap().unwrap() else {
+            panic!("valid batchmate must still succeed")
+        };
+        assert_eq!(regions[0].len(), 3);
+    }
+
+    #[test]
+    fn lin_regions_group_matches_direct_calls() {
+        let pool = Arc::new(prdnn_par::pool_for(Some(1)));
+        let batcher = Batcher::new(pool, 16);
+        let version = version_of("n1");
+        let net = registry::build_model("n1").unwrap();
+
+        let segment = vec![vec![-1.0], vec![2.0]];
+        let rx = batcher
+            .submit(
+                Arc::clone(&version),
+                Call::LinRegions(vec![segment.clone()]),
+                far_deadline(),
+            )
+            .unwrap();
+        batcher.drain_once();
+        let ReplyData::Regions(regions) = rx.recv().unwrap().unwrap() else {
+            panic!("expected regions")
+        };
+        let direct = prdnn_syrenn::lin_regions(&net, &segment).unwrap();
+        assert_eq!(regions[0], direct);
+        // N1 has three linear regions on [-1, 2].
+        assert_eq!(regions[0].len(), 3);
+    }
+}

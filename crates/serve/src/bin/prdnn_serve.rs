@@ -1,0 +1,113 @@
+//! The `prdnn-serve` binary: a long-lived repair-and-analysis server.
+//!
+//! ```text
+//! prdnn-serve [--addr HOST:PORT] [--threads N] [--max-connections N]
+//!             [--batch-queue N] [--job-queue N] [--repair-workers N]
+//!             [--deadline-ms MS] [--preload NAME=GENERATOR]...
+//! ```
+//!
+//! `--preload` loads a model at startup (repeatable), e.g.
+//! `--preload n1=n1 --preload digits=digits:7:160:40`.  Send a `shutdown`
+//! request to stop; the server drains its queues before exiting.
+
+use prdnn_serve::server::{serve, ServerConfig};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:7878".to_owned(),
+        ..ServerConfig::default()
+    };
+    let mut preloads: Vec<(String, String)> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |what: &str| args.next().ok_or_else(|| format!("{what} needs a value"));
+        let result: Result<(), String> = match arg.as_str() {
+            "--addr" => take("--addr").map(|v| config.addr = v),
+            "--threads" => parse(take("--threads")).map(|n| config.threads = Some(n)),
+            "--max-connections" => {
+                parse(take("--max-connections")).map(|n| config.max_connections = n)
+            }
+            "--batch-queue" => parse(take("--batch-queue")).map(|n| config.batch_queue_cap = n),
+            "--job-queue" => parse(take("--job-queue")).map(|n| config.job_queue_cap = n),
+            "--repair-workers" => {
+                parse(take("--repair-workers")).map(|n| config.repair_workers = n)
+            }
+            "--deadline-ms" => {
+                parse(take("--deadline-ms")).map(|n| config.default_deadline_ms = n as u64)
+            }
+            "--preload" => take("--preload").and_then(|v| {
+                v.split_once('=')
+                    .map(|(name, generator)| preloads.push((name.to_owned(), generator.to_owned())))
+                    .ok_or_else(|| "--preload expects NAME=GENERATOR".to_owned())
+            }),
+            "--help" | "-h" => {
+                println!(
+                    "prdnn-serve [--addr HOST:PORT] [--threads N] [--max-connections N]\n\
+                     \x20           [--batch-queue N] [--job-queue N] [--repair-workers N]\n\
+                     \x20           [--deadline-ms MS] [--preload NAME=GENERATOR]..."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => Err(format!("unknown flag {other:?} (try --help)")),
+        };
+        if let Err(e) = result {
+            eprintln!("prdnn-serve: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let handle = match serve(config) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("prdnn-serve: bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("prdnn-serve: listening on {}", handle.addr());
+
+    for (name, generator) in preloads {
+        let store = handle.store();
+        match prdnn_datasets::registry::build_model(&generator) {
+            Ok(net) => {
+                let ddnn = prdnn_core::DecoupledNetwork::from_network(&net);
+                match store.load(&name, ddnn, generator.clone()) {
+                    Ok(v) => {
+                        eprintln!("prdnn-serve: preloaded {name}@v{} ({generator})", v.version)
+                    }
+                    Err(e) => {
+                        eprintln!("prdnn-serve: preload {name} failed: {e}");
+                        handle.shutdown();
+                        let _ = handle.join();
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("prdnn-serve: preload {name} failed: {e}");
+                handle.shutdown();
+                let _ = handle.join();
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    match handle.join() {
+        Ok(()) => {
+            eprintln!("prdnn-serve: drained and stopped");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("prdnn-serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse(v: Result<String, String>) -> Result<usize, String> {
+    let v = v?;
+    v.parse::<usize>()
+        .ok()
+        .filter(|&n| n > 0)
+        .ok_or_else(|| format!("expected a positive integer, got {v:?}"))
+}

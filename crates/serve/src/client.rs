@@ -1,0 +1,296 @@
+//! The client library: a blocking, single-connection `prdnn-serve` client
+//! used by `servebench`, the end-to-end tests, and any embedding that
+//! wants typed calls instead of raw frames.
+
+use crate::protocol::{
+    read_frame, write_frame, ErrorKind, JobState, ModelRef, RegionWire, Request, Response,
+    ServerStats, VersionInfo,
+};
+use prdnn_core::{PointSpec, RepairConfig};
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// Errors a client call can produce.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport or framing failure.
+    Transport(String),
+    /// The server answered with an error response.
+    Server {
+        /// Machine-readable category.
+        kind: ErrorKind,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// The server answered with a response of the wrong type.
+    UnexpectedResponse(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Transport(m) => write!(f, "transport error: {m}"),
+            ClientError::Server { kind, message } => {
+                write!(f, "server error ({kind:?}): {message}")
+            }
+            ClientError::UnexpectedResponse(m) => write!(f, "unexpected response: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl ClientError {
+    /// The server-side error kind, if this is a server error.
+    pub fn kind(&self) -> Option<ErrorKind> {
+        match self {
+            ClientError::Server { kind, .. } => Some(*kind),
+            _ => None,
+        }
+    }
+}
+
+/// A blocking client over one TCP connection.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client { stream })
+    }
+
+    /// Sends one request and reads one response.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Transport`] on connection/framing failures; error
+    /// *responses* are returned as `Ok(Response::Error { .. })` here (the
+    /// typed helpers below turn them into [`ClientError::Server`]).
+    pub fn request(&mut self, request: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, &request.to_value())
+            .map_err(|e| ClientError::Transport(e.to_string()))?;
+        let value =
+            read_frame(&mut self.stream).map_err(|e| ClientError::Transport(e.to_string()))?;
+        Response::from_value(&value).map_err(ClientError::UnexpectedResponse)
+    }
+
+    fn expect(&mut self, request: &Request) -> Result<Response, ClientError> {
+        match self.request(request)? {
+            Response::Error { kind, message } => Err(ClientError::Server { kind, message }),
+            response => Ok(response),
+        }
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.expect(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(unexpected("pong", &other)),
+        }
+    }
+
+    /// Loads a generator-spec model; returns the published version (1).
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn load_generator(&mut self, name: &str, generator: &str) -> Result<u32, ClientError> {
+        let request = Request::LoadGenerator {
+            name: name.to_owned(),
+            generator: generator.to_owned(),
+        };
+        match self.expect(&request)? {
+            Response::Loaded { version, .. } => Ok(version),
+            other => Err(unexpected("loaded", &other)),
+        }
+    }
+
+    /// Loads a serialised network (see `prdnn_nn::network_to_json`).
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn load_network(
+        &mut self,
+        name: &str,
+        network: &prdnn_nn::Network,
+    ) -> Result<u32, ClientError> {
+        let request = Request::LoadNetwork {
+            name: name.to_owned(),
+            network: prdnn_nn::network_to_json(network),
+        };
+        match self.expect(&request)? {
+            Response::Loaded { version, .. } => Ok(version),
+            other => Err(unexpected("loaded", &other)),
+        }
+    }
+
+    /// Evaluates a model version on a batch of inputs.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn eval(
+        &mut self,
+        model: &ModelRef,
+        inputs: Vec<Vec<f64>>,
+        deadline_ms: Option<u64>,
+    ) -> Result<Vec<Vec<f64>>, ClientError> {
+        let request = Request::Eval {
+            model: model.clone(),
+            inputs,
+            deadline_ms,
+        };
+        match self.expect(&request)? {
+            Response::Outputs(outputs) => Ok(outputs),
+            other => Err(unexpected("outputs", &other)),
+        }
+    }
+
+    /// Computes linear regions of a model version over input polytopes.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn lin_regions(
+        &mut self,
+        model: &ModelRef,
+        polytopes: Vec<Vec<Vec<f64>>>,
+        deadline_ms: Option<u64>,
+    ) -> Result<Vec<Vec<RegionWire>>, ClientError> {
+        let request = Request::LinRegions {
+            model: model.clone(),
+            polytopes,
+            deadline_ms,
+        };
+        match self.expect(&request)? {
+            Response::Regions(regions) => Ok(regions),
+            other => Err(unexpected("regions", &other)),
+        }
+    }
+
+    /// Enqueues a repair; returns the job id.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn repair(
+        &mut self,
+        model: &ModelRef,
+        layer: usize,
+        spec: PointSpec,
+        config: RepairConfig,
+    ) -> Result<u64, ClientError> {
+        let request = Request::Repair {
+            model: model.clone(),
+            layer,
+            spec,
+            config,
+        };
+        match self.expect(&request)? {
+            Response::JobQueued { job } => Ok(job),
+            other => Err(unexpected("job_queued", &other)),
+        }
+    }
+
+    /// Polls a job once.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn job_status(&mut self, job: u64) -> Result<JobState, ClientError> {
+        match self.expect(&Request::JobStatus { job })? {
+            Response::Job(state) => Ok(state),
+            other => Err(unexpected("job", &other)),
+        }
+    }
+
+    /// Polls a job until it settles (done or failed) or `timeout` passes.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Transport`] with a timeout message when the job does
+    /// not settle in time; otherwise see [`Client::request`].
+    pub fn wait_for_job(&mut self, job: u64, timeout: Duration) -> Result<JobState, ClientError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match self.job_status(job)? {
+                state @ (JobState::Done { .. } | JobState::Failed { .. }) => return Ok(state),
+                _ if Instant::now() > deadline => {
+                    return Err(ClientError::Transport(format!(
+                        "job {job} did not settle within {timeout:?}"
+                    )))
+                }
+                _ => std::thread::sleep(Duration::from_millis(2)),
+            }
+        }
+    }
+
+    /// Lists stored models as `(name, latest_version)`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn list_models(&mut self) -> Result<Vec<(String, u32)>, ClientError> {
+        match self.expect(&Request::ListModels)? {
+            Response::Models(models) => Ok(models),
+            other => Err(unexpected("models", &other)),
+        }
+    }
+
+    /// Lists one model's versions with provenance.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn list_versions(&mut self, name: &str) -> Result<Vec<VersionInfo>, ClientError> {
+        let request = Request::ListVersions {
+            name: name.to_owned(),
+        };
+        match self.expect(&request)? {
+            Response::Versions(versions) => Ok(versions),
+            other => Err(unexpected("versions", &other)),
+        }
+    }
+
+    /// Reads the server's counters.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn stats(&mut self) -> Result<ServerStats, ClientError> {
+        match self.expect(&Request::Stats)? {
+            Response::Stats(stats) => Ok(stats),
+            other => Err(unexpected("stats", &other)),
+        }
+    }
+
+    /// Asks the server to begin graceful shutdown.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        match self.expect(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(unexpected("shutting_down", &other)),
+        }
+    }
+}
+
+fn unexpected(wanted: &str, got: &Response) -> ClientError {
+    ClientError::UnexpectedResponse(format!("expected {wanted}, got {got:?}"))
+}

@@ -1,0 +1,366 @@
+//! The repair job queue.
+//!
+//! Repairs solve an LP — milliseconds on toy models, minutes at paper
+//! scale — so they must never run on a connection thread or block the
+//! accept loop.  A `repair` request enqueues a job into a bounded FIFO and
+//! immediately returns a job id; dedicated workers pop jobs in order, run
+//! [`prdnn_core::repair_points_ddnn_in`] on the shared pool against the
+//! version that was current *at submission*, and publish the repaired
+//! network as the model's next version with full provenance.  Clients
+//! poll `job_status` until `done` (which names the published version) or
+//! `failed`.
+//!
+//! Shutdown is a drain, not an abort: queued jobs still run and publish
+//! before the workers exit, so an accepted repair is never silently lost.
+
+use crate::protocol::{ErrorKind, JobState};
+use crate::store::{ModelStore, ModelVersion};
+use prdnn_core::{repair_points_ddnn_in, PointSpec, RepairConfig};
+use prdnn_par::PoolRef;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+struct RepairJob {
+    id: u64,
+    /// The parent version, resolved at submission time: a job repairs the
+    /// model the client saw, even if other repairs land first.
+    parent: Arc<ModelVersion>,
+    layer: usize,
+    spec: PointSpec,
+    config: RepairConfig,
+}
+
+/// The outcome of a [`JobQueue::lookup`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatusLookup {
+    /// The job's current state.
+    Found(JobState),
+    /// The job settled long ago and its record was evicted
+    /// ([`MAX_SETTLED_RETAINED`]).
+    Evicted,
+    /// No job with this id was ever issued.
+    NeverIssued,
+}
+
+/// How many settled (done/failed) job records are retained for polling.
+/// Older ones are evicted FIFO; polling an evicted id reports unknown-job.
+/// Bounds the status map on a long-lived server — queued/running jobs are
+/// never evicted (they are bounded by the queue cap + worker count).
+const MAX_SETTLED_RETAINED: usize = 1024;
+
+struct JobsInner {
+    queue: VecDeque<RepairJob>,
+    statuses: HashMap<u64, JobState>,
+    /// Settled job ids in completion order, for FIFO eviction.
+    settled: VecDeque<u64>,
+    next_id: u64,
+    shutdown: bool,
+}
+
+/// Counters exposed through the `stats` request.
+#[derive(Debug, Default)]
+pub struct JobCounters {
+    /// Jobs accepted into the queue.
+    pub submitted: AtomicU64,
+    /// Jobs that finished and published a version.
+    pub completed: AtomicU64,
+    /// Jobs that failed.
+    pub failed: AtomicU64,
+}
+
+/// The bounded FIFO repair queue; see the module docs.
+pub struct JobQueue {
+    inner: Mutex<JobsInner>,
+    cv: Condvar,
+    cap: usize,
+    store: Arc<ModelStore>,
+    pool: Arc<PoolRef>,
+    /// Job counters.
+    pub counters: JobCounters,
+}
+
+impl JobQueue {
+    /// Creates a queue holding at most `cap` waiting jobs.
+    pub fn new(store: Arc<ModelStore>, pool: Arc<PoolRef>, cap: usize) -> Self {
+        JobQueue {
+            inner: Mutex::new(JobsInner {
+                queue: VecDeque::new(),
+                statuses: HashMap::new(),
+                settled: VecDeque::new(),
+                next_id: 1,
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+            cap: cap.max(1),
+            store,
+            pool,
+            counters: JobCounters::default(),
+        }
+    }
+
+    /// Enqueues a repair of `parent`, returning the job id to poll.
+    ///
+    /// # Errors
+    ///
+    /// `(Overloaded, ..)` when the FIFO is full, `(ShuttingDown, ..)` once
+    /// shutdown has begun.
+    pub fn submit(
+        &self,
+        parent: Arc<ModelVersion>,
+        layer: usize,
+        spec: PointSpec,
+        config: RepairConfig,
+    ) -> Result<u64, (ErrorKind, String)> {
+        let id = {
+            let mut inner = self.inner.lock().unwrap();
+            if inner.shutdown {
+                return Err((
+                    ErrorKind::ShuttingDown,
+                    "server is draining; no new repairs accepted".to_owned(),
+                ));
+            }
+            if inner.queue.len() >= self.cap {
+                return Err((
+                    ErrorKind::Overloaded,
+                    format!("repair queue full ({} pending jobs)", self.cap),
+                ));
+            }
+            let id = inner.next_id;
+            inner.next_id += 1;
+            inner.statuses.insert(id, JobState::Queued);
+            inner.queue.push_back(RepairJob {
+                id,
+                parent,
+                layer,
+                spec,
+                config,
+            });
+            id
+        };
+        self.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        self.cv.notify_one();
+        Ok(id)
+    }
+
+    /// The current state of a job, if the id was ever issued.
+    pub fn status(&self, id: u64) -> Option<JobState> {
+        self.inner.lock().unwrap().statuses.get(&id).cloned()
+    }
+
+    /// [`Self::status`], distinguishing a settled-and-evicted record from
+    /// an id that was never issued — the two deserve different error
+    /// messages.
+    pub fn lookup(&self, id: u64) -> StatusLookup {
+        let inner = self.inner.lock().unwrap();
+        match inner.statuses.get(&id) {
+            Some(state) => StatusLookup::Found(state.clone()),
+            // Ids are issued sequentially from 1, so anything below
+            // `next_id` existed once and must have been evicted.
+            None if id >= 1 && id < inner.next_id => StatusLookup::Evicted,
+            None => StatusLookup::NeverIssued,
+        }
+    }
+
+    /// The worker loop: pop jobs FIFO, run them, publish results; after
+    /// shutdown, keep going until the queue is empty (drain), then exit.
+    /// Run on one or more dedicated threads.
+    pub fn worker_loop(self: &Arc<Self>) {
+        loop {
+            let job = {
+                let mut inner = self.inner.lock().unwrap();
+                loop {
+                    if let Some(job) = inner.queue.pop_front() {
+                        inner.statuses.insert(job.id, JobState::Running);
+                        break Some(job);
+                    }
+                    if inner.shutdown {
+                        break None;
+                    }
+                    inner = self.cv.wait(inner).unwrap();
+                }
+            };
+            let Some(job) = job else { return };
+            // A panicking repair (LP assertion on a pathological spec)
+            // must fail that job, not kill the worker for all later jobs.
+            let state =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.run_job(&job)))
+                    .unwrap_or_else(|_| JobState::Failed {
+                        message: "repair panicked (internal error)".to_owned(),
+                    });
+            match &state {
+                JobState::Done { .. } => self.counters.completed.fetch_add(1, Ordering::Relaxed),
+                _ => self.counters.failed.fetch_add(1, Ordering::Relaxed),
+            };
+            let mut inner = self.inner.lock().unwrap();
+            inner.statuses.insert(job.id, state);
+            inner.settled.push_back(job.id);
+            while inner.settled.len() > MAX_SETTLED_RETAINED {
+                if let Some(evicted) = inner.settled.pop_front() {
+                    inner.statuses.remove(&evicted);
+                }
+            }
+        }
+    }
+
+    /// Begins shutdown: rejects new jobs and lets the workers drain.
+    pub fn shutdown(&self) {
+        self.inner.lock().unwrap().shutdown = true;
+        self.cv.notify_all();
+    }
+
+    fn run_job(&self, job: &RepairJob) -> JobState {
+        match repair_points_ddnn_in(
+            &self.pool,
+            &job.parent.ddnn,
+            job.layer,
+            &job.spec,
+            &job.config,
+        ) {
+            Ok(outcome) => {
+                let provenance = outcome.provenance(job.spec.content_hash(), &job.config);
+                let (delta_l1, delta_linf) = (provenance.delta_l1, provenance.delta_linf);
+                match self.store.publish_repair(
+                    &job.parent.name,
+                    outcome.repaired,
+                    format!("repair of {}@v{}", job.parent.name, job.parent.version),
+                    provenance,
+                ) {
+                    Ok(published) => JobState::Done {
+                        model: published.name.clone(),
+                        version: published.version,
+                        delta_l1,
+                        delta_linf,
+                    },
+                    Err(e) => JobState::Failed {
+                        message: format!("repair succeeded but publishing failed: {e}"),
+                    },
+                }
+            }
+            Err(e) => JobState::Failed {
+                message: e.to_string(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::ModelRef;
+    use prdnn_core::{DecoupledNetwork, OutputPolytope};
+    use prdnn_datasets::registry;
+    use std::thread;
+    use std::time::Duration;
+
+    fn equation_2_spec() -> PointSpec {
+        let mut spec = PointSpec::new();
+        spec.push(vec![0.5], OutputPolytope::scalar_interval(-1.0, -0.8));
+        spec.push(vec![1.5], OutputPolytope::scalar_interval(-0.2, 0.0));
+        spec
+    }
+
+    fn store_with_n1() -> (Arc<ModelStore>, Arc<ModelVersion>) {
+        let store = Arc::new(ModelStore::new());
+        let v1 = store
+            .load(
+                "n1",
+                DecoupledNetwork::from_network(&registry::build_model("n1").unwrap()),
+                "n1".into(),
+            )
+            .unwrap();
+        (store, v1)
+    }
+
+    #[test]
+    fn repair_job_publishes_version_2_with_provenance() {
+        let (store, v1) = store_with_n1();
+        let pool = Arc::new(prdnn_par::pool_for(Some(1)));
+        let jobs = Arc::new(JobQueue::new(Arc::clone(&store), pool, 4));
+        let spec = equation_2_spec();
+        let id = jobs
+            .submit(v1, 0, spec.clone(), RepairConfig::default())
+            .unwrap();
+        assert_eq!(jobs.status(id), Some(JobState::Queued));
+        assert_eq!(jobs.status(id + 7), None);
+
+        let worker = {
+            let jobs = Arc::clone(&jobs);
+            thread::spawn(move || jobs.worker_loop())
+        };
+        // Poll until done (the repair is a tiny LP).
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        let state = loop {
+            match jobs.status(id).unwrap() {
+                JobState::Done { .. } | JobState::Failed { .. } => break jobs.status(id).unwrap(),
+                _ if std::time::Instant::now() > deadline => panic!("job stuck"),
+                _ => thread::sleep(Duration::from_millis(2)),
+            }
+        };
+        let JobState::Done {
+            model,
+            version,
+            delta_l1,
+            ..
+        } = state
+        else {
+            panic!("repair failed: {state:?}")
+        };
+        assert_eq!((model.as_str(), version), ("n1", 2));
+        assert!(delta_l1 > 0.0);
+
+        // The published version satisfies the spec and carries provenance.
+        let v2 = store.resolve(&ModelRef::version("n1", 2)).unwrap();
+        assert!(spec.is_satisfied_by(|x| v2.ddnn.forward(x), 1e-6));
+        let prov = v2.provenance.as_ref().unwrap();
+        assert_eq!(prov.spec_hash, spec.content_hash());
+        assert_eq!(prov.layer, 0);
+        assert_eq!(v2.source, "repair of n1@v1");
+
+        jobs.shutdown();
+        worker.join().unwrap();
+    }
+
+    #[test]
+    fn infeasible_repairs_fail_and_queue_bounds_hold() {
+        let (store, v1) = store_with_n1();
+        let pool = Arc::new(prdnn_par::pool_for(Some(1)));
+        let jobs = Arc::new(JobQueue::new(store, pool, 1));
+        let mut impossible = PointSpec::new();
+        impossible.push(vec![0.5], OutputPolytope::scalar_interval(-1.0, -0.9));
+        impossible.push(vec![0.5], OutputPolytope::scalar_interval(0.9, 1.0));
+        let id = jobs
+            .submit(
+                Arc::clone(&v1),
+                0,
+                impossible.clone(),
+                RepairConfig::default(),
+            )
+            .unwrap();
+        // Queue cap reached.
+        let err = jobs
+            .submit(
+                Arc::clone(&v1),
+                0,
+                impossible.clone(),
+                RepairConfig::default(),
+            )
+            .unwrap_err();
+        assert_eq!(err.0, ErrorKind::Overloaded);
+
+        // Drain: shutdown first, then run the worker — the queued job must
+        // still execute.
+        jobs.shutdown();
+        assert_eq!(
+            jobs.submit(v1, 0, impossible, RepairConfig::default())
+                .unwrap_err()
+                .0,
+            ErrorKind::ShuttingDown
+        );
+        jobs.worker_loop();
+        let JobState::Failed { message } = jobs.status(id).unwrap() else {
+            panic!("expected failure")
+        };
+        assert!(message.contains("no single-layer repair"), "{message}");
+    }
+}

@@ -1,0 +1,67 @@
+//! `prdnn-serve` — a batching repair-and-analysis service layer with a
+//! versioned model store.
+//!
+//! Everything below this crate is single-shot: a benchmark binary builds a
+//! network, runs one repair or one analysis, and exits.  This crate is the
+//! serving top layer that turns those calls into *requests against
+//! long-lived, versioned models*:
+//!
+//! * [`store`] — the **versioned model store**.  Models are loaded by name
+//!   from `prdnn-datasets` generator specs or serialised JSON; every
+//!   successful repair publishes a new immutable version carrying its
+//!   [`prdnn_core::RepairProvenance`] (spec hash, config, delta norms).
+//!   Readers resolve `name@latest` / `name@vN` lock-free through an
+//!   arc-swap-style atomic head pointer — a repair publishing version `N+1`
+//!   never blocks an eval reading version `N`.
+//! * [`batcher`] — the **request planner**.  Concurrent `eval` /
+//!   `lin_regions` requests against the same model version are coalesced
+//!   into single batched calls (`forward_decoupled_batch_in`,
+//!   `lin_regions_batch_in`) on the shared `prdnn-par` pool, so ten
+//!   clients asking about the same version cost one layer-at-a-time sweep,
+//!   not ten.
+//! * [`jobs`] — the **repair job queue**: a bounded FIFO whose workers run
+//!   repairs off the connection threads and publish the repaired versions;
+//!   clients poll job status instead of holding a connection hostage for
+//!   the length of an LP solve.
+//! * [`server`] / [`client`] / [`protocol`] — a std-only multi-threaded
+//!   TCP server speaking length-prefixed JSON ([`serde::json`]), with
+//!   admission control (bounded queues, per-request deadlines, connection
+//!   cap) and graceful-shutdown drain, plus the client library used by the
+//!   `servebench` load generator and the end-to-end tests.
+//!
+//! The serving path adds **no numeric degrees of freedom**: model JSON and
+//! wire floats round-trip bit-for-bit, and the batched entry points are
+//! bit-identical to their serial counterparts, so an `eval` answered by the
+//! server equals the direct library call exactly.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use prdnn_serve::{client::Client, protocol::ModelRef, server};
+//!
+//! let handle = server::serve(server::ServerConfig {
+//!     addr: "127.0.0.1:0".into(),
+//!     ..server::ServerConfig::default()
+//! })
+//! .unwrap();
+//! let mut client = Client::connect(handle.addr()).unwrap();
+//! client.load_generator("n1", "n1").unwrap();
+//! let out = client
+//!     .eval(&ModelRef::latest("n1"), vec![vec![0.5]], None)
+//!     .unwrap();
+//! assert_eq!(out, vec![vec![-0.5]]);
+//! client.shutdown_server().unwrap();
+//! handle.join().unwrap();
+//! ```
+
+pub mod batcher;
+pub mod client;
+pub mod jobs;
+pub mod protocol;
+pub mod server;
+pub mod store;
+
+pub use client::Client;
+pub use protocol::{ModelRef, Request, Response};
+pub use server::{serve, ServerConfig, ServerHandle};
+pub use store::{ModelStore, ModelVersion};

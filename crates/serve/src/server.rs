@@ -1,0 +1,627 @@
+//! The multi-threaded TCP server.
+//!
+//! One accept loop, one handler thread per connection, one batch worker,
+//! and a configurable number of repair workers, all sharing a single
+//! `prdnn-par` pool — the same pool the library hot paths use, so server
+//! parallelism and kernel parallelism do not fight over cores.
+//!
+//! Admission control:
+//!
+//! * at most [`ServerConfig::max_connections`] concurrent connections
+//!   (excess connections get an `overloaded` error frame and are closed);
+//! * the batch queue and repair FIFO are bounded ([`ServerConfig`] caps);
+//! * every `eval`/`lin_regions` request carries a deadline (client-supplied
+//!   or [`ServerConfig::default_deadline_ms`]) enforced both while queued
+//!   and while the handler waits for its reply.
+//!
+//! Shutdown (a `shutdown` request or [`ServerHandle::shutdown`]) is a
+//! graceful drain: the accept loop stops, queued batches and repairs run
+//! to completion (repairs still publish their versions), and only then are
+//! lingering connections closed.
+
+use crate::batcher::{Batcher, Call, ReplyData};
+use crate::jobs::JobQueue;
+use crate::protocol::{
+    read_frame, write_frame, ErrorKind, FrameError, RegionWire, Request, Response, ServerStats,
+    VersionInfo,
+};
+use crate::store::{ModelStore, ModelVersion, StoreError};
+use prdnn_core::DecoupledNetwork;
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Pool parallelism (`None` = `PRDNN_THREADS` / available cores).
+    pub threads: Option<usize>,
+    /// Concurrent connection cap.
+    pub max_connections: usize,
+    /// Pending-item cap of the eval/lin_regions batch queue.
+    pub batch_queue_cap: usize,
+    /// Pending-job cap of the repair FIFO.
+    pub job_queue_cap: usize,
+    /// Number of repair worker threads.
+    pub repair_workers: usize,
+    /// Deadline applied to `eval`/`lin_regions` requests that do not set
+    /// their own, in milliseconds.
+    pub default_deadline_ms: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            threads: None,
+            max_connections: 64,
+            batch_queue_cap: 256,
+            job_queue_cap: 64,
+            repair_workers: 1,
+            default_deadline_ms: 10_000,
+        }
+    }
+}
+
+struct Shared {
+    config: ServerConfig,
+    store: Arc<ModelStore>,
+    batcher: Arc<Batcher>,
+    jobs: Arc<JobQueue>,
+    shutdown: AtomicBool,
+    addr: SocketAddr,
+    conn_count: AtomicUsize,
+    next_conn_id: AtomicU64,
+    /// Stream clones of live connections, so shutdown can unblock their
+    /// handler threads' reads.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    handler_threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Shared {
+    fn begin_shutdown(&self) {
+        if !self.shutdown.swap(true, Ordering::SeqCst) {
+            // Wake the accept loop with a throwaway connection.
+            let _ = TcpStream::connect(self.addr);
+        }
+    }
+
+    fn stats(&self) -> ServerStats {
+        let b = &self.batcher.counters;
+        let j = &self.jobs.counters;
+        ServerStats {
+            eval_requests: b.eval_requests.load(Ordering::Relaxed),
+            eval_batches: b.eval_batches.load(Ordering::Relaxed),
+            eval_points: b.eval_points.load(Ordering::Relaxed),
+            lin_requests: b.lin_requests.load(Ordering::Relaxed),
+            lin_batches: b.lin_batches.load(Ordering::Relaxed),
+            lin_polytopes: b.lin_polytopes.load(Ordering::Relaxed),
+            jobs_submitted: j.submitted.load(Ordering::Relaxed),
+            jobs_completed: j.completed.load(Ordering::Relaxed),
+            jobs_failed: j.failed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A running server; dropping the handle does **not** stop it — call
+/// [`ServerHandle::shutdown`] and/or [`ServerHandle::join`].
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    accept_thread: Option<JoinHandle<()>>,
+    batch_worker: Option<JoinHandle<()>>,
+    job_workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the actual port when 0 was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// The server's model store (for post-drain inspection in tests and
+    /// embedded use).
+    pub fn store(&self) -> Arc<ModelStore> {
+        Arc::clone(&self.shared.store)
+    }
+
+    /// Triggers graceful shutdown without waiting for it.
+    pub fn shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Waits for shutdown to be triggered (by a `shutdown` request or
+    /// [`Self::shutdown`]), then drains: queued batches and repairs run to
+    /// completion, lingering connections are closed, and every thread is
+    /// joined.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any server thread panicked.
+    pub fn join(mut self) -> io::Result<()> {
+        let mut panicked = false;
+        if let Some(t) = self.accept_thread.take() {
+            panicked |= t.join().is_err();
+        }
+        // Stop accepting work and drain what was already accepted: the
+        // batch worker answers every queued item, the repair workers run
+        // (and publish) every queued job.
+        self.shared.batcher.shutdown();
+        self.shared.jobs.shutdown();
+        if let Some(t) = self.batch_worker.take() {
+            panicked |= t.join().is_err();
+        }
+        for t in self.job_workers.drain(..) {
+            panicked |= t.join().is_err();
+        }
+        // Only now unblock connection handlers still waiting for frames.
+        for (_, conn) in self.shared.conns.lock().unwrap().drain() {
+            let _ = conn.shutdown(std::net::Shutdown::Both);
+        }
+        let handlers = std::mem::take(&mut *self.shared.handler_threads.lock().unwrap());
+        for t in handlers {
+            panicked |= t.join().is_err();
+        }
+        if panicked {
+            return Err(io::Error::other("a server thread panicked"));
+        }
+        Ok(())
+    }
+}
+
+/// Starts the server and returns its handle.
+///
+/// # Errors
+///
+/// Propagates the bind failure, if any.
+pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let pool = Arc::new(prdnn_par::pool_for(config.threads));
+    let store = Arc::new(ModelStore::new());
+    let batcher = Arc::new(Batcher::new(Arc::clone(&pool), config.batch_queue_cap));
+    let jobs = Arc::new(JobQueue::new(
+        Arc::clone(&store),
+        Arc::clone(&pool),
+        config.job_queue_cap,
+    ));
+    let repair_workers = config.repair_workers.max(1);
+    let shared = Arc::new(Shared {
+        config,
+        store,
+        batcher: Arc::clone(&batcher),
+        jobs: Arc::clone(&jobs),
+        shutdown: AtomicBool::new(false),
+        addr,
+        conn_count: AtomicUsize::new(0),
+        next_conn_id: AtomicU64::new(0),
+        conns: Mutex::new(HashMap::new()),
+        handler_threads: Mutex::new(Vec::new()),
+    });
+
+    let batch_worker = {
+        let batcher = Arc::clone(&batcher);
+        thread::Builder::new()
+            .name("prdnn-serve-batch".to_owned())
+            .spawn(move || batcher.worker_loop())?
+    };
+    let job_workers = (0..repair_workers)
+        .map(|i| {
+            let jobs = Arc::clone(&jobs);
+            thread::Builder::new()
+                .name(format!("prdnn-serve-repair-{i}"))
+                .spawn(move || jobs.worker_loop())
+        })
+        .collect::<io::Result<Vec<_>>>()?;
+    let accept_thread = {
+        let shared = Arc::clone(&shared);
+        thread::Builder::new()
+            .name("prdnn-serve-accept".to_owned())
+            .spawn(move || accept_loop(&listener, &shared))?
+    };
+
+    Ok(ServerHandle {
+        shared,
+        accept_thread: Some(accept_thread),
+        batch_worker: Some(batch_worker),
+        job_workers,
+    })
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                // Persistent accept errors (fd exhaustion under overload)
+                // must not busy-spin the accept thread at 100% CPU.
+                thread::sleep(Duration::from_millis(10));
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            // The wakeup connection (or a late client) during drain.
+            let mut s = stream;
+            let _ = write_frame(
+                &mut s,
+                &Response::Error {
+                    kind: ErrorKind::ShuttingDown,
+                    message: "server is draining".to_owned(),
+                }
+                .to_value(),
+            );
+            return;
+        }
+        // Admission: cap concurrent connections.
+        if shared.conn_count.load(Ordering::SeqCst) >= shared.config.max_connections {
+            let mut s = stream;
+            let _ = write_frame(
+                &mut s,
+                &Response::Error {
+                    kind: ErrorKind::Overloaded,
+                    message: format!(
+                        "connection limit ({}) reached",
+                        shared.config.max_connections
+                    ),
+                }
+                .to_value(),
+            );
+            continue;
+        }
+        shared.conn_count.fetch_add(1, Ordering::SeqCst);
+        let conn_id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
+        if let Ok(clone) = stream.try_clone() {
+            shared.conns.lock().unwrap().insert(conn_id, clone);
+        }
+        let handler = {
+            let shared = Arc::clone(shared);
+            thread::Builder::new()
+                .name(format!("prdnn-serve-conn-{conn_id}"))
+                .spawn(move || {
+                    // The slot bookkeeping must survive a panicking
+                    // request handler, or each panic would leak one
+                    // connection slot until the cap locks everyone out.
+                    let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        handle_connection(&shared, stream)
+                    }));
+                    shared.conns.lock().unwrap().remove(&conn_id);
+                    shared.conn_count.fetch_sub(1, Ordering::SeqCst);
+                })
+        };
+        match handler {
+            Ok(handle) => {
+                let mut threads = shared.handler_threads.lock().unwrap();
+                // Reap handles of connections that already hung up, so the
+                // list tracks live connections (bounded by the connection
+                // cap) rather than every connection ever accepted.
+                // Dropping a finished handle just releases it — the thread
+                // has already returned.
+                threads.retain(|t| !t.is_finished());
+                threads.push(handle);
+            }
+            Err(_) => {
+                shared.conns.lock().unwrap().remove(&conn_id);
+                shared.conn_count.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+    }
+}
+
+fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
+    loop {
+        let value = match read_frame(&mut stream) {
+            Ok(value) => value,
+            Err(FrameError::Closed) => return,
+            Err(FrameError::Io(_)) => return,
+            Err(e @ (FrameError::Oversized(_) | FrameError::Empty | FrameError::Malformed(_))) => {
+                // Framing is unrecoverable once a bad header/payload is
+                // seen: answer once and close.
+                let _ = write_frame(
+                    &mut stream,
+                    &Response::Error {
+                        kind: ErrorKind::BadRequest,
+                        message: e.to_string(),
+                    }
+                    .to_value(),
+                );
+                return;
+            }
+        };
+        let (response, close_after) = match Request::from_value(&value) {
+            Err(message) => (
+                Response::Error {
+                    kind: ErrorKind::BadRequest,
+                    message,
+                },
+                false,
+            ),
+            Ok(request) => {
+                let close_after = request == Request::Shutdown;
+                (handle_request(shared, request), close_after)
+            }
+        };
+        if let Err(e) = write_frame(&mut stream, &response.to_value()) {
+            // A response too large for the frame cap (e.g. lin_regions on
+            // a huge model) writes nothing — tell the client why instead
+            // of silently hanging up on a valid request.
+            if e.kind() == std::io::ErrorKind::InvalidData {
+                let _ = write_frame(
+                    &mut stream,
+                    &Response::Error {
+                        kind: ErrorKind::Internal,
+                        message: "response exceeds the frame size cap; narrow the request"
+                            .to_owned(),
+                    }
+                    .to_value(),
+                );
+            }
+            return;
+        }
+        if close_after {
+            return;
+        }
+    }
+}
+
+fn store_error(e: &StoreError) -> Response {
+    let kind = match e {
+        StoreError::UnknownModel(_) => ErrorKind::UnknownModel,
+        StoreError::UnknownVersion(..) => ErrorKind::UnknownVersion,
+        StoreError::AlreadyExists(_) => ErrorKind::BadRequest,
+    };
+    Response::Error {
+        kind,
+        message: e.to_string(),
+    }
+}
+
+fn bad_request(message: impl Into<String>) -> Response {
+    Response::Error {
+        kind: ErrorKind::BadRequest,
+        message: message.into(),
+    }
+}
+
+fn handle_request(shared: &Arc<Shared>, request: Request) -> Response {
+    match request {
+        Request::Ping => Response::Pong,
+        Request::LoadGenerator { name, generator } => {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return shutting_down();
+            }
+            let net = match prdnn_datasets::registry::build_model(&generator) {
+                Ok(net) => net,
+                Err(e) => return bad_request(e),
+            };
+            load_into_store(shared, &name, net, generator)
+        }
+        Request::LoadNetwork { name, network } => {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return shutting_down();
+            }
+            let net = match prdnn_nn::network_from_json(&network) {
+                Ok(net) => net,
+                Err(e) => return bad_request(e),
+            };
+            load_into_store(shared, &name, net, "network-json".to_owned())
+        }
+        Request::Eval {
+            model,
+            inputs,
+            deadline_ms,
+        } => {
+            let version = match shared.store.resolve(&model) {
+                Ok(v) => v,
+                Err(e) => return store_error(&e),
+            };
+            let dim = version.ddnn.input_dim();
+            if let Some(bad) = inputs.iter().find(|x| x.len() != dim) {
+                return bad_request(format!(
+                    "eval: input of dimension {} but {} expects {dim}",
+                    bad.len(),
+                    model
+                ));
+            }
+            submit_and_wait(shared, version, Call::Eval(inputs), deadline_ms)
+        }
+        Request::LinRegions {
+            model,
+            polytopes,
+            deadline_ms,
+        } => {
+            let version = match shared.store.resolve(&model) {
+                Ok(v) => v,
+                Err(e) => return store_error(&e),
+            };
+            if !version.ddnn.activation_network().is_piecewise_linear() {
+                return bad_request(format!(
+                    "lin_regions: {model} uses non-piecewise-linear activations"
+                ));
+            }
+            let dim = version.ddnn.input_dim();
+            for polytope in &polytopes {
+                if polytope.len() < 2 {
+                    return bad_request("lin_regions: polytopes need at least two vertices");
+                }
+                if let Some(bad) = polytope.iter().find(|v| v.len() != dim) {
+                    return bad_request(format!(
+                        "lin_regions: vertex of dimension {} but {} expects {dim}",
+                        bad.len(),
+                        model
+                    ));
+                }
+            }
+            submit_and_wait(shared, version, Call::LinRegions(polytopes), deadline_ms)
+        }
+        Request::Repair {
+            model,
+            layer,
+            spec,
+            config,
+        } => {
+            let version = match shared.store.resolve(&model) {
+                Ok(v) => v,
+                Err(e) => return store_error(&e),
+            };
+            // Cheap structural validation up front, so obviously malformed
+            // repairs fail at submission instead of as a failed job.
+            if spec.is_empty() {
+                return bad_request("repair: empty specification");
+            }
+            if layer >= version.ddnn.num_layers() {
+                return bad_request(format!(
+                    "repair: layer {layer} out of range ({} layers)",
+                    version.ddnn.num_layers()
+                ));
+            }
+            let (in_dim, out_dim) = (version.ddnn.input_dim(), version.ddnn.output_dim());
+            if let Some(bad) = spec.points.iter().find(|p| p.len() != in_dim) {
+                return bad_request(format!(
+                    "repair: point of dimension {} but {} expects {in_dim}",
+                    bad.len(),
+                    model
+                ));
+            }
+            if let Some(bad) = spec.constraints.iter().find(|c| c.output_dim() != out_dim) {
+                return bad_request(format!(
+                    "repair: constraint over {} outputs but {} has {out_dim}",
+                    bad.output_dim(),
+                    model
+                ));
+            }
+            match shared.jobs.submit(version, layer, spec, config) {
+                Ok(job) => Response::JobQueued { job },
+                Err((kind, message)) => Response::Error { kind, message },
+            }
+        }
+        Request::JobStatus { job } => match shared.jobs.lookup(job) {
+            crate::jobs::StatusLookup::Found(state) => Response::Job(state),
+            crate::jobs::StatusLookup::Evicted => Response::Error {
+                kind: ErrorKind::UnknownJob,
+                message: format!(
+                    "job {job} settled, but its status record has been evicted \
+                     (only the most recent settled jobs are retained)"
+                ),
+            },
+            crate::jobs::StatusLookup::NeverIssued => Response::Error {
+                kind: ErrorKind::UnknownJob,
+                message: format!("job {job} was never issued"),
+            },
+        },
+        Request::ListModels => Response::Models(shared.store.list()),
+        Request::ListVersions { name } => match shared.store.versions(&name) {
+            Err(e) => store_error(&e),
+            Ok(versions) => Response::Versions(
+                versions
+                    .iter()
+                    .map(|v| VersionInfo {
+                        version: v.version,
+                        source: v.source.clone(),
+                        spec_hash: v
+                            .provenance
+                            .as_ref()
+                            .map(|p| format!("0x{:016x}", p.spec_hash)),
+                        delta_l1: v.provenance.as_ref().map(|p| p.delta_l1),
+                        delta_linf: v.provenance.as_ref().map(|p| p.delta_linf),
+                        layer: v.provenance.as_ref().map(|p| p.layer),
+                    })
+                    .collect(),
+            ),
+        },
+        Request::Stats => Response::Stats(shared.stats()),
+        Request::Shutdown => {
+            shared.begin_shutdown();
+            Response::ShuttingDown
+        }
+    }
+}
+
+fn shutting_down() -> Response {
+    Response::Error {
+        kind: ErrorKind::ShuttingDown,
+        message: "server is draining; no new work accepted".to_owned(),
+    }
+}
+
+fn load_into_store(
+    shared: &Arc<Shared>,
+    name: &str,
+    net: prdnn_nn::Network,
+    source: String,
+) -> Response {
+    if name.is_empty() {
+        return bad_request("load: empty model name");
+    }
+    // '@' is the ModelRef version separator: a name containing it would be
+    // loadable but never resolvable (`"m@v2"` parses as version 2 of "m").
+    if name.contains('@') {
+        return bad_request(format!(
+            "load: model name {name:?} must not contain '@' (reserved for \"name@vN\" references)"
+        ));
+    }
+    let ddnn = DecoupledNetwork::from_network(&net);
+    match shared.store.load(name, ddnn, source) {
+        Ok(version) => Response::Loaded {
+            name: version.name.clone(),
+            version: version.version,
+        },
+        Err(e) => store_error(&e),
+    }
+}
+
+fn submit_and_wait(
+    shared: &Arc<Shared>,
+    version: Arc<ModelVersion>,
+    call: Call,
+    deadline_ms: Option<u64>,
+) -> Response {
+    let budget = Duration::from_millis(
+        deadline_ms
+            .unwrap_or(shared.config.default_deadline_ms)
+            .max(1),
+    );
+    let deadline = Instant::now() + budget;
+    let receiver = match shared.batcher.submit(version, call, deadline) {
+        Ok(rx) => rx,
+        Err((kind, message)) => return Response::Error { kind, message },
+    };
+    // A small grace period past the deadline: the batcher answers expired
+    // items itself, so waiting slightly longer prefers its (more precise)
+    // verdict over racing it.
+    match receiver.recv_timeout(budget + Duration::from_millis(50)) {
+        Ok(Ok(ReplyData::Outputs(outputs))) => Response::Outputs(outputs),
+        Ok(Ok(ReplyData::Regions(regions))) => Response::Regions(
+            regions
+                .into_iter()
+                .map(|per_poly| {
+                    per_poly
+                        .into_iter()
+                        .map(|r| RegionWire {
+                            vertices: r.vertices,
+                            interior: r.interior,
+                        })
+                        .collect()
+                })
+                .collect(),
+        ),
+        Ok(Err((kind, message))) => Response::Error { kind, message },
+        Err(std::sync::mpsc::RecvTimeoutError::Timeout) => Response::Error {
+            kind: ErrorKind::DeadlineExceeded,
+            message: "request timed out in the batch queue".to_owned(),
+        },
+        // The batch worker dropped our reply channel without answering —
+        // it panicked mid-batch.
+        Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => Response::Error {
+            kind: ErrorKind::Internal,
+            message: "batch execution failed".to_owned(),
+        },
+    }
+}

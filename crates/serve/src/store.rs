@@ -1,0 +1,395 @@
+//! The versioned model store.
+//!
+//! A stored model is a *name* plus an append-only chain of immutable
+//! [`ModelVersion`]s.  Version 1 is the loaded network; every successful
+//! repair publishes version `N+1` with the repair's
+//! [`RepairProvenance`].  Nothing is ever mutated or removed: an eval
+//! pinned to `name@v2` keeps answering from version 2 forever, and
+//! `name@latest` moves atomically when a repair lands.
+//!
+//! # Lock-freedom
+//!
+//! Readers resolve `latest` through an **arc-swap-style atomic head
+//! pointer**: each entry keeps its versions in an intrusive linked list of
+//! heap nodes whose head is an [`AtomicPtr`].  Publishing allocates a node
+//! and stores the new head (writers are serialised by a small mutex);
+//! resolving loads the head with `Acquire` and walks `prev` pointers.  The
+//! safety argument is containment, not hazard pointers: **nodes are only
+//! freed when the entry itself drops**, so any pointer loaded from the
+//! head is valid for as long as the reader can hold it (readers access
+//! entries through `Arc<ModelEntry>`).  This is the same immortal-snapshot
+//! trade `arc-swap`'s cache layer makes, and it is exactly right here: all
+//! versions must stay resolvable by `name@vN` anyway, so retaining them is
+//! a feature, not a leak.
+
+use prdnn_core::{DecoupledNetwork, RepairProvenance};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicPtr, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+use crate::protocol::ModelRef;
+
+/// One immutable published version of a model.
+#[derive(Debug)]
+pub struct ModelVersion {
+    /// The model's store name.
+    pub name: String,
+    /// The version number (1 = the loaded model).
+    pub version: u32,
+    /// The network, in decoupled form (version 1 has identical activation
+    /// and value channels; repaired versions differ in one value layer).
+    pub ddnn: DecoupledNetwork,
+    /// Where this version came from: a generator spec, `"network-json"`,
+    /// or `"repair of <name>@v<N>"`.
+    pub source: String,
+    /// Repair provenance (`None` for loaded versions).
+    pub provenance: Option<RepairProvenance>,
+}
+
+/// A node in an entry's append-only version chain.
+struct VersionNode {
+    version: Arc<ModelVersion>,
+    /// The previously published version (null for version 1).
+    prev: *mut VersionNode,
+}
+
+/// One named model: an atomic head pointer into its version chain.
+pub struct ModelEntry {
+    name: String,
+    /// Arc-swap-style latest pointer; see the module docs for the safety
+    /// argument.
+    head: AtomicPtr<VersionNode>,
+    /// Serialises publishers (readers never take it).
+    publish_lock: Mutex<()>,
+}
+
+// SAFETY: the raw pointers only ever reference nodes owned by this entry's
+// chain, which are allocated before being made reachable and freed only in
+// `Drop`; all mutation of `head` is a single atomic store under
+// `publish_lock`.
+unsafe impl Send for ModelEntry {}
+unsafe impl Sync for ModelEntry {}
+
+impl ModelEntry {
+    fn new(name: String) -> Self {
+        ModelEntry {
+            name,
+            head: AtomicPtr::new(std::ptr::null_mut()),
+            publish_lock: Mutex::new(()),
+        }
+    }
+
+    /// The latest published version (lock-free).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before the first publish (the store never exposes
+    /// an entry in that state).
+    pub fn latest(&self) -> Arc<ModelVersion> {
+        let head = self.head.load(Ordering::Acquire);
+        assert!(!head.is_null(), "model entry exposed before first publish");
+        // SAFETY: `head` points into this entry's chain; nodes live until
+        // the entry drops, and `&self` keeps the entry alive.
+        Arc::clone(unsafe { &(*head).version })
+    }
+
+    /// Every published version in one chain walk, oldest first
+    /// (lock-free, O(versions)).
+    pub fn all_versions(&self) -> Vec<Arc<ModelVersion>> {
+        let mut out = Vec::new();
+        let mut node = self.head.load(Ordering::Acquire);
+        while !node.is_null() {
+            // SAFETY: as in `latest`.
+            let r = unsafe { &*node };
+            out.push(Arc::clone(&r.version));
+            node = r.prev;
+        }
+        out.reverse();
+        out
+    }
+
+    /// Resolves a specific version by walking the chain from the head
+    /// (lock-free; chains are as long as the number of repairs published).
+    pub fn resolve_version(&self, version: u32) -> Option<Arc<ModelVersion>> {
+        let mut node = self.head.load(Ordering::Acquire);
+        while !node.is_null() {
+            // SAFETY: as in `latest`.
+            let r = unsafe { &*node };
+            if r.version.version == version {
+                return Some(Arc::clone(&r.version));
+            }
+            node = r.prev;
+        }
+        None
+    }
+
+    /// Publishes `build`'s version as the new head, assigning it the next
+    /// version number.  Returns the published version.
+    fn publish_with(&self, build: impl FnOnce(u32) -> ModelVersion) -> Arc<ModelVersion> {
+        let _guard = self.publish_lock.lock().unwrap();
+        let prev = self.head.load(Ordering::Relaxed);
+        let next_version = if prev.is_null() {
+            1
+        } else {
+            // SAFETY: as in `latest`.
+            unsafe { &*prev }.version.version + 1
+        };
+        let version = Arc::new(build(next_version));
+        let published = Arc::clone(&version);
+        let node = Box::into_raw(Box::new(VersionNode { version, prev }));
+        self.head.store(node, Ordering::Release);
+        published
+    }
+}
+
+impl Drop for ModelEntry {
+    fn drop(&mut self) {
+        let mut node = *self.head.get_mut();
+        while !node.is_null() {
+            // SAFETY: chain nodes are uniquely owned by the entry and only
+            // freed here, exactly once.
+            let boxed = unsafe { Box::from_raw(node) };
+            node = boxed.prev;
+        }
+    }
+}
+
+/// Errors returned by store lookups and loads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// No model with the requested name.
+    UnknownModel(String),
+    /// The model exists but not the pinned version.
+    UnknownVersion(String, u32),
+    /// A load targeted a name that is already taken.
+    AlreadyExists(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::UnknownModel(name) => write!(f, "unknown model {name:?}"),
+            StoreError::UnknownVersion(name, v) => {
+                write!(f, "model {name:?} has no version {v}")
+            }
+            StoreError::AlreadyExists(name) => {
+                write!(f, "model {name:?} already exists (versions are immutable)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// The versioned model store.
+#[derive(Default)]
+pub struct ModelStore {
+    /// Name → entry.  Read-mostly: loads of *new* models take the write
+    /// lock; every other operation takes the read lock just long enough to
+    /// clone an `Arc<ModelEntry>`, and all version resolution inside an
+    /// entry is lock-free.
+    entries: RwLock<HashMap<String, Arc<ModelEntry>>>,
+}
+
+impl ModelStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        ModelStore::default()
+    }
+
+    /// Loads a network under a new name, publishing it as version 1.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::AlreadyExists`] if the name is taken — published
+    /// versions are immutable, so re-loading cannot silently replace them.
+    pub fn load(
+        &self,
+        name: &str,
+        ddnn: DecoupledNetwork,
+        source: String,
+    ) -> Result<Arc<ModelVersion>, StoreError> {
+        let mut entries = self.entries.write().unwrap();
+        if entries.contains_key(name) {
+            return Err(StoreError::AlreadyExists(name.to_owned()));
+        }
+        let entry = Arc::new(ModelEntry::new(name.to_owned()));
+        let published = entry.publish_with(|version| ModelVersion {
+            name: name.to_owned(),
+            version,
+            ddnn,
+            source,
+            provenance: None,
+        });
+        entries.insert(name.to_owned(), entry);
+        Ok(published)
+    }
+
+    /// Publishes a repaired network as the next version of an existing
+    /// model.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::UnknownModel`] if the model was never loaded.
+    pub fn publish_repair(
+        &self,
+        name: &str,
+        ddnn: DecoupledNetwork,
+        source: String,
+        provenance: RepairProvenance,
+    ) -> Result<Arc<ModelVersion>, StoreError> {
+        let entry = self.entry(name)?;
+        Ok(entry.publish_with(|version| ModelVersion {
+            name: name.to_owned(),
+            version,
+            ddnn,
+            source,
+            provenance: Some(provenance),
+        }))
+    }
+
+    /// Resolves a model reference to a version.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::UnknownModel`] / [`StoreError::UnknownVersion`].
+    pub fn resolve(&self, model: &ModelRef) -> Result<Arc<ModelVersion>, StoreError> {
+        let entry = self.entry(&model.name)?;
+        match model.version {
+            None => Ok(entry.latest()),
+            Some(v) => entry
+                .resolve_version(v)
+                .ok_or_else(|| StoreError::UnknownVersion(model.name.clone(), v)),
+        }
+    }
+
+    /// `(name, latest_version)` for every stored model, sorted by name.
+    pub fn list(&self) -> Vec<(String, u32)> {
+        let entries = self.entries.read().unwrap();
+        let mut out: Vec<(String, u32)> = entries
+            .values()
+            .map(|e| (e.name.clone(), e.latest().version))
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Every version of one model, oldest first.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::UnknownModel`].
+    pub fn versions(&self, name: &str) -> Result<Vec<Arc<ModelVersion>>, StoreError> {
+        Ok(self.entry(name)?.all_versions())
+    }
+
+    fn entry(&self, name: &str) -> Result<Arc<ModelEntry>, StoreError> {
+        self.entries
+            .read()
+            .unwrap()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| StoreError::UnknownModel(name.to_owned()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prdnn_core::RepairConfig;
+    use prdnn_datasets::registry;
+    use std::thread;
+
+    fn ddnn(spec: &str) -> DecoupledNetwork {
+        DecoupledNetwork::from_network(&registry::build_model(spec).unwrap())
+    }
+
+    fn provenance() -> RepairProvenance {
+        RepairProvenance {
+            spec_hash: 0xfeed,
+            config: RepairConfig::default(),
+            layer: 0,
+            num_key_points: 2,
+            delta_l1: 1.0,
+            delta_linf: 0.5,
+        }
+    }
+
+    #[test]
+    fn load_resolve_and_publish() {
+        let store = ModelStore::new();
+        let v1 = store.load("n1", ddnn("n1"), "n1".into()).unwrap();
+        assert_eq!((v1.version, v1.name.as_str()), (1, "n1"));
+        assert!(v1.provenance.is_none());
+        assert_eq!(
+            store.load("n1", ddnn("n1"), "n1".into()).unwrap_err(),
+            StoreError::AlreadyExists("n1".into())
+        );
+
+        let v2 = store
+            .publish_repair("n1", ddnn("n1"), "repair of n1@v1".into(), provenance())
+            .unwrap();
+        assert_eq!(v2.version, 2);
+        assert_eq!(v2.provenance.as_ref().unwrap().spec_hash, 0xfeed);
+
+        // latest moves; pinned versions stay resolvable.
+        let latest = store.resolve(&ModelRef::latest("n1")).unwrap();
+        assert_eq!(latest.version, 2);
+        let pinned = store.resolve(&ModelRef::version("n1", 1)).unwrap();
+        assert_eq!(pinned.version, 1);
+        assert!(Arc::ptr_eq(&pinned, &v1));
+        assert_eq!(
+            store.resolve(&ModelRef::version("n1", 3)).unwrap_err(),
+            StoreError::UnknownVersion("n1".into(), 3)
+        );
+        assert_eq!(
+            store.resolve(&ModelRef::latest("ghost")).unwrap_err(),
+            StoreError::UnknownModel("ghost".into())
+        );
+
+        assert_eq!(store.list(), vec![("n1".to_owned(), 2)]);
+        let versions = store.versions("n1").unwrap();
+        assert_eq!(
+            versions.iter().map(|v| v.version).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
+    }
+
+    #[test]
+    fn concurrent_readers_see_consistent_versions_during_publishes() {
+        let store = Arc::new(ModelStore::new());
+        store.load("m", ddnn("n1"), "n1".into()).unwrap();
+        let publishes = 64u32;
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                let store = Arc::clone(&store);
+                thread::spawn(move || {
+                    let mut last = 0u32;
+                    loop {
+                        let latest = store.resolve(&ModelRef::latest("m")).unwrap();
+                        // Versions are monotone and self-consistent.
+                        assert!(latest.version >= last);
+                        assert_eq!(latest.name, "m");
+                        last = latest.version;
+                        if last > publishes {
+                            return;
+                        }
+                        // Every historical version stays resolvable.
+                        let pin = 1 + last / 2;
+                        let pinned = store.resolve(&ModelRef::version("m", pin)).unwrap();
+                        assert_eq!(pinned.version, pin);
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..publishes {
+            store
+                .publish_repair("m", ddnn("n1"), "repair".into(), provenance())
+                .unwrap();
+        }
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert_eq!(store.versions("m").unwrap().len(), publishes as usize + 1);
+    }
+}

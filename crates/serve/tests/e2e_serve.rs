@@ -1,0 +1,361 @@
+//! End-to-end serving tests: a real server on an ephemeral port, real TCP
+//! clients, eval → repair → eval-on-the-new-version, concurrency, abuse,
+//! and graceful drain.
+//!
+//! The central claim is **serving adds nothing numerically**: every value
+//! that crosses the wire is bit-identical to the equivalent direct library
+//! call.
+
+use prdnn_core::{repair_points, OutputPolytope, PointSpec, RepairConfig};
+use prdnn_datasets::registry;
+use prdnn_serve::client::Client;
+use prdnn_serve::protocol::{
+    read_frame, write_frame, ErrorKind, JobState, ModelRef, Request, Response,
+};
+use prdnn_serve::server::{serve, ServerConfig, ServerHandle};
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn start_server() -> ServerHandle {
+    serve(ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        ..ServerConfig::default()
+    })
+    .expect("ephemeral bind")
+}
+
+fn equation_2_spec() -> PointSpec {
+    let mut spec = PointSpec::new();
+    spec.push(vec![0.5], OutputPolytope::scalar_interval(-1.0, -0.8));
+    spec.push(vec![1.5], OutputPolytope::scalar_interval(-0.2, 0.0));
+    spec
+}
+
+#[test]
+fn eval_repair_eval_on_new_version() {
+    let handle = start_server();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.ping().unwrap();
+    assert_eq!(client.load_generator("n1", "n1").unwrap(), 1);
+
+    // Eval v1: bit-identical to the direct forward pass.
+    let n1 = registry::build_model("n1").unwrap();
+    let xs: Vec<Vec<f64>> = vec![vec![-0.75], vec![0.25], vec![0.5], vec![1.5], vec![1.9]];
+    let served = client
+        .eval(&ModelRef::latest("n1"), xs.clone(), None)
+        .unwrap();
+    for (x, y) in xs.iter().zip(&served) {
+        assert_eq!(y, &n1.forward(x), "serving changed an output at {x:?}");
+    }
+
+    // The spec is violated by v1 (that is the point of the repair).
+    let spec = equation_2_spec();
+    assert!(!spec.is_satisfied_by(|x| n1.forward(x), 1e-6));
+
+    // Repair through the job queue.
+    let job = client
+        .repair(
+            &ModelRef::latest("n1"),
+            0,
+            spec.clone(),
+            RepairConfig::default(),
+        )
+        .unwrap();
+    let state = client.wait_for_job(job, Duration::from_secs(60)).unwrap();
+    let JobState::Done {
+        model,
+        version,
+        delta_l1,
+        delta_linf,
+    } = state
+    else {
+        panic!("repair failed: {state:?}")
+    };
+    assert_eq!((model.as_str(), version), ("n1", 2));
+    assert!(delta_l1 > 0.0 && delta_linf > 0.0);
+
+    // The published version satisfies the spec over the wire…
+    let repaired_served = client
+        .eval(&ModelRef::version("n1", 2), spec.points.clone(), None)
+        .unwrap();
+    for (y, c) in repaired_served.iter().zip(&spec.constraints) {
+        assert!(
+            c.contains(y, 1e-6),
+            "served repair violates the spec: {y:?}"
+        );
+    }
+    // …and is bit-identical to the direct library repair.
+    let direct = repair_points(&n1, 0, &spec, &RepairConfig::default()).unwrap();
+    for (x, y) in spec.points.iter().zip(&repaired_served) {
+        assert_eq!(
+            y,
+            &direct.repaired.forward(x),
+            "wire repair differs at {x:?}"
+        );
+    }
+    assert!((delta_l1 - direct.stats.delta_l1).abs() < 1e-12);
+
+    // name@latest now resolves to v2; the pinned v1 is untouched.
+    let latest = client
+        .eval(&ModelRef::latest("n1"), xs.clone(), None)
+        .unwrap();
+    for (x, y) in xs.iter().zip(&latest) {
+        assert_eq!(y, &direct.repaired.forward(x));
+    }
+    let pinned = client
+        .eval(&ModelRef::version("n1", 1), xs.clone(), None)
+        .unwrap();
+    for (x, y) in xs.iter().zip(&pinned) {
+        assert_eq!(y, &n1.forward(x));
+    }
+
+    // Provenance is recorded on the published version.
+    let versions = client.list_versions("n1").unwrap();
+    assert_eq!(versions.len(), 2);
+    assert_eq!(versions[0].spec_hash, None);
+    assert_eq!(
+        versions[1].spec_hash.as_deref(),
+        Some(format!("0x{:016x}", spec.content_hash()).as_str())
+    );
+    assert_eq!(versions[1].layer, Some(0));
+    assert_eq!(versions[1].source, "repair of n1@v1");
+    assert_eq!(client.list_models().unwrap(), vec![("n1".to_owned(), 2)]);
+
+    // Linear regions of the repaired model: value repairs never move them
+    // (Theorem 4.6), so v1 and v2 agree region for region.
+    let segment = vec![vec![-1.0], vec![2.0]];
+    let r1 = client
+        .lin_regions(&ModelRef::version("n1", 1), vec![segment.clone()], None)
+        .unwrap();
+    let r2 = client
+        .lin_regions(&ModelRef::version("n1", 2), vec![segment], None)
+        .unwrap();
+    assert_eq!(r1, r2);
+    assert_eq!(r1[0].len(), 3, "N1 has three regions on [-1, 2]");
+
+    client.shutdown_server().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn concurrent_clients_get_batched_bit_identical_evals() {
+    let handle = start_server();
+    let generator = "mlp:31:4x12x3";
+    let net = registry::build_model(generator).unwrap();
+    Client::connect(handle.addr())
+        .unwrap()
+        .load_generator("m", generator)
+        .unwrap();
+
+    let clients = 8;
+    let per_client = 6;
+    let workers: Vec<_> = (0..clients)
+        .map(|c| {
+            let addr = handle.addr();
+            let net = net.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                let inputs: Vec<Vec<f64>> = (0..per_client)
+                    .map(|k| {
+                        (0..4)
+                            .map(|i| ((c * per_client + k) * 4 + i) as f64 * 0.1 - 1.0)
+                            .collect()
+                    })
+                    .collect();
+                let outputs = client
+                    .eval(&ModelRef::latest("m"), inputs.clone(), Some(30_000))
+                    .unwrap();
+                for (x, y) in inputs.iter().zip(&outputs) {
+                    assert_eq!(y, &net.forward(x), "client {c} diverged at {x:?}");
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+
+    // Counter consistency: every request and every point went through the
+    // batcher, and the batch count never exceeds the request count (it is
+    // lower whenever coalescing merged concurrent requests).
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.eval_requests, clients as u64);
+    assert_eq!(stats.eval_points, (clients * per_client) as u64);
+    assert!(stats.eval_batches >= 1 && stats.eval_batches <= stats.eval_requests);
+
+    client.shutdown_server().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn shutdown_drains_queued_repairs_before_exiting() {
+    let handle = start_server();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.load_generator("n1", "n1").unwrap();
+    let spec = equation_2_spec();
+    let job = client
+        .repair(
+            &ModelRef::latest("n1"),
+            0,
+            spec.clone(),
+            RepairConfig::default(),
+        )
+        .unwrap();
+    // Trigger shutdown immediately: the accepted job must still run and
+    // publish during the drain.
+    client.shutdown_server().unwrap();
+    let store = handle.store();
+    handle.join().unwrap();
+
+    let v2 = store
+        .resolve(&ModelRef::version("n1", 2))
+        .expect("queued repair must publish during drain");
+    assert!(spec.is_satisfied_by(|x| v2.ddnn.forward(x), 1e-6));
+    assert_eq!(
+        v2.provenance.as_ref().unwrap().spec_hash,
+        spec.content_hash()
+    );
+    let _ = job;
+}
+
+#[test]
+fn typed_errors_and_protocol_abuse_over_real_sockets() {
+    // Default config: the connection cap (tested separately) stays out of
+    // the way of the framing checks.
+    let handle = start_server();
+
+    // Unknown models and versions are typed errors.
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let err = client
+        .eval(&ModelRef::latest("ghost"), vec![vec![0.0]], None)
+        .unwrap_err();
+    assert_eq!(err.kind(), Some(ErrorKind::UnknownModel));
+    client.load_generator("n1", "n1").unwrap();
+    let err = client
+        .eval(&ModelRef::version("n1", 9), vec![vec![0.0]], None)
+        .unwrap_err();
+    assert_eq!(err.kind(), Some(ErrorKind::UnknownVersion));
+    // Dimension mismatches are rejected before they reach the batcher.
+    let err = client
+        .eval(&ModelRef::latest("n1"), vec![vec![0.0, 1.0]], None)
+        .unwrap_err();
+    assert_eq!(err.kind(), Some(ErrorKind::BadRequest));
+    let err = client.load_generator("n1", "n1").unwrap_err();
+    assert_eq!(err.kind(), Some(ErrorKind::BadRequest), "duplicate load");
+    let err = client.load_generator("x", "warp-drive").unwrap_err();
+    assert_eq!(err.kind(), Some(ErrorKind::BadRequest), "bad generator");
+    // '@' is reserved for version references; such a name could never be
+    // resolved again, so the load is rejected up front.
+    let err = client.load_generator("m@v2", "n1").unwrap_err();
+    assert_eq!(err.kind(), Some(ErrorKind::BadRequest), "name with '@'");
+
+    // An oversized frame header is rejected and the connection closed.
+    let mut abuser = TcpStream::connect(handle.addr()).unwrap();
+    use std::io::Write as _;
+    abuser.write_all(&u32::MAX.to_be_bytes()).unwrap();
+    abuser.write_all(b"junk").unwrap();
+    match read_frame(&mut abuser) {
+        Ok(value) => {
+            let response = Response::from_value(&value).unwrap();
+            assert!(
+                matches!(
+                    response,
+                    Response::Error {
+                        kind: ErrorKind::BadRequest,
+                        ..
+                    }
+                ),
+                "{response:?}"
+            );
+        }
+        Err(e) => panic!("expected an error response frame, got {e}"),
+    }
+    drop(abuser);
+
+    // Garbage JSON gets a bad_request error frame.
+    let mut garbler = TcpStream::connect(handle.addr()).unwrap();
+    let body = b"this is not json";
+    garbler
+        .write_all(&(body.len() as u32).to_be_bytes())
+        .unwrap();
+    garbler.write_all(body).unwrap();
+    let value = read_frame(&mut garbler).expect("error frame");
+    assert!(matches!(
+        Response::from_value(&value).unwrap(),
+        Response::Error {
+            kind: ErrorKind::BadRequest,
+            ..
+        }
+    ));
+    drop(garbler);
+
+    client.shutdown_server().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn connection_cap_admission_control() {
+    let handle = serve(ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        max_connections: 2,
+        ..ServerConfig::default()
+    })
+    .expect("ephemeral bind");
+
+    // Admission control: with both slots held, a further connection is
+    // answered with `overloaded` and closed.  (Earlier connections may
+    // still be releasing their slots, which only raises the count; a
+    // rejected connection is never counted.)
+    let held1 = Client::connect(handle.addr()).unwrap();
+    let held2 = Client::connect(handle.addr()).unwrap();
+    let overloaded = (0..100).find_map(|_| {
+        let mut extra = TcpStream::connect(handle.addr()).ok()?;
+        extra
+            .set_read_timeout(Some(Duration::from_millis(200)))
+            .unwrap();
+        match read_frame(&mut extra) {
+            Ok(value) => match Response::from_value(&value).ok()? {
+                Response::Error {
+                    kind: ErrorKind::Overloaded,
+                    ..
+                } => Some(true),
+                _ => None,
+            },
+            // A free slot means the server is waiting for our request;
+            // the read times out — try again.
+            Err(_) => {
+                std::thread::sleep(Duration::from_millis(5));
+                None
+            }
+        }
+    });
+    assert_eq!(
+        overloaded,
+        Some(true),
+        "connection beyond the cap should see `overloaded`"
+    );
+    drop(held1);
+    drop(held2);
+
+    // A raw shutdown request still gets its acknowledgement once a slot
+    // frees up.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let mut closer = TcpStream::connect(handle.addr()).unwrap();
+        closer
+            .set_read_timeout(Some(Duration::from_millis(500)))
+            .unwrap();
+        if write_frame(&mut closer, &Request::Shutdown.to_value()).is_err() {
+            continue;
+        }
+        match read_frame(&mut closer) {
+            Ok(value) if Response::from_value(&value) == Ok(Response::ShuttingDown) => break,
+            _ if std::time::Instant::now() > deadline => {
+                panic!("shutdown request never acknowledged")
+            }
+            _ => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+    handle.join().unwrap();
+}

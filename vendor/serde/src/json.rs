@@ -1,0 +1,579 @@
+//! A small JSON document model with an exact-round-trip writer and a
+//! recursive-descent parser.
+//!
+//! The real `serde` ecosystem would pair `serde` with `serde_json`; offline,
+//! this module supplies the subset the workspace's serving layer and bench
+//! reports need:
+//!
+//! * [`Value`] — the usual JSON tree (null / bool / number / string / array
+//!   / object).  Objects preserve insertion order, which keeps emitted
+//!   protocol frames and bench reports stable and diffable.
+//! * [`Value::to_json`] — compact writer.  Finite numbers are formatted with
+//!   Rust's shortest-round-trip `{:?}` representation, so an `f64` survives
+//!   a write→parse cycle **bit for bit** (the serving layer's bit-identical
+//!   guarantee relies on this).  Non-finite numbers have no JSON form and
+//!   are emitted as `null`.
+//! * [`Value::parse`] — parser with a nesting-depth limit, rejecting
+//!   trailing garbage, unterminated strings, and malformed escapes.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Maximum nesting depth the parser accepts; deeper documents are rejected
+/// instead of overflowing the stack on untrusted input.
+const MAX_DEPTH: usize = 128;
+
+/// A JSON document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number; JSON does not distinguish integer from float.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, preserving insertion order.
+    Obj(Vec<(String, Value)>),
+}
+
+/// A malformed JSON document, with a byte offset and description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the error in the input.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl Value {
+    /// Builds an object value from key/value pairs, in the given order.
+    pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Value)>) -> Value {
+        Value::Obj(
+            pairs
+                .into_iter()
+                .map(|(k, v)| (k.to_owned(), v))
+                .collect(),
+        )
+    }
+
+    /// Builds an array of numbers from an `f64` slice.
+    pub fn num_array(xs: &[f64]) -> Value {
+        Value::Arr(xs.iter().map(|&x| Value::Num(x)).collect())
+    }
+
+    /// Looks up a key in an object value (`None` for non-objects and
+    /// missing keys; first match wins if a key is duplicated).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as a number, if it is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, if it is a number that is one.
+    pub fn as_usize(&self) -> Option<usize> {
+        match self {
+            Value::Num(x) if *x >= 0.0 && x.fract() == 0.0 && *x <= u64::MAX as f64 => {
+                Some(*x as usize)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` vector, if it is an array of numbers.
+    pub fn as_f64_vec(&self) -> Option<Vec<f64>> {
+        self.as_arr()?.iter().map(Value::as_f64).collect()
+    }
+
+    /// Serialises the value as compact JSON.
+    ///
+    /// Finite numbers use the shortest representation that parses back to
+    /// the identical bits; NaN and infinities become `null`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out);
+        out
+    }
+
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(true) => out.push_str("true"),
+            Value::Bool(false) => out.push_str("false"),
+            Value::Num(x) => {
+                if x.is_finite() {
+                    // `{:?}` is Rust's shortest round-trip f64 formatting;
+                    // its output ("1.0", "-0.0", "1e300") is valid JSON.
+                    let _ = write!(out, "{x:?}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Value::Str(s) => write_json_string(s, out),
+            Value::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_json(out);
+                }
+                out.push(']');
+            }
+            Value::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_json_string(k, out);
+                    out.push(':');
+                    v.write_json(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses a JSON document, rejecting trailing non-whitespace.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] describing the first offending byte.
+    pub fn parse(input: &str) -> Result<Value, ParseError> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.parse_value(0)?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after document"));
+        }
+        Ok(value)
+    }
+}
+
+fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn parse_value(&mut self, depth: usize) -> Result<Value, ParseError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            None => Err(self.err("unexpected end of input")),
+            Some(b'n') => self.parse_keyword("null", Value::Null),
+            Some(b't') => self.parse_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.parse_string()?)),
+            Some(b'[') => self.parse_array(depth),
+            Some(b'{') => self.parse_object(depth),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(c) => Err(self.err(format!("unexpected character '{}'", c as char))),
+        }
+    }
+
+    fn parse_keyword(&mut self, keyword: &str, value: Value) -> Result<Value, ParseError> {
+        if self.bytes[self.pos..].starts_with(keyword.as_bytes()) {
+            self.pos += keyword.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected '{keyword}'")))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        match text.parse::<f64>() {
+            Ok(x) if x.is_finite() => Ok(Value::Num(x)),
+            _ => Err(self.err(format!("invalid number '{text}'"))),
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, ParseError> {
+        let hex = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .and_then(|h| std::str::from_utf8(h).ok())
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        let code =
+            u32::from_str_radix(hex, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    fn parse_string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Copy the longest run of plain bytes in one go.
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("invalid UTF-8 in string"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escaped = self.peek().ok_or_else(|| self.err("truncated escape"))?;
+                    self.pos += 1;
+                    match escaped {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let code = self.parse_hex4()?;
+                            let c = match code {
+                                // High surrogate: standard JSON encoders
+                                // (e.g. Python's json with ensure_ascii)
+                                // emit non-BMP characters as a \u pair —
+                                // combine it with the following low half.
+                                0xD800..=0xDBFF => {
+                                    if self.bytes.get(self.pos) != Some(&b'\\')
+                                        || self.bytes.get(self.pos + 1) != Some(&b'u')
+                                    {
+                                        return Err(self.err("unpaired high surrogate"));
+                                    }
+                                    self.pos += 2;
+                                    let low = self.parse_hex4()?;
+                                    if !(0xDC00..=0xDFFF).contains(&low) {
+                                        return Err(self.err("invalid low surrogate"));
+                                    }
+                                    let combined =
+                                        0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                    char::from_u32(combined)
+                                        .ok_or_else(|| self.err("invalid surrogate pair"))?
+                                }
+                                0xDC00..=0xDFFF => {
+                                    return Err(self.err("unpaired low surrogate"))
+                                }
+                                code => char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid \\u code point"))?,
+                            };
+                            out.push(c);
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                Some(_) => return Err(self.err("control character in string")),
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_array(&mut self, depth: usize) -> Result<Value, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self, depth: usize) -> Result<Value, ParseError> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value(depth + 1)?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(pairs));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+/// Sorts every object's keys recursively (useful when comparing documents
+/// produced with different insertion orders).
+pub fn canonicalize(value: &Value) -> Value {
+    match value {
+        Value::Arr(items) => Value::Arr(items.iter().map(canonicalize).collect()),
+        Value::Obj(pairs) => {
+            let sorted: BTreeMap<&str, Value> = pairs
+                .iter()
+                .map(|(k, v)| (k.as_str(), canonicalize(v)))
+                .collect();
+            Value::Obj(
+                sorted
+                    .into_iter()
+                    .map(|(k, v)| (k.to_owned(), v))
+                    .collect(),
+            )
+        }
+        other => other.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        for doc in ["null", "true", "false", "0.0", "-1.5", "\"hi\""] {
+            let v = Value::parse(doc).unwrap();
+            assert_eq!(v.to_json(), doc);
+        }
+    }
+
+    #[test]
+    fn f64_round_trips_bit_for_bit() {
+        let values = [
+            0.0,
+            -0.0,
+            1.0 / 3.0,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            -2.2250738585072014e-308,
+            9007199254740993.0,
+            0.1 + 0.2,
+        ];
+        for &x in &values {
+            let json = Value::Num(x).to_json();
+            let back = Value::parse(&json).unwrap().as_f64().unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "value {x:?} via {json}");
+        }
+    }
+
+    #[test]
+    fn non_finite_numbers_become_null() {
+        assert_eq!(Value::Num(f64::NAN).to_json(), "null");
+        assert_eq!(Value::Num(f64::INFINITY).to_json(), "null");
+    }
+
+    #[test]
+    fn nested_structures_round_trip() {
+        let doc = r#"{"a":[1.0,2.5,{"b":null}],"c":"x\"y\\z","d":{"e":[[]]}}"#;
+        let v = Value::parse(doc).unwrap();
+        assert_eq!(v.to_json(), doc);
+        assert_eq!(v.get("c").unwrap().as_str().unwrap(), "x\"y\\z");
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn whitespace_and_escapes_are_accepted() {
+        let v = Value::parse(" { \"k\" : [ 1 , 2 ] ,\n\"s\": \"\\u0041\\n\" } ").unwrap();
+        assert_eq!(v.get("k").unwrap().as_f64_vec().unwrap(), vec![1.0, 2.0]);
+        assert_eq!(v.get("s").unwrap().as_str().unwrap(), "A\n");
+    }
+
+    #[test]
+    fn surrogate_pairs_combine_like_standard_encoders() {
+        // Python's `json.dumps("😀")` with its ensure_ascii default
+        // emits an escaped surrogate pair.
+        let v = Value::parse(r#""\ud83d\ude00""#).unwrap();
+        assert_eq!(v.as_str().unwrap(), "😀");
+        let v = Value::parse(r#""a\ud83d\ude00b\u0041""#).unwrap();
+        assert_eq!(v.as_str().unwrap(), "a😀bA");
+        // Literal (unescaped) non-BMP characters still pass through.
+        let v = Value::parse("\"😀\"").unwrap();
+        assert_eq!(v.as_str().unwrap(), "😀");
+        for bad in [
+            r#""\ud83d""#,        // unpaired high at end of string
+            r#""\ud83dxx""#,      // high not followed by an escape
+            r#""\ud83dA""#,  // high followed by a non-surrogate
+            r#""\ude00""#,        // lone low
+        ] {
+            assert!(Value::parse(bad).is_err(), "accepted {bad}");
+        }
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        for doc in [
+            "",
+            "{",
+            "[1,",
+            "\"unterminated",
+            "truth",
+            "1.0extra",
+            "{\"a\":}",
+            "[1] []",
+            "nul",
+            "{\"a\" 1}",
+            "\"\\q\"",
+            "nan",
+        ] {
+            assert!(Value::parse(doc).is_err(), "accepted {doc:?}");
+        }
+    }
+
+    #[test]
+    fn depth_limit_is_enforced() {
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        assert!(Value::parse(&deep).is_err());
+        let ok = "[".repeat(50) + &"]".repeat(50);
+        assert!(Value::parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn accessors_and_builders() {
+        let v = Value::obj([
+            ("n", Value::Num(3.0)),
+            ("xs", Value::num_array(&[1.0, 2.0])),
+            ("flag", Value::Bool(true)),
+        ]);
+        assert_eq!(v.get("n").unwrap().as_usize(), Some(3));
+        assert_eq!(Value::Num(-1.0).as_usize(), None);
+        assert_eq!(Value::Num(1.5).as_usize(), None);
+        assert_eq!(v.get("xs").unwrap().as_f64_vec().unwrap(), vec![1.0, 2.0]);
+        assert_eq!(v.get("flag").unwrap().as_bool(), Some(true));
+        assert!(v.get("missing").is_none());
+        assert!(Value::Null.get("k").is_none());
+    }
+
+    #[test]
+    fn canonicalize_sorts_keys() {
+        let a = Value::parse(r#"{"b":1.0,"a":{"z":2.0,"y":3.0}}"#).unwrap();
+        let b = Value::parse(r#"{"a":{"y":3.0,"z":2.0},"b":1.0}"#).unwrap();
+        assert_eq!(canonicalize(&a), canonicalize(&b));
+    }
+}

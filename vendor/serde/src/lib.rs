@@ -1,11 +1,17 @@
 //! Offline stand-in for the `serde` crate.
 //!
 //! The workspace derives `Serialize` / `Deserialize` on its model types so a
-//! real serialisation backend can be slotted in later, but no code path
-//! actually serialises anything yet.  Since crates.io is unreachable in this
-//! build environment, this vendored crate supplies the two trait names as
-//! markers together with derive macros that emit empty impls, keeping the
-//! annotations compiling until a full serde can be used.
+//! real serialisation backend can be slotted in later.  Since crates.io is
+//! unreachable in this build environment, this vendored crate supplies the
+//! two trait names as markers together with derive macros that emit empty
+//! impls, keeping the annotations compiling until a full serde can be used.
+//!
+//! The [`json`] module is the working part: a small JSON document model with
+//! an exact-round-trip writer and a hardened parser, standing in for
+//! `serde_json`.  The serving layer's wire protocol, the model store's
+//! file format, and the bench JSON reports are all built on it.
+
+pub mod json;
 
 pub use serde_derive::{Deserialize, Serialize};
 
