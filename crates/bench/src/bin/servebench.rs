@@ -94,6 +94,9 @@ struct MixReport {
     other_errors: u64,
     latencies_ms: Vec<f64>,
     versions_published: u64,
+    /// Batcher gulp counters: (gulps, items drained, largest gulp).  The
+    /// mean items-per-gulp is the coalescing factor the run achieved.
+    gulp_stats: (u64, u64, u64),
 }
 
 fn percentile(sorted: &[f64], q: f64) -> f64 {
@@ -244,18 +247,22 @@ fn run_mix(name: &'static str, args: &Args, repair_share_pct: u64) -> MixReport 
     let elapsed = start.elapsed();
     latencies_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
 
-    let versions_published = {
+    let (versions_published, gulp_stats) = {
         let mut client = Client::connect(addr).expect("connect for teardown");
         let published = client
             .list_versions("bench-repair")
             .map(|v| v.len() as u64 - 1)
             .unwrap_or(0);
+        let gulp_stats = client
+            .stats()
+            .map(|s| (s.gulps, s.gulp_items, s.max_gulp))
+            .unwrap_or((0, 0, 0));
         if let Some(handle) = own_server {
             client.shutdown_server().expect("shutdown");
             drop(client);
             handle.join().expect("server drain");
         }
-        published
+        (published, gulp_stats)
     };
 
     MixReport {
@@ -268,6 +275,7 @@ fn run_mix(name: &'static str, args: &Args, repair_share_pct: u64) -> MixReport 
         other_errors: tally.other_errors.load(Ordering::Relaxed),
         latencies_ms,
         versions_published,
+        gulp_stats,
     }
 }
 
@@ -289,6 +297,22 @@ fn report_to_json(report: &MixReport, args: &Args) -> Value {
         (
             "versions_published",
             Value::Num(report.versions_published as f64),
+        ),
+        (
+            "batcher",
+            Value::obj([
+                ("gulps", Value::Num(report.gulp_stats.0 as f64)),
+                ("gulp_items", Value::Num(report.gulp_stats.1 as f64)),
+                (
+                    "mean_gulp",
+                    Value::Num(if report.gulp_stats.0 == 0 {
+                        0.0
+                    } else {
+                        report.gulp_stats.1 as f64 / report.gulp_stats.0 as f64
+                    }),
+                ),
+                ("max_gulp", Value::Num(report.gulp_stats.2 as f64)),
+            ]),
         ),
         (
             "latency_ms",

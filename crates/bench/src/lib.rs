@@ -21,6 +21,7 @@
 pub mod figures;
 pub mod metrics;
 pub mod scale;
+pub mod stats;
 pub mod task1;
 pub mod task2;
 pub mod task3;
@@ -49,8 +50,9 @@ pub fn apply_threads_arg() {
 
 /// Scans the process arguments for `<flag> value` or `<flag>=value`,
 /// returning the last occurrence (matching the knobs' last-wins
-/// behaviour).  Shared by [`apply_threads_arg`] and [`apply_pricing_arg`].
-fn flag_value(flag: &str) -> Option<String> {
+/// behaviour).  Shared by [`apply_threads_arg`], [`apply_pricing_arg`]
+/// and the bench binaries' own flags.
+pub fn flag_value(flag: &str) -> Option<String> {
     let mut args = std::env::args().skip(1);
     let mut found = None;
     while let Some(arg) = args.next() {

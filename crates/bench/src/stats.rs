@@ -1,0 +1,89 @@
+//! Honest summary statistics for the bench rig.
+//!
+//! Every kernel/workload measurement in `kernelbench` (and anything else
+//! that wants the same discipline) reports **median + interquartile range
+//! over at least five runs**, never a single timing: the median resists the
+//! occasional scheduler hiccup and the IQR makes run-to-run spread part of
+//! the record instead of something a reader has to guess at.
+
+/// Minimum number of timed runs per case; callers may ask for more but the
+/// rig refuses to summarise fewer.
+pub const MIN_RUNS: usize = 5;
+
+/// Median + IQR summary of one benchmark case's timed runs.
+#[derive(Debug, Clone)]
+pub struct Summary {
+    /// Every timed run, in execution order (milliseconds).
+    pub runs_ms: Vec<f64>,
+    /// Median over the runs (milliseconds).
+    pub median_ms: f64,
+    /// Interquartile range `q3 - q1` over the runs (milliseconds).
+    pub iqr_ms: f64,
+}
+
+/// Linearly interpolated quantile of an ascending-sorted slice,
+/// `q` in `[0, 1]`.
+pub fn quantile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty sample");
+    let pos = q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] + frac * (sorted[hi] - sorted[lo])
+}
+
+/// Summarises timed runs into median + IQR.
+///
+/// Panics if fewer than [`MIN_RUNS`] runs are supplied: a median of three
+/// is not a statistic worth writing into a benchmark artifact.
+pub fn summarize(runs_ms: Vec<f64>) -> Summary {
+    assert!(
+        runs_ms.len() >= MIN_RUNS,
+        "need at least {MIN_RUNS} runs, got {}",
+        runs_ms.len()
+    );
+    let mut sorted = runs_ms.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    Summary {
+        median_ms: quantile(&sorted, 0.5),
+        iqr_ms: quantile(&sorted, 0.75) - quantile(&sorted, 0.25),
+        runs_ms,
+    }
+}
+
+/// Times `runs` executions of `f` (plus one untimed warm-up), returning
+/// per-run milliseconds in execution order.
+pub fn time_runs(runs: usize, mut f: impl FnMut()) -> Vec<f64> {
+    f(); // warm-up: touch caches, JIT the page faults away
+    (0..runs)
+        .map(|_| {
+            let start = std::time::Instant::now();
+            f();
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_and_iqr_of_known_sample() {
+        let s = summarize(vec![5.0, 1.0, 3.0, 2.0, 4.0]);
+        assert_eq!(s.median_ms, 3.0);
+        assert_eq!(s.iqr_ms, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 5 runs")]
+    fn refuses_fewer_than_min_runs() {
+        summarize(vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let sorted = [0.0, 10.0];
+        assert_eq!(quantile(&sorted, 0.25), 2.5);
+    }
+}

@@ -9,8 +9,34 @@
 //! facts the repair algorithms rely on.
 
 use prdnn_linalg::{vector, Matrix};
-use prdnn_nn::{Layer, Network};
+use prdnn_nn::{FlatBatch, Layer, Network};
 use serde::{Deserialize, Serialize};
+
+/// Splits `(act, val)` input pairs into the two channel batches, stored
+/// flat so every dense layer below is one GEMM call per channel.
+fn channel_batches(in_dim: usize, pairs: &[(&[f64], &[f64])]) -> (FlatBatch, FlatBatch) {
+    let mut v_act = FlatBatch::with_capacity(in_dim, pairs.len());
+    let mut v_val = FlatBatch::with_capacity(in_dim, pairs.len());
+    for (a, v) in pairs {
+        v_act.push_row(a);
+        v_val.push_row(v);
+    }
+    (v_act, v_val)
+}
+
+/// Applies per-point linearisations to a flat batch of value-channel
+/// pre-activations (the `v_val = lin(z_val)` step of Definition 4.3).
+fn apply_lins_flat(
+    lins: &[prdnn_nn::ActivationLinearization],
+    z_val: &FlatBatch,
+    out_dim: usize,
+) -> FlatBatch {
+    let mut out = FlatBatch::with_capacity(out_dim, z_val.count());
+    for (lin, z) in lins.iter().zip(z_val.rows()) {
+        out.push_row(&lin.apply(z));
+    }
+    out
+}
 
 /// A Decoupled DNN (Definition 4.1): an activation-channel network and a
 /// value-channel network with identical architectures.
@@ -163,22 +189,17 @@ impl DecoupledNetwork {
     ///
     /// Panics if any input has the wrong dimension.
     pub fn forward_decoupled_batch(&self, pairs: &[(&[f64], &[f64])]) -> Vec<Vec<f64>> {
-        let mut v_act: Vec<Vec<f64>> = pairs.iter().map(|(a, _)| a.to_vec()).collect();
-        let mut v_val: Vec<Vec<f64>> = pairs.iter().map(|(_, v)| v.to_vec()).collect();
+        let (mut v_act, mut v_val) = channel_batches(self.input_dim(), pairs);
         for i in 0..self.num_layers() {
             let layer_a = self.activation.layer(i);
             let layer_v = self.value.layer(i);
-            let z_act = layer_a.preactivation_batch(&v_act);
-            let z_val = layer_v.preactivation_batch(&v_val);
-            let lins = layer_a.linearize_activation_batch(&z_act);
-            v_val = lins
-                .iter()
-                .zip(&z_val)
-                .map(|(lin, z)| lin.apply(z))
-                .collect();
-            v_act = layer_a.activate_batch(&z_act);
+            let z_act = layer_a.preactivation_batch_flat(&v_act);
+            let z_val = layer_v.preactivation_batch_flat(&v_val);
+            let lins = layer_a.linearize_activation_batch_flat(&z_act);
+            v_val = apply_lins_flat(&lins, &z_val, layer_a.output_dim());
+            v_act = layer_a.activate_batch_flat(&z_act);
         }
-        v_val
+        v_val.to_rows()
     }
 
     /// [`Self::forward_decoupled_batch`] fanned across a thread pool.
@@ -308,27 +329,22 @@ impl DecoupledNetwork {
         // inputs of the repaired layer.  The value channel only needs to be
         // propagated *up to* the repaired layer — beyond it the Jacobian
         // depends on the activation channel alone.
-        let mut v_act: Vec<Vec<f64>> = pairs.iter().map(|(a, _)| a.to_vec()).collect();
-        let mut v_val: Vec<Vec<f64>> = pairs.iter().map(|(_, v)| v.to_vec()).collect();
+        let (mut v_act, mut v_val) = channel_batches(self.input_dim(), pairs);
         let mut lins_per_layer: Vec<Vec<prdnn_nn::ActivationLinearization>> =
             Vec::with_capacity(self.num_layers());
-        let mut repaired_layer_inputs: Vec<Vec<f64>> = Vec::new();
+        let mut repaired_layer_inputs = FlatBatch::default();
         for i in 0..self.num_layers() {
             let layer_a = self.activation.layer(i);
-            let z_act = layer_a.preactivation_batch(&v_act);
-            let lins = layer_a.linearize_activation_batch(&z_act);
+            let z_act = layer_a.preactivation_batch_flat(&v_act);
+            let lins = layer_a.linearize_activation_batch_flat(&z_act);
             if i == layer {
                 repaired_layer_inputs = std::mem::take(&mut v_val);
             } else if i < layer {
                 let layer_v = self.value.layer(i);
-                let z_val = layer_v.preactivation_batch(&v_val);
-                v_val = lins
-                    .iter()
-                    .zip(&z_val)
-                    .map(|(lin, z)| lin.apply(z))
-                    .collect();
+                let z_val = layer_v.preactivation_batch_flat(&v_val);
+                v_val = apply_lins_flat(&lins, &z_val, layer_a.output_dim());
             }
-            v_act = layer_a.activate_batch(&z_act);
+            v_act = layer_a.activate_batch_flat(&z_act);
             lins_per_layer.push(lins);
         }
 
@@ -344,7 +360,7 @@ impl DecoupledNetwork {
                 let dz = lins_per_layer[layer][p].vjp(&m);
                 self.value
                     .layer(layer)
-                    .preact_param_vjp(&dz, &repaired_layer_inputs[p])
+                    .preact_param_vjp(&dz, repaired_layer_inputs.row(p))
             })
             .collect()
     }

@@ -18,6 +18,7 @@
 //! assert_eq!(a.matvec(&v), vec![3.0, 7.0]);
 //! ```
 
+pub mod gemm;
 mod lu;
 mod matrix;
 pub mod vector;

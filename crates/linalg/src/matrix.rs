@@ -156,14 +156,7 @@ impl Matrix {
             self.cols
         );
         let mut out = vec![0.0; self.rows];
-        for (r, out_r) in out.iter_mut().enumerate() {
-            let row = self.row(r);
-            let mut acc = 0.0;
-            for (a, b) in row.iter().zip(v) {
-                acc += a * b;
-            }
-            *out_r = acc;
-        }
+        crate::gemm::gemv(self.rows, self.cols, &self.data, v, &mut out);
         out
     }
 
@@ -179,17 +172,14 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         let mut out = Matrix::zeros(self.rows, other.cols);
-        for r in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self[(r, k)];
-                if a == 0.0 {
-                    continue;
-                }
-                for c in 0..other.cols {
-                    out[(r, c)] += a * other[(k, c)];
-                }
-            }
-        }
+        crate::gemm::gemm_nn(
+            self.rows,
+            self.cols,
+            other.cols,
+            &self.data,
+            &other.data,
+            &mut out.data,
+        );
         out
     }
 

@@ -17,7 +17,7 @@ pub fn dot(a: &[f64], b: &[f64]) -> f64 {
         a.len(),
         b.len()
     );
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+    crate::gemm::dot(a, b)
 }
 
 /// Element-wise sum `a + b`.

@@ -20,7 +20,8 @@
 //!   a Decoupled DNN.
 
 use crate::activation::Activation;
-use prdnn_linalg::Matrix;
+use crate::batch::FlatBatch;
+use prdnn_linalg::{gemm, Matrix};
 use serde::{Deserialize, Serialize};
 
 /// How a layer's activation can cross between linear pieces.
@@ -238,6 +239,23 @@ impl Conv2dLayer {
             }
         }
     }
+
+    /// Writes the convolution pre-activation for one input into `z`
+    /// (which must have length `output_dim`).
+    fn preactivation_into(&self, input: &[f64], z: &mut [f64]) {
+        let (oh, ow) = (self.out_height(), self.out_width());
+        for oc in 0..self.out_channels {
+            let b = self.bias[oc];
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    z[(oc * oh + oy) * ow + ox] = b;
+                }
+            }
+        }
+        self.for_each_connection(|out_idx, w_idx, in_idx| {
+            z[out_idx] += self.weights[w_idx] * input[in_idx];
+        });
+    }
 }
 
 /// A 2-D pooling layer over `C×H×W` inputs (max or average).
@@ -270,24 +288,66 @@ impl Pool2dLayer {
 
     /// The input indices covered by each pooling window, in output order.
     pub fn windows(&self) -> Vec<Vec<usize>> {
+        let flat = self.flat_windows();
+        flat.iter().map(|w| w.to_vec()).collect()
+    }
+
+    /// The window index map as one flat buffer ([`PoolWindows`]).
+    ///
+    /// Every window of a pooling layer has the same size
+    /// (`pool_h × pool_w`), so the nested `Vec<Vec<usize>>` of
+    /// [`Self::windows`] — one heap allocation per window — carries no
+    /// information a flat `windows × window_len` index table doesn't.  The
+    /// batch entry points compute this table once per call and share it
+    /// across the whole batch.
+    pub fn flat_windows(&self) -> PoolWindows {
         let (oh, ow) = (self.out_height(), self.out_width());
-        let mut windows = Vec::with_capacity(self.channels * oh * ow);
+        let window_len = self.pool_h * self.pool_w;
+        let mut indices = Vec::with_capacity(self.channels * oh * ow * window_len);
         for c in 0..self.channels {
             for oy in 0..oh {
                 for ox in 0..ow {
-                    let mut w = Vec::with_capacity(self.pool_h * self.pool_w);
                     for py in 0..self.pool_h {
                         for px in 0..self.pool_w {
                             let iy = oy * self.stride + py;
                             let ix = ox * self.stride + px;
-                            w.push((c * self.in_height + iy) * self.in_width + ix);
+                            indices.push((c * self.in_height + iy) * self.in_width + ix);
                         }
                     }
-                    windows.push(w);
                 }
             }
         }
-        windows
+        PoolWindows {
+            indices,
+            window_len,
+        }
+    }
+}
+
+/// The input-index map of a pooling layer, flattened: window `w` reads the
+/// input positions `self.window(w)`.  One allocation for the whole map,
+/// where the nested [`Pool2dLayer::windows`] form allocates per window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoolWindows {
+    indices: Vec<usize>,
+    window_len: usize,
+}
+
+impl PoolWindows {
+    /// Number of pooling windows (the layer's output dimension).
+    pub fn count(&self) -> usize {
+        self.indices.len().checked_div(self.window_len).unwrap_or(0)
+    }
+
+    /// Input indices read by window `w`.
+    #[inline]
+    pub fn window(&self, w: usize) -> &[usize] {
+        &self.indices[w * self.window_len..(w + 1) * self.window_len]
+    }
+
+    /// Iterates over the windows in output order.
+    pub fn iter(&self) -> impl Iterator<Item = &[usize]> {
+        (0..self.count()).map(move |w| self.window(w))
     }
 }
 
@@ -435,20 +495,8 @@ impl Layer {
                 z
             }
             Layer::Conv2d(c) => {
-                let out_dim = self.output_dim();
-                let (oh, ow) = (c.out_height(), c.out_width());
-                let mut z = vec![0.0; out_dim];
-                for oc in 0..c.out_channels {
-                    let b = c.bias[oc];
-                    for oy in 0..oh {
-                        for ox in 0..ow {
-                            z[(oc * oh + oy) * ow + ox] = b;
-                        }
-                    }
-                }
-                c.for_each_connection(|out_idx, w_idx, in_idx| {
-                    z[out_idx] += c.weights[w_idx] * input[in_idx];
-                });
+                let mut z = vec![0.0; self.output_dim()];
+                c.preactivation_into(input, &mut z);
                 z
             }
             Layer::MaxPool2d(_) | Layer::AvgPool2d(_) => input.to_vec(),
@@ -461,12 +509,12 @@ impl Layer {
             Layer::Dense(d) => d.activation.apply(z),
             Layer::Conv2d(c) => c.activation.apply(z),
             Layer::MaxPool2d(p) => p
-                .windows()
+                .flat_windows()
                 .iter()
                 .map(|w| w.iter().map(|&i| z[i]).fold(f64::NEG_INFINITY, f64::max))
                 .collect(),
             Layer::AvgPool2d(p) => p
-                .windows()
+                .flat_windows()
                 .iter()
                 .map(|w| w.iter().map(|&i| z[i]).sum::<f64>() / w.len() as f64)
                 .collect(),
@@ -490,8 +538,9 @@ impl Layer {
     /// Panics if any input has the wrong dimension.
     pub fn preactivation_batch(&self, inputs: &[Vec<f64>]) -> Vec<Vec<f64>> {
         match self {
-            // Pooling pre-activations are the identity; avoid re-dispatching,
-            // but keep the same dimension check as `preactivation`.
+            // Pooling pre-activations are the identity; avoid the flat
+            // round-trip and just copy, with the same dimension check as
+            // `preactivation`.
             Layer::MaxPool2d(_) | Layer::AvgPool2d(_) => inputs
                 .iter()
                 .map(|v| {
@@ -499,7 +548,60 @@ impl Layer {
                     v.to_vec()
                 })
                 .collect(),
-            _ => inputs.iter().map(|v| self.preactivation(v)).collect(),
+            _ => self
+                .preactivation_batch_flat(&FlatBatch::from_rows(self.input_dim(), inputs))
+                .to_rows(),
+        }
+    }
+
+    /// [`Self::preactivation_batch`] on a batch-major flat buffer.
+    ///
+    /// For dense layers the whole batch goes through **one** blocked GEMM
+    /// call (`Z = X · Wᵀ`, then the bias is added row-wise): one packed
+    /// weight tile serves every vector in the batch.  The GEMM accumulates
+    /// each output element in the same ascending-`k` order as the per-point
+    /// `matvec`, and the bias is added after the full accumulation exactly
+    /// as in [`Self::preactivation`], so the result is bit-identical to
+    /// mapping the per-point entry point over the batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.dim() != self.input_dim()`.
+    pub fn preactivation_batch_flat(&self, inputs: &FlatBatch) -> FlatBatch {
+        assert_eq!(
+            inputs.dim(),
+            self.input_dim(),
+            "layer input dimension mismatch"
+        );
+        match self {
+            Layer::Dense(d) => {
+                let (out_dim, in_dim) = (d.weights.rows(), d.weights.cols());
+                let mut z = FlatBatch::zeros(out_dim, inputs.count());
+                // `gemm_nt` takes its B operand transposed, which is exactly
+                // the row-major `out_dim × in_dim` weight layout.
+                gemm::gemm_nt(
+                    inputs.count(),
+                    in_dim,
+                    out_dim,
+                    inputs.as_slice(),
+                    d.weights.as_slice(),
+                    z.as_mut_slice(),
+                );
+                for row in z.rows_mut() {
+                    for (zi, b) in row.iter_mut().zip(&d.bias) {
+                        *zi += b;
+                    }
+                }
+                z
+            }
+            Layer::Conv2d(c) => {
+                let mut z = FlatBatch::zeros(self.output_dim(), inputs.count());
+                for i in 0..inputs.count() {
+                    c.preactivation_into(inputs.row(i), z.row_mut(i));
+                }
+                z
+            }
+            Layer::MaxPool2d(_) | Layer::AvgPool2d(_) => inputs.clone(),
         }
     }
 
@@ -516,45 +618,69 @@ impl Layer {
     /// across the whole batch (computing it per vector is what makes
     /// [`Self::activate`] expensive in vertex-heavy loops).
     pub fn activate_batch(&self, zs: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        self.activate_batch_flat(&FlatBatch::from_rows(self.preactivation_dim(), zs))
+            .to_rows()
+    }
+
+    /// [`Self::activate_batch`] on a batch-major flat buffer.
+    ///
+    /// Element-wise activations map one scalar function over the whole
+    /// contiguous buffer; pooling layers share one flat window index map
+    /// ([`Pool2dLayer::flat_windows`]) across the batch — no per-window or
+    /// per-vector index allocations.
+    pub fn activate_batch_flat(&self, zs: &FlatBatch) -> FlatBatch {
+        fn elementwise(activation: Activation, zs: &FlatBatch) -> FlatBatch {
+            let mut out = zs.clone();
+            for x in out.as_mut_slice().iter_mut() {
+                *x = activation.apply_scalar(*x);
+            }
+            out
+        }
+        fn pooled(
+            windows: &PoolWindows,
+            zs: &FlatBatch,
+            mut one: impl FnMut(&[usize], &[f64]) -> f64,
+        ) -> FlatBatch {
+            let mut out = FlatBatch::zeros(windows.count(), zs.count());
+            for i in 0..zs.count() {
+                let z = zs.row(i);
+                for (o, w) in out.row_mut(i).iter_mut().zip(windows.iter()) {
+                    *o = one(w, z);
+                }
+            }
+            out
+        }
         match self {
-            Layer::Dense(d) => zs.iter().map(|z| d.activation.apply(z)).collect(),
-            Layer::Conv2d(c) => zs.iter().map(|z| c.activation.apply(z)).collect(),
-            Layer::MaxPool2d(p) => {
-                let windows = p.windows();
-                zs.iter()
-                    .map(|z| {
-                        windows
-                            .iter()
-                            .map(|w| w.iter().map(|&i| z[i]).fold(f64::NEG_INFINITY, f64::max))
-                            .collect()
-                    })
-                    .collect()
-            }
-            Layer::AvgPool2d(p) => {
-                let windows = p.windows();
-                zs.iter()
-                    .map(|z| {
-                        windows
-                            .iter()
-                            .map(|w| w.iter().map(|&i| z[i]).sum::<f64>() / w.len() as f64)
-                            .collect()
-                    })
-                    .collect()
-            }
+            Layer::Dense(d) => elementwise(d.activation, zs),
+            Layer::Conv2d(c) => elementwise(c.activation, zs),
+            Layer::MaxPool2d(p) => pooled(&p.flat_windows(), zs, |w, z| {
+                w.iter().map(|&i| z[i]).fold(f64::NEG_INFINITY, f64::max)
+            }),
+            Layer::AvgPool2d(p) => pooled(&p.flat_windows(), zs, |w, z| {
+                w.iter().map(|&i| z[i]).sum::<f64>() / w.len() as f64
+            }),
         }
     }
 
     /// Full forward pass for a batch of inputs.
     pub fn forward_batch(&self, inputs: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        self.forward_batch_flat(&FlatBatch::from_rows(self.input_dim(), inputs))
+            .to_rows()
+    }
+
+    /// [`Self::forward_batch`] on a batch-major flat buffer.
+    pub fn forward_batch_flat(&self, inputs: &FlatBatch) -> FlatBatch {
         if self.preactivation_is_identity() {
             // Pooling: the pre-activation is the identity, so activate
             // straight off the inputs instead of copying them first.
-            for v in inputs {
-                assert_eq!(v.len(), self.input_dim(), "layer input dimension mismatch");
-            }
-            return self.activate_batch(inputs);
+            assert_eq!(
+                inputs.dim(),
+                self.input_dim(),
+                "layer input dimension mismatch"
+            );
+            return self.activate_batch_flat(inputs);
         }
-        self.activate_batch(&self.preactivation_batch(inputs))
+        self.activate_batch_flat(&self.preactivation_batch_flat(inputs))
     }
 
     /// The linearisation of the layer's activation around pre-activation
@@ -577,7 +703,7 @@ impl Layer {
             }
             Layer::MaxPool2d(p) => {
                 let selected = p
-                    .windows()
+                    .flat_windows()
                     .iter()
                     .map(|w| {
                         let mut best = w[0];
@@ -613,16 +739,27 @@ impl Layer {
         &self,
         z_centers: &[Vec<f64>],
     ) -> Vec<ActivationLinearization> {
+        self.linearize_activation_batch_flat(&FlatBatch::from_rows(
+            self.preactivation_dim(),
+            z_centers,
+        ))
+    }
+
+    /// [`Self::linearize_activation_batch`] on a batch-major flat buffer.
+    pub fn linearize_activation_batch_flat(
+        &self,
+        z_centers: &FlatBatch,
+    ) -> Vec<ActivationLinearization> {
         match self {
             Layer::Dense(_) | Layer::Conv2d(_) => z_centers
-                .iter()
+                .rows()
                 .map(|z| self.linearize_activation(z))
                 .collect(),
             Layer::MaxPool2d(p) => {
-                let windows = p.windows();
+                let windows = p.flat_windows();
                 let in_dim = self.input_dim();
                 z_centers
-                    .iter()
+                    .rows()
                     .map(|z| {
                         let selected = windows
                             .iter()
@@ -643,8 +780,7 @@ impl Layer {
             Layer::AvgPool2d(p) => {
                 let windows = p.windows();
                 let in_dim = self.input_dim();
-                z_centers
-                    .iter()
+                (0..z_centers.count())
                     .map(|_| ActivationLinearization::Averaging {
                         windows: windows.clone(),
                         in_dim,
@@ -691,7 +827,7 @@ impl Layer {
             Layer::Dense(d) => z.iter().map(|&x| d.activation.piece_index(x)).collect(),
             Layer::Conv2d(c) => z.iter().map(|&x| c.activation.piece_index(x)).collect(),
             Layer::MaxPool2d(p) => p
-                .windows()
+                .flat_windows()
                 .iter()
                 .map(|w| {
                     let mut best = 0usize;
@@ -1012,6 +1148,86 @@ mod tests {
                 assert_eq!(outs[i], layer.forward(input));
             }
             assert_eq!(layer.activate_batch(&zs), outs);
+        }
+    }
+
+    #[test]
+    fn flat_batch_entry_points_are_bit_identical_to_per_point() {
+        let layers = vec![
+            dense_example(),
+            conv_example(),
+            Layer::MaxPool2d(Pool2dLayer {
+                channels: 1,
+                in_height: 2,
+                in_width: 4,
+                pool_h: 2,
+                pool_w: 2,
+                stride: 2,
+            }),
+            Layer::AvgPool2d(Pool2dLayer {
+                channels: 1,
+                in_height: 2,
+                in_width: 4,
+                pool_h: 2,
+                pool_w: 2,
+                stride: 2,
+            }),
+        ];
+        for layer in layers {
+            let dim = layer.input_dim();
+            let rows: Vec<Vec<f64>> = (0..5)
+                .map(|k| {
+                    (0..dim)
+                        .map(|i| ((k * dim + i) as f64 * 0.9).sin() * 3.0)
+                        .collect()
+                })
+                .collect();
+            let flat = FlatBatch::from_rows(dim, &rows);
+            let z_flat = layer.preactivation_batch_flat(&flat);
+            let out_flat = layer.forward_batch_flat(&flat);
+            for (i, input) in rows.iter().enumerate() {
+                let z = layer.preactivation(input);
+                // Bitwise comparison: the flat GEMM path must agree with
+                // the per-point path on every bit, not just approximately.
+                assert!(z_flat
+                    .row(i)
+                    .iter()
+                    .zip(&z)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()));
+                assert!(out_flat
+                    .row(i)
+                    .iter()
+                    .zip(&layer.forward(input))
+                    .all(|(a, b)| a.to_bits() == b.to_bits()));
+            }
+            assert_eq!(
+                layer.linearize_activation_batch_flat(&z_flat),
+                z_flat
+                    .rows()
+                    .map(|z| layer.linearize_activation(z))
+                    .collect::<Vec<_>>()
+            );
+            // Empty batches flow through every entry point.
+            let empty = FlatBatch::new(dim);
+            assert!(layer.forward_batch_flat(&empty).is_empty());
+        }
+    }
+
+    #[test]
+    fn flat_windows_match_nested_windows() {
+        let p = Pool2dLayer {
+            channels: 2,
+            in_height: 4,
+            in_width: 6,
+            pool_h: 2,
+            pool_w: 3,
+            stride: 1,
+        };
+        let nested = p.windows();
+        let flat = p.flat_windows();
+        assert_eq!(flat.count(), nested.len());
+        for (w, expected) in flat.iter().zip(&nested) {
+            assert_eq!(w, expected.as_slice());
         }
     }
 

@@ -27,15 +27,17 @@
 //! ```
 
 mod activation;
+mod batch;
 pub mod io;
 mod layer;
 mod network;
 pub mod train;
 
 pub use activation::Activation;
+pub use batch::FlatBatch;
 pub use io::{network_from_json, network_to_json};
 pub use layer::{
-    ActivationLinearization, Conv2dLayer, CrossingSpec, DenseLayer, Layer, Pool2dLayer,
+    ActivationLinearization, Conv2dLayer, CrossingSpec, DenseLayer, Layer, Pool2dLayer, PoolWindows,
 };
 pub use network::{ActivationPattern, ForwardTrace, Network};
 pub use train::{backprop, cross_entropy, sgd_train, softmax, Dataset, Loss, TrainConfig};

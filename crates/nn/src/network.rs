@@ -1,6 +1,7 @@
 //! Feed-forward networks: composition of layers, traces, activation patterns.
 
 use crate::activation::Activation;
+use crate::batch::FlatBatch;
 use crate::layer::Layer;
 use prdnn_linalg::{vector, Matrix};
 use rand::Rng;
@@ -184,13 +185,22 @@ impl Network {
     /// pooling window enumeration) is paid once per layer, not once per
     /// input.
     pub fn forward_batch(&self, inputs: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        self.forward_batch_flat(&FlatBatch::from_rows(self.input_dim(), inputs))
+            .to_rows()
+    }
+
+    /// [`Self::forward_batch`] on a batch-major flat buffer: the batch stays
+    /// in one contiguous allocation from input to output, and every dense
+    /// layer is a single blocked GEMM call.  Bit-identical to mapping
+    /// [`Self::forward`] (the GEMM shares the per-point accumulation order).
+    pub fn forward_batch_flat(&self, inputs: &FlatBatch) -> FlatBatch {
         let (first, rest) = self
             .layers
             .split_first()
             .expect("network has at least one layer");
-        let mut batch = first.forward_batch(inputs);
+        let mut batch = first.forward_batch_flat(inputs);
         for layer in rest {
-            batch = layer.forward_batch(&batch);
+            batch = layer.forward_batch_flat(&batch);
         }
         batch
     }

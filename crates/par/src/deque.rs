@@ -1,0 +1,312 @@
+//! A lock-free Chase–Lev work-stealing deque.
+//!
+//! One thread — the *owner* — pushes and pops at the bottom; any other
+//! thread may steal from the top with a CAS.  The implementation follows
+//! the memory orderings of Lê, Pop, Cohen & Zappa Nardelli, *Correct and
+//! Efficient Work-Stealing for Weak Memory Models* (PPoPP 2013), with two
+//! simplifications that trade a little memory for a lot of unsafe-code
+//! surface:
+//!
+//! * Slots hold `*mut T` in an `AtomicPtr`, so the racy pre-CAS slot read
+//!   in `steal` is an ordinary atomic load of a pointer-sized value (no
+//!   `MaybeUninit` byte copies).  A thief only dereferences the pointer
+//!   after *winning* the `top` CAS, and `top` is monotonic, so each logical
+//!   index — and therefore each boxed value — is handed to exactly one
+//!   thread.
+//! * When the circular buffer fills, the owner allocates a doubled buffer,
+//!   copies the live slot pointers, and **retires** the old buffer instead
+//!   of freeing it (a thief may still be reading a slot through the old
+//!   buffer; the value it reads is the same pointer the copy preserved).
+//!   Retired buffers are freed when the deque is dropped; because
+//!   capacities double, their total size is bounded by the final buffer's.
+
+use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, Ordering};
+use std::sync::Mutex;
+
+/// Initial circular-buffer capacity (must be a power of two).
+const INITIAL_CAP: usize = 64;
+
+/// The result of a [`ChaseLev::steal`] attempt.
+pub(crate) enum Steal<T> {
+    /// The deque was observed empty.
+    Empty,
+    /// Lost a race with the owner or another thief; the deque may still
+    /// hold work — retry before moving on.
+    Retry,
+    /// Won an element from the top.
+    Stolen(T),
+}
+
+struct Buffer<T> {
+    mask: isize,
+    slots: Box<[AtomicPtr<T>]>,
+}
+
+impl<T> Buffer<T> {
+    fn alloc(cap: usize) -> *mut Buffer<T> {
+        debug_assert!(cap.is_power_of_two());
+        Box::into_raw(Box::new(Buffer {
+            mask: cap as isize - 1,
+            slots: (0..cap)
+                .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+                .collect(),
+        }))
+    }
+
+    #[inline]
+    fn slot(&self, index: isize) -> &AtomicPtr<T> {
+        &self.slots[(index & self.mask) as usize]
+    }
+
+    #[inline]
+    fn capacity(&self) -> isize {
+        self.mask + 1
+    }
+}
+
+/// The deque.  `push`/`pop` must only be called by the owning thread;
+/// `steal` may be called from anywhere.
+pub(crate) struct ChaseLev<T> {
+    /// Next index to steal from (monotonically increasing).
+    top: AtomicIsize,
+    /// Next index the owner pushes to.
+    bottom: AtomicIsize,
+    buffer: AtomicPtr<Buffer<T>>,
+    /// Outgrown buffers, kept alive for in-flight thieves; freed on drop.
+    retired: Mutex<Vec<*mut Buffer<T>>>,
+}
+
+// SAFETY: the deque hands each boxed `T` to exactly one thread (see the
+// module docs); all shared state is atomics or a mutex.
+unsafe impl<T: Send> Send for ChaseLev<T> {}
+unsafe impl<T: Send> Sync for ChaseLev<T> {}
+
+impl<T> ChaseLev<T> {
+    pub fn new() -> Self {
+        ChaseLev {
+            top: AtomicIsize::new(0),
+            bottom: AtomicIsize::new(0),
+            buffer: AtomicPtr::new(Buffer::alloc(INITIAL_CAP)),
+            retired: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Owner-only: pushes `value` onto the bottom.
+    pub fn push(&self, value: T) {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Acquire);
+        // SAFETY: only the owner swaps `buffer`, and retired buffers
+        // outlive the deque.
+        let mut buf = unsafe { &*self.buffer.load(Ordering::Relaxed) };
+        if b - t >= buf.capacity() {
+            buf = self.grow(t, b);
+        }
+        buf.slot(b)
+            .store(Box::into_raw(Box::new(value)), Ordering::Relaxed);
+        // Publish the slot before the new bottom becomes visible to
+        // thieves.
+        self.bottom.store(b + 1, Ordering::Release);
+    }
+
+    /// Owner-only: pops from the bottom (most recently pushed first).
+    pub fn pop(&self) -> Option<T> {
+        let b = self.bottom.load(Ordering::Relaxed) - 1;
+        // SAFETY: as in `push`.
+        let buf = unsafe { &*self.buffer.load(Ordering::Relaxed) };
+        // Announce the pop *before* reading `top`: a concurrent thief
+        // must either see the lowered bottom or lose the CAS race below.
+        self.bottom.store(b, Ordering::Relaxed);
+        fence(Ordering::SeqCst);
+        let t = self.top.load(Ordering::Relaxed);
+        if t > b {
+            // Empty; restore bottom.
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            return None;
+        }
+        let ptr = buf.slot(b).load(Ordering::Relaxed);
+        if t == b {
+            // Last element: race any thief for index `t`.
+            let won = self
+                .top
+                .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                .is_ok();
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            // SAFETY: winning the CAS (monotonic `top`) claims index `t`
+            // exclusively.
+            return won.then(|| *unsafe { Box::from_raw(ptr) });
+        }
+        // SAFETY: `t < b`, so no thief can claim index `b` before the
+        // owner's lowered bottom is visible (the SeqCst fence above pairs
+        // with the fence in `steal`).
+        Some(*unsafe { Box::from_raw(ptr) })
+    }
+
+    /// Steals from the top.  Any thread may call this.
+    pub fn steal(&self) -> Steal<T> {
+        let t = self.top.load(Ordering::Acquire);
+        fence(Ordering::SeqCst);
+        let b = self.bottom.load(Ordering::Acquire);
+        if t >= b {
+            return Steal::Empty;
+        }
+        // Read the candidate slot *before* the CAS; on CAS failure the
+        // (possibly stale) value is discarded without being dereferenced.
+        // SAFETY: `buffer` is never freed while the deque is alive
+        // (outgrown buffers are retired, not dropped), so the load and the
+        // slot read are always into live memory.
+        let buf = unsafe { &*self.buffer.load(Ordering::Acquire) };
+        let ptr = buf.slot(t).load(Ordering::Relaxed);
+        if self
+            .top
+            .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+            .is_err()
+        {
+            return Steal::Retry;
+        }
+        // SAFETY: the CAS claimed index `t` exclusively, and a successful
+        // CAS implies the slot held index `t`'s pointer when it was read:
+        // the owner only reuses a physical slot after `top` has advanced
+        // past it (a full buffer grows instead of wrapping onto live
+        // slots), and `top` never moves backwards.
+        Steal::Stolen(*unsafe { Box::from_raw(ptr) })
+    }
+
+    /// Owner-only: doubles the buffer, copying live slots `[t, b)`.
+    fn grow(&self, t: isize, b: isize) -> &Buffer<T> {
+        // SAFETY: as in `push`.
+        let old = unsafe { &*self.buffer.load(Ordering::Relaxed) };
+        let new_ptr = Buffer::alloc(old.capacity() as usize * 2);
+        // SAFETY: freshly allocated, exclusively owned until published.
+        let new = unsafe { &*new_ptr };
+        for i in t..b {
+            new.slot(i)
+                .store(old.slot(i).load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        let old_ptr = self.buffer.swap(new_ptr, Ordering::Release);
+        self.retired.lock().unwrap().push(old_ptr);
+        new
+    }
+}
+
+impl<T> Drop for ChaseLev<T> {
+    fn drop(&mut self) {
+        // `&mut self`: no concurrent owners or thieves remain.
+        while self.pop().is_some() {}
+        // SAFETY: all buffers were created by `Buffer::alloc` and are no
+        // longer reachable by any other thread.
+        unsafe {
+            drop(Box::from_raw(self.buffer.load(Ordering::Relaxed)));
+            for ptr in self.retired.get_mut().unwrap().drain(..) {
+                drop(Box::from_raw(ptr));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    #[test]
+    fn owner_pop_is_lifo_steal_is_fifo() {
+        let d = ChaseLev::new();
+        for i in 0..4 {
+            d.push(i);
+        }
+        assert!(matches!(d.steal(), Steal::Stolen(0)));
+        assert_eq!(d.pop(), Some(3));
+        assert!(matches!(d.steal(), Steal::Stolen(1)));
+        assert_eq!(d.pop(), Some(2));
+        assert_eq!(d.pop(), None);
+        assert!(matches!(d.steal(), Steal::Empty));
+    }
+
+    #[test]
+    fn grows_past_initial_capacity_without_losing_elements() {
+        let d = ChaseLev::new();
+        let n = INITIAL_CAP * 5 + 3;
+        for i in 0..n {
+            d.push(i);
+        }
+        // Steal a few from the top, pop the rest from the bottom.
+        for expected in 0..7 {
+            assert!(matches!(d.steal(), Steal::Stolen(x) if x == expected));
+        }
+        for expected in (7..n).rev() {
+            assert_eq!(d.pop(), Some(expected));
+        }
+        assert_eq!(d.pop(), None);
+    }
+
+    #[test]
+    fn drop_frees_remaining_elements() {
+        // Boxed values ensure a leak would be caught by sanitizers/miri;
+        // under plain `cargo test` this at least exercises the drain path
+        // across a grown buffer.
+        let d = ChaseLev::new();
+        for i in 0..INITIAL_CAP * 3 {
+            d.push(vec![i; 4]);
+        }
+        drop(d);
+    }
+
+    #[test]
+    fn concurrent_thieves_conserve_the_multiset() {
+        // One owner pushes (and occasionally pops); three thieves steal.
+        // Every element must be consumed exactly once.
+        const PER_ROUND: usize = 1000;
+        const ROUNDS: usize = 20;
+        let d = Arc::new(ChaseLev::new());
+        let consumed = Arc::new(AtomicUsize::new(0));
+        let sum = Arc::new(AtomicUsize::new(0));
+        let done = Arc::new(std::sync::atomic::AtomicBool::new(false));
+
+        let thieves: Vec<_> = (0..3)
+            .map(|_| {
+                let d = Arc::clone(&d);
+                let consumed = Arc::clone(&consumed);
+                let sum = Arc::clone(&sum);
+                let done = Arc::clone(&done);
+                std::thread::spawn(move || loop {
+                    match d.steal() {
+                        Steal::Stolen(v) => {
+                            sum.fetch_add(v, Ordering::Relaxed);
+                            consumed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Steal::Retry => {}
+                        Steal::Empty => {
+                            if done.load(Ordering::Acquire) {
+                                return;
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        let mut expected_sum = 0usize;
+        let mut produced = 0usize;
+        for round in 0..ROUNDS {
+            for i in 0..PER_ROUND {
+                let v = round * PER_ROUND + i;
+                expected_sum += v;
+                produced += 1;
+                d.push(v);
+            }
+            // The owner competes with the thieves for its own work.
+            while let Some(v) = d.pop() {
+                sum.fetch_add(v, Ordering::Relaxed);
+                consumed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        done.store(true, Ordering::Release);
+        for handle in thieves {
+            handle.join().unwrap();
+        }
+        assert_eq!(consumed.load(Ordering::Relaxed), produced);
+        assert_eq!(sum.load(Ordering::Relaxed), expected_sum);
+    }
+}

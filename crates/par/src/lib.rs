@@ -13,9 +13,15 @@
 //!   becomes one task, so stealing moves whole chunks between workers and
 //!   the order of results is fixed by chunk index, never by execution order
 //!   — **parallel output is bit-identical to the serial path**.
-//! * Every worker owns a deque; tasks are dealt round-robin.  A worker pops
-//!   from the front of its own deque and, when empty, steals from the back
-//!   of the others.
+//! * Every worker owns a lock-free Chase–Lev deque ([`deque`]): the owner
+//!   pushes and pops at the bottom, idle workers CAS-steal from the top.
+//!   Submitted jobs land in a small injector queue; the first worker to
+//!   pick one up fans its chunk tasks onto its own deque, where the other
+//!   workers steal them.
+//! * Each chunk carries a claim flag, taken exactly once (atomic swap) by
+//!   whoever runs it; a task popped after its chunk was already claimed is
+//!   a no-op.  This is what lets the *submitting* thread help with its own
+//!   job without touching any deque (see `run_job`).
 //! * Panics inside the mapped closure are caught per chunk, the remaining
 //!   chunks still run, and the first payload is re-raised on the calling
 //!   thread ([`std::panic::resume_unwind`]), matching the serial behaviour
@@ -38,9 +44,14 @@
 
 use std::collections::VecDeque;
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread;
+
+pub mod arena;
+mod deque;
+
+use deque::{ChaseLev, Steal};
 
 /// How many chunks to deal per worker: more than one so that uneven chunk
 /// costs can be rebalanced by stealing, but few enough that per-task
@@ -61,6 +72,13 @@ thread_local! {
 /// execution of `run` happens while the closure and its borrows are alive.
 struct JobCore {
     run: *const (dyn Fn(usize) + Sync),
+    /// Total number of chunks dealt for this job.
+    chunk_count: usize,
+    /// Per-chunk claim flags: whoever swaps a flag to `true` runs that
+    /// chunk; everyone else treats the chunk's task as a no-op.  This lets
+    /// the submitter claim its own leftover chunks directly instead of
+    /// hunting for them inside the workers' lock-free deques.
+    claimed: Vec<AtomicBool>,
     pending: AtomicUsize,
     done: Mutex<bool>,
     done_cv: Condvar,
@@ -80,39 +98,52 @@ struct Task {
 }
 
 impl Task {
+    /// Claims and runs the chunk; a no-op if someone (the submitter, or a
+    /// duplicate task surviving in a deque) already claimed it.
     fn execute(self) {
-        IN_WORKER.with(|f| f.set(true));
-        // SAFETY: the submitting thread is blocked in `wait` until `pending`
-        // hits zero, which happens strictly after this call returns.
-        let result =
-            panic::catch_unwind(AssertUnwindSafe(|| unsafe { (*self.job.run)(self.chunk) }));
-        IN_WORKER.with(|f| f.set(false));
-        if let Err(payload) = result {
-            let mut slot = self.job.panic.lock().unwrap();
-            if slot.is_none() {
-                *slot = Some(payload);
-            }
+        if !self.job.claimed[self.chunk].swap(true, Ordering::AcqRel) {
+            run_chunk(&self.job, self.chunk);
         }
-        if self.job.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
-            let mut done = self.job.done.lock().unwrap();
-            *done = true;
-            self.job.done_cv.notify_all();
+    }
+}
+
+/// Runs one *claimed* chunk of `job` and publishes its completion.
+///
+/// The claim must already be held by the caller: this is the only place
+/// `job.run` is dereferenced, and a claim is handed out exactly once per
+/// chunk, so `pending` reaches zero exactly when every chunk has run.
+fn run_chunk(job: &JobCore, chunk: usize) {
+    IN_WORKER.with(|f| f.set(true));
+    // SAFETY: the submitting thread is blocked in `run_job`'s wait until
+    // `pending` hits zero, which happens strictly after this call returns.
+    let result = panic::catch_unwind(AssertUnwindSafe(|| unsafe { (*job.run)(chunk) }));
+    IN_WORKER.with(|f| f.set(false));
+    if let Err(payload) = result {
+        let mut slot = job.panic.lock().unwrap();
+        if slot.is_none() {
+            *slot = Some(payload);
         }
+    }
+    if job.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+        let mut done = job.done.lock().unwrap();
+        *done = true;
+        job.done_cv.notify_all();
     }
 }
 
 /// State shared between the pool handle and its workers.
 struct Shared {
-    /// One deque per worker; the owner pops from the front, thieves steal
-    /// whole chunks from the back.
-    deques: Vec<Mutex<VecDeque<Task>>>,
+    /// One lock-free Chase–Lev deque per worker: the owner pushes/pops at
+    /// the bottom, the other workers CAS-steal whole chunks from the top.
+    deques: Vec<ChaseLev<Task>>,
+    /// Freshly submitted jobs, awaiting fan-out by the first worker that
+    /// sees them.  A plain mutexed queue is fine here: it is touched once
+    /// per *job*, not once per chunk.
+    injector: Mutex<VecDeque<Arc<JobCore>>>,
     /// Wakeup generation + shutdown flag, guarded together so workers can
     /// sleep without missing a submission.
     state: Mutex<WakeState>,
     cv: Condvar,
-    /// Round-robin offset so consecutive jobs start dealing at different
-    /// workers.
-    next_deal: AtomicUsize,
 }
 
 struct WakeState {
@@ -121,35 +152,50 @@ struct WakeState {
 }
 
 impl Shared {
-    /// Pops a task for worker `who`: its own deque first (front), then a
-    /// steal sweep over the other deques (back).
+    /// Wakes every sleeping worker (new work became visible).
+    fn wake_workers(&self) {
+        let mut state = self.state.lock().unwrap();
+        state.generation += 1;
+        self.cv.notify_all();
+    }
+
+    /// Finds a task for worker `who`: its own deque first, then the
+    /// injector (fanning a fresh job's chunks onto its own deque for the
+    /// siblings to steal), then a steal sweep over the other deques.
     fn find_task(&self, who: usize) -> Option<Task> {
-        if let Some(task) = self.deques[who].lock().unwrap().pop_front() {
+        if let Some(task) = self.deques[who].pop() {
             return Some(task);
+        }
+        let job = self.injector.lock().unwrap().pop_front();
+        if let Some(job) = job {
+            // Fan the job out onto our own deque (we are its owner; only
+            // owners may push).  Chunks the submitter has already claimed
+            // would be popped as no-ops, so skip them here; the claim swap
+            // in `Task::execute` makes a racy miss harmless.
+            for chunk in 0..job.chunk_count {
+                if !job.claimed[chunk].load(Ordering::Acquire) {
+                    self.deques[who].push(Task {
+                        job: Arc::clone(&job),
+                        chunk,
+                    });
+                }
+            }
+            // The siblings can steal from our top now; wake them.
+            self.wake_workers();
+            if let Some(task) = self.deques[who].pop() {
+                return Some(task);
+            }
         }
         let n = self.deques.len();
         for offset in 1..n {
             let victim = (who + offset) % n;
-            if let Some(task) = self.deques[victim].lock().unwrap().pop_back() {
-                return Some(task);
-            }
-        }
-        None
-    }
-
-    /// Pops a pending chunk of `job` for its *submitting* thread, wherever
-    /// the chunk sits.
-    ///
-    /// Only the submitter's own job is eligible: running another job's
-    /// chunk here could leave this thread stuck in a long foreign chunk
-    /// after its own job finished, delaying the `par_map` return
-    /// unboundedly (latency-sensitive callers — e.g. a serving batch
-    /// worker sharing the pool with repair workers — care).
-    fn own_job_task(&self, job: &Arc<JobCore>) -> Option<Task> {
-        for deque in &self.deques {
-            let mut queue = deque.lock().unwrap();
-            if let Some(idx) = queue.iter().position(|t| Arc::ptr_eq(&t.job, job)) {
-                return queue.remove(idx);
+            loop {
+                match self.deques[victim].steal() {
+                    Steal::Stolen(task) => return Some(task),
+                    // Lost a race; the deque may still hold work.
+                    Steal::Retry => continue,
+                    Steal::Empty => break,
+                }
             }
         }
         None
@@ -196,15 +242,13 @@ impl ThreadPool {
         let threads = threads.max(1);
         let worker_count = if threads == 1 { 0 } else { threads };
         let shared = Arc::new(Shared {
-            deques: (0..worker_count)
-                .map(|_| Mutex::new(VecDeque::new()))
-                .collect(),
+            deques: (0..worker_count).map(|_| ChaseLev::new()).collect(),
+            injector: Mutex::new(VecDeque::new()),
             state: Mutex::new(WakeState {
                 generation: 0,
                 shutdown: false,
             }),
             cv: Condvar::new(),
-            next_deal: AtomicUsize::new(0),
         });
         let workers = (0..worker_count)
             .map(|who| {
@@ -356,60 +400,47 @@ impl ThreadPool {
         };
         let job = Arc::new(JobCore {
             run,
+            chunk_count,
+            claimed: (0..chunk_count).map(|_| AtomicBool::new(false)).collect(),
             pending: AtomicUsize::new(chunk_count),
             done: Mutex::new(false),
             done_cv: Condvar::new(),
             panic: Mutex::new(None),
         });
 
-        let workers = self.shared.deques.len();
-        let deal_from = self.shared.next_deal.fetch_add(1, Ordering::Relaxed);
+        // Publish the job: the first worker to pick it out of the injector
+        // fans its chunks onto its own lock-free deque for the others to
+        // steal (see `Shared::find_task`).
+        self.shared
+            .injector
+            .lock()
+            .unwrap()
+            .push_back(Arc::clone(&job));
+        self.shared.wake_workers();
+
+        // The submitting thread *participates* while it waits: it sweeps
+        // its own job's claim flags and runs every chunk the workers have
+        // not already claimed.  It never touches the deques — stale tasks
+        // for chunks claimed here execute as no-ops when popped — and it
+        // never runs *other* jobs' chunks, which could strand it in a long
+        // foreign chunk after its own job finished (latency-sensitive
+        // callers — e.g. a serving batch worker sharing the pool with
+        // repair workers — care).
         for chunk in 0..chunk_count {
-            let task = Task {
-                job: Arc::clone(&job),
-                chunk,
-            };
-            let who = (deal_from + chunk) % workers;
-            self.shared.deques[who].lock().unwrap().push_back(task);
-        }
-        {
-            let mut state = self.shared.state.lock().unwrap();
-            state.generation += 1;
-            self.shared.cv.notify_all();
+            if !job.claimed[chunk].swap(true, Ordering::AcqRel) {
+                run_chunk(&job, chunk);
+            }
         }
 
-        // Block until every chunk has run.  This wait is unconditional —
-        // the soundness of the lifetime erasure above depends on it.
-        //
-        // The submitting thread *participates* while it waits: it pops and
-        // runs its own job's pending chunks and only sleeps on the condvar
-        // when none are left in the deques — i.e. when the remaining
-        // chunks are already executing on workers.  This removes the
-        // condvar round-trip from the common many-small-jobs pattern
-        // (`plane_regions` submits one job per layer) and lets an n-thread
-        // pool apply n threads of compute, not n worker threads plus an
-        // idle caller.
-        loop {
-            if *job.done.lock().unwrap() {
-                break;
-            }
-            if let Some(task) = self.shared.own_job_task(&job) {
-                task.execute();
-                continue;
-            }
-            let done = job.done.lock().unwrap();
-            if *done {
-                break;
-            }
-            // No runnable chunk and the job is unfinished: its remaining
-            // chunks are in flight on workers, whose completion notifies
-            // `done_cv` (the flag is set under this mutex, so the wakeup
-            // cannot be missed).
-            let done = job.done_cv.wait(done).unwrap();
-            if *done {
-                break;
-            }
+        // Block until every chunk has run (some may still be in flight on
+        // workers).  This wait is unconditional — the soundness of the
+        // lifetime erasure above depends on it.  The flag is set under the
+        // mutex, so the wakeup cannot be missed.
+        let mut done = job.done.lock().unwrap();
+        while !*done {
+            done = job.done_cv.wait(done).unwrap();
         }
+        drop(done);
 
         let payload = job.panic.lock().unwrap().take();
         if let Some(payload) = payload {

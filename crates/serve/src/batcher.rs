@@ -75,6 +75,13 @@ pub struct BatchCounters {
     pub lin_batches: AtomicU64,
     /// Polytopes pushed through those calls.
     pub lin_polytopes: AtomicU64,
+    /// Queue drains that found at least one item (a "gulp").
+    pub gulps: AtomicU64,
+    /// Items drained across all gulps (mean gulp size = `gulp_items /
+    /// gulps` — how well concurrent load actually coalesces).
+    pub gulp_items: AtomicU64,
+    /// Largest single gulp observed.
+    pub max_gulp: AtomicU64,
 }
 
 /// The coalescing batcher; see the module docs.
@@ -190,6 +197,12 @@ impl Batcher {
     /// Groups the drained items by `(version, kind)` in first-seen order
     /// and executes one batched call per group.
     fn run_batch(&self, batch: Vec<Pending>) {
+        if !batch.is_empty() {
+            let n = batch.len() as u64;
+            self.counters.gulps.fetch_add(1, Ordering::Relaxed);
+            self.counters.gulp_items.fetch_add(n, Ordering::Relaxed);
+            self.counters.max_gulp.fetch_max(n, Ordering::Relaxed);
+        }
         let now = Instant::now();
         let mut live = Vec::with_capacity(batch.len());
         for item in batch {
@@ -213,31 +226,48 @@ impl Batcher {
                 None => groups.push((is_eval, Arc::clone(&item.version), vec![item])),
             }
         }
-        for (is_eval, version, members) in groups {
-            if is_eval {
-                self.run_eval_group(&version, members);
+        // One scratch slab per gulp, reused across groups: replies go out
+        // through `&Sender`, so groups are walked by reference and the
+        // borrowed input views are rebuilt in place instead of allocating
+        // fresh Vecs per group.
+        let mut pairs: Vec<(&[f64], &[f64])> = Vec::new();
+        let mut polytopes: Vec<&Vec<Vec<f64>>> = Vec::new();
+        for (is_eval, version, members) in &groups {
+            if *is_eval {
+                // The decoupled forward with both channels at the same
+                // point is the served model's semantics (identical to
+                // `ddnn.forward` point by point, batched here).
+                pairs.clear();
+                pairs.extend(
+                    members
+                        .iter()
+                        .flat_map(|m| match &m.call {
+                            Call::Eval(inputs) => inputs.iter(),
+                            Call::LinRegions(_) => {
+                                unreachable!("eval group holds eval calls")
+                            }
+                        })
+                        .map(|x| (x.as_slice(), x.as_slice())),
+                );
+                self.run_eval_group(version, members, &pairs);
             } else {
-                self.run_lin_group(&version, members);
+                polytopes.clear();
+                polytopes.extend(members.iter().flat_map(|m| match &m.call {
+                    Call::LinRegions(polys) => polys.iter(),
+                    Call::Eval(_) => unreachable!("lin group holds lin_regions calls"),
+                }));
+                self.run_lin_group(version, members, &polytopes);
             }
         }
     }
 
-    fn run_eval_group(&self, version: &ModelVersion, members: Vec<Pending>) {
-        let inputs: Vec<&Vec<f64>> = members
-            .iter()
-            .flat_map(|m| match &m.call {
-                Call::Eval(inputs) => inputs.iter(),
-                Call::LinRegions(_) => unreachable!("eval group holds eval calls"),
-            })
-            .collect();
-        // The decoupled forward with both channels at the same point is the
-        // served model's semantics (identical to `ddnn.forward` point by
-        // point, batched layer-at-a-time here).
-        let pairs: Vec<(&[f64], &[f64])> = inputs
-            .iter()
-            .map(|x| (x.as_slice(), x.as_slice()))
-            .collect();
-        let outputs = version.ddnn.forward_decoupled_batch_in(&self.pool, &pairs);
+    fn run_eval_group(
+        &self,
+        version: &ModelVersion,
+        members: &[Pending],
+        pairs: &[(&[f64], &[f64])],
+    ) {
+        let outputs = version.ddnn.forward_decoupled_batch_in(&self.pool, pairs);
         self.counters.eval_batches.fetch_add(1, Ordering::Relaxed);
         self.counters
             .eval_points
@@ -252,20 +282,18 @@ impl Batcher {
         }
     }
 
-    fn run_lin_group(&self, version: &ModelVersion, members: Vec<Pending>) {
-        let polytopes: Vec<&Vec<Vec<f64>>> = members
-            .iter()
-            .flat_map(|m| match &m.call {
-                Call::LinRegions(polys) => polys.iter(),
-                Call::Eval(_) => unreachable!("lin group holds lin_regions calls"),
-            })
-            .collect();
+    fn run_lin_group(
+        &self,
+        version: &ModelVersion,
+        members: &[Pending],
+        polytopes: &[&Vec<Vec<f64>>],
+    ) {
         // Value edits never move the linear regions (Theorem 4.6), so every
         // version's regions are its activation network's regions.
         let result = prdnn_syrenn::lin_regions_batch_in(
             &self.pool,
             version.ddnn.activation_network(),
-            &polytopes,
+            polytopes,
         );
         self.counters.lin_batches.fetch_add(1, Ordering::Relaxed);
         self.counters
@@ -361,6 +389,9 @@ mod tests {
         assert_eq!(batcher.drain_once(), 3);
         assert_eq!(batcher.counters.eval_batches.load(Ordering::Relaxed), 1);
         assert_eq!(batcher.counters.eval_points.load(Ordering::Relaxed), 5);
+        assert_eq!(batcher.counters.gulps.load(Ordering::Relaxed), 1);
+        assert_eq!(batcher.counters.gulp_items.load(Ordering::Relaxed), 3);
+        assert_eq!(batcher.counters.max_gulp.load(Ordering::Relaxed), 3);
         for (inputs, rx) in requests.iter().zip(receivers) {
             let ReplyData::Outputs(outputs) = rx.recv().unwrap().unwrap() else {
                 panic!("expected outputs")

@@ -306,6 +306,13 @@ pub struct ServerStats {
     pub lin_batches: u64,
     /// Polytopes pushed through those calls.
     pub lin_polytopes: u64,
+    /// Non-empty queue drains ("gulps") the batch worker performed.
+    pub gulps: u64,
+    /// Items drained across all gulps; `gulp_items / gulps` is the mean
+    /// coalescing factor the server actually achieved.
+    pub gulp_items: u64,
+    /// Largest single gulp observed.
+    pub max_gulp: u64,
     /// Repair jobs accepted into the queue.
     pub jobs_submitted: u64,
     /// Repair jobs finished successfully.
@@ -881,6 +888,9 @@ impl Response {
                     ("lin_requests", Value::Num(stats.lin_requests as f64)),
                     ("lin_batches", Value::Num(stats.lin_batches as f64)),
                     ("lin_polytopes", Value::Num(stats.lin_polytopes as f64)),
+                    ("gulps", Value::Num(stats.gulps as f64)),
+                    ("gulp_items", Value::Num(stats.gulp_items as f64)),
+                    ("max_gulp", Value::Num(stats.max_gulp as f64)),
                     ("jobs_submitted", Value::Num(stats.jobs_submitted as f64)),
                     ("jobs_completed", Value::Num(stats.jobs_completed as f64)),
                     ("jobs_failed", Value::Num(stats.jobs_failed as f64)),
@@ -1059,6 +1069,9 @@ impl Response {
                     lin_requests: counter("lin_requests")?,
                     lin_batches: counter("lin_batches")?,
                     lin_polytopes: counter("lin_polytopes")?,
+                    gulps: counter("gulps")?,
+                    gulp_items: counter("gulp_items")?,
+                    max_gulp: counter("max_gulp")?,
                     jobs_submitted: counter("jobs_submitted")?,
                     jobs_completed: counter("jobs_completed")?,
                     jobs_failed: counter("jobs_failed")?,

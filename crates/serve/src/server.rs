@@ -102,6 +102,9 @@ impl Shared {
             lin_requests: b.lin_requests.load(Ordering::Relaxed),
             lin_batches: b.lin_batches.load(Ordering::Relaxed),
             lin_polytopes: b.lin_polytopes.load(Ordering::Relaxed),
+            gulps: b.gulps.load(Ordering::Relaxed),
+            gulp_items: b.gulp_items.load(Ordering::Relaxed),
+            max_gulp: b.max_gulp.load(Ordering::Relaxed),
             jobs_submitted: j.submitted.load(Ordering::Relaxed),
             jobs_completed: j.completed.load(Ordering::Relaxed),
             jobs_failed: j.failed.load(Ordering::Relaxed),

@@ -216,6 +216,9 @@ fn response() -> impl Strategy<Value = Response> {
             lin_requests: b,
             lin_batches: a.min(b),
             lin_polytopes: a + b,
+            gulps: a.max(b),
+            gulp_items: a + 2 * b,
+            max_gulp: b + 1,
             jobs_submitted: a / 2,
             jobs_completed: a / 3,
             jobs_failed: a / 7,

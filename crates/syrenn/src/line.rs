@@ -2,18 +2,19 @@
 
 use crate::transformer::{crosses, for_each_crossing, lerp, propagate, TransformerState};
 use crate::{LinearRegion, SyrennError, TOL};
-use prdnn_nn::{CrossingSpec, Layer, Network};
+use prdnn_nn::{CrossingSpec, FlatBatch, Layer, Network};
 
 /// Pipeline state for a segment: an ordered subdivision of `[0, 1]` whose
 /// points carry their running network value.
 ///
 /// The geometry of a subdivision point is just its parameter `t`; consecutive
-/// points delimit the pieces.  Between layers `vals[i]` is the output of the
-/// prefix network at `ts[i]`; during a layer it is that layer's
-/// pre-activation.
+/// points delimit the pieces.  Between layers `vals.row(i)` is the output of
+/// the prefix network at `ts[i]`; during a layer it is that layer's
+/// pre-activation.  The whole chain lives in one flat batch so each layer is
+/// a single GEMM over every subdivision point.
 struct ChainState {
     ts: Vec<f64>,
-    vals: Vec<Vec<f64>>,
+    vals: FlatBatch,
 }
 
 impl TransformerState for ChainState {
@@ -21,12 +22,12 @@ impl TransformerState for ChainState {
         // Pooling pre-activations are the identity: the carried values
         // already are the pre-activation, so skip the copy.
         if !layer.preactivation_is_identity() {
-            self.vals = layer.preactivation_batch(&self.vals);
+            self.vals = layer.preactivation_batch_flat(&self.vals);
         }
         if !matches!(spec, CrossingSpec::None) {
             self.split(spec, layer.preactivation_dim());
         }
-        self.vals = layer.activate_batch(&self.vals);
+        self.vals = layer.activate_batch_flat(&self.vals);
     }
 }
 
@@ -40,7 +41,7 @@ impl ChainState {
         let mut new_points: Vec<(usize, f64, Vec<f64>)> = Vec::new(); // (interval, t, z)
         let mut local: Vec<(f64, f64)> = Vec::new(); // (t, alpha) within one interval
         for i in 1..self.ts.len() {
-            let (za, zb) = (&self.vals[i - 1], &self.vals[i]);
+            let (za, zb) = (self.vals.row(i - 1), self.vals.row(i));
             let (ta, tb) = (self.ts[i - 1], self.ts[i]);
             local.clear();
             for_each_crossing(spec, width, |g| {
@@ -68,17 +69,18 @@ impl ChainState {
         if new_points.is_empty() {
             return;
         }
-        let mut ts: Vec<f64> = Vec::with_capacity(self.ts.len() + new_points.len());
-        let mut vals: Vec<Vec<f64>> = Vec::with_capacity(self.vals.len() + new_points.len());
+        let count = self.ts.len() + new_points.len();
+        let mut ts: Vec<f64> = Vec::with_capacity(count);
+        let mut vals = FlatBatch::with_capacity(self.vals.dim(), count);
         let mut next = new_points.into_iter().peekable();
         for i in 0..self.ts.len() {
             while next.peek().is_some_and(|&(interval, _, _)| interval == i) {
                 let (_, t, z) = next.next().unwrap();
                 ts.push(t);
-                vals.push(z);
+                vals.push_row(&z);
             }
             ts.push(self.ts[i]);
-            vals.push(std::mem::take(&mut self.vals[i]));
+            vals.push_row(self.vals.row(i));
         }
         self.ts = ts;
         self.vals = vals;
@@ -128,7 +130,7 @@ pub fn exact_line(net: &Network, start: &[f64], end: &[f64]) -> Result<Vec<f64>,
 
     let mut state = ChainState {
         ts: vec![0.0, 1.0],
-        vals: vec![start.to_vec(), end.to_vec()],
+        vals: FlatBatch::from_rows(net.input_dim(), &[start.to_vec(), end.to_vec()]),
     };
     propagate(net, &mut state)?;
     Ok(state.ts)

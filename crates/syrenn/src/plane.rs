@@ -1,19 +1,45 @@
 //! 2-D plane restriction: `LinRegions(N, P)` for convex planar polygons.
 
-use crate::transformer::{crosses, for_each_crossing, lerp, propagate, Crossing, TransformerState};
+use crate::transformer::{crosses, for_each_crossing, propagate, Crossing, TransformerState};
 use crate::{LinearRegion, SyrennError, TOL};
-use prdnn_nn::{CrossingSpec, Layer, Network};
+use prdnn_linalg::linf_distance;
+use prdnn_nn::{CrossingSpec, FlatBatch, Layer, Network};
+use prdnn_par::arena::Arena;
 use prdnn_par::ThreadPool;
+use std::cell::RefCell;
 
-/// A convex polygon whose vertices live in the network's input space but lie
-/// in a common 2-D affine subspace, listed in boundary order.
-type Polygon = Vec<Vec<f64>>;
-
-/// One polygon piece of the subdivision, with per-vertex carried values
-/// (the running network value / current-layer pre-activation).
+/// One polygon piece of the subdivision: vertex geometry and per-vertex
+/// carried values (the running network value / current-layer
+/// pre-activation), both batch-major so each layer's affine map is one
+/// GEMM per piece.
 struct Piece {
-    verts: Polygon,
-    vals: Vec<Vec<f64>>,
+    verts: FlatBatch,
+    vals: FlatBatch,
+}
+
+/// A piece addressed into the splitting scratch arenas: `n` vertices whose
+/// geometry rows start at `verts` and carried rows at `vals`.
+#[derive(Clone, Copy)]
+struct PieceRef {
+    verts: usize,
+    vals: usize,
+    n: usize,
+}
+
+/// Per-worker scratch for splitting one piece through one layer: two bump
+/// arenas holding vertex/value rows and the double-buffered piece worklist.
+/// Reset at the start of every piece task; after the first few pieces the
+/// splitter runs with zero allocator traffic.
+#[derive(Default)]
+struct Scratch {
+    verts: Arena<f64>,
+    vals: Arena<f64>,
+    cur: Vec<PieceRef>,
+    next: Vec<PieceRef>,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::default());
 }
 
 /// Pipeline state for a plane restriction: the current set of polygon
@@ -48,11 +74,11 @@ impl TransformerState for PolygonState<'_> {
                 // Pooling pre-activations are the identity: the carried
                 // values already are the pre-activation, so skip the copy.
                 if !layer.preactivation_is_identity() {
-                    piece.vals = layer.preactivation_batch(&piece.vals);
+                    piece.vals = layer.preactivation_batch_flat(&piece.vals);
                 }
                 let mut sub = split_piece_by_layer(piece, spec, width);
                 for piece in &mut sub {
-                    piece.vals = layer.activate_batch(&piece.vals);
+                    piece.vals = layer.activate_batch_flat(&piece.vals);
                 }
                 sub
             })
@@ -64,17 +90,47 @@ impl TransformerState for PolygonState<'_> {
 
 /// Splits one piece by every crossing function of a layer in sequence,
 /// returning its final sub-pieces in split order.
+///
+/// All intermediate vertex/value rows live in the worker's thread-local
+/// scratch arenas: one-sided pieces are moved by copying a [`PieceRef`]
+/// (O(1), no row copies), split sides are appended at the arena tail, and
+/// degenerate sides are rolled back with a truncate.  The arenas are reset
+/// per piece task, so steady-state splitting does no heap allocation.
 fn split_piece_by_layer(piece: Piece, spec: &CrossingSpec, width: usize) -> Vec<Piece> {
-    let mut cur = vec![piece];
-    let mut next: Vec<Piece> = Vec::new();
-    for_each_crossing(spec, width, |g| {
-        next.reserve(cur.len());
-        for p in cur.drain(..) {
-            split_piece(p, g, &mut next);
-        }
-        std::mem::swap(&mut cur, &mut next);
-    });
-    cur
+    if matches!(spec, CrossingSpec::None | CrossingSpec::NotPiecewiseLinear) {
+        return vec![piece];
+    }
+    SCRATCH.with(|cell| {
+        let s = &mut *cell.borrow_mut();
+        let vd = piece.verts.dim();
+        let wd = piece.vals.dim();
+        s.verts.reset();
+        s.vals.reset();
+        s.cur.clear();
+        s.next.clear();
+        let verts = s.verts.extend_from_slice(piece.verts.as_slice());
+        let vals = s.vals.extend_from_slice(piece.vals.as_slice());
+        s.cur.push(PieceRef {
+            verts,
+            vals,
+            n: piece.verts.count(),
+        });
+        for_each_crossing(spec, width, |g| {
+            s.next.clear();
+            for i in 0..s.cur.len() {
+                let p = s.cur[i];
+                split_piece(&mut s.verts, &mut s.vals, vd, wd, p, g, &mut s.next);
+            }
+            std::mem::swap(&mut s.cur, &mut s.next);
+        });
+        s.cur
+            .iter()
+            .map(|p| Piece {
+                verts: FlatBatch::from_flat(vd, s.verts.slice(p.verts, p.n * vd)),
+                vals: FlatBatch::from_flat(wd, s.vals.slice(p.vals, p.n * wd)),
+            })
+            .collect()
+    })
 }
 
 /// Splits one polygon piece by the zero set of `g` over its carried
@@ -83,15 +139,25 @@ fn split_piece_by_layer(piece: Piece, spec: &CrossingSpec, width: usize) -> Vec<
 /// Crossing vertices interpolate both the polygon vertex and the carried
 /// pre-activation — exact, because the network prefix is affine on the
 /// closed piece.  Pieces that lie entirely on one side are moved, not
-/// cloned.
-fn split_piece(piece: Piece, g: Crossing, out: &mut Vec<Piece>) {
-    // Allocation-free pre-pass: almost every (piece, crossing) pair lies
-    // entirely on one side of the zero set, so decide that before
-    // materialising the per-vertex crossing values.
+/// cloned (their [`PieceRef`] is forwarded unchanged).
+fn split_piece(
+    verts: &mut Arena<f64>,
+    vals: &mut Arena<f64>,
+    vd: usize,
+    wd: usize,
+    p: PieceRef,
+    g: Crossing,
+    out: &mut Vec<PieceRef>,
+) {
+    // Copy-free pre-pass: almost every (piece, crossing) pair lies entirely
+    // on one side of the zero set, so decide that before materialising any
+    // new rows.  `g.eval` is O(1) (it indexes at most two entries), so the
+    // per-vertex crossing values are recomputed where needed rather than
+    // stored.
     let mut strictly_positive = false;
     let mut strictly_negative = false;
-    for z in &piece.vals {
-        let v = g.eval(z);
+    for r in 0..p.n {
+        let v = g.eval(vals.slice(p.vals + r * wd, wd));
         strictly_positive |= v > TOL;
         strictly_negative |= v < -TOL;
         if strictly_positive && strictly_negative {
@@ -99,89 +165,102 @@ fn split_piece(piece: Piece, g: Crossing, out: &mut Vec<Piece>) {
         }
     }
     if !(strictly_positive && strictly_negative) {
-        out.push(piece);
+        out.push(p);
         return;
     }
-    let values: Vec<f64> = piece.vals.iter().map(|z| g.eval(z)).collect();
-    let n = piece.verts.len();
-    let mut positive = Piece {
-        verts: Vec::new(),
-        vals: Vec::new(),
-    };
-    let mut negative = Piece {
-        verts: Vec::new(),
-        vals: Vec::new(),
-    };
-    for i in 0..n {
-        let j = (i + 1) % n;
-        let (gi, gj) = (values[i], values[j]);
-        if gi >= -TOL {
-            positive.verts.push(piece.verts[i].clone());
-            positive.vals.push(piece.vals[i].clone());
-        }
-        if gi <= TOL {
-            negative.verts.push(piece.verts[i].clone());
-            negative.vals.push(piece.vals[i].clone());
-        }
-        // Edge crossing strictly between the two vertices.
-        if crosses(gi, gj) {
-            let alpha = gi / (gi - gj);
-            let vert = lerp(&piece.verts[i], &piece.verts[j], alpha);
-            let val = lerp(&piece.vals[i], &piece.vals[j], alpha);
-            positive.verts.push(vert.clone());
-            positive.vals.push(val.clone());
-            negative.verts.push(vert);
-            negative.vals.push(val);
-        }
-    }
-    for side in [positive, negative] {
-        if let Some(side) = non_degenerate(side) {
+    for positive in [true, false] {
+        if let Some(side) = emit_side(verts, vals, vd, wd, p, g, positive) {
             out.push(side);
         }
     }
 }
 
-/// Removes consecutive duplicate vertices (keeping the carried values in
-/// sync) and rejects polygons that have collapsed to fewer than three
-/// distinct vertices.
-fn non_degenerate(piece: Piece) -> Option<Piece> {
-    let Piece { verts, vals } = piece;
-    let mut kept = Piece {
-        verts: Vec::with_capacity(verts.len()),
-        vals: Vec::new(),
-    };
-    for (vert, val) in verts.into_iter().zip(vals) {
-        if let Some(last) = kept.verts.last() {
-            if prdnn_linalg::linf_distance(last, &vert) <= TOL {
-                continue;
+/// Materialises one side of a split at the arena tail, deduplicating
+/// consecutive coincident vertices online (the same semantics as filtering
+/// with `linf_distance ≤ TOL` afterwards, including the first-vs-last wrap
+/// check).  Returns `None` — after rolling the arenas back — when the side
+/// collapses to fewer than three distinct vertices.
+fn emit_side(
+    verts: &mut Arena<f64>,
+    vals: &mut Arena<f64>,
+    vd: usize,
+    wd: usize,
+    p: PieceRef,
+    g: Crossing,
+    positive: bool,
+) -> Option<PieceRef> {
+    let (vmark, zmark) = (verts.len(), vals.len());
+    let mut n = 0usize;
+    for i in 0..p.n {
+        let j = (i + 1) % p.n;
+        let gi = g.eval(vals.slice(p.vals + i * wd, wd));
+        let gj = g.eval(vals.slice(p.vals + j * wd, wd));
+        let keep = if positive { gi >= -TOL } else { gi <= TOL };
+        if keep {
+            let cand = verts.len();
+            verts.extend_from_within(p.verts + i * vd, vd);
+            if dedupe(verts, vd, n, cand) {
+                vals.extend_from_within(p.vals + i * wd, wd);
+                n += 1;
             }
         }
-        kept.verts.push(vert);
-        kept.vals.push(val);
+        // Edge crossing strictly between the two vertices.
+        if crosses(gi, gj) {
+            let alpha = gi / (gi - gj);
+            let cand = verts.len();
+            verts.push_lerp(p.verts + i * vd, p.verts + j * vd, vd, alpha);
+            if dedupe(verts, vd, n, cand) {
+                vals.push_lerp(p.vals + i * wd, p.vals + j * wd, wd, alpha);
+                n += 1;
+            }
+        }
     }
-    if kept.verts.len() > 1
-        && prdnn_linalg::linf_distance(&kept.verts[0], kept.verts.last().unwrap()) <= TOL
+    // Wrap-around: the polygon is cyclic, so a last vertex coincident with
+    // the first is the same duplicate case as two consecutive vertices.
+    if n > 1
+        && linf_distance(
+            verts.slice(vmark, vd),
+            verts.slice(vmark + (n - 1) * vd, vd),
+        ) <= TOL
     {
-        kept.verts.pop();
-        kept.vals.pop();
+        n -= 1;
+        verts.truncate(vmark + n * vd);
+        vals.truncate(zmark + n * wd);
     }
-    if kept.verts.len() >= 3 {
-        Some(kept)
+    if n >= 3 {
+        Some(PieceRef {
+            verts: vmark,
+            vals: zmark,
+            n,
+        })
     } else {
+        verts.truncate(vmark);
+        vals.truncate(zmark);
         None
     }
 }
 
-fn centroid(polygon: &Polygon) -> Vec<f64> {
-    let dim = polygon[0].len();
-    let mut c = vec![0.0; dim];
-    for v in polygon {
+/// Keeps the candidate vertex row at `cand` if it is farther than `TOL`
+/// from the previously kept row (the row immediately before it); rolls it
+/// back and returns `false` otherwise.
+fn dedupe(verts: &mut Arena<f64>, vd: usize, n: usize, cand: usize) -> bool {
+    if n > 0 && linf_distance(verts.slice(cand - vd, vd), verts.slice(cand, vd)) <= TOL {
+        verts.truncate(cand);
+        false
+    } else {
+        true
+    }
+}
+
+fn centroid(polygon: &FlatBatch) -> Vec<f64> {
+    let mut c = vec![0.0; polygon.dim()];
+    for v in polygon.rows() {
         for (ci, vi) in c.iter_mut().zip(v) {
             *ci += vi;
         }
     }
     for ci in c.iter_mut() {
-        *ci /= polygon.len() as f64;
+        *ci /= polygon.count() as f64;
     }
     c
 }
@@ -248,10 +327,11 @@ pub fn plane_regions_in(
         return Err(SyrennError::NotPiecewiseLinear);
     }
 
+    let flat = FlatBatch::from_rows(net.input_dim(), vertices);
     let mut state = PolygonState {
         pieces: vec![Piece {
-            verts: vertices.to_vec(),
-            vals: vertices.to_vec(),
+            verts: flat.clone(),
+            vals: flat,
         }],
         pool,
     };
@@ -262,7 +342,7 @@ pub fn plane_regions_in(
         .into_iter()
         .map(|piece| LinearRegion {
             interior: centroid(&piece.verts),
-            vertices: piece.verts,
+            vertices: piece.verts.to_rows(),
         })
         .collect())
 }
@@ -421,14 +501,23 @@ mod tests {
 
     #[test]
     fn split_piece_basic() {
-        let verts = square();
         // Carried "pre-activations" are the vertices themselves; split by x.
-        let piece = Piece {
-            vals: verts.clone(),
-            verts,
+        let flat = FlatBatch::from_rows(2, &square());
+        let mut verts = Arena::new();
+        let mut vals = Arena::new();
+        let vstart = verts.extend_from_slice(flat.as_slice());
+        let zstart = vals.extend_from_slice(flat.as_slice());
+        let piece = PieceRef {
+            verts: vstart,
+            vals: zstart,
+            n: flat.count(),
         };
         let mut out = Vec::new();
         split_piece(
+            &mut verts,
+            &mut vals,
+            2,
+            2,
             piece,
             Crossing::Unit {
                 unit: 0,
@@ -438,18 +527,44 @@ mod tests {
         );
         assert_eq!(out.len(), 2);
         for side in &out {
-            assert_eq!(side.verts.len(), 4);
-            assert_eq!(side.verts.len(), side.vals.len());
+            assert_eq!(side.n, 4);
         }
         // All positive-part vertices have x >= 0, negative-part x <= 0.
-        assert!(out[0].verts.iter().all(|v| v[0] >= -1e-9));
-        assert!(out[1].verts.iter().all(|v| v[0] <= 1e-9));
-        // Carried values at crossing vertices are interpolated consistently
-        // with the geometry (they are equal here by construction).
-        for side in &out {
-            for (vert, val) in side.verts.iter().zip(&side.vals) {
+        for (side, check) in out.iter().zip([|x: f64| x >= -1e-9, |x: f64| x <= 1e-9]) {
+            for r in 0..side.n {
+                let vert = verts.slice(side.verts + r * 2, 2);
+                let val = vals.slice(side.vals + r * 2, 2);
+                assert!(check(vert[0]));
+                // Carried values at crossing vertices are interpolated
+                // consistently with the geometry (equal by construction).
                 assert_eq!(vert, val);
             }
         }
+    }
+
+    #[test]
+    fn emit_side_rolls_back_degenerate_sides() {
+        // A triangle tangent to the crossing at one vertex: the positive
+        // side is the whole triangle, the negative side collapses to a
+        // single point and must be rolled back without leaking arena rows.
+        let tri = FlatBatch::from_rows(2, &[vec![0.0, 0.0], vec![1.0, 0.5], vec![1.0, -0.5]]);
+        let mut verts = Arena::new();
+        let mut vals = Arena::new();
+        let vstart = verts.extend_from_slice(tri.as_slice());
+        let zstart = vals.extend_from_slice(tri.as_slice());
+        let piece = PieceRef {
+            verts: vstart,
+            vals: zstart,
+            n: 3,
+        };
+        let g = Crossing::Unit {
+            unit: 0,
+            threshold: 0.0,
+        };
+        let before = verts.len();
+        assert!(emit_side(&mut verts, &mut vals, 2, 2, piece, g, false).is_none());
+        assert_eq!(verts.len(), before, "degenerate side must be rolled back");
+        let side = emit_side(&mut verts, &mut vals, 2, 2, piece, g, true).unwrap();
+        assert_eq!(side.n, 3);
     }
 }

@@ -55,6 +55,29 @@ proptest! {
     }
 
     #[test]
+    fn forward_batch_in_is_bit_identical_across_thread_counts(
+        seed in 0u64..10_000,
+        depth in 1usize..4,
+        width in 4usize..14,
+        batch in 1usize..24,
+    ) {
+        let net = random_net(seed, depth, width, 3);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5A5A);
+        let inputs: Vec<Vec<f64>> = (0..batch)
+            .map(|_| (0..3).map(|_| rng.gen_range(-2.0..2.0)).collect())
+            .collect();
+        // The serial reference is the per-point forward; the pooled batch
+        // path routes through the flat GEMM kernels and must agree bitwise
+        // at every thread count (including 1, which spawns no workers).
+        let expected: Vec<Vec<f64>> = inputs.iter().map(|x| net.forward(x)).collect();
+        for threads in [1, 2, 3, 4] {
+            let pool = ThreadPool::new(threads);
+            let batched = net.forward_batch_in(&pool, &inputs);
+            prop_assert_eq!(&batched, &expected, "threads = {}", threads);
+        }
+    }
+
+    #[test]
     fn lin_regions_batch_is_bit_identical_to_one_at_a_time_calls(
         seed in 0u64..10_000,
         depth in 1usize..4,
