@@ -7,14 +7,19 @@
 //! in the tail instead of silently throttling the offered load (the
 //! coordinated-omission-free methodology).
 //!
-//! Two workload mixes run by default, mirroring the serving layer's two
+//! Three workload mixes run by default, mirroring the serving layer's
 //! request planes:
 //!
 //! * `eval_heavy` — 90% batched `eval`, 10% `lin_regions`, against one
 //!   model version (the batcher's coalescing sweet spot);
 //! * `repair_heavy` — 60% `repair` submissions (each publishing a new
 //!   version of a small model through the job queue) interleaved with 40%
-//!   `eval` on `@latest`, exercising version churn under read traffic.
+//!   `eval` on `@latest`, exercising version churn under read traffic;
+//! * `repair_heavy_durable` — the same mix against a server with a
+//!   `--store-dir` write-ahead log, so every publish pays an fsync; the
+//!   report adds a `durability` block (WAL/snapshot counters plus a
+//!   measured cold-start `recovery_ms` from a fresh server on the same
+//!   directory).
 //!
 //! Output is a JSON report (stdout, and `--out FILE`) with achieved
 //! throughput and latency percentiles per mix, following the repo's
@@ -22,8 +27,14 @@
 //!
 //! ```text
 //! servebench [--secs N] [--rate RPS] [--clients N] [--threads N]
-//!            [--mix eval|repair|both] [--addr HOST:PORT] [--out FILE]
+//!            [--mix eval|repair|durable|both] [--addr HOST:PORT]
+//!            [--store-dir DIR] [--out FILE]
 //! ```
+//!
+//! `--store-dir` names the durable mix's log directory (default: a
+//! scratch directory under the system tempdir, removed afterwards).  With
+//! an external `--addr` the durable mix is skipped: durability lives in
+//! the target server's own configuration.
 
 use prdnn_core::{OutputPolytope, PointSpec, RepairConfig};
 use prdnn_serve::client::Client;
@@ -41,6 +52,7 @@ struct Args {
     clients: usize,
     mix: String,
     addr: Option<String>,
+    store_dir: Option<String>,
     out: Option<String>,
 }
 
@@ -51,6 +63,7 @@ fn parse_args() -> Args {
         clients: 8,
         mix: "both".to_owned(),
         addr: None,
+        store_dir: None,
         out: None,
     };
     prdnn_bench::apply_threads_arg();
@@ -63,6 +76,7 @@ fn parse_args() -> Args {
             "--clients" => args.clients = value("--clients").parse().expect("--clients"),
             "--mix" => args.mix = value("--mix"),
             "--addr" => args.addr = Some(value("--addr")),
+            "--store-dir" => args.store_dir = Some(value("--store-dir")),
             "--out" => args.out = Some(value("--out")),
             "--threads" => {
                 let _ = value("--threads"); // consumed by apply_threads_arg
@@ -97,6 +111,19 @@ struct MixReport {
     /// Batcher gulp counters: (gulps, items drained, largest gulp).  The
     /// mean items-per-gulp is the coalescing factor the run achieved.
     gulp_stats: (u64, u64, u64),
+    /// Present only for durable mixes with an in-process server.
+    durability: Option<DurabilityReport>,
+}
+
+/// What durability cost (WAL traffic during the run) and what it bought
+/// (a measured cold-start recovery of everything published).
+struct DurabilityReport {
+    wal_appends: u64,
+    wal_bytes: u64,
+    snapshots: u64,
+    recovery_ms: f64,
+    recovered_versions: u64,
+    recovered_wal_records: u64,
 }
 
 fn percentile(sorted: &[f64], q: f64) -> f64 {
@@ -125,12 +152,18 @@ fn equation_2_like_spec(tweak: u64) -> PointSpec {
 
 /// Runs one mix against a fresh server (or the external `addr`) and
 /// gathers the report.
-fn run_mix(name: &'static str, args: &Args, repair_share_pct: u64) -> MixReport {
+fn run_mix(
+    name: &'static str,
+    args: &Args,
+    repair_share_pct: u64,
+    store_dir: Option<&std::path::Path>,
+) -> MixReport {
     let own_server: Option<ServerHandle> = if args.addr.is_none() {
         Some(
             serve(ServerConfig {
                 addr: "127.0.0.1:0".to_owned(),
                 max_connections: args.clients + 8,
+                store_dir: store_dir.map(|p| p.to_path_buf()),
                 ..ServerConfig::default()
             })
             .expect("ephemeral bind"),
@@ -247,22 +280,59 @@ fn run_mix(name: &'static str, args: &Args, repair_share_pct: u64) -> MixReport 
     let elapsed = start.elapsed();
     latencies_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
 
-    let (versions_published, gulp_stats) = {
+    let (versions_published, gulp_stats, durability) = {
         let mut client = Client::connect(addr).expect("connect for teardown");
         let published = client
             .list_versions("bench-repair")
             .map(|v| v.len() as u64 - 1)
             .unwrap_or(0);
-        let gulp_stats = client
-            .stats()
+        let stats = client.stats().ok();
+        let gulp_stats = stats
+            .as_ref()
             .map(|s| (s.gulps, s.gulp_items, s.max_gulp))
             .unwrap_or((0, 0, 0));
+        let owned = own_server.is_some();
         if let Some(handle) = own_server {
             client.shutdown_server().expect("shutdown");
             drop(client);
             handle.join().expect("server drain");
         }
-        (published, gulp_stats)
+        // Durability epilogue: cold-start a fresh server on the same
+        // directory and time how long recovery (which runs before the
+        // bind returns) takes to bring every published version back.
+        let durability = match (store_dir, owned, stats) {
+            (Some(dir), true, Some(stats)) => {
+                let t0 = Instant::now();
+                let handle = serve(ServerConfig {
+                    addr: "127.0.0.1:0".to_owned(),
+                    store_dir: Some(dir.to_path_buf()),
+                    ..ServerConfig::default()
+                })
+                .expect("recovery bind");
+                let recovery_ms = t0.elapsed().as_secs_f64() * 1e3;
+                let mut probe = Client::connect(handle.addr()).expect("connect for recovery");
+                let after = probe.stats().expect("recovery stats");
+                assert!(
+                    after.recovered_versions > published,
+                    "recovery lost versions: {} recovered, {} published",
+                    after.recovered_versions,
+                    published + 1
+                );
+                probe.shutdown_server().expect("recovery shutdown");
+                drop(probe);
+                handle.join().expect("recovery drain");
+                Some(DurabilityReport {
+                    wal_appends: stats.wal_appends,
+                    wal_bytes: stats.wal_bytes,
+                    snapshots: stats.snapshots,
+                    recovery_ms,
+                    recovered_versions: after.recovered_versions,
+                    recovered_wal_records: after.recovered_wal_records,
+                })
+            }
+            _ => None,
+        };
+        (published, gulp_stats, durability)
     };
 
     MixReport {
@@ -276,11 +346,12 @@ fn run_mix(name: &'static str, args: &Args, repair_share_pct: u64) -> MixReport 
         latencies_ms,
         versions_published,
         gulp_stats,
+        durability,
     }
 }
 
 fn report_to_json(report: &MixReport, args: &Args) -> Value {
-    Value::obj([
+    let mut pairs = vec![
         ("mix", Value::Str(report.name.to_owned())),
         ("offered_rps", Value::Num(args.rate as f64)),
         ("clients", Value::Num(args.clients as f64)),
@@ -326,21 +397,56 @@ fn report_to_json(report: &MixReport, args: &Args) -> Value {
                 ),
             ]),
         ),
-    ])
+    ];
+    if let Some(d) = &report.durability {
+        pairs.push((
+            "durability",
+            Value::obj([
+                ("wal_appends", Value::Num(d.wal_appends as f64)),
+                ("wal_bytes", Value::Num(d.wal_bytes as f64)),
+                ("snapshots", Value::Num(d.snapshots as f64)),
+                ("recovery_ms", Value::Num(d.recovery_ms)),
+                (
+                    "recovered_versions",
+                    Value::Num(d.recovered_versions as f64),
+                ),
+                (
+                    "recovered_wal_records",
+                    Value::Num(d.recovered_wal_records as f64),
+                ),
+            ]),
+        ));
+    }
+    Value::obj(pairs)
 }
 
 fn main() {
     let args = parse_args();
     let mut reports = Vec::new();
     if args.mix == "both" || args.mix == "eval" {
-        reports.push(run_mix("eval_heavy", &args, 0));
+        reports.push(run_mix("eval_heavy", &args, 0, None));
     }
     if args.mix == "both" || args.mix == "repair" {
-        reports.push(run_mix("repair_heavy", &args, 60));
+        reports.push(run_mix("repair_heavy", &args, 60, None));
+    }
+    if (args.mix == "both" || args.mix == "durable") && args.addr.is_none() {
+        // User-named directory, or a scratch one removed afterwards.
+        let (dir, scratch) = match &args.store_dir {
+            Some(dir) => (std::path::PathBuf::from(dir), false),
+            None => (
+                std::env::temp_dir().join(format!("servebench-wal-{}", std::process::id())),
+                true,
+            ),
+        };
+        std::fs::create_dir_all(&dir).expect("create --store-dir");
+        reports.push(run_mix("repair_heavy_durable", &args, 60, Some(&dir)));
+        if scratch {
+            let _ = std::fs::remove_dir_all(&dir);
+        }
     }
     assert!(
         !reports.is_empty(),
-        "--mix must be eval, repair, or both (got {:?})",
+        "--mix must be eval, repair, durable, or both (got {:?})",
         args.mix
     );
     for report in &reports {

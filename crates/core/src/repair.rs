@@ -5,6 +5,7 @@ use crate::ddnn::DecoupledNetwork;
 use crate::spec::OutputPolytope;
 use prdnn_linalg::vector;
 use prdnn_lp::{ConstraintOp, LpBackend, LpError, LpProblem, PricingRule, SolveOptions, VarKind};
+use serde::json::Value;
 use std::time::{Duration, Instant};
 
 /// The norm minimised over the parameter delta `Δ` (Definition 5.3's
@@ -154,6 +155,160 @@ pub struct RepairProvenance {
     pub delta_l1: f64,
     /// ℓ∞ norm of the applied delta.
     pub delta_linf: f64,
+}
+
+impl RepairConfig {
+    /// Encodes the configuration as a JSON document — the shared format of
+    /// the serve wire protocol and the durable version log.
+    ///
+    /// `threads` is deliberately **not** encoded: it is an execution knob
+    /// owned by whoever runs the repair (the server owns its pool), never
+    /// part of what a repair *means*, and results are bit-identical across
+    /// every setting.
+    pub fn to_json(&self) -> Value {
+        Value::obj([
+            (
+                "norm",
+                Value::Str(
+                    match self.norm {
+                        RepairNorm::L1 => "l1",
+                        RepairNorm::LInf => "linf",
+                    }
+                    .to_owned(),
+                ),
+            ),
+            (
+                "param_bound",
+                self.param_bound.map_or(Value::Null, Value::Num),
+            ),
+            (
+                "max_lp_iterations",
+                Value::Num(self.max_lp_iterations as f64),
+            ),
+            (
+                "lp_backend",
+                Value::Str(
+                    match self.lp_backend {
+                        LpBackend::Auto => "auto",
+                        LpBackend::DenseTableau => "dense_tableau",
+                        LpBackend::RevisedSparse => "revised_sparse",
+                    }
+                    .to_owned(),
+                ),
+            ),
+            (
+                "lp_pricing",
+                Value::Str(
+                    match self.lp_pricing {
+                        PricingRule::Auto => "auto",
+                        PricingRule::Dantzig => "dantzig",
+                        PricingRule::Devex => "devex",
+                    }
+                    .to_owned(),
+                ),
+            ),
+        ])
+    }
+
+    /// Decodes a configuration from its JSON document.  Missing fields take
+    /// their defaults (`threads` is always `None`; see [`Self::to_json`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first malformed field.
+    pub fn from_json(v: &Value) -> Result<RepairConfig, String> {
+        let mut config = RepairConfig::default();
+        match v.get("norm").and_then(Value::as_str) {
+            Some("l1") | None => config.norm = RepairNorm::L1,
+            Some("linf") => config.norm = RepairNorm::LInf,
+            Some(other) => return Err(format!("config: unknown norm {other:?}")),
+        }
+        match v.get("param_bound") {
+            None | Some(Value::Null) => {}
+            Some(b) => {
+                let bound = b.as_f64().ok_or("config: param_bound must be a number")?;
+                if bound <= 0.0 {
+                    return Err("config: param_bound must be positive".to_owned());
+                }
+                config.param_bound = Some(bound);
+            }
+        }
+        if let Some(iters) = v.get("max_lp_iterations") {
+            config.max_lp_iterations = iters
+                .as_usize()
+                .ok_or("config: max_lp_iterations must be a non-negative integer")?;
+        }
+        match v.get("lp_backend").and_then(Value::as_str) {
+            Some("auto") | None => config.lp_backend = LpBackend::Auto,
+            Some("dense_tableau") => config.lp_backend = LpBackend::DenseTableau,
+            Some("revised_sparse") => config.lp_backend = LpBackend::RevisedSparse,
+            Some(other) => return Err(format!("config: unknown lp_backend {other:?}")),
+        }
+        match v.get("lp_pricing").and_then(Value::as_str) {
+            Some("auto") | None => config.lp_pricing = PricingRule::Auto,
+            Some("dantzig") => config.lp_pricing = PricingRule::Dantzig,
+            Some("devex") => config.lp_pricing = PricingRule::Devex,
+            Some(other) => return Err(format!("config: unknown lp_pricing {other:?}")),
+        }
+        Ok(config)
+    }
+}
+
+impl RepairProvenance {
+    /// Encodes the provenance as a JSON document.  The spec hash is written
+    /// as a `0x`-prefixed hex string: it is a 64-bit pattern, not a number,
+    /// and must survive the JSON `f64` number model untouched.
+    pub fn to_json(&self) -> Value {
+        Value::obj([
+            (
+                "spec_hash",
+                Value::Str(format!("0x{:016x}", self.spec_hash)),
+            ),
+            ("config", self.config.to_json()),
+            ("layer", Value::Num(self.layer as f64)),
+            ("num_key_points", Value::Num(self.num_key_points as f64)),
+            ("delta_l1", Value::Num(self.delta_l1)),
+            ("delta_linf", Value::Num(self.delta_linf)),
+        ])
+    }
+
+    /// Decodes a provenance record from its JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first malformed field.
+    pub fn from_json(v: &Value) -> Result<RepairProvenance, String> {
+        let spec_hash = v
+            .get("spec_hash")
+            .and_then(Value::as_str)
+            .ok_or("provenance: missing \"spec_hash\"")?;
+        let spec_hash = spec_hash
+            .strip_prefix("0x")
+            .and_then(|h| u64::from_str_radix(h, 16).ok())
+            .ok_or_else(|| format!("provenance: malformed spec_hash {spec_hash:?}"))?;
+        Ok(RepairProvenance {
+            spec_hash,
+            config: RepairConfig::from_json(
+                v.get("config").ok_or("provenance: missing \"config\"")?,
+            )?,
+            layer: v
+                .get("layer")
+                .and_then(Value::as_usize)
+                .ok_or("provenance: missing \"layer\"")?,
+            num_key_points: v
+                .get("num_key_points")
+                .and_then(Value::as_usize)
+                .ok_or("provenance: missing \"num_key_points\"")?,
+            delta_l1: v
+                .get("delta_l1")
+                .and_then(Value::as_f64)
+                .ok_or("provenance: missing \"delta_l1\"")?,
+            delta_linf: v
+                .get("delta_linf")
+                .and_then(Value::as_f64)
+                .ok_or("provenance: missing \"delta_linf\"")?,
+        })
+    }
 }
 
 /// Errors returned by the repair algorithms.
@@ -451,5 +606,49 @@ mod tests {
         assert_eq!(c.lp_pricing, PricingRule::Auto);
         // Default thread count defers to PRDNN_THREADS / the machine.
         assert_eq!(c.threads, None);
+    }
+
+    #[test]
+    fn config_and_provenance_round_trip_through_json() {
+        for (norm, bound, backend, pricing) in [
+            (RepairNorm::L1, None, LpBackend::Auto, PricingRule::Auto),
+            (
+                RepairNorm::LInf,
+                Some(0.25),
+                LpBackend::DenseTableau,
+                PricingRule::Dantzig,
+            ),
+            (
+                RepairNorm::L1,
+                Some(1e3),
+                LpBackend::RevisedSparse,
+                PricingRule::Devex,
+            ),
+        ] {
+            let config = RepairConfig {
+                norm,
+                param_bound: bound,
+                max_lp_iterations: 12_345,
+                lp_backend: backend,
+                lp_pricing: pricing,
+                threads: None,
+            };
+            let back = RepairConfig::from_json(&config.to_json()).unwrap();
+            assert_eq!(back, config);
+            let provenance = RepairProvenance {
+                // Top bit set: must survive as a bit pattern, not an f64.
+                spec_hash: 0xdead_beef_0000_0001u64 | (1 << 63),
+                config,
+                layer: 2,
+                num_key_points: 7,
+                delta_l1: 0.125,
+                delta_linf: 1.0 / 3.0,
+            };
+            let back = RepairProvenance::from_json(&provenance.to_json()).unwrap();
+            assert_eq!(back, provenance);
+            assert_eq!(back.spec_hash, provenance.spec_hash);
+        }
+        assert!(RepairProvenance::from_json(&Value::obj([])).is_err());
+        assert!(RepairConfig::from_json(&Value::obj([("norm", Value::Str("l7".into()))])).is_err());
     }
 }

@@ -71,6 +71,95 @@ pub fn network_from_json(value: &Value) -> Result<Network, String> {
     Ok(Network::new(layers))
 }
 
+/// FNV-1a content hash of a network: layer kinds, dimensions, activation
+/// parameters, and the exact bit patterns of every weight and bias.
+///
+/// Two networks hash equal iff they are bit-for-bit the same model, so the
+/// durable version log can verify that a record read back from disk still
+/// describes the network that was published (the hash is stored alongside
+/// each record and re-checked during recovery).
+pub fn network_content_hash(net: &Network) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    let mut mix = |bits: u64| {
+        for byte in bits.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    };
+    let mix_usizes = |mix: &mut dyn FnMut(u64), dims: &[usize]| {
+        for &d in dims {
+            mix(d as u64);
+        }
+    };
+    let mix_f64s = |mix: &mut dyn FnMut(u64), xs: &[f64]| {
+        for &x in xs {
+            mix(x.to_bits());
+        }
+    };
+    let mix_activation = |mix: &mut dyn FnMut(u64), a: Activation| match a {
+        Activation::Relu => mix(1),
+        Activation::HardTanh => mix(2),
+        Activation::Tanh => mix(3),
+        Activation::Sigmoid => mix(4),
+        Activation::Identity => mix(5),
+        Activation::LeakyRelu { alpha } => {
+            mix(6);
+            mix(alpha.to_bits());
+        }
+    };
+    for layer in net.layers() {
+        match layer {
+            Layer::Dense(d) => {
+                mix(0x10);
+                mix_usizes(&mut mix, &[d.weights.rows(), d.weights.cols()]);
+                mix_f64s(&mut mix, d.weights.as_slice());
+                mix_f64s(&mut mix, &d.bias);
+                mix_activation(&mut mix, d.activation);
+            }
+            Layer::Conv2d(c) => {
+                mix(0x20);
+                mix_usizes(
+                    &mut mix,
+                    &[
+                        c.in_channels,
+                        c.in_height,
+                        c.in_width,
+                        c.out_channels,
+                        c.kernel_h,
+                        c.kernel_w,
+                        c.stride,
+                        c.padding,
+                    ],
+                );
+                mix_f64s(&mut mix, &c.weights);
+                mix_f64s(&mut mix, &c.bias);
+                mix_activation(&mut mix, c.activation);
+            }
+            Layer::MaxPool2d(p) | Layer::AvgPool2d(p) => {
+                mix(if matches!(layer, Layer::MaxPool2d(_)) {
+                    0x30
+                } else {
+                    0x40
+                });
+                mix_usizes(
+                    &mut mix,
+                    &[
+                        p.channels,
+                        p.in_height,
+                        p.in_width,
+                        p.pool_h,
+                        p.pool_w,
+                        p.stride,
+                    ],
+                );
+            }
+        }
+    }
+    h
+}
+
 fn layer_to_json(layer: &Layer) -> Value {
     match layer {
         Layer::Dense(d) => Value::obj([
@@ -366,6 +455,23 @@ mod tests {
         assert_eq!(back, net);
         let x: Vec<f64> = (0..36).map(|k| (k as f64 * 0.37).sin()).collect();
         assert_eq!(net.forward(&x), back.forward(&x));
+    }
+
+    #[test]
+    fn content_hash_tracks_every_bit() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let net = Network::mlp(&[4, 6, 2], Activation::Relu, &mut rng);
+        let h = network_content_hash(&net);
+        // Stable under serialise → parse (the recovery path recomputes it).
+        let doc = network_to_json(&net).to_json();
+        let back = network_from_json(&Value::parse(&doc).unwrap()).unwrap();
+        assert_eq!(network_content_hash(&back), h);
+        // A single flipped mantissa bit changes the hash.
+        let mut params = net.params();
+        params[5] = f64::from_bits(params[5].to_bits() ^ 1);
+        let mut tweaked = net.clone();
+        tweaked.set_params(&params);
+        assert_ne!(network_content_hash(&tweaked), h);
     }
 
     #[test]

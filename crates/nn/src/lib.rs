@@ -35,7 +35,7 @@ pub mod train;
 
 pub use activation::Activation;
 pub use batch::FlatBatch;
-pub use io::{network_from_json, network_to_json};
+pub use io::{network_content_hash, network_from_json, network_to_json};
 pub use layer::{
     ActivationLinearization, Conv2dLayer, CrossingSpec, DenseLayer, Layer, Pool2dLayer, PoolWindows,
 };

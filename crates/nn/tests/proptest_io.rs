@@ -1,0 +1,194 @@
+//! Property tests for the network JSON codec.
+//!
+//! This document format is the durable version log's on-disk record format
+//! (`prdnn-serve`), so the round-trip guarantee must hold for **every**
+//! [`Layer`] variant — dense, conv2d, max/avg pooling with arbitrary
+//! windows — and every activation (including parametrised `LeakyRelu`),
+//! not just the generator-registry networks the e2e tests exercise.  Three
+//! properties are pinned:
+//!
+//! 1. serialise → parse reproduces every parameter **bit for bit**
+//!    (`f64::to_bits` equality, which distinguishes `0.0` from `-0.0`);
+//! 2. the serialised document text is **stable** across a round-trip
+//!    (parse → serialise again yields the identical string), so records
+//!    and snapshots can be compared as strings;
+//! 3. the content hash is invariant under the round-trip.
+
+use prdnn_linalg::Matrix;
+use prdnn_nn::{
+    network_content_hash, network_from_json, network_to_json, Activation, Conv2dLayer, Layer,
+    Network, Pool2dLayer,
+};
+use proptest::prelude::*;
+use proptest::strategy::Strategy;
+use serde::json::Value;
+
+/// Adversarial weight values: signed zeros, subnormals, values needing the
+/// full 17 significant digits, and huge/tiny magnitudes.
+fn tricky_f64() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        Just(0.0),
+        Just(-0.0),
+        Just(5e-324), // smallest positive subnormal
+        Just(-5e-324),
+        Just(1.0 / 3.0), // needs 17 digits
+        Just(0.1 + 0.2), // classic non-representable sum
+        Just(f64::MIN_POSITIVE),
+        Just(1.797_693_134_862_315_7e308),
+        Just(-2.225_073_858_507_201_4e-308),
+        -1e6..1e6f64,
+        -1e-6..1e-6f64,
+    ]
+}
+
+fn activation() -> impl Strategy<Value = Activation> {
+    prop_oneof![
+        Just(Activation::Relu),
+        Just(Activation::HardTanh),
+        Just(Activation::Tanh),
+        Just(Activation::Sigmoid),
+        Just(Activation::Identity),
+        tricky_f64().prop_map(|alpha| Activation::LeakyRelu { alpha }),
+    ]
+}
+
+/// A dense-only stack with random widths and activations.
+fn dense_network() -> impl Strategy<Value = Network> {
+    (
+        prop::collection::vec(1usize..5, 2..5),
+        prop::collection::vec(activation(), 4),
+        prop::collection::vec(tricky_f64(), 48),
+    )
+        .prop_map(|(widths, acts, vals)| {
+            let mut it = vals.into_iter().cycle();
+            let layers = widths
+                .windows(2)
+                .enumerate()
+                .map(|(i, w)| {
+                    let (inp, out) = (w[0], w[1]);
+                    Layer::dense(
+                        Matrix::from_flat(
+                            out,
+                            inp,
+                            (0..out * inp).map(|_| it.next().unwrap()).collect(),
+                        ),
+                        (0..out).map(|_| it.next().unwrap()).collect(),
+                        acts[i % acts.len()],
+                    )
+                })
+                .collect();
+            Network::new(layers)
+        })
+}
+
+/// A conv → max-pool → avg-pool → dense chain: every `Layer` variant in
+/// one network, with random image/kernel/window geometry.
+fn conv_pool_network() -> impl Strategy<Value = Network> {
+    (
+        (1usize..3, 4usize..7, 4usize..7), // in channels, image height/width
+        (1usize..3, 1usize..3, 0usize..2), // out channels, kernel, padding
+        (
+            activation(),
+            activation(),
+            prop::collection::vec(tricky_f64(), 64),
+        ),
+    )
+        .prop_map(
+            |((in_c, h, w), (out_c, k, pad), (act_conv, act_dense, vals))| {
+                let mut it = vals.into_iter().cycle();
+                let conv = Conv2dLayer {
+                    in_channels: in_c,
+                    in_height: h,
+                    in_width: w,
+                    out_channels: out_c,
+                    kernel_h: k,
+                    kernel_w: k,
+                    stride: 1,
+                    padding: pad,
+                    weights: (0..out_c * in_c * k * k)
+                        .map(|_| it.next().unwrap())
+                        .collect(),
+                    bias: (0..out_c).map(|_| it.next().unwrap()).collect(),
+                    activation: act_conv,
+                };
+                let (ch, cw) = (conv.out_height(), conv.out_width());
+                // Non-square pooling windows, stride possibly ≠ window.
+                let max_pool = Pool2dLayer {
+                    channels: out_c,
+                    in_height: ch,
+                    in_width: cw,
+                    pool_h: 2.min(ch),
+                    pool_w: 1,
+                    stride: 1,
+                };
+                let (mh, mw) = (max_pool.out_height(), max_pool.out_width());
+                let avg_pool = Pool2dLayer {
+                    channels: out_c,
+                    in_height: mh,
+                    in_width: mw,
+                    pool_h: 1,
+                    pool_w: 2.min(mw),
+                    stride: 1,
+                };
+                let flat = out_c * avg_pool.out_height() * avg_pool.out_width();
+                let dense = Layer::dense(
+                    Matrix::from_flat(2, flat, (0..2 * flat).map(|_| it.next().unwrap()).collect()),
+                    vec![it.next().unwrap(), it.next().unwrap()],
+                    act_dense,
+                );
+                Network::new(vec![
+                    Layer::Conv2d(conv),
+                    Layer::MaxPool2d(max_pool),
+                    Layer::AvgPool2d(avg_pool),
+                    dense,
+                ])
+            },
+        )
+}
+
+fn network() -> impl Strategy<Value = Network> {
+    prop_oneof![dense_network(), conv_pool_network()]
+}
+
+fn param_bits(net: &Network) -> Vec<u64> {
+    net.params().iter().map(|p| p.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn round_trip_is_bit_exact_for_every_layer_variant(net in network()) {
+        let doc = network_to_json(&net);
+        let text = doc.to_json();
+        let parsed = Value::parse(&text).unwrap();
+        let back = network_from_json(&parsed).unwrap();
+
+        // (1) Every parameter bit-identical (distinguishes 0.0 / -0.0).
+        prop_assert_eq!(param_bits(&back), param_bits(&net));
+        // Structure identical too (dims, activations, window geometry).
+        prop_assert_eq!(back.num_layers(), net.num_layers());
+        for i in 0..net.num_layers() {
+            prop_assert_eq!(back.layer(i), net.layer(i), "layer {} differs", i);
+        }
+
+        // (2) The document text is a fixed point of the round-trip.
+        prop_assert_eq!(network_to_json(&back).to_json(), text);
+
+        // (3) The content hash is invariant.
+        prop_assert_eq!(network_content_hash(&back), network_content_hash(&net));
+    }
+
+    #[test]
+    fn single_flipped_mantissa_bit_changes_the_hash(net in network(), which in 0usize..4096) {
+        let params = net.params();
+        prop_assume!(!params.is_empty());
+        let h = network_content_hash(&net);
+        let i = which % params.len();
+        let mut tweaked_params = params;
+        tweaked_params[i] = f64::from_bits(tweaked_params[i].to_bits() ^ 1);
+        let mut tweaked = net.clone();
+        tweaked.set_params(&tweaked_params);
+        prop_assert!(network_content_hash(&tweaked) != h, "hash unchanged after bit flip at {}", i);
+    }
+}

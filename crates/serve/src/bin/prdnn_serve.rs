@@ -3,12 +3,20 @@
 //! ```text
 //! prdnn-serve [--addr HOST:PORT] [--threads N] [--max-connections N]
 //!             [--batch-queue N] [--job-queue N] [--repair-workers N]
-//!             [--deadline-ms MS] [--preload NAME=GENERATOR]...
+//!             [--deadline-ms MS] [--store-dir DIR] [--snapshot-every N]
+//!             [--preload NAME=GENERATOR]...
 //! ```
 //!
 //! `--preload` loads a model at startup (repeatable), e.g.
 //! `--preload n1=n1 --preload digits=digits:7:160:40`.  Send a `shutdown`
 //! request to stop; the server drains its queues before exiting.
+//!
+//! `--store-dir DIR` makes the version store durable: every published
+//! version is fsynced to a write-ahead log in `DIR` before it is
+//! acknowledged, and a restart pointing at the same `DIR` recovers every
+//! model and version (with provenance) before accepting connections.
+//! `--snapshot-every N` compacts the WAL into `snapshot.json` every `N`
+//! publishes (default 64; `0` disables compaction).
 
 use prdnn_serve::server::{serve, ServerConfig};
 use std::process::ExitCode;
@@ -36,6 +44,17 @@ fn main() -> ExitCode {
             "--deadline-ms" => {
                 parse(take("--deadline-ms")).map(|n| config.default_deadline_ms = n as u64)
             }
+            "--store-dir" => {
+                take("--store-dir").map(|v| config.store_dir = Some(std::path::PathBuf::from(v)))
+            }
+            "--snapshot-every" => {
+                // 0 is meaningful here: never snapshot.
+                take("--snapshot-every").and_then(|v| {
+                    v.parse::<u64>()
+                        .map(|n| config.snapshot_every = n)
+                        .map_err(|_| format!("expected a non-negative integer, got {v:?}"))
+                })
+            }
             "--preload" => take("--preload").and_then(|v| {
                 v.split_once('=')
                     .map(|(name, generator)| preloads.push((name.to_owned(), generator.to_owned())))
@@ -45,7 +64,8 @@ fn main() -> ExitCode {
                 println!(
                     "prdnn-serve [--addr HOST:PORT] [--threads N] [--max-connections N]\n\
                      \x20           [--batch-queue N] [--job-queue N] [--repair-workers N]\n\
-                     \x20           [--deadline-ms MS] [--preload NAME=GENERATOR]..."
+                     \x20           [--deadline-ms MS] [--store-dir DIR] [--snapshot-every N]\n\
+                     \x20           [--preload NAME=GENERATOR]..."
                 );
                 return ExitCode::SUCCESS;
             }
@@ -74,6 +94,12 @@ fn main() -> ExitCode {
                 match store.load(&name, ddnn, generator.clone()) {
                     Ok(v) => {
                         eprintln!("prdnn-serve: preloaded {name}@v{} ({generator})", v.version)
+                    }
+                    // A durable restart recovers the model before the
+                    // preload runs; the same command line must keep
+                    // working, so "already there" is satisfied, not fatal.
+                    Err(prdnn_serve::store::StoreError::AlreadyExists(_)) => {
+                        eprintln!("prdnn-serve: {name} already in the store (recovered); skipping preload")
                     }
                     Err(e) => {
                         eprintln!("prdnn-serve: preload {name} failed: {e}");

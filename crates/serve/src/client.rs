@@ -239,6 +239,25 @@ impl Client {
         }
     }
 
+    /// Fetches a model version's full serialised form.  The returned
+    /// response is always [`Response::Network`]; its `activation`/`value`
+    /// documents round-trip weights bit-for-bit, so two fetches of the
+    /// same acknowledged version compare equal even across a server
+    /// restart.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn get_network(&mut self, model: &ModelRef) -> Result<Response, ClientError> {
+        let request = Request::GetNetwork {
+            model: model.clone(),
+        };
+        match self.expect(&request)? {
+            network @ Response::Network { .. } => Ok(network),
+            other => Err(unexpected("network", &other)),
+        }
+    }
+
     /// Lists stored models as `(name, latest_version)`.
     ///
     /// # Errors

@@ -12,6 +12,12 @@
 //!
 //! Shutdown is a drain, not an abort: queued jobs still run and publish
 //! before the workers exit, so an accepted repair is never silently lost.
+//!
+//! Publishing goes through the store's [`crate::version_log::VersionLog`]:
+//! under a durable backend ([`crate::wal::WalLog`]) the WAL record is
+//! fsynced *before* `publish_repair` returns, so a job only reports `done`
+//! once its version would survive a crash — and a durability failure
+//! surfaces as the job's `failed` state, never as a phantom version.
 
 use crate::protocol::{ErrorKind, JobState};
 use crate::store::{ModelStore, ModelVersion};

@@ -19,6 +19,14 @@
 //!   `lin_regions_batch_in`) on the shared `prdnn-par` pool, so ten
 //!   clients asking about the same version cost one layer-at-a-time sweep,
 //!   not ten.
+//! * [`version_log`] / [`wal`] — the **durable version log** under the
+//!   store.  Every publish funnels through a [`version_log::VersionLog`]
+//!   backend *before* it becomes visible: [`version_log::MemoryLog`] keeps
+//!   the original process-lifetime behaviour, while [`wal::WalLog`]
+//!   fsyncs a length-prefixed JSON record per publish, snapshots and
+//!   compacts the chains every `--snapshot-every` publishes, and replays
+//!   `snapshot.json` + the WAL tail (hash-verified, torn-tail tolerant) on
+//!   `--store-dir` cold start.
 //! * [`jobs`] — the **repair job queue**: a bounded FIFO whose workers run
 //!   repairs off the connection threads and publish the repaired versions;
 //!   clients poll job status instead of holding a connection hostage for
@@ -60,6 +68,8 @@ pub mod jobs;
 pub mod protocol;
 pub mod server;
 pub mod store;
+pub mod version_log;
+pub mod wal;
 
 pub use client::Client;
 pub use protocol::{ModelRef, Request, Response};

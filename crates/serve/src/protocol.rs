@@ -12,7 +12,7 @@
 //! wire arrives bit-identical — the end-to-end tests assert served results
 //! equal direct library calls exactly.
 
-use prdnn_core::{LpBackend, OutputPolytope, PointSpec, PricingRule, RepairConfig, RepairNorm};
+use prdnn_core::{OutputPolytope, PointSpec, RepairConfig};
 use prdnn_linalg::Matrix;
 use serde::json::Value;
 use std::io::{self, Read, Write};
@@ -227,6 +227,13 @@ pub enum Request {
         /// The id returned by [`Response::JobQueued`].
         job: u64,
     },
+    /// Fetch a model version's full serialised form (both DDNN channels
+    /// plus provenance) — the durability e2e uses this to check recovered
+    /// weights bit-for-bit against what was acknowledged.
+    GetNetwork {
+        /// Which model version.
+        model: ModelRef,
+    },
     /// List stored models and their latest versions.
     ListModels,
     /// List every version of one model with provenance.
@@ -319,6 +326,20 @@ pub struct ServerStats {
     pub jobs_completed: u64,
     /// Repair jobs that failed.
     pub jobs_failed: u64,
+    /// Version-log records appended (and fsynced) to the WAL; zero under
+    /// the in-memory backend.
+    pub wal_appends: u64,
+    /// Bytes appended to the WAL, frame headers included.
+    pub wal_bytes: u64,
+    /// Snapshot/compaction cycles completed.
+    pub snapshots: u64,
+    /// Versions reconstructed at cold start (snapshot + WAL tail).
+    pub recovered_versions: u64,
+    /// WAL-tail records replayed at cold start (subset of the above).
+    pub recovered_wal_records: u64,
+    /// Bytes dropped from the WAL tail during recovery (torn/corrupt
+    /// final records).
+    pub torn_tail_bytes: u64,
 }
 
 /// Machine-readable error categories.
@@ -394,6 +415,21 @@ pub enum Response {
     },
     /// Reply to [`Request::JobStatus`].
     Job(JobState),
+    /// Reply to [`Request::GetNetwork`].
+    Network {
+        /// The model name.
+        name: String,
+        /// The resolved version number.
+        version: u32,
+        /// Where the version came from.
+        source: String,
+        /// The activation channel (`prdnn_nn::io` document).
+        activation: Value,
+        /// The value channel (`prdnn_nn::io` document).
+        value: Value,
+        /// The repair provenance document (`None` for loaded versions).
+        provenance: Option<Value>,
+    },
     /// Reply to [`Request::ListModels`]: `(name, latest_version)` pairs.
     Models(Vec<(String, u32)>),
     /// Reply to [`Request::ListVersions`].
@@ -512,86 +548,15 @@ fn spec_from_value(v: &Value) -> Result<PointSpec, String> {
     })
 }
 
+// The repair-config document format is owned by `prdnn_core` (it is shared
+// with the durable version log's on-disk records); the wire simply embeds
+// it.
 fn config_to_value(config: &RepairConfig) -> Value {
-    Value::obj([
-        (
-            "norm",
-            Value::Str(
-                match config.norm {
-                    RepairNorm::L1 => "l1",
-                    RepairNorm::LInf => "linf",
-                }
-                .to_owned(),
-            ),
-        ),
-        (
-            "param_bound",
-            config.param_bound.map_or(Value::Null, Value::Num),
-        ),
-        (
-            "max_lp_iterations",
-            Value::Num(config.max_lp_iterations as f64),
-        ),
-        (
-            "lp_backend",
-            Value::Str(
-                match config.lp_backend {
-                    LpBackend::Auto => "auto",
-                    LpBackend::DenseTableau => "dense_tableau",
-                    LpBackend::RevisedSparse => "revised_sparse",
-                }
-                .to_owned(),
-            ),
-        ),
-        (
-            "lp_pricing",
-            Value::Str(
-                match config.lp_pricing {
-                    PricingRule::Auto => "auto",
-                    PricingRule::Dantzig => "dantzig",
-                    PricingRule::Devex => "devex",
-                }
-                .to_owned(),
-            ),
-        ),
-    ])
+    config.to_json()
 }
 
 fn config_from_value(v: &Value) -> Result<RepairConfig, String> {
-    let mut config = RepairConfig::default();
-    match v.get("norm").and_then(Value::as_str) {
-        Some("l1") | None => config.norm = RepairNorm::L1,
-        Some("linf") => config.norm = RepairNorm::LInf,
-        Some(other) => return Err(format!("config: unknown norm {other:?}")),
-    }
-    match v.get("param_bound") {
-        None | Some(Value::Null) => {}
-        Some(b) => {
-            let bound = b.as_f64().ok_or("config: param_bound must be a number")?;
-            if bound <= 0.0 {
-                return Err("config: param_bound must be positive".to_owned());
-            }
-            config.param_bound = Some(bound);
-        }
-    }
-    if let Some(iters) = v.get("max_lp_iterations") {
-        config.max_lp_iterations = iters
-            .as_usize()
-            .ok_or("config: max_lp_iterations must be a non-negative integer")?;
-    }
-    match v.get("lp_backend").and_then(Value::as_str) {
-        Some("auto") | None => config.lp_backend = LpBackend::Auto,
-        Some("dense_tableau") => config.lp_backend = LpBackend::DenseTableau,
-        Some("revised_sparse") => config.lp_backend = LpBackend::RevisedSparse,
-        Some(other) => return Err(format!("config: unknown lp_backend {other:?}")),
-    }
-    match v.get("lp_pricing").and_then(Value::as_str) {
-        Some("auto") | None => config.lp_pricing = PricingRule::Auto,
-        Some("dantzig") => config.lp_pricing = PricingRule::Dantzig,
-        Some("devex") => config.lp_pricing = PricingRule::Devex,
-        Some(other) => return Err(format!("config: unknown lp_pricing {other:?}")),
-    }
-    Ok(config)
+    RepairConfig::from_json(v)
 }
 
 fn deadline_to_value(deadline_ms: Option<u64>) -> Value {
@@ -671,6 +636,10 @@ impl Request {
             Request::JobStatus { job } => {
                 tagged("job_status", vec![("job", Value::Num(*job as f64))])
             }
+            Request::GetNetwork { model } => tagged(
+                "get_network",
+                vec![("model", Value::Str(model.to_string()))],
+            ),
             Request::ListModels => tagged("list_models", vec![]),
             Request::ListVersions { name } => {
                 tagged("list_versions", vec![("name", Value::Str(name.clone()))])
@@ -754,6 +723,9 @@ impl Request {
                     .and_then(Value::as_usize)
                     .ok_or("job_status: missing \"job\"")? as u64,
             }),
+            "get_network" => Ok(Request::GetNetwork {
+                model: model_ref()?,
+            }),
             "list_models" => Ok(Request::ListModels),
             "list_versions" => Ok(Request::ListVersions { name: name()? }),
             "stats" => Ok(Request::Stats),
@@ -835,6 +807,24 @@ impl Response {
                 all.append(&mut fields);
                 tagged("job", all)
             }
+            Response::Network {
+                name,
+                version,
+                source,
+                activation,
+                value,
+                provenance,
+            } => tagged(
+                "network",
+                vec![
+                    ("name", Value::Str(name.clone())),
+                    ("version", Value::Num(*version as f64)),
+                    ("source", Value::Str(source.clone())),
+                    ("activation", activation.clone()),
+                    ("value", value.clone()),
+                    ("provenance", provenance.clone().unwrap_or(Value::Null)),
+                ],
+            ),
             Response::Models(models) => tagged(
                 "models",
                 vec![(
@@ -894,6 +884,18 @@ impl Response {
                     ("jobs_submitted", Value::Num(stats.jobs_submitted as f64)),
                     ("jobs_completed", Value::Num(stats.jobs_completed as f64)),
                     ("jobs_failed", Value::Num(stats.jobs_failed as f64)),
+                    ("wal_appends", Value::Num(stats.wal_appends as f64)),
+                    ("wal_bytes", Value::Num(stats.wal_bytes as f64)),
+                    ("snapshots", Value::Num(stats.snapshots as f64)),
+                    (
+                        "recovered_versions",
+                        Value::Num(stats.recovered_versions as f64),
+                    ),
+                    (
+                        "recovered_wal_records",
+                        Value::Num(stats.recovered_wal_records as f64),
+                    ),
+                    ("torn_tail_bytes", Value::Num(stats.torn_tail_bytes as f64)),
                 ],
             ),
             Response::ShuttingDown => tagged("shutting_down", vec![]),
@@ -1004,6 +1006,31 @@ impl Response {
                     other => return Err(format!("job: unknown state {other:?}")),
                 }))
             }
+            "network" => Ok(Response::Network {
+                name: v
+                    .get("name")
+                    .and_then(Value::as_str)
+                    .ok_or("network: missing \"name\"")?
+                    .to_owned(),
+                version: v
+                    .get("version")
+                    .and_then(Value::as_usize)
+                    .ok_or("network: missing \"version\"")? as u32,
+                source: v
+                    .get("source")
+                    .and_then(Value::as_str)
+                    .ok_or("network: missing \"source\"")?
+                    .to_owned(),
+                activation: v
+                    .get("activation")
+                    .ok_or("network: missing \"activation\"")?
+                    .clone(),
+                value: v.get("value").ok_or("network: missing \"value\"")?.clone(),
+                provenance: match v.get("provenance") {
+                    None | Some(Value::Null) => None,
+                    Some(p) => Some(p.clone()),
+                },
+            }),
             "models" => Ok(Response::Models(
                 v.get("models")
                     .and_then(Value::as_arr)
@@ -1075,6 +1102,12 @@ impl Response {
                     jobs_submitted: counter("jobs_submitted")?,
                     jobs_completed: counter("jobs_completed")?,
                     jobs_failed: counter("jobs_failed")?,
+                    wal_appends: counter("wal_appends")?,
+                    wal_bytes: counter("wal_bytes")?,
+                    snapshots: counter("snapshots")?,
+                    recovered_versions: counter("recovered_versions")?,
+                    recovered_wal_records: counter("recovered_wal_records")?,
+                    torn_tail_bytes: counter("torn_tail_bytes")?,
                 }))
             }
             "shutting_down" => Ok(Response::ShuttingDown),

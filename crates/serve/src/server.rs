@@ -53,6 +53,16 @@ pub struct ServerConfig {
     /// Deadline applied to `eval`/`lin_regions` requests that do not set
     /// their own, in milliseconds.
     pub default_deadline_ms: u64,
+    /// Durable store directory.  `None` keeps the in-memory version log
+    /// (versions live exactly as long as the process); `Some(dir)` opens a
+    /// [`crate::wal::WalLog`] there — recovery runs **before** the accept
+    /// loop starts, so the first client already sees every version that was
+    /// acknowledged before the last shutdown or crash.
+    pub store_dir: Option<std::path::PathBuf>,
+    /// Snapshot/compact the WAL after this many publishes (`0` = never
+    /// snapshot; the WAL grows without bound).  Ignored without
+    /// `store_dir`.
+    pub snapshot_every: u64,
 }
 
 impl Default for ServerConfig {
@@ -65,6 +75,8 @@ impl Default for ServerConfig {
             job_queue_cap: 64,
             repair_workers: 1,
             default_deadline_ms: 10_000,
+            store_dir: None,
+            snapshot_every: 64,
         }
     }
 }
@@ -95,6 +107,7 @@ impl Shared {
     fn stats(&self) -> ServerStats {
         let b = &self.batcher.counters;
         let j = &self.jobs.counters;
+        let l = self.store.log_stats();
         ServerStats {
             eval_requests: b.eval_requests.load(Ordering::Relaxed),
             eval_batches: b.eval_batches.load(Ordering::Relaxed),
@@ -108,6 +121,12 @@ impl Shared {
             jobs_submitted: j.submitted.load(Ordering::Relaxed),
             jobs_completed: j.completed.load(Ordering::Relaxed),
             jobs_failed: j.failed.load(Ordering::Relaxed),
+            wal_appends: l.wal_appends,
+            wal_bytes: l.wal_bytes,
+            snapshots: l.snapshots,
+            recovered_versions: l.recovered_versions,
+            recovered_wal_records: l.recovered_wal_records,
+            torn_tail_bytes: l.torn_tail_bytes,
         }
     }
 }
@@ -162,6 +181,11 @@ impl ServerHandle {
         for t in self.job_workers.drain(..) {
             panicked |= t.join().is_err();
         }
+        // Every queued repair has now published; flush the version log so
+        // the drain leaves nothing buffered.
+        if let Err(e) = self.shared.store.flush_log() {
+            eprintln!("prdnn-serve: version-log flush on drain failed: {e}");
+        }
         // Only now unblock connection handlers still waiting for frames.
         for (_, conn) in self.shared.conns.lock().unwrap().drain() {
             let _ = conn.shutdown(std::net::Shutdown::Both);
@@ -186,7 +210,29 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
     let pool = Arc::new(prdnn_par::pool_for(config.threads));
-    let store = Arc::new(ModelStore::new());
+    // Recovery happens here, before the accept loop exists: the first
+    // client can already resolve every version acknowledged before the
+    // last shutdown or crash.
+    let store = match &config.store_dir {
+        None => Arc::new(ModelStore::new()),
+        Some(dir) => {
+            let wal = crate::wal::WalLog::open(dir, config.snapshot_every)
+                .map_err(|e| io::Error::other(e.to_string()))?;
+            let report = wal.recovery_report();
+            if report.versions > 0 || report.torn_tail_bytes > 0 {
+                eprintln!(
+                    "prdnn-serve: recovered {} version(s) of {} model(s) from {} \
+                     ({} from the WAL tail, {} torn byte(s) dropped)",
+                    report.versions,
+                    report.models,
+                    dir.display(),
+                    report.wal_records,
+                    report.torn_tail_bytes
+                );
+            }
+            Arc::new(ModelStore::with_log(Arc::new(wal)))
+        }
+    };
     let batcher = Arc::new(Batcher::new(Arc::clone(&pool), config.batch_queue_cap));
     let jobs = Arc::new(JobQueue::new(
         Arc::clone(&store),
@@ -379,6 +425,7 @@ fn store_error(e: &StoreError) -> Response {
         StoreError::UnknownModel(_) => ErrorKind::UnknownModel,
         StoreError::UnknownVersion(..) => ErrorKind::UnknownVersion,
         StoreError::AlreadyExists(_) => ErrorKind::BadRequest,
+        StoreError::Durability(_) => ErrorKind::Internal,
     };
     Response::Error {
         kind,
@@ -517,6 +564,17 @@ fn handle_request(shared: &Arc<Shared>, request: Request) -> Response {
             crate::jobs::StatusLookup::NeverIssued => Response::Error {
                 kind: ErrorKind::UnknownJob,
                 message: format!("job {job} was never issued"),
+            },
+        },
+        Request::GetNetwork { model } => match shared.store.resolve(&model) {
+            Err(e) => store_error(&e),
+            Ok(v) => Response::Network {
+                name: v.name.clone(),
+                version: v.version,
+                source: v.source.clone(),
+                activation: prdnn_nn::network_to_json(v.ddnn.activation_network()),
+                value: prdnn_nn::network_to_json(v.ddnn.value_network()),
+                provenance: v.provenance.as_ref().map(|p| p.to_json()),
             },
         },
         Request::ListModels => Response::Models(shared.store.list()),

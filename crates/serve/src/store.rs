@@ -3,156 +3,27 @@
 //! A stored model is a *name* plus an append-only chain of immutable
 //! [`ModelVersion`]s.  Version 1 is the loaded network; every successful
 //! repair publishes version `N+1` with the repair's
-//! [`RepairProvenance`].  Nothing is ever mutated or removed: an eval
-//! pinned to `name@v2` keeps answering from version 2 forever, and
-//! `name@latest` moves atomically when a repair lands.
+//! [`RepairProvenance`](prdnn_core::RepairProvenance).  Nothing is ever
+//! mutated or removed: an eval pinned to `name@v2` keeps answering from
+//! version 2 forever, and `name@latest` moves atomically when a repair
+//! lands.
 //!
-//! # Lock-freedom
-//!
-//! Readers resolve `latest` through an **arc-swap-style atomic head
-//! pointer**: each entry keeps its versions in an intrusive linked list of
-//! heap nodes whose head is an [`AtomicPtr`].  Publishing allocates a node
-//! and stores the new head (writers are serialised by a small mutex);
-//! resolving loads the head with `Acquire` and walks `prev` pointers.  The
-//! safety argument is containment, not hazard pointers: **nodes are only
-//! freed when the entry itself drops**, so any pointer loaded from the
-//! head is valid for as long as the reader can hold it (readers access
-//! entries through `Arc<ModelEntry>`).  This is the same immortal-snapshot
-//! trade `arc-swap`'s cache layer makes, and it is exactly right here: all
-//! versions must stay resolvable by `name@vN` anyway, so retaining them is
-//! a feature, not a leak.
+//! The store no longer owns the version chains directly: they live in the
+//! [`VersionLog`] backend ([`crate::version_log`]), which is either the
+//! in-memory [`MemoryLog`] (the original behaviour) or the durable
+//! [`crate::wal::WalLog`].  Every publish is **write-ahead**: the log
+//! records the version (fsync for the WAL backend) before the new chain
+//! head is stored, so an acknowledged publish survives a crash.  Reads are
+//! unchanged and lock-free (see the `version_log` module docs for the
+//! safety argument).
 
 use prdnn_core::{DecoupledNetwork, RepairProvenance};
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicPtr, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex};
 
 use crate::protocol::ModelRef;
+use crate::version_log::{LogStats, MemoryLog, ModelEntry, VersionLog};
 
-/// One immutable published version of a model.
-#[derive(Debug)]
-pub struct ModelVersion {
-    /// The model's store name.
-    pub name: String,
-    /// The version number (1 = the loaded model).
-    pub version: u32,
-    /// The network, in decoupled form (version 1 has identical activation
-    /// and value channels; repaired versions differ in one value layer).
-    pub ddnn: DecoupledNetwork,
-    /// Where this version came from: a generator spec, `"network-json"`,
-    /// or `"repair of <name>@v<N>"`.
-    pub source: String,
-    /// Repair provenance (`None` for loaded versions).
-    pub provenance: Option<RepairProvenance>,
-}
-
-/// A node in an entry's append-only version chain.
-struct VersionNode {
-    version: Arc<ModelVersion>,
-    /// The previously published version (null for version 1).
-    prev: *mut VersionNode,
-}
-
-/// One named model: an atomic head pointer into its version chain.
-pub struct ModelEntry {
-    name: String,
-    /// Arc-swap-style latest pointer; see the module docs for the safety
-    /// argument.
-    head: AtomicPtr<VersionNode>,
-    /// Serialises publishers (readers never take it).
-    publish_lock: Mutex<()>,
-}
-
-// SAFETY: the raw pointers only ever reference nodes owned by this entry's
-// chain, which are allocated before being made reachable and freed only in
-// `Drop`; all mutation of `head` is a single atomic store under
-// `publish_lock`.
-unsafe impl Send for ModelEntry {}
-unsafe impl Sync for ModelEntry {}
-
-impl ModelEntry {
-    fn new(name: String) -> Self {
-        ModelEntry {
-            name,
-            head: AtomicPtr::new(std::ptr::null_mut()),
-            publish_lock: Mutex::new(()),
-        }
-    }
-
-    /// The latest published version (lock-free).
-    ///
-    /// # Panics
-    ///
-    /// Panics if called before the first publish (the store never exposes
-    /// an entry in that state).
-    pub fn latest(&self) -> Arc<ModelVersion> {
-        let head = self.head.load(Ordering::Acquire);
-        assert!(!head.is_null(), "model entry exposed before first publish");
-        // SAFETY: `head` points into this entry's chain; nodes live until
-        // the entry drops, and `&self` keeps the entry alive.
-        Arc::clone(unsafe { &(*head).version })
-    }
-
-    /// Every published version in one chain walk, oldest first
-    /// (lock-free, O(versions)).
-    pub fn all_versions(&self) -> Vec<Arc<ModelVersion>> {
-        let mut out = Vec::new();
-        let mut node = self.head.load(Ordering::Acquire);
-        while !node.is_null() {
-            // SAFETY: as in `latest`.
-            let r = unsafe { &*node };
-            out.push(Arc::clone(&r.version));
-            node = r.prev;
-        }
-        out.reverse();
-        out
-    }
-
-    /// Resolves a specific version by walking the chain from the head
-    /// (lock-free; chains are as long as the number of repairs published).
-    pub fn resolve_version(&self, version: u32) -> Option<Arc<ModelVersion>> {
-        let mut node = self.head.load(Ordering::Acquire);
-        while !node.is_null() {
-            // SAFETY: as in `latest`.
-            let r = unsafe { &*node };
-            if r.version.version == version {
-                return Some(Arc::clone(&r.version));
-            }
-            node = r.prev;
-        }
-        None
-    }
-
-    /// Publishes `build`'s version as the new head, assigning it the next
-    /// version number.  Returns the published version.
-    fn publish_with(&self, build: impl FnOnce(u32) -> ModelVersion) -> Arc<ModelVersion> {
-        let _guard = self.publish_lock.lock().unwrap();
-        let prev = self.head.load(Ordering::Relaxed);
-        let next_version = if prev.is_null() {
-            1
-        } else {
-            // SAFETY: as in `latest`.
-            unsafe { &*prev }.version.version + 1
-        };
-        let version = Arc::new(build(next_version));
-        let published = Arc::clone(&version);
-        let node = Box::into_raw(Box::new(VersionNode { version, prev }));
-        self.head.store(node, Ordering::Release);
-        published
-    }
-}
-
-impl Drop for ModelEntry {
-    fn drop(&mut self) {
-        let mut node = *self.head.get_mut();
-        while !node.is_null() {
-            // SAFETY: chain nodes are uniquely owned by the entry and only
-            // freed here, exactly once.
-            let boxed = unsafe { Box::from_raw(node) };
-            node = boxed.prev;
-        }
-    }
-}
+pub use crate::version_log::ModelVersion;
 
 /// Errors returned by store lookups and loads.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -163,6 +34,9 @@ pub enum StoreError {
     UnknownVersion(String, u32),
     /// A load targeted a name that is already taken.
     AlreadyExists(String),
+    /// The version log refused the publish — nothing was published, so the
+    /// store never acknowledges data the log did not make durable.
+    Durability(String),
 }
 
 impl std::fmt::Display for StoreError {
@@ -175,26 +49,44 @@ impl std::fmt::Display for StoreError {
             StoreError::AlreadyExists(name) => {
                 write!(f, "model {name:?} already exists (versions are immutable)")
             }
+            StoreError::Durability(m) => write!(f, "publish not durable: {m}"),
         }
     }
 }
 
 impl std::error::Error for StoreError {}
 
-/// The versioned model store.
-#[derive(Default)]
+/// The versioned model store: a thin façade over a [`VersionLog`].
 pub struct ModelStore {
-    /// Name → entry.  Read-mostly: loads of *new* models take the write
-    /// lock; every other operation takes the read lock just long enough to
-    /// clone an `Arc<ModelEntry>`, and all version resolution inside an
-    /// entry is lock-free.
-    entries: RwLock<HashMap<String, Arc<ModelEntry>>>,
+    log: Arc<dyn VersionLog>,
+    /// Serialises publishes *across* models.  Each entry's own lock already
+    /// serialises per-model publishers; this outer lock additionally makes
+    /// the (log append → chain insert) pair atomic with respect to the
+    /// snapshot collection in [`VersionLog::after_publish`], so a snapshot
+    /// can never miss an appended-but-not-yet-visible version.
+    publish_order: Mutex<()>,
+}
+
+impl Default for ModelStore {
+    fn default() -> Self {
+        ModelStore::new()
+    }
 }
 
 impl ModelStore {
-    /// Creates an empty store.
+    /// Creates an empty in-memory store (a [`MemoryLog`] backend).
     pub fn new() -> Self {
-        ModelStore::default()
+        ModelStore::with_log(Arc::new(MemoryLog::new()))
+    }
+
+    /// Creates a store over an explicit log backend.  The backend may
+    /// already hold recovered chains (the WAL backend replays its snapshot
+    /// and WAL tail in `open`).
+    pub fn with_log(log: Arc<dyn VersionLog>) -> Self {
+        ModelStore {
+            log,
+            publish_order: Mutex::new(()),
+        }
     }
 
     /// Loads a network under a new name, publishing it as version 1.
@@ -203,34 +95,43 @@ impl ModelStore {
     ///
     /// [`StoreError::AlreadyExists`] if the name is taken — published
     /// versions are immutable, so re-loading cannot silently replace them.
+    /// [`StoreError::Durability`] if the log refused the record.
     pub fn load(
         &self,
         name: &str,
         ddnn: DecoupledNetwork,
         source: String,
     ) -> Result<Arc<ModelVersion>, StoreError> {
-        let mut entries = self.entries.write().unwrap();
-        if entries.contains_key(name) {
+        let _order = self.publish_order.lock().unwrap();
+        let chains = self.log.chains();
+        if chains.contains(name) {
             return Err(StoreError::AlreadyExists(name.to_owned()));
         }
+        // Publish into a detached entry first: the map only ever exposes
+        // entries that hold at least one version.
         let entry = Arc::new(ModelEntry::new(name.to_owned()));
-        let published = entry.publish_with(|version| ModelVersion {
-            name: name.to_owned(),
-            version,
-            ddnn,
-            source,
-            provenance: None,
-        });
-        entries.insert(name.to_owned(), entry);
+        let published = entry
+            .publish_logged(self.log.as_ref(), |version| ModelVersion {
+                name: name.to_owned(),
+                version,
+                ddnn,
+                source,
+                provenance: None,
+            })
+            .map_err(|e| StoreError::Durability(e.to_string()))?;
+        chains.insert(entry);
+        self.compact_if_due();
         Ok(published)
     }
 
     /// Publishes a repaired network as the next version of an existing
-    /// model.
+    /// model.  Returns only once the version is as durable as the log
+    /// backend promises — callers may acknowledge it to clients.
     ///
     /// # Errors
     ///
-    /// [`StoreError::UnknownModel`] if the model was never loaded.
+    /// [`StoreError::UnknownModel`] if the model was never loaded;
+    /// [`StoreError::Durability`] if the log refused the record.
     pub fn publish_repair(
         &self,
         name: &str,
@@ -238,14 +139,28 @@ impl ModelStore {
         source: String,
         provenance: RepairProvenance,
     ) -> Result<Arc<ModelVersion>, StoreError> {
+        let _order = self.publish_order.lock().unwrap();
         let entry = self.entry(name)?;
-        Ok(entry.publish_with(|version| ModelVersion {
-            name: name.to_owned(),
-            version,
-            ddnn,
-            source,
-            provenance: Some(provenance),
-        }))
+        let published = entry
+            .publish_logged(self.log.as_ref(), |version| ModelVersion {
+                name: name.to_owned(),
+                version,
+                ddnn,
+                source,
+                provenance: Some(provenance),
+            })
+            .map_err(|e| StoreError::Durability(e.to_string()))?;
+        self.compact_if_due();
+        Ok(published)
+    }
+
+    /// Runs the backend's snapshot/compaction policy.  Failures do not
+    /// invalidate the publish (its WAL record is already durable) but are
+    /// loud: losing compaction silently would grow the WAL without bound.
+    fn compact_if_due(&self) {
+        if let Err(e) = self.log.after_publish() {
+            eprintln!("prdnn-serve: snapshot/compaction failed: {e}");
+        }
     }
 
     /// Resolves a model reference to a version.
@@ -263,15 +178,10 @@ impl ModelStore {
         }
     }
 
-    /// `(name, latest_version)` for every stored model, sorted by name.
+    /// `(name, latest_version)` for every stored model, sorted by name —
+    /// deterministic across runs and across recovery.
     pub fn list(&self) -> Vec<(String, u32)> {
-        let entries = self.entries.read().unwrap();
-        let mut out: Vec<(String, u32)> = entries
-            .values()
-            .map(|e| (e.name.clone(), e.latest().version))
-            .collect();
-        out.sort();
-        out
+        self.log.chains().list()
     }
 
     /// Every version of one model, oldest first.
@@ -283,12 +193,27 @@ impl ModelStore {
         Ok(self.entry(name)?.all_versions())
     }
 
+    /// Flushes the log backend (graceful drain calls this after the last
+    /// queued repair has published).
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend I/O failures.
+    pub fn flush_log(&self) -> Result<(), StoreError> {
+        self.log
+            .flush()
+            .map_err(|e| StoreError::Durability(e.to_string()))
+    }
+
+    /// The log backend's durability counters.
+    pub fn log_stats(&self) -> LogStats {
+        self.log.stats()
+    }
+
     fn entry(&self, name: &str) -> Result<Arc<ModelEntry>, StoreError> {
-        self.entries
-            .read()
-            .unwrap()
+        self.log
+            .chains()
             .get(name)
-            .cloned()
             .ok_or_else(|| StoreError::UnknownModel(name.to_owned()))
     }
 }
@@ -353,6 +278,27 @@ mod tests {
             versions.iter().map(|v| v.version).collect::<Vec<_>>(),
             vec![1, 2]
         );
+    }
+
+    #[test]
+    fn list_is_sorted_by_name_regardless_of_load_order() {
+        // Pinned: list responses over the wire must be deterministic across
+        // runs (and across recovery), so `list()` sorts — never exposes
+        // HashMap iteration order.
+        let store = ModelStore::new();
+        for name in ["zebra", "alpha", "mid", "Alpha", "a0"] {
+            store.load(name, ddnn("n1"), "n1".into()).unwrap();
+        }
+        store
+            .publish_repair("mid", ddnn("n1"), "repair of mid@v1".into(), provenance())
+            .unwrap();
+        let listed = store.list();
+        let names: Vec<&str> = listed.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["Alpha", "a0", "alpha", "mid", "zebra"]);
+        let mut sorted = listed.clone();
+        sorted.sort();
+        assert_eq!(listed, sorted);
+        assert_eq!(listed[3], ("mid".to_owned(), 2));
     }
 
     #[test]

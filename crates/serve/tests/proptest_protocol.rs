@@ -127,6 +127,7 @@ fn request() -> impl Strategy<Value = Request> {
         lin,
         repair,
         (0u64..u64::from(u32::MAX)).prop_map(|job| Request::JobStatus { job }),
+        model_ref().prop_map(|model| Request::GetNetwork { model }),
         Just(Request::ListModels),
         name().prop_map(|n| Request::ListVersions { name: n }),
         Just(Request::Stats),
@@ -184,6 +185,27 @@ fn response() -> impl Strategy<Value = Response> {
                 .collect(),
         )
     });
+    let network = (name(), 1u32..9, 0usize..2, wire_f64()).prop_map(|(n, v, with_prov, w)| {
+        // Real network/provenance documents ride this response; arbitrary
+        // JSON values stand in for them here — the codec must pass them
+        // through untouched.
+        let channel = |tag: f64| {
+            serde::json::Value::obj([
+                ("layers", serde::json::Value::num_array(&[w, tag, -w])),
+                ("kind", serde::json::Value::Str(format!("stub-{n}"))),
+            ])
+        };
+        Response::Network {
+            name: n.clone(),
+            version: v,
+            source: format!("source-{v}"),
+            activation: channel(1.0),
+            value: channel(2.0),
+            provenance: (with_prov > 0).then(|| {
+                serde::json::Value::obj([("spec_hash", serde::json::Value::Str("0xdead".into()))])
+            }),
+        }
+    });
     let error = (0usize..8, name()).prop_map(|(k, message)| Response::Error {
         kind: [
             ErrorKind::UnknownModel,
@@ -222,7 +244,14 @@ fn response() -> impl Strategy<Value = Response> {
             jobs_submitted: a / 2,
             jobs_completed: a / 3,
             jobs_failed: a / 7,
+            wal_appends: a + b,
+            wal_bytes: a * 1000 + b,
+            snapshots: b / 5,
+            recovered_versions: a / 4,
+            recovered_wal_records: a / 8,
+            torn_tail_bytes: b * 13,
         })),
+        network,
         Just(Response::ShuttingDown),
         error,
     ]
