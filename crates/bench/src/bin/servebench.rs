@@ -21,13 +21,21 @@
 //!   measured cold-start `recovery_ms` from a fresh server on the same
 //!   directory).
 //!
+//! A fourth, opt-in mix measures **availability under wire chaos**:
+//! `--mix chaos` runs an eval workload through a [`ChaosProxy`] across a
+//! sweep of fault regimes (fault-free baseline, then delay, corrupt,
+//! drop, sever, and everything at once), with every client wrapped in a
+//! [`RetryingClient`].  Its report is per regime: success rate, retry /
+//! reconnect / give-up counts, server-side sheds, and p50/p99 latency
+//! *including* retries.
+//!
 //! Output is a JSON report (stdout, and `--out FILE`) with achieved
 //! throughput and latency percentiles per mix, following the repo's
 //! `BENCH_*.json` conventions.
 //!
 //! ```text
 //! servebench [--secs N] [--rate RPS] [--clients N] [--threads N]
-//!            [--mix eval|repair|durable|both] [--addr HOST:PORT]
+//!            [--mix eval|repair|durable|both|chaos] [--addr HOST:PORT]
 //!            [--store-dir DIR] [--out FILE]
 //! ```
 //!
@@ -37,9 +45,11 @@
 //! the target server's own configuration.
 
 use prdnn_core::{OutputPolytope, PointSpec, RepairConfig};
+use prdnn_serve::chaos::{ChaosConfig, ChaosProxy};
 use prdnn_serve::client::Client;
 use prdnn_serve::protocol::{ErrorKind, ModelRef};
 use prdnn_serve::server::{serve, ServerConfig, ServerHandle};
+use prdnn_serve::{RetryPolicy, RetryingClient};
 use serde::json::Value;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -350,6 +360,246 @@ fn run_mix(
     }
 }
 
+/// One availability measurement: an eval workload pushed through a chaos
+/// proxy under one fault regime, every client behind a retry policy.
+struct ChaosRegimeReport {
+    regime: &'static str,
+    elapsed: Duration,
+    sent: u64,
+    ok: u64,
+    retries: u64,
+    reconnects: u64,
+    giveups: u64,
+    /// Server-side load shedding during the run: queue-full rejections
+    /// plus connections turned away at the cap.
+    sheds: u64,
+    io_timeouts: u64,
+    /// Proxy's own ledger: (connections, delayed, corrupted, dropped,
+    /// truncated, severed).
+    proxy: (u64, u64, u64, u64, u64, u64),
+    latencies_ms: Vec<f64>,
+}
+
+/// The fault-regime sweep: a fault-free baseline, each fault family in
+/// isolation, then everything at once.  Per-mille rates are aggressive
+/// enough that a few-second run sees every family fire.
+fn chaos_regimes() -> Vec<(&'static str, ChaosConfig)> {
+    vec![
+        ("fault_free", ChaosConfig::fault_free(1)),
+        (
+            "delay",
+            ChaosConfig {
+                delay_per_mille: 300,
+                max_delay_ms: 10,
+                ..ChaosConfig::fault_free(2)
+            },
+        ),
+        (
+            "corrupt",
+            ChaosConfig {
+                corrupt_per_mille: 60,
+                ..ChaosConfig::fault_free(3)
+            },
+        ),
+        (
+            "drop",
+            ChaosConfig {
+                drop_per_mille: 60,
+                ..ChaosConfig::fault_free(4)
+            },
+        ),
+        (
+            "sever",
+            ChaosConfig {
+                sever_per_mille: 40,
+                ..ChaosConfig::fault_free(5)
+            },
+        ),
+        (
+            "all_faults",
+            ChaosConfig {
+                sever_per_mille: 25,
+                truncate_per_mille: 25,
+                corrupt_per_mille: 40,
+                drop_per_mille: 40,
+                delay_per_mille: 150,
+                max_delay_ms: 10,
+                ..ChaosConfig::fault_free(6)
+            },
+        ),
+    ]
+}
+
+/// Runs the eval workload through a chaos proxy under one fault regime
+/// against a fresh in-process server, and reports availability.
+fn run_chaos_regime(regime: &'static str, args: &Args, config: ChaosConfig) -> ChaosRegimeReport {
+    let handle = serve(ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        max_connections: args.clients + 8,
+        // Short enough that severed-mid-frame connections free their
+        // slots well within the run.
+        io_timeout_ms: 2_000,
+        ..ServerConfig::default()
+    })
+    .expect("ephemeral bind");
+    {
+        let mut setup = Client::connect(handle.addr()).expect("connect for setup");
+        setup
+            .load_generator("bench-eval", "mlp:31:8x24x24x5")
+            .expect("load eval model");
+    }
+    let mut proxy = ChaosProxy::start(handle.addr(), config).expect("start chaos proxy");
+    let proxy_addr = proxy.addr();
+
+    let duration = Duration::from_secs(args.secs.max(1));
+    let start = Instant::now();
+    let per_client_rate = (args.rate as f64 / args.clients as f64).max(0.1);
+    let clients = args.clients;
+    let workers: Vec<_> = (0..args.clients)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let mut client = RetryingClient::new(
+                    proxy_addr,
+                    RetryPolicy {
+                        max_attempts: 8,
+                        base_delay: Duration::from_millis(5),
+                        max_delay: Duration::from_millis(100),
+                        jitter_per_mille: 200,
+                        seed: 100 + c as u64,
+                    },
+                    Duration::from_secs(1),
+                );
+                let mut latencies = Vec::new();
+                let (mut sent, mut ok) = (0u64, 0u64);
+                let interval = Duration::from_secs_f64(1.0 / per_client_rate);
+                let phase = interval.mul_f64(c as f64 / clients as f64);
+                let mut k = 0u64;
+                loop {
+                    let scheduled = start + phase + interval * (k as u32);
+                    if scheduled.duration_since(start) >= duration {
+                        break;
+                    }
+                    if let Some(wait) = scheduled.checked_duration_since(Instant::now()) {
+                        std::thread::sleep(wait);
+                    }
+                    sent += 1;
+                    let inputs: Vec<Vec<f64>> = vec![(0..8)
+                        .map(|i| (k * 8 + i) as f64 * 0.03 % 1.0 - 0.5)
+                        .collect()];
+                    if client
+                        .eval(
+                            &ModelRef::latest("bench-eval"),
+                            &inputs,
+                            Some(1_000),
+                            Duration::from_secs(2),
+                        )
+                        .is_ok()
+                    {
+                        ok += 1;
+                        // Latency from the scheduled arrival, retries and
+                        // backoff sleeps included: availability pricing.
+                        latencies.push(scheduled.elapsed().as_secs_f64() * 1e3);
+                    }
+                    k += 1;
+                }
+                (sent, ok, latencies, client.stats)
+            })
+        })
+        .collect();
+
+    let (mut sent, mut ok) = (0u64, 0u64);
+    let (mut retries, mut reconnects, mut giveups) = (0u64, 0u64, 0u64);
+    let mut latencies_ms: Vec<f64> = Vec::new();
+    for w in workers {
+        let (s, o, lats, stats) = w.join().expect("chaos client thread panicked");
+        sent += s;
+        ok += o;
+        latencies_ms.extend(lats);
+        retries += stats.retries;
+        reconnects += stats.reconnects;
+        giveups += stats.giveups;
+    }
+    let elapsed = start.elapsed();
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+
+    // Stats and shutdown over a *direct* connection — the report must not
+    // depend on a stats frame surviving the proxy.
+    let mut teardown = Client::connect(handle.addr()).expect("connect for teardown");
+    let stats = teardown.stats().expect("server stats");
+    teardown.shutdown_server().expect("shutdown");
+    drop(teardown);
+    handle.join().expect("server drain");
+    let counters = proxy.counters();
+    let proxy_counts = (
+        counters.connections.load(Ordering::Relaxed),
+        counters.delayed.load(Ordering::Relaxed),
+        counters.corrupted.load(Ordering::Relaxed),
+        counters.dropped.load(Ordering::Relaxed),
+        counters.truncated.load(Ordering::Relaxed),
+        counters.severed.load(Ordering::Relaxed),
+    );
+    proxy.shutdown();
+
+    ChaosRegimeReport {
+        regime,
+        elapsed,
+        sent,
+        ok,
+        retries,
+        reconnects,
+        giveups,
+        sheds: stats.batch_shed + stats.jobs_shed + stats.conns_rejected,
+        io_timeouts: stats.io_timeouts,
+        proxy: proxy_counts,
+        latencies_ms,
+    }
+}
+
+fn chaos_report_to_json(r: &ChaosRegimeReport, args: &Args) -> Value {
+    Value::obj([
+        ("regime", Value::Str(r.regime.to_owned())),
+        ("offered_rps", Value::Num(args.rate as f64)),
+        ("duration_s", Value::Num(r.elapsed.as_secs_f64())),
+        ("sent", Value::Num(r.sent as f64)),
+        ("completed", Value::Num(r.ok as f64)),
+        (
+            "success_rate",
+            Value::Num(if r.sent == 0 {
+                0.0
+            } else {
+                r.ok as f64 / r.sent as f64
+            }),
+        ),
+        ("retries", Value::Num(r.retries as f64)),
+        ("reconnects", Value::Num(r.reconnects as f64)),
+        ("giveups", Value::Num(r.giveups as f64)),
+        ("sheds", Value::Num(r.sheds as f64)),
+        ("io_timeouts", Value::Num(r.io_timeouts as f64)),
+        (
+            "proxy",
+            Value::obj([
+                ("connections", Value::Num(r.proxy.0 as f64)),
+                ("delayed", Value::Num(r.proxy.1 as f64)),
+                ("corrupted", Value::Num(r.proxy.2 as f64)),
+                ("dropped", Value::Num(r.proxy.3 as f64)),
+                ("truncated", Value::Num(r.proxy.4 as f64)),
+                ("severed", Value::Num(r.proxy.5 as f64)),
+            ]),
+        ),
+        (
+            "latency_ms",
+            Value::obj([
+                ("p50", Value::Num(percentile(&r.latencies_ms, 0.50))),
+                ("p99", Value::Num(percentile(&r.latencies_ms, 0.99))),
+                (
+                    "max",
+                    Value::Num(r.latencies_ms.last().copied().unwrap_or(0.0)),
+                ),
+            ]),
+        ),
+    ])
+}
+
 fn report_to_json(report: &MixReport, args: &Args) -> Value {
     let mut pairs = vec![
         ("mix", Value::Str(report.name.to_owned())),
@@ -444,9 +694,30 @@ fn main() {
             let _ = std::fs::remove_dir_all(&dir);
         }
     }
+    let mut chaos_reports = Vec::new();
+    if args.mix == "chaos" {
+        assert!(
+            args.addr.is_none(),
+            "--mix chaos drives its own in-process server; drop --addr"
+        );
+        for (regime, config) in chaos_regimes() {
+            eprintln!("servebench: chaos regime {regime}");
+            let report = run_chaos_regime(regime, &args, config);
+            assert!(report.ok > 0, "{regime}: no request survived the chaos");
+            chaos_reports.push(report);
+        }
+        // The baseline regime runs through the (fault-free) proxy and the
+        // retry wrapper: anything lost there is a bug, not chaos.
+        let baseline = &chaos_reports[0];
+        assert_eq!(
+            baseline.ok + baseline.giveups,
+            baseline.sent,
+            "fault-free regime lost requests without a give-up"
+        );
+    }
     assert!(
-        !reports.is_empty(),
-        "--mix must be eval, repair, durable, or both (got {:?})",
+        !reports.is_empty() || !chaos_reports.is_empty(),
+        "--mix must be eval, repair, durable, both, or chaos (got {:?})",
         args.mix
     );
     for report in &reports {
@@ -459,14 +730,26 @@ fn main() {
         assert!(report.ok > 0, "{}: no request completed", report.name);
     }
 
-    let doc = Value::obj([
+    let mut doc_pairs = vec![
         ("bench", Value::Str("servebench".to_owned())),
         ("threads", Value::Num(prdnn_par::default_threads() as f64)),
         (
             "mixes",
             Value::Arr(reports.iter().map(|r| report_to_json(r, &args)).collect()),
         ),
-    ]);
+    ];
+    if !chaos_reports.is_empty() {
+        doc_pairs.push((
+            "chaos",
+            Value::Arr(
+                chaos_reports
+                    .iter()
+                    .map(|r| chaos_report_to_json(r, &args))
+                    .collect(),
+            ),
+        ));
+    }
+    let doc = Value::obj(doc_pairs);
     let json = doc.to_json();
     println!("{json}");
     if let Some(path) = &args.out {

@@ -24,7 +24,7 @@ use prdnn_par::PoolRef;
 use prdnn_syrenn::LinearRegion;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::Instant;
 
 /// One batched call's payload.
@@ -82,6 +82,9 @@ pub struct BatchCounters {
     pub gulp_items: AtomicU64,
     /// Largest single gulp observed.
     pub max_gulp: AtomicU64,
+    /// Items rejected at submission because the queue was full (load
+    /// shedding — each one surfaced a typed `overloaded` to its client).
+    pub shed: AtomicU64,
 }
 
 /// The coalescing batcher; see the module docs.
@@ -124,7 +127,13 @@ impl Batcher {
     ) -> Result<Receiver<Reply>, (ErrorKind, String)> {
         let (tx, rx) = std::sync::mpsc::channel();
         {
-            let mut state = self.state.lock().unwrap();
+            // A poisoned queue lock means a submitter panicked mid-push
+            // (never observed; pushes are infallible) — the queue contents
+            // are suspect, so fail this request typed rather than guess.
+            let mut state = self
+                .state
+                .lock()
+                .map_err(|_| (ErrorKind::Internal, "batch queue lock poisoned".to_owned()))?;
             if state.shutdown {
                 return Err((
                     ErrorKind::ShuttingDown,
@@ -132,6 +141,7 @@ impl Batcher {
                 ));
             }
             if state.queue.len() >= self.cap {
+                self.counters.shed.fetch_add(1, Ordering::Relaxed);
                 return Err((
                     ErrorKind::Overloaded,
                     format!("batch queue full ({} pending items)", self.cap),
@@ -157,9 +167,12 @@ impl Batcher {
     pub fn worker_loop(self: &Arc<Self>) {
         loop {
             let (batch, shutdown) = {
-                let mut state = self.state.lock().unwrap();
+                // The worker recovers from poison: draining a suspect queue
+                // at worst answers stale items, whereas a dead worker
+                // deadlocks every submitter already blocked on a reply.
+                let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
                 while state.queue.is_empty() && !state.shutdown {
-                    state = self.cv.wait(state).unwrap();
+                    state = self.cv.wait(state).unwrap_or_else(PoisonError::into_inner);
                 }
                 (std::mem::take(&mut state.queue), state.shutdown)
             };
@@ -181,7 +194,13 @@ impl Batcher {
     /// (used by tests to pin coalescing deterministically).  Returns the
     /// number of items processed.
     pub fn drain_once(&self) -> usize {
-        let batch = std::mem::take(&mut self.state.lock().unwrap().queue);
+        let batch = std::mem::take(
+            &mut self
+                .state
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .queue,
+        );
         let n = batch.len();
         self.run_batch(batch);
         n
@@ -190,7 +209,10 @@ impl Batcher {
     /// Begins shutdown: rejects new submissions and wakes the worker to
     /// drain the remainder.
     pub fn shutdown(&self) {
-        self.state.lock().unwrap().shutdown = true;
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .shutdown = true;
         self.cv.notify_all();
     }
 

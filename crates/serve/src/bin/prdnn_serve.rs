@@ -3,7 +3,8 @@
 //! ```text
 //! prdnn-serve [--addr HOST:PORT] [--threads N] [--max-connections N]
 //!             [--batch-queue N] [--job-queue N] [--repair-workers N]
-//!             [--deadline-ms MS] [--store-dir DIR] [--snapshot-every N]
+//!             [--deadline-ms MS] [--io-timeout-ms MS] [--store-dir DIR]
+//!             [--snapshot-every N] [--fault-wal SPEC]
 //!             [--preload NAME=GENERATOR]...
 //! ```
 //!
@@ -17,6 +18,13 @@
 //! model and version (with provenance) before accepting connections.
 //! `--snapshot-every N` compacts the WAL into `snapshot.json` every `N`
 //! publishes (default 64; `0` disables compaction).
+//!
+//! `--io-timeout-ms MS` bounds how long a connection may sit idle
+//! mid-request before it is reaped and its slot freed (slowloris
+//! defense; default 30000, `0` disables).  `--fault-wal SPEC` injects
+//! deterministic storage faults into the WAL for resilience testing,
+//! e.g. `--fault-wal seed=7,fsync=50,enospc@3` (see
+//! [`prdnn_serve::faults::FaultInjector`]); never use it in production.
 
 use prdnn_serve::server::{serve, ServerConfig};
 use std::process::ExitCode;
@@ -44,6 +52,14 @@ fn main() -> ExitCode {
             "--deadline-ms" => {
                 parse(take("--deadline-ms")).map(|n| config.default_deadline_ms = n as u64)
             }
+            "--io-timeout-ms" => {
+                // 0 is meaningful here: never time a connection out.
+                take("--io-timeout-ms").and_then(|v| {
+                    v.parse::<u64>()
+                        .map(|n| config.io_timeout_ms = n)
+                        .map_err(|_| format!("expected a non-negative integer, got {v:?}"))
+                })
+            }
             "--store-dir" => {
                 take("--store-dir").map(|v| config.store_dir = Some(std::path::PathBuf::from(v)))
             }
@@ -55,6 +71,13 @@ fn main() -> ExitCode {
                         .map_err(|_| format!("expected a non-negative integer, got {v:?}"))
                 })
             }
+            "--fault-wal" => take("--fault-wal").and_then(|v| {
+                // Validate the spec up front so a typo fails the launch,
+                // not the first publish.
+                prdnn_serve::faults::FaultInjector::parse(&v)
+                    .map(|_| config.wal_fault_spec = Some(v))
+                    .map_err(|e| format!("--fault-wal: {e}"))
+            }),
             "--preload" => take("--preload").and_then(|v| {
                 v.split_once('=')
                     .map(|(name, generator)| preloads.push((name.to_owned(), generator.to_owned())))
@@ -64,7 +87,8 @@ fn main() -> ExitCode {
                 println!(
                     "prdnn-serve [--addr HOST:PORT] [--threads N] [--max-connections N]\n\
                      \x20           [--batch-queue N] [--job-queue N] [--repair-workers N]\n\
-                     \x20           [--deadline-ms MS] [--store-dir DIR] [--snapshot-every N]\n\
+                     \x20           [--deadline-ms MS] [--io-timeout-ms MS] [--store-dir DIR]\n\
+                     \x20           [--snapshot-every N] [--fault-wal SPEC]\n\
                      \x20           [--preload NAME=GENERATOR]..."
                 );
                 return ExitCode::SUCCESS;

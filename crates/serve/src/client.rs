@@ -22,6 +22,8 @@ pub enum ClientError {
         kind: ErrorKind,
         /// Human-readable detail.
         message: String,
+        /// Server's backoff hint for retryable errors, when it sent one.
+        retry_after_ms: Option<u64>,
     },
     /// The server answered with a response of the wrong type.
     UnexpectedResponse(String),
@@ -31,7 +33,7 @@ impl std::fmt::Display for ClientError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ClientError::Transport(m) => write!(f, "transport error: {m}"),
-            ClientError::Server { kind, message } => {
+            ClientError::Server { kind, message, .. } => {
                 write!(f, "server error ({kind:?}): {message}")
             }
             ClientError::UnexpectedResponse(m) => write!(f, "unexpected response: {m}"),
@@ -68,6 +70,31 @@ impl Client {
         Ok(Client { stream })
     }
 
+    /// Connects with a bound on how long the TCP handshake may take —
+    /// under fault injection a proxy may accept slowly or not at all, and
+    /// a resilient caller must not block forever on `connect`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures, including the timeout.
+    pub fn connect_timeout(addr: &std::net::SocketAddr, timeout: Duration) -> io::Result<Client> {
+        let stream = TcpStream::connect_timeout(addr, timeout)?;
+        stream.set_nodelay(true).ok();
+        Ok(Client { stream })
+    }
+
+    /// Bounds every socket read and write (`None` removes the bound).  A
+    /// request whose response never arrives then fails as
+    /// [`ClientError::Transport`] instead of hanging the caller.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `setsockopt` failures.
+    pub fn set_io_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)?;
+        self.stream.set_write_timeout(timeout)
+    }
+
     /// Sends one request and reads one response.
     ///
     /// # Errors
@@ -85,7 +112,15 @@ impl Client {
 
     fn expect(&mut self, request: &Request) -> Result<Response, ClientError> {
         match self.request(request)? {
-            Response::Error { kind, message } => Err(ClientError::Server { kind, message }),
+            Response::Error {
+                kind,
+                message,
+                retry_after_ms,
+            } => Err(ClientError::Server {
+                kind,
+                message,
+                retry_after_ms,
+            }),
             response => Ok(response),
         }
     }
@@ -220,21 +255,34 @@ impl Client {
 
     /// Polls a job until it settles (done or failed) or `timeout` passes.
     ///
+    /// Poll spacing backs off exponentially (1 ms doubling to a 64 ms
+    /// ceiling) so a minutes-long repair costs dozens of status requests,
+    /// not tens of thousands, while a fast job is still observed settling
+    /// within a couple of milliseconds.  Each sleep is clamped to the time
+    /// remaining so the deadline overshoots by at most one poll.
+    ///
     /// # Errors
     ///
     /// [`ClientError::Transport`] with a timeout message when the job does
     /// not settle in time; otherwise see [`Client::request`].
     pub fn wait_for_job(&mut self, job: u64, timeout: Duration) -> Result<JobState, ClientError> {
         let deadline = Instant::now() + timeout;
+        let mut attempt = 0u32;
         loop {
             match self.job_status(job)? {
                 state @ (JobState::Done { .. } | JobState::Failed { .. }) => return Ok(state),
-                _ if Instant::now() > deadline => {
-                    return Err(ClientError::Transport(format!(
-                        "job {job} did not settle within {timeout:?}"
-                    )))
+                _ => {
+                    let remaining = deadline.saturating_duration_since(Instant::now());
+                    match poll_delay(attempt, remaining) {
+                        Some(delay) => std::thread::sleep(delay),
+                        None => {
+                            return Err(ClientError::Transport(format!(
+                                "job {job} did not settle within {timeout:?}"
+                            )))
+                        }
+                    }
+                    attempt += 1;
                 }
-                _ => std::thread::sleep(Duration::from_millis(2)),
             }
         }
     }
@@ -310,6 +358,51 @@ impl Client {
     }
 }
 
+/// The sleep before poll `attempt + 1` of [`Client::wait_for_job`]:
+/// `min(1ms << attempt, 64ms)`, clamped to the `remaining` budget.
+/// `None` once the budget is exhausted — time to report the timeout.
+fn poll_delay(attempt: u32, remaining: Duration) -> Option<Duration> {
+    if remaining.is_zero() {
+        return None;
+    }
+    let backoff = Duration::from_millis(1u64 << attempt.min(6));
+    Some(backoff.min(remaining))
+}
+
 fn unexpected(wanted: &str, got: &Response) -> ClientError {
     ClientError::UnexpectedResponse(format!("expected {wanted}, got {got:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poll_schedule_doubles_caps_and_respects_the_deadline() {
+        let budget = Duration::from_secs(60);
+        // Doubling run: 1, 2, 4, 8, 16, 32 ms...
+        for attempt in 0..6 {
+            assert_eq!(
+                poll_delay(attempt, budget),
+                Some(Duration::from_millis(1 << attempt))
+            );
+        }
+        // ...then pinned to the 64 ms ceiling forever.
+        for attempt in [6, 7, 20, 63, u32::MAX] {
+            assert_eq!(poll_delay(attempt, budget), Some(Duration::from_millis(64)));
+        }
+        // Total sleep over the first n polls stays bounded by the budget:
+        // each delay is clamped to what is left.
+        assert_eq!(
+            poll_delay(10, Duration::from_millis(3)),
+            Some(Duration::from_millis(3))
+        );
+        assert_eq!(
+            poll_delay(0, Duration::from_micros(200)),
+            Some(Duration::from_micros(200))
+        );
+        // An exhausted budget stops the loop instead of sleeping zero and
+        // spinning.
+        assert_eq!(poll_delay(4, Duration::ZERO), None);
+    }
 }

@@ -1,0 +1,278 @@
+//! Deterministic storage fault injection for the WAL backend.
+//!
+//! A [`FaultInjector`] sits between [`crate::wal::WalLog`] and the
+//! filesystem and decides, per write / fsync operation, whether to inject
+//! a failure.  Three fault kinds model the storage failures a durable log
+//! must survive:
+//!
+//! * **fsync failure** — the data may or may not be on disk; the only safe
+//!   remediation is to truncate the log back to its last known-good prefix
+//!   and fail the publish.
+//! * **short write** — a real partial prefix of the frame lands in the
+//!   file (exactly what a crash mid-`write` leaves behind), then the write
+//!   reports failure.
+//! * **ENOSPC** — the write fails before any byte lands.
+//!
+//! Every decision is **deterministic**: a seed plus per-kind operation
+//! counters drive a splitmix64 stream, so a failing schedule reproduces
+//! exactly from its spec string.  Three trigger forms compose per kind:
+//!
+//! * `kind=P` — fail with probability `P`/1000 per operation (seeded);
+//! * `kind@N` — fail exactly the `N`th operation of that kind, once;
+//! * `kind%N` — fail every `N`th operation of that kind.
+//!
+//! Kinds are `fsync`, `short`, and `enospc` (`short`/`enospc` consume the
+//! same write-operation counter; `enospc` wins when both fire).  Specs are
+//! comma-separated, e.g. `seed=42,fsync=150,short@3,enospc%7`, and are
+//! accepted by the `prdnn-serve` binary's `--fault-wal` flag so the crash
+//! e2e can run the real server under injected faults.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Deterministic 64-bit mixer; the repo-wide convention for seeded,
+/// reproducible pseudo-randomness without a PRNG state to thread around.
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// One fault kind's trigger: any combination of the three forms.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct Trigger {
+    /// Fail with this probability per mille (seeded, per operation).
+    per_mille: u32,
+    /// Fail exactly this (1-based) operation index, once.
+    nth: Option<u64>,
+    /// Fail every `N`th operation.
+    every: Option<u64>,
+}
+
+impl Trigger {
+    fn is_active(&self) -> bool {
+        self.per_mille > 0 || self.nth.is_some() || self.every.is_some()
+    }
+
+    /// Whether operation `op` (1-based) of this kind fails.  `roll` is a
+    /// uniform value in `[0, 1000)` derived from the injector seed.
+    fn fires(&self, op: u64, roll: u64) -> bool {
+        if self.nth == Some(op) {
+            return true;
+        }
+        if let Some(every) = self.every {
+            if every > 0 && op.is_multiple_of(every) {
+                return true;
+            }
+        }
+        roll < u64::from(self.per_mille)
+    }
+}
+
+/// What an injected write fault does to the frame being appended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteFault {
+    /// Fail without writing anything (disk full).
+    Enospc,
+    /// Write only `keep_per_mille`/1000 of the frame for real, then fail —
+    /// the file now holds a genuine torn prefix.
+    Short {
+        /// Fraction of the frame that lands, per mille (0..1000).
+        keep_per_mille: u32,
+    },
+}
+
+/// The deterministic fault decision stream; see the module docs.
+#[derive(Debug, Default)]
+pub struct FaultInjector {
+    seed: u64,
+    fsync: Trigger,
+    short: Trigger,
+    enospc: Trigger,
+    write_ops: AtomicU64,
+    fsync_ops: AtomicU64,
+    injected: AtomicU64,
+}
+
+impl FaultInjector {
+    /// An injector that never fires (the production default).
+    pub fn none() -> FaultInjector {
+        FaultInjector::default()
+    }
+
+    /// Whether any trigger is configured.
+    pub fn is_active(&self) -> bool {
+        self.fsync.is_active() || self.short.is_active() || self.enospc.is_active()
+    }
+
+    /// Total faults injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// Parses a spec string (see the module docs for the grammar).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first malformed token.
+    pub fn parse(spec: &str) -> Result<FaultInjector, String> {
+        let mut injector = FaultInjector::none();
+        for token in spec.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+            let (kind, form, value) = if let Some((k, v)) = token.split_once('=') {
+                (k, '=', v)
+            } else if let Some((k, v)) = token.split_once('@') {
+                (k, '@', v)
+            } else if let Some((k, v)) = token.split_once('%') {
+                (k, '%', v)
+            } else {
+                return Err(format!(
+                    "fault spec token {token:?}: expected kind=P, kind@N, or kind%N"
+                ));
+            };
+            let n: u64 = value
+                .parse()
+                .map_err(|_| format!("fault spec token {token:?}: bad number {value:?}"))?;
+            if kind == "seed" {
+                if form != '=' {
+                    return Err(format!("fault spec token {token:?}: seed takes '='"));
+                }
+                injector.seed = n;
+                continue;
+            }
+            let trigger = match kind {
+                "fsync" => &mut injector.fsync,
+                "short" => &mut injector.short,
+                "enospc" => &mut injector.enospc,
+                other => {
+                    return Err(format!(
+                        "fault spec token {token:?}: unknown kind {other:?} \
+                         (expected seed, fsync, short, or enospc)"
+                    ))
+                }
+            };
+            match form {
+                '=' => {
+                    if n > 1000 {
+                        return Err(format!(
+                            "fault spec token {token:?}: probability is per mille (0..=1000)"
+                        ));
+                    }
+                    trigger.per_mille = n as u32;
+                }
+                '@' => trigger.nth = Some(n.max(1)),
+                '%' => trigger.every = Some(n.max(1)),
+                _ => unreachable!("split_once chose the form"),
+            }
+        }
+        Ok(injector)
+    }
+
+    /// Consumes one write operation and decides its fate.  `None` = the
+    /// write proceeds untouched.
+    pub fn next_write_fault(&self) -> Option<WriteFault> {
+        if !(self.short.is_active() || self.enospc.is_active()) {
+            return None;
+        }
+        let op = self.write_ops.fetch_add(1, Ordering::Relaxed) + 1;
+        let roll = |tag: u64| splitmix64(self.seed ^ (tag << 48) ^ op) % 1000;
+        if self.enospc.fires(op, roll(1)) {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+            return Some(WriteFault::Enospc);
+        }
+        if self.short.fires(op, roll(2)) {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+            // Keep a deterministic 5%..95% of the frame.
+            let keep_per_mille = 50 + (splitmix64(self.seed ^ (3 << 48) ^ op) % 900) as u32;
+            return Some(WriteFault::Short { keep_per_mille });
+        }
+        None
+    }
+
+    /// Consumes one fsync operation; `Some` = the fsync must report this
+    /// error without being attempted.
+    pub fn next_fsync_fault(&self) -> Option<std::io::Error> {
+        if !self.fsync.is_active() {
+            return None;
+        }
+        let op = self.fsync_ops.fetch_add(1, Ordering::Relaxed) + 1;
+        let roll = splitmix64(self.seed ^ (4 << 48) ^ op) % 1000;
+        if self.fsync.fires(op, roll) {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+            return Some(std::io::Error::other(format!(
+                "injected fsync failure (fsync op {op})"
+            )));
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inactive_injector_never_fires_and_consumes_no_ops() {
+        let inj = FaultInjector::none();
+        for _ in 0..100 {
+            assert_eq!(inj.next_write_fault(), None);
+            assert!(inj.next_fsync_fault().is_none());
+        }
+        assert_eq!(inj.injected(), 0);
+        assert!(!inj.is_active());
+    }
+
+    #[test]
+    fn nth_trigger_fires_exactly_once_at_the_named_op() {
+        let inj = FaultInjector::parse("fsync@3").unwrap();
+        let fired: Vec<bool> = (0..6).map(|_| inj.next_fsync_fault().is_some()).collect();
+        assert_eq!(fired, vec![false, false, true, false, false, false]);
+        assert_eq!(inj.injected(), 1);
+    }
+
+    #[test]
+    fn every_trigger_fires_periodically() {
+        let inj = FaultInjector::parse("enospc%2").unwrap();
+        let fired: Vec<bool> = (0..6).map(|_| inj.next_write_fault().is_some()).collect();
+        assert_eq!(fired, vec![false, true, false, true, false, true]);
+    }
+
+    #[test]
+    fn probability_stream_is_deterministic_for_a_seed() {
+        let a = FaultInjector::parse("seed=7,short=300").unwrap();
+        let b = FaultInjector::parse("seed=7,short=300").unwrap();
+        let fa: Vec<Option<WriteFault>> = (0..64).map(|_| a.next_write_fault()).collect();
+        let fb: Vec<Option<WriteFault>> = (0..64).map(|_| b.next_write_fault()).collect();
+        assert_eq!(fa, fb);
+        assert!(fa.iter().any(Option::is_some), "300‰ over 64 ops must fire");
+        assert!(fa.iter().any(Option::is_none), "300‰ must not always fire");
+        for fault in fa.into_iter().flatten() {
+            let WriteFault::Short { keep_per_mille } = fault else {
+                panic!("short trigger produced {fault:?}")
+            };
+            assert!((50..950).contains(&keep_per_mille), "{keep_per_mille}");
+        }
+    }
+
+    #[test]
+    fn enospc_wins_over_short_on_the_same_op() {
+        let inj = FaultInjector::parse("enospc@1,short@1").unwrap();
+        assert_eq!(inj.next_write_fault(), Some(WriteFault::Enospc));
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected_with_a_message() {
+        for bad in [
+            "bogus=1",
+            "fsync",
+            "fsync=abc",
+            "fsync=1001",
+            "seed@3",
+            "short^2",
+        ] {
+            let err = FaultInjector::parse(bad).unwrap_err();
+            assert!(err.contains("fault spec token"), "{bad:?} -> {err}");
+        }
+        // The empty spec is a no-op injector, not an error.
+        assert!(!FaultInjector::parse("").unwrap().is_active());
+    }
+}

@@ -25,7 +25,7 @@ use prdnn_core::{repair_points_ddnn_in, PointSpec, RepairConfig};
 use prdnn_par::PoolRef;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
 struct RepairJob {
     id: u64,
@@ -73,6 +73,9 @@ pub struct JobCounters {
     pub completed: AtomicU64,
     /// Jobs that failed.
     pub failed: AtomicU64,
+    /// Jobs rejected at submission because the FIFO was full (load
+    /// shedding — each one surfaced a typed `overloaded` to its client).
+    pub shed: AtomicU64,
 }
 
 /// The bounded FIFO repair queue; see the module docs.
@@ -87,6 +90,16 @@ pub struct JobQueue {
 }
 
 impl JobQueue {
+    /// Recovers the job-state lock from poisoning.  Every critical section
+    /// in this module leaves `JobsInner` consistent at each step (pushes,
+    /// map inserts), so a panic under the lock — which can only come from
+    /// allocation failure — must not take status polling and the worker
+    /// drain down with it.  `submit` is the exception: it fails typed
+    /// instead (see there).
+    fn lock_inner(&self) -> MutexGuard<'_, JobsInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Creates a queue holding at most `cap` waiting jobs.
     pub fn new(store: Arc<ModelStore>, pool: Arc<PoolRef>, cap: usize) -> Self {
         JobQueue {
@@ -119,7 +132,13 @@ impl JobQueue {
         config: RepairConfig,
     ) -> Result<u64, (ErrorKind, String)> {
         let id = {
-            let mut inner = self.inner.lock().unwrap();
+            // Unlike the read paths, accepting a job into a queue that a
+            // panic may have left suspect would promise work the server
+            // cannot guarantee, so fail typed and let the client retry.
+            let mut inner = self
+                .inner
+                .lock()
+                .map_err(|_| (ErrorKind::Internal, "job queue lock poisoned".to_owned()))?;
             if inner.shutdown {
                 return Err((
                     ErrorKind::ShuttingDown,
@@ -127,6 +146,7 @@ impl JobQueue {
                 ));
             }
             if inner.queue.len() >= self.cap {
+                self.counters.shed.fetch_add(1, Ordering::Relaxed);
                 return Err((
                     ErrorKind::Overloaded,
                     format!("repair queue full ({} pending jobs)", self.cap),
@@ -151,14 +171,14 @@ impl JobQueue {
 
     /// The current state of a job, if the id was ever issued.
     pub fn status(&self, id: u64) -> Option<JobState> {
-        self.inner.lock().unwrap().statuses.get(&id).cloned()
+        self.lock_inner().statuses.get(&id).cloned()
     }
 
     /// [`Self::status`], distinguishing a settled-and-evicted record from
     /// an id that was never issued — the two deserve different error
     /// messages.
     pub fn lookup(&self, id: u64) -> StatusLookup {
-        let inner = self.inner.lock().unwrap();
+        let inner = self.lock_inner();
         match inner.statuses.get(&id) {
             Some(state) => StatusLookup::Found(state.clone()),
             // Ids are issued sequentially from 1, so anything below
@@ -174,7 +194,7 @@ impl JobQueue {
     pub fn worker_loop(self: &Arc<Self>) {
         loop {
             let job = {
-                let mut inner = self.inner.lock().unwrap();
+                let mut inner = self.lock_inner();
                 loop {
                     if let Some(job) = inner.queue.pop_front() {
                         inner.statuses.insert(job.id, JobState::Running);
@@ -183,7 +203,7 @@ impl JobQueue {
                     if inner.shutdown {
                         break None;
                     }
-                    inner = self.cv.wait(inner).unwrap();
+                    inner = self.cv.wait(inner).unwrap_or_else(PoisonError::into_inner);
                 }
             };
             let Some(job) = job else { return };
@@ -198,7 +218,7 @@ impl JobQueue {
                 JobState::Done { .. } => self.counters.completed.fetch_add(1, Ordering::Relaxed),
                 _ => self.counters.failed.fetch_add(1, Ordering::Relaxed),
             };
-            let mut inner = self.inner.lock().unwrap();
+            let mut inner = self.lock_inner();
             inner.statuses.insert(job.id, state);
             inner.settled.push_back(job.id);
             while inner.settled.len() > MAX_SETTLED_RETAINED {
@@ -211,7 +231,7 @@ impl JobQueue {
 
     /// Begins shutdown: rejects new jobs and lets the workers drain.
     pub fn shutdown(&self) {
-        self.inner.lock().unwrap().shutdown = true;
+        self.lock_inner().shutdown = true;
         self.cv.notify_all();
     }
 

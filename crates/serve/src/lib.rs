@@ -42,6 +42,28 @@
 //! bit-identical to their serial counterparts, so an `eval` answered by the
 //! server equals the direct library call exactly.
 //!
+//! # Error policy
+//!
+//! Every failure a client can observe is **typed** (an
+//! [`protocol::ErrorKind`]), and the kinds partition by what the client
+//! should do next:
+//!
+//! * `overloaded` — shed by admission control; safe to retry after the
+//!   attached `retry_after_ms` hint.
+//! * `unavailable` — the durable log refused a publish (I/O fault);
+//!   nothing was published, the store is intact, safe to retry.
+//! * `deadline_exceeded` — the request (or its socket) ran out of time;
+//!   idempotent reads are safe to retry with a fresh deadline.
+//! * `bad_request` / `unknown_model` / `unknown_version` / `unknown_job`
+//!   — retrying the same request cannot succeed.
+//! * `shutting_down` — the server is draining; reconnect elsewhere.
+//! * `internal` — a server-side invariant failed; not retried by default.
+//!
+//! The [`retry`] module implements that contract client-side
+//! ([`retry::RetryingClient`]), [`faults`] injects storage faults under
+//! test, and [`chaos`] is a fault-injecting TCP proxy for wire-level
+//! end-to-end tests.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -63,9 +85,12 @@
 //! ```
 
 pub mod batcher;
+pub mod chaos;
 pub mod client;
+pub mod faults;
 pub mod jobs;
 pub mod protocol;
+pub mod retry;
 pub mod server;
 pub mod store;
 pub mod version_log;
@@ -73,5 +98,6 @@ pub mod wal;
 
 pub use client::Client;
 pub use protocol::{ModelRef, Request, Response};
+pub use retry::{RetryPolicy, RetryingClient};
 pub use server::{serve, ServerConfig, ServerHandle};
 pub use store::{ModelStore, ModelVersion};

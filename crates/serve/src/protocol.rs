@@ -30,6 +30,10 @@ pub enum FrameError {
     Oversized(usize),
     /// The header announced an empty frame.
     Empty,
+    /// A socket read/write timeout expired (the peer stalled mid-frame);
+    /// distinct from [`FrameError::Io`] so both ends can classify a
+    /// slowloris-style stall separately from a broken stream.
+    TimedOut,
     /// The stream ended or failed mid-frame.
     Io(io::Error),
     /// The payload was not valid UTF-8 JSON.
@@ -47,6 +51,7 @@ impl std::fmt::Display for FrameError {
                 )
             }
             FrameError::Empty => write!(f, "empty frame"),
+            FrameError::TimedOut => write!(f, "socket timeout mid-frame"),
             FrameError::Io(e) => write!(f, "i/o error mid-frame: {e}"),
             FrameError::Malformed(m) => write!(f, "malformed frame: {m}"),
         }
@@ -54,6 +59,23 @@ impl std::fmt::Display for FrameError {
 }
 
 impl std::error::Error for FrameError {}
+
+/// Whether an I/O error is a socket read/write timeout.  Unix reports an
+/// expired `set_read_timeout` as `WouldBlock`; Windows as `TimedOut`.
+pub fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+fn io_frame_error(e: io::Error) -> FrameError {
+    if is_timeout(&e) {
+        FrameError::TimedOut
+    } else {
+        FrameError::Io(e)
+    }
+}
 
 /// Writes one length-prefixed JSON frame.
 ///
@@ -86,8 +108,8 @@ pub fn read_frame(r: &mut impl Read) -> Result<Value, FrameError> {
     // Distinguish "no frame at all" (clean close) from a truncated header.
     match r.read(&mut header) {
         Ok(0) => return Err(FrameError::Closed),
-        Ok(n) => r.read_exact(&mut header[n..]).map_err(FrameError::Io)?,
-        Err(e) => return Err(FrameError::Io(e)),
+        Ok(n) => r.read_exact(&mut header[n..]).map_err(io_frame_error)?,
+        Err(e) => return Err(io_frame_error(e)),
     }
     let len = u32::from_be_bytes(header) as usize;
     if len == 0 {
@@ -97,7 +119,7 @@ pub fn read_frame(r: &mut impl Read) -> Result<Value, FrameError> {
         return Err(FrameError::Oversized(len));
     }
     let mut body = vec![0u8; len];
-    r.read_exact(&mut body).map_err(FrameError::Io)?;
+    r.read_exact(&mut body).map_err(io_frame_error)?;
     let text = std::str::from_utf8(&body)
         .map_err(|e| FrameError::Malformed(format!("invalid UTF-8: {e}")))?;
     Value::parse(text).map_err(|e| FrameError::Malformed(e.to_string()))
@@ -340,6 +362,23 @@ pub struct ServerStats {
     /// Bytes dropped from the WAL tail during recovery (torn/corrupt
     /// final records).
     pub torn_tail_bytes: u64,
+    /// WAL appends that failed and were rolled back (the publish surfaced
+    /// a typed `unavailable` error); zero under the in-memory backend.
+    pub wal_failed_appends: u64,
+    /// Connections accepted into a handler.
+    pub conns_opened: u64,
+    /// Connections rejected at the cap with a typed `overloaded` frame.
+    pub conns_rejected: u64,
+    /// Connections currently open (a gauge, not a counter).
+    pub open_connections: u64,
+    /// Connections closed because a socket read/write timed out (stalled
+    /// peer / slowloris).
+    pub io_timeouts: u64,
+    /// Batch requests shed with `overloaded` because the batch queue was
+    /// full.
+    pub batch_shed: u64,
+    /// Repair jobs shed with `overloaded` because the job queue was full.
+    pub jobs_shed: u64,
 }
 
 /// Machine-readable error categories.
@@ -359,6 +398,9 @@ pub enum ErrorKind {
     DeadlineExceeded,
     /// The server is draining and no longer accepts work.
     ShuttingDown,
+    /// The durable backend refused the operation (failed fsync, disk
+    /// full); nothing was published — safe to retry once storage heals.
+    Unavailable,
     /// Unexpected server-side failure.
     Internal,
 }
@@ -373,6 +415,7 @@ impl ErrorKind {
             ErrorKind::Overloaded => "overloaded",
             ErrorKind::DeadlineExceeded => "deadline_exceeded",
             ErrorKind::ShuttingDown => "shutting_down",
+            ErrorKind::Unavailable => "unavailable",
             ErrorKind::Internal => "internal",
         }
     }
@@ -386,6 +429,7 @@ impl ErrorKind {
             "overloaded" => ErrorKind::Overloaded,
             "deadline_exceeded" => ErrorKind::DeadlineExceeded,
             "shutting_down" => ErrorKind::ShuttingDown,
+            "unavailable" => ErrorKind::Unavailable,
             "internal" => ErrorKind::Internal,
             other => return Err(format!("unknown error kind {other:?}")),
         })
@@ -444,7 +488,34 @@ pub enum Response {
         kind: ErrorKind,
         /// Human-readable detail.
         message: String,
+        /// For shed requests (`overloaded`): how long the server suggests
+        /// waiting before a retry.  Advisory, not a promise.
+        retry_after_ms: Option<u64>,
     },
+}
+
+impl Response {
+    /// An error response with no retry hint.
+    pub fn error(kind: ErrorKind, message: impl Into<String>) -> Response {
+        Response::Error {
+            kind,
+            message: message.into(),
+            retry_after_ms: None,
+        }
+    }
+
+    /// An error response carrying a retry-after hint (shed requests).
+    pub fn error_retry_after(
+        kind: ErrorKind,
+        message: impl Into<String>,
+        retry_after_ms: u64,
+    ) -> Response {
+        Response::Error {
+            kind,
+            message: message.into(),
+            retry_after_ms: Some(retry_after_ms),
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -896,14 +967,35 @@ impl Response {
                         Value::Num(stats.recovered_wal_records as f64),
                     ),
                     ("torn_tail_bytes", Value::Num(stats.torn_tail_bytes as f64)),
+                    (
+                        "wal_failed_appends",
+                        Value::Num(stats.wal_failed_appends as f64),
+                    ),
+                    ("conns_opened", Value::Num(stats.conns_opened as f64)),
+                    ("conns_rejected", Value::Num(stats.conns_rejected as f64)),
+                    (
+                        "open_connections",
+                        Value::Num(stats.open_connections as f64),
+                    ),
+                    ("io_timeouts", Value::Num(stats.io_timeouts as f64)),
+                    ("batch_shed", Value::Num(stats.batch_shed as f64)),
+                    ("jobs_shed", Value::Num(stats.jobs_shed as f64)),
                 ],
             ),
             Response::ShuttingDown => tagged("shutting_down", vec![]),
-            Response::Error { kind, message } => tagged(
+            Response::Error {
+                kind,
+                message,
+                retry_after_ms,
+            } => tagged(
                 "error",
                 vec![
                     ("kind", Value::Str(kind.as_str().to_owned())),
                     ("message", Value::Str(message.clone())),
+                    (
+                        "retry_after_ms",
+                        retry_after_ms.map_or(Value::Null, |ms| Value::Num(ms as f64)),
+                    ),
                 ],
             ),
         }
@@ -1108,6 +1200,13 @@ impl Response {
                     recovered_versions: counter("recovered_versions")?,
                     recovered_wal_records: counter("recovered_wal_records")?,
                     torn_tail_bytes: counter("torn_tail_bytes")?,
+                    wal_failed_appends: counter("wal_failed_appends")?,
+                    conns_opened: counter("conns_opened")?,
+                    conns_rejected: counter("conns_rejected")?,
+                    open_connections: counter("open_connections")?,
+                    io_timeouts: counter("io_timeouts")?,
+                    batch_shed: counter("batch_shed")?,
+                    jobs_shed: counter("jobs_shed")?,
                 }))
             }
             "shutting_down" => Ok(Response::ShuttingDown),
@@ -1122,6 +1221,14 @@ impl Response {
                     .and_then(Value::as_str)
                     .ok_or("error: missing \"message\"")?
                     .to_owned(),
+                retry_after_ms: match v.get("retry_after_ms") {
+                    None | Some(Value::Null) => None,
+                    Some(ms) => Some(
+                        ms.as_usize()
+                            .ok_or("error: retry_after_ms must be a non-negative integer")?
+                            as u64,
+                    ),
+                },
             }),
             other => Err(format!("unknown response type {other:?}")),
         }

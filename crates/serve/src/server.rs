@@ -31,7 +31,7 @@ use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
@@ -63,6 +63,15 @@ pub struct ServerConfig {
     /// snapshot; the WAL grows without bound).  Ignored without
     /// `store_dir`.
     pub snapshot_every: u64,
+    /// Per-connection socket read/write timeout in milliseconds (`0` =
+    /// none).  A peer that stalls mid-frame longer than this is counted in
+    /// [`ServerStats::io_timeouts`] and its connection-cap slot is freed —
+    /// the slowloris defense.
+    pub io_timeout_ms: u64,
+    /// Deterministic WAL fault-injection spec (see
+    /// [`crate::faults::FaultInjector::parse`]); `None` disables injection.
+    /// Ignored without `store_dir`.  Test/chaos tooling only.
+    pub wal_fault_spec: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -77,9 +86,18 @@ impl Default for ServerConfig {
             default_deadline_ms: 10_000,
             store_dir: None,
             snapshot_every: 64,
+            io_timeout_ms: 30_000,
+            wal_fault_spec: None,
         }
     }
 }
+
+/// Retry hints (in ms) attached to `overloaded` responses, by shed point.
+/// Batch queues turn over in one gulp; repair queues take whole solves;
+/// connection slots free as fast as requests finish.
+const RETRY_AFTER_BATCH_MS: u64 = 25;
+const RETRY_AFTER_JOBS_MS: u64 = 250;
+const RETRY_AFTER_CONN_MS: u64 = 100;
 
 struct Shared {
     config: ServerConfig,
@@ -90,10 +108,21 @@ struct Shared {
     addr: SocketAddr,
     conn_count: AtomicUsize,
     next_conn_id: AtomicU64,
+    conns_opened: AtomicU64,
+    conns_rejected: AtomicU64,
+    io_timeouts: AtomicU64,
     /// Stream clones of live connections, so shutdown can unblock their
     /// handler threads' reads.
     conns: Mutex<HashMap<u64, TcpStream>>,
     handler_threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// Lock poisoning on the connection bookkeeping recovers the guard: the
+/// maps stay structurally valid across a handler panic (inserts/removes
+/// are atomic at `HashMap` granularity), and wedging the accept loop over
+/// one crashed handler would turn a bug into an outage.
+fn lock_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 impl Shared {
@@ -127,6 +156,13 @@ impl Shared {
             recovered_versions: l.recovered_versions,
             recovered_wal_records: l.recovered_wal_records,
             torn_tail_bytes: l.torn_tail_bytes,
+            wal_failed_appends: l.wal_failed_appends,
+            conns_opened: self.conns_opened.load(Ordering::Relaxed),
+            conns_rejected: self.conns_rejected.load(Ordering::Relaxed),
+            open_connections: self.conn_count.load(Ordering::SeqCst) as u64,
+            io_timeouts: self.io_timeouts.load(Ordering::Relaxed),
+            batch_shed: b.shed.load(Ordering::Relaxed),
+            jobs_shed: j.shed.load(Ordering::Relaxed),
         }
     }
 }
@@ -187,10 +223,10 @@ impl ServerHandle {
             eprintln!("prdnn-serve: version-log flush on drain failed: {e}");
         }
         // Only now unblock connection handlers still waiting for frames.
-        for (_, conn) in self.shared.conns.lock().unwrap().drain() {
+        for (_, conn) in lock_recover(&self.shared.conns).drain() {
             let _ = conn.shutdown(std::net::Shutdown::Both);
         }
-        let handlers = std::mem::take(&mut *self.shared.handler_threads.lock().unwrap());
+        let handlers = std::mem::take(&mut *lock_recover(&self.shared.handler_threads));
         for t in handlers {
             panicked |= t.join().is_err();
         }
@@ -216,7 +252,18 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
     let store = match &config.store_dir {
         None => Arc::new(ModelStore::new()),
         Some(dir) => {
-            let wal = crate::wal::WalLog::open(dir, config.snapshot_every)
+            let faults = match &config.wal_fault_spec {
+                None => crate::faults::FaultInjector::none(),
+                Some(spec) => {
+                    let injector =
+                        crate::faults::FaultInjector::parse(spec).map_err(io::Error::other)?;
+                    if injector.is_active() {
+                        eprintln!("prdnn-serve: WAL fault injection active: {spec}");
+                    }
+                    injector
+                }
+            };
+            let wal = crate::wal::WalLog::open_with_faults(dir, config.snapshot_every, faults)
                 .map_err(|e| io::Error::other(e.to_string()))?;
             let report = wal.recovery_report();
             if report.versions > 0 || report.torn_tail_bytes > 0 {
@@ -249,6 +296,9 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
         addr,
         conn_count: AtomicUsize::new(0),
         next_conn_id: AtomicU64::new(0),
+        conns_opened: AtomicU64::new(0),
+        conns_rejected: AtomicU64::new(0),
+        io_timeouts: AtomicU64::new(0),
         conns: Mutex::new(HashMap::new()),
         handler_threads: Mutex::new(Vec::new()),
     });
@@ -283,16 +333,29 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
 }
 
 fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    // Transient accept() failures (ECONNABORTED, and EMFILE/ENFILE under fd
+    // exhaustion) must neither kill the accept thread nor busy-spin it:
+    // log, back off exponentially (10ms..1s), and keep accepting.
+    let mut consecutive_errors = 0u32;
     loop {
         let stream = match listener.accept() {
-            Ok((stream, _)) => stream,
-            Err(_) => {
+            Ok((stream, _)) => {
+                consecutive_errors = 0;
+                stream
+            }
+            Err(e) => {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     return;
                 }
-                // Persistent accept errors (fd exhaustion under overload)
-                // must not busy-spin the accept thread at 100% CPU.
-                thread::sleep(Duration::from_millis(10));
+                if consecutive_errors == 0 || consecutive_errors.is_multiple_of(50) {
+                    eprintln!(
+                        "prdnn-serve: accept failed ({e}); backing off \
+                         ({consecutive_errors} consecutive failures)"
+                    );
+                }
+                let backoff = Duration::from_millis(10u64 << consecutive_errors.min(7));
+                consecutive_errors = consecutive_errors.saturating_add(1);
+                thread::sleep(backoff);
                 continue;
             }
         };
@@ -301,34 +364,41 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
             let mut s = stream;
             let _ = write_frame(
                 &mut s,
-                &Response::Error {
-                    kind: ErrorKind::ShuttingDown,
-                    message: "server is draining".to_owned(),
-                }
-                .to_value(),
+                &Response::error(ErrorKind::ShuttingDown, "server is draining").to_value(),
             );
             return;
         }
         // Admission: cap concurrent connections.
         if shared.conn_count.load(Ordering::SeqCst) >= shared.config.max_connections {
+            shared.conns_rejected.fetch_add(1, Ordering::Relaxed);
             let mut s = stream;
             let _ = write_frame(
                 &mut s,
-                &Response::Error {
-                    kind: ErrorKind::Overloaded,
-                    message: format!(
+                &Response::error_retry_after(
+                    ErrorKind::Overloaded,
+                    format!(
                         "connection limit ({}) reached",
                         shared.config.max_connections
                     ),
-                }
+                    RETRY_AFTER_CONN_MS,
+                )
                 .to_value(),
             );
             continue;
         }
+        // Slowloris defense: a peer stalled mid-frame past this deadline
+        // surfaces as FrameError::TimedOut in the handler, which closes the
+        // connection and frees its slot.
+        if shared.config.io_timeout_ms > 0 {
+            let timeout = Some(Duration::from_millis(shared.config.io_timeout_ms));
+            let _ = stream.set_read_timeout(timeout);
+            let _ = stream.set_write_timeout(timeout);
+        }
         shared.conn_count.fetch_add(1, Ordering::SeqCst);
+        shared.conns_opened.fetch_add(1, Ordering::Relaxed);
         let conn_id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
         if let Ok(clone) = stream.try_clone() {
-            shared.conns.lock().unwrap().insert(conn_id, clone);
+            lock_recover(&shared.conns).insert(conn_id, clone);
         }
         let handler = {
             let shared = Arc::clone(shared);
@@ -341,13 +411,13 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
                     let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                         handle_connection(&shared, stream)
                     }));
-                    shared.conns.lock().unwrap().remove(&conn_id);
+                    lock_recover(&shared.conns).remove(&conn_id);
                     shared.conn_count.fetch_sub(1, Ordering::SeqCst);
                 })
         };
         match handler {
             Ok(handle) => {
-                let mut threads = shared.handler_threads.lock().unwrap();
+                let mut threads = lock_recover(&shared.handler_threads);
                 // Reap handles of connections that already hung up, so the
                 // list tracks live connections (bounded by the connection
                 // cap) rather than every connection ever accepted.
@@ -357,7 +427,7 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
                 threads.push(handle);
             }
             Err(_) => {
-                shared.conns.lock().unwrap().remove(&conn_id);
+                lock_recover(&shared.conns).remove(&conn_id);
                 shared.conn_count.fetch_sub(1, Ordering::SeqCst);
             }
         }
@@ -370,28 +440,33 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
             Ok(value) => value,
             Err(FrameError::Closed) => return,
             Err(FrameError::Io(_)) => return,
+            Err(FrameError::TimedOut) => {
+                // The peer stalled mid-frame past the socket timeout: shed
+                // the connection so its cap slot frees, telling the peer
+                // why on the off chance it is still reading.
+                shared.io_timeouts.fetch_add(1, Ordering::Relaxed);
+                let _ = write_frame(
+                    &mut stream,
+                    &Response::error(
+                        ErrorKind::DeadlineExceeded,
+                        "connection idle past the socket timeout mid-frame",
+                    )
+                    .to_value(),
+                );
+                return;
+            }
             Err(e @ (FrameError::Oversized(_) | FrameError::Empty | FrameError::Malformed(_))) => {
                 // Framing is unrecoverable once a bad header/payload is
                 // seen: answer once and close.
                 let _ = write_frame(
                     &mut stream,
-                    &Response::Error {
-                        kind: ErrorKind::BadRequest,
-                        message: e.to_string(),
-                    }
-                    .to_value(),
+                    &Response::error(ErrorKind::BadRequest, e.to_string()).to_value(),
                 );
                 return;
             }
         };
         let (response, close_after) = match Request::from_value(&value) {
-            Err(message) => (
-                Response::Error {
-                    kind: ErrorKind::BadRequest,
-                    message,
-                },
-                false,
-            ),
+            Err(message) => (Response::error(ErrorKind::BadRequest, message), false),
             Ok(request) => {
                 let close_after = request == Request::Shutdown;
                 (handle_request(shared, request), close_after)
@@ -404,13 +479,15 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
             if e.kind() == std::io::ErrorKind::InvalidData {
                 let _ = write_frame(
                     &mut stream,
-                    &Response::Error {
-                        kind: ErrorKind::Internal,
-                        message: "response exceeds the frame size cap; narrow the request"
-                            .to_owned(),
-                    }
+                    &Response::error(
+                        ErrorKind::Internal,
+                        "response exceeds the frame size cap; narrow the request",
+                    )
                     .to_value(),
                 );
+            } else if crate::protocol::is_timeout(&e) {
+                // The peer stopped draining our response.
+                shared.io_timeouts.fetch_add(1, Ordering::Relaxed);
             }
             return;
         }
@@ -425,18 +502,24 @@ fn store_error(e: &StoreError) -> Response {
         StoreError::UnknownModel(_) => ErrorKind::UnknownModel,
         StoreError::UnknownVersion(..) => ErrorKind::UnknownVersion,
         StoreError::AlreadyExists(_) => ErrorKind::BadRequest,
-        StoreError::Durability(_) => ErrorKind::Internal,
+        // Nothing was published; the store is intact and the operation is
+        // safe to retry once storage heals.
+        StoreError::Durability(_) => ErrorKind::Unavailable,
     };
-    Response::Error {
-        kind,
-        message: e.to_string(),
-    }
+    Response::error(kind, e.to_string())
 }
 
 fn bad_request(message: impl Into<String>) -> Response {
-    Response::Error {
-        kind: ErrorKind::BadRequest,
-        message: message.into(),
+    Response::error(ErrorKind::BadRequest, message)
+}
+
+/// Maps a queue-submission rejection to a response, attaching the shed
+/// point's retry hint to `overloaded` rejections.
+fn queue_rejection((kind, message): (ErrorKind, String), retry_after_ms: u64) -> Response {
+    if kind == ErrorKind::Overloaded {
+        Response::error_retry_after(kind, message, retry_after_ms)
+    } else {
+        Response::error(kind, message)
     }
 }
 
@@ -549,22 +632,21 @@ fn handle_request(shared: &Arc<Shared>, request: Request) -> Response {
             }
             match shared.jobs.submit(version, layer, spec, config) {
                 Ok(job) => Response::JobQueued { job },
-                Err((kind, message)) => Response::Error { kind, message },
+                Err(rejection) => queue_rejection(rejection, RETRY_AFTER_JOBS_MS),
             }
         }
         Request::JobStatus { job } => match shared.jobs.lookup(job) {
             crate::jobs::StatusLookup::Found(state) => Response::Job(state),
-            crate::jobs::StatusLookup::Evicted => Response::Error {
-                kind: ErrorKind::UnknownJob,
-                message: format!(
+            crate::jobs::StatusLookup::Evicted => Response::error(
+                ErrorKind::UnknownJob,
+                format!(
                     "job {job} settled, but its status record has been evicted \
                      (only the most recent settled jobs are retained)"
                 ),
-            },
-            crate::jobs::StatusLookup::NeverIssued => Response::Error {
-                kind: ErrorKind::UnknownJob,
-                message: format!("job {job} was never issued"),
-            },
+            ),
+            crate::jobs::StatusLookup::NeverIssued => {
+                Response::error(ErrorKind::UnknownJob, format!("job {job} was never issued"))
+            }
         },
         Request::GetNetwork { model } => match shared.store.resolve(&model) {
             Err(e) => store_error(&e),
@@ -606,10 +688,10 @@ fn handle_request(shared: &Arc<Shared>, request: Request) -> Response {
 }
 
 fn shutting_down() -> Response {
-    Response::Error {
-        kind: ErrorKind::ShuttingDown,
-        message: "server is draining; no new work accepted".to_owned(),
-    }
+    Response::error(
+        ErrorKind::ShuttingDown,
+        "server is draining; no new work accepted",
+    )
 }
 
 fn load_into_store(
@@ -652,7 +734,7 @@ fn submit_and_wait(
     let deadline = Instant::now() + budget;
     let receiver = match shared.batcher.submit(version, call, deadline) {
         Ok(rx) => rx,
-        Err((kind, message)) => return Response::Error { kind, message },
+        Err(rejection) => return queue_rejection(rejection, RETRY_AFTER_BATCH_MS),
     };
     // A small grace period past the deadline: the batcher answers expired
     // items itself, so waiting slightly longer prefers its (more precise)
@@ -673,16 +755,15 @@ fn submit_and_wait(
                 })
                 .collect(),
         ),
-        Ok(Err((kind, message))) => Response::Error { kind, message },
-        Err(std::sync::mpsc::RecvTimeoutError::Timeout) => Response::Error {
-            kind: ErrorKind::DeadlineExceeded,
-            message: "request timed out in the batch queue".to_owned(),
-        },
+        Ok(Err((kind, message))) => Response::error(kind, message),
+        Err(std::sync::mpsc::RecvTimeoutError::Timeout) => Response::error(
+            ErrorKind::DeadlineExceeded,
+            "request timed out in the batch queue",
+        ),
         // The batch worker dropped our reply channel without answering —
         // it panicked mid-batch.
-        Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => Response::Error {
-            kind: ErrorKind::Internal,
-            message: "batch execution failed".to_owned(),
-        },
+        Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
+            Response::error(ErrorKind::Internal, "batch execution failed")
+        }
     }
 }

@@ -18,7 +18,7 @@
 //! safety argument).
 
 use prdnn_core::{DecoupledNetwork, RepairProvenance};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 use crate::protocol::ModelRef;
 use crate::version_log::{LogStats, MemoryLog, ModelEntry, VersionLog};
@@ -102,7 +102,13 @@ impl ModelStore {
         ddnn: DecoupledNetwork,
         source: String,
     ) -> Result<Arc<ModelVersion>, StoreError> {
-        let _order = self.publish_order.lock().unwrap();
+        // Poison recovery: the guard carries no data and a panicked publish
+        // leaves the chains consistent (the head swaps atomically), so a
+        // crashed repair worker must not wedge every future publish.
+        let _order = self
+            .publish_order
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         let chains = self.log.chains();
         if chains.contains(name) {
             return Err(StoreError::AlreadyExists(name.to_owned()));
@@ -139,7 +145,10 @@ impl ModelStore {
         source: String,
         provenance: RepairProvenance,
     ) -> Result<Arc<ModelVersion>, StoreError> {
-        let _order = self.publish_order.lock().unwrap();
+        let _order = self
+            .publish_order
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         let entry = self.entry(name)?;
         let published = entry
             .publish_logged(self.log.as_ref(), |version| ModelVersion {

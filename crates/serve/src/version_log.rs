@@ -35,10 +35,20 @@
 //! versions must stay resolvable by `name@vN` anyway, so retaining them is
 //! a feature, not a leak.
 
+//!
+//! # Lock poisoning
+//!
+//! Every lock in this module guards state that is consistent at all times
+//! (chain heads swap atomically; the publish mutexes carry no data), so a
+//! panic under one cannot leave torn state behind.  Per the crate-wide
+//! error-handling policy (see `lib.rs`), these locks therefore **recover**
+//! from poisoning with `PoisonError::into_inner` instead of propagating
+//! the panic: one crashed worker must not take the read path down with it.
+
 use prdnn_core::{DecoupledNetwork, RepairProvenance};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicPtr, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
 
 /// One immutable published version of a model.
 #[derive(Debug)]
@@ -153,7 +163,10 @@ impl ModelEntry {
         log: &dyn VersionLog,
         build: impl FnOnce(u32) -> ModelVersion,
     ) -> Result<Arc<ModelVersion>, LogError> {
-        let _guard = self.publish_lock.lock().unwrap();
+        let _guard = self
+            .publish_lock
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         let prev = self.head.load(Ordering::Relaxed);
         let next_version = if prev.is_null() {
             1
@@ -176,7 +189,10 @@ impl ModelEntry {
     /// Rejects out-of-order version numbers — a gap means the record
     /// stream is corrupt and replay must stop.
     pub(crate) fn install_recovered(&self, version: Arc<ModelVersion>) -> Result<(), String> {
-        let _guard = self.publish_lock.lock().unwrap();
+        let _guard = self
+            .publish_lock
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         let prev = self.head.load(Ordering::Relaxed);
         let expected = if prev.is_null() {
             1
@@ -224,12 +240,16 @@ impl VersionChains {
 
     /// The entry for `name`, if any.
     pub fn get(&self, name: &str) -> Option<Arc<ModelEntry>> {
-        self.entries.read().unwrap().get(name).cloned()
+        self.read().get(name).cloned()
     }
 
     /// Whether `name` is taken.
     pub fn contains(&self, name: &str) -> bool {
-        self.entries.read().unwrap().contains_key(name)
+        self.read().contains_key(name)
+    }
+
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, HashMap<String, Arc<ModelEntry>>> {
+        self.entries.read().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Makes a (non-empty) entry visible under its name.  The entry must
@@ -237,14 +257,14 @@ impl VersionChains {
     pub(crate) fn insert(&self, entry: Arc<ModelEntry>) {
         self.entries
             .write()
-            .unwrap()
+            .unwrap_or_else(PoisonError::into_inner)
             .insert(entry.name.clone(), entry);
     }
 
     /// `(name, latest_version)` for every stored model, **sorted by name**
     /// so listings are deterministic across runs and across recovery.
     pub fn list(&self) -> Vec<(String, u32)> {
-        let entries = self.entries.read().unwrap();
+        let entries = self.read();
         let mut out: Vec<(String, u32)> = entries
             .values()
             .map(|e| (e.name.clone(), e.latest().version))
@@ -256,7 +276,7 @@ impl VersionChains {
     /// Every version of every model, ordered by `(name, version)` — the
     /// snapshot collection order, deterministic for a given store state.
     pub fn all_records(&self) -> Vec<Arc<ModelVersion>> {
-        let entries = self.entries.read().unwrap();
+        let entries = self.read();
         let mut names: Vec<&Arc<ModelEntry>> = entries.values().collect();
         names.sort_by(|a, b| a.name.cmp(&b.name));
         names.iter().flat_map(|e| e.all_versions()).collect()
@@ -264,7 +284,7 @@ impl VersionChains {
 
     /// Total number of versions across every model.
     pub fn total_versions(&self) -> u64 {
-        let entries = self.entries.read().unwrap();
+        let entries = self.read();
         entries
             .values()
             .map(|e| u64::from(e.latest().version))
@@ -296,6 +316,9 @@ pub struct LogStats {
     pub wal_bytes: u64,
     /// Snapshot/compaction cycles completed.
     pub snapshots: u64,
+    /// Appends that failed (write/fsync error, real or injected) and were
+    /// rolled back; the corresponding publishes surfaced typed errors.
+    pub wal_failed_appends: u64,
     /// Versions reconstructed at cold start (snapshot + WAL tail).
     pub recovered_versions: u64,
     /// WAL-tail records replayed at cold start (subset of the above).

@@ -39,6 +39,23 @@
 //! mismatch, unparseable JSON, out-of-order version — ends replay
 //! gracefully: the valid prefix is kept, the file is truncated back to it,
 //! and the dropped byte count is reported in [`LogStats::torn_tail_bytes`].
+//!
+//! # Failed appends never poison the log
+//!
+//! A failed `write` or `fsync` (real or injected via
+//! [`crate::faults::FaultInjector`], see [`WalLog::open_with_faults`])
+//! leaves bytes of unknown state past the last known-good prefix.  They
+//! cannot stay: garbage there would make every later append unreachable at
+//! replay, and a *durable but unacknowledged* record would collide with
+//! the reused version number of the retried publish and corrupt the tail.
+//! So the append path tracks `valid_len` — the byte length of the durable,
+//! acknowledged prefix — and on any failure truncates the file back to it
+//! (durably).  If even the truncation fails, the tail is marked dirty and
+//! every subsequent append first re-tries the heal, failing publishes with
+//! a typed error until the log is clean again.  The store head is never
+//! swapped for a failed append (write-ahead ordering), so the in-memory
+//! chains and the on-disk log stay consistent no matter when the fault
+//! hits.
 
 use prdnn_core::{DecoupledNetwork, RepairProvenance};
 use prdnn_nn::{network_content_hash, network_from_json, network_to_json};
@@ -49,6 +66,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+use crate::faults::{FaultInjector, WriteFault};
 use crate::version_log::{LogError, LogStats, ModelEntry, ModelVersion, VersionChains, VersionLog};
 
 /// On-disk record format version; bump on incompatible layout changes.
@@ -240,6 +258,11 @@ struct WalInner {
     next_seq: u64,
     /// Appends since the last snapshot (drives the compaction policy).
     appends_since_snapshot: u64,
+    /// Byte length of the durable, fully-acknowledged prefix of the file.
+    /// Everything past it is a failed append's leftovers.
+    valid_len: u64,
+    /// A failed append could not be truncated away; heal before appending.
+    dirty_tail: bool,
 }
 
 /// The durable [`VersionLog`] backend.  See the module docs for the disk
@@ -251,9 +274,11 @@ pub struct WalLog {
     snapshot_every: u64,
     inner: Mutex<WalInner>,
     report: RecoveryReport,
+    faults: FaultInjector,
     wal_appends: AtomicU64,
     wal_bytes: AtomicU64,
     snapshots: AtomicU64,
+    failed_appends: AtomicU64,
 }
 
 impl WalLog {
@@ -267,6 +292,22 @@ impl WalLog {
     /// tail).  A torn or corrupt WAL **tail** is not an error: the valid
     /// prefix is kept and the tail is reported in the [`RecoveryReport`].
     pub fn open(dir: &Path, snapshot_every: u64) -> Result<WalLog, LogError> {
+        WalLog::open_with_faults(dir, snapshot_every, FaultInjector::none())
+    }
+
+    /// [`WalLog::open`] with a [`FaultInjector`] interposed on the append
+    /// path's write and fsync operations (and the snapshot writer's).
+    /// Recovery itself is never injected: faults model a hostile disk at
+    /// publish time, and the recovery contract is pinned separately.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`WalLog::open`].
+    pub fn open_with_faults(
+        dir: &Path,
+        snapshot_every: u64,
+        faults: FaultInjector,
+    ) -> Result<WalLog, LogError> {
         fs::create_dir_all(dir)
             .map_err(|e| LogError(format!("create store dir {}: {e}", dir.display())))?;
         let chains = VersionChains::new();
@@ -371,17 +412,127 @@ impl WalLog {
                 file,
                 next_seq: max_seq + 1,
                 appends_since_snapshot: report.wal_records,
+                valid_len,
+                dirty_tail: false,
             }),
             report,
+            faults,
             wal_appends: AtomicU64::new(0),
             wal_bytes: AtomicU64::new(0),
             snapshots: AtomicU64::new(0),
+            failed_appends: AtomicU64::new(0),
         })
     }
 
     /// What `open` reconstructed.
     pub fn recovery_report(&self) -> RecoveryReport {
         self.report
+    }
+
+    /// Locks the inner state.  A poisoned lock means a panic interrupted an
+    /// earlier operation at an unknown point, so the file past `valid_len`
+    /// is suspect: recover the guard and mark the tail dirty so the next
+    /// append truncates back to the acknowledged prefix before writing.
+    fn lock_inner(&self) -> std::sync::MutexGuard<'_, WalInner> {
+        match self.inner.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                let mut guard = poisoned.into_inner();
+                guard.dirty_tail = true;
+                guard
+            }
+        }
+    }
+
+    /// Truncates a dirty tail back to the durable prefix.  No-op when the
+    /// tail is clean.
+    fn heal_tail(&self, inner: &mut WalInner) -> Result<(), LogError> {
+        if !inner.dirty_tail {
+            return Ok(());
+        }
+        inner
+            .file
+            .set_len(inner.valid_len)
+            .map_err(|e| LogError(format!("truncate failed-append tail: {e}")))?;
+        inner
+            .file
+            .seek(SeekFrom::Start(inner.valid_len))
+            .map_err(|e| LogError(format!("seek after tail truncation: {e}")))?;
+        let synced = match self.faults.next_fsync_fault() {
+            Some(e) => Err(e),
+            None => inner.file.sync_data(),
+        };
+        synced.map_err(|e| LogError(format!("fsync truncated tail: {e}")))?;
+        inner.dirty_tail = false;
+        Ok(())
+    }
+
+    /// Converts a failed write/fsync into the returned [`LogError`],
+    /// disposing of whatever the failure left past `valid_len` (see the
+    /// module docs).  The heal is attempted immediately; if it also fails,
+    /// the tail stays dirty and later appends retry it first.
+    fn abandon_tail(&self, inner: &mut WalInner, why: String) -> LogError {
+        inner.dirty_tail = true;
+        match self.heal_tail(inner) {
+            Ok(()) => LogError(why),
+            Err(heal) => LogError(format!(
+                "{why}; truncating the failed tail also failed ({heal}) — \
+                 publishes fail until the tail heals"
+            )),
+        }
+    }
+
+    fn append_locked(
+        &self,
+        inner: &mut WalInner,
+        version: &Arc<ModelVersion>,
+    ) -> Result<(), LogError> {
+        self.heal_tail(inner)?;
+        let seq = inner.next_seq;
+        let body = record_to_json(version, Some(seq)).to_json().into_bytes();
+        if body.len() > MAX_RECORD_LEN {
+            return Err(LogError(format!(
+                "record of {} bytes exceeds the {MAX_RECORD_LEN} byte cap",
+                body.len()
+            )));
+        }
+        let mut frame = Vec::with_capacity(FRAME_HEADER_LEN + body.len());
+        frame.extend_from_slice(&(body.len() as u32).to_be_bytes());
+        frame.extend_from_slice(&fnv1a(&body).to_be_bytes());
+        frame.extend_from_slice(&body);
+        let wrote = match self.faults.next_write_fault() {
+            Some(WriteFault::Enospc) => Err(std::io::Error::other(
+                "injected write failure: no space left on device",
+            )),
+            Some(WriteFault::Short { keep_per_mille }) => {
+                // A real partial prefix lands in the file — exactly the
+                // garbage a crash mid-write leaves — then the write fails.
+                let keep = frame.len() * keep_per_mille as usize / 1000;
+                let _ = inner.file.write_all(&frame[..keep]);
+                Err(std::io::Error::other(format!(
+                    "injected short write ({keep} of {} bytes)",
+                    frame.len()
+                )))
+            }
+            None => inner.file.write_all(&frame),
+        };
+        if let Err(e) = wrote {
+            return Err(self.abandon_tail(inner, format!("append WAL record: {e}")));
+        }
+        let synced = match self.faults.next_fsync_fault() {
+            Some(e) => Err(e),
+            None => inner.file.sync_data(),
+        };
+        if let Err(e) = synced {
+            return Err(self.abandon_tail(inner, format!("fsync WAL record: {e}")));
+        }
+        inner.valid_len += frame.len() as u64;
+        inner.next_seq += 1;
+        inner.appends_since_snapshot += 1;
+        self.wal_appends.fetch_add(1, Ordering::Relaxed);
+        self.wal_bytes
+            .fetch_add(frame.len() as u64, Ordering::Relaxed);
+        Ok(())
     }
 }
 
@@ -459,37 +610,16 @@ impl VersionLog for WalLog {
     }
 
     fn append(&self, version: &Arc<ModelVersion>) -> Result<(), LogError> {
-        let mut inner = self.inner.lock().unwrap();
-        let seq = inner.next_seq;
-        let body = record_to_json(version, Some(seq)).to_json().into_bytes();
-        if body.len() > MAX_RECORD_LEN {
-            return Err(LogError(format!(
-                "record of {} bytes exceeds the {MAX_RECORD_LEN} byte cap",
-                body.len()
-            )));
+        let mut inner = self.lock_inner();
+        let result = self.append_locked(&mut inner, version);
+        if result.is_err() {
+            self.failed_appends.fetch_add(1, Ordering::Relaxed);
         }
-        let mut frame = Vec::with_capacity(FRAME_HEADER_LEN + body.len());
-        frame.extend_from_slice(&(body.len() as u32).to_be_bytes());
-        frame.extend_from_slice(&fnv1a(&body).to_be_bytes());
-        frame.extend_from_slice(&body);
-        inner
-            .file
-            .write_all(&frame)
-            .map_err(|e| LogError(format!("append WAL record: {e}")))?;
-        inner
-            .file
-            .sync_data()
-            .map_err(|e| LogError(format!("fsync WAL record: {e}")))?;
-        inner.next_seq += 1;
-        inner.appends_since_snapshot += 1;
-        self.wal_appends.fetch_add(1, Ordering::Relaxed);
-        self.wal_bytes
-            .fetch_add(frame.len() as u64, Ordering::Relaxed);
-        Ok(())
+        result
     }
 
     fn after_publish(&self) -> Result<(), LogError> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.lock_inner();
         if self.snapshot_every == 0 || inner.appends_since_snapshot < self.snapshot_every {
             return Ok(());
         }
@@ -511,10 +641,27 @@ impl VersionLog for WalLog {
         let path = self.dir.join(SNAPSHOT_FILE);
         let mut f =
             File::create(&tmp).map_err(|e| LogError(format!("create snapshot tmp: {e}")))?;
-        f.write_all(doc.to_json().as_bytes())
-            .map_err(|e| LogError(format!("write snapshot: {e}")))?;
-        f.sync_all()
-            .map_err(|e| LogError(format!("fsync snapshot: {e}")))?;
+        let text = doc.to_json();
+        // Snapshot write/fsync faults are benign: the tmp file is renamed
+        // into place only after a clean write + fsync, so a failure here
+        // just delays compaction to the next publish.
+        let wrote = match self.faults.next_write_fault() {
+            Some(WriteFault::Enospc) => Err(std::io::Error::other(
+                "injected write failure: no space left on device",
+            )),
+            Some(WriteFault::Short { keep_per_mille }) => {
+                let keep = text.len() * keep_per_mille as usize / 1000;
+                let _ = f.write_all(&text.as_bytes()[..keep]);
+                Err(std::io::Error::other("injected short snapshot write"))
+            }
+            None => f.write_all(text.as_bytes()),
+        };
+        wrote.map_err(|e| LogError(format!("write snapshot: {e}")))?;
+        let synced = match self.faults.next_fsync_fault() {
+            Some(e) => Err(e),
+            None => f.sync_all(),
+        };
+        synced.map_err(|e| LogError(format!("fsync snapshot: {e}")))?;
         drop(f);
         fs::rename(&tmp, &path).map_err(|e| LogError(format!("publish snapshot: {e}")))?;
         sync_dir(&self.dir)?;
@@ -527,17 +674,22 @@ impl VersionLog for WalLog {
             .file
             .seek(SeekFrom::Start(0))
             .map_err(|e| LogError(format!("rewind WAL: {e}")))?;
+        // The snapshot is already durable and every truncated record has
+        // seq <= last_seq (skipped on replay), so state is consistent from
+        // here on even if the final fsync fails.
+        inner.valid_len = 0;
+        inner.dirty_tail = false;
+        inner.appends_since_snapshot = 0;
         inner
             .file
             .sync_data()
             .map_err(|e| LogError(format!("fsync truncated WAL: {e}")))?;
-        inner.appends_since_snapshot = 0;
         self.snapshots.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
     fn flush(&self) -> Result<(), LogError> {
-        let inner = self.inner.lock().unwrap();
+        let inner = self.lock_inner();
         inner
             .file
             .sync_all()
@@ -549,6 +701,7 @@ impl VersionLog for WalLog {
             wal_appends: self.wal_appends.load(Ordering::Relaxed),
             wal_bytes: self.wal_bytes.load(Ordering::Relaxed),
             snapshots: self.snapshots.load(Ordering::Relaxed),
+            wal_failed_appends: self.failed_appends.load(Ordering::Relaxed),
             recovered_versions: self.report.versions,
             recovered_wal_records: self.report.wal_records,
             torn_tail_bytes: self.report.torn_tail_bytes,
@@ -560,7 +713,7 @@ impl VersionLog for WalLog {
 mod tests {
     use super::*;
     use crate::protocol::ModelRef;
-    use crate::store::ModelStore;
+    use crate::store::{ModelStore, StoreError};
     use prdnn_core::RepairConfig;
     use prdnn_datasets::registry;
     use std::sync::atomic::AtomicU32;
@@ -778,6 +931,126 @@ mod tests {
         assert_eq!(log2.recovery_report().versions, 2);
         assert_eq!(store2.versions("n1").unwrap().len(), 2);
         assert_eq!(log2.recovery_report().torn_tail_bytes, 0);
+    }
+
+    fn durable_store_with_faults(
+        dir: &Path,
+        snapshot_every: u64,
+        spec: &str,
+    ) -> (ModelStore, Arc<WalLog>) {
+        let faults = FaultInjector::parse(spec).unwrap();
+        let log = Arc::new(WalLog::open_with_faults(dir, snapshot_every, faults).unwrap());
+        (
+            ModelStore::with_log(Arc::clone(&log) as Arc<dyn VersionLog>),
+            log,
+        )
+    }
+
+    /// Every acked version's record document, deterministic order.
+    fn acked_docs(store: &ModelStore) -> Vec<String> {
+        store
+            .list()
+            .iter()
+            .flat_map(|(name, _)| store.versions(name).unwrap())
+            .map(|v| record_doc(&v))
+            .collect()
+    }
+
+    #[test]
+    fn enospc_fails_the_publish_and_leaves_the_store_live() {
+        let tmp = TempDir::new("enospc");
+        let expected: Vec<String>;
+        {
+            // Write op 2 (the first repair) hits disk-full.
+            let (store, log) = durable_store_with_faults(tmp.path(), 0, "enospc@2");
+            store.load("n1", ddnn("n1"), "n1".into()).unwrap();
+            let err = store
+                .publish_repair("n1", ddnn("n1"), "repair 0".into(), provenance(0))
+                .unwrap_err();
+            assert!(
+                matches!(&err, StoreError::Durability(m) if m.contains("no space left")),
+                "{err:?}"
+            );
+            // Nothing published: the head never swapped, reads still serve v1.
+            assert_eq!(store.list(), vec![("n1".into(), 1)]);
+            assert_eq!(log.stats().wal_failed_appends, 1);
+            // The store stays live: the retried publish reuses version 2.
+            let v2 = store
+                .publish_repair("n1", ddnn("n1"), "repair 0".into(), provenance(0))
+                .unwrap();
+            assert_eq!(v2.version, 2);
+            expected = acked_docs(&store);
+        }
+        // Recovery sees exactly the acked versions, bit-identical.
+        let (store, log) = durable_store(tmp.path(), 0);
+        assert_eq!(log.recovery_report().torn_tail_bytes, 0);
+        assert_eq!(acked_docs(&store), expected);
+    }
+
+    #[test]
+    fn short_write_tail_is_truncated_and_the_next_append_lands() {
+        let tmp = TempDir::new("short");
+        let expected: Vec<String>;
+        {
+            let (store, log) = durable_store_with_faults(tmp.path(), 0, "seed=5,short@2");
+            store.load("n1", ddnn("n1"), "n1".into()).unwrap();
+            let after_load = fs::read(tmp.path().join(WAL_FILE)).unwrap().len();
+            let err = store
+                .publish_repair("n1", ddnn("n1"), "repair 0".into(), provenance(0))
+                .unwrap_err();
+            assert!(
+                matches!(&err, StoreError::Durability(m) if m.contains("short write")),
+                "{err:?}"
+            );
+            // The torn prefix was healed away: the file ends at the last
+            // acknowledged record, ready for the next append.
+            assert_eq!(
+                fs::read(tmp.path().join(WAL_FILE)).unwrap().len(),
+                after_load
+            );
+            assert_eq!(log.stats().wal_failed_appends, 1);
+            store
+                .publish_repair("n1", ddnn("n1"), "repair 0".into(), provenance(0))
+                .unwrap();
+            expected = acked_docs(&store);
+        }
+        let (store, log) = durable_store(tmp.path(), 0);
+        // No torn tail for recovery to even notice.
+        assert_eq!(log.recovery_report().torn_tail_bytes, 0);
+        assert_eq!(acked_docs(&store), expected);
+    }
+
+    #[test]
+    fn fsync_failure_rolls_back_even_though_the_bytes_hit_disk() {
+        let tmp = TempDir::new("fsync");
+        let expected: Vec<String>;
+        {
+            // Fsync op 2 = the first repair's fsync (with only `fsync`
+            // configured, write ops are not consumed).  The frame's bytes
+            // are fully written when it fires — they must still not count.
+            let (store, log) = durable_store_with_faults(tmp.path(), 0, "fsync@2");
+            store.load("n1", ddnn("n1"), "n1".into()).unwrap();
+            let err = store
+                .publish_repair("n1", ddnn("n1"), "repair 0".into(), provenance(0))
+                .unwrap_err();
+            assert!(
+                matches!(&err, StoreError::Durability(m) if m.contains("injected fsync failure")),
+                "{err:?}"
+            );
+            assert_eq!(store.list(), vec![("n1".into(), 1)]);
+            assert_eq!(log.stats().wal_failed_appends, 1);
+            // Retry: heal already ran, the reused version number cannot
+            // collide with the rolled-back record.
+            let v2 = store
+                .publish_repair("n1", ddnn("n1"), "repair 0".into(), provenance(0))
+                .unwrap();
+            assert_eq!(v2.version, 2);
+            expected = acked_docs(&store);
+        }
+        let (store, log) = durable_store(tmp.path(), 0);
+        assert_eq!(log.recovery_report().versions, 2);
+        assert_eq!(log.recovery_report().torn_tail_bytes, 0);
+        assert_eq!(acked_docs(&store), expected);
     }
 
     #[test]

@@ -206,19 +206,26 @@ fn response() -> impl Strategy<Value = Response> {
             }),
         }
     });
-    let error = (0usize..8, name()).prop_map(|(k, message)| Response::Error {
-        kind: [
-            ErrorKind::UnknownModel,
-            ErrorKind::UnknownVersion,
-            ErrorKind::UnknownJob,
-            ErrorKind::BadRequest,
-            ErrorKind::Overloaded,
-            ErrorKind::DeadlineExceeded,
-            ErrorKind::ShuttingDown,
-            ErrorKind::Internal,
-        ][k],
-        message,
-    });
+    let error = (
+        0usize..9,
+        name(),
+        prop_oneof![Just(None), (0u64..5000).prop_map(Some)],
+    )
+        .prop_map(|(k, message, retry_after_ms)| Response::Error {
+            kind: [
+                ErrorKind::UnknownModel,
+                ErrorKind::UnknownVersion,
+                ErrorKind::UnknownJob,
+                ErrorKind::BadRequest,
+                ErrorKind::Overloaded,
+                ErrorKind::DeadlineExceeded,
+                ErrorKind::ShuttingDown,
+                ErrorKind::Unavailable,
+                ErrorKind::Internal,
+            ][k],
+            message,
+            retry_after_ms,
+        });
     prop_oneof![
         Just(Response::Pong),
         (name(), 1u32..9).prop_map(|(n, v)| Response::Loaded {
@@ -250,6 +257,13 @@ fn response() -> impl Strategy<Value = Response> {
             recovered_versions: a / 4,
             recovered_wal_records: a / 8,
             torn_tail_bytes: b * 13,
+            wal_failed_appends: a / 9,
+            conns_opened: a + 5 * b,
+            conns_rejected: b / 3,
+            open_connections: a.min(7),
+            io_timeouts: b / 11,
+            batch_shed: a / 6,
+            jobs_shed: b / 7,
         })),
         network,
         Just(Response::ShuttingDown),

@@ -1,0 +1,90 @@
+//! Property tests for [`RetryPolicy`]: the backoff schedule must respect
+//! the caller's deadline budget no matter the policy parameters, and the
+//! jitter must stay inside its configured envelope at every attempt count.
+
+use prdnn_serve::RetryPolicy;
+use proptest::prelude::*;
+use std::time::Duration;
+
+fn policies() -> impl Strategy<Value = RetryPolicy> {
+    (1u32..12, 1u64..200, 1u64..2_000, 0u32..500, 0u64..u64::MAX).prop_map(
+        |(max_attempts, base_ms, max_ms, jitter_per_mille, seed)| RetryPolicy {
+            max_attempts,
+            base_delay: Duration::from_millis(base_ms),
+            // Ensure max >= base so the cap is meaningful.
+            max_delay: Duration::from_millis(base_ms.max(max_ms)),
+            jitter_per_mille,
+            seed,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn total_delay_never_exceeds_the_deadline_budget(
+        policy in policies(),
+        budget_ms in 0u64..10_000,
+    ) {
+        // Simulate a full retry loop: every sleep the policy hands out is
+        // subtracted from the budget; their sum must never overshoot it.
+        let budget = Duration::from_millis(budget_ms);
+        let mut remaining = budget;
+        let mut total = Duration::ZERO;
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            match policy.next_delay(attempt, remaining) {
+                Some(delay) => {
+                    prop_assert!(delay <= remaining, "delay {delay:?} > remaining {remaining:?}");
+                    total += delay;
+                    remaining = remaining.saturating_sub(delay);
+                }
+                None => break,
+            }
+            prop_assert!(attempt <= policy.max_attempts, "loop must terminate on attempts");
+        }
+        prop_assert!(total <= budget, "slept {total:?} of a {budget:?} budget");
+        // Attempts exhausted or budget drained — either way the loop ended
+        // within the policy's own bound.
+        prop_assert!(attempt <= policy.max_attempts);
+    }
+
+    #[test]
+    fn jitter_stays_inside_its_envelope_at_every_attempt_count(
+        policy in policies(),
+        attempt in 1u32..64,
+    ) {
+        let exp = policy
+            .base_delay
+            .saturating_mul(1u32.checked_shl(attempt - 1).unwrap_or(u32::MAX))
+            .min(policy.max_delay);
+        let j = u64::from(policy.jitter_per_mille.min(999));
+        let lo = exp.saturating_mul((1000 - j) as u32) / 1000;
+        let hi = exp.saturating_mul((1000 + j) as u32) / 1000;
+        let d = policy.backoff(attempt);
+        prop_assert!(d >= lo && d <= hi, "{d:?} outside [{lo:?}, {hi:?}] at attempt {attempt}");
+        // Deterministic: the same policy yields the same schedule.
+        prop_assert_eq!(d, policy.backoff(attempt));
+    }
+
+    #[test]
+    fn next_delay_gives_up_exactly_when_it_should(
+        policy in policies(),
+        remaining_ms in 0u64..1_000,
+    ) {
+        let remaining = Duration::from_millis(remaining_ms);
+        // At or past max_attempts: always None.
+        prop_assert_eq!(policy.next_delay(policy.max_attempts, remaining), None);
+        prop_assert_eq!(policy.next_delay(policy.max_attempts + 1, remaining), None);
+        // With budget and attempts left: always Some, clamped.
+        if policy.max_attempts > 1 && !remaining.is_zero() {
+            let d = policy.next_delay(1, remaining);
+            prop_assert!(d.is_some());
+            prop_assert!(d.unwrap() <= remaining);
+        }
+        // Zero budget: never sleeps.
+        prop_assert_eq!(policy.next_delay(1, Duration::ZERO), None);
+    }
+}

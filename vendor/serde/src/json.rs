@@ -60,12 +60,7 @@ impl std::error::Error for ParseError {}
 impl Value {
     /// Builds an object value from key/value pairs, in the given order.
     pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Value)>) -> Value {
-        Value::Obj(
-            pairs
-                .into_iter()
-                .map(|(k, v)| (k.to_owned(), v))
-                .collect(),
-        )
+        Value::Obj(pairs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
     }
 
     /// Builds an array of numbers from an `f64` slice.
@@ -299,8 +294,7 @@ impl Parser<'_> {
             .get(self.pos..self.pos + 4)
             .and_then(|h| std::str::from_utf8(h).ok())
             .ok_or_else(|| self.err("truncated \\u escape"))?;
-        let code =
-            u32::from_str_radix(hex, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| self.err("invalid \\u escape"))?;
         self.pos += 4;
         Ok(code)
     }
@@ -362,9 +356,7 @@ impl Parser<'_> {
                                     char::from_u32(combined)
                                         .ok_or_else(|| self.err("invalid surrogate pair"))?
                                 }
-                                0xDC00..=0xDFFF => {
-                                    return Err(self.err("unpaired low surrogate"))
-                                }
+                                0xDC00..=0xDFFF => return Err(self.err("unpaired low surrogate")),
                                 code => char::from_u32(code)
                                     .ok_or_else(|| self.err("invalid \\u code point"))?,
                             };
@@ -441,12 +433,7 @@ pub fn canonicalize(value: &Value) -> Value {
                 .iter()
                 .map(|(k, v)| (k.as_str(), canonicalize(v)))
                 .collect();
-            Value::Obj(
-                sorted
-                    .into_iter()
-                    .map(|(k, v)| (k.to_owned(), v))
-                    .collect(),
-            )
+            Value::Obj(sorted.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
         }
         other => other.clone(),
     }
@@ -517,10 +504,10 @@ mod tests {
         let v = Value::parse("\"😀\"").unwrap();
         assert_eq!(v.as_str().unwrap(), "😀");
         for bad in [
-            r#""\ud83d""#,        // unpaired high at end of string
-            r#""\ud83dxx""#,      // high not followed by an escape
+            r#""\ud83d""#,   // unpaired high at end of string
+            r#""\ud83dxx""#, // high not followed by an escape
             r#""\ud83dA""#,  // high followed by a non-surrogate
-            r#""\ude00""#,        // lone low
+            r#""\ude00""#,   // lone low
         ] {
             assert!(Value::parse(bad).is_err(), "accepted {bad}");
         }
