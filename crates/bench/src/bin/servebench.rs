@@ -21,7 +21,18 @@
 //!   measured cold-start `recovery_ms` from a fresh server on the same
 //!   directory).
 //!
-//! A fourth, opt-in mix measures **availability under wire chaos**:
+//! An opt-in `--mix cached` workload prices the per-version result
+//! cache: a **cold** phase sends every request with a unique payload
+//! (all misses), then a **hot** phase draws from a small shared payload
+//! pool (all hits after each entry's first fill).  The phases run closed
+//! loop — latency is measured from the send, not a schedule — because
+//! the quantity of interest is the cost of the hit path itself, not
+//! queueing.  The report compares hit vs miss p50/p90/p99 and computes
+//! the hot-phase hit rate from the server's cache counters; the run
+//! fails if that rate drops below 90% or a cache hit is not cheaper
+//! than a miss at the median.
+//!
+//! A further opt-in mix measures **availability under wire chaos**:
 //! `--mix chaos` runs an eval workload through a [`ChaosProxy`] across a
 //! sweep of fault regimes (fault-free baseline, then delay, corrupt,
 //! drop, sever, and everything at once), with every client wrapped in a
@@ -35,7 +46,7 @@
 //!
 //! ```text
 //! servebench [--secs N] [--rate RPS] [--clients N] [--threads N]
-//!            [--mix eval|repair|durable|both|chaos] [--addr HOST:PORT]
+//!            [--mix eval|repair|durable|both|cached|chaos] [--addr HOST:PORT]
 //!            [--store-dir DIR] [--out FILE]
 //! ```
 //!
@@ -158,6 +169,30 @@ fn equation_2_like_spec(tweak: u64) -> PointSpec {
         OutputPolytope::scalar_interval(-0.2 - shift, 0.0 - shift),
     );
     spec
+}
+
+/// Scrapes the metrics endpoint and fails the run on malformed
+/// exposition text: every line must be a `# HELP prdnn_...` /
+/// `# TYPE prdnn_...` comment or a `prdnn_<name> <u64>` sample.
+fn scrape_metrics(client: &mut Client) -> u64 {
+    let text = client.metrics().expect("metrics request");
+    let mut samples = 0u64;
+    for line in text.lines() {
+        if line.starts_with("# HELP prdnn_") || line.starts_with("# TYPE prdnn_") {
+            continue;
+        }
+        let well_formed = line.split_once(' ').is_some_and(|(name, value)| {
+            name.strip_prefix("prdnn_").is_some_and(|n| !n.is_empty())
+                && value.parse::<u64>().is_ok()
+        });
+        assert!(well_formed, "malformed metrics line: {line:?}");
+        samples += 1;
+    }
+    assert!(
+        samples >= 30,
+        "metrics scrape returned only {samples} samples"
+    );
+    samples
 }
 
 /// Runs one mix against a fresh server (or the external `addr`) and
@@ -301,6 +336,9 @@ fn run_mix(
             .as_ref()
             .map(|s| (s.gulps, s.gulp_items, s.max_gulp))
             .unwrap_or((0, 0, 0));
+        // Every mix doubles as a metrics-scrape check: malformed
+        // exposition text fails the bench, not just some dashboard.
+        scrape_metrics(&mut client);
         let owned = own_server.is_some();
         if let Some(handle) = own_server {
             client.shutdown_server().expect("shutdown");
@@ -358,6 +396,172 @@ fn run_mix(
         gulp_stats,
         durability,
     }
+}
+
+/// How many distinct payloads the hot phase cycles through.  Small
+/// enough that the pool warms almost immediately (the first request for
+/// each entry is the only miss), large enough that the phase is not one
+/// degenerate key.
+const CACHED_HOT_POOL: u64 = 16;
+
+/// Cold-phase payload: unique per `(client, request)`, and offset away
+/// from the hot pool's value range, so every request is a cache miss.
+fn cached_cold_payload(c: usize, k: u64) -> Vec<Vec<f64>> {
+    let tag = c as u64 * 1_000_003 + k;
+    (0..4u64)
+        .map(|p| {
+            (0..8u64)
+                .map(|i| (tag * 32 + p * 8 + i) as f64 * 1e-4 + 10.0)
+                .collect()
+        })
+        .collect()
+}
+
+/// Hot-phase payload: drawn from a pool of [`CACHED_HOT_POOL`] payloads
+/// shared by every client, so after each entry's first (miss) request
+/// every recurrence — from any client — is a cache hit.
+fn cached_hot_payload(_c: usize, k: u64) -> Vec<Vec<f64>> {
+    let tag = k % CACHED_HOT_POOL;
+    (0..4u64)
+        .map(|p| {
+            (0..8u64)
+                .map(|i| ((tag * 32 + p * 8 + i) as f64 * 0.03) % 1.0 - 0.5)
+                .collect()
+        })
+        .collect()
+}
+
+/// Runs one closed-loop phase of the cached mix: `clients` threads each
+/// issue `per_client` evals back-to-back, measuring latency from the
+/// send.  Returns the sorted latencies in milliseconds.
+fn cached_phase(
+    addr: SocketAddr,
+    clients: usize,
+    per_client: u64,
+    payload: fn(usize, u64) -> Vec<Vec<f64>>,
+) -> Vec<f64> {
+    let workers: Vec<_> = (0..clients)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect for cached phase");
+                let mut latencies = Vec::with_capacity(per_client as usize);
+                for k in 0..per_client {
+                    let inputs = payload(c, k);
+                    let t0 = Instant::now();
+                    client
+                        .eval(&ModelRef::latest("bench-eval"), inputs, Some(10_000))
+                        .expect("cached-mix eval");
+                    latencies.push(t0.elapsed().as_secs_f64() * 1e3);
+                }
+                latencies
+            })
+        })
+        .collect();
+    let mut latencies: Vec<f64> = Vec::new();
+    for w in workers {
+        latencies.extend(w.join().expect("cached client thread panicked"));
+    }
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    latencies
+}
+
+/// Runs the `eval_cached` mix and returns its JSON report.  Asserts the
+/// acceptance bar inline: hot-phase hit rate at least 90%, and a cache
+/// hit cheaper than a miss at the median.
+fn run_cached_mix(args: &Args) -> Value {
+    let own_server: Option<ServerHandle> = if args.addr.is_none() {
+        Some(
+            serve(ServerConfig {
+                addr: "127.0.0.1:0".to_owned(),
+                max_connections: args.clients + 8,
+                ..ServerConfig::default()
+            })
+            .expect("ephemeral bind"),
+        )
+    } else {
+        None
+    };
+    let addr: SocketAddr = match (&own_server, &args.addr) {
+        (Some(handle), _) => handle.addr(),
+        (None, Some(addr)) => addr.parse().expect("--addr must be HOST:PORT"),
+        (None, None) => unreachable!(),
+    };
+    {
+        let mut setup = Client::connect(addr).expect("connect for setup");
+        let _ = setup.load_generator("bench-eval", "mlp:31:8x24x24x5");
+    }
+
+    // Size the phases off the offered-load knobs: the hot phase is 4x
+    // the cold one so pool warm-up (one miss per pool entry) is noise.
+    let per_client = ((args.rate * args.secs.max(1)) as usize / args.clients).max(32) as u64;
+    let start = Instant::now();
+    let miss_latencies = cached_phase(addr, args.clients, per_client, cached_cold_payload);
+    let mid = Client::connect(addr)
+        .expect("connect for mid stats")
+        .stats()
+        .expect("mid stats");
+    let hit_latencies = cached_phase(addr, args.clients, per_client * 4, cached_hot_payload);
+    let elapsed = start.elapsed();
+
+    let mut teardown = Client::connect(addr).expect("connect for teardown");
+    let stats = teardown.stats().expect("server stats");
+    scrape_metrics(&mut teardown);
+    if let Some(handle) = own_server {
+        teardown.shutdown_server().expect("shutdown");
+        drop(teardown);
+        handle.join().expect("server drain");
+    }
+
+    let hot_hits = stats.cache_hits - mid.cache_hits;
+    let hot_total = hot_hits + (stats.cache_misses - mid.cache_misses);
+    let hit_rate_hot = hot_hits as f64 / hot_total.max(1) as f64;
+    let miss_p50 = percentile(&miss_latencies, 0.50);
+    let hit_p50 = percentile(&hit_latencies, 0.50);
+    assert!(
+        hit_rate_hot >= 0.90,
+        "eval_cached: hot-phase hit rate {hit_rate_hot:.3} below 0.90 \
+         ({hot_hits}/{hot_total})"
+    );
+    assert!(
+        hit_p50 < miss_p50,
+        "eval_cached: hit p50 {hit_p50:.3}ms not below miss p50 {miss_p50:.3}ms"
+    );
+
+    Value::obj([
+        ("mix", Value::Str("eval_cached".to_owned())),
+        ("clients", Value::Num(args.clients as f64)),
+        ("duration_s", Value::Num(elapsed.as_secs_f64())),
+        (
+            "requests",
+            Value::obj([
+                ("cold", Value::Num(miss_latencies.len() as f64)),
+                ("hot", Value::Num(hit_latencies.len() as f64)),
+            ]),
+        ),
+        ("hit_rate_hot", Value::Num(hit_rate_hot)),
+        (
+            "cache",
+            Value::obj([
+                ("hits", Value::Num(stats.cache_hits as f64)),
+                ("misses", Value::Num(stats.cache_misses as f64)),
+                ("inserts", Value::Num(stats.cache_inserts as f64)),
+                ("evictions", Value::Num(stats.cache_evictions as f64)),
+                ("fill_skips", Value::Num(stats.cache_fill_skips as f64)),
+                ("bytes", Value::Num(stats.cache_bytes as f64)),
+            ]),
+        ),
+        (
+            "latency_ms",
+            Value::obj([
+                ("miss_p50", Value::Num(miss_p50)),
+                ("miss_p90", Value::Num(percentile(&miss_latencies, 0.90))),
+                ("miss_p99", Value::Num(percentile(&miss_latencies, 0.99))),
+                ("hit_p50", Value::Num(hit_p50)),
+                ("hit_p90", Value::Num(percentile(&hit_latencies, 0.90))),
+                ("hit_p99", Value::Num(percentile(&hit_latencies, 0.99))),
+            ]),
+        ),
+    ])
 }
 
 /// One availability measurement: an eval workload pushed through a chaos
@@ -694,6 +898,11 @@ fn main() {
             let _ = std::fs::remove_dir_all(&dir);
         }
     }
+    let cached_report = if args.mix == "cached" {
+        Some(run_cached_mix(&args))
+    } else {
+        None
+    };
     let mut chaos_reports = Vec::new();
     if args.mix == "chaos" {
         assert!(
@@ -716,8 +925,8 @@ fn main() {
         );
     }
     assert!(
-        !reports.is_empty() || !chaos_reports.is_empty(),
-        "--mix must be eval, repair, durable, both, or chaos (got {:?})",
+        !reports.is_empty() || !chaos_reports.is_empty() || cached_report.is_some(),
+        "--mix must be eval, repair, durable, both, cached, or chaos (got {:?})",
         args.mix
     );
     for report in &reports {
@@ -738,6 +947,9 @@ fn main() {
             Value::Arr(reports.iter().map(|r| report_to_json(r, &args)).collect()),
         ),
     ];
+    if let Some(cached) = cached_report {
+        doc_pairs.push(("cached", cached));
+    }
     if !chaos_reports.is_empty() {
         doc_pairs.push((
             "chaos",

@@ -101,6 +101,11 @@ pub struct RepairStats {
     pub delta_l1: f64,
     /// ℓ∞ norm of the applied delta.
     pub delta_linf: f64,
+    /// Simplex pivots the repair LP took (0 when the dense tableau
+    /// backend ran — it is uninstrumented).
+    pub lp_pivots: u64,
+    /// Basis refactorisations during the repair LP solve.
+    pub lp_refactorizations: u64,
     /// Wall-clock breakdown.
     pub timing: RepairTiming,
 }
@@ -129,6 +134,8 @@ impl RepairOutcome {
             num_key_points: self.stats.num_key_points,
             delta_l1: self.stats.delta_l1,
             delta_linf: self.stats.delta_linf,
+            lp_pivots: self.stats.lp_pivots,
+            lp_refactorizations: self.stats.lp_refactorizations,
         }
     }
 }
@@ -155,6 +162,11 @@ pub struct RepairProvenance {
     pub delta_l1: f64,
     /// ℓ∞ norm of the applied delta.
     pub delta_linf: f64,
+    /// Simplex pivots the repair LP took (0 for records published before
+    /// the counter existed, or when the uninstrumented dense backend ran).
+    pub lp_pivots: u64,
+    /// Basis refactorisations during the repair LP solve.
+    pub lp_refactorizations: u64,
 }
 
 impl RepairConfig {
@@ -269,6 +281,11 @@ impl RepairProvenance {
             ("num_key_points", Value::Num(self.num_key_points as f64)),
             ("delta_l1", Value::Num(self.delta_l1)),
             ("delta_linf", Value::Num(self.delta_linf)),
+            ("lp_pivots", Value::Num(self.lp_pivots as f64)),
+            (
+                "lp_refactorizations",
+                Value::Num(self.lp_refactorizations as f64),
+            ),
         ])
     }
 
@@ -307,6 +324,16 @@ impl RepairProvenance {
                 .get("delta_linf")
                 .and_then(Value::as_f64)
                 .ok_or("provenance: missing \"delta_linf\"")?,
+            // The LP work counters postdate the first durable records;
+            // missing fields decode as 0 so older WAL records keep loading.
+            lp_pivots: v
+                .get("lp_pivots")
+                .and_then(Value::as_f64)
+                .map_or(0, |n| n as u64),
+            lp_refactorizations: v
+                .get("lp_refactorizations")
+                .and_then(Value::as_f64)
+                .map_or(0, |n| n as u64),
         })
     }
 }
@@ -530,8 +557,8 @@ pub(crate) fn repair_key_points(
         max_iters: config.max_lp_iterations,
         pricing: config.lp_pricing,
     };
-    let solution = match prdnn_lp::solve_with_options(&lp, &options) {
-        Ok(solution) => solution,
+    let (solution, lp_stats) = match prdnn_lp::solve_with_stats(&lp, &options) {
+        Ok(solved) => solved,
         Err(LpError::Infeasible) => return Err(RepairError::Infeasible),
         Err(LpError::IterationLimit) => return Err(RepairError::LpIterationLimit),
         // Norm objectives are bounded below by zero, so unboundedness cannot
@@ -558,6 +585,8 @@ pub(crate) fn repair_key_points(
             num_variables: num_params,
             delta_l1: vector::norm_l1(&delta),
             delta_linf: vector::norm_linf(&delta),
+            lp_pivots: lp_stats.pivots,
+            lp_refactorizations: lp_stats.refactorizations,
             timing: RepairTiming {
                 lin_regions: lin_regions_time,
                 jacobians: jacobian_time,
@@ -643,10 +672,22 @@ mod tests {
                 num_key_points: 7,
                 delta_l1: 0.125,
                 delta_linf: 1.0 / 3.0,
+                lp_pivots: 42,
+                lp_refactorizations: 3,
             };
             let back = RepairProvenance::from_json(&provenance.to_json()).unwrap();
             assert_eq!(back, provenance);
             assert_eq!(back.spec_hash, provenance.spec_hash);
+
+            // Records published before the LP counters existed lack the
+            // fields; they must decode as 0, not fail.
+            let mut doc = provenance.to_json();
+            if let Value::Obj(fields) = &mut doc {
+                fields.retain(|(k, _)| k != "lp_pivots" && k != "lp_refactorizations");
+            }
+            let old = RepairProvenance::from_json(&doc).unwrap();
+            assert_eq!(old.lp_pivots, 0);
+            assert_eq!(old.lp_refactorizations, 0);
         }
         assert!(RepairProvenance::from_json(&Value::obj([])).is_err());
         assert!(RepairConfig::from_json(&Value::obj([("norm", Value::Str("l7".into()))])).is_err());

@@ -51,7 +51,8 @@ mod sparse;
 
 pub use problem::{ConstraintOp, LpProblem, Objective, VarId, VarKind};
 pub use solver::{
-    solve, solve_with_limit, solve_with_options, LpBackend, PricingRule, Solution, SolveOptions,
+    solve, solve_with_limit, solve_with_options, solve_with_stats, LpBackend, LpStats, PricingRule,
+    Solution, SolveOptions,
 };
 
 /// Errors returned by [`solve`].

@@ -74,7 +74,7 @@ const DEVEX_MINOR_LIMIT: usize = 16;
 /// the weights restart from a fresh framework.
 const DEVEX_RESET_BOUND: f64 = 1e4;
 
-/// Entering-column pricing rule used by [`solve_standard_sparse`].
+/// Entering-column pricing rule used by [`solve_standard_sparse_with_stats`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum Pricing {
     /// Full pricing, most negative reduced cost.
@@ -86,7 +86,6 @@ pub(crate) enum Pricing {
 /// Counters describing one revised-simplex solve (used by the degeneracy
 /// and pricing regression tests).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-#[cfg_attr(not(test), allow(dead_code))]
 pub(crate) struct RevisedStats {
     /// Total pivots across both phases.
     pub pivots: usize,
@@ -494,10 +493,15 @@ impl Solver<'_> {
     }
 }
 
-/// Revised simplex on a sparse standard-form program.
+/// Revised simplex on a sparse standard-form program, discarding the
+/// counters.  Production callers route through
+/// [`solve_standard_sparse_with_stats`] since the solver surfaced
+/// [`crate::LpStats`]; this wrapper remains for the tests that only check
+/// outcomes.
 ///
 /// Returns `None` on numerical breakdown (singular basis refactorisation),
 /// in which case the caller falls back to the dense tableau oracle.
+#[cfg(test)]
 pub(crate) fn solve_standard_sparse(
     sf: &SparseStandardForm,
     max_iters: usize,
@@ -506,9 +510,11 @@ pub(crate) fn solve_standard_sparse(
     solve_standard_sparse_with_stats(sf, max_iters, pricing).map(|(outcome, _)| outcome)
 }
 
-/// [`solve_standard_sparse`] plus the pivot counters — the regression tests
-/// use the counters to pin that the Bland fallback actually engages on
-/// stalling programs.
+/// Revised simplex on a sparse standard-form program, plus the
+/// [`RevisedStats`] pivot counters.
+///
+/// Returns `None` on numerical breakdown (singular basis refactorisation),
+/// in which case the caller falls back to the dense tableau oracle.
 pub(crate) fn solve_standard_sparse_with_stats(
     sf: &SparseStandardForm,
     max_iters: usize,

@@ -22,7 +22,7 @@
 //! solve transparently re-runs on the dense oracle.
 
 use crate::problem::{ConstraintOp, LpProblem, Objective, VarKind};
-use crate::revised::{solve_standard_sparse, Pricing};
+use crate::revised::{solve_standard_sparse_with_stats, Pricing, RevisedStats};
 use crate::simplex::{solve_standard, SimplexOutcome};
 use crate::sparse::{CsrMatrix, SparseStandardForm};
 use crate::LpError;
@@ -34,6 +34,35 @@ pub struct Solution {
     pub values: Vec<f64>,
     /// Optimal objective value (0 for pure feasibility problems).
     pub objective: f64,
+}
+
+/// Work counters from one solve, surfaced by [`solve_with_stats`].
+///
+/// The revised sparse backend fills every field; the dense tableau has no
+/// instrumentation, so dense solves (including the transparent
+/// breakdown fallback) report all-zero stats.  ℓ∞ objectives are lowered to
+/// a single augmented solve, whose counters carry through unchanged.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LpStats {
+    /// Total simplex pivots across both phases.
+    pub pivots: u64,
+    /// Pivots taken under the Bland anti-cycling fallback.
+    pub bland_pivots: u64,
+    /// Mid-solve basis refactorisations.
+    pub refactorizations: u64,
+    /// Degenerate (zero-step) pivots.
+    pub degenerate_pivots: u64,
+}
+
+impl From<RevisedStats> for LpStats {
+    fn from(s: RevisedStats) -> Self {
+        LpStats {
+            pivots: s.pivots as u64,
+            bland_pivots: s.bland_pivots as u64,
+            refactorizations: s.refactorizations as u64,
+            degenerate_pivots: s.degenerate_pivots as u64,
+        }
+    }
 }
 
 /// Which simplex implementation executes the solve.
@@ -175,6 +204,18 @@ pub fn solve_with_options(
     problem: &LpProblem,
     options: &SolveOptions,
 ) -> Result<Solution, LpError> {
+    solve_with_stats(problem, options).map(|(solution, _)| solution)
+}
+
+/// [`solve_with_options`] plus the [`LpStats`] work counters for the solve.
+///
+/// # Errors
+///
+/// See [`solve`].
+pub fn solve_with_stats(
+    problem: &LpProblem,
+    options: &SolveOptions,
+) -> Result<(Solution, LpStats), LpError> {
     // ℓ∞ objectives are lowered to a plain linear objective over an
     // augmented problem with one extra bound variable `t ≥ |x_i|`.
     if let Objective::MinimizeLinf(vars) = &problem.objective {
@@ -185,13 +226,16 @@ pub fn solve_with_options(
             augmented.add_constraint(&[(*v, -1.0), (t, -1.0)], ConstraintOp::Le, 0.0);
         }
         augmented.set_objective_linear(&[(t, 1.0)]);
-        let mut solution = solve_with_options(&augmented, options)?;
+        let (mut solution, stats) = solve_with_stats(&augmented, options)?;
         let objective = solution.values[t.index()];
         solution.values.truncate(problem.num_vars());
-        return Ok(Solution {
-            values: solution.values,
-            objective,
-        });
+        return Ok((
+            Solution {
+                values: solution.values,
+                objective,
+            },
+            stats,
+        ));
     }
 
     let (sf, mapping) = to_standard_form(problem);
@@ -200,18 +244,27 @@ pub fn solve_with_options(
         LpBackend::RevisedSparse => true,
         LpBackend::Auto => auto_prefers_revised(&sf),
     };
-    let outcome = if use_revised {
+    let (outcome, stats) = if use_revised {
         // `None` is a numerical breakdown in the revised backend; the dense
-        // tableau is the robust fallback.
-        solve_standard_sparse(&sf, options.max_iters, options.pricing.resolve())
-            .unwrap_or_else(|| solve_standard(&sf.to_dense(), options.max_iters))
+        // tableau is the robust (uninstrumented) fallback.
+        solve_standard_sparse_with_stats(&sf, options.max_iters, options.pricing.resolve())
+            .map(|(outcome, stats)| (outcome, LpStats::from(stats)))
+            .unwrap_or_else(|| {
+                (
+                    solve_standard(&sf.to_dense(), options.max_iters),
+                    LpStats::default(),
+                )
+            })
     } else {
-        solve_standard(&sf.to_dense(), options.max_iters)
+        (
+            solve_standard(&sf.to_dense(), options.max_iters),
+            LpStats::default(),
+        )
     };
     match outcome {
         SimplexOutcome::Optimal { x, objective } => {
             let values = mapping.recover(problem, &x);
-            Ok(Solution { values, objective })
+            Ok((Solution { values, objective }, stats))
         }
         SimplexOutcome::Infeasible => Err(LpError::Infeasible),
         SimplexOutcome::Unbounded => Err(LpError::Unbounded),
@@ -583,5 +636,50 @@ mod tests {
         wide.minimize_l1_of(&vars);
         let (sf_wide, _) = to_standard_form(&wide);
         assert!(auto_prefers_revised(&sf_wide));
+    }
+
+    #[test]
+    fn solve_with_stats_counts_revised_pivots_and_zeroes_dense() {
+        // A wide block-sparse program the revised backend must pivot on.
+        let mut wide = LpProblem::new();
+        let vars = wide.add_vars(128, VarKind::Free);
+        for block in 0..16 {
+            let terms: Vec<_> = (0..8).map(|k| (vars[block * 8 + k], 1.0)).collect();
+            wide.add_constraint(&terms, ConstraintOp::Ge, 1.0);
+        }
+        wide.minimize_l1_of(&vars);
+        let revised = SolveOptions {
+            backend: LpBackend::RevisedSparse,
+            ..SolveOptions::default()
+        };
+        let (solution, stats) = solve_with_stats(&wide, &revised).unwrap();
+        assert!((solution.objective - 16.0).abs() < 1e-6);
+        assert!(stats.pivots > 0, "revised solve must report pivot work");
+
+        // The dense tableau is uninstrumented: all-zero stats, same optimum.
+        let dense = SolveOptions {
+            backend: LpBackend::DenseTableau,
+            ..SolveOptions::default()
+        };
+        let (dense_solution, dense_stats) = solve_with_stats(&wide, &dense).unwrap();
+        assert!((dense_solution.objective - solution.objective).abs() < 1e-6);
+        assert_eq!(dense_stats, LpStats::default());
+
+        // ℓ∞ lowering carries the augmented solve's counters through.
+        let mut linf = LpProblem::new();
+        let x = linf.add_var(VarKind::Free);
+        let y = linf.add_var(VarKind::Free);
+        linf.add_constraint(&[(x, 1.0), (y, 1.0)], ConstraintOp::Ge, 1.0);
+        linf.minimize_linf_of(&[x, y]);
+        let (linf_solution, linf_stats) = solve_with_stats(
+            &linf,
+            &SolveOptions {
+                backend: LpBackend::RevisedSparse,
+                ..SolveOptions::default()
+            },
+        )
+        .unwrap();
+        assert!((linf_solution.objective - 0.5).abs() < 1e-7);
+        assert!(linf_stats.pivots > 0);
     }
 }

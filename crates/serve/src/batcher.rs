@@ -16,8 +16,18 @@
 //! Admission control lives here too: a full queue rejects instead of
 //! buffering without bound, items whose deadline expired before their
 //! batch ran are answered with `deadline_exceeded` without paying for the
-//! forward pass, and shutdown drains the queue before the worker exits.
+//! forward pass (counted under `deadline_expired`; deadlines are
+//! re-checked per group right before it executes, so a late group's
+//! members do not pay for a forward pass into a dead reply channel), and
+//! shutdown drains the queue before the worker exits.
+//!
+//! The [`crate::cache::ResultCache`] sits between the drain and the
+//! grouping: each drained item is probed first (a hit replies immediately
+//! without entering any group), and every computed result fills the cache
+//! on the way out — unless the member's deadline expired while the group
+//! ran, in which case the fill is skipped and counted.
 
+use crate::cache::{CacheKey, ResultCache};
 use crate::protocol::ErrorKind;
 use crate::store::ModelVersion;
 use prdnn_par::PoolRef;
@@ -37,7 +47,7 @@ pub enum Call {
 }
 
 /// A successful reply's payload.
-#[derive(Debug)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ReplyData {
     /// Outputs, one per submitted input.
     Outputs(Vec<Vec<f64>>),
@@ -53,6 +63,9 @@ struct Pending {
     call: Call,
     deadline: Instant,
     reply: Sender<Reply>,
+    /// The item's cache key, computed once at submission on the connection
+    /// thread (`None` when the cache is disabled).
+    key: Option<CacheKey>,
 }
 
 struct BatchState {
@@ -85,6 +98,14 @@ pub struct BatchCounters {
     /// Items rejected at submission because the queue was full (load
     /// shedding — each one surfaced a typed `overloaded` to its client).
     pub shed: AtomicU64,
+    /// Items answered `deadline_exceeded` without executing, in the
+    /// pre-batch sweep or the per-group re-check.
+    pub deadline_expired: AtomicU64,
+    /// Individual isolation-rescue calls run after a batched `lin_regions`
+    /// group failed (each member re-runs alone; these calls are *not*
+    /// counted under `lin_batches`/`lin_polytopes`, which track coalesced
+    /// work only).
+    pub lin_rescue_calls: AtomicU64,
 }
 
 /// The coalescing batcher; see the module docs.
@@ -93,13 +114,15 @@ pub struct Batcher {
     cv: Condvar,
     cap: usize,
     pool: Arc<PoolRef>,
+    cache: Arc<ResultCache>,
     /// Request/batch counters.
     pub counters: BatchCounters,
 }
 
 impl Batcher {
-    /// Creates a batcher whose queue holds at most `cap` pending items.
-    pub fn new(pool: Arc<PoolRef>, cap: usize) -> Self {
+    /// Creates a batcher whose queue holds at most `cap` pending items,
+    /// probing and filling `cache` around every batched call.
+    pub fn new(pool: Arc<PoolRef>, cap: usize, cache: Arc<ResultCache>) -> Self {
         Batcher {
             state: Mutex::new(BatchState {
                 queue: Vec::new(),
@@ -108,6 +131,7 @@ impl Batcher {
             cv: Condvar::new(),
             cap: cap.max(1),
             pool,
+            cache,
             counters: BatchCounters::default(),
         }
     }
@@ -126,6 +150,17 @@ impl Batcher {
         deadline: Instant,
     ) -> Result<Receiver<Reply>, (ErrorKind, String)> {
         let (tx, rx) = std::sync::mpsc::channel();
+        // Hash the payload on the connection thread, outside the queue
+        // lock: submissions hash in parallel, the single batch worker only
+        // probes.
+        let key = if self.cache.is_enabled() {
+            Some(match &call {
+                Call::Eval(inputs) => CacheKey::eval(&version, inputs),
+                Call::LinRegions(polys) => CacheKey::lin_regions(&version, polys),
+            })
+        } else {
+            None
+        };
         {
             // A poisoned queue lock means a submitter panicked mid-push
             // (never observed; pushes are infallible) — the queue contents
@@ -156,6 +191,7 @@ impl Batcher {
                 call,
                 deadline,
                 reply: tx,
+                key,
             });
         }
         self.cv.notify_one();
@@ -216,8 +252,21 @@ impl Batcher {
         self.cv.notify_all();
     }
 
+    /// Answers one expired item and counts it.
+    fn expire(&self, item: &Pending, when: &str) {
+        self.counters
+            .deadline_expired
+            .fetch_add(1, Ordering::Relaxed);
+        let _ = item.reply.send(Err((
+            ErrorKind::DeadlineExceeded,
+            format!("deadline expired before {when}"),
+        )));
+    }
+
     /// Groups the drained items by `(version, kind)` in first-seen order
-    /// and executes one batched call per group.
+    /// and executes one batched call per group.  Before grouping, each
+    /// item's cache key is probed: hits reply immediately and never enter
+    /// a group.
     fn run_batch(&self, batch: Vec<Pending>) {
         if !batch.is_empty() {
             let n = batch.len() as u64;
@@ -229,13 +278,16 @@ impl Batcher {
         let mut live = Vec::with_capacity(batch.len());
         for item in batch {
             if item.deadline <= now {
-                let _ = item.reply.send(Err((
-                    ErrorKind::DeadlineExceeded,
-                    "deadline expired before the batch ran".to_owned(),
-                )));
-            } else {
-                live.push(item);
+                self.expire(&item, "the batch ran");
+                continue;
             }
+            if let Some(key) = &item.key {
+                if let Some(data) = self.cache.probe(key) {
+                    let _ = item.reply.send(Ok(data));
+                    continue;
+                }
+            }
+            live.push(item);
         }
         let mut groups: Vec<(bool, Arc<ModelVersion>, Vec<Pending>)> = Vec::new();
         for item in live {
@@ -254,7 +306,23 @@ impl Batcher {
         // fresh Vecs per group.
         let mut pairs: Vec<(&[f64], &[f64])> = Vec::new();
         let mut polytopes: Vec<&Vec<Vec<f64>>> = Vec::new();
-        for (is_eval, version, members) in &groups {
+        for (is_eval, version, members) in &mut groups {
+            // Re-check deadlines right before this group executes: earlier
+            // groups' compute time may have expired members that were live
+            // at the pre-batch sweep, and they must not pay for a forward
+            // pass into a dead reply channel.
+            let now = Instant::now();
+            members.retain(|m| {
+                if m.deadline <= now {
+                    self.expire(m, "its group ran");
+                    false
+                } else {
+                    true
+                }
+            });
+            if members.is_empty() {
+                continue;
+            }
             if *is_eval {
                 // The decoupled forward with both channels at the same
                 // point is the served model's semantics (identical to
@@ -283,6 +351,20 @@ impl Batcher {
         }
     }
 
+    /// Fills the cache with a member's computed payload — unless the
+    /// member's deadline expired while its group ran, in which case the
+    /// fill is skipped (and counted): the reply channel is likely dead,
+    /// and a payload nobody received must not churn the LRU.
+    fn fill_from(&self, member: &Pending, data: &ReplyData) {
+        if let Some(key) = &member.key {
+            if member.deadline <= Instant::now() {
+                self.cache.skip_fill();
+            } else {
+                self.cache.fill(*key, data);
+            }
+        }
+    }
+
     fn run_eval_group(
         &self,
         version: &ModelVersion,
@@ -300,7 +382,9 @@ impl Batcher {
                 unreachable!("eval group holds eval calls")
             };
             let slice: Vec<Vec<f64>> = outputs.by_ref().take(inputs.len()).collect();
-            let _ = member.reply.send(Ok(ReplyData::Outputs(slice)));
+            let data = ReplyData::Outputs(slice);
+            self.fill_from(member, &data);
+            let _ = member.reply.send(Ok(data));
         }
     }
 
@@ -330,7 +414,9 @@ impl Batcher {
                     };
                     let slice: Vec<Vec<LinearRegion>> =
                         regions.by_ref().take(polys.len()).collect();
-                    let _ = member.reply.send(Ok(ReplyData::Regions(slice)));
+                    let data = ReplyData::Regions(slice);
+                    self.fill_from(member, &data);
+                    let _ = member.reply.send(Ok(data));
                 }
             }
             Err(_) => {
@@ -339,17 +425,28 @@ impl Batcher {
                 // degenerate segment the cheap pre-validation cannot
                 // catch).  One bad request must not fail the others it
                 // happened to be coalesced with, so isolate: re-run each
-                // member on its own and deliver per-member verdicts.
+                // member on its own and deliver per-member verdicts.  The
+                // re-runs are accounted under `lin_rescue_calls`, not
+                // `lin_batches`/`lin_polytopes`, which track coalesced
+                // work only — rescue work must not inflate mean-gulp
+                // metrics.
                 for member in members {
                     let Call::LinRegions(polys) = &member.call else {
                         unreachable!("lin group holds lin_regions calls")
                     };
+                    self.counters
+                        .lin_rescue_calls
+                        .fetch_add(1, Ordering::Relaxed);
                     let reply = match prdnn_syrenn::lin_regions_batch_in(
                         &self.pool,
                         version.ddnn.activation_network(),
                         polys,
                     ) {
-                        Ok(regions) => Ok(ReplyData::Regions(regions)),
+                        Ok(regions) => {
+                            let data = ReplyData::Regions(regions);
+                            self.fill_from(member, &data);
+                            Ok(data)
+                        }
                         Err(e) => Err((ErrorKind::BadRequest, e.to_string())),
                     };
                     let _ = member.reply.send(reply);
@@ -382,10 +479,21 @@ mod tests {
         Instant::now() + Duration::from_secs(60)
     }
 
+    /// The pre-cache batcher the legacy tests pin: caching disabled.
+    fn batcher_without_cache(threads: usize, cap: usize) -> Batcher {
+        let pool = Arc::new(prdnn_par::pool_for(Some(threads)));
+        Batcher::new(pool, cap, Arc::new(ResultCache::disabled()))
+    }
+
+    /// A batcher with a generous enabled cache.
+    fn batcher_with_cache(threads: usize, cap: usize) -> Batcher {
+        let pool = Arc::new(prdnn_par::pool_for(Some(threads)));
+        Batcher::new(pool, cap, Arc::new(ResultCache::new(1 << 20)))
+    }
+
     #[test]
     fn concurrent_evals_coalesce_into_one_batch_with_exact_results() {
-        let pool = Arc::new(prdnn_par::pool_for(Some(2)));
-        let batcher = Batcher::new(pool, 16);
+        let batcher = batcher_without_cache(2, 16);
         let version = version_of("mlp:5:3x8x2");
         let net = registry::build_model("mlp:5:3x8x2").unwrap();
 
@@ -428,8 +536,7 @@ mod tests {
 
     #[test]
     fn overload_deadline_and_shutdown_are_enforced() {
-        let pool = Arc::new(prdnn_par::pool_for(Some(1)));
-        let batcher = Batcher::new(pool, 1);
+        let batcher = batcher_without_cache(1, 1);
         let version = version_of("n1");
 
         let _held = batcher
@@ -463,6 +570,7 @@ mod tests {
             ErrorKind::DeadlineExceeded
         );
         assert_eq!(batcher.counters.eval_batches.load(Ordering::Relaxed), 1);
+        assert_eq!(batcher.counters.deadline_expired.load(Ordering::Relaxed), 1);
 
         batcher.shutdown();
         let err = batcher
@@ -473,8 +581,7 @@ mod tests {
 
     #[test]
     fn degenerate_polytope_does_not_fail_its_batchmates() {
-        let pool = Arc::new(prdnn_par::pool_for(Some(1)));
-        let batcher = Batcher::new(pool, 16);
+        let batcher = batcher_without_cache(1, 16);
         let version = version_of("n1");
 
         // A degenerate segment (identical endpoints) coalesced with a
@@ -501,12 +608,16 @@ mod tests {
             panic!("valid batchmate must still succeed")
         };
         assert_eq!(regions[0].len(), 3);
+        // Both members re-ran individually; the rescue calls are counted
+        // apart from the coalesced lin_batches/lin_polytopes.
+        assert_eq!(batcher.counters.lin_rescue_calls.load(Ordering::Relaxed), 2);
+        assert_eq!(batcher.counters.lin_batches.load(Ordering::Relaxed), 1);
+        assert_eq!(batcher.counters.lin_polytopes.load(Ordering::Relaxed), 2);
     }
 
     #[test]
     fn lin_regions_group_matches_direct_calls() {
-        let pool = Arc::new(prdnn_par::pool_for(Some(1)));
-        let batcher = Batcher::new(pool, 16);
+        let batcher = batcher_without_cache(1, 16);
         let version = version_of("n1");
         let net = registry::build_model("n1").unwrap();
 
@@ -526,5 +637,142 @@ mod tests {
         assert_eq!(regions[0], direct);
         // N1 has three linear regions on [-1, 2].
         assert_eq!(regions[0].len(), 3);
+    }
+
+    #[test]
+    fn cache_hits_are_bit_identical_and_skip_the_pool() {
+        let batcher = batcher_with_cache(1, 16);
+        let version = version_of("mlp:5:3x8x2");
+        let net = registry::build_model("mlp:5:3x8x2").unwrap();
+        let inputs = vec![vec![0.1, 0.2, 0.3], vec![-0.5, 0.0, 0.5]];
+
+        let submit_eval = || {
+            batcher
+                .submit(
+                    Arc::clone(&version),
+                    Call::Eval(inputs.clone()),
+                    far_deadline(),
+                )
+                .unwrap()
+        };
+        let first = submit_eval();
+        batcher.drain_once();
+        let second = submit_eval();
+        batcher.drain_once();
+        // The second drain answered from the cache: still one pool call.
+        assert_eq!(batcher.counters.eval_batches.load(Ordering::Relaxed), 1);
+        let c = &batcher.cache.counters;
+        assert_eq!(c.hits.load(Ordering::Relaxed), 1);
+        assert_eq!(c.misses.load(Ordering::Relaxed), 1);
+        assert_eq!(c.inserts.load(Ordering::Relaxed), 1);
+        for rx in [first, second] {
+            let ReplyData::Outputs(outputs) = rx.recv().unwrap().unwrap() else {
+                panic!("expected outputs")
+            };
+            // Both the miss and the hit are bit-identical to the direct
+            // library call.
+            for (x, y) in inputs.iter().zip(&outputs) {
+                assert_eq!(y, &net.forward(x));
+            }
+        }
+
+        // Same story for lin_regions.
+        let segment = vec![vec![0.0, 0.0, 0.0], vec![1.0, 1.0, 1.0]];
+        let submit_lin = || {
+            batcher
+                .submit(
+                    Arc::clone(&version),
+                    Call::LinRegions(vec![segment.clone()]),
+                    far_deadline(),
+                )
+                .unwrap()
+        };
+        let first = submit_lin();
+        batcher.drain_once();
+        let second = submit_lin();
+        batcher.drain_once();
+        assert_eq!(batcher.counters.lin_batches.load(Ordering::Relaxed), 1);
+        let direct = prdnn_syrenn::lin_regions(&net, &segment).unwrap();
+        for rx in [first, second] {
+            let ReplyData::Regions(regions) = rx.recv().unwrap().unwrap() else {
+                panic!("expected regions")
+            };
+            assert_eq!(regions[0], direct);
+        }
+    }
+
+    #[test]
+    fn repaired_version_misses_parent_eval_entries_but_shares_lin_entries() {
+        let batcher = batcher_with_cache(1, 16);
+        let v1 = version_of("n1");
+        // A value-only repair of layer 0, exactly what `publish_repair`
+        // stores: same activation channel, patched value channel.
+        let mut repaired = DecoupledNetwork::from_network(&registry::build_model("n1").unwrap());
+        let params = repaired.value_network().layer(0).num_params();
+        repaired.apply_value_delta(0, &vec![0.5; params]);
+        let v2 = Arc::new(ModelVersion::new(
+            "m".to_owned(),
+            2,
+            repaired,
+            "repair of m@v1".to_owned(),
+            None,
+        ));
+
+        let input = vec![vec![0.5]];
+        let eval = |version: &Arc<ModelVersion>| {
+            let rx = batcher
+                .submit(
+                    Arc::clone(version),
+                    Call::Eval(input.clone()),
+                    far_deadline(),
+                )
+                .unwrap();
+            batcher.drain_once();
+            let ReplyData::Outputs(outputs) = rx.recv().unwrap().unwrap() else {
+                panic!("expected outputs")
+            };
+            outputs
+        };
+        let from_v1 = eval(&v1);
+        let from_v2 = eval(&v2);
+        let c = &batcher.cache.counters;
+        // The repaired version's eval key differs (value channel changed):
+        // both evals were misses, and the answers actually differ.
+        assert_eq!(c.hits.load(Ordering::Relaxed), 0);
+        assert_eq!(c.misses.load(Ordering::Relaxed), 2);
+        assert_ne!(
+            from_v1, from_v2,
+            "a stale hit would have returned v1's outputs"
+        );
+
+        // lin_regions keys off the activation channel alone, which the
+        // value-only repair preserved: v2 legitimately hits v1's entry.
+        let segment = vec![vec![-1.0], vec![2.0]];
+        let lin = |version: &Arc<ModelVersion>| {
+            let rx = batcher
+                .submit(
+                    Arc::clone(version),
+                    Call::LinRegions(vec![segment.clone()]),
+                    far_deadline(),
+                )
+                .unwrap();
+            batcher.drain_once();
+            let ReplyData::Regions(regions) = rx.recv().unwrap().unwrap() else {
+                panic!("expected regions")
+            };
+            regions
+        };
+        let lin_v1 = lin(&v1);
+        let lin_v2 = lin(&v2);
+        assert_eq!(
+            c.hits.load(Ordering::Relaxed),
+            1,
+            "v2 shares v1's lin entry"
+        );
+        assert_eq!(batcher.counters.lin_batches.load(Ordering::Relaxed), 1);
+        assert_eq!(lin_v1, lin_v2);
+        let direct =
+            prdnn_syrenn::lin_regions(&registry::build_model("n1").unwrap(), &segment).unwrap();
+        assert_eq!(lin_v1[0], direct);
     }
 }

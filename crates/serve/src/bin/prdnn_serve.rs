@@ -4,7 +4,7 @@
 //! prdnn-serve [--addr HOST:PORT] [--threads N] [--max-connections N]
 //!             [--batch-queue N] [--job-queue N] [--repair-workers N]
 //!             [--deadline-ms MS] [--io-timeout-ms MS] [--store-dir DIR]
-//!             [--snapshot-every N] [--fault-wal SPEC]
+//!             [--snapshot-every N] [--cache-bytes N] [--fault-wal SPEC]
 //!             [--preload NAME=GENERATOR]...
 //! ```
 //!
@@ -18,6 +18,10 @@
 //! model and version (with provenance) before accepting connections.
 //! `--snapshot-every N` compacts the WAL into `snapshot.json` every `N`
 //! publishes (default 64; `0` disables compaction).
+//!
+//! `--cache-bytes N` budgets the per-version result cache that memoizes
+//! eval / `lin_regions` replies (default 32 MiB; `0` disables caching —
+//! every request runs on the pool).
 //!
 //! `--io-timeout-ms MS` bounds how long a connection may sit idle
 //! mid-request before it is reaped and its slot freed (slowloris
@@ -71,6 +75,14 @@ fn main() -> ExitCode {
                         .map_err(|_| format!("expected a non-negative integer, got {v:?}"))
                 })
             }
+            "--cache-bytes" => {
+                // 0 is meaningful here: disable the result cache.
+                take("--cache-bytes").and_then(|v| {
+                    v.parse::<usize>()
+                        .map(|n| config.cache_bytes = n)
+                        .map_err(|_| format!("expected a non-negative integer, got {v:?}"))
+                })
+            }
             "--fault-wal" => take("--fault-wal").and_then(|v| {
                 // Validate the spec up front so a typo fails the launch,
                 // not the first publish.
@@ -88,7 +100,7 @@ fn main() -> ExitCode {
                     "prdnn-serve [--addr HOST:PORT] [--threads N] [--max-connections N]\n\
                      \x20           [--batch-queue N] [--job-queue N] [--repair-workers N]\n\
                      \x20           [--deadline-ms MS] [--io-timeout-ms MS] [--store-dir DIR]\n\
-                     \x20           [--snapshot-every N] [--fault-wal SPEC]\n\
+                     \x20           [--snapshot-every N] [--cache-bytes N] [--fault-wal SPEC]\n\
                      \x20           [--preload NAME=GENERATOR]..."
                 );
                 return ExitCode::SUCCESS;

@@ -345,6 +345,19 @@ impl Client {
         }
     }
 
+    /// Reads the server's counters rendered as Prometheus text exposition
+    /// format (the same numbers as [`Client::stats`], for scrapers).
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        match self.expect(&Request::Metrics)? {
+            Response::Metrics { text } => Ok(text),
+            other => Err(unexpected("metrics", &other)),
+        }
+    }
+
     /// Asks the server to begin graceful shutdown.
     ///
     /// # Errors

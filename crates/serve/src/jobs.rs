@@ -3,12 +3,26 @@
 //! Repairs solve an LP — milliseconds on toy models, minutes at paper
 //! scale — so they must never run on a connection thread or block the
 //! accept loop.  A `repair` request enqueues a job into a bounded FIFO and
-//! immediately returns a job id; dedicated workers pop jobs in order, run
-//! [`prdnn_core::repair_points_ddnn_in`] on the shared pool against the
-//! version that was current *at submission*, and publish the repaired
-//! network as the model's next version with full provenance.  Clients
-//! poll `job_status` until `done` (which names the published version) or
-//! `failed`.
+//! immediately returns a job id; dedicated workers pop jobs and run
+//! [`prdnn_core::repair_points_ddnn_in`] on the shared pool, publishing
+//! the repaired network as the model's next version with full provenance.
+//! Clients poll `job_status` until `done` (which names the published
+//! version) or `failed`.
+//!
+//! # Single writer per model
+//!
+//! Repairs of one model are **serialised**: a worker never pops a job
+//! whose model has a repair in flight (jobs of other models may overtake
+//! it; jobs of the same model keep FIFO order).  Without this, two
+//! workers could run repairs of the same model against the same parent
+//! and the later publish would silently discard the earlier repair's
+//! deltas — a lost update.  With it, each job re-resolves the model's
+//! *current* head at execution time (stable while the job runs, thanks to
+//! the in-flight guard) so concurrent repairs stack: every published
+//! version is the child of the head it actually repaired, and its
+//! `source` names that true parent.  The paper's repair is one global LP
+//! per model, so per-model serialisation costs no parallelism that was
+//! semantically available.
 //!
 //! Shutdown is a drain, not an abort: queued jobs still run and publish
 //! before the workers exit, so an accepted repair is never silently lost.
@@ -19,18 +33,19 @@
 //! once its version would survive a crash — and a durability failure
 //! surfaces as the job's `failed` state, never as a phantom version.
 
-use crate::protocol::{ErrorKind, JobState};
+use crate::protocol::{ErrorKind, JobState, ModelRef};
 use crate::store::{ModelStore, ModelVersion};
 use prdnn_core::{repair_points_ddnn_in, PointSpec, RepairConfig};
 use prdnn_par::PoolRef;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
 struct RepairJob {
     id: u64,
-    /// The parent version, resolved at submission time: a job repairs the
-    /// model the client saw, even if other repairs land first.
+    /// The version the client saw at submission.  Execution re-resolves
+    /// the model's head (see the module docs): this field names the model
+    /// and serves as a fallback if the model vanished from the store.
     parent: Arc<ModelVersion>,
     layer: usize,
     spec: PointSpec,
@@ -60,6 +75,10 @@ struct JobsInner {
     statuses: HashMap<u64, JobState>,
     /// Settled job ids in completion order, for FIFO eviction.
     settled: VecDeque<u64>,
+    /// Models with a repair currently running on some worker.  The pop
+    /// path skips queued jobs whose model is in flight, so at most one
+    /// repair per model runs at a time (single writer per model).
+    in_flight: HashSet<String>,
     next_id: u64,
     shutdown: bool,
 }
@@ -76,6 +95,10 @@ pub struct JobCounters {
     /// Jobs rejected at submission because the FIFO was full (load
     /// shedding — each one surfaced a typed `overloaded` to its client).
     pub shed: AtomicU64,
+    /// Total simplex pivots across all completed repairs' LP solves.
+    pub lp_pivots: AtomicU64,
+    /// Total basis refactorisations across all completed repairs.
+    pub lp_refactorizations: AtomicU64,
 }
 
 /// The bounded FIFO repair queue; see the module docs.
@@ -107,6 +130,7 @@ impl JobQueue {
                 queue: VecDeque::new(),
                 statuses: HashMap::new(),
                 settled: VecDeque::new(),
+                in_flight: HashSet::new(),
                 next_id: 1,
                 shutdown: false,
             }),
@@ -188,19 +212,34 @@ impl JobQueue {
         }
     }
 
-    /// The worker loop: pop jobs FIFO, run them, publish results; after
-    /// shutdown, keep going until the queue is empty (drain), then exit.
-    /// Run on one or more dedicated threads.
+    /// The worker loop: pop jobs (per-model FIFO, skipping models with a
+    /// repair already in flight — see the module docs), run them, publish
+    /// results; after shutdown, keep going until the queue is empty
+    /// (drain), then exit.  Run on one or more dedicated threads.
     pub fn worker_loop(self: &Arc<Self>) {
         loop {
             let job = {
                 let mut inner = self.lock_inner();
                 loop {
-                    if let Some(job) = inner.queue.pop_front() {
+                    // Front-to-back scan for the first job whose model has
+                    // no repair in flight: jobs of distinct models may
+                    // overtake each other, jobs of one model stay FIFO.
+                    let ready = inner
+                        .queue
+                        .iter()
+                        .position(|j| !inner.in_flight.contains(&j.parent.name));
+                    if let Some(idx) = ready {
+                        let job = inner
+                            .queue
+                            .remove(idx)
+                            .expect("position() gave a live index");
+                        inner.in_flight.insert(job.parent.name.clone());
                         inner.statuses.insert(job.id, JobState::Running);
                         break Some(job);
                     }
-                    if inner.shutdown {
+                    // During shutdown, blocked jobs must still drain: only
+                    // exit once the queue is truly empty.
+                    if inner.shutdown && inner.queue.is_empty() {
                         break None;
                     }
                     inner = self.cv.wait(inner).unwrap_or_else(PoisonError::into_inner);
@@ -218,14 +257,20 @@ impl JobQueue {
                 JobState::Done { .. } => self.counters.completed.fetch_add(1, Ordering::Relaxed),
                 _ => self.counters.failed.fetch_add(1, Ordering::Relaxed),
             };
-            let mut inner = self.lock_inner();
-            inner.statuses.insert(job.id, state);
-            inner.settled.push_back(job.id);
-            while inner.settled.len() > MAX_SETTLED_RETAINED {
-                if let Some(evicted) = inner.settled.pop_front() {
-                    inner.statuses.remove(&evicted);
+            {
+                let mut inner = self.lock_inner();
+                inner.in_flight.remove(&job.parent.name);
+                inner.statuses.insert(job.id, state);
+                inner.settled.push_back(job.id);
+                while inner.settled.len() > MAX_SETTLED_RETAINED {
+                    if let Some(evicted) = inner.settled.pop_front() {
+                        inner.statuses.remove(&evicted);
+                    }
                 }
             }
+            // Releasing the model may unblock a job that every waiting
+            // worker previously skipped over.
+            self.cv.notify_all();
         }
     }
 
@@ -236,28 +281,48 @@ impl JobQueue {
     }
 
     fn run_job(&self, job: &RepairJob) -> JobState {
-        match repair_points_ddnn_in(
-            &self.pool,
-            &job.parent.ddnn,
-            job.layer,
-            &job.spec,
-            &job.config,
-        ) {
+        // Repair the model's *current* head, not the submission-time
+        // parent: earlier repairs may have stacked versions on top, and
+        // running against a stale parent would discard their deltas when
+        // this repair publishes (the lost update the in-flight guard
+        // exists to prevent).  The head is stable for the whole run —
+        // repair workers are the only publishers after load, and this
+        // worker holds the model's in-flight slot.
+        let head = self
+            .store
+            .resolve(&ModelRef::latest(&job.parent.name))
+            .unwrap_or_else(|_| Arc::clone(&job.parent));
+        match repair_points_ddnn_in(&self.pool, &head.ddnn, job.layer, &job.spec, &job.config) {
             Ok(outcome) => {
                 let provenance = outcome.provenance(job.spec.content_hash(), &job.config);
                 let (delta_l1, delta_linf) = (provenance.delta_l1, provenance.delta_linf);
+                let (lp_pivots, lp_refactorizations) =
+                    (provenance.lp_pivots, provenance.lp_refactorizations);
                 match self.store.publish_repair(
-                    &job.parent.name,
+                    &head.name,
                     outcome.repaired,
-                    format!("repair of {}@v{}", job.parent.name, job.parent.version),
+                    // The source names the version actually repaired — the
+                    // true parent — which under concurrent submissions may
+                    // be newer than what the client saw.
+                    format!("repair of {}@v{}", head.name, head.version),
                     provenance,
                 ) {
-                    Ok(published) => JobState::Done {
-                        model: published.name.clone(),
-                        version: published.version,
-                        delta_l1,
-                        delta_linf,
-                    },
+                    Ok(published) => {
+                        self.counters
+                            .lp_pivots
+                            .fetch_add(lp_pivots, Ordering::Relaxed);
+                        self.counters
+                            .lp_refactorizations
+                            .fetch_add(lp_refactorizations, Ordering::Relaxed);
+                        JobState::Done {
+                            model: published.name.clone(),
+                            version: published.version,
+                            delta_l1,
+                            delta_linf,
+                            lp_pivots,
+                            lp_refactorizations,
+                        }
+                    }
                     Err(e) => JobState::Failed {
                         message: format!("repair succeeded but publishing failed: {e}"),
                     },
@@ -345,6 +410,68 @@ mod tests {
 
         jobs.shutdown();
         worker.join().unwrap();
+    }
+
+    #[test]
+    fn concurrent_repairs_of_one_model_stack_with_true_parentage() {
+        // The lost-update pin: with 4 repair workers, N concurrent repairs
+        // of one model must yield N stacked versions, each the child of
+        // the previous head — never two siblings of the same parent where
+        // the later publish silently discards the earlier one's deltas.
+        let (store, v1) = store_with_n1();
+        let pool = Arc::new(prdnn_par::pool_for(Some(1)));
+        let jobs = Arc::new(JobQueue::new(Arc::clone(&store), pool, 16));
+        let repairs = 6u32;
+        for _ in 0..repairs {
+            // All submissions name v1 — what a client racing the repairs
+            // would actually see.
+            jobs.submit(
+                Arc::clone(&v1),
+                0,
+                equation_2_spec(),
+                RepairConfig::default(),
+            )
+            .unwrap();
+        }
+        let workers: Vec<_> = (0..4)
+            .map(|_| {
+                let jobs = Arc::clone(&jobs);
+                thread::spawn(move || jobs.worker_loop())
+            })
+            .collect();
+        let deadline = std::time::Instant::now() + Duration::from_secs(60);
+        while jobs.counters.completed.load(Ordering::Relaxed)
+            + jobs.counters.failed.load(Ordering::Relaxed)
+            < repairs as u64
+        {
+            assert!(std::time::Instant::now() < deadline, "repairs stuck");
+            thread::sleep(Duration::from_millis(2));
+        }
+        jobs.shutdown();
+        for w in workers {
+            w.join().unwrap();
+        }
+        assert_eq!(
+            jobs.counters.completed.load(Ordering::Relaxed),
+            u64::from(repairs)
+        );
+
+        // N repairs → N stacked versions, each labelled with its true
+        // parent: the head it actually repaired, not the stale v1 the
+        // client submitted against.
+        let versions = store.versions("n1").unwrap();
+        assert_eq!(versions.len(), repairs as usize + 1);
+        for v in &versions[1..] {
+            assert_eq!(v.source, format!("repair of n1@v{}", v.version - 1));
+        }
+        // LP accounting: the queue's totals equal the sum over published
+        // provenances (zero pivots is legitimate — tiny LPs route to the
+        // uninstrumented dense backend — but the sums must agree).
+        let expected: u64 = versions[1..]
+            .iter()
+            .map(|v| v.provenance.as_ref().unwrap().lp_pivots)
+            .sum();
+        assert_eq!(jobs.counters.lp_pivots.load(Ordering::Relaxed), expected);
     }
 
     #[test]

@@ -19,6 +19,13 @@
 //!   `lin_regions_batch_in`) on the shared `prdnn-par` pool, so ten
 //!   clients asking about the same version cost one layer-at-a-time sweep,
 //!   not ten.
+//! * [`cache`] — the **per-version result cache** in front of the pool:
+//!   a bounded LRU keyed by `(version content hash, input content hash)`
+//!   memoizing eval and `lin_regions` payloads.  Versions are immutable,
+//!   so entries never go stale; a repair publishing `m@v2` changes the
+//!   value-channel hash and can never hit `m@v1`'s eval entries, while
+//!   value-only repairs deliberately *share* the parent's `lin_regions`
+//!   entries (Theorem 4.6: value edits preserve the linear regions).
 //! * [`version_log`] / [`wal`] — the **durable version log** under the
 //!   store.  Every publish funnels through a [`version_log::VersionLog`]
 //!   backend *before* it becomes visible: [`version_log::MemoryLog`] keeps
@@ -85,6 +92,7 @@
 //! ```
 
 pub mod batcher;
+pub mod cache;
 pub mod chaos;
 pub mod client;
 pub mod faults;

@@ -265,6 +265,9 @@ pub enum Request {
     },
     /// Read the server's request/batch counters.
     Stats,
+    /// Read every counter as Prometheus text exposition format (the same
+    /// numbers as [`Request::Stats`], rendered for scrapers).
+    Metrics,
     /// Begin graceful shutdown: stop accepting, drain queues, exit.
     Shutdown,
 }
@@ -312,6 +315,10 @@ pub enum JobState {
         delta_l1: f64,
         /// ℓ∞ norm of the applied delta.
         delta_linf: f64,
+        /// Simplex pivots the repair's LP solve performed.
+        lp_pivots: u64,
+        /// Basis refactorisations the repair's LP solve performed.
+        lp_refactorizations: u64,
     },
     /// The repair failed (infeasible spec, iteration limit, bad layer, ...).
     Failed {
@@ -379,6 +386,249 @@ pub struct ServerStats {
     pub batch_shed: u64,
     /// Repair jobs shed with `overloaded` because the job queue was full.
     pub jobs_shed: u64,
+    /// Result-cache probes answered from the cache.
+    pub cache_hits: u64,
+    /// Result-cache probes that missed (the request ran on the pool).
+    pub cache_misses: u64,
+    /// Payloads inserted into the result cache.
+    pub cache_inserts: u64,
+    /// Entries evicted to stay inside the cache's byte budget.
+    pub cache_evictions: u64,
+    /// Cache fills skipped because the request's deadline had already
+    /// expired when its batch finished.
+    pub cache_fill_skips: u64,
+    /// Bytes of payload currently held by the result cache (a gauge).
+    pub cache_bytes: u64,
+    /// Requests that expired before their batch (or group) executed.
+    pub deadline_expired: u64,
+    /// Per-polytope `lin_regions` re-runs after a batched call failed
+    /// (isolation rescue).
+    pub lin_rescue_calls: u64,
+    /// Simplex pivots across all completed repairs' LP solves.
+    pub lp_pivots: u64,
+    /// Basis refactorisations across all completed repairs' LP solves.
+    pub lp_refactorizations: u64,
+}
+
+impl ServerStats {
+    /// Every metric as `(name, help, is_gauge, value)` — the single table
+    /// behind both [`Self::to_prometheus`] and the exhaustiveness test, so
+    /// a counter added to the struct cannot silently miss the endpoint.
+    fn metric_table(&self) -> Vec<(&'static str, &'static str, bool, u64)> {
+        vec![
+            (
+                "eval_requests",
+                "eval requests answered",
+                false,
+                self.eval_requests,
+            ),
+            (
+                "eval_batches",
+                "batched forward calls executed",
+                false,
+                self.eval_batches,
+            ),
+            (
+                "eval_points",
+                "input points evaluated",
+                false,
+                self.eval_points,
+            ),
+            (
+                "lin_requests",
+                "lin_regions requests answered",
+                false,
+                self.lin_requests,
+            ),
+            (
+                "lin_batches",
+                "batched lin_regions calls executed",
+                false,
+                self.lin_batches,
+            ),
+            (
+                "lin_polytopes",
+                "polytopes decomposed",
+                false,
+                self.lin_polytopes,
+            ),
+            ("gulps", "non-empty batch queue drains", false, self.gulps),
+            (
+                "gulp_items",
+                "items drained across all gulps",
+                false,
+                self.gulp_items,
+            ),
+            (
+                "max_gulp",
+                "largest single gulp observed",
+                false,
+                self.max_gulp,
+            ),
+            (
+                "jobs_submitted",
+                "repair jobs accepted",
+                false,
+                self.jobs_submitted,
+            ),
+            (
+                "jobs_completed",
+                "repair jobs completed",
+                false,
+                self.jobs_completed,
+            ),
+            ("jobs_failed", "repair jobs failed", false, self.jobs_failed),
+            (
+                "wal_appends",
+                "WAL records appended and fsynced",
+                false,
+                self.wal_appends,
+            ),
+            (
+                "wal_bytes",
+                "bytes appended to the WAL",
+                false,
+                self.wal_bytes,
+            ),
+            (
+                "snapshots",
+                "snapshot/compaction cycles",
+                false,
+                self.snapshots,
+            ),
+            (
+                "recovered_versions",
+                "versions recovered at cold start",
+                false,
+                self.recovered_versions,
+            ),
+            (
+                "recovered_wal_records",
+                "WAL tail records replayed at cold start",
+                false,
+                self.recovered_wal_records,
+            ),
+            (
+                "torn_tail_bytes",
+                "WAL tail bytes dropped during recovery",
+                false,
+                self.torn_tail_bytes,
+            ),
+            (
+                "wal_failed_appends",
+                "WAL appends that failed and rolled back",
+                false,
+                self.wal_failed_appends,
+            ),
+            (
+                "conns_opened",
+                "connections accepted",
+                false,
+                self.conns_opened,
+            ),
+            (
+                "conns_rejected",
+                "connections rejected at the cap",
+                false,
+                self.conns_rejected,
+            ),
+            (
+                "open_connections",
+                "connections currently open",
+                true,
+                self.open_connections,
+            ),
+            (
+                "io_timeouts",
+                "connections closed on socket timeout",
+                false,
+                self.io_timeouts,
+            ),
+            (
+                "batch_shed",
+                "batch requests shed as overloaded",
+                false,
+                self.batch_shed,
+            ),
+            (
+                "jobs_shed",
+                "repair jobs shed as overloaded",
+                false,
+                self.jobs_shed,
+            ),
+            ("cache_hits", "result cache hits", false, self.cache_hits),
+            (
+                "cache_misses",
+                "result cache misses",
+                false,
+                self.cache_misses,
+            ),
+            (
+                "cache_inserts",
+                "result cache inserts",
+                false,
+                self.cache_inserts,
+            ),
+            (
+                "cache_evictions",
+                "result cache evictions",
+                false,
+                self.cache_evictions,
+            ),
+            (
+                "cache_fill_skips",
+                "cache fills skipped for expired deadlines",
+                false,
+                self.cache_fill_skips,
+            ),
+            (
+                "cache_bytes",
+                "payload bytes held by the result cache",
+                true,
+                self.cache_bytes,
+            ),
+            (
+                "deadline_expired",
+                "requests expired before execution",
+                false,
+                self.deadline_expired,
+            ),
+            (
+                "lin_rescue_calls",
+                "per-polytope lin_regions rescue re-runs",
+                false,
+                self.lin_rescue_calls,
+            ),
+            (
+                "lp_pivots",
+                "simplex pivots across completed repairs",
+                false,
+                self.lp_pivots,
+            ),
+            (
+                "lp_refactorizations",
+                "LP basis refactorisations across completed repairs",
+                false,
+                self.lp_refactorizations,
+            ),
+        ]
+    }
+
+    /// Renders every counter in Prometheus text exposition format:
+    /// `# HELP` / `# TYPE` / sample, one triple per metric, all names
+    /// prefixed `prdnn_`.  Counters are cumulative since server start;
+    /// `open_connections` and `cache_bytes` are gauges.
+    pub fn to_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (name, help, gauge, value) in self.metric_table() {
+            let kind = if gauge { "gauge" } else { "counter" };
+            let _ = writeln!(out, "# HELP prdnn_{name} {help}");
+            let _ = writeln!(out, "# TYPE prdnn_{name} {kind}");
+            let _ = writeln!(out, "prdnn_{name} {value}");
+        }
+        out
+    }
 }
 
 /// Machine-readable error categories.
@@ -480,6 +730,11 @@ pub enum Response {
     Versions(Vec<VersionInfo>),
     /// Reply to [`Request::Stats`].
     Stats(ServerStats),
+    /// Reply to [`Request::Metrics`]: Prometheus text exposition.
+    Metrics {
+        /// The rendered metrics document (see [`ServerStats::to_prometheus`]).
+        text: String,
+    },
     /// Reply to [`Request::Shutdown`].
     ShuttingDown,
     /// The request failed.
@@ -716,6 +971,7 @@ impl Request {
                 tagged("list_versions", vec![("name", Value::Str(name.clone()))])
             }
             Request::Stats => tagged("stats", vec![]),
+            Request::Metrics => tagged("metrics", vec![]),
             Request::Shutdown => tagged("shutdown", vec![]),
         }
     }
@@ -800,6 +1056,7 @@ impl Request {
             "list_models" => Ok(Request::ListModels),
             "list_versions" => Ok(Request::ListVersions { name: name()? }),
             "stats" => Ok(Request::Stats),
+            "metrics" => Ok(Request::Metrics),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!("unknown request type {other:?}")),
         }
@@ -861,6 +1118,8 @@ impl Response {
                         version,
                         delta_l1,
                         delta_linf,
+                        lp_pivots,
+                        lp_refactorizations,
                     } => (
                         "done",
                         vec![
@@ -868,6 +1127,11 @@ impl Response {
                             ("version", Value::Num(*version as f64)),
                             ("delta_l1", Value::Num(*delta_l1)),
                             ("delta_linf", Value::Num(*delta_linf)),
+                            ("lp_pivots", Value::Num(*lp_pivots as f64)),
+                            (
+                                "lp_refactorizations",
+                                Value::Num(*lp_refactorizations as f64),
+                            ),
                         ],
                     ),
                     JobState::Failed { message } => {
@@ -980,8 +1244,33 @@ impl Response {
                     ("io_timeouts", Value::Num(stats.io_timeouts as f64)),
                     ("batch_shed", Value::Num(stats.batch_shed as f64)),
                     ("jobs_shed", Value::Num(stats.jobs_shed as f64)),
+                    ("cache_hits", Value::Num(stats.cache_hits as f64)),
+                    ("cache_misses", Value::Num(stats.cache_misses as f64)),
+                    ("cache_inserts", Value::Num(stats.cache_inserts as f64)),
+                    ("cache_evictions", Value::Num(stats.cache_evictions as f64)),
+                    (
+                        "cache_fill_skips",
+                        Value::Num(stats.cache_fill_skips as f64),
+                    ),
+                    ("cache_bytes", Value::Num(stats.cache_bytes as f64)),
+                    (
+                        "deadline_expired",
+                        Value::Num(stats.deadline_expired as f64),
+                    ),
+                    (
+                        "lin_rescue_calls",
+                        Value::Num(stats.lin_rescue_calls as f64),
+                    ),
+                    ("lp_pivots", Value::Num(stats.lp_pivots as f64)),
+                    (
+                        "lp_refactorizations",
+                        Value::Num(stats.lp_refactorizations as f64),
+                    ),
                 ],
             ),
+            Response::Metrics { text } => {
+                tagged("metrics", vec![("text", Value::Str(text.clone()))])
+            }
             Response::ShuttingDown => tagged("shutting_down", vec![]),
             Response::Error {
                 kind,
@@ -1087,6 +1376,16 @@ impl Response {
                             .get("delta_linf")
                             .and_then(Value::as_f64)
                             .ok_or("job: missing \"delta_linf\"")?,
+                        lp_pivots: v
+                            .get("lp_pivots")
+                            .and_then(Value::as_usize)
+                            .ok_or("job: missing \"lp_pivots\"")?
+                            as u64,
+                        lp_refactorizations: v
+                            .get("lp_refactorizations")
+                            .and_then(Value::as_usize)
+                            .ok_or("job: missing \"lp_refactorizations\"")?
+                            as u64,
                     },
                     "failed" => JobState::Failed {
                         message: v
@@ -1207,8 +1506,25 @@ impl Response {
                     io_timeouts: counter("io_timeouts")?,
                     batch_shed: counter("batch_shed")?,
                     jobs_shed: counter("jobs_shed")?,
+                    cache_hits: counter("cache_hits")?,
+                    cache_misses: counter("cache_misses")?,
+                    cache_inserts: counter("cache_inserts")?,
+                    cache_evictions: counter("cache_evictions")?,
+                    cache_fill_skips: counter("cache_fill_skips")?,
+                    cache_bytes: counter("cache_bytes")?,
+                    deadline_expired: counter("deadline_expired")?,
+                    lin_rescue_calls: counter("lin_rescue_calls")?,
+                    lp_pivots: counter("lp_pivots")?,
+                    lp_refactorizations: counter("lp_refactorizations")?,
                 }))
             }
+            "metrics" => Ok(Response::Metrics {
+                text: v
+                    .get("text")
+                    .and_then(Value::as_str)
+                    .ok_or("metrics: missing \"text\"")?
+                    .to_owned(),
+            }),
             "shutting_down" => Ok(Response::ShuttingDown),
             "error" => Ok(Response::Error {
                 kind: ErrorKind::from_str(
@@ -1268,6 +1584,74 @@ mod tests {
         let mut cursor = Cursor::new(&buf);
         read_frame(&mut cursor).unwrap();
         assert!(matches!(read_frame(&mut cursor), Err(FrameError::Closed)));
+    }
+
+    #[test]
+    fn metrics_request_response_and_done_state_round_trip() {
+        let req = Request::Metrics;
+        assert_eq!(Request::from_value(&req.to_value()).unwrap(), req);
+
+        let resp = Response::Metrics {
+            text: "# HELP prdnn_x y\n# TYPE prdnn_x counter\nprdnn_x 1\n".to_owned(),
+        };
+        assert_eq!(Response::from_value(&resp.to_value()).unwrap(), resp);
+
+        let done = Response::Job(JobState::Done {
+            model: "m".to_owned(),
+            version: 3,
+            delta_l1: 1.5,
+            delta_linf: 0.5,
+            lp_pivots: 42,
+            lp_refactorizations: 2,
+        });
+        assert_eq!(Response::from_value(&done.to_value()).unwrap(), done);
+    }
+
+    #[test]
+    fn prometheus_rendering_covers_every_stats_field() {
+        // Give every field a distinct value so a transposed entry in the
+        // metric table cannot cancel out.
+        let mut stats = ServerStats::default();
+        let doc = Response::Stats(stats).to_value();
+        let Value::Obj(fields) = &doc else {
+            panic!("stats must encode as an object")
+        };
+        let keys: Vec<String> = fields
+            .iter()
+            .map(|(k, _)| k.clone())
+            .filter(|k| k != "type")
+            .collect();
+        // Assign 1, 2, 3, ... in encoder order, then decode it back.
+        let mut numbered = vec![("type".to_owned(), Value::Str("stats".to_owned()))];
+        for (i, k) in keys.iter().enumerate() {
+            numbered.push((k.clone(), Value::Num((i + 1) as f64)));
+        }
+        let Response::Stats(filled) = Response::from_value(&Value::Obj(numbered)).unwrap() else {
+            panic!("expected stats")
+        };
+        stats = filled;
+
+        let text = stats.to_prometheus();
+        for (i, key) in keys.iter().enumerate() {
+            assert!(
+                text.contains(&format!("# HELP prdnn_{key} ")),
+                "metric {key} missing HELP"
+            );
+            assert!(
+                text.contains(&format!("# TYPE prdnn_{key} ")),
+                "metric {key} missing TYPE"
+            );
+            assert!(
+                text.lines().any(|l| l == format!("prdnn_{key} {}", i + 1)),
+                "metric {key} missing sample with value {}",
+                i + 1
+            );
+        }
+        // Gauges are typed as gauges, everything else as counters.
+        assert!(text.contains("# TYPE prdnn_open_connections gauge"));
+        assert!(text.contains("# TYPE prdnn_cache_bytes gauge"));
+        let counters = text.lines().filter(|l| l.ends_with(" counter")).count();
+        assert_eq!(counters, keys.len() - 2);
     }
 
     #[test]

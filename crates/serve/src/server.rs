@@ -20,6 +20,7 @@
 //! lingering connections closed.
 
 use crate::batcher::{Batcher, Call, ReplyData};
+use crate::cache::{ResultCache, DEFAULT_CACHE_BYTES};
 use crate::jobs::JobQueue;
 use crate::protocol::{
     read_frame, write_frame, ErrorKind, FrameError, RegionWire, Request, Response, ServerStats,
@@ -72,6 +73,9 @@ pub struct ServerConfig {
     /// [`crate::faults::FaultInjector::parse`]); `None` disables injection.
     /// Ignored without `store_dir`.  Test/chaos tooling only.
     pub wal_fault_spec: Option<String>,
+    /// Byte budget of the per-version result cache (`0` disables caching).
+    /// Payload bytes only; see [`crate::cache`] for the accounting.
+    pub cache_bytes: usize,
 }
 
 impl Default for ServerConfig {
@@ -88,6 +92,7 @@ impl Default for ServerConfig {
             snapshot_every: 64,
             io_timeout_ms: 30_000,
             wal_fault_spec: None,
+            cache_bytes: DEFAULT_CACHE_BYTES,
         }
     }
 }
@@ -103,6 +108,7 @@ struct Shared {
     config: ServerConfig,
     store: Arc<ModelStore>,
     batcher: Arc<Batcher>,
+    cache: Arc<ResultCache>,
     jobs: Arc<JobQueue>,
     shutdown: AtomicBool,
     addr: SocketAddr,
@@ -135,6 +141,7 @@ impl Shared {
 
     fn stats(&self) -> ServerStats {
         let b = &self.batcher.counters;
+        let c = &self.cache.counters;
         let j = &self.jobs.counters;
         let l = self.store.log_stats();
         ServerStats {
@@ -163,6 +170,16 @@ impl Shared {
             io_timeouts: self.io_timeouts.load(Ordering::Relaxed),
             batch_shed: b.shed.load(Ordering::Relaxed),
             jobs_shed: j.shed.load(Ordering::Relaxed),
+            cache_hits: c.hits.load(Ordering::Relaxed),
+            cache_misses: c.misses.load(Ordering::Relaxed),
+            cache_inserts: c.inserts.load(Ordering::Relaxed),
+            cache_evictions: c.evictions.load(Ordering::Relaxed),
+            cache_fill_skips: c.fill_skips.load(Ordering::Relaxed),
+            cache_bytes: self.cache.bytes(),
+            deadline_expired: b.deadline_expired.load(Ordering::Relaxed),
+            lin_rescue_calls: b.lin_rescue_calls.load(Ordering::Relaxed),
+            lp_pivots: j.lp_pivots.load(Ordering::Relaxed),
+            lp_refactorizations: j.lp_refactorizations.load(Ordering::Relaxed),
         }
     }
 }
@@ -280,7 +297,12 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
             Arc::new(ModelStore::with_log(Arc::new(wal)))
         }
     };
-    let batcher = Arc::new(Batcher::new(Arc::clone(&pool), config.batch_queue_cap));
+    let cache = Arc::new(ResultCache::new(config.cache_bytes));
+    let batcher = Arc::new(Batcher::new(
+        Arc::clone(&pool),
+        config.batch_queue_cap,
+        Arc::clone(&cache),
+    ));
     let jobs = Arc::new(JobQueue::new(
         Arc::clone(&store),
         Arc::clone(&pool),
@@ -291,6 +313,7 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
         config,
         store,
         batcher: Arc::clone(&batcher),
+        cache,
         jobs: Arc::clone(&jobs),
         shutdown: AtomicBool::new(false),
         addr,
@@ -386,6 +409,10 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
             );
             continue;
         }
+        // Replies are request-response frames, never streamed: leaving
+        // Nagle on costs a delayed-ACK round (~40ms) per reply, which
+        // would dwarf every latency the server actually controls.
+        let _ = stream.set_nodelay(true);
         // Slowloris defense: a peer stalled mid-frame past this deadline
         // surfaces as FrameError::TimedOut in the handler, which closes the
         // connection and frees its slot.
@@ -680,6 +707,9 @@ fn handle_request(shared: &Arc<Shared>, request: Request) -> Response {
             ),
         },
         Request::Stats => Response::Stats(shared.stats()),
+        Request::Metrics => Response::Metrics {
+            text: shared.stats().to_prometheus(),
+        },
         Request::Shutdown => {
             shared.begin_shutdown();
             Response::ShuttingDown
@@ -738,8 +768,11 @@ fn submit_and_wait(
     };
     // A small grace period past the deadline: the batcher answers expired
     // items itself, so waiting slightly longer prefers its (more precise)
-    // verdict over racing it.
-    match receiver.recv_timeout(budget + Duration::from_millis(50)) {
+    // verdict over racing it.  Measured from the deadline, not the budget —
+    // time already burned in `submit` (queue lock, key hashing) must not
+    // push the wait past the deadline the batcher enforces.
+    let wait = deadline.saturating_duration_since(Instant::now()) + Duration::from_millis(50);
+    match receiver.recv_timeout(wait) {
         Ok(Ok(ReplyData::Outputs(outputs))) => Response::Outputs(outputs),
         Ok(Ok(ReplyData::Regions(regions))) => Response::Regions(
             regions

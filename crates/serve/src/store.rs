@@ -117,12 +117,8 @@ impl ModelStore {
         // entries that hold at least one version.
         let entry = Arc::new(ModelEntry::new(name.to_owned()));
         let published = entry
-            .publish_logged(self.log.as_ref(), |version| ModelVersion {
-                name: name.to_owned(),
-                version,
-                ddnn,
-                source,
-                provenance: None,
+            .publish_logged(self.log.as_ref(), |version| {
+                ModelVersion::new(name.to_owned(), version, ddnn, source, None)
             })
             .map_err(|e| StoreError::Durability(e.to_string()))?;
         chains.insert(entry);
@@ -151,12 +147,8 @@ impl ModelStore {
             .unwrap_or_else(PoisonError::into_inner);
         let entry = self.entry(name)?;
         let published = entry
-            .publish_logged(self.log.as_ref(), |version| ModelVersion {
-                name: name.to_owned(),
-                version,
-                ddnn,
-                source,
-                provenance: Some(provenance),
+            .publish_logged(self.log.as_ref(), |version| {
+                ModelVersion::new(name.to_owned(), version, ddnn, source, Some(provenance))
             })
             .map_err(|e| StoreError::Durability(e.to_string()))?;
         self.compact_if_due();
@@ -246,6 +238,8 @@ mod tests {
             num_key_points: 2,
             delta_l1: 1.0,
             delta_linf: 0.5,
+            lp_pivots: 5,
+            lp_refactorizations: 0,
         }
     }
 

@@ -46,9 +46,10 @@
 //! the panic: one crashed worker must not take the read path down with it.
 
 use prdnn_core::{DecoupledNetwork, RepairProvenance};
+use prdnn_nn::network_content_hash;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicPtr, Ordering};
-use std::sync::{Arc, Mutex, PoisonError, RwLock};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError, RwLock};
 
 /// One immutable published version of a model.
 #[derive(Debug)]
@@ -65,6 +66,49 @@ pub struct ModelVersion {
     pub source: String,
     /// Repair provenance (`None` for loaded versions).
     pub provenance: Option<RepairProvenance>,
+    /// Memoized `(activation, value)` channel content hashes — the result
+    /// cache's key material.  Versions are immutable, so each channel is
+    /// hashed at most once, on first use.
+    channel_hashes: OnceLock<(u64, u64)>,
+}
+
+impl ModelVersion {
+    /// Assembles a version.  The channel hashes are computed lazily on the
+    /// first [`Self::channel_hashes`] call, never here: publishing must not
+    /// pay for hashing that only the result cache needs.
+    pub fn new(
+        name: String,
+        version: u32,
+        ddnn: DecoupledNetwork,
+        source: String,
+        provenance: Option<RepairProvenance>,
+    ) -> Self {
+        ModelVersion {
+            name,
+            version,
+            ddnn,
+            source,
+            provenance,
+            channel_hashes: OnceLock::new(),
+        }
+    }
+
+    /// The FNV-1a content hashes of the `(activation, value)` channels,
+    /// memoized per version.
+    ///
+    /// These are the cache-key half that identifies *what network* answered:
+    /// eval results depend on both channels, while `lin_regions` depends on
+    /// the activation channel alone (the paper's Theorem 4.6 — value edits
+    /// preserve linear regions), so a value-only repair legitimately shares
+    /// its parent's `lin_regions` cache entries.
+    pub fn channel_hashes(&self) -> (u64, u64) {
+        *self.channel_hashes.get_or_init(|| {
+            (
+                network_content_hash(self.ddnn.activation_network()),
+                network_content_hash(self.ddnn.value_network()),
+            )
+        })
+    }
 }
 
 /// A node in an entry's append-only version chain.

@@ -228,13 +228,13 @@ pub fn record_from_json(v: &Value) -> Result<(ModelVersion, Option<u64>), String
         }
     }
     Ok((
-        ModelVersion {
+        ModelVersion::new(
             name,
             version,
-            ddnn: DecoupledNetwork::new(activation, value),
+            DecoupledNetwork::new(activation, value),
             source,
             provenance,
-        },
+        ),
         seq,
     ))
 }
@@ -754,6 +754,8 @@ mod tests {
             num_key_points: 3,
             delta_l1: 0.25,
             delta_linf: 0.125,
+            lp_pivots: 11,
+            lp_refactorizations: 1,
         }
     }
 
@@ -1070,13 +1072,13 @@ mod tests {
 
     #[test]
     fn record_round_trips_and_rejects_hash_mismatch() {
-        let version = ModelVersion {
-            name: "m".into(),
-            version: 2,
-            ddnn: ddnn("mlp:7:2x4x2"),
-            source: "repair of m@v1".into(),
-            provenance: Some(provenance(1)),
-        };
+        let version = ModelVersion::new(
+            "m".into(),
+            2,
+            ddnn("mlp:7:2x4x2"),
+            "repair of m@v1".into(),
+            Some(provenance(1)),
+        );
         let doc = record_to_json(&version, Some(7));
         let (back, seq) = record_from_json(&doc).unwrap();
         assert_eq!(seq, Some(7));

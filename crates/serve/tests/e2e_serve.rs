@@ -67,6 +67,7 @@ fn eval_repair_eval_on_new_version() {
         version,
         delta_l1,
         delta_linf,
+        ..
     } = state
     else {
         panic!("repair failed: {state:?}")
@@ -183,6 +184,131 @@ fn concurrent_clients_get_batched_bit_identical_evals() {
     assert_eq!(stats.eval_requests, clients as u64);
     assert_eq!(stats.eval_points, (clients * per_client) as u64);
     assert!(stats.eval_batches >= 1 && stats.eval_batches <= stats.eval_requests);
+
+    client.shutdown_server().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn result_cache_hits_are_bit_identical_and_repairs_never_serve_stale() {
+    // Default config: the result cache is on.  Repeated evals must be
+    // answered bit-identically from the cache, and publishing a repaired
+    // version must never let `@latest` hit the parent's entries.
+    let handle = start_server();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.load_generator("n1", "n1").unwrap();
+    let n1 = registry::build_model("n1").unwrap();
+    let xs: Vec<Vec<f64>> = vec![vec![-0.5], vec![0.25], vec![1.75]];
+
+    let cold = client
+        .eval(&ModelRef::latest("n1"), xs.clone(), None)
+        .unwrap();
+    let warm = client
+        .eval(&ModelRef::latest("n1"), xs.clone(), None)
+        .unwrap();
+    assert_eq!(cold, warm, "a cache hit changed an output");
+    for (x, y) in xs.iter().zip(&warm) {
+        assert_eq!(y, &n1.forward(x));
+    }
+    let stats = client.stats().unwrap();
+    assert!(stats.cache_inserts >= 1, "{stats:?}");
+    assert!(stats.cache_hits >= 1, "second eval should hit: {stats:?}");
+    assert!(stats.cache_bytes > 0, "{stats:?}");
+
+    // Same for lin_regions.
+    let segment = vec![vec![-1.0], vec![2.0]];
+    let lin_cold = client
+        .lin_regions(&ModelRef::latest("n1"), vec![segment.clone()], None)
+        .unwrap();
+    let lin_warm = client
+        .lin_regions(&ModelRef::latest("n1"), vec![segment.clone()], None)
+        .unwrap();
+    assert_eq!(lin_cold, lin_warm);
+
+    // Publish a repair; @latest now resolves to v2, whose outputs differ
+    // from v1's on the repaired region — a stale hit would serve v1's.
+    let spec = equation_2_spec();
+    let job = client
+        .repair(
+            &ModelRef::latest("n1"),
+            0,
+            spec.clone(),
+            RepairConfig::default(),
+        )
+        .unwrap();
+    let state = client.wait_for_job(job, Duration::from_secs(60)).unwrap();
+    assert!(
+        matches!(state, JobState::Done { version: 2, .. }),
+        "{state:?}"
+    );
+
+    let direct = repair_points(&n1, 0, &spec, &RepairConfig::default()).unwrap();
+    let after = client
+        .eval(&ModelRef::latest("n1"), xs.clone(), None)
+        .unwrap();
+    for (x, y) in xs.iter().zip(&after) {
+        assert_eq!(
+            y,
+            &direct.repaired.forward(x),
+            "eval after repair must come from v2, not v1's cache entry"
+        );
+    }
+    // Value-only repairs share the parent's lin_regions entries (Theorem
+    // 4.6): the v2 request is a hit, and bit-identical to v1's regions.
+    let hits_before_lin = client.stats().unwrap().cache_hits;
+    let lin_v2 = client
+        .lin_regions(&ModelRef::latest("n1"), vec![segment], None)
+        .unwrap();
+    assert_eq!(lin_v2, lin_cold);
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.cache_hits, hits_before_lin + 1, "{stats:?}");
+
+    client.shutdown_server().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn metrics_endpoint_renders_well_formed_prometheus_text() {
+    let handle = start_server();
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.load_generator("n1", "n1").unwrap();
+    let xs = vec![vec![0.5], vec![1.5]];
+    client
+        .eval(&ModelRef::latest("n1"), xs.clone(), None)
+        .unwrap();
+    client.eval(&ModelRef::latest("n1"), xs, None).unwrap();
+
+    let stats = client.stats().unwrap();
+    let text = client.metrics().unwrap();
+    // Every line is a HELP comment, a TYPE comment, or a `prdnn_<name> <u64>`
+    // sample; nothing else.
+    let mut samples = std::collections::HashMap::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# ") {
+            assert!(
+                rest.starts_with("HELP prdnn_") || rest.starts_with("TYPE prdnn_"),
+                "malformed comment line: {line:?}"
+            );
+            continue;
+        }
+        let (name, value) = line.split_once(' ').expect("sample line");
+        assert!(name.starts_with("prdnn_"), "unprefixed metric {line:?}");
+        let value: u64 = value.parse().unwrap_or_else(|_| {
+            panic!("non-integer sample in {line:?}");
+        });
+        samples.insert(name.to_owned(), value);
+    }
+    // The endpoint reports the same numbers as the stats request (counters
+    // that cannot move between the two reads).
+    assert_eq!(samples["prdnn_eval_requests"], stats.eval_requests);
+    assert_eq!(samples["prdnn_eval_points"], stats.eval_points);
+    assert_eq!(samples["prdnn_cache_hits"], stats.cache_hits);
+    assert_eq!(samples["prdnn_cache_misses"], stats.cache_misses);
+    assert!(samples["prdnn_cache_hits"] >= 1, "warm eval should hit");
+    assert!(samples.contains_key("prdnn_lp_pivots"));
+    assert!(samples.contains_key("prdnn_deadline_expired"));
+    assert!(samples.contains_key("prdnn_lin_rescue_calls"));
+    assert!(samples.len() >= 35, "got {} metrics", samples.len());
 
     client.shutdown_server().unwrap();
     handle.join().unwrap();

@@ -1,0 +1,107 @@
+//! Property tests for the result cache: a cache hit must be **bit-identical**
+//! to the direct library call at every pool width.
+//!
+//! The cache never compares payloads on probe — soundness rests on the
+//! content-hash key and on version immutability — so these tests pin the
+//! end-to-end consequence: evaluating twice through a cached batcher gives
+//! exactly the bytes a direct `forward` / `lin_regions` call gives, whether
+//! the answer came from the pool (cold) or from the cache (warm), at 1, 2,
+//! and 4 threads.
+
+use prdnn_core::DecoupledNetwork;
+use prdnn_datasets::registry;
+use prdnn_serve::batcher::{Batcher, Call, ReplyData};
+use prdnn_serve::cache::ResultCache;
+use prdnn_serve::store::ModelVersion;
+use proptest::prelude::*;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn version_of(spec: &str) -> Arc<ModelVersion> {
+    let net = registry::build_model(spec).unwrap();
+    Arc::new(ModelVersion::new(
+        "m".to_owned(),
+        1,
+        DecoupledNetwork::from_network(&net),
+        spec.to_owned(),
+        None,
+    ))
+}
+
+fn run(batcher: &Batcher, version: &Arc<ModelVersion>, call: Call) -> ReplyData {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let rx = batcher.submit(Arc::clone(version), call, deadline).unwrap();
+    batcher.drain_once();
+    rx.recv_timeout(Duration::from_secs(60))
+        .expect("batcher answered")
+        .expect("call succeeded")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn eval_hits_are_bit_identical_to_direct_forward_at_1_2_4_threads(
+        seed in 0u64..10_000,
+        xs in prop::collection::vec(
+            prop::collection::vec(-4.0f64..4.0, 3), 1..5),
+    ) {
+        let spec = format!("mlp:{seed}:3x8x2");
+        let net = registry::build_model(&spec).unwrap();
+        let version = version_of(&spec);
+        for threads in [1usize, 2, 4] {
+            let pool = Arc::new(prdnn_par::pool_for(Some(threads)));
+            let batcher =
+                Batcher::new(pool, 64, Arc::new(ResultCache::new(1 << 20)));
+            let cold = run(&batcher, &version, Call::Eval(xs.clone()));
+            let warm = run(&batcher, &version, Call::Eval(xs.clone()));
+            // The second call was answered from the cache, not the pool.
+            prop_assert_eq!(
+                batcher.counters.eval_batches.load(Ordering::Relaxed), 1,
+                "warm eval ran on the pool at {} threads", threads
+            );
+            prop_assert_eq!(&cold, &warm);
+            let ReplyData::Outputs(outputs) = &warm else {
+                panic!("expected outputs")
+            };
+            for (x, y) in xs.iter().zip(outputs) {
+                prop_assert_eq!(
+                    y, &net.forward(x),
+                    "cached eval differs from direct forward at {:?} ({} threads)",
+                    x, threads
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lin_region_hits_are_bit_identical_to_direct_calls(
+        seed in 0u64..10_000,
+        lo in -3.0f64..0.0,
+        len in 0.5f64..4.0,
+        threads in prop_oneof![Just(1usize), Just(2), Just(4)],
+    ) {
+        let spec = format!("mlp:{seed}:1x6x1");
+        let net = registry::build_model(&spec).unwrap();
+        let version = version_of(&spec);
+        let segment = vec![vec![lo], vec![lo + len]];
+        let pool = Arc::new(prdnn_par::pool_for(Some(threads)));
+        let batcher = Batcher::new(pool, 64, Arc::new(ResultCache::new(1 << 20)));
+        let cold = run(&batcher, &version, Call::LinRegions(vec![segment.clone()]));
+        let warm = run(&batcher, &version, Call::LinRegions(vec![segment.clone()]));
+        prop_assert_eq!(
+            batcher.counters.lin_batches.load(Ordering::Relaxed), 1,
+            "warm lin_regions ran on the pool"
+        );
+        prop_assert_eq!(&cold, &warm);
+        let ReplyData::Regions(regions) = &warm else {
+            panic!("expected regions")
+        };
+        let direct = prdnn_syrenn::lin_regions(version.ddnn.activation_network(), &segment)
+            .expect("direct lin_regions");
+        prop_assert_eq!(regions.len(), 1);
+        prop_assert_eq!(&regions[0], &direct);
+        let _ = net;
+    }
+}

@@ -166,6 +166,8 @@ fn response() -> impl Strategy<Value = Response> {
                 version,
                 delta_l1: l1.abs(),
                 delta_linf: linf.abs(),
+                lp_pivots: version as u64 * 17,
+                lp_refactorizations: version as u64 / 2,
             }
         }),
         name().prop_map(|message| JobState::Failed { message }),
@@ -264,6 +266,16 @@ fn response() -> impl Strategy<Value = Response> {
             io_timeouts: b / 11,
             batch_shed: a / 6,
             jobs_shed: b / 7,
+            cache_hits: a * 2,
+            cache_misses: b * 2,
+            cache_inserts: a + 1,
+            cache_evictions: b / 2,
+            cache_fill_skips: a / 5,
+            cache_bytes: a * 100 + b,
+            deadline_expired: b / 4,
+            lin_rescue_calls: a / 10,
+            lp_pivots: a * 19,
+            lp_refactorizations: b / 6,
         })),
         network,
         Just(Response::ShuttingDown),

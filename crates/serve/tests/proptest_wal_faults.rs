@@ -56,6 +56,8 @@ fn provenance(i: usize) -> RepairProvenance {
         num_key_points: 2,
         delta_l1: 0.5 + i as f64,
         delta_linf: 0.25,
+        lp_pivots: i as u64,
+        lp_refactorizations: 0,
     }
 }
 
