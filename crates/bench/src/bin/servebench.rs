@@ -11,7 +11,11 @@
 //! request planes:
 //!
 //! * `eval_heavy` — 90% batched `eval`, 10% `lin_regions`, against one
-//!   model version (the batcher's coalescing sweet spot);
+//!   model version (the batcher's coalescing sweet spot).  It runs
+//!   *twice*: once with span tracing at its most aggressive (`slow_ms`
+//!   = 1, so nearly every request is promoted to the slow-trace log)
+//!   and once with tracing off (`slow_ms` = 0), and the report prices
+//!   the telemetry overhead as the difference in eval p50;
 //! * `repair_heavy` — 60% `repair` submissions (each publishing a new
 //!   version of a small model through the job queue) interleaved with 40%
 //!   `eval` on `@latest`, exercising version churn under read traffic;
@@ -20,6 +24,25 @@
 //!   report adds a `durability` block (WAL/snapshot counters plus a
 //!   measured cold-start `recovery_ms` from a fresh server on the same
 //!   directory).
+//!
+//! Every mix's teardown scrapes the `metrics` endpoint and runs a full
+//! Prometheus exposition lint over it: every line must parse, every
+//! sample family must carry `# HELP` and `# TYPE`, counters must wear
+//! the `_total` suffix and be integral, and histogram series must be
+//! internally consistent (cumulative buckets monotone, `+Inf` equal to
+//! `_count`, `_sum` present).  On quiesced in-process servers the lint
+//! also cross-checks histogram counts against the server's own request
+//! counters (e.g. `prdnn_request_seconds_count{kind="eval"}` must equal
+//! `prdnn_eval_requests_total` exactly).  The per-mix report gains:
+//!
+//! * a `client_vs_server` block comparing send-measured client-side
+//!   eval latency against the server's own residence histogram — the
+//!   run fails if the server claims a larger median than clients saw;
+//! * a `stages` block with count/mean/p50/p99 per instrumented stage
+//!   (batcher queue wait, batch execution, gulp size, job queue wait,
+//!   LP solve, WAL fsync, cache hit/miss service);
+//! * `host_cores` and a `server` block (scrape-derived build version
+//!   and uptime) stamping where and on what the numbers were taken.
 //!
 //! An opt-in `--mix cached` workload prices the per-version result
 //! cache: a **cold** phase sends every request with a unique payload
@@ -42,12 +65,14 @@
 //!
 //! Output is a JSON report (stdout, and `--out FILE`) with achieved
 //! throughput and latency percentiles per mix, following the repo's
-//! `BENCH_*.json` conventions.
+//! `BENCH_*.json` conventions.  `--trace-out FILE` additionally writes
+//! the traced eval run's slow-request span chains (the server's `trace`
+//! response) as a standalone JSON artifact.
 //!
 //! ```text
 //! servebench [--secs N] [--rate RPS] [--clients N] [--threads N]
 //!            [--mix eval|repair|durable|both|cached|chaos] [--addr HOST:PORT]
-//!            [--store-dir DIR] [--out FILE]
+//!            [--store-dir DIR] [--out FILE] [--trace-out FILE]
 //! ```
 //!
 //! `--store-dir` names the durable mix's log directory (default: a
@@ -62,10 +87,17 @@ use prdnn_serve::protocol::{ErrorKind, ModelRef};
 use prdnn_serve::server::{serve, ServerConfig, ServerHandle};
 use prdnn_serve::{RetryPolicy, RetryingClient};
 use serde::json::Value;
+use std::collections::{BTreeMap, BTreeSet};
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// The traced `eval_heavy` run's slow threshold (ms): low enough that
+/// essentially every request crosses it, so the run measures span
+/// tracing *and* slow-log promotion at their most expensive, and the
+/// `--trace-out` artifact has chains to show.
+const TRACED_SLOW_MS: u64 = 1;
 
 struct Args {
     secs: u64,
@@ -75,6 +107,7 @@ struct Args {
     addr: Option<String>,
     store_dir: Option<String>,
     out: Option<String>,
+    trace_out: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -86,6 +119,7 @@ fn parse_args() -> Args {
         addr: None,
         store_dir: None,
         out: None,
+        trace_out: None,
     };
     prdnn_bench::apply_threads_arg();
     let mut it = std::env::args().skip(1);
@@ -99,6 +133,7 @@ fn parse_args() -> Args {
             "--addr" => args.addr = Some(value("--addr")),
             "--store-dir" => args.store_dir = Some(value("--store-dir")),
             "--out" => args.out = Some(value("--out")),
+            "--trace-out" => args.trace_out = Some(value("--trace-out")),
             "--threads" => {
                 let _ = value("--threads"); // consumed by apply_threads_arg
             }
@@ -108,6 +143,12 @@ fn parse_args() -> Args {
     args.clients = args.clients.max(1);
     args.rate = args.rate.max(1);
     args
+}
+
+fn host_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 #[derive(Default)]
@@ -128,10 +169,21 @@ struct MixReport {
     deadline: u64,
     other_errors: u64,
     latencies_ms: Vec<f64>,
+    /// Send-measured (not schedule-measured) latencies of successful
+    /// `eval` requests only, sorted: the client-side view that pairs
+    /// with the server's `prdnn_request_seconds{kind="eval"}` histogram.
+    eval_send_ms: Vec<f64>,
     versions_published: u64,
     /// Batcher gulp counters: (gulps, items drained, largest gulp).  The
     /// mean items-per-gulp is the coalescing factor the run achieved.
     gulp_stats: (u64, u64, u64),
+    /// The linted teardown scrape; the report's `stages`, `server`, and
+    /// `client_vs_server` blocks are derived from it.
+    scrape: Scrape,
+    /// The server's `trace` response at teardown (slow-request chains).
+    slow_traces: Value,
+    /// The slow threshold the mix's server ran with.
+    slow_ms: u64,
     /// Present only for durable mixes with an in-process server.
     durability: Option<DurabilityReport>,
 }
@@ -171,48 +223,431 @@ fn equation_2_like_spec(tweak: u64) -> PointSpec {
     spec
 }
 
-/// Scrapes the metrics endpoint and fails the run on malformed
-/// exposition text: every line must be a `# HELP prdnn_...` /
-/// `# TYPE prdnn_...` comment or a `prdnn_<name> <u64>` sample.
-fn scrape_metrics(client: &mut Client) -> u64 {
-    let text = client.metrics().expect("metrics request");
-    let mut samples = 0u64;
-    for line in text.lines() {
-        if line.starts_with("# HELP prdnn_") || line.starts_with("# TYPE prdnn_") {
-            continue;
+/// A parsed-and-linted Prometheus scrape: every sample keyed by its full
+/// name (labels included), every announced family keyed by bare name.
+struct Scrape {
+    samples: BTreeMap<String, f64>,
+    types: BTreeMap<String, String>,
+}
+
+/// `family_suffix` or `family_suffix{labels}` — the exposition name of
+/// one histogram component sample.
+fn suffixed(family: &str, suffix: &str, labels: &str) -> String {
+    if labels.is_empty() {
+        format!("{family}_{suffix}")
+    } else {
+        format!("{family}_{suffix}{{{labels}}}")
+    }
+}
+
+impl Scrape {
+    fn value(&self, name: &str) -> f64 {
+        *self
+            .samples
+            .get(name)
+            .unwrap_or_else(|| panic!("metrics scrape is missing {name}"))
+    }
+
+    fn counter(&self, name: &str) -> u64 {
+        self.value(name) as u64
+    }
+
+    /// The version label stamped on `prdnn_build_info`.
+    fn build_version(&self) -> String {
+        self.samples
+            .keys()
+            .find_map(|k| {
+                k.strip_prefix("prdnn_build_info{version=\"")
+                    .and_then(|rest| rest.strip_suffix("\"}"))
+            })
+            .expect("scrape has no prdnn_build_info sample")
+            .to_owned()
+    }
+
+    /// All of `family`'s series: label set (without `le`) → cumulative
+    /// buckets as (upper bound, cumulative count), sorted by bound.
+    fn histogram_series(&self, family: &str) -> BTreeMap<String, Vec<(f64, u64)>> {
+        let prefix = format!("{family}_bucket{{");
+        let mut series: BTreeMap<String, Vec<(f64, u64)>> = BTreeMap::new();
+        for (key, &value) in &self.samples {
+            let Some(inner) = key
+                .strip_prefix(&prefix)
+                .and_then(|rest| rest.strip_suffix('}'))
+            else {
+                continue;
+            };
+            let mut le = None;
+            let mut labels = Vec::new();
+            // Label values here never contain commas or escaped quotes,
+            // so a flat split is a faithful parse.
+            for part in inner.split(',') {
+                match part.strip_prefix("le=\"").and_then(|v| v.strip_suffix('"')) {
+                    Some(v) => le = Some(v.to_owned()),
+                    None => labels.push(part),
+                }
+            }
+            let le = le.unwrap_or_else(|| panic!("bucket sample without le: {key}"));
+            let le = if le == "+Inf" {
+                f64::INFINITY
+            } else {
+                le.parse()
+                    .unwrap_or_else(|_| panic!("unparsable le {le:?} in {key}"))
+            };
+            series
+                .entry(labels.join(","))
+                .or_default()
+                .push((le, value as u64));
         }
-        let well_formed = line.split_once(' ').is_some_and(|(name, value)| {
-            name.strip_prefix("prdnn_").is_some_and(|n| !n.is_empty())
-                && value.parse::<u64>().is_ok()
-        });
-        assert!(well_formed, "malformed metrics line: {line:?}");
-        samples += 1;
+        for buckets in series.values_mut() {
+            buckets.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        }
+        series
+    }
+
+    /// The inclusive upper bound (in the family's native unit — seconds
+    /// for latency families) of the bucket holding the rank-`ceil(q*n)`
+    /// value, mirroring the server's own quantile rule.
+    fn histogram_quantile(&self, family: &str, labels: &str, q: f64) -> f64 {
+        let series = self.histogram_series(family);
+        let buckets = series
+            .get(labels)
+            .unwrap_or_else(|| panic!("no histogram series {family}{{{labels}}}"));
+        let count = buckets.last().map(|&(_, cum)| cum).unwrap_or(0);
+        if count == 0 {
+            return 0.0;
+        }
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        for &(le, cum) in buckets {
+            if cum >= rank && le.is_finite() {
+                return le;
+            }
+        }
+        // Only reachable if the rank falls in +Inf (values clamped past
+        // the histogram range); report the largest finite bound.
+        buckets
+            .iter()
+            .rev()
+            .find(|(le, _)| le.is_finite())
+            .map(|&(le, _)| le)
+            .unwrap_or(0.0)
+    }
+}
+
+/// Parses and lints one metrics exposition: every line well-formed,
+/// every sample family announced with HELP and TYPE, counters
+/// `_total`-suffixed and integral, histogram series internally
+/// consistent.  Panics (failing the bench) on the first violation.
+fn lint_scrape(text: &str) -> Scrape {
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    let mut helps: BTreeSet<String> = BTreeSet::new();
+    let mut samples: BTreeMap<String, f64> = BTreeMap::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (name, help) = rest
+                .split_once(' ')
+                .unwrap_or_else(|| panic!("malformed HELP line: {line:?}"));
+            assert!(
+                name.starts_with("prdnn_") && !help.is_empty(),
+                "malformed HELP line: {line:?}"
+            );
+            assert!(helps.insert(name.to_owned()), "duplicate HELP for {name}");
+        } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (name, kind) = rest
+                .split_once(' ')
+                .unwrap_or_else(|| panic!("malformed TYPE line: {line:?}"));
+            assert!(
+                matches!(kind, "counter" | "gauge" | "histogram"),
+                "unknown TYPE {kind:?} for {name}"
+            );
+            assert!(name.starts_with("prdnn_"), "malformed TYPE line: {line:?}");
+            assert!(
+                types.insert(name.to_owned(), kind.to_owned()).is_none(),
+                "duplicate TYPE for {name}"
+            );
+        } else if line.starts_with('#') || line.is_empty() {
+            panic!("unexpected line in exposition: {line:?}");
+        } else {
+            let (name, value) = line
+                .rsplit_once(' ')
+                .unwrap_or_else(|| panic!("malformed sample line: {line:?}"));
+            let value: f64 = value
+                .parse()
+                .unwrap_or_else(|_| panic!("non-numeric sample value: {line:?}"));
+            assert!(
+                value.is_finite() && value >= 0.0,
+                "sample value out of range: {line:?}"
+            );
+            assert!(
+                name.starts_with("prdnn_"),
+                "sample outside the prdnn_ namespace: {line:?}"
+            );
+            assert!(
+                samples.insert(name.to_owned(), value).is_none(),
+                "duplicate sample {name}"
+            );
+        }
     }
     assert!(
-        samples >= 30,
-        "metrics scrape returned only {samples} samples"
+        samples.len() >= 30,
+        "metrics scrape returned only {} samples",
+        samples.len()
     );
-    samples
+
+    // Every sample must resolve to an announced family of the right
+    // shape; every announced family must carry both comments.
+    for family in &helps {
+        assert!(
+            types.contains_key(family),
+            "family {family} has HELP but no TYPE"
+        );
+    }
+    for (name, value) in &samples {
+        let base = name.split('{').next().unwrap();
+        let family = if types.contains_key(base) {
+            base
+        } else {
+            let stripped = base
+                .strip_suffix("_bucket")
+                .or_else(|| base.strip_suffix("_sum"))
+                .or_else(|| base.strip_suffix("_count"))
+                .unwrap_or_else(|| panic!("sample {name} has no TYPE"));
+            assert_eq!(
+                types.get(stripped).map(String::as_str),
+                Some("histogram"),
+                "sample {name} is a histogram component of an unannounced family"
+            );
+            stripped
+        };
+        assert!(
+            helps.contains(family),
+            "family {family} has TYPE but no HELP"
+        );
+        if types[family] == "counter" {
+            assert!(
+                family.ends_with("_total"),
+                "counter {family} is missing the _total suffix"
+            );
+            assert_eq!(
+                value.fract(),
+                0.0,
+                "counter {name} is not integral: {value}"
+            );
+        }
+    }
+
+    let scrape = Scrape { samples, types };
+    let hist_families: Vec<String> = scrape
+        .types
+        .iter()
+        .filter(|(_, kind)| kind.as_str() == "histogram")
+        .map(|(name, _)| name.clone())
+        .collect();
+    assert!(
+        hist_families.len() >= 6,
+        "expected at least 6 histogram families, scrape exposes {}",
+        hist_families.len()
+    );
+    for family in &hist_families {
+        let series = scrape.histogram_series(family);
+        assert!(!series.is_empty(), "histogram {family} exported no series");
+        for (labels, buckets) in &series {
+            let (last_le, last_cum) = *buckets.last().unwrap();
+            assert!(
+                last_le.is_infinite(),
+                "{family}{{{labels}}}: no +Inf bucket"
+            );
+            let count = scrape.counter(&suffixed(family, "count", labels));
+            assert_eq!(
+                last_cum, count,
+                "{family}{{{labels}}}: +Inf bucket disagrees with _count"
+            );
+            let mut prev = (f64::NEG_INFINITY, 0u64);
+            for &(le, cum) in buckets {
+                assert!(
+                    le > prev.0,
+                    "{family}{{{labels}}}: bucket bounds not strictly increasing"
+                );
+                assert!(
+                    cum >= prev.1,
+                    "{family}{{{labels}}}: cumulative counts decreased at le={le}"
+                );
+                prev = (le, cum);
+            }
+            let sum = scrape.value(&suffixed(family, "sum", labels));
+            if count == 0 {
+                assert_eq!(
+                    sum, 0.0,
+                    "{family}{{{labels}}}: empty series with nonzero _sum"
+                );
+            }
+        }
+    }
+    scrape
+}
+
+/// Invariants tying histogram counts to the server's own request
+/// counters.  Exact equalities hold only once the request planes have
+/// quiesced (all bench clients joined); repair jobs and their WAL
+/// publishes may still be settling when the scrape renders, so the job
+/// and WAL families are checked as inequalities whose direction is safe
+/// under concurrent settling.
+fn cross_check(s: &Scrape) {
+    let hist = |family: &str, labels: &str| s.counter(&suffixed(family, "count", labels));
+    assert_eq!(
+        hist("prdnn_request_seconds", "kind=\"eval\""),
+        s.counter("prdnn_eval_requests_total"),
+        "eval e2e histogram count diverged from the eval request counter"
+    );
+    assert_eq!(
+        hist("prdnn_request_seconds", "kind=\"lin_regions\""),
+        s.counter("prdnn_lin_requests_total"),
+        "lin_regions e2e histogram count diverged from the request counter"
+    );
+    assert_eq!(
+        hist("prdnn_batch_queue_wait_seconds", ""),
+        s.counter("prdnn_gulp_items_total"),
+        "batch queue-wait histogram count diverged from drained items"
+    );
+    assert_eq!(
+        hist("prdnn_gulp_size", ""),
+        s.counter("prdnn_gulps_total"),
+        "gulp-size histogram count diverged from the gulp counter"
+    );
+    assert_eq!(
+        s.value("prdnn_gulp_size_sum") as u64,
+        s.counter("prdnn_gulp_items_total"),
+        "gulp-size histogram sum diverged from drained items"
+    );
+    assert_eq!(
+        hist("prdnn_batch_exec_seconds", ""),
+        s.counter("prdnn_eval_batches_total") + s.counter("prdnn_lin_batches_total"),
+        "batch-exec histogram count diverged from executed batch groups"
+    );
+    assert!(
+        hist("prdnn_job_queue_wait_seconds", "") <= s.counter("prdnn_jobs_submitted_total"),
+        "more job queue-wait samples than jobs submitted"
+    );
+    assert!(
+        hist("prdnn_lp_solve_seconds", "") <= s.counter("prdnn_jobs_submitted_total"),
+        "more LP solve samples than jobs submitted"
+    );
+    assert!(
+        hist("prdnn_wal_fsync_seconds", "") >= s.counter("prdnn_wal_appends_total"),
+        "fewer WAL fsync samples than acknowledged WAL appends"
+    );
+    assert!(
+        hist("prdnn_cache_service_seconds", "result=\"hit\"")
+            <= s.counter("prdnn_cache_hits_total"),
+        "more cache-hit service samples than cache hits"
+    );
+    assert!(
+        hist("prdnn_cache_service_seconds", "result=\"miss\"")
+            <= s.counter("prdnn_cache_misses_total"),
+        "more cache-miss service samples than cache misses"
+    );
+}
+
+/// Scrapes the metrics endpoint and runs the exposition lint.  The
+/// cross-counter checks ([`cross_check`]) are the caller's to apply —
+/// they assume a quiesced server.
+fn scrape_metrics(client: &mut Client) -> Scrape {
+    let text = client.metrics().expect("metrics request");
+    lint_scrape(&text)
+}
+
+/// One stage's report block: sample count plus mean/p50/p99 derived
+/// from the scrape's histogram.  Latency stages are in milliseconds;
+/// `gulp_size` stays in items.
+fn stage_json(s: &Scrape, family: &str, labels: &str, seconds: bool) -> Value {
+    let count = s.counter(&suffixed(family, "count", labels));
+    let sum = s.value(&suffixed(family, "sum", labels));
+    let scale = if seconds { 1e3 } else { 1.0 };
+    Value::obj([
+        ("count", Value::Num(count as f64)),
+        (
+            "mean",
+            Value::Num(if count == 0 {
+                0.0
+            } else {
+                sum * scale / count as f64
+            }),
+        ),
+        (
+            "p50",
+            Value::Num(s.histogram_quantile(family, labels, 0.50) * scale),
+        ),
+        (
+            "p99",
+            Value::Num(s.histogram_quantile(family, labels, 0.99) * scale),
+        ),
+    ])
+}
+
+/// The per-stage breakdown block shared by every mix report.
+fn stages_json(s: &Scrape) -> Value {
+    Value::obj([
+        (
+            "batch_queue_wait_ms",
+            stage_json(s, "prdnn_batch_queue_wait_seconds", "", true),
+        ),
+        (
+            "batch_exec_ms",
+            stage_json(s, "prdnn_batch_exec_seconds", "", true),
+        ),
+        ("gulp_size", stage_json(s, "prdnn_gulp_size", "", false)),
+        (
+            "job_queue_wait_ms",
+            stage_json(s, "prdnn_job_queue_wait_seconds", "", true),
+        ),
+        (
+            "lp_solve_ms",
+            stage_json(s, "prdnn_lp_solve_seconds", "", true),
+        ),
+        (
+            "wal_fsync_ms",
+            stage_json(s, "prdnn_wal_fsync_seconds", "", true),
+        ),
+        (
+            "cache_hit_service_ms",
+            stage_json(s, "prdnn_cache_service_seconds", "result=\"hit\"", true),
+        ),
+        (
+            "cache_miss_service_ms",
+            stage_json(s, "prdnn_cache_service_seconds", "result=\"miss\"", true),
+        ),
+    ])
+}
+
+/// The scrape-derived provenance block stamped into every mix report.
+fn server_json(s: &Scrape, slow_ms: u64) -> Value {
+    Value::obj([
+        ("build_version", Value::Str(s.build_version())),
+        ("uptime_s", Value::Num(s.value("prdnn_uptime_seconds"))),
+        ("slow_ms", Value::Num(slow_ms as f64)),
+    ])
 }
 
 /// Runs one mix against a fresh server (or the external `addr`) and
-/// gathers the report.
+/// gathers the report.  `slow_ms` overrides the server's slow-trace
+/// threshold (`None` keeps the default; ignored with `--addr`, whose
+/// server this process does not configure).
 fn run_mix(
     name: &'static str,
     args: &Args,
     repair_share_pct: u64,
     store_dir: Option<&std::path::Path>,
+    slow_ms: Option<u64>,
 ) -> MixReport {
+    let effective_slow_ms = slow_ms.unwrap_or(ServerConfig::default().slow_ms);
     let own_server: Option<ServerHandle> = if args.addr.is_none() {
-        Some(
-            serve(ServerConfig {
-                addr: "127.0.0.1:0".to_owned(),
-                max_connections: args.clients + 8,
-                store_dir: store_dir.map(|p| p.to_path_buf()),
-                ..ServerConfig::default()
-            })
-            .expect("ephemeral bind"),
-        )
+        let mut config = ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            max_connections: args.clients + 8,
+            store_dir: store_dir.map(|p| p.to_path_buf()),
+            ..ServerConfig::default()
+        };
+        config.slow_ms = effective_slow_ms;
+        Some(serve(config).expect("ephemeral bind"))
     } else {
         None
     };
@@ -242,9 +677,10 @@ fn run_mix(
             std::thread::spawn(move || {
                 let mut client = match Client::connect(addr) {
                     Ok(c) => c,
-                    Err(_) => return Vec::new(),
+                    Err(_) => return (Vec::new(), Vec::new()),
                 };
                 let mut latencies = Vec::new();
+                let mut eval_send = Vec::new();
                 let interval = Duration::from_secs_f64(1.0 / per_client_rate);
                 // Stagger the clients' schedules so arrivals interleave
                 // instead of lock-stepping.
@@ -260,6 +696,8 @@ fn run_mix(
                     }
                     tally.sent.fetch_add(1, Ordering::Relaxed);
                     let roll = (k * 37 + c as u64 * 13) % 100;
+                    let send_start = Instant::now();
+                    let mut is_eval = false;
                     let result = if roll < repair_share_pct {
                         client
                             .repair(
@@ -281,6 +719,7 @@ fn run_mix(
                             )
                             .map(|_| ())
                     } else {
+                        is_eval = true;
                         let inputs: Vec<Vec<f64>> = (0..4)
                             .map(|p| {
                                 (0..8)
@@ -298,6 +737,12 @@ fn run_mix(
                         Ok(()) => {
                             tally.ok.fetch_add(1, Ordering::Relaxed);
                             latencies.push(latency.as_secs_f64() * 1e3);
+                            if is_eval {
+                                // Send-measured as well: the client-side
+                                // number the server's residence histogram
+                                // is compared against.
+                                eval_send.push(send_start.elapsed().as_secs_f64() * 1e3);
+                            }
                         }
                         Err(e) => match e.kind() {
                             Some(ErrorKind::Overloaded) => {
@@ -313,19 +758,23 @@ fn run_mix(
                     }
                     k += 1;
                 }
-                latencies
+                (latencies, eval_send)
             })
         })
         .collect();
 
     let mut latencies_ms: Vec<f64> = Vec::new();
+    let mut eval_send_ms: Vec<f64> = Vec::new();
     for w in workers {
-        latencies_ms.extend(w.join().expect("client thread panicked"));
+        let (lats, evals) = w.join().expect("client thread panicked");
+        latencies_ms.extend(lats);
+        eval_send_ms.extend(evals);
     }
     let elapsed = start.elapsed();
     latencies_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    eval_send_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
 
-    let (versions_published, gulp_stats, durability) = {
+    let (versions_published, gulp_stats, scrape, slow_traces, durability) = {
         let mut client = Client::connect(addr).expect("connect for teardown");
         let published = client
             .list_versions("bench-repair")
@@ -337,8 +786,21 @@ fn run_mix(
             .map(|s| (s.gulps, s.gulp_items, s.max_gulp))
             .unwrap_or((0, 0, 0));
         // Every mix doubles as a metrics-scrape check: malformed
-        // exposition text fails the bench, not just some dashboard.
-        scrape_metrics(&mut client);
+        // exposition text fails the bench, not just some dashboard.  On
+        // an in-process server the request planes have quiesced, so the
+        // histogram-vs-counter invariants must hold exactly too.
+        let scrape = scrape_metrics(&mut client);
+        if own_server.is_some() {
+            cross_check(&scrape);
+        }
+        let slow_traces = client.trace().expect("trace request");
+        if own_server.is_some() && effective_slow_ms == 0 {
+            assert_eq!(
+                slow_traces.as_arr().map(|a| a.len()),
+                Some(0),
+                "{name}: slow_ms=0 must disable the slow-trace log"
+            );
+        }
         let owned = own_server.is_some();
         if let Some(handle) = own_server {
             client.shutdown_server().expect("shutdown");
@@ -380,8 +842,27 @@ fn run_mix(
             }
             _ => None,
         };
-        (published, gulp_stats, durability)
+        (published, gulp_stats, scrape, slow_traces, durability)
     };
+
+    // Client-vs-server teardown comparison: the server's own residence
+    // histogram must not claim a larger median than clients measured
+    // from the send — residence is a strict subset of what the client
+    // sees (wire + serde on top).  The slack covers bucket resolution
+    // (~3%) and scheduler noise on loaded CI hosts.
+    let eval_hist_count =
+        scrape.counter(&suffixed("prdnn_request_seconds", "count", "kind=\"eval\""));
+    if eval_send_ms.len() >= 50 && eval_hist_count > 0 {
+        let client_p50 = percentile(&eval_send_ms, 0.50);
+        let server_p50 =
+            scrape.histogram_quantile("prdnn_request_seconds", "kind=\"eval\"", 0.50) * 1e3;
+        let slack = (client_p50 * 0.5).max(2.0);
+        assert!(
+            server_p50 <= client_p50 + slack,
+            "{name}: server-side eval p50 {server_p50:.3}ms implausibly above \
+             client-side {client_p50:.3}ms"
+        );
+    }
 
     MixReport {
         name,
@@ -392,8 +873,12 @@ fn run_mix(
         deadline: tally.deadline.load(Ordering::Relaxed),
         other_errors: tally.other_errors.load(Ordering::Relaxed),
         latencies_ms,
+        eval_send_ms,
         versions_published,
         gulp_stats,
+        scrape,
+        slow_traces,
+        slow_ms: effective_slow_ms,
         durability,
     }
 }
@@ -505,7 +990,10 @@ fn run_cached_mix(args: &Args) -> Value {
 
     let mut teardown = Client::connect(addr).expect("connect for teardown");
     let stats = teardown.stats().expect("server stats");
-    scrape_metrics(&mut teardown);
+    let scrape = scrape_metrics(&mut teardown);
+    if own_server.is_some() {
+        cross_check(&scrape);
+    }
     if let Some(handle) = own_server {
         teardown.shutdown_server().expect("shutdown");
         drop(teardown);
@@ -530,7 +1018,12 @@ fn run_cached_mix(args: &Args) -> Value {
     Value::obj([
         ("mix", Value::Str("eval_cached".to_owned())),
         ("clients", Value::Num(args.clients as f64)),
+        ("host_cores", Value::Num(host_cores() as f64)),
         ("duration_s", Value::Num(elapsed.as_secs_f64())),
+        (
+            "server",
+            server_json(&scrape, ServerConfig::default().slow_ms),
+        ),
         (
             "requests",
             Value::obj([
@@ -561,6 +1054,7 @@ fn run_cached_mix(args: &Args) -> Value {
                 ("hit_p99", Value::Num(percentile(&hit_latencies, 0.99))),
             ]),
         ),
+        ("stages", stages_json(&scrape)),
     ])
 }
 
@@ -582,6 +1076,10 @@ struct ChaosRegimeReport {
     /// truncated, severed).
     proxy: (u64, u64, u64, u64, u64, u64),
     latencies_ms: Vec<f64>,
+    /// Teardown scrape over a direct (un-proxied) connection; format
+    /// lint only — abandoned frames may still be settling when it runs,
+    /// so the quiesce-only counter equalities are not asserted here.
+    scrape: Scrape,
 }
 
 /// The fault-regime sweep: a fault-free baseline, each fault family in
@@ -730,6 +1228,7 @@ fn run_chaos_regime(regime: &'static str, args: &Args, config: ChaosConfig) -> C
     // depend on a stats frame surviving the proxy.
     let mut teardown = Client::connect(handle.addr()).expect("connect for teardown");
     let stats = teardown.stats().expect("server stats");
+    let scrape = scrape_metrics(&mut teardown);
     teardown.shutdown_server().expect("shutdown");
     drop(teardown);
     handle.join().expect("server drain");
@@ -756,6 +1255,7 @@ fn run_chaos_regime(regime: &'static str, args: &Args, config: ChaosConfig) -> C
         io_timeouts: stats.io_timeouts,
         proxy: proxy_counts,
         latencies_ms,
+        scrape,
     }
 }
 
@@ -764,6 +1264,11 @@ fn chaos_report_to_json(r: &ChaosRegimeReport, args: &Args) -> Value {
         ("regime", Value::Str(r.regime.to_owned())),
         ("offered_rps", Value::Num(args.rate as f64)),
         ("duration_s", Value::Num(r.elapsed.as_secs_f64())),
+        ("host_cores", Value::Num(host_cores() as f64)),
+        (
+            "server",
+            server_json(&r.scrape, ServerConfig::default().slow_ms),
+        ),
         ("sent", Value::Num(r.sent as f64)),
         ("completed", Value::Num(r.ok as f64)),
         (
@@ -809,7 +1314,9 @@ fn report_to_json(report: &MixReport, args: &Args) -> Value {
         ("mix", Value::Str(report.name.to_owned())),
         ("offered_rps", Value::Num(args.rate as f64)),
         ("clients", Value::Num(args.clients as f64)),
+        ("host_cores", Value::Num(host_cores() as f64)),
         ("duration_s", Value::Num(report.elapsed.as_secs_f64())),
+        ("server", server_json(&report.scrape, report.slow_ms)),
         ("sent", Value::Num(report.sent as f64)),
         ("completed", Value::Num(report.ok as f64)),
         (
@@ -851,7 +1358,39 @@ fn report_to_json(report: &MixReport, args: &Args) -> Value {
                 ),
             ]),
         ),
+        ("stages", stages_json(&report.scrape)),
+        (
+            "slow_traces",
+            Value::Num(report.slow_traces.as_arr().map(|a| a.len()).unwrap_or(0) as f64),
+        ),
     ];
+    if !report.eval_send_ms.is_empty() {
+        let quantile = |q| {
+            report
+                .scrape
+                .histogram_quantile("prdnn_request_seconds", "kind=\"eval\"", q)
+                * 1e3
+        };
+        let client_p50 = percentile(&report.eval_send_ms, 0.50);
+        let server_p50 = quantile(0.50);
+        pairs.push((
+            "client_vs_server",
+            Value::obj([
+                (
+                    "eval_requests",
+                    Value::Num(report.eval_send_ms.len() as f64),
+                ),
+                ("client_p50_ms", Value::Num(client_p50)),
+                (
+                    "client_p99_ms",
+                    Value::Num(percentile(&report.eval_send_ms, 0.99)),
+                ),
+                ("server_p50_ms", Value::Num(server_p50)),
+                ("server_p99_ms", Value::Num(quantile(0.99))),
+                ("p50_gap_ms", Value::Num(client_p50 - server_p50)),
+            ]),
+        ));
+    }
     if let Some(d) = &report.durability {
         pairs.push((
             "durability",
@@ -877,11 +1416,21 @@ fn report_to_json(report: &MixReport, args: &Args) -> Value {
 fn main() {
     let args = parse_args();
     let mut reports = Vec::new();
+    // (traced, untraced) indices into `reports` for the overhead block.
+    let mut eval_pair: Option<(usize, usize)> = None;
     if args.mix == "both" || args.mix == "eval" {
-        reports.push(run_mix("eval_heavy", &args, 0, None));
+        reports.push(run_mix("eval_heavy", &args, 0, None, Some(TRACED_SLOW_MS)));
+        if args.addr.is_none() {
+            // Same workload with span tracing off: the pair prices the
+            // telemetry overhead.  Meaningless against an external
+            // server, whose slow_ms this process cannot set.
+            let on = reports.len() - 1;
+            reports.push(run_mix("eval_heavy_notrace", &args, 0, None, Some(0)));
+            eval_pair = Some((on, reports.len() - 1));
+        }
     }
     if args.mix == "both" || args.mix == "repair" {
-        reports.push(run_mix("repair_heavy", &args, 60, None));
+        reports.push(run_mix("repair_heavy", &args, 60, None, None));
     }
     if (args.mix == "both" || args.mix == "durable") && args.addr.is_none() {
         // User-named directory, or a scratch one removed afterwards.
@@ -893,7 +1442,7 @@ fn main() {
             ),
         };
         std::fs::create_dir_all(&dir).expect("create --store-dir");
-        reports.push(run_mix("repair_heavy_durable", &args, 60, Some(&dir)));
+        reports.push(run_mix("repair_heavy_durable", &args, 60, Some(&dir), None));
         if scratch {
             let _ = std::fs::remove_dir_all(&dir);
         }
@@ -942,11 +1491,44 @@ fn main() {
     let mut doc_pairs = vec![
         ("bench", Value::Str("servebench".to_owned())),
         ("threads", Value::Num(prdnn_par::default_threads() as f64)),
+        ("host_cores", Value::Num(host_cores() as f64)),
         (
             "mixes",
             Value::Arr(reports.iter().map(|r| report_to_json(r, &args)).collect()),
         ),
     ];
+    if let Some((on, off)) = eval_pair {
+        let p50_on = percentile(&reports[on].eval_send_ms, 0.50);
+        let p50_off = percentile(&reports[off].eval_send_ms, 0.50);
+        let overhead = p50_on - p50_off;
+        // The design target is < 5% — the report carries the exact
+        // fraction for trend-watching.  The hard gate is looser (half
+        // the median, floored at 1ms) so scheduler noise on shared CI
+        // hosts cannot flake the run, while a gross regression (tracing
+        // on the hot path allocating or taking locks) still fails it.
+        let budget = (p50_off * 0.5).max(1.0);
+        assert!(
+            overhead <= budget,
+            "telemetry overhead implausible: traced eval p50 {p50_on:.3}ms vs \
+             untraced {p50_off:.3}ms"
+        );
+        doc_pairs.push((
+            "telemetry_overhead",
+            Value::obj([
+                ("eval_p50_traced_ms", Value::Num(p50_on)),
+                ("eval_p50_untraced_ms", Value::Num(p50_off)),
+                ("overhead_ms", Value::Num(overhead)),
+                (
+                    "overhead_frac",
+                    Value::Num(if p50_off > 0.0 {
+                        overhead / p50_off
+                    } else {
+                        0.0
+                    }),
+                ),
+            ]),
+        ));
+    }
     if let Some(cached) = cached_report {
         doc_pairs.push(("cached", cached));
     }
@@ -966,6 +1548,34 @@ fn main() {
     println!("{json}");
     if let Some(path) = &args.out {
         std::fs::write(path, &json).expect("writing --out file");
+        eprintln!("servebench: wrote {path}");
+    }
+    if let Some(path) = &args.trace_out {
+        // The traced run's slow-request chains as a standalone artifact;
+        // prefer a mix that actually had tracing on.
+        let traced = reports
+            .iter()
+            .find(|r| r.slow_ms > 0)
+            .or_else(|| reports.first());
+        let trace_doc = Value::obj([
+            ("bench", Value::Str("servebench-trace".to_owned())),
+            (
+                "mix",
+                Value::Str(traced.map(|r| r.name).unwrap_or("none").to_owned()),
+            ),
+            (
+                "slow_ms",
+                Value::Num(traced.map(|r| r.slow_ms).unwrap_or(0) as f64),
+            ),
+            ("host_cores", Value::Num(host_cores() as f64)),
+            (
+                "slow",
+                traced
+                    .map(|r| r.slow_traces.clone())
+                    .unwrap_or(Value::Arr(Vec::new())),
+            ),
+        ]);
+        std::fs::write(path, trace_doc.to_json()).expect("writing --trace-out file");
         eprintln!("servebench: wrote {path}");
     }
 }

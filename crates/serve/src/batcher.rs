@@ -30,6 +30,7 @@
 use crate::cache::{CacheKey, ResultCache};
 use crate::protocol::ErrorKind;
 use crate::store::ModelVersion;
+use crate::telemetry::{Outcome, Stage, Telemetry};
 use prdnn_par::PoolRef;
 use prdnn_syrenn::LinearRegion;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -66,6 +67,11 @@ struct Pending {
     /// The item's cache key, computed once at submission on the connection
     /// thread (`None` when the cache is disabled).
     key: Option<CacheKey>,
+    /// Correlation id for span tracing (0 = untracked).
+    request_id: u64,
+    /// When the item entered the queue; queue-wait and service-time
+    /// telemetry measure from here.
+    enqueued: Instant,
 }
 
 struct BatchState {
@@ -115,14 +121,21 @@ pub struct Batcher {
     cap: usize,
     pool: Arc<PoolRef>,
     cache: Arc<ResultCache>,
+    telemetry: Arc<Telemetry>,
     /// Request/batch counters.
     pub counters: BatchCounters,
 }
 
 impl Batcher {
     /// Creates a batcher whose queue holds at most `cap` pending items,
-    /// probing and filling `cache` around every batched call.
-    pub fn new(pool: Arc<PoolRef>, cap: usize, cache: Arc<ResultCache>) -> Self {
+    /// probing and filling `cache` around every batched call and recording
+    /// queue-wait / execution / gulp-size telemetry into `telemetry`.
+    pub fn new(
+        pool: Arc<PoolRef>,
+        cap: usize,
+        cache: Arc<ResultCache>,
+        telemetry: Arc<Telemetry>,
+    ) -> Self {
         Batcher {
             state: Mutex::new(BatchState {
                 queue: Vec::new(),
@@ -132,12 +145,14 @@ impl Batcher {
             cap: cap.max(1),
             pool,
             cache,
+            telemetry,
             counters: BatchCounters::default(),
         }
     }
 
     /// Submits one work item, returning the channel the reply will arrive
-    /// on.
+    /// on.  `request_id` correlates the item's telemetry spans with the
+    /// originating request (0 = untracked).
     ///
     /// # Errors
     ///
@@ -148,6 +163,7 @@ impl Batcher {
         version: Arc<ModelVersion>,
         call: Call,
         deadline: Instant,
+        request_id: u64,
     ) -> Result<Receiver<Reply>, (ErrorKind, String)> {
         let (tx, rx) = std::sync::mpsc::channel();
         // Hash the payload on the connection thread, outside the queue
@@ -192,6 +208,8 @@ impl Batcher {
                 deadline,
                 reply: tx,
                 key,
+                request_id,
+                enqueued: Instant::now(),
             });
         }
         self.cv.notify_one();
@@ -273,16 +291,41 @@ impl Batcher {
             self.counters.gulps.fetch_add(1, Ordering::Relaxed);
             self.counters.gulp_items.fetch_add(n, Ordering::Relaxed);
             self.counters.max_gulp.fetch_max(n, Ordering::Relaxed);
+            self.telemetry.gulp_size.record(n);
         }
         let now = Instant::now();
         let mut live = Vec::with_capacity(batch.len());
         for item in batch {
+            // Queue wait is recorded for every drained item — hits,
+            // expirations, and executed members alike — so the histogram's
+            // count mirrors the gulp_items counter exactly.
+            let wait = now.saturating_duration_since(item.enqueued);
+            self.telemetry.batch_queue_wait.record_duration(wait);
             if item.deadline <= now {
+                self.telemetry.span_at(
+                    item.request_id,
+                    Stage::BatchQueue,
+                    item.enqueued,
+                    wait,
+                    Outcome::Deadline,
+                );
                 self.expire(&item, "the batch ran");
                 continue;
             }
+            self.telemetry.span_at(
+                item.request_id,
+                Stage::BatchQueue,
+                item.enqueued,
+                wait,
+                Outcome::Ok,
+            );
             if let Some(key) = &item.key {
                 if let Some(data) = self.cache.probe(key) {
+                    self.telemetry
+                        .cache_hit_service
+                        .record_duration(item.enqueued.elapsed());
+                    self.telemetry
+                        .span(item.request_id, Stage::Cache, now, Outcome::Hit);
                     let _ = item.reply.send(Ok(data));
                     continue;
                 }
@@ -371,7 +414,10 @@ impl Batcher {
         members: &[Pending],
         pairs: &[(&[f64], &[f64])],
     ) {
+        let exec_start = Instant::now();
         let outputs = version.ddnn.forward_decoupled_batch_in(&self.pool, pairs);
+        let exec = exec_start.elapsed();
+        self.telemetry.batch_exec.record_duration(exec);
         self.counters.eval_batches.fetch_add(1, Ordering::Relaxed);
         self.counters
             .eval_points
@@ -384,6 +430,19 @@ impl Batcher {
             let slice: Vec<Vec<f64>> = outputs.by_ref().take(inputs.len()).collect();
             let data = ReplyData::Outputs(slice);
             self.fill_from(member, &data);
+            // Spans and service time land before the reply wakes the
+            // connection thread, so a slow request's promotion scan always
+            // finds its chain complete.
+            self.telemetry.span_at(
+                member.request_id,
+                Stage::BatchExec,
+                exec_start,
+                exec,
+                Outcome::Ok,
+            );
+            self.telemetry
+                .cache_miss_service
+                .record_duration(member.enqueued.elapsed());
             let _ = member.reply.send(Ok(data));
         }
     }
@@ -396,6 +455,7 @@ impl Batcher {
     ) {
         // Value edits never move the linear regions (Theorem 4.6), so every
         // version's regions are its activation network's regions.
+        let exec_start = Instant::now();
         let result = prdnn_syrenn::lin_regions_batch_in(
             &self.pool,
             version.ddnn.activation_network(),
@@ -407,6 +467,8 @@ impl Batcher {
             .fetch_add(polytopes.len() as u64, Ordering::Relaxed);
         match result {
             Ok(all_regions) => {
+                let exec = exec_start.elapsed();
+                self.telemetry.batch_exec.record_duration(exec);
                 let mut regions = all_regions.into_iter();
                 for member in members {
                     let Call::LinRegions(polys) = &member.call else {
@@ -416,6 +478,16 @@ impl Batcher {
                         regions.by_ref().take(polys.len()).collect();
                     let data = ReplyData::Regions(slice);
                     self.fill_from(member, &data);
+                    self.telemetry.span_at(
+                        member.request_id,
+                        Stage::BatchExec,
+                        exec_start,
+                        exec,
+                        Outcome::Ok,
+                    );
+                    self.telemetry
+                        .cache_miss_service
+                        .record_duration(member.enqueued.elapsed());
                     let _ = member.reply.send(Ok(data));
                 }
             }
@@ -449,8 +521,26 @@ impl Batcher {
                         }
                         Err(e) => Err((ErrorKind::BadRequest, e.to_string())),
                     };
+                    // The rescue span covers the batched attempt plus this
+                    // member's solo re-run; its outcome is the verdict the
+                    // member actually received.
+                    let outcome = if reply.is_ok() {
+                        Outcome::Ok
+                    } else {
+                        Outcome::Error
+                    };
+                    self.telemetry
+                        .span(member.request_id, Stage::BatchExec, exec_start, outcome);
+                    self.telemetry
+                        .cache_miss_service
+                        .record_duration(member.enqueued.elapsed());
                     let _ = member.reply.send(reply);
                 }
+                // The failed batched call still consumed pool time: charge
+                // the whole attempt-plus-rescues window once.
+                self.telemetry
+                    .batch_exec
+                    .record_duration(exec_start.elapsed());
             }
         }
     }
@@ -482,13 +572,23 @@ mod tests {
     /// The pre-cache batcher the legacy tests pin: caching disabled.
     fn batcher_without_cache(threads: usize, cap: usize) -> Batcher {
         let pool = Arc::new(prdnn_par::pool_for(Some(threads)));
-        Batcher::new(pool, cap, Arc::new(ResultCache::disabled()))
+        Batcher::new(
+            pool,
+            cap,
+            Arc::new(ResultCache::disabled()),
+            Telemetry::new(0),
+        )
     }
 
     /// A batcher with a generous enabled cache.
     fn batcher_with_cache(threads: usize, cap: usize) -> Batcher {
         let pool = Arc::new(prdnn_par::pool_for(Some(threads)));
-        Batcher::new(pool, cap, Arc::new(ResultCache::new(1 << 20)))
+        Batcher::new(
+            pool,
+            cap,
+            Arc::new(ResultCache::new(1 << 20)),
+            Telemetry::new(0),
+        )
     }
 
     #[test]
@@ -512,6 +612,7 @@ mod tests {
                         Arc::clone(&version),
                         Call::Eval(inputs.clone()),
                         far_deadline(),
+                        0,
                     )
                     .unwrap()
             })
@@ -544,6 +645,7 @@ mod tests {
                 Arc::clone(&version),
                 Call::Eval(vec![vec![0.5]]),
                 far_deadline(),
+                0,
             )
             .unwrap();
         let err = batcher
@@ -551,6 +653,7 @@ mod tests {
                 Arc::clone(&version),
                 Call::Eval(vec![vec![0.5]]),
                 far_deadline(),
+                0,
             )
             .unwrap_err();
         assert_eq!(err.0, ErrorKind::Overloaded);
@@ -562,6 +665,7 @@ mod tests {
                 Arc::clone(&version),
                 Call::Eval(vec![vec![0.5]]),
                 Instant::now() - Duration::from_millis(1),
+                0,
             )
             .unwrap();
         batcher.drain_once();
@@ -574,7 +678,7 @@ mod tests {
 
         batcher.shutdown();
         let err = batcher
-            .submit(version, Call::Eval(vec![vec![0.5]]), far_deadline())
+            .submit(version, Call::Eval(vec![vec![0.5]]), far_deadline(), 0)
             .unwrap_err();
         assert_eq!(err.0, ErrorKind::ShuttingDown);
     }
@@ -591,6 +695,7 @@ mod tests {
                 Arc::clone(&version),
                 Call::LinRegions(vec![vec![vec![0.5], vec![0.5]]]),
                 far_deadline(),
+                0,
             )
             .unwrap();
         let good = batcher
@@ -598,6 +703,7 @@ mod tests {
                 Arc::clone(&version),
                 Call::LinRegions(vec![vec![vec![-1.0], vec![2.0]]]),
                 far_deadline(),
+                0,
             )
             .unwrap();
         assert_eq!(batcher.drain_once(), 2);
@@ -627,6 +733,7 @@ mod tests {
                 Arc::clone(&version),
                 Call::LinRegions(vec![segment.clone()]),
                 far_deadline(),
+                0,
             )
             .unwrap();
         batcher.drain_once();
@@ -652,6 +759,7 @@ mod tests {
                     Arc::clone(&version),
                     Call::Eval(inputs.clone()),
                     far_deadline(),
+                    0,
                 )
                 .unwrap()
         };
@@ -684,6 +792,7 @@ mod tests {
                     Arc::clone(&version),
                     Call::LinRegions(vec![segment.clone()]),
                     far_deadline(),
+                    0,
                 )
                 .unwrap()
         };
@@ -725,6 +834,7 @@ mod tests {
                     Arc::clone(version),
                     Call::Eval(input.clone()),
                     far_deadline(),
+                    0,
                 )
                 .unwrap();
             batcher.drain_once();
@@ -754,6 +864,7 @@ mod tests {
                     Arc::clone(version),
                     Call::LinRegions(vec![segment.clone()]),
                     far_deadline(),
+                    0,
                 )
                 .unwrap();
             batcher.drain_once();

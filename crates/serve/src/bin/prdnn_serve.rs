@@ -4,8 +4,8 @@
 //! prdnn-serve [--addr HOST:PORT] [--threads N] [--max-connections N]
 //!             [--batch-queue N] [--job-queue N] [--repair-workers N]
 //!             [--deadline-ms MS] [--io-timeout-ms MS] [--store-dir DIR]
-//!             [--snapshot-every N] [--cache-bytes N] [--fault-wal SPEC]
-//!             [--preload NAME=GENERATOR]...
+//!             [--snapshot-every N] [--cache-bytes N] [--slow-ms MS]
+//!             [--fault-wal SPEC] [--preload NAME=GENERATOR]...
 //! ```
 //!
 //! `--preload` loads a model at startup (repeatable), e.g.
@@ -22,6 +22,11 @@
 //! `--cache-bytes N` budgets the per-version result cache that memoizes
 //! eval / `lin_regions` replies (default 32 MiB; `0` disables caching —
 //! every request runs on the pool).
+//!
+//! `--slow-ms MS` sets the slow-request threshold: a request whose
+//! server-side residence crosses it has its full span chain retained and
+//! served by the `trace` request (default 400; `0` disables span tracing —
+//! the latency histograms on the `metrics` endpoint stay on).
 //!
 //! `--io-timeout-ms MS` bounds how long a connection may sit idle
 //! mid-request before it is reaped and its slot freed (slowloris
@@ -83,6 +88,14 @@ fn main() -> ExitCode {
                         .map_err(|_| format!("expected a non-negative integer, got {v:?}"))
                 })
             }
+            "--slow-ms" => {
+                // 0 is meaningful here: disable span tracing.
+                take("--slow-ms").and_then(|v| {
+                    v.parse::<u64>()
+                        .map(|n| config.slow_ms = n)
+                        .map_err(|_| format!("expected a non-negative integer, got {v:?}"))
+                })
+            }
             "--fault-wal" => take("--fault-wal").and_then(|v| {
                 // Validate the spec up front so a typo fails the launch,
                 // not the first publish.
@@ -100,8 +113,8 @@ fn main() -> ExitCode {
                     "prdnn-serve [--addr HOST:PORT] [--threads N] [--max-connections N]\n\
                      \x20           [--batch-queue N] [--job-queue N] [--repair-workers N]\n\
                      \x20           [--deadline-ms MS] [--io-timeout-ms MS] [--store-dir DIR]\n\
-                     \x20           [--snapshot-every N] [--cache-bytes N] [--fault-wal SPEC]\n\
-                     \x20           [--preload NAME=GENERATOR]..."
+                     \x20           [--snapshot-every N] [--cache-bytes N] [--slow-ms MS]\n\
+                     \x20           [--fault-wal SPEC] [--preload NAME=GENERATOR]..."
                 );
                 return ExitCode::SUCCESS;
             }

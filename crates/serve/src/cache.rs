@@ -230,12 +230,18 @@ impl ResultCache {
         self.budget > 0
     }
 
-    /// Bytes currently held (a gauge for the metrics endpoint).
+    /// Bytes currently held (the `prdnn_cache_bytes` gauge on the
+    /// `metrics` endpoint).
     pub fn bytes(&self) -> u64 {
         self.lock().bytes as u64
     }
 
-    /// Entries currently held.
+    /// Entries currently held (the `prdnn_cache_entries` gauge).
+    ///
+    /// Service-time telemetry — how long a request took when it hit the
+    /// cache vs when it ran on the pool — is recorded by the batcher at the
+    /// probe/fill sites (`prdnn_cache_service_seconds{result=...}`), not
+    /// here: the cache has no notion of when the request arrived.
     pub fn entries(&self) -> u64 {
         self.lock().map.len() as u64
     }

@@ -3,10 +3,11 @@
 //! wants typed calls instead of raw frames.
 
 use crate::protocol::{
-    read_frame, write_frame, ErrorKind, JobState, ModelRef, RegionWire, Request, Response,
-    ServerStats, VersionInfo,
+    embed_request_id, read_frame, request_id_of, write_frame, ErrorKind, JobState, ModelRef,
+    RegionWire, Request, Response, ServerStats, VersionInfo,
 };
 use prdnn_core::{PointSpec, RepairConfig};
+use serde::json::Value;
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
@@ -56,6 +57,10 @@ impl ClientError {
 /// A blocking client over one TCP connection.
 pub struct Client {
     stream: TcpStream,
+    /// A correlation id to stamp on the next request sent (one-shot).
+    next_request_id: Option<u64>,
+    /// The `request_id` the server echoed in the last response.
+    last_request_id: Option<u64>,
 }
 
 impl Client {
@@ -67,7 +72,11 @@ impl Client {
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
-        Ok(Client { stream })
+        Ok(Client {
+            stream,
+            next_request_id: None,
+            last_request_id: None,
+        })
     }
 
     /// Connects with a bound on how long the TCP handshake may take —
@@ -80,7 +89,11 @@ impl Client {
     pub fn connect_timeout(addr: &std::net::SocketAddr, timeout: Duration) -> io::Result<Client> {
         let stream = TcpStream::connect_timeout(addr, timeout)?;
         stream.set_nodelay(true).ok();
-        Ok(Client { stream })
+        Ok(Client {
+            stream,
+            next_request_id: None,
+            last_request_id: None,
+        })
     }
 
     /// Bounds every socket read and write (`None` removes the bound).  A
@@ -103,11 +116,28 @@ impl Client {
     /// *responses* are returned as `Ok(Response::Error { .. })` here (the
     /// typed helpers below turn them into [`ClientError::Server`]).
     pub fn request(&mut self, request: &Request) -> Result<Response, ClientError> {
-        write_frame(&mut self.stream, &request.to_value())
-            .map_err(|e| ClientError::Transport(e.to_string()))?;
+        let mut value = request.to_value();
+        if let Some(id) = self.next_request_id.take() {
+            embed_request_id(&mut value, id);
+        }
+        write_frame(&mut self.stream, &value).map_err(|e| ClientError::Transport(e.to_string()))?;
         let value =
             read_frame(&mut self.stream).map_err(|e| ClientError::Transport(e.to_string()))?;
+        self.last_request_id = request_id_of(&value);
         Response::from_value(&value).map_err(ClientError::UnexpectedResponse)
+    }
+
+    /// Stamps `id` as the correlation `request_id` of the **next** request
+    /// only; the server echoes it in the response and tags the request's
+    /// telemetry spans with it (useful for finding a specific request in
+    /// `trace` output).  Without this, the server assigns one.
+    pub fn set_next_request_id(&mut self, id: u64) {
+        self.next_request_id = Some(id);
+    }
+
+    /// The `request_id` the server echoed in the most recent response.
+    pub fn last_request_id(&self) -> Option<u64> {
+        self.last_request_id
     }
 
     fn expect(&mut self, request: &Request) -> Result<Response, ClientError> {
@@ -355,6 +385,22 @@ impl Client {
         match self.expect(&Request::Metrics)? {
             Response::Metrics { text } => Ok(text),
             other => Err(unexpected("metrics", &other)),
+        }
+    }
+
+    /// Fetches the server's retained slow-request traces as structured
+    /// JSON: an array of `{request_id, kind, total_ms, spans}` objects,
+    /// oldest first (see the `telemetry` module docs for the span
+    /// taxonomy).  Empty when nothing crossed `--slow-ms`, or when tracing
+    /// is disabled (`--slow-ms 0`).
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn trace(&mut self) -> Result<Value, ClientError> {
+        match self.expect(&Request::Trace)? {
+            Response::Trace { slow } => Ok(slow),
+            other => Err(unexpected("trace", &other)),
         }
     }
 

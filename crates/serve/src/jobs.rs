@@ -35,11 +35,13 @@
 
 use crate::protocol::{ErrorKind, JobState, ModelRef};
 use crate::store::{ModelStore, ModelVersion};
+use crate::telemetry::{self, Outcome, Stage, Telemetry};
 use prdnn_core::{repair_points_ddnn_in, PointSpec, RepairConfig};
 use prdnn_par::PoolRef;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
 
 struct RepairJob {
     id: u64,
@@ -50,6 +52,12 @@ struct RepairJob {
     layer: usize,
     spec: PointSpec,
     config: RepairConfig,
+    /// The submitting request's correlation id (0 = untracked); the job's
+    /// spans (queue wait, LP solve, WAL append) record under it.
+    request_id: u64,
+    /// When the job entered the FIFO; queue-wait telemetry measures from
+    /// here.
+    submitted: Instant,
 }
 
 /// The outcome of a [`JobQueue::lookup`].
@@ -108,6 +116,7 @@ pub struct JobQueue {
     cap: usize,
     store: Arc<ModelStore>,
     pool: Arc<PoolRef>,
+    telemetry: Arc<Telemetry>,
     /// Job counters.
     pub counters: JobCounters,
 }
@@ -123,8 +132,14 @@ impl JobQueue {
         self.inner.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
-    /// Creates a queue holding at most `cap` waiting jobs.
-    pub fn new(store: Arc<ModelStore>, pool: Arc<PoolRef>, cap: usize) -> Self {
+    /// Creates a queue holding at most `cap` waiting jobs, recording
+    /// queue-wait / LP-solve telemetry into `telemetry`.
+    pub fn new(
+        store: Arc<ModelStore>,
+        pool: Arc<PoolRef>,
+        cap: usize,
+        telemetry: Arc<Telemetry>,
+    ) -> Self {
         JobQueue {
             inner: Mutex::new(JobsInner {
                 queue: VecDeque::new(),
@@ -138,6 +153,7 @@ impl JobQueue {
             cap: cap.max(1),
             store,
             pool,
+            telemetry,
             counters: JobCounters::default(),
         }
     }
@@ -154,6 +170,7 @@ impl JobQueue {
         layer: usize,
         spec: PointSpec,
         config: RepairConfig,
+        request_id: u64,
     ) -> Result<u64, (ErrorKind, String)> {
         let id = {
             // Unlike the read paths, accepting a job into a queue that a
@@ -185,6 +202,8 @@ impl JobQueue {
                 layer,
                 spec,
                 config,
+                request_id,
+                submitted: Instant::now(),
             });
             id
         };
@@ -196,6 +215,16 @@ impl JobQueue {
     /// The current state of a job, if the id was ever issued.
     pub fn status(&self, id: u64) -> Option<JobState> {
         self.lock_inner().statuses.get(&id).cloned()
+    }
+
+    /// Jobs currently waiting in the FIFO (point-in-time gauge).
+    pub fn queue_depth(&self) -> u64 {
+        self.lock_inner().queue.len() as u64
+    }
+
+    /// Repairs currently running on a worker (point-in-time gauge).
+    pub fn in_flight(&self) -> u64 {
+        self.lock_inner().in_flight.len() as u64
     }
 
     /// [`Self::status`], distinguishing a settled-and-evicted record from
@@ -246,6 +275,15 @@ impl JobQueue {
                 }
             };
             let Some(job) = job else { return };
+            let wait = job.submitted.elapsed();
+            self.telemetry.job_queue_wait.record_duration(wait);
+            self.telemetry.span_at(
+                job.request_id,
+                Stage::JobQueue,
+                job.submitted,
+                wait,
+                Outcome::Ok,
+            );
             // A panicking repair (LP assertion on a pathological spec)
             // must fail that job, not kill the worker for all later jobs.
             let state =
@@ -268,6 +306,11 @@ impl JobQueue {
                     }
                 }
             }
+            // A slow job promotes its full chain (queue wait, LP solve,
+            // WAL append) to the slow-log under the submitting request's
+            // id, measured over its whole queue-to-settled residence.
+            self.telemetry
+                .maybe_promote(job.request_id, "repair", job.submitted.elapsed());
             // Releasing the model may unblock a job that every waiting
             // worker previously skipped over.
             self.cv.notify_all();
@@ -292,7 +335,26 @@ impl JobQueue {
             .store
             .resolve(&ModelRef::latest(&job.parent.name))
             .unwrap_or_else(|_| Arc::clone(&job.parent));
-        match repair_points_ddnn_in(&self.pool, &head.ddnn, job.layer, &job.spec, &job.config) {
+        // The publish path (store -> version log -> WAL) has no id
+        // parameter; the thread-local scope attributes its spans.
+        let _scope = telemetry::enter_request(job.request_id);
+        let solve_start = Instant::now();
+        let solved =
+            repair_points_ddnn_in(&self.pool, &head.ddnn, job.layer, &job.spec, &job.config);
+        let solve = solve_start.elapsed();
+        self.telemetry.lp_solve.record_duration(solve);
+        self.telemetry.span_at(
+            job.request_id,
+            Stage::LpSolve,
+            solve_start,
+            solve,
+            if solved.is_ok() {
+                Outcome::Ok
+            } else {
+                Outcome::Error
+            },
+        );
+        match solved {
             Ok(outcome) => {
                 let provenance = outcome.provenance(job.spec.content_hash(), &job.config);
                 let (delta_l1, delta_linf) = (provenance.delta_l1, provenance.delta_linf);
@@ -367,10 +429,15 @@ mod tests {
     fn repair_job_publishes_version_2_with_provenance() {
         let (store, v1) = store_with_n1();
         let pool = Arc::new(prdnn_par::pool_for(Some(1)));
-        let jobs = Arc::new(JobQueue::new(Arc::clone(&store), pool, 4));
+        let jobs = Arc::new(JobQueue::new(
+            Arc::clone(&store),
+            pool,
+            4,
+            Telemetry::new(0),
+        ));
         let spec = equation_2_spec();
         let id = jobs
-            .submit(v1, 0, spec.clone(), RepairConfig::default())
+            .submit(v1, 0, spec.clone(), RepairConfig::default(), 0)
             .unwrap();
         assert_eq!(jobs.status(id), Some(JobState::Queued));
         assert_eq!(jobs.status(id + 7), None);
@@ -420,7 +487,12 @@ mod tests {
         // the later publish silently discards the earlier one's deltas.
         let (store, v1) = store_with_n1();
         let pool = Arc::new(prdnn_par::pool_for(Some(1)));
-        let jobs = Arc::new(JobQueue::new(Arc::clone(&store), pool, 16));
+        let jobs = Arc::new(JobQueue::new(
+            Arc::clone(&store),
+            pool,
+            16,
+            Telemetry::new(0),
+        ));
         let repairs = 6u32;
         for _ in 0..repairs {
             // All submissions name v1 — what a client racing the repairs
@@ -430,6 +502,7 @@ mod tests {
                 0,
                 equation_2_spec(),
                 RepairConfig::default(),
+                0,
             )
             .unwrap();
         }
@@ -478,7 +551,7 @@ mod tests {
     fn infeasible_repairs_fail_and_queue_bounds_hold() {
         let (store, v1) = store_with_n1();
         let pool = Arc::new(prdnn_par::pool_for(Some(1)));
-        let jobs = Arc::new(JobQueue::new(store, pool, 1));
+        let jobs = Arc::new(JobQueue::new(store, pool, 1, Telemetry::new(0)));
         let mut impossible = PointSpec::new();
         impossible.push(vec![0.5], OutputPolytope::scalar_interval(-1.0, -0.9));
         impossible.push(vec![0.5], OutputPolytope::scalar_interval(0.9, 1.0));
@@ -488,6 +561,7 @@ mod tests {
                 0,
                 impossible.clone(),
                 RepairConfig::default(),
+                0,
             )
             .unwrap();
         // Queue cap reached.
@@ -497,6 +571,7 @@ mod tests {
                 0,
                 impossible.clone(),
                 RepairConfig::default(),
+                0,
             )
             .unwrap_err();
         assert_eq!(err.0, ErrorKind::Overloaded);
@@ -505,7 +580,7 @@ mod tests {
         // still execute.
         jobs.shutdown();
         assert_eq!(
-            jobs.submit(v1, 0, impossible, RepairConfig::default())
+            jobs.submit(v1, 0, impossible, RepairConfig::default(), 0)
                 .unwrap_err()
                 .0,
             ErrorKind::ShuttingDown

@@ -71,6 +71,19 @@
 //! test, and [`chaos`] is a fault-injecting TCP proxy for wire-level
 //! end-to-end tests.
 //!
+//! # Observability
+//!
+//! [`telemetry`] is the hand-rolled observability layer: lock-free
+//! log-linear latency histograms at every stage boundary (request
+//! end-to-end per kind, batcher queue-wait vs execution, gulp size,
+//! repair queue-wait vs LP solve, WAL fsync, cache hit vs miss service
+//! time) exported through the `metrics` endpoint as Prometheus histogram
+//! families, plus per-request span tracing: every request carries a
+//! `request_id` (client-settable, echoed in each response), stages record
+//! spans into a bounded ring, and requests slower than `--slow-ms` are
+//! promoted to a retained slow-log served by the `trace` request
+//! ([`client::Client::trace`]).
+//!
 //! # Quickstart
 //!
 //! ```
@@ -101,6 +114,7 @@ pub mod protocol;
 pub mod retry;
 pub mod server;
 pub mod store;
+pub mod telemetry;
 pub mod version_log;
 pub mod wal;
 

@@ -16,6 +16,7 @@ use prdnn_core::{OutputPolytope, PointSpec, RepairConfig};
 use prdnn_linalg::Matrix;
 use serde::json::Value;
 use std::io::{self, Read, Write};
+use std::time::Instant;
 
 /// Upper bound on a frame's payload length (16 MiB): far above any
 /// legitimate request, far below an allocation-of-death.
@@ -104,13 +105,30 @@ pub fn write_frame(w: &mut impl Write, value: &Value) -> io::Result<()> {
 /// [`FrameError::Closed`], a close mid-header or mid-body is an I/O error
 /// (truncated frame).
 pub fn read_frame(r: &mut impl Read) -> Result<Value, FrameError> {
+    read_frame_timed(r).map(|(v, _)| v)
+}
+
+/// Like [`read_frame`], but also reports when the frame's first bytes
+/// arrived.  The instant is captured after the first successful header
+/// read, so idle time between requests is excluded while a peer that
+/// trickles a frame in (or a proxy that delays mid-frame) *is* charged —
+/// this is the request arrival time the server's telemetry measures from.
+///
+/// # Errors
+///
+/// See [`read_frame`].
+pub fn read_frame_timed(r: &mut impl Read) -> Result<(Value, Instant), FrameError> {
     let mut header = [0u8; 4];
     // Distinguish "no frame at all" (clean close) from a truncated header.
-    match r.read(&mut header) {
+    let arrival = match r.read(&mut header) {
         Ok(0) => return Err(FrameError::Closed),
-        Ok(n) => r.read_exact(&mut header[n..]).map_err(io_frame_error)?,
+        Ok(n) => {
+            let arrival = Instant::now();
+            r.read_exact(&mut header[n..]).map_err(io_frame_error)?;
+            arrival
+        }
         Err(e) => return Err(io_frame_error(e)),
-    }
+    };
     let len = u32::from_be_bytes(header) as usize;
     if len == 0 {
         return Err(FrameError::Empty);
@@ -122,7 +140,28 @@ pub fn read_frame(r: &mut impl Read) -> Result<Value, FrameError> {
     r.read_exact(&mut body).map_err(io_frame_error)?;
     let text = std::str::from_utf8(&body)
         .map_err(|e| FrameError::Malformed(format!("invalid UTF-8: {e}")))?;
-    Value::parse(text).map_err(|e| FrameError::Malformed(e.to_string()))
+    let value = Value::parse(text).map_err(|e| FrameError::Malformed(e.to_string()))?;
+    Ok((value, arrival))
+}
+
+/// The optional `request_id` correlation field of a request document.
+/// Clients may set it themselves (values should stay below 2^53 so JSON
+/// numbers round-trip exactly); the server assigns one otherwise and
+/// echoes it in every response.  Ids ride next to the typed payload so
+/// the [`Request`]/[`Response`] codecs stay id-agnostic.
+pub fn request_id_of(v: &Value) -> Option<u64> {
+    match v.get("request_id") {
+        Some(Value::Num(n)) if *n >= 1.0 && n.fract() == 0.0 && *n <= 9.0e15 => Some(*n as u64),
+        _ => None,
+    }
+}
+
+/// Stamps `request_id` onto an encoded request or response document.
+pub fn embed_request_id(v: &mut Value, request_id: u64) {
+    if let Value::Obj(fields) = v {
+        fields.retain(|(k, _)| k != "request_id");
+        fields.push(("request_id".to_owned(), Value::Num(request_id as f64)));
+    }
 }
 
 /// A reference to a stored model: a name plus an optional pinned version
@@ -268,8 +307,33 @@ pub enum Request {
     /// Read every counter as Prometheus text exposition format (the same
     /// numbers as [`Request::Stats`], rendered for scrapers).
     Metrics,
+    /// Read the retained slow-request span chains (see the `telemetry`
+    /// module): requests whose server residence crossed `--slow-ms`.
+    Trace,
     /// Begin graceful shutdown: stop accepting, drain queues, exit.
     Shutdown,
+}
+
+impl Request {
+    /// The request's wire tag, used as its telemetry kind.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Request::Ping => "ping",
+            Request::LoadGenerator { .. } => "load_generator",
+            Request::LoadNetwork { .. } => "load_network",
+            Request::Eval { .. } => "eval",
+            Request::LinRegions { .. } => "lin_regions",
+            Request::Repair { .. } => "repair",
+            Request::JobStatus { .. } => "job_status",
+            Request::GetNetwork { .. } => "get_network",
+            Request::ListModels => "list_models",
+            Request::ListVersions { .. } => "list_versions",
+            Request::Stats => "stats",
+            Request::Metrics => "metrics",
+            Request::Trace => "trace",
+            Request::Shutdown => "shutdown",
+        }
+    }
 }
 
 /// One linear region on the wire.
@@ -355,6 +419,10 @@ pub struct ServerStats {
     pub jobs_completed: u64,
     /// Repair jobs that failed.
     pub jobs_failed: u64,
+    /// Repair jobs currently waiting in the queue (a gauge).
+    pub repair_queue_depth: u64,
+    /// Repair jobs currently being executed by workers (a gauge).
+    pub repair_in_flight: u64,
     /// Version-log records appended (and fsynced) to the WAL; zero under
     /// the in-memory backend.
     pub wal_appends: u64,
@@ -399,6 +467,8 @@ pub struct ServerStats {
     pub cache_fill_skips: u64,
     /// Bytes of payload currently held by the result cache (a gauge).
     pub cache_bytes: u64,
+    /// Entries currently resident in the result cache (a gauge).
+    pub cache_entries: u64,
     /// Requests that expired before their batch (or group) executed.
     pub deadline_expired: u64,
     /// Per-polytope `lin_regions` re-runs after a batched call failed
@@ -478,6 +548,18 @@ impl ServerStats {
                 self.jobs_completed,
             ),
             ("jobs_failed", "repair jobs failed", false, self.jobs_failed),
+            (
+                "repair_queue_depth",
+                "repair jobs currently queued",
+                true,
+                self.repair_queue_depth,
+            ),
+            (
+                "repair_in_flight",
+                "repair jobs currently executing",
+                true,
+                self.repair_in_flight,
+            ),
             (
                 "wal_appends",
                 "WAL records appended and fsynced",
@@ -588,6 +670,12 @@ impl ServerStats {
                 self.cache_bytes,
             ),
             (
+                "cache_entries",
+                "entries resident in the result cache",
+                true,
+                self.cache_entries,
+            ),
+            (
                 "deadline_expired",
                 "requests expired before execution",
                 false,
@@ -616,16 +704,23 @@ impl ServerStats {
 
     /// Renders every counter in Prometheus text exposition format:
     /// `# HELP` / `# TYPE` / sample, one triple per metric, all names
-    /// prefixed `prdnn_`.  Counters are cumulative since server start;
-    /// `open_connections` and `cache_bytes` are gauges.
+    /// prefixed `prdnn_`.  Counters are cumulative since server start and
+    /// carry the conventional `_total` suffix; point-in-time values
+    /// (`open_connections`, `cache_bytes`, `cache_entries`,
+    /// `repair_queue_depth`, `repair_in_flight`) are gauges and keep
+    /// their bare names.
     pub fn to_prometheus(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
         for (name, help, gauge, value) in self.metric_table() {
-            let kind = if gauge { "gauge" } else { "counter" };
-            let _ = writeln!(out, "# HELP prdnn_{name} {help}");
-            let _ = writeln!(out, "# TYPE prdnn_{name} {kind}");
-            let _ = writeln!(out, "prdnn_{name} {value}");
+            let (kind, suffix) = if gauge {
+                ("gauge", "")
+            } else {
+                ("counter", "_total")
+            };
+            let _ = writeln!(out, "# HELP prdnn_{name}{suffix} {help}");
+            let _ = writeln!(out, "# TYPE prdnn_{name}{suffix} {kind}");
+            let _ = writeln!(out, "prdnn_{name}{suffix} {value}");
         }
         out
     }
@@ -734,6 +829,15 @@ pub enum Response {
     Metrics {
         /// The rendered metrics document (see [`ServerStats::to_prometheus`]).
         text: String,
+    },
+    /// Reply to [`Request::Trace`]: recent slow-request span chains.
+    Trace {
+        /// An array of slow-request traces, oldest first.  Each entry is
+        /// an object `{request_id, kind, total_ms, spans}` where `spans`
+        /// is an array of `{stage, start_ms, duration_ms, outcome}`
+        /// objects ordered by start time (`start_ms` is measured from
+        /// server start).
+        slow: Value,
     },
     /// Reply to [`Request::Shutdown`].
     ShuttingDown,
@@ -972,6 +1076,7 @@ impl Request {
             }
             Request::Stats => tagged("stats", vec![]),
             Request::Metrics => tagged("metrics", vec![]),
+            Request::Trace => tagged("trace", vec![]),
             Request::Shutdown => tagged("shutdown", vec![]),
         }
     }
@@ -1057,6 +1162,7 @@ impl Request {
             "list_versions" => Ok(Request::ListVersions { name: name()? }),
             "stats" => Ok(Request::Stats),
             "metrics" => Ok(Request::Metrics),
+            "trace" => Ok(Request::Trace),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!("unknown request type {other:?}")),
         }
@@ -1219,6 +1325,14 @@ impl Response {
                     ("jobs_submitted", Value::Num(stats.jobs_submitted as f64)),
                     ("jobs_completed", Value::Num(stats.jobs_completed as f64)),
                     ("jobs_failed", Value::Num(stats.jobs_failed as f64)),
+                    (
+                        "repair_queue_depth",
+                        Value::Num(stats.repair_queue_depth as f64),
+                    ),
+                    (
+                        "repair_in_flight",
+                        Value::Num(stats.repair_in_flight as f64),
+                    ),
                     ("wal_appends", Value::Num(stats.wal_appends as f64)),
                     ("wal_bytes", Value::Num(stats.wal_bytes as f64)),
                     ("snapshots", Value::Num(stats.snapshots as f64)),
@@ -1253,6 +1367,7 @@ impl Response {
                         Value::Num(stats.cache_fill_skips as f64),
                     ),
                     ("cache_bytes", Value::Num(stats.cache_bytes as f64)),
+                    ("cache_entries", Value::Num(stats.cache_entries as f64)),
                     (
                         "deadline_expired",
                         Value::Num(stats.deadline_expired as f64),
@@ -1271,6 +1386,7 @@ impl Response {
             Response::Metrics { text } => {
                 tagged("metrics", vec![("text", Value::Str(text.clone()))])
             }
+            Response::Trace { slow } => tagged("trace", vec![("slow", slow.clone())]),
             Response::ShuttingDown => tagged("shutting_down", vec![]),
             Response::Error {
                 kind,
@@ -1493,6 +1609,8 @@ impl Response {
                     jobs_submitted: counter("jobs_submitted")?,
                     jobs_completed: counter("jobs_completed")?,
                     jobs_failed: counter("jobs_failed")?,
+                    repair_queue_depth: counter("repair_queue_depth")?,
+                    repair_in_flight: counter("repair_in_flight")?,
                     wal_appends: counter("wal_appends")?,
                     wal_bytes: counter("wal_bytes")?,
                     snapshots: counter("snapshots")?,
@@ -1512,6 +1630,7 @@ impl Response {
                     cache_evictions: counter("cache_evictions")?,
                     cache_fill_skips: counter("cache_fill_skips")?,
                     cache_bytes: counter("cache_bytes")?,
+                    cache_entries: counter("cache_entries")?,
                     deadline_expired: counter("deadline_expired")?,
                     lin_rescue_calls: counter("lin_rescue_calls")?,
                     lp_pivots: counter("lp_pivots")?,
@@ -1524,6 +1643,9 @@ impl Response {
                     .and_then(Value::as_str)
                     .ok_or("metrics: missing \"text\"")?
                     .to_owned(),
+            }),
+            "trace" => Ok(Response::Trace {
+                slow: v.get("slow").ok_or("trace: missing \"slow\"")?.clone(),
             }),
             "shutting_down" => Ok(Response::ShuttingDown),
             "error" => Ok(Response::Error {
@@ -1631,27 +1753,79 @@ mod tests {
         };
         stats = filled;
 
+        // Point-in-time metrics render as bare-named gauges; everything
+        // else is a counter and carries the conventional `_total` suffix.
+        let gauges = [
+            "open_connections",
+            "cache_bytes",
+            "cache_entries",
+            "repair_queue_depth",
+            "repair_in_flight",
+        ];
         let text = stats.to_prometheus();
         for (i, key) in keys.iter().enumerate() {
+            let rendered = if gauges.contains(&key.as_str()) {
+                format!("prdnn_{key}")
+            } else {
+                format!("prdnn_{key}_total")
+            };
             assert!(
-                text.contains(&format!("# HELP prdnn_{key} ")),
+                text.contains(&format!("# HELP {rendered} ")),
                 "metric {key} missing HELP"
             );
             assert!(
-                text.contains(&format!("# TYPE prdnn_{key} ")),
+                text.contains(&format!("# TYPE {rendered} ")),
                 "metric {key} missing TYPE"
             );
             assert!(
-                text.lines().any(|l| l == format!("prdnn_{key} {}", i + 1)),
+                text.lines().any(|l| l == format!("{rendered} {}", i + 1)),
                 "metric {key} missing sample with value {}",
                 i + 1
             );
         }
-        // Gauges are typed as gauges, everything else as counters.
-        assert!(text.contains("# TYPE prdnn_open_connections gauge"));
-        assert!(text.contains("# TYPE prdnn_cache_bytes gauge"));
+        for gauge in gauges {
+            assert!(
+                text.contains(&format!("# TYPE prdnn_{gauge} gauge")),
+                "{gauge} not typed as a gauge"
+            );
+        }
         let counters = text.lines().filter(|l| l.ends_with(" counter")).count();
-        assert_eq!(counters, keys.len() - 2);
+        assert_eq!(counters, keys.len() - gauges.len());
+    }
+
+    #[test]
+    fn trace_request_and_response_round_trip() {
+        let req = Request::Trace;
+        assert_eq!(Request::from_value(&req.to_value()).unwrap(), req);
+        assert_eq!(req.kind(), "trace");
+
+        let resp = Response::Trace {
+            slow: Value::Arr(vec![Value::obj([
+                ("request_id", Value::Num(7.0)),
+                ("kind", Value::Str("eval".to_owned())),
+                ("total_ms", Value::Num(120.5)),
+                ("spans", Value::Arr(vec![])),
+            ])]),
+        };
+        assert_eq!(Response::from_value(&resp.to_value()).unwrap(), resp);
+    }
+
+    #[test]
+    fn request_ids_embed_echo_and_survive_the_codec() {
+        let mut doc = Request::Ping.to_value();
+        assert_eq!(request_id_of(&doc), None);
+        embed_request_id(&mut doc, 42);
+        assert_eq!(request_id_of(&doc), Some(42));
+        // Embedding twice replaces rather than duplicates.
+        embed_request_id(&mut doc, 43);
+        assert_eq!(request_id_of(&doc), Some(43));
+        // The typed codec ignores the correlation field entirely.
+        assert_eq!(Request::from_value(&doc).unwrap(), Request::Ping);
+        // Junk ids are ignored, not misread.
+        let junk = Value::obj([("request_id", Value::Num(-1.0))]);
+        assert_eq!(request_id_of(&junk), None);
+        let frac = Value::obj([("request_id", Value::Num(1.5))]);
+        assert_eq!(request_id_of(&frac), None);
     }
 
     #[test]

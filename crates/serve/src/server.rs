@@ -23,10 +23,11 @@ use crate::batcher::{Batcher, Call, ReplyData};
 use crate::cache::{ResultCache, DEFAULT_CACHE_BYTES};
 use crate::jobs::JobQueue;
 use crate::protocol::{
-    read_frame, write_frame, ErrorKind, FrameError, RegionWire, Request, Response, ServerStats,
-    VersionInfo,
+    embed_request_id, read_frame_timed, request_id_of, write_frame, ErrorKind, FrameError,
+    RegionWire, Request, Response, ServerStats, VersionInfo,
 };
 use crate::store::{ModelStore, ModelVersion, StoreError};
+use crate::telemetry::{self, Outcome, Stage, Telemetry};
 use prdnn_core::DecoupledNetwork;
 use std::collections::HashMap;
 use std::io;
@@ -76,6 +77,11 @@ pub struct ServerConfig {
     /// Byte budget of the per-version result cache (`0` disables caching).
     /// Payload bytes only; see [`crate::cache`] for the accounting.
     pub cache_bytes: usize,
+    /// Slow-request threshold in milliseconds: a request whose server-side
+    /// residence crosses this promotes its full span chain to the retained
+    /// slow-log served by the `trace` request.  `0` disables span tracing
+    /// entirely (histograms stay on); see [`crate::telemetry`].
+    pub slow_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -93,6 +99,7 @@ impl Default for ServerConfig {
             io_timeout_ms: 30_000,
             wal_fault_spec: None,
             cache_bytes: DEFAULT_CACHE_BYTES,
+            slow_ms: 400,
         }
     }
 }
@@ -110,10 +117,13 @@ struct Shared {
     batcher: Arc<Batcher>,
     cache: Arc<ResultCache>,
     jobs: Arc<JobQueue>,
+    telemetry: Arc<Telemetry>,
     shutdown: AtomicBool,
     addr: SocketAddr,
     conn_count: AtomicUsize,
     next_conn_id: AtomicU64,
+    /// Server-assigned request ids start at 1 (0 means "untracked").
+    next_request_id: AtomicU64,
     conns_opened: AtomicU64,
     conns_rejected: AtomicU64,
     io_timeouts: AtomicU64,
@@ -157,6 +167,8 @@ impl Shared {
             jobs_submitted: j.submitted.load(Ordering::Relaxed),
             jobs_completed: j.completed.load(Ordering::Relaxed),
             jobs_failed: j.failed.load(Ordering::Relaxed),
+            repair_queue_depth: self.jobs.queue_depth(),
+            repair_in_flight: self.jobs.in_flight(),
             wal_appends: l.wal_appends,
             wal_bytes: l.wal_bytes,
             snapshots: l.snapshots,
@@ -176,6 +188,7 @@ impl Shared {
             cache_evictions: c.evictions.load(Ordering::Relaxed),
             cache_fill_skips: c.fill_skips.load(Ordering::Relaxed),
             cache_bytes: self.cache.bytes(),
+            cache_entries: self.cache.entries(),
             deadline_expired: b.deadline_expired.load(Ordering::Relaxed),
             lin_rescue_calls: b.lin_rescue_calls.load(Ordering::Relaxed),
             lp_pivots: j.lp_pivots.load(Ordering::Relaxed),
@@ -263,6 +276,7 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
     let pool = Arc::new(prdnn_par::pool_for(config.threads));
+    let telemetry = Telemetry::new(config.slow_ms);
     // Recovery happens here, before the accept loop exists: the first
     // client can already resolve every version acknowledged before the
     // last shutdown or crash.
@@ -282,6 +296,7 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
             };
             let wal = crate::wal::WalLog::open_with_faults(dir, config.snapshot_every, faults)
                 .map_err(|e| io::Error::other(e.to_string()))?;
+            wal.set_telemetry(Arc::clone(&telemetry));
             let report = wal.recovery_report();
             if report.versions > 0 || report.torn_tail_bytes > 0 {
                 eprintln!(
@@ -302,11 +317,13 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
         Arc::clone(&pool),
         config.batch_queue_cap,
         Arc::clone(&cache),
+        Arc::clone(&telemetry),
     ));
     let jobs = Arc::new(JobQueue::new(
         Arc::clone(&store),
         Arc::clone(&pool),
         config.job_queue_cap,
+        Arc::clone(&telemetry),
     ));
     let repair_workers = config.repair_workers.max(1);
     let shared = Arc::new(Shared {
@@ -315,10 +332,12 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
         batcher: Arc::clone(&batcher),
         cache,
         jobs: Arc::clone(&jobs),
+        telemetry,
         shutdown: AtomicBool::new(false),
         addr,
         conn_count: AtomicUsize::new(0),
         next_conn_id: AtomicU64::new(0),
+        next_request_id: AtomicU64::new(1),
         conns_opened: AtomicU64::new(0),
         conns_rejected: AtomicU64::new(0),
         io_timeouts: AtomicU64::new(0),
@@ -463,8 +482,8 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
 
 fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
     loop {
-        let value = match read_frame(&mut stream) {
-            Ok(value) => value,
+        let (value, received) = match read_frame_timed(&mut stream) {
+            Ok(pair) => pair,
             Err(FrameError::Closed) => return,
             Err(FrameError::Io(_)) => return,
             Err(FrameError::TimedOut) => {
@@ -492,14 +511,41 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
                 return;
             }
         };
-        let (response, close_after) = match Request::from_value(&value) {
-            Err(message) => (Response::error(ErrorKind::BadRequest, message), false),
+        // Correlation id: a client-set positive integral `request_id` field
+        // wins; otherwise the server assigns one.  Either way it is echoed
+        // in the response and threads through every span this request
+        // records (the thread-local scope covers stages — like WAL appends
+        // — reached without an explicit id parameter).
+        let request_id = request_id_of(&value)
+            .unwrap_or_else(|| shared.next_request_id.fetch_add(1, Ordering::Relaxed));
+        let _scope = telemetry::enter_request(request_id);
+        let (response, kind, close_after) = match Request::from_value(&value) {
+            Err(message) => (
+                Response::error(ErrorKind::BadRequest, message),
+                "other",
+                false,
+            ),
             Ok(request) => {
+                let kind = request.kind();
                 let close_after = request == Request::Shutdown;
-                (handle_request(shared, request), close_after)
+                (
+                    handle_request(shared, request, received, request_id),
+                    kind,
+                    close_after,
+                )
             }
         };
-        if let Err(e) = write_frame(&mut stream, &response.to_value()) {
+        let outcome = match &response {
+            Response::Error {
+                kind: ErrorKind::DeadlineExceeded,
+                ..
+            } => Outcome::Deadline,
+            Response::Error { .. } => Outcome::Error,
+            _ => Outcome::Ok,
+        };
+        let mut reply = response.to_value();
+        embed_request_id(&mut reply, request_id);
+        if let Err(e) = write_frame(&mut stream, &reply) {
             // A response too large for the frame cap (e.g. lin_regions on
             // a huge model) writes nothing — tell the client why instead
             // of silently hanging up on a valid request.
@@ -518,6 +564,20 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
             }
             return;
         }
+        // The Request span covers the whole server-side residence: from
+        // the frame's first header byte through the response write.  The
+        // eval/lin_regions e2e histograms are recorded at the batcher
+        // boundary instead (so their counts match the request counters);
+        // other kinds are recorded here, covering every request.
+        let total = received.elapsed();
+        if telemetry::request_kind_index(kind) >= 2 {
+            shared.telemetry.request_e2e[telemetry::request_kind_index(kind)]
+                .record_duration(total);
+        }
+        shared
+            .telemetry
+            .span_at(request_id, Stage::Request, received, total, outcome);
+        shared.telemetry.maybe_promote(request_id, kind, total);
         if close_after {
             return;
         }
@@ -550,7 +610,12 @@ fn queue_rejection((kind, message): (ErrorKind, String), retry_after_ms: u64) ->
     }
 }
 
-fn handle_request(shared: &Arc<Shared>, request: Request) -> Response {
+fn handle_request(
+    shared: &Arc<Shared>,
+    request: Request,
+    received: Instant,
+    request_id: u64,
+) -> Response {
     match request {
         Request::Ping => Response::Pong,
         Request::LoadGenerator { name, generator } => {
@@ -590,7 +655,14 @@ fn handle_request(shared: &Arc<Shared>, request: Request) -> Response {
                     model
                 ));
             }
-            submit_and_wait(shared, version, Call::Eval(inputs), deadline_ms)
+            submit_and_wait(
+                shared,
+                version,
+                Call::Eval(inputs),
+                deadline_ms,
+                received,
+                request_id,
+            )
         }
         Request::LinRegions {
             model,
@@ -619,7 +691,14 @@ fn handle_request(shared: &Arc<Shared>, request: Request) -> Response {
                     ));
                 }
             }
-            submit_and_wait(shared, version, Call::LinRegions(polytopes), deadline_ms)
+            submit_and_wait(
+                shared,
+                version,
+                Call::LinRegions(polytopes),
+                deadline_ms,
+                received,
+                request_id,
+            )
         }
         Request::Repair {
             model,
@@ -657,7 +736,7 @@ fn handle_request(shared: &Arc<Shared>, request: Request) -> Response {
                     model
                 ));
             }
-            match shared.jobs.submit(version, layer, spec, config) {
+            match shared.jobs.submit(version, layer, spec, config, request_id) {
                 Ok(job) => Response::JobQueued { job },
                 Err(rejection) => queue_rejection(rejection, RETRY_AFTER_JOBS_MS),
             }
@@ -708,7 +787,10 @@ fn handle_request(shared: &Arc<Shared>, request: Request) -> Response {
         },
         Request::Stats => Response::Stats(shared.stats()),
         Request::Metrics => Response::Metrics {
-            text: shared.stats().to_prometheus(),
+            text: shared.telemetry.render_prometheus(&shared.stats()),
+        },
+        Request::Trace => Response::Trace {
+            slow: shared.telemetry.slow_traces_json(),
         },
         Request::Shutdown => {
             shared.begin_shutdown();
@@ -755,14 +837,20 @@ fn submit_and_wait(
     version: Arc<ModelVersion>,
     call: Call,
     deadline_ms: Option<u64>,
+    received: Instant,
+    request_id: u64,
 ) -> Response {
+    let kind_index = telemetry::request_kind_index(match call {
+        Call::Eval(_) => "eval",
+        Call::LinRegions(_) => "lin_regions",
+    });
     let budget = Duration::from_millis(
         deadline_ms
             .unwrap_or(shared.config.default_deadline_ms)
             .max(1),
     );
     let deadline = Instant::now() + budget;
-    let receiver = match shared.batcher.submit(version, call, deadline) {
+    let receiver = match shared.batcher.submit(version, call, deadline, request_id) {
         Ok(rx) => rx,
         Err(rejection) => return queue_rejection(rejection, RETRY_AFTER_BATCH_MS),
     };
@@ -772,7 +860,13 @@ fn submit_and_wait(
     // time already burned in `submit` (queue lock, key hashing) must not
     // push the wait past the deadline the batcher enforces.
     let wait = deadline.saturating_duration_since(Instant::now()) + Duration::from_millis(50);
-    match receiver.recv_timeout(wait) {
+    let reply = receiver.recv_timeout(wait);
+    // One e2e sample per *accepted* item, whatever the outcome — this is
+    // what keeps `prdnn_request_seconds_count{kind="eval"}` equal to
+    // `prdnn_eval_requests_total` at quiesce (shed/invalid requests never
+    // reach either).
+    shared.telemetry.request_e2e[kind_index].record_duration(received.elapsed());
+    match reply {
         Ok(Ok(ReplyData::Outputs(outputs))) => Response::Outputs(outputs),
         Ok(Ok(ReplyData::Regions(regions))) => Response::Regions(
             regions

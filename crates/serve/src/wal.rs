@@ -64,9 +64,11 @@ use std::fs::{self, File, OpenOptions};
 use std::io::{Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
 
 use crate::faults::{FaultInjector, WriteFault};
+use crate::telemetry::{self, Outcome, Stage, Telemetry};
 use crate::version_log::{LogError, LogStats, ModelEntry, ModelVersion, VersionChains, VersionLog};
 
 /// On-disk record format version; bump on incompatible layout changes.
@@ -279,6 +281,10 @@ pub struct WalLog {
     wal_bytes: AtomicU64,
     snapshots: AtomicU64,
     failed_appends: AtomicU64,
+    /// Set once by the server after open; when present, every append's
+    /// write+fsync latency records into the `wal_fsync` histogram and a
+    /// `wal_append` span under the current request's id.
+    telemetry: OnceLock<Arc<Telemetry>>,
 }
 
 impl WalLog {
@@ -293,6 +299,12 @@ impl WalLog {
     /// prefix is kept and the tail is reported in the [`RecoveryReport`].
     pub fn open(dir: &Path, snapshot_every: u64) -> Result<WalLog, LogError> {
         WalLog::open_with_faults(dir, snapshot_every, FaultInjector::none())
+    }
+
+    /// Wires the server's telemetry into the append path.  A second call
+    /// is a no-op (the first handle wins).
+    pub fn set_telemetry(&self, telemetry: Arc<Telemetry>) {
+        let _ = self.telemetry.set(telemetry);
     }
 
     /// [`WalLog::open`] with a [`FaultInjector`] interposed on the append
@@ -421,6 +433,7 @@ impl WalLog {
             wal_bytes: AtomicU64::new(0),
             snapshots: AtomicU64::new(0),
             failed_appends: AtomicU64::new(0),
+            telemetry: OnceLock::new(),
         })
     }
 
@@ -611,9 +624,25 @@ impl VersionLog for WalLog {
 
     fn append(&self, version: &Arc<ModelVersion>) -> Result<(), LogError> {
         let mut inner = self.lock_inner();
+        let start = Instant::now();
         let result = self.append_locked(&mut inner, version);
         if result.is_err() {
             self.failed_appends.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(t) = self.telemetry.get() {
+            let took = start.elapsed();
+            t.wal_fsync.record_duration(took);
+            t.span_at(
+                telemetry::current_request(),
+                Stage::WalAppend,
+                start,
+                took,
+                if result.is_ok() {
+                    Outcome::Ok
+                } else {
+                    Outcome::Error
+                },
+            );
         }
         result
     }

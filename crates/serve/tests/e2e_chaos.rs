@@ -17,7 +17,9 @@ use prdnn_core::{OutputPolytope, PointSpec, RepairConfig};
 use prdnn_datasets::registry;
 use prdnn_serve::chaos::{ChaosConfig, ChaosProxy};
 use prdnn_serve::client::{Client, ClientError};
-use prdnn_serve::protocol::{read_frame, ErrorKind, JobState, ModelRef, Response};
+use prdnn_serve::protocol::{
+    embed_request_id, read_frame, request_id_of, ErrorKind, JobState, ModelRef, Request, Response,
+};
 use prdnn_serve::retry::{RetryPolicy, RetryingClient};
 use prdnn_serve::server::{serve, ServerConfig, ServerHandle};
 use std::io::Write as _;
@@ -371,6 +373,139 @@ fn storage_faults_surface_unavailable_and_acked_versions_restart_exact() {
     assert_eq!(
         recovered, expected_network,
         "acked version not bit-identical after restart"
+    );
+    client.shutdown_server().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn chaos_delayed_request_surfaces_in_trace_with_its_full_span_chain() {
+    // A request deliberately slowed on the wire (a delaying chaos proxy
+    // plus a mid-frame stall) must cross --slow-ms and surface in `trace`
+    // with its complete span chain under the client-chosen request_id.
+    let handle = serve(ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        slow_ms: 50,
+        ..ServerConfig::default()
+    })
+    .expect("ephemeral bind");
+    Client::connect(handle.addr())
+        .unwrap()
+        .load_generator("n1", "n1")
+        .unwrap();
+
+    // Delay regime: every chunk through the proxy sleeps before it is
+    // forwarded (no loss, no corruption — this test is about latency).
+    let mut proxy = ChaosProxy::start(
+        handle.addr(),
+        ChaosConfig {
+            seed: 0xD3_1A7,
+            delay_per_mille: 1000,
+            max_delay_ms: 20,
+            ..ChaosConfig::default()
+        },
+    )
+    .expect("proxy start");
+
+    // Hand-rolled frame so the stall lands *mid-frame*: the server's
+    // request clock starts at the first header byte, so the sleep between
+    // the two halves is charged to server-side residence.
+    let mut request = Request::Eval {
+        model: ModelRef::latest("n1"),
+        inputs: vec![vec![0.5]],
+        deadline_ms: None,
+    }
+    .to_value();
+    embed_request_id(&mut request, 4242);
+    let body = request.to_json().into_bytes();
+    let mut frame = (body.len() as u32).to_be_bytes().to_vec();
+    frame.extend_from_slice(&body);
+    let mut stream = TcpStream::connect(proxy.addr()).unwrap();
+    stream.set_nodelay(true).unwrap();
+    let split = frame.len() / 2;
+    stream.write_all(&frame[..split]).unwrap();
+    stream.flush().unwrap();
+    std::thread::sleep(Duration::from_millis(120));
+    stream.write_all(&frame[split..]).unwrap();
+    stream.flush().unwrap();
+    let reply = read_frame(&mut stream).expect("slowed eval still answered");
+    // The response echoes the client-chosen correlation id.
+    assert_eq!(request_id_of(&reply), Some(4242));
+    assert_eq!(reply.get("type").and_then(|v| v.as_str()), Some("outputs"));
+    drop(stream);
+    proxy.shutdown();
+
+    // The slow-log (read over a clean connection) retains the request's
+    // whole chain: the e2e request span plus the batcher stages it
+    // crossed, each with a sane duration.
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let slow = client.trace().unwrap();
+    let traces = slow.as_arr().expect("trace returns an array");
+    let entry = traces
+        .iter()
+        .find(|t| t.get("request_id").and_then(|v| v.as_f64()) == Some(4242.0))
+        .unwrap_or_else(|| panic!("request 4242 missing from trace: {}", slow.to_json()));
+    assert_eq!(entry.get("kind").and_then(|v| v.as_str()), Some("eval"));
+    let total_ms = entry.get("total_ms").and_then(|v| v.as_f64()).unwrap();
+    assert!(
+        total_ms >= 100.0,
+        "stall not charged to the server: {total_ms}ms"
+    );
+    let spans = entry.get("spans").and_then(|v| v.as_arr()).unwrap();
+    let stages: Vec<&str> = spans
+        .iter()
+        .filter_map(|s| s.get("stage").and_then(|v| v.as_str()))
+        .collect();
+    for want in ["request", "batch_queue", "batch_exec"] {
+        assert!(
+            stages.contains(&want),
+            "span chain {stages:?} missing {want}"
+        );
+    }
+    for span in spans {
+        let dur = span.get("duration_ms").and_then(|v| v.as_f64()).unwrap();
+        assert!((0.0..60_000.0).contains(&dur), "absurd span duration {dur}");
+        assert!(span.get("outcome").and_then(|v| v.as_str()).is_some());
+    }
+
+    // The client helpers cover the same correlation plumbing.
+    client.set_next_request_id(777);
+    client.ping().unwrap();
+    assert_eq!(client.last_request_id(), Some(777));
+    client.ping().unwrap();
+    let assigned = client.last_request_id().expect("server assigns an id");
+    assert_ne!(assigned, 777, "one-shot id leaked into the next request");
+
+    client.shutdown_server().unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn slow_ms_zero_disables_tracing_but_keeps_histograms() {
+    let handle = serve(ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        slow_ms: 0,
+        ..ServerConfig::default()
+    })
+    .expect("ephemeral bind");
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.load_generator("n1", "n1").unwrap();
+    client
+        .eval(&ModelRef::latest("n1"), vec![vec![0.5]], None)
+        .unwrap();
+    // Tracing off: nothing is ever promoted, however slow.
+    let slow = client.trace().unwrap();
+    assert_eq!(
+        slow.as_arr().map(|a| a.len()),
+        Some(0),
+        "{}",
+        slow.to_json()
+    );
+    // Histograms stay on: the eval recorded into its e2e family.
+    let metrics = client.metrics().unwrap();
+    assert!(
+        metrics.contains("prdnn_request_seconds_count{kind=\"eval\"} 1"),
+        "histograms must record with tracing disabled"
     );
     client.shutdown_server().unwrap();
     handle.join().unwrap();

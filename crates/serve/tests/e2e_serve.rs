@@ -280,35 +280,117 @@ fn metrics_endpoint_renders_well_formed_prometheus_text() {
 
     let stats = client.stats().unwrap();
     let text = client.metrics().unwrap();
-    // Every line is a HELP comment, a TYPE comment, or a `prdnn_<name> <u64>`
-    // sample; nothing else.
+    // Every line is a HELP comment, a TYPE comment, or a
+    // `prdnn_<name>[{labels}] <float>` sample; nothing else.  Counters
+    // carry the `_total` suffix, gauges are bare, histograms contribute
+    // `_bucket`/`_sum`/`_count` series.
     let mut samples = std::collections::HashMap::new();
+    let mut types = std::collections::HashMap::new();
     for line in text.lines() {
         if let Some(rest) = line.strip_prefix("# ") {
             assert!(
                 rest.starts_with("HELP prdnn_") || rest.starts_with("TYPE prdnn_"),
                 "malformed comment line: {line:?}"
             );
+            if let Some(typed) = rest.strip_prefix("TYPE ") {
+                let (name, ty) = typed.split_once(' ').expect("TYPE line");
+                assert!(
+                    matches!(ty, "counter" | "gauge" | "histogram"),
+                    "unknown metric type in {line:?}"
+                );
+                types.insert(name.to_owned(), ty.to_owned());
+            }
             continue;
         }
         let (name, value) = line.split_once(' ').expect("sample line");
         assert!(name.starts_with("prdnn_"), "unprefixed metric {line:?}");
-        let value: u64 = value.parse().unwrap_or_else(|_| {
-            panic!("non-integer sample in {line:?}");
+        let value: f64 = value.parse().unwrap_or_else(|_| {
+            panic!("unparseable sample in {line:?}");
         });
+        assert!(value.is_finite(), "non-finite sample in {line:?}");
         samples.insert(name.to_owned(), value);
     }
+    // Every family named by a sample has a TYPE (strip labels, then the
+    // histogram series suffixes).
+    for name in samples.keys() {
+        let base = name.split('{').next().unwrap();
+        let family = ["_bucket", "_sum", "_count"]
+            .iter()
+            .find_map(|s| base.strip_suffix(s))
+            .unwrap_or(base);
+        assert!(
+            types.contains_key(family) || types.contains_key(base),
+            "sample {name:?} has no TYPE line"
+        );
+    }
     // The endpoint reports the same numbers as the stats request (counters
-    // that cannot move between the two reads).
-    assert_eq!(samples["prdnn_eval_requests"], stats.eval_requests);
-    assert_eq!(samples["prdnn_eval_points"], stats.eval_points);
-    assert_eq!(samples["prdnn_cache_hits"], stats.cache_hits);
-    assert_eq!(samples["prdnn_cache_misses"], stats.cache_misses);
-    assert!(samples["prdnn_cache_hits"] >= 1, "warm eval should hit");
-    assert!(samples.contains_key("prdnn_lp_pivots"));
-    assert!(samples.contains_key("prdnn_deadline_expired"));
-    assert!(samples.contains_key("prdnn_lin_rescue_calls"));
-    assert!(samples.len() >= 35, "got {} metrics", samples.len());
+    // that cannot move between the two reads), `_total`-suffixed.
+    assert_eq!(
+        samples["prdnn_eval_requests_total"] as u64,
+        stats.eval_requests
+    );
+    assert_eq!(samples["prdnn_eval_points_total"] as u64, stats.eval_points);
+    assert_eq!(samples["prdnn_cache_hits_total"] as u64, stats.cache_hits);
+    assert_eq!(
+        samples["prdnn_cache_misses_total"] as u64,
+        stats.cache_misses
+    );
+    assert!(
+        samples["prdnn_cache_hits_total"] >= 1.0,
+        "warm eval should hit"
+    );
+    assert!(samples.contains_key("prdnn_lp_pivots_total"));
+    assert!(samples.contains_key("prdnn_deadline_expired_total"));
+    assert!(samples.contains_key("prdnn_lin_rescue_calls_total"));
+    // Point-in-time values export as bare-named gauges.
+    assert_eq!(types["prdnn_open_connections"], "gauge");
+    assert_eq!(types["prdnn_cache_bytes"], "gauge");
+    assert_eq!(types["prdnn_cache_entries"], "gauge");
+    assert_eq!(types["prdnn_repair_queue_depth"], "gauge");
+    assert_eq!(types["prdnn_repair_in_flight"], "gauge");
+    assert_eq!(samples["prdnn_open_connections"] as u64, 1);
+    // Histogram families: at least the six stage boundaries, each with a
+    // complete `+Inf` bucket / sum / count triple.
+    let histograms: Vec<_> = types
+        .iter()
+        .filter(|(_, ty)| ty.as_str() == "histogram")
+        .map(|(name, _)| name.clone())
+        .collect();
+    assert!(histograms.len() >= 6, "only {histograms:?}");
+    for family in &histograms {
+        assert!(
+            samples
+                .keys()
+                .any(|k| k.starts_with(&format!("{family}_bucket")) && k.contains("le=\"+Inf\"")),
+            "{family} has no +Inf bucket"
+        );
+        assert!(
+            samples
+                .keys()
+                .any(|k| k.starts_with(&format!("{family}_sum"))),
+            "{family} has no _sum"
+        );
+        assert!(
+            samples
+                .keys()
+                .any(|k| k.starts_with(&format!("{family}_count"))),
+            "{family} has no _count"
+        );
+    }
+    // The e2e histogram count matches the request counter exactly: both
+    // tick once per accepted eval.
+    assert_eq!(
+        samples["prdnn_request_seconds_count{kind=\"eval\"}"] as u64,
+        stats.eval_requests
+    );
+    // Process info: a version-labeled constant and an uptime gauge.
+    assert!(
+        samples
+            .keys()
+            .any(|k| k.starts_with("prdnn_build_info{version=")),
+        "missing build info"
+    );
+    assert!(samples["prdnn_uptime_seconds"] >= 0.0);
 
     client.shutdown_server().unwrap();
     handle.join().unwrap();

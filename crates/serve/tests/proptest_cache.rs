@@ -13,6 +13,7 @@ use prdnn_datasets::registry;
 use prdnn_serve::batcher::{Batcher, Call, ReplyData};
 use prdnn_serve::cache::ResultCache;
 use prdnn_serve::store::ModelVersion;
+use prdnn_serve::telemetry::Telemetry;
 use proptest::prelude::*;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -31,7 +32,9 @@ fn version_of(spec: &str) -> Arc<ModelVersion> {
 
 fn run(batcher: &Batcher, version: &Arc<ModelVersion>, call: Call) -> ReplyData {
     let deadline = Instant::now() + Duration::from_secs(60);
-    let rx = batcher.submit(Arc::clone(version), call, deadline).unwrap();
+    let rx = batcher
+        .submit(Arc::clone(version), call, deadline, 0)
+        .unwrap();
     batcher.drain_once();
     rx.recv_timeout(Duration::from_secs(60))
         .expect("batcher answered")
@@ -53,7 +56,7 @@ proptest! {
         for threads in [1usize, 2, 4] {
             let pool = Arc::new(prdnn_par::pool_for(Some(threads)));
             let batcher =
-                Batcher::new(pool, 64, Arc::new(ResultCache::new(1 << 20)));
+                Batcher::new(pool, 64, Arc::new(ResultCache::new(1 << 20)), Telemetry::new(0));
             let cold = run(&batcher, &version, Call::Eval(xs.clone()));
             let warm = run(&batcher, &version, Call::Eval(xs.clone()));
             // The second call was answered from the cache, not the pool.
@@ -87,7 +90,7 @@ proptest! {
         let version = version_of(&spec);
         let segment = vec![vec![lo], vec![lo + len]];
         let pool = Arc::new(prdnn_par::pool_for(Some(threads)));
-        let batcher = Batcher::new(pool, 64, Arc::new(ResultCache::new(1 << 20)));
+        let batcher = Batcher::new(pool, 64, Arc::new(ResultCache::new(1 << 20)), Telemetry::new(0));
         let cold = run(&batcher, &version, Call::LinRegions(vec![segment.clone()]));
         let warm = run(&batcher, &version, Call::LinRegions(vec![segment.clone()]));
         prop_assert_eq!(

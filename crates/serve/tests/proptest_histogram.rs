@@ -1,0 +1,141 @@
+//! Property tests for the telemetry histogram core: quantile error
+//! bounds against a sorted-vector oracle, shard-merge associativity, and
+//! bit-identical merged reports regardless of recording thread count.
+
+use prdnn_serve::telemetry::{
+    bucket_index, bucket_upper, Histogram, HistogramSnapshot, MAX_TRACKED, N_BUCKETS,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Values spanning the histogram's full dynamic range (µs): the linear
+/// region, every octave, and the clamp at `MAX_TRACKED`.
+fn value() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        0u64..64,
+        64u64..100_000,
+        // One value per octave: exp picks the octave, r the offset in it.
+        (6u32..37, 0u64..u64::MAX).prop_map(|(exp, r)| {
+            let lo = 1u64 << exp;
+            lo + r % lo
+        }),
+        Just(MAX_TRACKED),
+        Just(u64::MAX), // clamps to MAX_TRACKED
+    ]
+}
+
+fn snapshot_of(values: &[u64]) -> HistogramSnapshot {
+    let hist = Histogram::new();
+    for &v in values {
+        hist.record(v);
+    }
+    hist.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Bucket geometry: every value lands in a bucket whose upper bound
+    /// is >= the (clamped) value, and within one sub-bucket's relative
+    /// resolution of it.
+    #[test]
+    fn bucket_upper_bounds_its_values_within_resolution(v in value()) {
+        let clamped = v.min(MAX_TRACKED);
+        let i = bucket_index(v);
+        prop_assert!(i < N_BUCKETS);
+        let upper = bucket_upper(i);
+        prop_assert!(upper >= clamped, "upper {upper} < value {clamped}");
+        prop_assert!(
+            upper - clamped <= clamped / 32 + 1,
+            "bucket [..{upper}] too wide for {clamped}"
+        );
+    }
+
+    /// Quantiles never under-report the true order statistic, and
+    /// over-report it by at most one bucket width (<= value/32 + 1).
+    #[test]
+    fn quantiles_bound_the_sorted_oracle(
+        mut values in prop::collection::vec(value(), 1..400),
+        q in prop_oneof![0.0f64..1.0, Just(0.5), Just(0.99), Just(1.0)],
+    ) {
+        let snap = snapshot_of(&values);
+        for v in &mut values {
+            *v = (*v).min(MAX_TRACKED);
+        }
+        values.sort_unstable();
+        let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+        let truth = values[rank - 1];
+        let got = snap.quantile(q);
+        prop_assert!(got >= truth, "q{q} under-reported: {got} < {truth}");
+        prop_assert!(
+            got - truth <= truth / 32 + 1,
+            "q{q} over-reported beyond bucket resolution: {got} vs {truth}"
+        );
+    }
+
+    /// Merging is associative and commutative, and merging with an empty
+    /// snapshot is the identity — the algebra that makes per-thread
+    /// shards (and cross-process roll-ups) safe to combine in any order.
+    #[test]
+    fn merge_is_associative_commutative_with_identity(
+        a in prop::collection::vec(value(), 0..60),
+        b in prop::collection::vec(value(), 0..60),
+        c in prop::collection::vec(value(), 0..60),
+    ) {
+        let (sa, sb, sc) = (snapshot_of(&a), snapshot_of(&b), snapshot_of(&c));
+
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+
+        let mut right_inner = sb.clone();
+        right_inner.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&right_inner);
+        prop_assert_eq!(&left, &right);
+
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        prop_assert_eq!(&ab, &ba);
+
+        let mut with_empty = sa.clone();
+        with_empty.merge(&HistogramSnapshot::empty());
+        prop_assert_eq!(&with_empty, &sa);
+    }
+
+    /// The merged report is bit-identical whether the same multiset of
+    /// values was recorded by 1, 2, or 4 threads: recording order and
+    /// shard assignment may differ, merged totals may not.
+    #[test]
+    fn merged_reports_are_bit_identical_at_1_2_4_threads(
+        values in prop::collection::vec(value(), 1..200),
+    ) {
+        let serial = snapshot_of(&values);
+        for threads in [1usize, 2, 4] {
+            let hist = Arc::new(Histogram::new());
+            let chunk = values.len().div_ceil(threads);
+            let handles: Vec<_> = values
+                .chunks(chunk)
+                .map(|part| {
+                    let hist = Arc::clone(&hist);
+                    let part = part.to_vec();
+                    std::thread::spawn(move || {
+                        for v in part {
+                            hist.record(v);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            let snap = hist.snapshot();
+            prop_assert_eq!(
+                &snap, &serial,
+                "report diverged at {} threads", threads
+            );
+        }
+    }
+}

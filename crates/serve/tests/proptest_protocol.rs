@@ -253,6 +253,8 @@ fn response() -> impl Strategy<Value = Response> {
             jobs_submitted: a / 2,
             jobs_completed: a / 3,
             jobs_failed: a / 7,
+            repair_queue_depth: b % 5,
+            repair_in_flight: a % 3,
             wal_appends: a + b,
             wal_bytes: a * 1000 + b,
             snapshots: b / 5,
@@ -272,6 +274,7 @@ fn response() -> impl Strategy<Value = Response> {
             cache_evictions: b / 2,
             cache_fill_skips: a / 5,
             cache_bytes: a * 100 + b,
+            cache_entries: a % 50,
             deadline_expired: b / 4,
             lin_rescue_calls: a / 10,
             lp_pivots: a * 19,
